@@ -1,0 +1,73 @@
+//! Component-level Criterion benchmarks: topology arithmetic, routing
+//! decisions and raw simulator stepping. These track the performance of the
+//! building blocks independently of the full experiments.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use torus_faults::{random_node_faults, FaultSet};
+use torus_routing::{RoutingAlgorithm, SwBasedRouting};
+use torus_sim::{SimConfig, Simulation, StopCondition};
+use torus_topology::{dimension_order_path, NodeId, Torus};
+
+fn topology_benches(c: &mut Criterion) {
+    let torus = Torus::new(8, 3).expect("valid topology");
+    let mut group = c.benchmark_group("topology");
+    group.bench_function("coord_roundtrip_8ary3cube", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for id in 0..torus.num_nodes() as u32 {
+                let node = NodeId(id);
+                let coord = torus.coord(node);
+                acc = acc.wrapping_add(torus.node(&coord).expect("roundtrip").0);
+            }
+            black_box(acc)
+        })
+    });
+    group.bench_function("ecube_path_8ary3cube", |b| {
+        let src = NodeId(0);
+        let dest = NodeId(torus.num_nodes() as u32 - 1);
+        b.iter(|| black_box(dimension_order_path(&torus, src, dest).len()))
+    });
+    group.finish();
+}
+
+fn routing_benches(c: &mut Criterion) {
+    let torus = Torus::new(8, 3).expect("valid topology");
+    let mut rng = StdRng::seed_from_u64(1);
+    let faults = random_node_faults(&torus, 12, &mut rng).expect("connected placement");
+    let mut group = c.benchmark_group("routing");
+    for (name, algo) in [
+        ("deterministic_route_decision", SwBasedRouting::deterministic()),
+        ("adaptive_route_decision", SwBasedRouting::adaptive()),
+    ] {
+        group.bench_function(name, |b| {
+            let src = NodeId(3);
+            let dest = NodeId(400);
+            b.iter(|| {
+                let mut header = algo.make_header(&torus, src, dest);
+                black_box(algo.route(&torus, &faults, &mut header, src, 10))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn simulator_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    group.bench_function("step_1000_cycles_8ary2cube_V6", |b| {
+        b.iter(|| {
+            let mut cfg = SimConfig::paper(8, 2, 6, 32, 0.008);
+            cfg.stop = StopCondition::Cycles(1_000);
+            cfg.max_cycles = 1_000;
+            let mut sim = Simulation::new(cfg, FaultSet::new(), SwBasedRouting::adaptive())
+                .expect("valid config");
+            black_box(sim.run().report.delivered_messages)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, topology_benches, routing_benches, simulator_benches);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Fig. 4 of Safaei et al. (IPDPS 2006).
+//!
+//! `cargo run -p torus-bench --release --bin fig4 [-- --scale paper] [-- --csv fig4.csv]`
+
+use swbft_core::Figure;
+use torus_bench::{parse_figure_args, run_figure};
+
+fn main() {
+    let opts = match parse_figure_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match run_figure(Figure::Fig4, &opts) {
+        Ok(text) => println!("{text}"),
+        Err(e) => {
+            eprintln!("failed to write CSV: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! # torus-bench
+//!
+//! Benchmark harness and figure-reproduction binaries for the Software-Based
+//! fault-tolerant routing study.
+//!
+//! * `cargo run -p torus-bench --release --bin fig3` (… `fig7`) regenerates
+//!   the corresponding figure of the paper and prints its series as aligned
+//!   text tables (add `--csv <path>` to also write CSV, `--scale paper` for
+//!   the full 100,000-message methodology).
+//! * `cargo bench -p torus-bench` runs the Criterion micro/meso benchmarks:
+//!   one small representative point per figure plus component benchmarks of
+//!   the topology, routing and simulator layers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::path::PathBuf;
+use swbft_core::{Figure, Scale};
+
+/// Command-line options shared by the `fig*` binaries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FigureCliOptions {
+    /// Measurement scale.
+    pub scale: Scale,
+    /// Optional path to write the figure's CSV rows to.
+    pub csv: Option<PathBuf>,
+}
+
+impl Default for FigureCliOptions {
+    fn default() -> Self {
+        FigureCliOptions {
+            scale: Scale::Quick,
+            csv: None,
+        }
+    }
+}
+
+/// Parses the `fig*` binaries' command-line arguments.
+///
+/// Recognised flags: `--scale quick|paper` (default `quick`), `--csv <path>`.
+/// Unknown flags produce an error string listing the usage.
+pub fn parse_figure_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Result<FigureCliOptions, String> {
+    let mut opts = FigureCliOptions::default();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let value = iter.next().ok_or("--scale needs a value (quick|paper)")?;
+                opts.scale = match value.as_str() {
+                    "quick" => Scale::Quick,
+                    "paper" => Scale::Paper,
+                    other => return Err(format!("unknown scale '{other}' (use quick|paper)")),
+                };
+            }
+            "--csv" => {
+                let value = iter.next().ok_or("--csv needs a file path")?;
+                opts.csv = Some(PathBuf::from(value));
+            }
+            "--help" | "-h" => {
+                return Err(usage());
+            }
+            other => return Err(format!("unknown argument '{other}'\n{}", usage())),
+        }
+    }
+    Ok(opts)
+}
+
+/// Usage string of the `fig*` binaries.
+pub fn usage() -> String {
+    "usage: fig<N> [--scale quick|paper] [--csv <path>]".to_string()
+}
+
+/// Runs one figure with the given options and returns the text report
+/// (writing the CSV file if requested).
+pub fn run_figure(figure: Figure, opts: &FigureCliOptions) -> std::io::Result<String> {
+    let result = figure.run(opts.scale);
+    if let Some(path) = &opts.csv {
+        std::fs::write(path, result.to_csv())?;
+    }
+    Ok(result.render_text())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn default_options() {
+        let o = parse_figure_args(args(&[])).unwrap();
+        assert_eq!(o.scale, Scale::Quick);
+        assert!(o.csv.is_none());
+    }
+
+    #[test]
+    fn parses_scale_and_csv() {
+        let o = parse_figure_args(args(&["--scale", "paper", "--csv", "/tmp/out.csv"])).unwrap();
+        assert_eq!(o.scale, Scale::Paper);
+        assert_eq!(o.csv, Some(PathBuf::from("/tmp/out.csv")));
+    }
+
+    #[test]
+    fn rejects_unknown_arguments() {
+        assert!(parse_figure_args(args(&["--bogus"])).is_err());
+        assert!(parse_figure_args(args(&["--scale", "huge"])).is_err());
+        assert!(parse_figure_args(args(&["--scale"])).is_err());
+        assert!(parse_figure_args(args(&["--help"])).is_err());
+    }
+}

@@ -1,0 +1,359 @@
+//! Single experiment points: configuration and execution.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use torus_faults::{FaultScenario, RandomFaultError};
+use torus_metrics::SimulationReport;
+use torus_routing::SwBasedRouting;
+use torus_sim::{SimConfig, SimConfigError, Simulation, StopCondition};
+use torus_topology::Torus;
+
+/// Which routing flavour an experiment uses.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RoutingChoice {
+    /// Deterministic Software-Based routing (e-cube in the fault-free case).
+    Deterministic,
+    /// Adaptive Software-Based routing (Duato's Protocol in the fault-free
+    /// case).
+    Adaptive,
+}
+
+impl RoutingChoice {
+    /// The routing algorithm object for this choice.
+    pub fn algorithm(&self) -> SwBasedRouting {
+        match self {
+            RoutingChoice::Deterministic => SwBasedRouting::deterministic(),
+            RoutingChoice::Adaptive => SwBasedRouting::adaptive(),
+        }
+    }
+
+    /// Label used in tables ("deterministic" / "adaptive").
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingChoice::Deterministic => "deterministic",
+            RoutingChoice::Adaptive => "adaptive",
+        }
+    }
+
+    /// Both flavours, deterministic first (the order used by the paper's
+    /// figures).
+    pub const BOTH: [RoutingChoice; 2] = [RoutingChoice::Deterministic, RoutingChoice::Adaptive];
+}
+
+/// Errors produced while setting up or running an experiment.
+#[derive(Clone, Debug)]
+pub enum ExperimentError {
+    /// The fault scenario could not be realised.
+    Faults(RandomFaultError),
+    /// The simulation configuration was invalid.
+    Sim(SimConfigError),
+    /// The topology parameters were invalid.
+    Topology(torus_topology::TorusError),
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::Faults(e) => write!(f, "fault scenario error: {e}"),
+            ExperimentError::Sim(e) => write!(f, "simulation configuration error: {e}"),
+            ExperimentError::Topology(e) => write!(f, "topology error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+impl From<RandomFaultError> for ExperimentError {
+    fn from(e: RandomFaultError) -> Self {
+        ExperimentError::Faults(e)
+    }
+}
+
+impl From<SimConfigError> for ExperimentError {
+    fn from(e: SimConfigError) -> Self {
+        ExperimentError::Sim(e)
+    }
+}
+
+/// One fully described simulation point.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Radix `k` of the k-ary n-cube.
+    pub radix: u16,
+    /// Dimensionality `n`.
+    pub dims: u32,
+    /// Virtual channels per physical channel (`V`).
+    pub virtual_channels: usize,
+    /// Message length `M` in flits.
+    pub message_length: u32,
+    /// Traffic generation rate λ in messages/node/cycle.
+    pub rate: f64,
+    /// Routing flavour.
+    pub routing: RoutingChoice,
+    /// Fault scenario.
+    pub faults: FaultScenario,
+    /// RNG seed (drives traffic and, unless [`ExperimentConfig::fault_seed`]
+    /// is set, fault placement).
+    pub seed: u64,
+    /// Optional dedicated seed for the fault placement. Figures 3 and 4 use
+    /// this to keep the same random fault placement for every traffic-rate
+    /// point of a curve (the paper's methodology), while still giving every
+    /// point its own traffic seed.
+    #[serde(default)]
+    pub fault_seed: Option<u64>,
+    /// Messages discarded as warm-up.
+    pub warmup_messages: u64,
+    /// Measured messages after which the run stops.
+    pub measured_messages: u64,
+    /// Hard cycle cap (protects saturated points).
+    pub max_cycles: u64,
+    /// Flit-buffer depth per virtual channel.
+    pub buffer_depth: usize,
+}
+
+impl ExperimentConfig {
+    /// A paper-style experiment point with the given topology, virtual
+    /// channels, message length and traffic rate: deterministic routing, no
+    /// faults, the reduced "quick" measurement budget.
+    pub fn paper_point(radix: u16, dims: u32, v: usize, message_length: u32, rate: f64) -> Self {
+        ExperimentConfig {
+            radix,
+            dims,
+            virtual_channels: v,
+            message_length,
+            rate,
+            routing: RoutingChoice::Deterministic,
+            faults: FaultScenario::None,
+            seed: 0x5afae1,
+            fault_seed: None,
+            warmup_messages: 1_000,
+            measured_messages: 9_000,
+            max_cycles: 150_000,
+            buffer_depth: 2,
+        }
+    }
+
+    /// Sets the routing flavour.
+    pub fn with_routing(mut self, routing: RoutingChoice) -> Self {
+        self.routing = routing;
+        self
+    }
+
+    /// Sets the fault scenario.
+    pub fn with_faults(mut self, faults: FaultScenario) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Pins the fault placement to a dedicated seed, independent of the
+    /// traffic seed (used to keep one placement for a whole curve).
+    pub fn with_fault_seed(mut self, fault_seed: u64) -> Self {
+        self.fault_seed = Some(fault_seed);
+        self
+    }
+
+    /// Sets the traffic rate.
+    pub fn with_rate(mut self, rate: f64) -> Self {
+        self.rate = rate;
+        self
+    }
+
+    /// Shrinks the measurement budget (used by tests and smoke runs).
+    pub fn quick(mut self, measured: u64, warmup: u64) -> Self {
+        self.measured_messages = measured;
+        self.warmup_messages = warmup;
+        self
+    }
+
+    /// Switches to the paper's full measurement budget: 10,000 warm-up
+    /// messages and 90,000 measured messages per point.
+    pub fn paper_scale(mut self) -> Self {
+        self.warmup_messages = 10_000;
+        self.measured_messages = 90_000;
+        self.max_cycles = 2_000_000;
+        self
+    }
+
+    /// Number of nodes of the configured topology.
+    pub fn num_nodes(&self) -> usize {
+        (self.radix as usize).pow(self.dims)
+    }
+
+    /// The low-level simulator configuration for this experiment.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut cfg = SimConfig::paper(
+            self.radix,
+            self.dims,
+            self.virtual_channels,
+            self.message_length,
+            self.rate,
+        );
+        cfg.buffer_depth = self.buffer_depth;
+        cfg.warmup_messages = self.warmup_messages;
+        cfg.stop = StopCondition::MeasuredMessages(self.measured_messages);
+        cfg.max_cycles = self.max_cycles;
+        cfg.seed = self.seed;
+        cfg
+    }
+
+    /// Runs the experiment and returns its outcome.
+    pub fn run(&self) -> Result<ExperimentOutcome, ExperimentError> {
+        let torus =
+            Torus::new(self.radix, self.dims).map_err(ExperimentError::Topology)?;
+        // Fault placement uses a dedicated RNG stream (derived from the fault
+        // seed if pinned, otherwise from the run seed) so the same faults are
+        // applied to both routing flavours of a comparison.
+        let mut fault_rng =
+            StdRng::seed_from_u64(self.fault_seed.unwrap_or(self.seed) ^ 0xFA17_5EED);
+        let faults = self.faults.realize(&torus, &mut fault_rng)?;
+        let fault_count = faults.num_faulty_nodes();
+        let mut sim = Simulation::new(self.sim_config(), faults, self.routing.algorithm())?;
+        let outcome = sim.run();
+        Ok(ExperimentOutcome {
+            config: self.clone(),
+            fault_count,
+            report: outcome.report,
+            hit_max_cycles: outcome.hit_max_cycles,
+            forced_absorptions: outcome.forced_absorptions,
+            dropped_messages: outcome.dropped_messages,
+        })
+    }
+}
+
+/// Result of one experiment point.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ExperimentOutcome {
+    /// The configuration that produced this outcome.
+    pub config: ExperimentConfig,
+    /// Number of faulty nodes actually applied.
+    pub fault_count: usize,
+    /// Metrics report of the run.
+    pub report: SimulationReport,
+    /// True if the run stopped at the cycle cap (saturated point).
+    pub hit_max_cycles: bool,
+    /// Watchdog absorptions (expected 0).
+    pub forced_absorptions: u64,
+    /// Dropped messages (expected 0).
+    pub dropped_messages: u64,
+}
+
+impl ExperimentOutcome {
+    /// Short label combining message length and fault count, the curve legend
+    /// format used by Figs. 3 and 4 ("M=32, nf=5").
+    pub fn curve_label(&self) -> String {
+        format!(
+            "M={}, nf={}",
+            self.config.message_length, self.fault_count
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chain() {
+        let cfg = ExperimentConfig::paper_point(8, 2, 6, 32, 0.004)
+            .with_routing(RoutingChoice::Adaptive)
+            .with_faults(FaultScenario::RandomNodes { count: 3 })
+            .with_seed(7)
+            .with_rate(0.006)
+            .quick(500, 100);
+        assert_eq!(cfg.routing, RoutingChoice::Adaptive);
+        assert_eq!(cfg.rate, 0.006);
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.measured_messages, 500);
+        assert_eq!(cfg.num_nodes(), 64);
+        let sim_cfg = cfg.sim_config();
+        assert_eq!(sim_cfg.stop, StopCondition::MeasuredMessages(500));
+        assert_eq!(sim_cfg.virtual_channels, 6);
+    }
+
+    #[test]
+    fn paper_scale_budget() {
+        let cfg = ExperimentConfig::paper_point(8, 2, 4, 32, 0.004).paper_scale();
+        assert_eq!(cfg.warmup_messages, 10_000);
+        assert_eq!(cfg.measured_messages, 90_000);
+    }
+
+    #[test]
+    fn run_fault_free_point() {
+        let cfg = ExperimentConfig::paper_point(4, 2, 4, 8, 0.01).quick(400, 100);
+        let out = cfg.run().unwrap();
+        assert_eq!(out.fault_count, 0);
+        assert!(!out.hit_max_cycles);
+        assert!(out.report.mean_latency >= 8.0);
+        assert_eq!(out.report.messages_queued, 0);
+        assert_eq!(out.curve_label(), "M=8, nf=0");
+    }
+
+    #[test]
+    fn run_faulty_point_with_both_flavors() {
+        for routing in RoutingChoice::BOTH {
+            let cfg = ExperimentConfig::paper_point(8, 2, 4, 16, 0.003)
+                .with_routing(routing)
+                .with_faults(FaultScenario::RandomNodes { count: 5 })
+                .quick(300, 100);
+            let out = cfg.run().unwrap();
+            assert_eq!(out.fault_count, 5);
+            assert_eq!(out.dropped_messages, 0);
+            assert_eq!(out.forced_absorptions, 0);
+        }
+    }
+
+    #[test]
+    fn pinned_fault_seed_gives_identical_placements_across_traffic_seeds() {
+        let base = ExperimentConfig::paper_point(8, 2, 4, 16, 0.003)
+            .with_faults(FaultScenario::RandomNodes { count: 5 })
+            .with_fault_seed(123)
+            .quick(150, 50);
+        let a = base.clone().with_seed(1).run().unwrap();
+        let b = base.with_seed(2).run().unwrap();
+        assert_eq!(a.fault_count, b.fault_count);
+        // Different traffic seeds must still change the measured latency.
+        assert_ne!(a.report.mean_latency, b.report.mean_latency);
+    }
+
+    #[test]
+    fn same_seed_same_faults_across_flavors() {
+        let base = ExperimentConfig::paper_point(8, 2, 6, 16, 0.003)
+            .with_faults(FaultScenario::RandomNodes { count: 4 })
+            .quick(200, 50);
+        let det = base.clone().with_routing(RoutingChoice::Deterministic).run().unwrap();
+        let ada = base.with_routing(RoutingChoice::Adaptive).run().unwrap();
+        assert_eq!(det.fault_count, ada.fault_count);
+    }
+
+    #[test]
+    fn invalid_configuration_reports_error() {
+        let cfg = ExperimentConfig::paper_point(1, 2, 4, 8, 0.01);
+        assert!(matches!(cfg.run(), Err(ExperimentError::Topology(_))));
+        let cfg = ExperimentConfig::paper_point(8, 2, 4, 8, 0.01)
+            .with_faults(FaultScenario::RandomNodes { count: 64 });
+        assert!(matches!(cfg.run(), Err(ExperimentError::Faults(_))));
+        let mut cfg = ExperimentConfig::paper_point(8, 2, 4, 8, 0.01)
+            .with_routing(RoutingChoice::Adaptive);
+        cfg.virtual_channels = 2;
+        assert!(matches!(cfg.run(), Err(ExperimentError::Sim(_))));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(RoutingChoice::Deterministic.label(), "deterministic");
+        assert_eq!(RoutingChoice::Adaptive.label(), "adaptive");
+        let err = ExperimentError::Faults(RandomFaultError::TooManyFaults {
+            requested: 10,
+            nodes: 4,
+        });
+        assert!(format!("{err}").contains("fault scenario"));
+    }
+}

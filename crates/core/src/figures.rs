@@ -1,0 +1,657 @@
+//! The exact experiment grids of Figs. 3–7 of the paper.
+//!
+//! Every figure is a set of independent simulation points; `Figure::run`
+//! executes them in parallel (deterministically, each point owns its seed) and
+//! returns a [`FigureResult`] whose text rendering reproduces the series the
+//! paper plots.
+//!
+//! Two scales are provided:
+//!
+//! * [`Scale::Quick`] — a reduced message budget and coarser rate grid, meant
+//!   for laptops and CI (minutes);
+//! * [`Scale::Paper`] — the paper's methodology (100,000 messages per point,
+//!   of which the first 10,000 are discarded) and a denser grid.
+
+use crate::experiment::{ExperimentConfig, ExperimentOutcome, RoutingChoice};
+use crate::results::{CurveResult, FigureResult, Metric, PanelResult, PointResult};
+use crate::sweep::run_parallel;
+use serde::{Deserialize, Serialize};
+use torus_faults::{FaultScenario, RegionShape};
+
+/// Measurement scale of a figure run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Reduced budget: quick to run, qualitatively identical curves.
+    Quick,
+    /// The paper's full budget (10,000 warm-up + 90,000 measured messages per
+    /// point) and denser sweeps.
+    Paper,
+}
+
+impl Scale {
+    fn warmup(self) -> u64 {
+        match self {
+            Scale::Quick => 1_000,
+            Scale::Paper => 10_000,
+        }
+    }
+
+    fn measured(self) -> u64 {
+        match self {
+            Scale::Quick => 5_000,
+            Scale::Paper => 90_000,
+        }
+    }
+
+    fn max_cycles(self, num_nodes: usize) -> u64 {
+        match self {
+            // Large enough to reach steady state well past saturation, small
+            // enough that saturated points terminate promptly.
+            Scale::Quick => {
+                if num_nodes > 256 {
+                    40_000
+                } else {
+                    60_000
+                }
+            }
+            Scale::Paper => 1_000_000,
+        }
+    }
+
+    fn rate_points(self) -> usize {
+        match self {
+            Scale::Quick => 5,
+            Scale::Paper => 8,
+        }
+    }
+
+    fn fault_step(self) -> usize {
+        match self {
+            Scale::Quick => 2,
+            Scale::Paper => 1,
+        }
+    }
+}
+
+/// The figures of the paper's evaluation section.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Figure {
+    /// Fig. 3 — mean latency vs traffic rate, 8-ary 2-cube, deterministic and
+    /// adaptive routing, M = 32/64, V = 4/6/10, nf = 0/3/5 random node faults.
+    Fig3,
+    /// Fig. 4 — mean latency vs traffic rate, 8-ary 3-cube, M = 32/64,
+    /// V = 4/6/10, nf = 0/12 random node faults.
+    Fig4,
+    /// Fig. 5 — mean latency vs traffic rate for convex and concave fault
+    /// regions, 8-ary 2-cube, M = 32, V = 10.
+    Fig5,
+    /// Fig. 6 — throughput vs number of random node faults, 16-ary 2-cube,
+    /// M = 32, V = 6.
+    Fig6,
+    /// Fig. 7 — number of messages queued (absorbed) vs number of random node
+    /// faults, 8-ary 3-cube, M = 32, V = 10, generation rates "70" and "100".
+    Fig7,
+}
+
+impl Figure {
+    /// All figures, in paper order.
+    pub const ALL: [Figure; 5] = [
+        Figure::Fig3,
+        Figure::Fig4,
+        Figure::Fig5,
+        Figure::Fig6,
+        Figure::Fig7,
+    ];
+
+    /// Identifier ("fig3" ... "fig7").
+    pub fn id(&self) -> &'static str {
+        match self {
+            Figure::Fig3 => "fig3",
+            Figure::Fig4 => "fig4",
+            Figure::Fig5 => "fig5",
+            Figure::Fig6 => "fig6",
+            Figure::Fig7 => "fig7",
+        }
+    }
+
+    /// Parses an identifier.
+    pub fn from_id(id: &str) -> Option<Figure> {
+        Figure::ALL.into_iter().find(|f| f.id() == id)
+    }
+
+    /// Title mirroring the paper's caption.
+    pub fn title(&self) -> &'static str {
+        match self {
+            Figure::Fig3 => {
+                "Mean message latency vs traffic rate, 8-ary 2-cube, deterministic/adaptive, M=32/64, V=4/6/10, nf=0/3/5"
+            }
+            Figure::Fig4 => {
+                "Mean message latency vs traffic rate, 8-ary 3-cube, deterministic/adaptive, M=32/64, V=4/6/10, nf=0/12"
+            }
+            Figure::Fig5 => {
+                "Mean message latency vs traffic rate for convex/concave fault regions, 8-ary 2-cube, M=32, V=10"
+            }
+            Figure::Fig6 => {
+                "Throughput vs number of random faulty nodes, 16-ary 2-cube, M=32, V=6"
+            }
+            Figure::Fig7 => {
+                "Messages queued vs number of random faulty nodes, 8-ary 3-cube, M=32, V=10, generation rates 70/100"
+            }
+        }
+    }
+
+    /// Runs the whole figure at the given scale.
+    pub fn run(&self, scale: Scale) -> FigureResult {
+        match self {
+            Figure::Fig3 => latency_figure(scale, "fig3", self.title(), 8, 2, &[0, 3, 5]),
+            Figure::Fig4 => latency_figure(scale, "fig4", self.title(), 8, 3, &[0, 12]),
+            Figure::Fig5 => fig5(scale),
+            Figure::Fig6 => fig6(scale),
+            Figure::Fig7 => fig7(scale),
+        }
+    }
+}
+
+/// Cycle cap for one experiment point: the scale's base cap, extended so that
+/// a lightly loaded (far-from-saturation) point always has enough cycles to
+/// generate and deliver its whole message budget — otherwise the lowest-rate
+/// points would be mislabelled as saturated simply because the cycle budget
+/// expired before the message budget.
+fn budgeted_max_cycles(scale: Scale, cfg: &ExperimentConfig) -> u64 {
+    let generation_cycles =
+        (cfg.warmup_messages + cfg.measured_messages) as f64 / (cfg.rate * cfg.num_nodes() as f64);
+    scale
+        .max_cycles(cfg.num_nodes())
+        .max((4.0 * generation_cycles).ceil() as u64)
+}
+
+/// Per-(routing, V) saturation-aware maximum traffic rate of the sweep grids,
+/// chosen to bracket the saturation points visible in the paper's figures.
+fn max_rate(routing: RoutingChoice, v: usize, dims: u32) -> f64 {
+    let base = match (routing, v) {
+        (RoutingChoice::Deterministic, 4) => 0.013,
+        (RoutingChoice::Deterministic, 6) => 0.016,
+        (RoutingChoice::Deterministic, _) => 0.019,
+        (RoutingChoice::Adaptive, 4) => 0.016,
+        (RoutingChoice::Adaptive, 6) => 0.020,
+        (RoutingChoice::Adaptive, _) => 0.023,
+    };
+    // The 8-ary 3-cube saturates at similar per-node rates (Fig. 4 uses the
+    // same axis ranges as Fig. 3), so no dimensional correction is applied.
+    let _ = dims;
+    base
+}
+
+/// Evenly spaced traffic grid from a low load up to `max`.
+fn rate_grid(max: f64, points: usize) -> Vec<f64> {
+    let start = 0.002;
+    (0..points)
+        .map(|i| start + (max - start) * i as f64 / (points.saturating_sub(1).max(1)) as f64)
+        .collect()
+}
+
+/// Deterministic per-point seed derived from the figure id and the point's
+/// coordinates, so every figure is reproducible and the two routing flavours
+/// of a comparison see the same fault placements (the fault RNG stream is
+/// derived from the seed inside `ExperimentConfig::run`, independently of the
+/// routing flavour).
+fn point_seed(fig: &str, panel: usize, curve: usize, point: usize) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in fig
+        .bytes()
+        .chain([panel as u8, curve as u8, point as u8])
+    {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn outcome_point(x: f64, outcome: ExperimentOutcome) -> PointResult {
+    PointResult {
+        x,
+        report: outcome.report,
+        saturated: outcome.hit_max_cycles,
+    }
+}
+
+/// Shared driver for Figs. 3 and 4: mean latency vs traffic rate over panels
+/// (routing × V), curves (M × nf).
+fn latency_figure(
+    scale: Scale,
+    id: &str,
+    title: &str,
+    radix: u16,
+    dims: u32,
+    fault_counts: &[usize],
+) -> FigureResult {
+    let vs = [4usize, 6, 10];
+    let ms = [32u32, 64];
+    // Build the flat list of experiment configs with their (panel, curve, x)
+    // coordinates.
+    let mut tagged: Vec<(usize, usize, f64, ExperimentConfig)> = Vec::new();
+    let mut panels_meta: Vec<(String, Vec<String>)> = Vec::new();
+    let mut panel_idx = 0;
+    for routing in RoutingChoice::BOTH {
+        for &v in &vs {
+            let rates = rate_grid(max_rate(routing, v, dims), scale.rate_points());
+            let mut curve_labels = Vec::new();
+            let mut curve_idx = 0;
+            for &m in &ms {
+                for &nf in fault_counts {
+                    curve_labels.push(format!("M={m}, nf={nf}"));
+                    for (pi, &rate) in rates.iter().enumerate() {
+                        let faults = if nf == 0 {
+                            FaultScenario::None
+                        } else {
+                            FaultScenario::RandomNodes { count: nf }
+                        };
+                        let cfg = ExperimentConfig::paper_point(radix, dims, v, m, rate)
+                            .with_routing(routing)
+                            .with_faults(faults)
+                            .with_seed(point_seed(id, panel_idx, curve_idx, pi))
+                            // One fault placement per curve (the paper sweeps
+                            // the traffic rate against a fixed set of faults).
+                            .with_fault_seed(point_seed(id, panel_idx, curve_idx, 255))
+                            .quick(scale.measured(), scale.warmup());
+                        let cfg = ExperimentConfig {
+                            max_cycles: budgeted_max_cycles(scale, &cfg),
+                            ..cfg
+                        };
+                        tagged.push((panel_idx, curve_idx, rate, cfg));
+                    }
+                    curve_idx += 1;
+                }
+            }
+            panels_meta.push((
+                format!(
+                    "{} routing, {}-ary {}-cube, V={}",
+                    capitalise(routing.label()),
+                    radix,
+                    dims,
+                    v
+                ),
+                curve_labels,
+            ));
+            panel_idx += 1;
+        }
+    }
+    assemble_figure(
+        id,
+        title,
+        Metric::MeanLatency,
+        "Traffic rate",
+        tagged,
+        panels_meta,
+    )
+}
+
+/// Fig. 5: latency vs traffic rate for the five fault-region shapes, both
+/// routing flavours, 8-ary 2-cube, M = 32, V = 10.
+fn fig5(scale: Scale) -> FigureResult {
+    let radix = 8;
+    let dims = 2;
+    let v = 10;
+    let m = 32;
+    let torus = torus_topology::Torus::new(radix, dims).expect("valid topology");
+    let mut tagged = Vec::new();
+    let mut curve_labels = Vec::new();
+    let mut curve_idx = 0;
+    for routing in RoutingChoice::BOTH {
+        for (shape, shape_label) in RegionShape::paper_fig5_regions() {
+            curve_labels.push(format!(
+                "{}, nf={}, {}",
+                capitalise(routing.label()),
+                shape.node_count(),
+                shape_label
+            ));
+            let rates = rate_grid(max_rate(routing, v, dims as u32), scale.rate_points());
+            for (pi, &rate) in rates.iter().enumerate() {
+                let cfg = ExperimentConfig::paper_point(radix, dims as u32, v, m, rate)
+                    .with_routing(routing)
+                    .with_faults(FaultScenario::centered_region(&torus, shape))
+                    .with_seed(point_seed("fig5", 0, curve_idx, pi))
+                    .quick(scale.measured(), scale.warmup());
+                let cfg = ExperimentConfig {
+                    max_cycles: budgeted_max_cycles(scale, &cfg),
+                    ..cfg
+                };
+                tagged.push((0usize, curve_idx, rate, cfg));
+            }
+            curve_idx += 1;
+        }
+    }
+    let panels_meta = vec![(
+        format!("{radix}-ary {dims}-cube, M={m}, V={v}, convex and concave fault regions"),
+        curve_labels,
+    )];
+    assemble_figure(
+        "fig5",
+        Figure::Fig5.title(),
+        Metric::MeanLatency,
+        "Traffic rate",
+        tagged,
+        panels_meta,
+    )
+}
+
+/// Fig. 6: throughput vs number of random faulty nodes, 16-ary 2-cube, M = 32,
+/// V = 6, measured at a fixed offered load above the deterministic saturation
+/// point, averaged over several random placements per fault count.
+fn fig6(scale: Scale) -> FigureResult {
+    let radix = 16;
+    let dims = 2;
+    let v = 6;
+    let m = 32;
+    let offered = 0.012;
+    let reps: u64 = match scale {
+        Scale::Quick => 2,
+        Scale::Paper => 5,
+    };
+    let fault_counts: Vec<usize> = (0..=10).step_by(scale.fault_step().min(2)).collect();
+    let mut tagged: Vec<(usize, usize, f64, ExperimentConfig)> = Vec::new();
+    let mut curve_labels = Vec::new();
+    for (curve_idx, routing) in RoutingChoice::BOTH.into_iter().enumerate() {
+        curve_labels.push(routing.label().to_string());
+        for (pi, &nf) in fault_counts.iter().enumerate() {
+            for rep in 0..reps {
+                let faults = if nf == 0 {
+                    FaultScenario::None
+                } else {
+                    FaultScenario::RandomNodes { count: nf }
+                };
+                let cfg = ExperimentConfig::paper_point(radix, dims, v, m, offered)
+                    .with_routing(routing)
+                    .with_faults(faults)
+                    .with_seed(point_seed("fig6", rep as usize, curve_idx, pi))
+                    .quick(scale.measured(), scale.warmup());
+                let cfg = ExperimentConfig {
+                    max_cycles: budgeted_max_cycles(scale, &cfg),
+                    ..cfg
+                };
+                tagged.push((curve_idx, pi, nf as f64, cfg));
+            }
+        }
+    }
+    // Run all points, then average the repetitions of each (curve, nf) cell.
+    let outcomes = run_parallel(tagged, |(curve, pi, x, cfg)| {
+        (*curve, *pi, *x, cfg.run().expect("fig6 point must run"))
+    });
+    let mut curves: Vec<CurveResult> = curve_labels
+        .iter()
+        .map(|label| CurveResult {
+            label: label.clone(),
+            points: Vec::new(),
+        })
+        .collect();
+    for (curve_idx, _) in RoutingChoice::BOTH.into_iter().enumerate() {
+        for (pi, &nf) in fault_counts.iter().enumerate() {
+            let cell: Vec<&ExperimentOutcome> = outcomes
+                .iter()
+                .filter(|(c, p, _, _)| *c == curve_idx && *p == pi)
+                .map(|(_, _, _, o)| o)
+                .collect();
+            let reports: Vec<torus_metrics::SimulationReport> =
+                cell.iter().map(|o| o.report.clone()).collect();
+            let averaged = average_reports(&reports);
+            curves[curve_idx].points.push(PointResult {
+                x: nf as f64,
+                report: averaged,
+                saturated: cell.iter().all(|o| o.hit_max_cycles),
+            });
+        }
+    }
+    FigureResult {
+        id: "fig6".to_string(),
+        title: Figure::Fig6.title().to_string(),
+        panels: vec![PanelResult {
+            title: format!("{radix}-ary {dims}-cube, M={m}, V={v}, offered load {offered}"),
+            x_label: "Number of faulty nodes".to_string(),
+            metric: Metric::Throughput,
+            curves,
+        }],
+    }
+}
+
+/// Fig. 7: messages queued (absorption events) vs number of random faulty
+/// nodes, 8-ary 3-cube, M = 32, V = 10, for the two generation rates the paper
+/// labels "70" and "100" (interpreted as mean inter-arrival times in cycles,
+/// i.e. λ = 1/70 and 1/100 messages/node/cycle — see DESIGN.md).
+fn fig7(scale: Scale) -> FigureResult {
+    let radix = 8;
+    let dims = 3;
+    let v = 10;
+    let m = 32;
+    let rates = [(70u32, 1.0 / 70.0), (100u32, 1.0 / 100.0)];
+    let fault_counts: Vec<usize> = (0..=12).step_by(scale.fault_step()).collect();
+    let mut tagged = Vec::new();
+    let mut curve_labels = Vec::new();
+    let mut curve_idx = 0;
+    for routing in RoutingChoice::BOTH {
+        for &(label, rate) in &rates {
+            curve_labels.push(format!(
+                "{}, generation rate={}",
+                capitalise(routing.label()),
+                label
+            ));
+            for (pi, &nf) in fault_counts.iter().enumerate() {
+                let faults = if nf == 0 {
+                    FaultScenario::None
+                } else {
+                    FaultScenario::RandomNodes { count: nf }
+                };
+                let cfg = ExperimentConfig::paper_point(radix, dims, v, m, rate)
+                    .with_routing(routing)
+                    .with_faults(faults)
+                    .with_seed(point_seed("fig7", 0, curve_idx, pi))
+                    // The same placement of `nf` faults is shared by all four
+                    // curves so they are directly comparable at each x.
+                    .with_fault_seed(point_seed("fig7-faults", 0, 0, pi))
+                    .quick(scale.measured(), scale.warmup());
+                let cfg = ExperimentConfig {
+                    max_cycles: budgeted_max_cycles(scale, &cfg),
+                    ..cfg
+                };
+                tagged.push((0usize, curve_idx, nf as f64, cfg));
+            }
+            curve_idx += 1;
+        }
+    }
+    let panels_meta = vec![(
+        format!("{radix}-ary {dims}-cube, M={m}, V={v}"),
+        curve_labels,
+    )];
+    assemble_figure(
+        "fig7",
+        Figure::Fig7.title(),
+        Metric::MessagesQueued,
+        "Number of faulty nodes",
+        tagged,
+        panels_meta,
+    )
+}
+
+/// Runs the tagged experiment list in parallel and assembles the figure.
+fn assemble_figure(
+    id: &str,
+    title: &str,
+    metric: Metric,
+    x_label: &str,
+    tagged: Vec<(usize, usize, f64, ExperimentConfig)>,
+    panels_meta: Vec<(String, Vec<String>)>,
+) -> FigureResult {
+    let outcomes = run_parallel(tagged, |(panel, curve, x, cfg)| {
+        (*panel, *curve, *x, cfg.run().expect("figure point must run"))
+    });
+    let mut panels: Vec<PanelResult> = panels_meta
+        .into_iter()
+        .map(|(ptitle, curve_labels)| PanelResult {
+            title: ptitle,
+            x_label: x_label.to_string(),
+            metric,
+            curves: curve_labels
+                .into_iter()
+                .map(|label| CurveResult {
+                    label,
+                    points: Vec::new(),
+                })
+                .collect(),
+        })
+        .collect();
+    for (panel, curve, x, outcome) in outcomes {
+        panels[panel].curves[curve]
+            .points
+            .push(outcome_point(x, outcome));
+    }
+    for panel in &mut panels {
+        for curve in &mut panel.curves {
+            curve
+                .points
+                .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite x values"));
+        }
+    }
+    FigureResult {
+        id: id.to_string(),
+        title: title.to_string(),
+        panels,
+    }
+}
+
+/// Field-wise average of several simulation reports (used by Fig. 6 to average
+/// over independent random fault placements).
+pub fn average_reports(reports: &[torus_metrics::SimulationReport]) -> torus_metrics::SimulationReport {
+    assert!(!reports.is_empty(), "cannot average zero reports");
+    let n = reports.len() as f64;
+    let mut avg = reports[0].clone();
+    let sum_f = |f: fn(&torus_metrics::SimulationReport) -> f64| {
+        reports.iter().map(f).sum::<f64>() / n
+    };
+    avg.mean_latency = sum_f(|r| r.mean_latency);
+    avg.latency_std_dev = sum_f(|r| r.latency_std_dev);
+    avg.latency_ci95 = sum_f(|r| r.latency_ci95);
+    avg.mean_network_latency = sum_f(|r| r.mean_network_latency);
+    avg.mean_hops = sum_f(|r| r.mean_hops);
+    avg.throughput = sum_f(|r| r.throughput);
+    avg.flit_throughput = sum_f(|r| r.flit_throughput);
+    avg.acceptance_ratio = sum_f(|r| r.acceptance_ratio);
+    avg.p50_latency = sum_f(|r| r.p50_latency);
+    avg.p99_latency = sum_f(|r| r.p99_latency);
+    avg.max_latency = reports.iter().map(|r| r.max_latency).fold(0.0, f64::max);
+    avg.cycles = (reports.iter().map(|r| r.cycles).sum::<u64>() as f64 / n) as u64;
+    avg.generated_messages =
+        (reports.iter().map(|r| r.generated_messages).sum::<u64>() as f64 / n) as u64;
+    avg.measured_messages =
+        (reports.iter().map(|r| r.measured_messages).sum::<u64>() as f64 / n) as u64;
+    avg.delivered_messages =
+        (reports.iter().map(|r| r.delivered_messages).sum::<u64>() as f64 / n) as u64;
+    avg.in_flight_messages =
+        (reports.iter().map(|r| r.in_flight_messages).sum::<u64>() as f64 / n) as u64;
+    avg.messages_queued =
+        (reports.iter().map(|r| r.messages_queued).sum::<u64>() as f64 / n) as u64;
+    avg.messages_queued_measured =
+        (reports.iter().map(|r| r.messages_queued_measured).sum::<u64>() as f64 / n) as u64;
+    avg.reinjection_queue_peak = reports
+        .iter()
+        .map(|r| r.reinjection_queue_peak)
+        .max()
+        .unwrap_or(0);
+    avg
+}
+
+fn capitalise(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_identifiers() {
+        assert_eq!(Figure::Fig3.id(), "fig3");
+        assert_eq!(Figure::from_id("fig6"), Some(Figure::Fig6));
+        assert_eq!(Figure::from_id("nope"), None);
+        assert_eq!(Figure::ALL.len(), 5);
+        for f in Figure::ALL {
+            assert!(!f.title().is_empty());
+        }
+    }
+
+    #[test]
+    fn scales() {
+        assert!(Scale::Paper.measured() > Scale::Quick.measured());
+        assert!(Scale::Paper.warmup() > Scale::Quick.warmup());
+        assert!(Scale::Paper.rate_points() > Scale::Quick.rate_points());
+        assert!(Scale::Quick.max_cycles(512) <= Scale::Quick.max_cycles(64));
+        assert_eq!(Scale::Paper.fault_step(), 1);
+    }
+
+    #[test]
+    fn rate_grid_shape() {
+        let g = rate_grid(0.012, 5);
+        assert_eq!(g.len(), 5);
+        assert!((g[0] - 0.002).abs() < 1e-12);
+        assert!((g[4] - 0.012).abs() < 1e-12);
+        assert!(g.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn max_rates_ordered_by_adaptivity_and_vcs() {
+        for dims in [2, 3] {
+            for v in [4, 6, 10] {
+                assert!(
+                    max_rate(RoutingChoice::Adaptive, v, dims)
+                        > max_rate(RoutingChoice::Deterministic, v, dims)
+                );
+            }
+            assert!(
+                max_rate(RoutingChoice::Deterministic, 10, dims)
+                    > max_rate(RoutingChoice::Deterministic, 4, dims)
+            );
+        }
+    }
+
+    #[test]
+    fn point_seeds_are_distinct() {
+        let mut seeds = std::collections::HashSet::new();
+        for panel in 0..6 {
+            for curve in 0..6 {
+                for point in 0..8 {
+                    seeds.insert(point_seed("fig3", panel, curve, point));
+                }
+            }
+        }
+        assert_eq!(seeds.len(), 6 * 6 * 8);
+        assert_ne!(point_seed("fig3", 0, 0, 0), point_seed("fig4", 0, 0, 0));
+    }
+
+    #[test]
+    fn average_reports_mean() {
+        use torus_metrics::{MetricsCollector, WarmupPolicy};
+        let make = |latency: u64| {
+            let mut c = MetricsCollector::new(4, WarmupPolicy::None);
+            let m = c.on_generated(0);
+            c.on_delivered(0, 0, latency, 8, 2, m);
+            c.report(100, 0)
+        };
+        let avg = average_reports(&[make(10), make(30)]);
+        assert!((avg.mean_latency - 20.0).abs() < 1e-9);
+        assert_eq!(avg.delivered_messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot average zero reports")]
+    fn average_of_nothing_panics() {
+        average_reports(&[]);
+    }
+
+    #[test]
+    fn capitalise_labels() {
+        assert_eq!(capitalise("deterministic"), "Deterministic");
+        assert_eq!(capitalise(""), "");
+    }
+}

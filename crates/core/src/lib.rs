@@ -1,0 +1,57 @@
+//! # swbft-core
+//!
+//! High-level experiment harness for the Software-Based fault-tolerant routing
+//! study. It glues together the topology, fault, workload, routing, simulator
+//! and metrics crates and exposes:
+//!
+//! * [`ExperimentConfig`] — one fully described simulation point (topology,
+//!   virtual channels, message length, traffic rate, routing flavour, fault
+//!   scenario, seed, measurement budget) and [`ExperimentConfig::run`] to
+//!   execute it;
+//! * [`sweep`] — deterministic parallel execution of many experiment points
+//!   across OS threads;
+//! * [`figures`] — the exact parameter grids of Figs. 3–7 of Safaei et al.
+//!   (IPDPS 2006), at `Scale::Quick` (reduced message budget, default) or
+//!   `Scale::Paper` (the full 100,000-message methodology);
+//! * [`results`] — structured figure results with text-table, CSV and ASCII
+//!   plot rendering, used by the `fig3`..`fig7` binaries in `torus-bench`;
+//! * [`saturation`] — direct estimation of a configuration's saturation rate
+//!   (doubling + bisection), used by the `saturation` binary to tabulate how
+//!   the saturation point moves with V, the routing flavour and the fault
+//!   count.
+//!
+//! ```
+//! use swbft_core::prelude::*;
+//!
+//! let cfg = ExperimentConfig::paper_point(8, 2, 4, 32, 0.004)
+//!     .with_routing(RoutingChoice::Adaptive)
+//!     .with_faults(FaultScenario::RandomNodes { count: 3 })
+//!     .quick(500, 100);
+//! let outcome = cfg.run().unwrap();
+//! assert!(outcome.report.mean_latency > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod figures;
+pub mod results;
+pub mod saturation;
+pub mod sweep;
+
+pub use experiment::{ExperimentConfig, ExperimentError, ExperimentOutcome, RoutingChoice};
+pub use figures::{Figure, Scale};
+pub use results::{CurveResult, FigureResult, PanelResult, PointResult};
+pub use saturation::{estimate_saturation_rate, SaturationEstimate, SaturationSearch};
+pub use sweep::run_parallel;
+
+/// Convenience prelude re-exporting the most frequently used items.
+pub mod prelude {
+    pub use crate::experiment::{ExperimentConfig, ExperimentOutcome, RoutingChoice};
+    pub use crate::figures::{Figure, Scale};
+    pub use crate::results::{CurveResult, FigureResult, PanelResult, PointResult};
+    pub use crate::sweep::run_parallel;
+    pub use torus_faults::{FaultScenario, RegionShape};
+    pub use torus_metrics::SimulationReport;
+}

@@ -1,0 +1,362 @@
+//! Structured figure results and their text/CSV rendering.
+
+use serde::{Deserialize, Serialize};
+use torus_metrics::SimulationReport;
+
+/// One point of a curve: an x value (traffic rate or number of faults) and the
+/// simulation report measured there.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PointResult {
+    /// The x coordinate (traffic rate in messages/node/cycle, or number of
+    /// faulty nodes, depending on the figure).
+    pub x: f64,
+    /// Full metrics report of the simulation at this point.
+    pub report: SimulationReport,
+    /// True if the point stopped at the cycle cap (a saturated point).
+    pub saturated: bool,
+}
+
+impl PointResult {
+    /// The y value this figure plots at this point.
+    pub fn y(&self, metric: Metric) -> f64 {
+        match metric {
+            Metric::MeanLatency => self.report.mean_latency,
+            Metric::Throughput => self.report.throughput,
+            Metric::MessagesQueued => self.report.messages_queued as f64,
+        }
+    }
+}
+
+/// The metric a figure plots on its y axis.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Metric {
+    /// Mean message latency in cycles (Figs. 3, 4, 5).
+    MeanLatency,
+    /// Delivered messages per node per cycle (Fig. 6).
+    Throughput,
+    /// Number of messages absorbed into local queues (Fig. 7).
+    MessagesQueued,
+}
+
+impl Metric {
+    /// Axis label used in the rendered tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Metric::MeanLatency => "mean latency (cycles)",
+            Metric::Throughput => "throughput (messages/node/cycle)",
+            Metric::MessagesQueued => "messages queued",
+        }
+    }
+}
+
+/// One curve of a figure panel (for example "M=32, nf=5").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CurveResult {
+    /// Legend label of the curve.
+    pub label: String,
+    /// Points of the curve, in increasing x.
+    pub points: Vec<PointResult>,
+}
+
+impl CurveResult {
+    /// The largest x whose point is not saturated — an estimate of the
+    /// saturation rate of this configuration.
+    pub fn last_unsaturated_x(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .filter(|p| !p.saturated)
+            .map(|p| p.x)
+            .fold(None, |acc, x| Some(acc.map_or(x, |a: f64| a.max(x))))
+    }
+}
+
+/// One panel of a figure (one sub-plot, e.g. "Deterministic routing, V=4").
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PanelResult {
+    /// Panel title.
+    pub title: String,
+    /// Label of the x axis.
+    pub x_label: String,
+    /// Metric plotted on the y axis.
+    pub metric: Metric,
+    /// The curves of the panel.
+    pub curves: Vec<CurveResult>,
+}
+
+/// A complete reproduced figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FigureResult {
+    /// Identifier, e.g. "fig3".
+    pub id: String,
+    /// Title of the figure (mirrors the paper's caption).
+    pub title: String,
+    /// Panels of the figure.
+    pub panels: Vec<PanelResult>,
+}
+
+impl FigureResult {
+    /// Total number of simulation points contained in the figure.
+    pub fn num_points(&self) -> usize {
+        self.panels
+            .iter()
+            .flat_map(|p| p.curves.iter())
+            .map(|c| c.points.len())
+            .sum()
+    }
+
+    /// Renders the figure as aligned text tables, one per panel, with one row
+    /// per x value and one column per curve — the same series the paper
+    /// plots.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("== {} — {} ==\n", self.id, self.title));
+        for panel in &self.panels {
+            out.push_str(&format!("\n-- {} --\n", panel.title));
+            out.push_str(&format!("   y = {}\n", panel.metric.label()));
+            // Header row.
+            out.push_str(&format!("{:>14}", panel.x_label));
+            for curve in &panel.curves {
+                out.push_str(&format!(" | {:>22}", curve.label));
+            }
+            out.push('\n');
+            // Collect the union of x values (curves of one panel share the
+            // grid by construction, but be tolerant).
+            let mut xs: Vec<f64> = panel
+                .curves
+                .iter()
+                .flat_map(|c| c.points.iter().map(|p| p.x))
+                .collect();
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+            for x in xs {
+                out.push_str(&format!("{x:>14.5}"));
+                for curve in &panel.curves {
+                    match curve
+                        .points
+                        .iter()
+                        .find(|p| (p.x - x).abs() < 1e-12)
+                    {
+                        Some(p) => {
+                            let sat = if p.saturated { "*" } else { " " };
+                            out.push_str(&format!(" | {:>21.3}{}", p.y(panel.metric), sat));
+                        }
+                        None => out.push_str(&format!(" | {:>22}", "-")),
+                    }
+                }
+                out.push('\n');
+            }
+        }
+        out.push_str("\n(* = the point hit the simulation cycle cap: the network is saturated)\n");
+        out
+    }
+
+    /// Renders each panel as a rough ASCII scatter plot (x → y, one symbol per
+    /// curve), handy for eyeballing the curve shapes in a terminal without any
+    /// plotting dependency.
+    pub fn render_ascii_plot(&self, width: usize, height: usize) -> String {
+        const SYMBOLS: &[char] = &['o', 'x', '+', '*', '#', '@', '%', '&', '$', '~'];
+        let width = width.max(16);
+        let height = height.max(6);
+        let mut out = String::new();
+        for panel in &self.panels {
+            out.push_str(&format!("\n{} — {}\n", panel.title, panel.metric.label()));
+            let all_points: Vec<(f64, f64)> = panel
+                .curves
+                .iter()
+                .flat_map(|c| c.points.iter().map(|p| (p.x, p.y(panel.metric))))
+                .collect();
+            if all_points.is_empty() {
+                out.push_str("  (no points)\n");
+                continue;
+            }
+            let (mut x_min, mut x_max, mut y_min, mut y_max) =
+                (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+            for &(x, y) in &all_points {
+                x_min = x_min.min(x);
+                x_max = x_max.max(x);
+                y_min = y_min.min(y);
+                y_max = y_max.max(y);
+            }
+            let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+            let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+            let mut grid = vec![vec![' '; width]; height];
+            for (ci, curve) in panel.curves.iter().enumerate() {
+                let symbol = SYMBOLS[ci % SYMBOLS.len()];
+                for p in &curve.points {
+                    let col = ((p.x - x_min) / x_span * (width - 1) as f64).round() as usize;
+                    let row = ((p.y(panel.metric) - y_min) / y_span * (height - 1) as f64).round()
+                        as usize;
+                    let row = height - 1 - row.min(height - 1);
+                    grid[row][col.min(width - 1)] = symbol;
+                }
+            }
+            for (i, row) in grid.iter().enumerate() {
+                let y_val = y_max - y_span * i as f64 / (height - 1) as f64;
+                out.push_str(&format!("{y_val:>12.1} |"));
+                out.extend(row.iter());
+                out.push('\n');
+            }
+            out.push_str(&format!("{:>12} +{}\n", "", "-".repeat(width)));
+            out.push_str(&format!(
+                "{:>12}  {:<width$.5}{:>8.5}\n",
+                "",
+                x_min,
+                x_max,
+                width = width - 7
+            ));
+            for (ci, curve) in panel.curves.iter().enumerate() {
+                out.push_str(&format!(
+                    "{:>14} = {}\n",
+                    SYMBOLS[ci % SYMBOLS.len()],
+                    curve.label
+                ));
+            }
+        }
+        out
+    }
+
+    /// Renders every point of the figure as CSV rows.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "figure,panel,curve,x,mean_latency,throughput,messages_queued,mean_hops,delivered,saturated\n",
+        );
+        for panel in &self.panels {
+            for curve in &panel.curves {
+                for p in &curve.points {
+                    out.push_str(&format!(
+                        "{},{},{},{:.6},{:.3},{:.6},{},{:.3},{},{}\n",
+                        self.id,
+                        panel.title.replace(',', ";"),
+                        curve.label.replace(',', ";"),
+                        p.x,
+                        p.report.mean_latency,
+                        p.report.throughput,
+                        p.report.messages_queued,
+                        p.report.mean_hops,
+                        p.report.delivered_messages,
+                        p.saturated,
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torus_metrics::{MetricsCollector, WarmupPolicy};
+
+    fn dummy_report(latency: f64) -> SimulationReport {
+        let mut c = MetricsCollector::new(64, WarmupPolicy::None);
+        let m = c.on_generated(0);
+        c.on_delivered(0, 0, latency as u64, 32, 4, m);
+        c.report(1000, 0)
+    }
+
+    fn dummy_figure() -> FigureResult {
+        FigureResult {
+            id: "figX".to_string(),
+            title: "test figure".to_string(),
+            panels: vec![PanelResult {
+                title: "panel A".to_string(),
+                x_label: "Traffic rate".to_string(),
+                metric: Metric::MeanLatency,
+                curves: vec![
+                    CurveResult {
+                        label: "M=32, nf=0".to_string(),
+                        points: vec![
+                            PointResult {
+                                x: 0.001,
+                                report: dummy_report(50.0),
+                                saturated: false,
+                            },
+                            PointResult {
+                                x: 0.002,
+                                report: dummy_report(80.0),
+                                saturated: true,
+                            },
+                        ],
+                    },
+                    CurveResult {
+                        label: "M=64, nf=0".to_string(),
+                        points: vec![PointResult {
+                            x: 0.001,
+                            report: dummy_report(90.0),
+                            saturated: false,
+                        }],
+                    },
+                ],
+            }],
+        }
+    }
+
+    #[test]
+    fn num_points_and_saturation() {
+        let f = dummy_figure();
+        assert_eq!(f.num_points(), 3);
+        assert_eq!(f.panels[0].curves[0].last_unsaturated_x(), Some(0.001));
+    }
+
+    #[test]
+    fn text_rendering_contains_all_series() {
+        let text = dummy_figure().render_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("panel A"));
+        assert!(text.contains("M=32, nf=0"));
+        assert!(text.contains("M=64, nf=0"));
+        assert!(text.contains("0.00100"));
+        assert!(text.contains("*"), "saturated points are marked");
+        assert!(text.contains("-"), "missing points are dashed");
+    }
+
+    #[test]
+    fn ascii_plot_contains_all_curves_and_axes() {
+        let plot = dummy_figure().render_ascii_plot(40, 10);
+        assert!(plot.contains("panel A"));
+        assert!(plot.contains("o = M=32, nf=0"));
+        assert!(plot.contains("x = M=64, nf=0"));
+        assert!(plot.contains('|'));
+        assert!(plot.contains('+'));
+        // Both curve symbols appear somewhere on the canvas.
+        assert!(plot.matches('o').count() >= 1);
+        assert!(plot.matches('x').count() >= 2, "legend + at least one point");
+    }
+
+    #[test]
+    fn ascii_plot_handles_empty_panels() {
+        let fig = FigureResult {
+            id: "empty".into(),
+            title: "empty".into(),
+            panels: vec![PanelResult {
+                title: "nothing".into(),
+                x_label: "x".into(),
+                metric: Metric::MeanLatency,
+                curves: vec![],
+            }],
+        };
+        assert!(fig.render_ascii_plot(20, 8).contains("(no points)"));
+    }
+
+    #[test]
+    fn csv_rendering_has_one_row_per_point() {
+        let csv = dummy_figure().to_csv();
+        let lines: Vec<&str> = csv.trim().lines().collect();
+        assert_eq!(lines.len(), 1 + 3);
+        assert!(lines[0].starts_with("figure,panel,curve"));
+        assert!(lines[1].contains("figX"));
+    }
+
+    #[test]
+    fn metric_selection() {
+        let p = PointResult {
+            x: 1.0,
+            report: dummy_report(42.0),
+            saturated: false,
+        };
+        assert!(p.y(Metric::MeanLatency) > 0.0);
+        assert_eq!(p.y(Metric::MessagesQueued), 0.0);
+        assert_eq!(Metric::Throughput.label(), "throughput (messages/node/cycle)");
+    }
+}

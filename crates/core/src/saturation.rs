@@ -1,0 +1,218 @@
+//! Saturation-rate estimation.
+//!
+//! The paper's latency figures are all organised around the *saturation
+//! point* — the offered load beyond which the mean latency diverges — and its
+//! qualitative claims are about how that point moves with the number of
+//! virtual channels, the message length, the routing flavour and the number of
+//! faults. This module estimates the saturation rate of a configuration
+//! directly, by doubling the offered load until the network saturates and then
+//! bisecting, so those claims can be checked (and tabulated by the
+//! `saturation` binary in `torus-bench`) without reading the crossover off a
+//! latency curve by eye.
+
+use crate::experiment::{ExperimentConfig, ExperimentError};
+use serde::{Deserialize, Serialize};
+
+/// Result of a saturation search.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SaturationEstimate {
+    /// Highest probed offered load (messages/node/cycle) at which the network
+    /// was still stable.
+    pub stable_rate: f64,
+    /// Lowest probed offered load at which the network was saturated.
+    pub saturated_rate: f64,
+    /// Mean latency measured at `stable_rate`.
+    pub latency_at_stable: f64,
+    /// Mean latency measured at the low-load reference point.
+    pub base_latency: f64,
+    /// Number of simulations executed by the search.
+    pub simulations: usize,
+}
+
+impl SaturationEstimate {
+    /// Midpoint of the bracket — the reported saturation rate.
+    pub fn rate(&self) -> f64 {
+        (self.stable_rate + self.saturated_rate) / 2.0
+    }
+}
+
+/// Options controlling the saturation search.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SaturationSearch {
+    /// Low-load reference rate used to measure the unloaded latency.
+    pub base_rate: f64,
+    /// A point counts as saturated when its mean latency exceeds
+    /// `latency_factor ×` the unloaded latency, or when the simulation hits
+    /// its cycle cap before delivering the message budget.
+    pub latency_factor: f64,
+    /// Bisection stops when the bracket is narrower than this (relative to the
+    /// saturated end).
+    pub relative_tolerance: f64,
+    /// Hard cap on the number of simulations.
+    pub max_simulations: usize,
+}
+
+impl Default for SaturationSearch {
+    fn default() -> Self {
+        SaturationSearch {
+            base_rate: 0.001,
+            latency_factor: 8.0,
+            relative_tolerance: 0.1,
+            max_simulations: 16,
+        }
+    }
+}
+
+/// Estimates the saturation rate of `base` (its `rate` field is ignored).
+///
+/// The search runs the configuration at the low-load reference rate, doubles
+/// the offered load until it finds a saturated point, and then bisects the
+/// bracket. Every probe uses the same seed, fault placement and measurement
+/// budget as `base`.
+pub fn estimate_saturation_rate(
+    base: &ExperimentConfig,
+    search: SaturationSearch,
+) -> Result<SaturationEstimate, ExperimentError> {
+    let simulations = std::cell::Cell::new(0usize);
+    let probe = |rate: f64| -> Result<(f64, bool), ExperimentError> {
+        simulations.set(simulations.get() + 1);
+        let outcome = base.clone().with_rate(rate).run()?;
+        Ok((outcome.report.mean_latency, outcome.hit_max_cycles))
+    };
+
+    let (base_latency, base_saturated) = probe(search.base_rate)?;
+    let threshold = base_latency * search.latency_factor;
+    if base_saturated {
+        // Even the reference load saturates; report a degenerate bracket.
+        return Ok(SaturationEstimate {
+            stable_rate: 0.0,
+            saturated_rate: search.base_rate,
+            latency_at_stable: base_latency,
+            base_latency,
+            simulations: simulations.get(),
+        });
+    }
+
+    // Exponential growth until saturation.
+    let mut stable_rate = search.base_rate;
+    let mut latency_at_stable = base_latency;
+    let mut rate = search.base_rate * 2.0;
+    let saturated_rate = loop {
+        if simulations.get() >= search.max_simulations {
+            break rate;
+        }
+        let (latency, capped) = probe(rate)?;
+        if capped || latency > threshold {
+            break rate;
+        }
+        stable_rate = rate;
+        latency_at_stable = latency;
+        rate *= 2.0;
+    };
+    let mut saturated_rate = saturated_rate;
+
+    // Bisection of the bracket [stable_rate, saturated_rate].
+    while simulations.get() < search.max_simulations
+        && (saturated_rate - stable_rate) / saturated_rate > search.relative_tolerance
+    {
+        let mid = (stable_rate + saturated_rate) / 2.0;
+        let (latency, capped) = probe(mid)?;
+        if capped || latency > threshold {
+            saturated_rate = mid;
+        } else {
+            stable_rate = mid;
+            latency_at_stable = latency;
+        }
+    }
+
+    Ok(SaturationEstimate {
+        stable_rate,
+        saturated_rate,
+        latency_at_stable,
+        base_latency,
+        simulations: simulations.get(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::RoutingChoice;
+    use torus_faults::FaultScenario;
+
+    /// A deliberately tiny configuration so the search stays fast in debug
+    /// builds.
+    fn tiny(routing: RoutingChoice, v: usize) -> ExperimentConfig {
+        let mut cfg = ExperimentConfig::paper_point(4, 2, v, 8, 0.001)
+            .with_routing(routing)
+            .quick(400, 100);
+        // Large enough that the low-load reference probe can generate its whole
+        // message budget; saturated probes still terminate at the cap.
+        cfg.max_cycles = 150_000;
+        cfg
+    }
+
+    #[test]
+    fn finds_a_finite_bracket() {
+        let est = estimate_saturation_rate(
+            &tiny(RoutingChoice::Deterministic, 4),
+            SaturationSearch {
+                max_simulations: 10,
+                ..SaturationSearch::default()
+            },
+        )
+        .unwrap();
+        assert!(est.stable_rate > 0.0);
+        assert!(est.saturated_rate > est.stable_rate);
+        assert!(est.rate() > est.stable_rate && est.rate() < est.saturated_rate);
+        assert!(est.base_latency >= 8.0);
+        assert!(est.latency_at_stable >= est.base_latency);
+        assert!(est.simulations <= 10);
+        // A 4-ary 2-cube with 8-flit messages saturates somewhere between a
+        // fraction of a percent and ~20 % injection rate.
+        assert!(est.rate() > 0.002 && est.rate() < 0.25, "rate {}", est.rate());
+    }
+
+    #[test]
+    fn adaptive_saturates_no_earlier_than_deterministic() {
+        let search = SaturationSearch {
+            max_simulations: 9,
+            relative_tolerance: 0.2,
+            ..SaturationSearch::default()
+        };
+        let det =
+            estimate_saturation_rate(&tiny(RoutingChoice::Deterministic, 4), search).unwrap();
+        let ada = estimate_saturation_rate(&tiny(RoutingChoice::Adaptive, 4), search).unwrap();
+        // Adaptive routing exploits all minimal paths, so its saturation point
+        // is at least as high (allow a small tolerance for bracketing noise).
+        assert!(
+            ada.rate() >= det.rate() * 0.8,
+            "adaptive {} vs deterministic {}",
+            ada.rate(),
+            det.rate()
+        );
+    }
+
+    #[test]
+    fn faults_do_not_raise_the_saturation_point() {
+        let search = SaturationSearch {
+            max_simulations: 8,
+            relative_tolerance: 0.25,
+            ..SaturationSearch::default()
+        };
+        let clean =
+            estimate_saturation_rate(&tiny(RoutingChoice::Deterministic, 4), search).unwrap();
+        let faulty = estimate_saturation_rate(
+            &tiny(RoutingChoice::Deterministic, 4)
+                .with_faults(FaultScenario::RandomNodes { count: 2 }),
+            search,
+        )
+        .unwrap();
+        assert!(
+            faulty.rate() <= clean.rate() * 1.2,
+            "faulty {} vs clean {}",
+            faulty.rate(),
+            clean.rate()
+        );
+    }
+}

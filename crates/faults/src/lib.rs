@@ -1,0 +1,51 @@
+//! # torus-faults
+//!
+//! Fault models and fault-pattern generators for k-ary n-cube networks,
+//! following Section 3 of Safaei et al. (IPDPS 2006):
+//!
+//! * **Node failures** — an entire processing element and its router fail; all
+//!   physical links and virtual channels incident on the node are also marked
+//!   faulty at adjacent routers.
+//! * **Link failures** — a single physical link (both directions) fails; the
+//!   paper models a link failure as the failure of its two end nodes, but the
+//!   fault set supports genuine link faults too.
+//! * **Fault regions** — adjacent faulty nodes coalesce into regions that may
+//!   be *convex* (block faults: `|`-shaped, `||`-shaped, `□`-shaped) or
+//!   *concave* (`L`, `U`, `+`, `T`, `H`-shaped).
+//!
+//! The crate provides:
+//!
+//! * [`FaultSet`] — the queryable set of faulty nodes and channels used by the
+//!   routers and the routing algorithms (it implements
+//!   [`torus_topology::NodeFilter`] so it plugs directly into connectivity and
+//!   detour-path queries).
+//! * [`RegionShape`] / [`FaultRegion`] — parametric generators for the shaped
+//!   fault regions evaluated in Fig. 5 of the paper.
+//! * [`random`] — uniform random node-fault injection that preserves network
+//!   connectivity (paper assumption (h)).
+//! * [`FaultScenario`] — a serialisable description of a fault configuration
+//!   (used by the experiment harness and the CLI binaries).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod classify;
+pub mod model;
+pub mod plan;
+pub mod random;
+pub mod regions;
+
+pub use classify::{classify_region, RegionClass};
+pub use model::{FaultKind, FaultSet};
+pub use plan::FaultScenario;
+pub use random::{random_node_faults, RandomFaultError};
+pub use regions::{FaultRegion, RegionShape};
+
+/// Convenience prelude re-exporting the most frequently used items.
+pub mod prelude {
+    pub use crate::classify::{classify_region, RegionClass};
+    pub use crate::model::{FaultKind, FaultSet};
+    pub use crate::plan::FaultScenario;
+    pub use crate::random::random_node_faults;
+    pub use crate::regions::{FaultRegion, RegionShape};
+}

@@ -1,0 +1,183 @@
+//! Serialisable fault scenarios.
+//!
+//! A [`FaultScenario`] is a declarative description of the fault configuration
+//! of one experiment: either a number of uniformly random node faults (Figs.
+//! 3, 4, 6, 7), an explicit shaped fault region (Fig. 5), an explicit list of
+//! faulty nodes, or no faults at all. The experiment harness resolves a
+//! scenario into a concrete [`FaultSet`] with [`FaultScenario::realize`].
+
+use crate::model::FaultSet;
+use crate::random::{random_node_faults, RandomFaultError};
+use crate::regions::{FaultRegion, RegionShape};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use torus_topology::{Coord, NodeId, Torus};
+
+/// A declarative fault configuration.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum FaultScenario {
+    /// No faulty components (the fault-free baseline, nf = 0).
+    None,
+    /// `count` random node faults, sampled uniformly while preserving
+    /// connectivity.
+    RandomNodes {
+        /// Number of faulty nodes.
+        count: usize,
+    },
+    /// A shaped fault region anchored at a coordinate in a dimension plane.
+    Region {
+        /// The region shape.
+        shape: RegionShape,
+        /// Anchor digits of the shape's (0,0) cell.
+        anchor: Vec<u16>,
+        /// The two dimensions spanning the region's plane.
+        plane: (usize, usize),
+    },
+    /// An explicit list of faulty node ids.
+    ExplicitNodes {
+        /// The faulty nodes.
+        nodes: Vec<u32>,
+    },
+}
+
+impl FaultScenario {
+    /// A shaped region placed in the (0, 1) plane roughly at the centre of the
+    /// network, the placement used for the Fig. 5 experiments.
+    pub fn centered_region(torus: &Torus, shape: RegionShape) -> Self {
+        let (w, h) = shape.bounding_box();
+        let k = torus.radix();
+        let ax = (k.saturating_sub(w)) / 2;
+        let ay = (k.saturating_sub(h)) / 2;
+        let mut anchor = vec![0u16; torus.dims()];
+        anchor[0] = ax;
+        anchor[1] = ay;
+        FaultScenario::Region {
+            shape,
+            anchor,
+            plane: (0, 1),
+        }
+    }
+
+    /// Nominal number of faulty nodes the scenario describes.
+    pub fn fault_count(&self) -> usize {
+        match self {
+            FaultScenario::None => 0,
+            FaultScenario::RandomNodes { count } => *count,
+            FaultScenario::Region { shape, .. } => shape.node_count(),
+            FaultScenario::ExplicitNodes { nodes } => nodes.len(),
+        }
+    }
+
+    /// Short label used in result tables (for example `"nf=5"` or
+    /// `"T-shaped"`).
+    pub fn label(&self) -> String {
+        match self {
+            FaultScenario::None => "nf=0".to_string(),
+            FaultScenario::RandomNodes { count } => format!("nf={count}"),
+            FaultScenario::Region { shape, .. } => {
+                format!("{} (nf={})", shape.name(), shape.node_count())
+            }
+            FaultScenario::ExplicitNodes { nodes } => format!("explicit nf={}", nodes.len()),
+        }
+    }
+
+    /// Resolves the scenario into a concrete [`FaultSet`] on the given torus.
+    ///
+    /// Randomised scenarios draw from `rng`, so experiments are reproducible
+    /// from the seed recorded in their configuration.
+    pub fn realize<R: Rng + ?Sized>(
+        &self,
+        torus: &Torus,
+        rng: &mut R,
+    ) -> Result<FaultSet, RandomFaultError> {
+        match self {
+            FaultScenario::None => Ok(FaultSet::new()),
+            FaultScenario::RandomNodes { count } => random_node_faults(torus, *count, rng),
+            FaultScenario::Region {
+                shape,
+                anchor,
+                plane,
+            } => {
+                let region = FaultRegion {
+                    shape: *shape,
+                    anchor: Coord::new(anchor.clone()),
+                    plane: *plane,
+                };
+                Ok(region.to_fault_set(torus))
+            }
+            FaultScenario::ExplicitNodes { nodes } => {
+                let mut f = FaultSet::new();
+                f.fail_nodes(nodes.iter().map(|&id| NodeId(id)));
+                Ok(f)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn none_scenario() {
+        let t = Torus::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = FaultScenario::None.realize(&t, &mut rng).unwrap();
+        assert!(f.is_empty());
+        assert_eq!(FaultScenario::None.fault_count(), 0);
+        assert_eq!(FaultScenario::None.label(), "nf=0");
+    }
+
+    #[test]
+    fn random_scenario_matches_count() {
+        let t = Torus::new(8, 2).unwrap();
+        let s = FaultScenario::RandomNodes { count: 5 };
+        let mut rng = StdRng::seed_from_u64(9);
+        let f = s.realize(&t, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 5);
+        assert_eq!(s.fault_count(), 5);
+        assert_eq!(s.label(), "nf=5");
+    }
+
+    #[test]
+    fn centered_region_scenario() {
+        let t = Torus::new(8, 2).unwrap();
+        let s = FaultScenario::centered_region(&t, RegionShape::paper_u_8());
+        assert_eq!(s.fault_count(), 8);
+        assert!(s.label().starts_with("U-shaped"));
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = s.realize(&t, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 8);
+        assert!(f.preserves_connectivity(&t));
+    }
+
+    #[test]
+    fn explicit_scenario() {
+        let t = Torus::new(4, 2).unwrap();
+        let s = FaultScenario::ExplicitNodes {
+            nodes: vec![3, 7, 11],
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = s.realize(&t, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 3);
+        assert!(f.is_node_faulty(NodeId(7)));
+    }
+
+    #[test]
+    fn region_scenario_in_3d_plane() {
+        let t = Torus::new(8, 3).unwrap();
+        let s = FaultScenario::Region {
+            shape: RegionShape::Rect {
+                width: 2,
+                height: 3,
+            },
+            anchor: vec![0, 0, 4],
+            plane: (1, 2),
+        };
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = s.realize(&t, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 6);
+    }
+}

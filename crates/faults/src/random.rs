@@ -1,0 +1,182 @@
+//! Uniform random node-fault injection.
+//!
+//! The experiments in Figs. 3, 4, 6 and 7 of the paper use "random failed
+//! nodes ... determined using a uniform random number generator" under the
+//! constraint (assumption (h)) that faults never disconnect the network.
+//! [`random_node_faults`] samples such placements: it draws `nf` distinct
+//! nodes uniformly at random and resamples the whole placement if the healthy
+//! subgraph would be disconnected.
+
+use crate::model::FaultSet;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::fmt;
+use torus_topology::{NodeId, Torus};
+
+/// Errors produced by random fault injection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RandomFaultError {
+    /// More faults were requested than nodes exist (or all nodes would fail).
+    TooManyFaults {
+        /// Requested number of faulty nodes.
+        requested: usize,
+        /// Number of nodes in the network.
+        nodes: usize,
+    },
+    /// No connectivity-preserving placement was found within the retry budget.
+    NoConnectedPlacement {
+        /// Requested number of faulty nodes.
+        requested: usize,
+        /// Number of placements tried.
+        attempts: usize,
+    },
+}
+
+impl fmt::Display for RandomFaultError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RandomFaultError::TooManyFaults { requested, nodes } => write!(
+                f,
+                "cannot fail {requested} nodes in a network of {nodes} nodes"
+            ),
+            RandomFaultError::NoConnectedPlacement {
+                requested,
+                attempts,
+            } => write!(
+                f,
+                "no connectivity-preserving placement of {requested} faults found in {attempts} attempts"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RandomFaultError {}
+
+/// Maximum number of placements tried before giving up.
+const MAX_ATTEMPTS: usize = 1000;
+
+/// Samples `nf` distinct faulty nodes uniformly at random such that the
+/// healthy subgraph remains connected.
+///
+/// Passing `nf == 0` returns an empty fault set. The placement is a function
+/// of the supplied RNG only, so experiments are reproducible from their seed.
+///
+/// # Errors
+/// Fails if `nf` is not smaller than the number of nodes, or if no
+/// connectivity-preserving placement is found within an internal retry budget
+/// (practically impossible for the fault densities used in the paper — at
+/// most 20 faults in a 64..512-node torus).
+pub fn random_node_faults<R: Rng + ?Sized>(
+    torus: &Torus,
+    nf: usize,
+    rng: &mut R,
+) -> Result<FaultSet, RandomFaultError> {
+    if nf == 0 {
+        return Ok(FaultSet::new());
+    }
+    let n = torus.num_nodes();
+    if nf >= n {
+        return Err(RandomFaultError::TooManyFaults {
+            requested: nf,
+            nodes: n,
+        });
+    }
+    let mut ids: Vec<NodeId> = torus.nodes().collect();
+    for attempt in 1..=MAX_ATTEMPTS {
+        ids.shuffle(rng);
+        let mut f = FaultSet::new();
+        f.fail_nodes(ids[..nf].iter().copied());
+        if f.preserves_connectivity(torus) {
+            return Ok(f);
+        }
+        if attempt == MAX_ATTEMPTS {
+            break;
+        }
+    }
+    Err(RandomFaultError::NoConnectedPlacement {
+        requested: nf,
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Samples `count` independent fault placements of `nf` nodes each (used by
+/// the Fig. 6 experiment, which averages over several random placements per
+/// fault count to make results independent of relative fault positions).
+pub fn random_fault_ensembles<R: Rng + ?Sized>(
+    torus: &Torus,
+    nf: usize,
+    count: usize,
+    rng: &mut R,
+) -> Result<Vec<FaultSet>, RandomFaultError> {
+    (0..count)
+        .map(|_| random_node_faults(torus, nf, rng))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn zero_faults_is_empty() {
+        let t = Torus::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let f = random_node_faults(&t, 0, &mut rng).unwrap();
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn requested_count_is_honoured_and_connected() {
+        let t = Torus::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(42);
+        for nf in [1, 3, 5, 10, 20] {
+            let f = random_node_faults(&t, nf, &mut rng).unwrap();
+            assert_eq!(f.num_faulty_nodes(), nf);
+            assert!(f.preserves_connectivity(&t));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t = Torus::new(8, 3).unwrap();
+        let a = random_node_faults(&t, 12, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = random_node_faults(&t, 12, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a.faulty_nodes_sorted(), b.faulty_nodes_sorted());
+        let c = random_node_faults(&t, 12, &mut StdRng::seed_from_u64(8)).unwrap();
+        assert_ne!(a.faulty_nodes_sorted(), c.faulty_nodes_sorted());
+    }
+
+    #[test]
+    fn too_many_faults_is_an_error() {
+        let t = Torus::new(4, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(matches!(
+            random_node_faults(&t, 4, &mut rng),
+            Err(RandomFaultError::TooManyFaults { .. })
+        ));
+        assert!(matches!(
+            random_node_faults(&t, 9, &mut rng),
+            Err(RandomFaultError::TooManyFaults { .. })
+        ));
+    }
+
+    #[test]
+    fn ensembles_produce_independent_placements() {
+        let t = Torus::new(16, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(11);
+        let ensembles = random_fault_ensembles(&t, 6, 5, &mut rng).unwrap();
+        assert_eq!(ensembles.len(), 5);
+        for f in &ensembles {
+            assert_eq!(f.num_faulty_nodes(), 6);
+            assert!(f.preserves_connectivity(&t));
+        }
+        // overwhelmingly likely that at least two placements differ
+        let distinct: std::collections::HashSet<Vec<NodeId>> = ensembles
+            .iter()
+            .map(|f| f.faulty_nodes_sorted())
+            .collect();
+        assert!(distinct.len() > 1);
+    }
+}

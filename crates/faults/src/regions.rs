@@ -1,0 +1,442 @@
+//! Parametric fault-region generators.
+//!
+//! Adjacent faulty nodes coalesce into *fault regions*. The paper (Section 3,
+//! Fig. 1 and Fig. 5) distinguishes **convex** regions — `|`-shaped,
+//! `||`-shaped and `□`-shaped blocks — from **concave** regions — `L`, `U`,
+//! `+`, `T` and `H`-shaped patterns. Concave regions are harder to route
+//! around and therefore cost more latency (Fig. 5).
+//!
+//! Shapes are described as sets of cells in a two-dimensional plane of the
+//! torus; [`FaultRegion`] anchors a shape at a coordinate and maps the cells
+//! onto concrete nodes (with wrap-around).
+
+use crate::model::FaultSet;
+use serde::{Deserialize, Serialize};
+use torus_topology::{Coord, NodeId, Torus, TorusError};
+
+/// A parametric 2-D fault-region shape.
+///
+/// Cell sets are expressed as `(x, y)` offsets with `x` along the first plane
+/// dimension and `y` along the second. All lengths are in nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RegionShape {
+    /// `□`-shaped block fault of `width × height` nodes (convex).
+    Rect {
+        /// Extent along the first plane dimension.
+        width: u16,
+        /// Extent along the second plane dimension.
+        height: u16,
+    },
+    /// `|`-shaped fault: a single column of `length` nodes (convex).
+    Bar {
+        /// Number of nodes in the column.
+        length: u16,
+    },
+    /// `||`-shaped fault: two adjacent columns of `length` nodes (convex).
+    DoubleBar {
+        /// Number of nodes in each column.
+        length: u16,
+    },
+    /// `L`-shaped fault: a vertical arm and a horizontal arm sharing a corner
+    /// (concave).
+    LShape {
+        /// Nodes in the vertical arm (including the corner).
+        vertical: u16,
+        /// Nodes in the horizontal arm (including the corner).
+        horizontal: u16,
+    },
+    /// `U`-shaped fault: two vertical arms joined by a bottom row (concave).
+    UShape {
+        /// Width of the bottom row (distance between the two arms, inclusive).
+        width: u16,
+        /// Height of the two vertical arms (including the bottom corners).
+        height: u16,
+    },
+    /// `T`-shaped fault: a horizontal bar with a vertical stem hanging from
+    /// its centre (concave).
+    TShape {
+        /// Nodes in the horizontal bar.
+        bar: u16,
+        /// Nodes in the vertical stem (not counting the bar row).
+        stem: u16,
+    },
+    /// `+`-shaped fault: a horizontal and a vertical bar crossing near their
+    /// centres (concave). The horizontal bar may be more than one node thick,
+    /// which is how the paper's 16-node `+` region fits inside an 8-ary ring.
+    PlusShape {
+        /// Nodes along the horizontal bar.
+        horizontal: u16,
+        /// Nodes along the vertical bar.
+        vertical: u16,
+        /// Thickness (rows) of the horizontal bar.
+        thickness: u16,
+    },
+    /// `H`-shaped fault: two vertical bars joined by a horizontal row at mid
+    /// height (concave).
+    HShape {
+        /// Width of the connecting row (distance between the two bars,
+        /// inclusive).
+        width: u16,
+        /// Height of the two vertical bars.
+        height: u16,
+    },
+}
+
+impl RegionShape {
+    /// The `(x, y)` cells covered by the shape, relative to its anchor.
+    ///
+    /// Cells are returned deduplicated and sorted, so `cells().len()` is the
+    /// number of faulty nodes the shape produces.
+    pub fn cells(&self) -> Vec<(u16, u16)> {
+        let mut cells: Vec<(u16, u16)> = match *self {
+            RegionShape::Rect { width, height } => (0..width)
+                .flat_map(|x| (0..height).map(move |y| (x, y)))
+                .collect(),
+            RegionShape::Bar { length } => (0..length).map(|y| (0, y)).collect(),
+            RegionShape::DoubleBar { length } => (0..2u16)
+                .flat_map(|x| (0..length).map(move |y| (x, y)))
+                .collect(),
+            RegionShape::LShape {
+                vertical,
+                horizontal,
+            } => {
+                let mut v: Vec<(u16, u16)> = (0..vertical).map(|y| (0, y)).collect();
+                v.extend((0..horizontal).map(|x| (x, 0)));
+                v
+            }
+            RegionShape::UShape { width, height } => {
+                let mut v: Vec<(u16, u16)> = Vec::new();
+                for y in 0..height {
+                    v.push((0, y));
+                    v.push((width.saturating_sub(1), y));
+                }
+                for x in 0..width {
+                    v.push((x, 0));
+                }
+                v
+            }
+            RegionShape::TShape { bar, stem } => {
+                let mut v: Vec<(u16, u16)> = (0..bar).map(|x| (x, stem)).collect();
+                let centre = bar / 2;
+                v.extend((0..stem).map(|y| (centre, y)));
+                v
+            }
+            RegionShape::PlusShape {
+                horizontal,
+                vertical,
+                thickness,
+            } => {
+                let y0 = vertical / 2;
+                let mut v: Vec<(u16, u16)> = (0..horizontal)
+                    .flat_map(|x| (0..thickness.max(1)).map(move |t| (x, y0 + t)))
+                    .collect();
+                v.extend((0..vertical).map(|y| (horizontal / 2, y)));
+                v
+            }
+            RegionShape::HShape { width, height } => {
+                let mut v: Vec<(u16, u16)> = Vec::new();
+                for y in 0..height {
+                    v.push((0, y));
+                    v.push((width.saturating_sub(1), y));
+                }
+                for x in 0..width {
+                    v.push((x, height / 2));
+                }
+                v
+            }
+        };
+        cells.sort_unstable();
+        cells.dedup();
+        cells
+    }
+
+    /// Number of faulty nodes the shape produces.
+    pub fn node_count(&self) -> usize {
+        self.cells().len()
+    }
+
+    /// Bounding box `(width, height)` of the shape.
+    pub fn bounding_box(&self) -> (u16, u16) {
+        let cells = self.cells();
+        let w = cells.iter().map(|c| c.0).max().map_or(0, |m| m + 1);
+        let h = cells.iter().map(|c| c.1).max().map_or(0, |m| m + 1);
+        (w, h)
+    }
+
+    /// Short human-readable name used in reports ("rect-shaped", "T-shaped",
+    /// ...).
+    pub fn name(&self) -> &'static str {
+        match self {
+            RegionShape::Rect { .. } => "rect-shaped",
+            RegionShape::Bar { .. } => "|-shaped",
+            RegionShape::DoubleBar { .. } => "||-shaped",
+            RegionShape::LShape { .. } => "L-shaped",
+            RegionShape::UShape { .. } => "U-shaped",
+            RegionShape::TShape { .. } => "T-shaped",
+            RegionShape::PlusShape { .. } => "Plus-shaped",
+            RegionShape::HShape { .. } => "H-shaped",
+        }
+    }
+
+    /// ASCII rendering of the shape (rows top to bottom), used by the
+    /// `fault_regions` example to reproduce Fig. 1.
+    pub fn render_ascii(&self) -> String {
+        let cells = self.cells();
+        let (w, h) = self.bounding_box();
+        let mut out = String::new();
+        for y in (0..h).rev() {
+            for x in 0..w {
+                if cells.contains(&(x, y)) {
+                    out.push('#');
+                } else {
+                    out.push('.');
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    // ----- The exact configurations used in Fig. 5 of the paper -----
+
+    /// The 20-node `□`-shaped (rectangular) region of Fig. 5.
+    pub fn paper_rect_20() -> Self {
+        RegionShape::Rect {
+            width: 4,
+            height: 5,
+        }
+    }
+
+    /// The 10-node `T`-shaped region of Fig. 5.
+    pub fn paper_t_10() -> Self {
+        RegionShape::TShape { bar: 5, stem: 5 }
+    }
+
+    /// The 16-node `+`-shaped region of Fig. 5 (a cross with a two-node-thick
+    /// horizontal bar, so it fits inside the 8-ary rings of the 8×8 torus).
+    pub fn paper_plus_16() -> Self {
+        RegionShape::PlusShape {
+            horizontal: 6,
+            vertical: 6,
+            thickness: 2,
+        }
+    }
+
+    /// The 9-node `L`-shaped region of Fig. 5.
+    pub fn paper_l_9() -> Self {
+        RegionShape::LShape {
+            vertical: 5,
+            horizontal: 5,
+        }
+    }
+
+    /// The 8-node `U`-shaped region of Fig. 5.
+    pub fn paper_u_8() -> Self {
+        RegionShape::UShape {
+            width: 4,
+            height: 3,
+        }
+    }
+
+    /// All five Fig. 5 regions with their paper labels, in the order of the
+    /// figure's legend.
+    pub fn paper_fig5_regions() -> Vec<(RegionShape, &'static str)> {
+        vec![
+            (Self::paper_rect_20(), "rect-shaped"),
+            (Self::paper_t_10(), "T-shaped"),
+            (Self::paper_plus_16(), "Plus-shaped"),
+            (Self::paper_l_9(), "L-shaped"),
+            (Self::paper_u_8(), "U-shaped"),
+        ]
+    }
+}
+
+/// A fault-region shape placed onto a torus: anchored at a coordinate, lying
+/// in the plane spanned by two dimensions.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultRegion {
+    /// The shape of the region.
+    pub shape: RegionShape,
+    /// Coordinate of the shape's `(0, 0)` cell.
+    pub anchor: Coord,
+    /// The two torus dimensions spanning the plane of the region
+    /// (`plane.0` carries the shape's x offsets, `plane.1` the y offsets).
+    pub plane: (usize, usize),
+}
+
+impl FaultRegion {
+    /// Places `shape` in the plane of dimensions `(0, 1)` anchored at the
+    /// given digits.
+    pub fn in_default_plane(torus: &Torus, shape: RegionShape, anchor: &[u16]) -> Result<Self, TorusError> {
+        // Validate the anchor against the torus.
+        let coord = Coord::new(anchor.to_vec());
+        torus.node(&coord)?;
+        Ok(FaultRegion {
+            shape,
+            anchor: coord,
+            plane: (0, 1),
+        })
+    }
+
+    /// The concrete nodes covered by the region on the given torus
+    /// (wrapping around the plane's rings if the shape overhangs an edge).
+    pub fn nodes(&self, torus: &Torus) -> Vec<NodeId> {
+        let k = torus.radix();
+        let (dx, dy) = self.plane;
+        self.shape
+            .cells()
+            .into_iter()
+            .map(|(x, y)| {
+                let mut c = self.anchor.clone();
+                c.set(dx, (self.anchor.get(dx) + x) % k);
+                c.set(dy, (self.anchor.get(dy) + y) % k);
+                torus
+                    .node(&c)
+                    .expect("region cell wraps onto a valid coordinate")
+            })
+            .collect()
+    }
+
+    /// Builds a [`FaultSet`] failing every node covered by the region.
+    pub fn to_fault_set(&self, torus: &Torus) -> FaultSet {
+        let mut f = FaultSet::new();
+        f.fail_nodes(self.nodes(torus));
+        f
+    }
+
+    /// Number of faulty nodes.
+    pub fn node_count(&self) -> usize {
+        self.shape.node_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fig5_node_counts_match_legend() {
+        assert_eq!(RegionShape::paper_rect_20().node_count(), 20);
+        assert_eq!(RegionShape::paper_t_10().node_count(), 10);
+        assert_eq!(RegionShape::paper_plus_16().node_count(), 16);
+        assert_eq!(RegionShape::paper_l_9().node_count(), 9);
+        assert_eq!(RegionShape::paper_u_8().node_count(), 8);
+    }
+
+    #[test]
+    fn basic_shapes() {
+        assert_eq!(RegionShape::Bar { length: 5 }.node_count(), 5);
+        assert_eq!(RegionShape::DoubleBar { length: 4 }.node_count(), 8);
+        assert_eq!(
+            RegionShape::Rect {
+                width: 3,
+                height: 3
+            }
+            .node_count(),
+            9
+        );
+        assert_eq!(
+            RegionShape::HShape {
+                width: 4,
+                height: 5
+            }
+            .node_count(),
+            2 * 5 + 4 - 2
+        );
+    }
+
+    #[test]
+    fn cells_are_unique_and_within_bounding_box() {
+        for (shape, _) in RegionShape::paper_fig5_regions() {
+            let cells = shape.cells();
+            let mut dedup = cells.clone();
+            dedup.dedup();
+            assert_eq!(cells.len(), dedup.len());
+            let (w, h) = shape.bounding_box();
+            assert!(cells.iter().all(|&(x, y)| x < w && y < h));
+        }
+    }
+
+    #[test]
+    fn region_maps_to_distinct_nodes() {
+        let t = Torus::new(8, 2).unwrap();
+        for (shape, _) in RegionShape::paper_fig5_regions() {
+            let region = FaultRegion::in_default_plane(&t, shape, &[1, 1]).unwrap();
+            let nodes = region.nodes(&t);
+            let mut sorted = nodes.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(sorted.len(), shape.node_count());
+        }
+    }
+
+    #[test]
+    fn region_wraps_around_edges() {
+        let t = Torus::new(8, 2).unwrap();
+        let region = FaultRegion::in_default_plane(
+            &t,
+            RegionShape::Rect {
+                width: 3,
+                height: 2,
+            },
+            &[6, 7],
+        )
+        .unwrap();
+        let nodes = region.nodes(&t);
+        assert_eq!(nodes.len(), 6);
+        // The region should cover x in {6,7,0} and y in {7,0}.
+        let coords: Vec<Vec<u16>> = nodes.iter().map(|n| t.coord(*n).digits().to_vec()).collect();
+        assert!(coords.contains(&vec![0, 0]));
+        assert!(coords.contains(&vec![6, 7]));
+    }
+
+    #[test]
+    fn region_in_higher_dimension_plane() {
+        let t = Torus::new(8, 3).unwrap();
+        let region = FaultRegion {
+            shape: RegionShape::Rect {
+                width: 2,
+                height: 2,
+            },
+            anchor: Coord::new(vec![1, 2, 3]),
+            plane: (1, 2),
+        };
+        let nodes = region.nodes(&t);
+        assert_eq!(nodes.len(), 4);
+        // dimension 0 never changes
+        assert!(nodes.iter().all(|n| t.coord(*n).get(0) == 1));
+    }
+
+    #[test]
+    fn to_fault_set_and_connectivity() {
+        let t = Torus::new(8, 2).unwrap();
+        let region =
+            FaultRegion::in_default_plane(&t, RegionShape::paper_u_8(), &[2, 2]).unwrap();
+        let f = region.to_fault_set(&t);
+        assert_eq!(f.num_faulty_nodes(), 8);
+        assert!(f.preserves_connectivity(&t));
+    }
+
+    #[test]
+    fn ascii_render_has_correct_cell_count() {
+        let shape = RegionShape::paper_t_10();
+        let art = shape.render_ascii();
+        assert_eq!(art.matches('#').count(), 10);
+        let shape = RegionShape::paper_u_8();
+        assert_eq!(shape.render_ascii().matches('#').count(), 8);
+    }
+
+    #[test]
+    fn anchor_validation() {
+        let t = Torus::new(8, 2).unwrap();
+        assert!(FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[9, 0]).is_err());
+        assert!(FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[0]).is_err());
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(RegionShape::paper_rect_20().name(), "rect-shaped");
+        assert_eq!(RegionShape::paper_plus_16().name(), "Plus-shaped");
+        assert_eq!(RegionShape::Bar { length: 3 }.name(), "|-shaped");
+    }
+}

@@ -1,0 +1,144 @@
+//! Duato's Protocol fully adaptive output selection.
+//!
+//! Duato's Protocol (DP) partitions the virtual channels of every physical
+//! channel into a small *escape* set — operated exactly like deadlock-free
+//! e-cube routing with dateline classes — and a larger *adaptive* set that a
+//! message may use on **any** minimal (productive) output. Because a blocked
+//! message can always fall back to the escape sub-network, whose extended
+//! channel-dependency graph is acyclic, the whole protocol is deadlock free
+//! while permitting full minimal adaptivity.
+
+use crate::decision::OutputCandidate;
+use crate::ecube::{ecube_output, ecube_vc_class};
+use crate::header::RouteHeader;
+use torus_topology::{DatelinePolicy, Direction, NodeId, Torus};
+
+/// All minimal (productive) outputs towards the header's current target:
+/// one `(dim, dir)` pair per dimension with a non-zero offset.
+pub fn productive_outputs(
+    torus: &Torus,
+    header: &RouteHeader,
+    current: NodeId,
+) -> Vec<(usize, Direction)> {
+    let target = header.target();
+    (0..torus.dims())
+        .filter_map(|dim| {
+            let off = torus.offset(current, target, dim);
+            Direction::from_offset(off).map(|dir| (dim, dir))
+        })
+        .collect()
+}
+
+/// The adaptive-routing candidate list for a header at `current` under
+/// Duato's Protocol with `v` virtual channels per physical channel:
+/// every healthy productive output with the adaptive VC pool, followed by the
+/// e-cube escape output (if healthy) restricted to its dateline-class escape
+/// VC.
+///
+/// The `healthy` predicate decides whether the output channel `(dim, dir)` of
+/// `current` is usable; candidates whose channel is faulty are omitted.
+pub fn adaptive_candidates<F>(
+    torus: &Torus,
+    header: &RouteHeader,
+    current: NodeId,
+    v: usize,
+    healthy: F,
+) -> Vec<OutputCandidate>
+where
+    F: Fn(usize, Direction) -> bool,
+{
+    let policy = DatelinePolicy::new(torus);
+    let adaptive_vcs: Vec<usize> = policy.adaptive_range(v).collect();
+    let mut candidates = Vec::new();
+    for (dim, dir) in productive_outputs(torus, header, current) {
+        if healthy(dim, dir) {
+            candidates.push(OutputCandidate::new(dim, dir, adaptive_vcs.clone()));
+        }
+    }
+    if let Some((dim, dir)) = ecube_output(torus, header, current) {
+        if healthy(dim, dir) {
+            let escape_vc = policy.escape_vc(ecube_vc_class(header, dim));
+            candidates.push(OutputCandidate::escape(dim, dir, escape_vc));
+        }
+    }
+    candidates
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::RoutingFlavor;
+
+    fn torus() -> Torus {
+        Torus::new(8, 3).unwrap()
+    }
+
+    #[test]
+    fn productive_outputs_cover_all_unresolved_dimensions() {
+        let t = torus();
+        let src = t.node_from_digits(&[0, 0, 0]).unwrap();
+        let dest = t.node_from_digits(&[2, 0, 6]).unwrap();
+        let h = RouteHeader::new(&t, src, dest, RoutingFlavor::Adaptive);
+        let prods = productive_outputs(&t, &h, src);
+        assert_eq!(prods.len(), 2);
+        assert!(prods.contains(&(0, Direction::Plus)));
+        assert!(prods.contains(&(2, Direction::Minus)));
+    }
+
+    #[test]
+    fn no_productive_outputs_at_destination() {
+        let t = torus();
+        let dest = t.node_from_digits(&[1, 2, 3]).unwrap();
+        let h = RouteHeader::new(&t, dest, dest, RoutingFlavor::Adaptive);
+        assert!(productive_outputs(&t, &h, dest).is_empty());
+    }
+
+    #[test]
+    fn candidates_include_adaptive_and_escape() {
+        let t = torus();
+        let src = t.node_from_digits(&[0, 0, 0]).unwrap();
+        let dest = t.node_from_digits(&[3, 2, 0]).unwrap();
+        let h = RouteHeader::new(&t, src, dest, RoutingFlavor::Adaptive);
+        let cands = adaptive_candidates(&t, &h, src, 6, |_, _| true);
+        // two productive dims -> two adaptive candidates + one escape
+        assert_eq!(cands.len(), 3);
+        assert_eq!(cands.iter().filter(|c| c.is_escape).count(), 1);
+        let escape = cands.iter().find(|c| c.is_escape).unwrap();
+        // escape follows e-cube: lowest unresolved dimension
+        assert_eq!(escape.dim, 0);
+        assert_eq!(escape.vcs, vec![0]);
+        for c in cands.iter().filter(|c| !c.is_escape) {
+            assert_eq!(c.vcs, vec![2, 3, 4, 5]);
+        }
+    }
+
+    #[test]
+    fn escape_vc_switches_after_dateline() {
+        let t = torus();
+        let src = t.node_from_digits(&[0, 0, 0]).unwrap();
+        let dest = t.node_from_digits(&[3, 0, 0]).unwrap();
+        let mut h = RouteHeader::new(&t, src, dest, RoutingFlavor::Adaptive);
+        h.crossed_dateline[0] = true;
+        let cands = adaptive_candidates(&t, &h, src, 4, |_, _| true);
+        let escape = cands.iter().find(|c| c.is_escape).unwrap();
+        assert_eq!(escape.vcs, vec![1]);
+    }
+
+    #[test]
+    fn faulty_outputs_are_filtered() {
+        let t = torus();
+        let src = t.node_from_digits(&[0, 0, 0]).unwrap();
+        let dest = t.node_from_digits(&[2, 3, 0]).unwrap();
+        let h = RouteHeader::new(&t, src, dest, RoutingFlavor::Adaptive);
+        // Dimension 0 plus is faulty: only the dimension 1 adaptive candidate
+        // and no escape (escape would have been dim 0) ... the escape layer
+        // follows e-cube, which is dim 0, so it disappears as well.
+        let cands = adaptive_candidates(&t, &h, src, 6, |dim, _| dim != 0);
+        assert_eq!(cands.len(), 1);
+        assert!(!cands[0].is_escape);
+        assert_eq!(cands[0].dim, 1);
+        // Nothing healthy at all -> empty list (the caller absorbs).
+        let none = adaptive_candidates(&t, &h, src, 6, |_, _| false);
+        assert!(none.is_empty());
+    }
+}

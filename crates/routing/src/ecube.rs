@@ -1,0 +1,137 @@
+//! Dimension-order (e-cube) output selection.
+//!
+//! E-cube routing nullifies the offset to the destination one dimension at a
+//! time, in increasing dimension order. The Software-Based scheme reuses this
+//! selection both as the deterministic flavour and as the escape layer of the
+//! adaptive flavour, extended with the per-dimension *forced direction*
+//! overrides installed by the software layer when it re-routes an absorbed
+//! message the "wrong way" around a ring.
+
+use crate::header::RouteHeader;
+use torus_topology::{Direction, NodeId, Torus, VcClass};
+
+/// The e-cube output (dimension, direction) for a header at `current`, taking
+/// the header's forced-direction overrides into account.
+///
+/// Returns `None` when the message is already at its current routing target.
+pub fn ecube_output(torus: &Torus, header: &RouteHeader, current: NodeId) -> Option<(usize, Direction)> {
+    let target = header.target();
+    for dim in 0..torus.dims() {
+        let off = torus.offset(current, target, dim);
+        if let Some(forced) = header.forced_dir[dim] {
+            // A forced dimension is routed (possibly non-minimally) in the
+            // stored direction until its offset is nullified.
+            if off != 0 {
+                return Some((dim, forced));
+            }
+            // Offset already nullified: fall through to the next dimension
+            // (the override is cleared by `RouteHeader::note_hop`).
+            continue;
+        }
+        if off != 0 {
+            return Some((dim, Direction::from_offset(off).expect("non-zero offset")));
+        }
+    }
+    None
+}
+
+/// The dateline virtual-channel class the deterministic scheme requires for a
+/// hop in `dim`, given the header's dateline-crossing history.
+pub fn ecube_vc_class(header: &RouteHeader, dim: usize) -> VcClass {
+    if header.crossed_dateline[dim] {
+        VcClass::AfterDateline
+    } else {
+        VcClass::BeforeDateline
+    }
+}
+
+/// Permitted virtual channels for a deterministic hop in `dim` when `v`
+/// virtual channels are configured per physical channel: the half of the VC
+/// pool assigned to the header's current dateline class.
+pub fn deterministic_vcs(torus: &Torus, header: &RouteHeader, dim: usize, v: usize) -> Vec<usize> {
+    let policy = torus_topology::DatelinePolicy::new(torus);
+    policy
+        .deterministic_range(v, ecube_vc_class(header, dim))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::RoutingFlavor;
+
+    fn torus() -> Torus {
+        Torus::new(8, 2).unwrap()
+    }
+
+    #[test]
+    fn routes_lowest_dimension_first() {
+        let t = torus();
+        let src = t.node_from_digits(&[1, 1]).unwrap();
+        let dest = t.node_from_digits(&[3, 5]).unwrap();
+        let h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
+        assert_eq!(ecube_output(&t, &h, src), Some((0, Direction::Plus)));
+        // Once dimension 0 is resolved, dimension 1 is routed.
+        let mid = t.node_from_digits(&[3, 1]).unwrap();
+        assert_eq!(ecube_output(&t, &h, mid), Some((1, Direction::Plus)));
+        assert_eq!(ecube_output(&t, &h, dest), None);
+    }
+
+    #[test]
+    fn picks_shorter_ring_direction() {
+        let t = torus();
+        let src = t.node_from_digits(&[1, 0]).unwrap();
+        let dest = t.node_from_digits(&[6, 0]).unwrap();
+        let h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
+        assert_eq!(ecube_output(&t, &h, src), Some((0, Direction::Minus)));
+    }
+
+    #[test]
+    fn forced_direction_overrides_minimal_choice() {
+        let t = torus();
+        let src = t.node_from_digits(&[1, 0]).unwrap();
+        let dest = t.node_from_digits(&[3, 0]).unwrap();
+        let mut h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
+        h.forced_dir[0] = Some(Direction::Minus);
+        assert_eq!(ecube_output(&t, &h, src), Some((0, Direction::Minus)));
+        // With the offset nullified the forced dimension is skipped.
+        assert_eq!(ecube_output(&t, &h, dest), None);
+    }
+
+    #[test]
+    fn forced_dimension_with_zero_offset_is_skipped() {
+        let t = torus();
+        let src = t.node_from_digits(&[2, 1]).unwrap();
+        let dest = t.node_from_digits(&[2, 5]).unwrap();
+        let mut h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
+        h.forced_dir[0] = Some(Direction::Plus);
+        // Dimension 0 has no offset, so routing proceeds in dimension 1.
+        assert_eq!(ecube_output(&t, &h, src), Some((1, Direction::Plus)));
+    }
+
+    #[test]
+    fn routes_toward_intermediate_target_first() {
+        let t = torus();
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let via = t.node_from_digits(&[0, 2]).unwrap();
+        let mut h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
+        h.push_intermediate(via);
+        assert_eq!(ecube_output(&t, &h, src), Some((1, Direction::Plus)));
+    }
+
+    #[test]
+    fn vc_class_follows_dateline_history() {
+        let t = torus();
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dest = t.node_from_digits(&[5, 0]).unwrap();
+        let mut h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
+        assert_eq!(ecube_vc_class(&h, 0), VcClass::BeforeDateline);
+        assert_eq!(deterministic_vcs(&t, &h, 0, 4), vec![0, 1]);
+        h.crossed_dateline[0] = true;
+        assert_eq!(ecube_vc_class(&h, 0), VcClass::AfterDateline);
+        assert_eq!(deterministic_vcs(&t, &h, 0, 4), vec![2, 3]);
+        // other dimensions are unaffected
+        assert_eq!(deterministic_vcs(&t, &h, 1, 6), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,50 @@
+//! # torus-routing
+//!
+//! Routing algorithms for wormhole-switched k-ary n-cubes, implementing the
+//! algorithms evaluated by Safaei et al. (IPDPS 2006):
+//!
+//! * **Dimension-order (e-cube) routing** — the deterministic baseline
+//!   (Dally & Seitz), made deadlock-free on tori with two dateline
+//!   virtual-channel classes per dimension ([`ecube`]).
+//! * **Duato's Protocol (DP) fully adaptive routing** — minimal adaptive
+//!   routing over the "adaptive" virtual channels with an e-cube escape layer
+//!   ([`adaptive`]).
+//! * **Software-Based fault-tolerant routing**, the paper's contribution,
+//!   extended from 2-D (Suh et al., IEEE TPDS 2000) to n dimensions
+//!   ([`swbased`]): in the absence of faults it behaves exactly like e-cube
+//!   (deterministic flavour) or DP (adaptive flavour); when a message's
+//!   outgoing channel leads to a faulty component the message is *absorbed*
+//!   at the local node, its header is rewritten by the message-passing
+//!   software (same dimension opposite direction first, then an orthogonal
+//!   dimension, finally an explicit fault-free intermediate-node path), and it
+//!   is re-injected with priority. Once faulted, a message stays
+//!   deterministic.
+//! * **Channel-dependency-graph analysis** ([`cdg`]) — builds the extended
+//!   CDG of the deterministic / escape layer and verifies acyclicity, the
+//!   deadlock-freedom argument of Section 4 of the paper.
+//!
+//! The simulator drives a [`SwBasedRouting`] instance through the
+//! [`RoutingAlgorithm`] interface: `route` for head-flit routing decisions,
+//! `note_hop` for header bookkeeping as flits advance, and `reroute_on_fault`
+//! for the software layer's header rewrite at absorption time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod adaptive;
+pub mod cdg;
+pub mod decision;
+pub mod ecube;
+pub mod header;
+pub mod swbased;
+
+pub use decision::{OutputCandidate, RouteDecision};
+pub use header::{RouteHeader, RoutingFlavor};
+pub use swbased::{RoutingAlgorithm, SwBasedRouting};
+
+/// Convenience prelude re-exporting the most frequently used items.
+pub mod prelude {
+    pub use crate::decision::{OutputCandidate, RouteDecision};
+    pub use crate::header::{RouteHeader, RoutingFlavor};
+    pub use crate::swbased::{RoutingAlgorithm, SwBasedRouting};
+}

@@ -1,0 +1,574 @@
+//! The Software-Based fault-tolerant routing algorithm (SW-Based-nD).
+//!
+//! This module is the direct counterpart of Fig. 2 of the paper. A
+//! [`SwBasedRouting`] instance encapsulates:
+//!
+//! * **normal-case routing** — dimension-order e-cube for the deterministic
+//!   flavour, Duato's Protocol for the adaptive flavour (in a fault-free
+//!   network the two flavours are *identical* to those baselines);
+//! * **fault handling** — when the chosen output channel leads to a faulty
+//!   node or link the message is absorbed ([`RouteDecision::Absorb`]) and the
+//!   message-passing software rewrites the header via
+//!   [`SwBasedRouting::reroute_on_fault`]:
+//!   1. first re-route in the *same dimension, opposite direction* (a
+//!      non-minimal traversal of the ring installed as a forced direction),
+//!   2. if another fault is encountered, route in an *orthogonal dimension*
+//!      (an intermediate destination one hop to the side of the fault
+//!      region),
+//!   3. if the misroute budget is exhausted, compute an explicit fault-free
+//!      intermediate-node path (the capability granted by assumption (i)(ii)
+//!      of the paper), which bounds livelock;
+//! * **post-fault behaviour** — once a message has been absorbed it is routed
+//!   deterministically for the rest of its journey (Section 4: "from this
+//!   point, faulted messages are always routed using detRouting2D").
+
+use crate::adaptive::adaptive_candidates;
+use crate::decision::{OutputCandidate, RouteDecision};
+use crate::ecube::{deterministic_vcs, ecube_output, ecube_vc_class};
+use crate::header::{RouteHeader, RoutingFlavor};
+use serde::{Deserialize, Serialize};
+use torus_faults::FaultSet;
+use torus_topology::{DatelinePolicy, Direction, HealthyGraph, NodeId, Torus};
+
+/// Interface between the router pipeline / software layer and a routing
+/// algorithm.
+pub trait RoutingAlgorithm {
+    /// The flavour this algorithm routes with in the absence of faults.
+    fn flavor(&self) -> RoutingFlavor;
+
+    /// Builds the header of a newly generated message.
+    fn make_header(&self, torus: &Torus, src: NodeId, dest: NodeId) -> RouteHeader;
+
+    /// Routing decision for a header flit of `header` currently at `current`,
+    /// with `v` virtual channels per physical channel.
+    fn route(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision;
+
+    /// Header bookkeeping when the message advances one hop.
+    fn note_hop(&self, torus: &Torus, header: &mut RouteHeader, from: NodeId, dim: usize, dir: Direction);
+
+    /// Software-layer header rewrite after the message was absorbed at `at`
+    /// because output `blocked` led to a fault. Returns `false` only when the
+    /// destination is unreachable (disconnected network), in which case the
+    /// message must be dropped.
+    fn reroute_on_fault(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        at: NodeId,
+        blocked: (usize, Direction),
+    ) -> bool;
+
+    /// Human-readable name used in reports.
+    fn name(&self) -> String;
+}
+
+/// The Software-Based fault-tolerant routing algorithm for n-dimensional tori.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SwBasedRouting {
+    flavor: RoutingFlavor,
+}
+
+impl SwBasedRouting {
+    /// Deterministic (e-cube based) Software-Based routing.
+    pub fn deterministic() -> Self {
+        SwBasedRouting {
+            flavor: RoutingFlavor::Deterministic,
+        }
+    }
+
+    /// Fully adaptive (Duato's-Protocol based) Software-Based routing.
+    pub fn adaptive() -> Self {
+        SwBasedRouting {
+            flavor: RoutingFlavor::Adaptive,
+        }
+    }
+
+    /// Constructs the algorithm for a given flavour.
+    pub fn with_flavor(flavor: RoutingFlavor) -> Self {
+        SwBasedRouting { flavor }
+    }
+
+    /// Minimum number of virtual channels per physical channel required by
+    /// this flavour (2 dateline classes for deterministic routing, 2 escape +
+    /// 1 adaptive for Duato's protocol).
+    pub fn min_virtual_channels(&self) -> usize {
+        match self.flavor {
+            RoutingFlavor::Deterministic => 2,
+            RoutingFlavor::Adaptive => 3,
+        }
+    }
+
+    /// Deterministic-mode routing step shared by the deterministic flavour and
+    /// by faulted messages of the adaptive flavour.
+    fn route_deterministic(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        header: &RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision {
+        let Some((dim, dir)) = ecube_output(torus, header, current) else {
+            // No remaining offset towards the current target; `route` already
+            // handled target advancement, so this is the final destination.
+            return RouteDecision::Deliver;
+        };
+        if !faults.output_usable(torus, current, dim, dir) {
+            return RouteDecision::Absorb;
+        }
+        let vcs = if header.flavor == RoutingFlavor::Adaptive {
+            // Faulted messages of the adaptive flavour travel on the escape
+            // layer (the embedded e-cube network) to preserve Duato's
+            // deadlock-freedom argument.
+            let policy = DatelinePolicy::new(torus);
+            vec![policy.escape_vc(ecube_vc_class(header, dim))]
+        } else {
+            deterministic_vcs(torus, header, dim, v)
+        };
+        RouteDecision::Forward(vec![OutputCandidate {
+            dim,
+            dir,
+            vcs,
+            is_escape: header.flavor == RoutingFlavor::Adaptive,
+        }])
+    }
+
+    /// Installs an explicit fault-free path from `at` to the final destination
+    /// (rule 3 / assumption (i)(ii) of the paper).
+    fn install_explicit_path(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        at: NodeId,
+    ) -> bool {
+        let graph = HealthyGraph::new(torus, faults);
+        let Some(path) = graph.shortest_path(at, header.final_dest) else {
+            return false;
+        };
+        let nodes = path.nodes(torus);
+        header.set_via_chain(nodes.into_iter().skip(1));
+        header.escorted = true;
+        for forced in &mut header.forced_dir {
+            *forced = None;
+        }
+        true
+    }
+
+    /// Dimensions to try for the orthogonal detour (rule 2), preferring the
+    /// partner dimension of the current dimension pair as in the SW-Based-nD
+    /// formulation of Fig. 2.
+    fn orthogonal_order(dims: usize, blocked_dim: usize) -> Vec<usize> {
+        let mut order = Vec::with_capacity(dims.saturating_sub(1));
+        if blocked_dim + 1 < dims {
+            order.push(blocked_dim + 1);
+        } else if blocked_dim > 0 {
+            order.push(blocked_dim - 1);
+        }
+        for d in 0..dims {
+            if d != blocked_dim && !order.contains(&d) {
+                order.push(d);
+            }
+        }
+        order
+    }
+}
+
+impl RoutingAlgorithm for SwBasedRouting {
+    fn flavor(&self) -> RoutingFlavor {
+        self.flavor
+    }
+
+    fn make_header(&self, torus: &Torus, src: NodeId, dest: NodeId) -> RouteHeader {
+        RouteHeader::new(torus, src, dest, self.flavor)
+    }
+
+    fn route(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision {
+        // Advance through intermediate destinations that have been reached.
+        while current == header.target() {
+            if header.advance_target(current) {
+                return RouteDecision::Deliver;
+            }
+        }
+        if header.is_deterministic() {
+            return self.route_deterministic(torus, faults, header, current, v);
+        }
+        // Adaptive flavour, not yet faulted: Duato's Protocol over the healthy
+        // productive outputs. The message is absorbed only when *all*
+        // productive outputs lead to faults (Section 5: "a message is
+        // delivered to current node when all available paths are faulty").
+        let candidates = adaptive_candidates(torus, header, current, v, |dim, dir| {
+            faults.output_usable(torus, current, dim, dir)
+        });
+        if candidates.is_empty() {
+            return RouteDecision::Absorb;
+        }
+        RouteDecision::Forward(candidates)
+    }
+
+    fn note_hop(&self, torus: &Torus, header: &mut RouteHeader, from: NodeId, dim: usize, dir: Direction) {
+        header.note_hop(torus, from, dim, dir);
+    }
+
+    fn reroute_on_fault(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        at: NodeId,
+        blocked: (usize, Direction),
+    ) -> bool {
+        header.absorptions += 1;
+        header.faulted = true;
+
+        // Rule 3 (fallback): out of budget, or already escorted yet absorbed
+        // again (which can only happen if the fault set changed) — compute an
+        // explicit fault-free path.
+        if header.escorted || header.misroute_budget == 0 {
+            return self.install_explicit_path(torus, faults, header, at);
+        }
+        header.misroute_budget -= 1;
+
+        let (dim, dir) = blocked;
+
+        // Rule 1: re-route in the same dimension, opposite direction.
+        if header.forced_dir[dim].is_none() {
+            let opposite = dir.opposite();
+            if faults.output_usable(torus, at, dim, opposite)
+                && torus.offset(at, header.target(), dim) != 0
+            {
+                header.forced_dir[dim] = Some(opposite);
+                return true;
+            }
+        }
+
+        // Rule 2: route in an orthogonal dimension to slide along the fault
+        // region, then resume towards the destination.
+        for o in Self::orthogonal_order(torus.dims(), dim) {
+            for cand_dir in Direction::BOTH {
+                if !faults.output_usable(torus, at, o, cand_dir) {
+                    continue;
+                }
+                let via = torus.neighbor(at, o, cand_dir);
+                if faults.is_node_faulty(via) {
+                    continue;
+                }
+                header.forced_dir[dim] = None;
+                header.push_intermediate(via);
+                return true;
+            }
+        }
+
+        // Every neighbouring move is faulty (the node is walled in except for
+        // the channel the message arrived on) — fall back to the explicit
+        // path, which exists as long as the network is connected.
+        self.install_explicit_path(torus, faults, header, at)
+    }
+
+    fn name(&self) -> String {
+        format!("SW-Based-nD ({})", self.flavor.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn torus() -> Torus {
+        Torus::new(8, 2).unwrap()
+    }
+
+    fn no_faults() -> FaultSet {
+        FaultSet::new()
+    }
+
+    /// Walks a message through the network with the given algorithm, always
+    /// taking the first candidate, and returns the nodes visited. Panics on
+    /// Absorb (tests that expect absorption handle it themselves).
+    fn walk(
+        torus: &Torus,
+        faults: &FaultSet,
+        algo: &SwBasedRouting,
+        src: NodeId,
+        dest: NodeId,
+    ) -> Vec<NodeId> {
+        let mut header = algo.make_header(torus, src, dest);
+        let mut current = src;
+        let mut visited = vec![src];
+        for _ in 0..10_000 {
+            match algo.route(torus, faults, &mut header, current, 4) {
+                RouteDecision::Deliver => return visited,
+                RouteDecision::Absorb => {
+                    panic!("unexpected absorption at {current:?}");
+                }
+                RouteDecision::Forward(cands) => {
+                    let c = &cands[0];
+                    algo.note_hop(torus, &mut header, current, c.dim, c.dir);
+                    current = torus.neighbor(current, c.dim, c.dir);
+                    visited.push(current);
+                }
+            }
+        }
+        panic!("message did not arrive");
+    }
+
+    #[test]
+    fn fault_free_deterministic_is_ecube() {
+        let t = torus();
+        let algo = SwBasedRouting::deterministic();
+        let src = t.node_from_digits(&[1, 1]).unwrap();
+        let dest = t.node_from_digits(&[5, 3]).unwrap();
+        let visited = walk(&t, &no_faults(), &algo, src, dest);
+        let expected: Vec<NodeId> =
+            torus_topology::dimension_order_path(&t, src, dest).nodes(&t);
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn fault_free_adaptive_reaches_destination_minimally() {
+        let t = torus();
+        let algo = SwBasedRouting::adaptive();
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dest = t.node_from_digits(&[3, 6]).unwrap();
+        let visited = walk(&t, &no_faults(), &algo, src, dest);
+        assert_eq!(visited.len() as u32 - 1, t.distance(src, dest));
+        assert_eq!(*visited.last().unwrap(), dest);
+    }
+
+    #[test]
+    fn deterministic_absorbs_at_fault() {
+        let t = torus();
+        let mut faults = FaultSet::new();
+        // Fault directly on the e-cube path.
+        faults.fail_node(t.node_from_digits(&[2, 0]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let mut header = algo.make_header(&t, src, dest);
+        // Walk to the node adjacent to the fault.
+        let one = t.node_from_digits(&[1, 0]).unwrap();
+        let d = algo.route(&t, &faults, &mut header, one, 4);
+        assert!(d.is_absorb());
+    }
+
+    #[test]
+    fn adaptive_does_not_absorb_while_alternatives_exist() {
+        let t = torus();
+        let mut faults = FaultSet::new();
+        faults.fail_node(t.node_from_digits(&[2, 1]).unwrap());
+        let algo = SwBasedRouting::adaptive();
+        let src = t.node_from_digits(&[1, 1]).unwrap();
+        let dest = t.node_from_digits(&[3, 3]).unwrap();
+        let mut header = algo.make_header(&t, src, dest);
+        let d = algo.route(&t, &faults, &mut header, src, 6);
+        // dim 0 plus is faulty but dim 1 plus is healthy: still forwarding.
+        match d {
+            RouteDecision::Forward(cands) => {
+                assert!(cands.iter().all(|c| !(c.dim == 0 && c.dir == Direction::Plus)));
+                assert!(!cands.is_empty());
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn adaptive_absorbs_only_when_all_productive_paths_faulty() {
+        let t = torus();
+        let mut faults = FaultSet::new();
+        // Message needs +1 in dim 0 and +1 in dim 1; block both neighbours.
+        faults.fail_node(t.node_from_digits(&[2, 1]).unwrap());
+        faults.fail_node(t.node_from_digits(&[1, 2]).unwrap());
+        let algo = SwBasedRouting::adaptive();
+        let src = t.node_from_digits(&[1, 1]).unwrap();
+        let dest = t.node_from_digits(&[2, 2]).unwrap();
+        let mut header = algo.make_header(&t, src, dest);
+        let d = algo.route(&t, &faults, &mut header, src, 6);
+        assert!(d.is_absorb());
+    }
+
+    #[test]
+    fn reroute_rule1_forces_opposite_direction() {
+        let t = torus();
+        let mut faults = FaultSet::new();
+        faults.fail_node(t.node_from_digits(&[2, 0]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let src = t.node_from_digits(&[1, 0]).unwrap();
+        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let mut header = algo.make_header(&t, src, dest);
+        assert!(algo.reroute_on_fault(&t, &faults, &mut header, src, (0, Direction::Plus)));
+        assert!(header.faulted);
+        assert_eq!(header.absorptions, 1);
+        assert_eq!(header.forced_dir[0], Some(Direction::Minus));
+    }
+
+    #[test]
+    fn reroute_rule2_detours_orthogonally_when_both_directions_blocked() {
+        let t = torus();
+        let mut faults = FaultSet::new();
+        // Block both dimension-0 neighbours of the absorbing node.
+        faults.fail_node(t.node_from_digits(&[2, 0]).unwrap());
+        faults.fail_node(t.node_from_digits(&[0, 0]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let at = t.node_from_digits(&[1, 0]).unwrap();
+        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let mut header = algo.make_header(&t, at, dest);
+        assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (0, Direction::Plus)));
+        // An orthogonal intermediate destination (one hop in dimension 1) was
+        // installed.
+        assert_eq!(header.pending_via(), 1);
+        let via = header.target();
+        assert_eq!(t.coord(via).get(0), 1);
+        assert_ne!(t.coord(via).get(1), 0);
+    }
+
+    #[test]
+    fn reroute_rule1_skipped_when_dimension_already_resolved() {
+        // If the blocked dimension has zero offset to the target, forcing the
+        // opposite direction cannot help; the software layer must fall through
+        // to the orthogonal rule.
+        let t = torus();
+        let mut faults = FaultSet::new();
+        faults.fail_node(t.node_from_digits(&[1, 1]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let at = t.node_from_digits(&[1, 0]).unwrap();
+        let mut header = algo.make_header(&t, at, t.node_from_digits(&[1, 4]).unwrap());
+        // Dimension 0 offset to the target is zero.
+        assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (0, Direction::Plus)));
+        assert!(header.forced_dir.iter().all(|f| f.is_none()));
+        assert_eq!(header.pending_via(), 1);
+        // The orthogonal detour avoids the faulty node [1,1].
+        assert_ne!(header.target(), t.node_from_digits(&[1, 1]).unwrap());
+    }
+
+    #[test]
+    fn reroute_falls_back_to_explicit_path_when_budget_exhausted() {
+        let t = torus();
+        let mut faults = FaultSet::new();
+        faults.fail_node(t.node_from_digits(&[3, 3]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let at = t.node_from_digits(&[3, 2]).unwrap();
+        let dest = t.node_from_digits(&[3, 5]).unwrap();
+        let mut header = algo.make_header(&t, at, dest);
+        header.misroute_budget = 0;
+        assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (1, Direction::Plus)));
+        assert!(header.escorted);
+        // The explicit path must avoid the faulty node and end at the
+        // destination.
+        let mut current = at;
+        let mut hops = 0;
+        while current != dest {
+            let d = algo.route(&t, &faults, &mut header, current, 4);
+            let cands = d.candidates().to_vec();
+            assert!(!cands.is_empty(), "escorted message must always forward");
+            let c = &cands[0];
+            algo.note_hop(&t, &mut header, current, c.dim, c.dir);
+            current = t.neighbor(current, c.dim, c.dir);
+            assert!(!faults.is_node_faulty(current));
+            hops += 1;
+            assert!(hops < 100);
+        }
+    }
+
+    #[test]
+    fn deterministic_message_routes_around_single_fault_end_to_end() {
+        // Full software loop: route, absorb, re-route, re-inject (conceptually)
+        // until delivery, mirroring what the simulator does.
+        let t = torus();
+        let mut faults = FaultSet::new();
+        faults.fail_node(t.node_from_digits(&[3, 0]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let src = t.node_from_digits(&[1, 0]).unwrap();
+        let dest = t.node_from_digits(&[4, 0]).unwrap();
+
+        let mut header = algo.make_header(&t, src, dest);
+        let mut current = src;
+        let mut absorptions = 0;
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            assert!(steps < 1000, "livelock: message never delivered");
+            match algo.route(&t, &faults, &mut header, current, 4) {
+                RouteDecision::Deliver => break,
+                RouteDecision::Forward(cands) => {
+                    let c = &cands[0];
+                    algo.note_hop(&t, &mut header, current, c.dim, c.dir);
+                    current = t.neighbor(current, c.dim, c.dir);
+                    assert!(!faults.is_node_faulty(current));
+                }
+                RouteDecision::Absorb => {
+                    absorptions += 1;
+                    // Determine the blocked output exactly as the router does.
+                    let (dim, dir) = ecube_output(&t, &header, current).unwrap();
+                    assert!(algo.reroute_on_fault(
+                        &t,
+                        &faults,
+                        &mut header,
+                        current,
+                        (dim, dir)
+                    ));
+                    header.reset_for_injection();
+                }
+            }
+        }
+        assert_eq!(current, dest);
+        assert!(absorptions >= 1, "the fault lies on the e-cube path");
+        assert_eq!(header.absorptions, absorptions);
+    }
+
+    #[test]
+    fn adaptive_flavor_faulted_message_uses_escape_vcs() {
+        let t = torus();
+        let algo = SwBasedRouting::adaptive();
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let mut header = algo.make_header(&t, src, dest);
+        header.faulted = true;
+        let d = algo.route(&t, &no_faults(), &mut header, src, 6);
+        match d {
+            RouteDecision::Forward(cands) => {
+                assert_eq!(cands.len(), 1);
+                assert_eq!(cands[0].vcs, vec![0]);
+                assert!(cands[0].is_escape);
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn min_virtual_channels_and_names() {
+        assert_eq!(SwBasedRouting::deterministic().min_virtual_channels(), 2);
+        assert_eq!(SwBasedRouting::adaptive().min_virtual_channels(), 3);
+        assert_eq!(
+            SwBasedRouting::deterministic().name(),
+            "SW-Based-nD (deterministic)"
+        );
+        assert_eq!(
+            SwBasedRouting::with_flavor(RoutingFlavor::Adaptive).flavor(),
+            RoutingFlavor::Adaptive
+        );
+    }
+
+    #[test]
+    fn orthogonal_order_prefers_pair_partner() {
+        assert_eq!(SwBasedRouting::orthogonal_order(3, 0), vec![1, 2]);
+        assert_eq!(SwBasedRouting::orthogonal_order(3, 1), vec![2, 0]);
+        assert_eq!(SwBasedRouting::orthogonal_order(3, 2), vec![1, 0]);
+        assert_eq!(SwBasedRouting::orthogonal_order(2, 1), vec![0]);
+        assert_eq!(SwBasedRouting::orthogonal_order(1, 0), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,194 @@
+//! Simulation configuration.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use torus_workloads::TrafficSpec;
+
+/// When a simulation run stops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StopCondition {
+    /// Stop once this many *measured* (post-warm-up) messages have been
+    /// delivered, the paper's methodology (100,000 messages of which the
+    /// first 10,000 are discarded).
+    MeasuredMessages(u64),
+    /// Stop after simulating this many cycles.
+    Cycles(u64),
+}
+
+/// Errors detected when validating a [`SimConfig`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SimConfigError {
+    /// The requested number of virtual channels is below the minimum the
+    /// routing algorithm needs for deadlock freedom.
+    TooFewVirtualChannels {
+        /// Requested V.
+        requested: usize,
+        /// Minimum required by the routing flavour.
+        minimum: usize,
+    },
+    /// Flit buffers must hold at least one flit.
+    ZeroBufferDepth,
+    /// The topology parameters are invalid.
+    Topology(torus_topology::TorusError),
+}
+
+impl fmt::Display for SimConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimConfigError::TooFewVirtualChannels { requested, minimum } => write!(
+                f,
+                "{requested} virtual channels requested but the routing algorithm needs at least {minimum}"
+            ),
+            SimConfigError::ZeroBufferDepth => write!(f, "flit buffers must hold at least one flit"),
+            SimConfigError::Topology(e) => write!(f, "invalid topology: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimConfigError {}
+
+/// Full configuration of one simulation run.
+///
+/// The defaults reproduce the paper's assumptions: router decision time
+/// `Td = 0`, re-injection overhead `Δ = 0`, fixed-length messages, Poisson
+/// arrivals, uniform destinations.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Radix `k` of the k-ary n-cube.
+    pub radix: u16,
+    /// Dimensionality `n` of the k-ary n-cube.
+    pub dims: u32,
+    /// Virtual channels per physical channel (`V`).
+    pub virtual_channels: usize,
+    /// Flit-buffer depth of each virtual channel, in flits.
+    pub buffer_depth: usize,
+    /// Workload applied to every healthy node.
+    pub traffic: TrafficSpec,
+    /// Router decision time `Td` in cycles (0 in all paper experiments).
+    pub router_delay: u32,
+    /// Software re-injection overhead `Δ` in cycles (0 in all paper
+    /// experiments).
+    pub reinjection_delay: u32,
+    /// Number of generated messages discarded as warm-up transient.
+    pub warmup_messages: u64,
+    /// Stop condition of the run.
+    pub stop: StopCondition,
+    /// Hard cap on simulated cycles (applies to every stop condition, so a
+    /// saturated network cannot run forever).
+    pub max_cycles: u64,
+    /// RNG seed; every run is a deterministic function of its seed.
+    pub seed: u64,
+    /// Safety valve: a head flit that has been unable to obtain an output for
+    /// this many cycles is absorbed by the local software layer exactly as if
+    /// it had encountered a fault. With the deadlock-free routing algorithms
+    /// in this repository the valve never fires (asserted by tests); it
+    /// protects long experiment sweeps against pathological configurations.
+    pub stall_absorb_threshold: u64,
+}
+
+impl SimConfig {
+    /// A configuration matching the paper's experimental setup for the given
+    /// topology, virtual-channel count, message length (flits) and traffic
+    /// rate (messages/node/cycle), at a reduced message budget suitable for
+    /// quick runs (2,000 warm-up + 10,000 measured messages).
+    pub fn paper(radix: u16, dims: u32, v: usize, message_length: u32, rate: f64) -> Self {
+        SimConfig {
+            radix,
+            dims,
+            virtual_channels: v,
+            buffer_depth: 2,
+            traffic: TrafficSpec::paper(rate, message_length),
+            router_delay: 0,
+            reinjection_delay: 0,
+            warmup_messages: 2_000,
+            stop: StopCondition::MeasuredMessages(10_000),
+            max_cycles: 300_000,
+            seed: 0x5afae1_2006,
+            stall_absorb_threshold: 20_000,
+        }
+    }
+
+    /// Switches to the paper's full message budget (10,000 warm-up messages,
+    /// 90,000 measured messages).
+    pub fn with_paper_scale(mut self) -> Self {
+        self.warmup_messages = 10_000;
+        self.stop = StopCondition::MeasuredMessages(90_000);
+        self.max_cycles = 2_000_000;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total number of nodes of the configured topology.
+    pub fn num_nodes(&self) -> usize {
+        (self.radix as usize).pow(self.dims)
+    }
+
+    /// Validates the configuration against the minimum virtual-channel count
+    /// required by a routing algorithm.
+    pub fn validate(&self, min_vcs: usize) -> Result<(), SimConfigError> {
+        torus_topology::Torus::new(self.radix, self.dims).map_err(SimConfigError::Topology)?;
+        if self.buffer_depth == 0 {
+            return Err(SimConfigError::ZeroBufferDepth);
+        }
+        if self.virtual_channels < min_vcs {
+            return Err(SimConfigError::TooFewVirtualChannels {
+                requested: self.virtual_channels,
+                minimum: min_vcs,
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_defaults() {
+        let c = SimConfig::paper(8, 2, 6, 32, 0.008);
+        assert_eq!(c.num_nodes(), 64);
+        assert_eq!(c.router_delay, 0);
+        assert_eq!(c.reinjection_delay, 0);
+        assert_eq!(c.virtual_channels, 6);
+        assert!(matches!(c.stop, StopCondition::MeasuredMessages(_)));
+        assert!(c.validate(3).is_ok());
+    }
+
+    #[test]
+    fn paper_scale_increases_budget() {
+        let c = SimConfig::paper(8, 3, 10, 64, 0.004).with_paper_scale();
+        assert_eq!(c.warmup_messages, 10_000);
+        assert_eq!(c.stop, StopCondition::MeasuredMessages(90_000));
+        assert_eq!(c.num_nodes(), 512);
+    }
+
+    #[test]
+    fn validation_errors() {
+        let mut c = SimConfig::paper(8, 2, 2, 32, 0.001);
+        assert_eq!(
+            c.validate(3),
+            Err(SimConfigError::TooFewVirtualChannels {
+                requested: 2,
+                minimum: 3
+            })
+        );
+        c.virtual_channels = 4;
+        c.buffer_depth = 0;
+        assert_eq!(c.validate(2), Err(SimConfigError::ZeroBufferDepth));
+        c.buffer_depth = 2;
+        c.radix = 1;
+        assert!(matches!(c.validate(2), Err(SimConfigError::Topology(_))));
+    }
+
+    #[test]
+    fn seed_builder() {
+        let c = SimConfig::paper(8, 2, 4, 32, 0.001).with_seed(99);
+        assert_eq!(c.seed, 99);
+    }
+}

@@ -1,0 +1,136 @@
+//! Flits — the flow-control units of wormhole switching.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a message within one simulation run (messages are numbered
+/// in generation order).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MessageId(pub u64);
+
+impl MessageId {
+    /// Returns the identifier as a `usize` suitable for indexing the message
+    /// table.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// Kind of a flit within its message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FlitKind {
+    /// Header flit: carries the routing information and allocates channels.
+    Head,
+    /// Data (body) flit.
+    Body,
+    /// Tail flit: releases the channels the message holds as it passes.
+    Tail,
+    /// A single-flit message is simultaneously head and tail.
+    HeadTail,
+}
+
+impl FlitKind {
+    /// True for flits that carry the header (and therefore trigger routing).
+    #[inline]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::HeadTail)
+    }
+
+    /// True for flits that terminate the message (and release resources).
+    #[inline]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::HeadTail)
+    }
+}
+
+/// One flow-control unit travelling through the network.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Flit {
+    /// The message this flit belongs to.
+    pub msg: MessageId,
+    /// Position of the flit within its message (0 = header).
+    pub seq: u32,
+    /// Kind of the flit.
+    pub kind: FlitKind,
+}
+
+impl Flit {
+    /// Builds the `seq`-th flit of a message of `length` flits.
+    pub fn nth_of(msg: MessageId, seq: u32, length: u32) -> Self {
+        debug_assert!(length >= 1 && seq < length);
+        let kind = match (seq, length) {
+            (0, 1) => FlitKind::HeadTail,
+            (0, _) => FlitKind::Head,
+            (s, l) if s + 1 == l => FlitKind::Tail,
+            _ => FlitKind::Body,
+        };
+        Flit { msg, seq, kind }
+    }
+
+    /// Materialises all flits of a message, header first.
+    pub fn all_of(msg: MessageId, length: u32) -> impl Iterator<Item = Flit> {
+        (0..length.max(1)).map(move |seq| Flit::nth_of(msg, seq, length.max(1)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flit_kinds_by_position() {
+        let flits: Vec<Flit> = Flit::all_of(MessageId(3), 4).collect();
+        assert_eq!(flits.len(), 4);
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Body);
+        assert_eq!(flits[2].kind, FlitKind::Body);
+        assert_eq!(flits[3].kind, FlitKind::Tail);
+        assert!(flits[0].kind.is_head());
+        assert!(!flits[0].kind.is_tail());
+        assert!(flits[3].kind.is_tail());
+        assert!(flits.iter().all(|f| f.msg == MessageId(3)));
+        assert_eq!(flits[2].seq, 2);
+    }
+
+    #[test]
+    fn single_flit_message_is_head_and_tail() {
+        let flits: Vec<Flit> = Flit::all_of(MessageId(0), 1).collect();
+        assert_eq!(flits.len(), 1);
+        assert_eq!(flits[0].kind, FlitKind::HeadTail);
+        assert!(flits[0].kind.is_head());
+        assert!(flits[0].kind.is_tail());
+    }
+
+    #[test]
+    fn zero_length_clamps_to_one() {
+        let flits: Vec<Flit> = Flit::all_of(MessageId(0), 0).collect();
+        assert_eq!(flits.len(), 1);
+    }
+
+    #[test]
+    fn two_flit_message() {
+        let flits: Vec<Flit> = Flit::all_of(MessageId(7), 2).collect();
+        assert_eq!(flits[0].kind, FlitKind::Head);
+        assert_eq!(flits[1].kind, FlitKind::Tail);
+    }
+
+    #[test]
+    fn message_id_display() {
+        assert_eq!(format!("{}", MessageId(12)), "12");
+        assert_eq!(format!("{:?}", MessageId(12)), "m12");
+        assert_eq!(MessageId(5).index(), 5);
+    }
+}

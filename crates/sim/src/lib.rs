@@ -1,0 +1,50 @@
+//! # torus-sim
+//!
+//! A flit-level simulator of wormhole-switched k-ary n-cube networks with
+//! virtual channels, faithful to the simulation model of Safaei et al.
+//! (IPDPS 2006), Section 5:
+//!
+//! * each node couples a processing element (PE) to a router with `2n`
+//!   network input/output channel pairs plus injection and ejection channels;
+//! * every physical channel carries `V` virtual channels, each with its own
+//!   flit buffer, sharing the physical link bandwidth (one flit per physical
+//!   channel per cycle);
+//! * messages are split into flits; the header flit carries the routing state
+//!   and data flits follow it in a pipelined fashion (wormhole switching);
+//! * routing decisions, virtual-channel selection and deadlock avoidance are
+//!   delegated to a [`torus_routing::RoutingAlgorithm`] — in this repository
+//!   the Software-Based fault-tolerant algorithm in its deterministic and
+//!   adaptive flavours;
+//! * when the routing algorithm decides to **absorb** a message (its useful
+//!   outputs lead to faulty components), the whole worm is drained into the
+//!   local node, handed to the message-passing software, re-routed and
+//!   re-injected with priority over locally generated messages — the
+//!   Software-Based fault-tolerance mechanism;
+//! * per-node traffic sources (Poisson arrivals, uniform destinations, fixed
+//!   message length) come from `torus-workloads`, statistics from
+//!   `torus-metrics`.
+//!
+//! The main entry point is [`Simulation`]: build it from a [`SimConfig`],
+//! call [`Simulation::run`] and read the resulting
+//! [`torus_metrics::SimulationReport`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod flit;
+pub mod message;
+pub mod network;
+pub mod router;
+
+pub use config::{SimConfig, SimConfigError, StopCondition};
+pub use flit::{Flit, FlitKind, MessageId};
+pub use message::MessageState;
+pub use network::{RunOutcome, Simulation};
+
+/// Convenience prelude re-exporting the most frequently used items.
+pub mod prelude {
+    pub use crate::config::{SimConfig, StopCondition};
+    pub use crate::flit::{Flit, FlitKind, MessageId};
+    pub use crate::network::{RunOutcome, Simulation};
+}

@@ -1,0 +1,886 @@
+//! The cycle-driven flit-level network simulator.
+//!
+//! Every simulated cycle consists of the classical wormhole router pipeline,
+//! applied synchronously to all routers:
+//!
+//! 1. **Traffic generation** — healthy PEs draw new messages from their
+//!    Poisson sources into the node's source queue.
+//! 2. **Injection** — idle injection virtual channels accept the next message
+//!    from the software re-injection queue (priority) or the source queue.
+//! 3. **Routing computation + virtual-channel allocation** — head flits at the
+//!    front of an input VC obtain a routing decision from the routing
+//!    algorithm and try to claim a permitted output VC.
+//! 4. **Switch allocation + traversal** — each output physical channel moves
+//!    at most one flit per cycle (round-robin among requesting input VCs with
+//!    downstream credit); flits routed to the local node (delivery or
+//!    absorption) drain without bandwidth limit (paper assumption (d)).
+//! 5. **Credit return / arrival application** — movements become visible to
+//!    the downstream routers at the start of the next cycle.
+//!
+//! Absorption (the Software-Based mechanism) drains the whole worm into the
+//! local node; once the tail flit has arrived the message-passing software
+//! rewrites the header ([`torus_routing::RoutingAlgorithm::reroute_on_fault`])
+//! and places the message in the node's re-injection queue, which is served
+//! with priority over locally generated messages.
+
+use crate::config::{SimConfig, SimConfigError, StopCondition};
+use crate::flit::{Flit, MessageId};
+use crate::message::{MessagePhase, MessageState};
+use crate::router::{InputVc, OutputVc, ReinjectionEntry, RouteTarget, RouterState, VcRoute};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use torus_faults::FaultSet;
+use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
+use torus_routing::ecube::ecube_output;
+use torus_routing::{RouteDecision, RoutingAlgorithm};
+use torus_topology::{Direction, Torus};
+use torus_workloads::TrafficSource;
+
+/// Result of running a simulation to its stop condition.
+#[derive(Clone, Debug)]
+pub struct RunOutcome {
+    /// The metrics report of the run.
+    pub report: SimulationReport,
+    /// True if the run stopped because it hit the `max_cycles` cap rather than
+    /// its stop condition (typically a saturated network).
+    pub hit_max_cycles: bool,
+    /// Messages absorbed by the stall watchdog rather than a fault encounter
+    /// (always 0 with the deadlock-free algorithms shipped here).
+    pub forced_absorptions: u64,
+    /// Messages dropped because no fault-free path to their destination
+    /// existed (always 0 when faults preserve connectivity).
+    pub dropped_messages: u64,
+}
+
+/// A flit-level wormhole simulation of one network configuration.
+pub struct Simulation<A: RoutingAlgorithm> {
+    torus: Torus,
+    faults: FaultSet,
+    algo: A,
+    config: SimConfig,
+    routers: Vec<RouterState>,
+    messages: Vec<MessageState>,
+    sources: Vec<TrafficSource>,
+    collector: MetricsCollector,
+    rng: StdRng,
+    cycle: u64,
+    in_flight: u64,
+    dropped: u64,
+    forced_absorptions: u64,
+    // Scratch buffers reused across cycles to avoid per-cycle allocation.
+    arrivals: Vec<(usize, usize, usize, Flit)>,
+    credit_returns: Vec<(usize, usize, usize)>,
+}
+
+impl<A: RoutingAlgorithm> Simulation<A> {
+    /// Builds a simulation from a configuration, a fault set and a routing
+    /// algorithm.
+    pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
+        let min_vcs = 2.max(match algo.flavor() {
+            torus_routing::RoutingFlavor::Deterministic => 2,
+            torus_routing::RoutingFlavor::Adaptive => 3,
+        });
+        config.validate(min_vcs)?;
+        let torus = Torus::new(config.radix, config.dims).map_err(SimConfigError::Topology)?;
+        let n = torus.dims();
+        let v = config.virtual_channels;
+        let routers = torus
+            .nodes()
+            .map(|node| {
+                RouterState::new(node, n, v, config.buffer_depth, faults.is_node_faulty(node))
+            })
+            .collect();
+        let sources = torus
+            .nodes()
+            .map(|node| config.traffic.source_for(node))
+            .collect();
+        let collector = MetricsCollector::new(
+            torus.num_nodes(),
+            WarmupPolicy::Messages(config.warmup_messages),
+        );
+        let rng = StdRng::seed_from_u64(config.seed);
+        Ok(Simulation {
+            torus,
+            faults,
+            algo,
+            config,
+            routers,
+            messages: Vec::new(),
+            sources,
+            collector,
+            rng,
+            cycle: 0,
+            in_flight: 0,
+            dropped: 0,
+            forced_absorptions: 0,
+            arrivals: Vec::new(),
+            credit_returns: Vec::new(),
+        })
+    }
+
+    /// The topology being simulated.
+    pub fn torus(&self) -> &Torus {
+        &self.torus
+    }
+
+    /// The fault set applied to the network.
+    pub fn faults(&self) -> &FaultSet {
+        &self.faults
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Messages currently queued or travelling.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Messages absorbed by the stall watchdog (should stay 0).
+    pub fn forced_absorptions(&self) -> u64 {
+        self.forced_absorptions
+    }
+
+    /// Messages dropped for lack of any fault-free path (should stay 0).
+    pub fn dropped_messages(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Read-only access to the message table (used by tests and examples).
+    pub fn messages(&self) -> &[MessageState] {
+        &self.messages
+    }
+
+    /// The current metrics report.
+    pub fn report(&self) -> SimulationReport {
+        self.collector.report(self.cycle, self.in_flight)
+    }
+
+    /// Runs the simulation until its stop condition (or `max_cycles`) and
+    /// returns the outcome.
+    pub fn run(&mut self) -> RunOutcome {
+        let mut hit_max_cycles = false;
+        loop {
+            if self.stop_condition_met() {
+                break;
+            }
+            if self.cycle >= self.config.max_cycles {
+                hit_max_cycles = true;
+                break;
+            }
+            self.step();
+        }
+        RunOutcome {
+            report: self.report(),
+            hit_max_cycles,
+            forced_absorptions: self.forced_absorptions,
+            dropped_messages: self.dropped,
+        }
+    }
+
+    fn stop_condition_met(&self) -> bool {
+        match self.config.stop {
+            StopCondition::MeasuredMessages(n) => self.collector.delivered_measured() >= n,
+            StopCondition::Cycles(c) => self.cycle >= c,
+        }
+    }
+
+    /// Advances the simulation by one cycle.
+    pub fn step(&mut self) {
+        let now = self.cycle;
+        self.generate_traffic(now);
+        self.assign_injection_vcs(now);
+        self.route_and_allocate(now);
+        self.switch_and_traverse(now);
+        self.apply_arrivals(now);
+        self.apply_credit_returns();
+        if self.config.stall_absorb_threshold > 0 && now % 128 == 0 {
+            self.stall_watchdog(now);
+        }
+        self.cycle = now + 1;
+    }
+
+    // ---------------------------------------------------------------- stages
+
+    fn generate_traffic(&mut self, now: u64) {
+        let Simulation {
+            torus,
+            faults,
+            algo,
+            routers,
+            messages,
+            sources,
+            collector,
+            rng,
+            in_flight,
+            ..
+        } = self;
+        for (idx, source) in sources.iter_mut().enumerate() {
+            if routers[idx].is_faulty {
+                continue;
+            }
+            for gen in source.generate(torus, faults, now, rng) {
+                let id = MessageId(messages.len() as u64);
+                let header = algo.make_header(torus, gen.src, gen.dest);
+                let measured = collector.on_generated(now);
+                messages.push(MessageState::new(id, header, gen.length, now, measured));
+                routers[idx].source_queue.push_back(id);
+                *in_flight += 1;
+            }
+        }
+    }
+
+    fn assign_injection_vcs(&mut self, now: u64) {
+        let Simulation {
+            routers,
+            messages,
+            config,
+            ..
+        } = self;
+        for router in routers.iter_mut() {
+            if router.is_faulty {
+                continue;
+            }
+            let port = router.injection_port();
+            for vc in 0..config.virtual_channels {
+                if !router.inputs[port][vc].is_idle() {
+                    continue;
+                }
+                // Re-injected (absorbed) messages have priority over new ones.
+                let msg_id = if router
+                    .reinjection_queue
+                    .front()
+                    .is_some_and(|e| e.ready_at <= now)
+                {
+                    router.reinjection_queue.pop_front().map(|e| e.msg)
+                } else {
+                    router.source_queue.pop_front()
+                };
+                let Some(msg_id) = msg_id else {
+                    break;
+                };
+                let msg = &mut messages[msg_id.index()];
+                msg.header.reset_for_injection();
+                msg.note_injected(now);
+                let ivc = &mut router.inputs[port][vc];
+                ivc.buffer.extend(Flit::all_of(msg_id, msg.length));
+                ivc.route = None;
+                ivc.last_progress = now;
+            }
+        }
+    }
+
+    fn route_and_allocate(&mut self, now: u64) {
+        let Simulation {
+            torus,
+            faults,
+            algo,
+            routers,
+            messages,
+            config,
+            rng,
+            ..
+        } = self;
+        let v = config.virtual_channels;
+        for router in routers.iter_mut() {
+            if router.is_faulty {
+                continue;
+            }
+            let node = router.node;
+            let num_ports = router.injection_port() + 1;
+            for port in 0..num_ports {
+                for vc in 0..v {
+                    if router.inputs[port][vc].route.is_some() {
+                        continue;
+                    }
+                    let Some(front) = router.inputs[port][vc].buffer.front() else {
+                        continue;
+                    };
+                    if !front.kind.is_head() {
+                        continue;
+                    }
+                    let msg_id = front.msg;
+                    let header = &mut messages[msg_id.index()].header;
+                    let decision = algo.route(torus, faults, header, node, v);
+                    let ready_at = now + config.router_delay as u64;
+                    match decision {
+                        RouteDecision::Deliver => {
+                            router.inputs[port][vc].route = Some(VcRoute {
+                                msg: msg_id,
+                                target: RouteTarget::Deliver,
+                                ready_at,
+                            });
+                        }
+                        RouteDecision::Absorb => {
+                            router.inputs[port][vc].route = Some(VcRoute {
+                                msg: msg_id,
+                                target: RouteTarget::Absorb,
+                                ready_at,
+                            });
+                        }
+                        RouteDecision::Forward(mut candidates) => {
+                            // The paper's assumption (e): pick randomly among
+                            // the available VCs of the profitable physical
+                            // channels; escape channels are only considered
+                            // when no adaptive candidate has a free VC.
+                            candidates[..].shuffle(rng);
+                            candidates.sort_by_key(|c| c.is_escape);
+                            let mut chosen: Option<(usize, usize)> = None;
+                            for cand in &candidates {
+                                let out_port = RouterState::out_port(cand.dim, cand.dir);
+                                let free: Vec<usize> = cand
+                                    .vcs
+                                    .iter()
+                                    .copied()
+                                    .filter(|&ovc| {
+                                        router.outputs[out_port][ovc]
+                                            .available(config.buffer_depth)
+                                    })
+                                    .collect();
+                                if let Some(&ovc) = free.choose(rng) {
+                                    chosen = Some((out_port, ovc));
+                                    break;
+                                }
+                            }
+                            if let Some((out_port, out_vc)) = chosen {
+                                router.outputs[out_port][out_vc].owner = Some(msg_id);
+                                router.outputs[out_port][out_vc].draining = false;
+                                router.inputs[port][vc].route = Some(VcRoute {
+                                    msg: msg_id,
+                                    target: RouteTarget::Network { out_port, out_vc },
+                                    ready_at,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn switch_and_traverse(&mut self, now: u64) {
+        let Simulation {
+            torus,
+            faults,
+            algo,
+            routers,
+            messages,
+            collector,
+            config,
+            in_flight,
+            dropped,
+            arrivals,
+            credit_returns,
+            ..
+        } = self;
+        let v = config.virtual_channels;
+        arrivals.clear();
+        credit_returns.clear();
+
+        for router in routers.iter_mut() {
+            if router.is_faulty {
+                continue;
+            }
+            let node = router.node;
+            let injection_port = router.injection_port();
+            let num_inputs = injection_port + 1;
+
+            // ---- local sinks: delivery and absorption (unbounded bandwidth)
+            for port in 0..num_inputs {
+                for vc in 0..v {
+                    let Some(route) = router.inputs[port][vc].route else {
+                        continue;
+                    };
+                    let local = matches!(route.target, RouteTarget::Deliver | RouteTarget::Absorb);
+                    if !local || route.ready_at > now {
+                        continue;
+                    }
+                    let Some(flit) = router.inputs[port][vc].buffer.pop_front() else {
+                        continue;
+                    };
+                    router.inputs[port][vc].last_progress = now;
+                    if port != injection_port {
+                        let (dim, dir) = RouterState::port_dim_dir(port);
+                        let upstream = torus.neighbor(node, dim, dir.opposite());
+                        credit_returns.push((upstream.index(), port, vc));
+                    }
+                    let entry = router.local_assembly.entry(flit.msg).or_insert(0);
+                    *entry += 1;
+                    if !flit.kind.is_tail() {
+                        continue;
+                    }
+                    // Whole message has arrived locally.
+                    router.local_assembly.remove(&flit.msg);
+                    router.inputs[port][vc].route = None;
+                    let msg = &mut messages[flit.msg.index()];
+                    match route.target {
+                        RouteTarget::Deliver => {
+                            msg.note_delivered(now);
+                            collector.on_delivered(
+                                msg.generated_at,
+                                msg.first_injected_at.unwrap_or(msg.generated_at),
+                                now,
+                                msg.length,
+                                msg.header.hops,
+                                msg.measured,
+                            );
+                            *in_flight -= 1;
+                        }
+                        RouteTarget::Absorb => {
+                            collector.on_absorbed(msg.measured);
+                            let blocked = ecube_output(torus, &msg.header, node)
+                                .unwrap_or((0, Direction::Plus));
+                            let rerouted = algo.reroute_on_fault(
+                                torus,
+                                faults,
+                                &mut msg.header,
+                                node,
+                                blocked,
+                            );
+                            if rerouted {
+                                msg.phase = MessagePhase::Queued;
+                                router.reinjection_queue.push_back(ReinjectionEntry {
+                                    msg: flit.msg,
+                                    ready_at: now + config.reinjection_delay as u64,
+                                });
+                                collector
+                                    .on_reinjection_queue_depth(router.reinjection_queue.len());
+                            } else {
+                                msg.note_dropped();
+                                *dropped += 1;
+                                *in_flight -= 1;
+                            }
+                        }
+                        RouteTarget::Network { .. } => unreachable!("local sink"),
+                    }
+                }
+            }
+
+            // ---- network output ports: one flit per physical channel per cycle
+            let total_slots = num_inputs * v;
+            for out_port in 0..router.num_net_ports() {
+                let start = router.sa_pointer[out_port];
+                let mut winner: Option<usize> = None;
+                for offset in 0..total_slots {
+                    let flat = (start + offset) % total_slots;
+                    let (in_port, in_vc) = (flat / v, flat % v);
+                    let Some(route) = router.inputs[in_port][in_vc].route else {
+                        continue;
+                    };
+                    if route.ready_at > now {
+                        continue;
+                    }
+                    let RouteTarget::Network {
+                        out_port: op,
+                        out_vc,
+                    } = route.target
+                    else {
+                        continue;
+                    };
+                    if op != out_port || router.inputs[in_port][in_vc].buffer.is_empty() {
+                        continue;
+                    }
+                    if router.outputs[out_port][out_vc].credits == 0 {
+                        continue;
+                    }
+                    winner = Some(flat);
+                    break;
+                }
+                let Some(flat) = winner else {
+                    continue;
+                };
+                let (in_port, in_vc) = (flat / v, flat % v);
+                let route = router.inputs[in_port][in_vc]
+                    .route
+                    .expect("winner has a route");
+                let RouteTarget::Network { out_vc, .. } = route.target else {
+                    unreachable!()
+                };
+                let flit = router.inputs[in_port][in_vc]
+                    .buffer
+                    .pop_front()
+                    .expect("winner has a flit");
+                router.inputs[in_port][in_vc].last_progress = now;
+                router.outputs[out_port][out_vc].credits -= 1;
+                if in_port != injection_port {
+                    let (dim, dir) = RouterState::port_dim_dir(in_port);
+                    let upstream = torus.neighbor(node, dim, dir.opposite());
+                    credit_returns.push((upstream.index(), in_port, in_vc));
+                }
+                let (dim, dir) = RouterState::port_dim_dir(out_port);
+                if flit.kind.is_head() {
+                    let header = &mut messages[flit.msg.index()].header;
+                    algo.note_hop(torus, header, node, dim, dir);
+                }
+                let dest = torus.neighbor(node, dim, dir);
+                arrivals.push((dest.index(), out_port, out_vc, flit));
+                if flit.kind.is_tail() {
+                    router.inputs[in_port][in_vc].route = None;
+                    router.outputs[out_port][out_vc].draining = true;
+                }
+                router.sa_pointer[out_port] = (flat + 1) % total_slots;
+            }
+        }
+    }
+
+    fn apply_arrivals(&mut self, now: u64) {
+        let Simulation {
+            routers,
+            arrivals,
+            config,
+            ..
+        } = self;
+        for (node_idx, in_port, vc, flit) in arrivals.drain(..) {
+            let ivc = &mut routers[node_idx].inputs[in_port][vc];
+            debug_assert!(
+                ivc.buffer.len() < config.buffer_depth,
+                "flit arrived at a full buffer (credit accounting violated)"
+            );
+            if ivc.buffer.is_empty() {
+                ivc.last_progress = now;
+            }
+            ivc.buffer.push_back(flit);
+        }
+    }
+
+    fn apply_credit_returns(&mut self) {
+        let Simulation {
+            routers,
+            credit_returns,
+            config,
+            ..
+        } = self;
+        for (node_idx, out_port, vc) in credit_returns.drain(..) {
+            let ovc: &mut OutputVc = &mut routers[node_idx].outputs[out_port][vc];
+            ovc.credits += 1;
+            debug_assert!(
+                ovc.credits <= config.buffer_depth,
+                "credit counter exceeded the buffer depth"
+            );
+        }
+    }
+
+    /// Safety valve: a head flit that could not obtain an output VC for an
+    /// extremely long time is handed to the software layer exactly as if it
+    /// had hit a fault. Never triggers with the deadlock-free algorithms in
+    /// this repository (asserted by the integration tests).
+    fn stall_watchdog(&mut self, now: u64) {
+        let threshold = self.config.stall_absorb_threshold;
+        let v = self.config.virtual_channels;
+        let Simulation {
+            routers,
+            forced_absorptions,
+            ..
+        } = self;
+        for router in routers.iter_mut() {
+            if router.is_faulty {
+                continue;
+            }
+            let num_inputs = router.injection_port() + 1;
+            for port in 0..num_inputs {
+                for vc in 0..v {
+                    let ivc: &mut InputVc = &mut router.inputs[port][vc];
+                    if ivc.route.is_some() || ivc.buffer.is_empty() {
+                        continue;
+                    }
+                    if now.saturating_sub(ivc.last_progress) < threshold {
+                        continue;
+                    }
+                    let Some(front) = ivc.buffer.front() else {
+                        continue;
+                    };
+                    if !front.kind.is_head() {
+                        continue;
+                    }
+                    ivc.route = Some(VcRoute {
+                        msg: front.msg,
+                        target: RouteTarget::Absorb,
+                        ready_at: now,
+                    });
+                    *forced_absorptions += 1;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torus_faults::{random_node_faults, FaultScenario};
+    use torus_routing::SwBasedRouting;
+    use torus_workloads::TrafficSpec;
+
+    fn quick_config(radix: u16, dims: u32, v: usize, m: u32, rate: f64) -> SimConfig {
+        let mut c = SimConfig::paper(radix, dims, v, m, rate);
+        c.warmup_messages = 200;
+        c.stop = StopCondition::MeasuredMessages(1_500);
+        c.max_cycles = 120_000;
+        c
+    }
+
+    #[test]
+    fn fault_free_deterministic_delivers_everything() {
+        let config = quick_config(4, 2, 4, 8, 0.01);
+        let mut sim =
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        assert!(!out.hit_max_cycles, "network should not saturate at this load");
+        assert_eq!(out.forced_absorptions, 0);
+        assert_eq!(out.dropped_messages, 0);
+        assert_eq!(out.report.messages_queued, 0, "no faults, no absorptions");
+        assert!(out.report.measured_messages >= 1_500);
+        // Latency must be at least message length (serialisation) and below
+        // an order-of-magnitude bound for this small, lightly loaded network.
+        assert!(out.report.mean_latency >= 8.0);
+        assert!(out.report.mean_latency < 80.0, "{}", out.report.mean_latency);
+        // Mean hops should approximate the analytic average distance.
+        let avg = sim.torus().average_distance();
+        assert!((out.report.mean_hops - avg).abs() < 0.6);
+    }
+
+    #[test]
+    fn fault_free_adaptive_delivers_everything() {
+        let config = quick_config(4, 2, 4, 8, 0.01);
+        let mut sim =
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::adaptive()).unwrap();
+        let out = sim.run();
+        assert!(!out.hit_max_cycles);
+        assert_eq!(out.report.messages_queued, 0);
+        assert_eq!(out.forced_absorptions, 0);
+        assert!(out.report.mean_latency >= 8.0);
+        assert!(out.report.mean_latency < 80.0);
+    }
+
+    #[test]
+    fn faulty_network_still_delivers_with_absorptions() {
+        let mut config = quick_config(8, 2, 4, 16, 0.004);
+        config.stop = StopCondition::MeasuredMessages(1_000);
+        let torus = Torus::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(17);
+        let faults = random_node_faults(&torus, 5, &mut rng).unwrap();
+        let mut sim = Simulation::new(config, faults, SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        assert!(!out.hit_max_cycles);
+        assert_eq!(out.dropped_messages, 0);
+        assert_eq!(out.forced_absorptions, 0);
+        assert!(
+            out.report.messages_queued > 0,
+            "with 5 faulty nodes some messages must be absorbed"
+        );
+        assert!(out.report.measured_messages >= 1_000);
+    }
+
+    #[test]
+    fn adaptive_absorbs_fewer_messages_than_deterministic() {
+        let torus = Torus::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        let faults = random_node_faults(&torus, 5, &mut rng).unwrap();
+        let mut config = quick_config(8, 2, 6, 16, 0.004);
+        config.stop = StopCondition::MeasuredMessages(1_000);
+
+        let det = Simulation::new(config.clone(), faults.clone(), SwBasedRouting::deterministic())
+            .unwrap()
+            .run();
+        let ada = Simulation::new(config, faults, SwBasedRouting::adaptive())
+            .unwrap()
+            .run();
+        assert!(det.report.messages_queued > 0);
+        assert!(
+            ada.report.messages_queued < det.report.messages_queued,
+            "adaptive ({}) should absorb fewer messages than deterministic ({})",
+            ada.report.messages_queued,
+            det.report.messages_queued
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_results() {
+        let config = quick_config(4, 2, 4, 8, 0.01);
+        let run = |seed: u64| {
+            let mut c = config.clone();
+            c.seed = seed;
+            Simulation::new(c, FaultSet::new(), SwBasedRouting::adaptive())
+                .unwrap()
+                .run()
+                .report
+        };
+        let a = run(11);
+        let b = run(11);
+        assert_eq!(a, b);
+        let c = run(12);
+        assert_ne!(a.mean_latency, c.mean_latency);
+    }
+
+    #[test]
+    fn region_fault_scenario_runs() {
+        let torus = Torus::new(8, 2).unwrap();
+        let scenario = FaultScenario::centered_region(
+            &torus,
+            torus_faults::RegionShape::paper_u_8(),
+        );
+        let mut rng = StdRng::seed_from_u64(0);
+        let faults = scenario.realize(&torus, &mut rng).unwrap();
+        let mut config = quick_config(8, 2, 4, 16, 0.003);
+        config.stop = StopCondition::MeasuredMessages(600);
+        let mut sim = Simulation::new(config, faults, SwBasedRouting::adaptive()).unwrap();
+        let out = sim.run();
+        assert!(!out.hit_max_cycles);
+        assert_eq!(out.dropped_messages, 0);
+        assert!(out.report.mean_latency > 0.0);
+    }
+
+    #[test]
+    fn saturated_network_hits_cycle_cap_gracefully() {
+        // An absurdly high injection rate saturates the network; the run must
+        // terminate at max_cycles and still produce a coherent report.
+        let mut config = quick_config(4, 2, 4, 8, 0.9);
+        config.max_cycles = 3_000;
+        config.stop = StopCondition::MeasuredMessages(u64::MAX);
+        let mut sim =
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        assert!(out.hit_max_cycles);
+        assert!(out.report.delivered_messages > 0);
+        assert!(out.report.generated_messages > out.report.delivered_messages);
+    }
+
+    #[test]
+    fn higher_load_increases_latency() {
+        let low = {
+            let mut sim = Simulation::new(
+                quick_config(4, 2, 4, 8, 0.005),
+                FaultSet::new(),
+                SwBasedRouting::deterministic(),
+            )
+            .unwrap();
+            sim.run().report.mean_latency
+        };
+        let high = {
+            let mut sim = Simulation::new(
+                quick_config(4, 2, 4, 8, 0.06),
+                FaultSet::new(),
+                SwBasedRouting::deterministic(),
+            )
+            .unwrap();
+            sim.run().report.mean_latency
+        };
+        assert!(
+            high > low,
+            "latency at high load ({high}) must exceed latency at low load ({low})"
+        );
+    }
+
+    #[test]
+    fn longer_messages_have_higher_latency() {
+        let short = {
+            let mut sim = Simulation::new(
+                quick_config(4, 2, 4, 8, 0.01),
+                FaultSet::new(),
+                SwBasedRouting::deterministic(),
+            )
+            .unwrap();
+            sim.run().report.mean_latency
+        };
+        let long = {
+            let mut sim = Simulation::new(
+                quick_config(4, 2, 4, 32, 0.01),
+                FaultSet::new(),
+                SwBasedRouting::deterministic(),
+            )
+            .unwrap();
+            sim.run().report.mean_latency
+        };
+        assert!(long > short + 15.0, "long={long} short={short}");
+    }
+
+    #[test]
+    fn router_delay_increases_latency() {
+        let run = |td: u32| {
+            let mut config = quick_config(4, 2, 4, 8, 0.005);
+            config.router_delay = td;
+            config.stop = StopCondition::MeasuredMessages(600);
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic())
+                .unwrap()
+                .run()
+                .report
+                .mean_latency
+        };
+        let fast = run(0);
+        let slow = run(3);
+        // Each hop pays the extra decision time, so the gap should be at least
+        // a couple of cycles per average hop.
+        assert!(
+            slow > fast + 3.0,
+            "Td=3 latency ({slow}) should clearly exceed Td=0 latency ({fast})"
+        );
+    }
+
+    #[test]
+    fn reinjection_delay_penalises_absorbed_messages_only() {
+        let torus = Torus::new(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        let faults = random_node_faults(&torus, 5, &mut rng).unwrap();
+        let run = |delta: u32, faults: FaultSet| {
+            let mut config = quick_config(8, 2, 4, 16, 0.003);
+            config.reinjection_delay = delta;
+            config.stop = StopCondition::MeasuredMessages(800);
+            Simulation::new(config, faults, SwBasedRouting::deterministic())
+                .unwrap()
+                .run()
+                .report
+        };
+        // Without faults the knob has no effect at all.
+        let clean_zero = run(0, FaultSet::new());
+        let clean_big = run(500, FaultSet::new());
+        assert_eq!(clean_zero.mean_latency, clean_big.mean_latency);
+        // With faults a large delta visibly increases mean latency.
+        let faulty_zero = run(0, faults.clone());
+        let faulty_big = run(500, faults);
+        assert!(faulty_zero.messages_queued > 0);
+        assert!(
+            faulty_big.mean_latency > faulty_zero.mean_latency,
+            "delta=500 latency ({}) should exceed delta=0 latency ({})",
+            faulty_big.mean_latency,
+            faulty_zero.mean_latency
+        );
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut config = quick_config(4, 2, 2, 8, 0.01);
+        config.virtual_channels = 2;
+        assert!(Simulation::new(config, FaultSet::new(), SwBasedRouting::adaptive()).is_err());
+    }
+
+    #[test]
+    fn three_dimensional_network_runs() {
+        let mut config = quick_config(4, 3, 4, 8, 0.004);
+        config.stop = StopCondition::MeasuredMessages(800);
+        let torus = Torus::new(4, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let faults = random_node_faults(&torus, 3, &mut rng).unwrap();
+        let mut sim = Simulation::new(config, faults, SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        assert!(!out.hit_max_cycles);
+        assert_eq!(out.dropped_messages, 0);
+        assert!(out.report.messages_queued > 0);
+    }
+
+    #[test]
+    fn traffic_spec_rates_are_respected() {
+        let spec = TrafficSpec::paper(0.02, 8);
+        assert!((spec.rate - 0.02).abs() < 1e-12);
+        let mut config = quick_config(4, 2, 4, 8, 0.02);
+        config.stop = StopCondition::Cycles(20_000);
+        let mut sim =
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        let offered_rate =
+            out.report.generated_messages as f64 / (20_000.0 * sim.torus().num_nodes() as f64);
+        assert!((offered_rate - 0.02).abs() < 0.004, "offered {offered_rate}");
+    }
+}

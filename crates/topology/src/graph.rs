@@ -1,0 +1,333 @@
+//! Graph queries over the healthy (non-faulty) subgraph of the torus.
+//!
+//! The fault model (assumption (h) of the paper) requires that faults never
+//! disconnect the network; the software re-routing layer additionally needs to
+//! compute fault-free detour paths when the simple table-driven rules run out
+//! of options. Both needs are served by [`HealthyGraph`], a thin view over a
+//! [`Torus`] plus a predicate marking nodes/channels unusable.
+
+use crate::channel::{DirectedChannel, Direction};
+use crate::coords::NodeId;
+use crate::path::Path;
+use crate::torus::Torus;
+use std::collections::VecDeque;
+
+/// Predicate describing which nodes and channels are unusable (faulty).
+pub trait NodeFilter {
+    /// True if the node is faulty / unusable.
+    fn node_blocked(&self, node: NodeId) -> bool;
+
+    /// True if the channel is faulty / unusable. The default implementation
+    /// blocks a channel iff either endpoint is blocked.
+    fn channel_blocked(&self, torus: &Torus, ch: DirectedChannel) -> bool {
+        self.node_blocked(ch.from) || self.node_blocked(torus.channel_dest(ch))
+    }
+}
+
+/// A filter that blocks nothing — the fault-free network.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl NodeFilter for NoFaults {
+    fn node_blocked(&self, _node: NodeId) -> bool {
+        false
+    }
+}
+
+impl<F: Fn(NodeId) -> bool> NodeFilter for F {
+    fn node_blocked(&self, node: NodeId) -> bool {
+        self(node)
+    }
+}
+
+/// A view of the torus restricted to healthy nodes and channels.
+pub struct HealthyGraph<'a, F: NodeFilter> {
+    torus: &'a Torus,
+    filter: &'a F,
+}
+
+impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
+    /// Creates the healthy-subgraph view.
+    pub fn new(torus: &'a Torus, filter: &'a F) -> Self {
+        HealthyGraph { torus, filter }
+    }
+
+    /// The underlying topology.
+    pub fn torus(&self) -> &Torus {
+        self.torus
+    }
+
+    /// Healthy neighbours reachable over healthy channels.
+    pub fn healthy_neighbors(&self, node: NodeId) -> Vec<(DirectedChannel, NodeId)> {
+        self.torus
+            .neighbors(node)
+            .into_iter()
+            .filter(|(ch, next)| {
+                !self.filter.node_blocked(*next) && !self.filter.channel_blocked(self.torus, *ch)
+            })
+            .collect()
+    }
+
+    /// Number of healthy nodes.
+    pub fn healthy_node_count(&self) -> usize {
+        self.torus
+            .nodes()
+            .filter(|n| !self.filter.node_blocked(*n))
+            .count()
+    }
+
+    /// Breadth-first search from `start`, returning for every node its hop
+    /// distance through the healthy subgraph (`None` if unreachable or
+    /// blocked).
+    pub fn bfs_distances(&self, start: NodeId) -> Vec<Option<u32>> {
+        let mut dist = vec![None; self.torus.num_nodes()];
+        if self.filter.node_blocked(start) {
+            return dist;
+        }
+        let mut queue = VecDeque::new();
+        dist[start.index()] = Some(0);
+        queue.push_back(start);
+        while let Some(cur) = queue.pop_front() {
+            let d = dist[cur.index()].unwrap();
+            for (_, next) in self.healthy_neighbors(cur) {
+                if dist[next.index()].is_none() {
+                    dist[next.index()] = Some(d + 1);
+                    queue.push_back(next);
+                }
+            }
+        }
+        dist
+    }
+
+    /// True if every healthy node can reach every other healthy node through
+    /// healthy channels (the paper's assumption (h): "faults do not disconnect
+    /// the network").
+    pub fn is_connected(&self) -> bool {
+        let Some(start) = self
+            .torus
+            .nodes()
+            .find(|n| !self.filter.node_blocked(*n))
+        else {
+            // no healthy nodes at all: vacuously connected
+            return true;
+        };
+        let dist = self.bfs_distances(start);
+        self.torus
+            .nodes()
+            .filter(|n| !self.filter.node_blocked(*n))
+            .all(|n| dist[n.index()].is_some())
+    }
+
+    /// Shortest fault-free path from `src` to `dest` (BFS), or `None` when no
+    /// such path exists or either endpoint is blocked.
+    pub fn shortest_path(&self, src: NodeId, dest: NodeId) -> Option<Path> {
+        if self.filter.node_blocked(src) || self.filter.node_blocked(dest) {
+            return None;
+        }
+        if src == dest {
+            return Some(Path {
+                src,
+                dest,
+                hops: Vec::new(),
+            });
+        }
+        let mut prev: Vec<Option<DirectedChannel>> = vec![None; self.torus.num_nodes()];
+        let mut seen = vec![false; self.torus.num_nodes()];
+        let mut queue = VecDeque::new();
+        seen[src.index()] = true;
+        queue.push_back(src);
+        'search: while let Some(cur) = queue.pop_front() {
+            for (ch, next) in self.healthy_neighbors(cur) {
+                if !seen[next.index()] {
+                    seen[next.index()] = true;
+                    prev[next.index()] = Some(ch);
+                    if next == dest {
+                        break 'search;
+                    }
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !seen[dest.index()] {
+            return None;
+        }
+        // Reconstruct hops back from dest.
+        let mut hops = Vec::new();
+        let mut cur = dest;
+        while cur != src {
+            let ch = prev[cur.index()].expect("breadcrumb must exist on reconstructed path");
+            hops.push(ch);
+            cur = ch.from;
+        }
+        hops.reverse();
+        Some(Path { src, dest, hops })
+    }
+
+    /// Shortest fault-free path restricted to moves inside the given set of
+    /// dimensions (used by the SW-Based n-D scheme, which detours inside one
+    /// dimension pair at a time). Falls back to `None` if no such path exists.
+    pub fn shortest_path_in_dims(
+        &self,
+        src: NodeId,
+        dest: NodeId,
+        dims: &[usize],
+    ) -> Option<Path> {
+        if self.filter.node_blocked(src) || self.filter.node_blocked(dest) {
+            return None;
+        }
+        if src == dest {
+            return Some(Path {
+                src,
+                dest,
+                hops: Vec::new(),
+            });
+        }
+        let mut prev: Vec<Option<DirectedChannel>> = vec![None; self.torus.num_nodes()];
+        let mut seen = vec![false; self.torus.num_nodes()];
+        let mut queue = VecDeque::new();
+        seen[src.index()] = true;
+        queue.push_back(src);
+        while let Some(cur) = queue.pop_front() {
+            for dim in dims.iter().copied() {
+                for dir in Direction::BOTH {
+                    let ch = DirectedChannel::new(cur, dim, dir);
+                    let next = self.torus.channel_dest(ch);
+                    if self.filter.node_blocked(next)
+                        || self.filter.channel_blocked(self.torus, ch)
+                        || seen[next.index()]
+                    {
+                        continue;
+                    }
+                    seen[next.index()] = true;
+                    prev[next.index()] = Some(ch);
+                    queue.push_back(next);
+                }
+            }
+        }
+        if !seen[dest.index()] {
+            return None;
+        }
+        let mut hops = Vec::new();
+        let mut cur = dest;
+        while cur != src {
+            let ch = prev[cur.index()].expect("breadcrumb must exist on reconstructed path");
+            hops.push(ch);
+            cur = ch.from;
+        }
+        hops.reverse();
+        Some(Path { src, dest, hops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    struct Blocked(HashSet<NodeId>);
+
+    impl NodeFilter for Blocked {
+        fn node_blocked(&self, node: NodeId) -> bool {
+            self.0.contains(&node)
+        }
+    }
+
+    #[test]
+    fn fault_free_network_is_connected() {
+        let t = Torus::new(8, 2).unwrap();
+        let f = NoFaults;
+        let g = HealthyGraph::new(&t, &f);
+        assert!(g.is_connected());
+        assert_eq!(g.healthy_node_count(), 64);
+    }
+
+    #[test]
+    fn bfs_distance_equals_torus_distance_without_faults() {
+        let t = Torus::new(6, 2).unwrap();
+        let f = NoFaults;
+        let g = HealthyGraph::new(&t, &f);
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dist = g.bfs_distances(src);
+        for node in t.nodes() {
+            assert_eq!(dist[node.index()], Some(t.distance(src, node)));
+        }
+    }
+
+    #[test]
+    fn blocked_nodes_are_unreachable() {
+        let t = Torus::new(4, 2).unwrap();
+        let blocked = Blocked(HashSet::from([t.node_from_digits(&[1, 1]).unwrap()]));
+        let g = HealthyGraph::new(&t, &blocked);
+        let dist = g.bfs_distances(t.node_from_digits(&[0, 0]).unwrap());
+        assert_eq!(dist[t.node_from_digits(&[1, 1]).unwrap().index()], None);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn disconnection_is_detected() {
+        // On a 4x1 ring, blocking two opposite nodes splits the ring.
+        let t = Torus::new(4, 1).unwrap();
+        let blocked = Blocked(HashSet::from([
+            t.node_from_digits(&[0]).unwrap(),
+            t.node_from_digits(&[2]).unwrap(),
+        ]));
+        let g = HealthyGraph::new(&t, &blocked);
+        assert!(!g.is_connected());
+    }
+
+    #[test]
+    fn shortest_path_detours_around_faults() {
+        let t = Torus::new(8, 2).unwrap();
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let dest = t.node_from_digits(&[3, 0]).unwrap();
+        // Block the straight line between them.
+        let blocked = Blocked(HashSet::from([
+            t.node_from_digits(&[1, 0]).unwrap(),
+            t.node_from_digits(&[2, 0]).unwrap(),
+        ]));
+        let g = HealthyGraph::new(&t, &blocked);
+        let p = g.shortest_path(src, dest).unwrap();
+        assert!(p.is_well_formed(&t));
+        assert!(p.len() > t.distance(src, dest) as usize);
+        for node in p.nodes(&t) {
+            assert!(!blocked.node_blocked(node));
+        }
+    }
+
+    #[test]
+    fn shortest_path_trivial_and_unreachable() {
+        let t = Torus::new(4, 2).unwrap();
+        let f = NoFaults;
+        let g = HealthyGraph::new(&t, &f);
+        let a = t.node_from_digits(&[1, 2]).unwrap();
+        assert_eq!(g.shortest_path(a, a).unwrap().len(), 0);
+
+        let blocked = Blocked(HashSet::from([a]));
+        let g = HealthyGraph::new(&t, &blocked);
+        assert!(g.shortest_path(a, t.node_from_digits(&[0, 0]).unwrap()).is_none());
+    }
+
+    #[test]
+    fn shortest_path_in_dims_respects_dimension_restriction() {
+        let t = Torus::new(4, 3).unwrap();
+        let f = NoFaults;
+        let g = HealthyGraph::new(&t, &f);
+        let src = t.node_from_digits(&[0, 0, 0]).unwrap();
+        let dest = t.node_from_digits(&[2, 1, 0]).unwrap();
+        let p = g.shortest_path_in_dims(src, dest, &[0, 1]).unwrap();
+        assert!(p.is_well_formed(&t));
+        assert!(p.hops.iter().all(|h| h.dim < 2));
+        // destination differing in an excluded dimension is unreachable
+        let dest2 = t.node_from_digits(&[0, 0, 1]).unwrap();
+        assert!(g.shortest_path_in_dims(src, dest2, &[0, 1]).is_none());
+    }
+
+    #[test]
+    fn closure_filter_works() {
+        let t = Torus::new(4, 2).unwrap();
+        let bad = t.node_from_digits(&[3, 3]).unwrap();
+        let filter = move |n: NodeId| n == bad;
+        let g = HealthyGraph::new(&t, &filter);
+        assert_eq!(g.healthy_node_count(), 15);
+    }
+}

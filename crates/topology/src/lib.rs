@@ -1,0 +1,64 @@
+//! # torus-topology
+//!
+//! k-ary n-cube (torus) topology support for the software-based fault-tolerant
+//! routing study (Safaei et al., IPDPS 2006).
+//!
+//! A k-ary n-cube consists of `N = k^n` nodes arranged in an n-dimensional cube
+//! with `k` nodes along each dimension. Every node is connected by a pair of
+//! unidirectional channels (one in each direction) to its two neighbours in each
+//! dimension, so the network is a direct, regular, edge-symmetric torus.
+//!
+//! This crate provides:
+//!
+//! * [`Torus`] — the topology itself: node addressing, neighbour arithmetic,
+//!   minimal offsets, distances and channel enumeration.
+//! * [`Coord`] / [`NodeId`] — mixed-radix node addresses and their conversions.
+//! * [`Direction`], [`DirectedChannel`] — identification of unidirectional
+//!   physical channels.
+//! * [`path`] — dimension-order path construction and hop counting.
+//! * [`graph`] — connectivity / shortest-path queries over the healthy subgraph
+//!   (used by the fault model and by the software re-routing layer).
+//! * [`rings`] — dateline bookkeeping used for deadlock-free virtual-channel
+//!   class assignment on torus rings.
+//!
+//! # Example
+//!
+//! ```
+//! use torus_topology::{Torus, Direction};
+//!
+//! let t = Torus::new(8, 2).unwrap();          // 8-ary 2-cube: 64 nodes
+//! assert_eq!(t.num_nodes(), 64);
+//! let origin = t.node_from_digits(&[0, 0]).unwrap();
+//! let east = t.neighbor(origin, 0, Direction::Plus);
+//! assert_eq!(t.coord(east).digits(), &[1, 0]);
+//! // wrap-around
+//! let west = t.neighbor(origin, 0, Direction::Minus);
+//! assert_eq!(t.coord(west).digits(), &[7, 0]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod channel;
+pub mod coords;
+pub mod graph;
+pub mod path;
+pub mod rings;
+pub mod torus;
+
+pub use channel::{ChannelId, DirectedChannel, Direction};
+pub use coords::{Coord, NodeId};
+pub use graph::{HealthyGraph, NodeFilter};
+pub use path::{dimension_order_path, hop_count, Path};
+pub use rings::{DatelinePolicy, VcClass};
+pub use torus::{Torus, TorusError};
+
+/// Convenience prelude re-exporting the most frequently used items.
+pub mod prelude {
+    pub use crate::channel::{ChannelId, DirectedChannel, Direction};
+    pub use crate::coords::{Coord, NodeId};
+    pub use crate::graph::HealthyGraph;
+    pub use crate::path::{dimension_order_path, hop_count};
+    pub use crate::rings::{DatelinePolicy, VcClass};
+    pub use crate::torus::Torus;
+}

@@ -1,0 +1,135 @@
+//! Path construction helpers.
+//!
+//! The deterministic baseline of the paper is dimension-order (e-cube)
+//! routing: a message nullifies its offset in dimension 0, then dimension 1,
+//! and so on. [`dimension_order_path`] materialises that path as a list of
+//! channels, which is used by the topology tests, the channel-dependency-graph
+//! analysis and the software re-routing layer when it pre-computes detours.
+
+use crate::channel::{DirectedChannel, Direction};
+use crate::coords::NodeId;
+use crate::torus::Torus;
+
+/// A hop-by-hop path through the torus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// Node the path starts at.
+    pub src: NodeId,
+    /// Node the path ends at.
+    pub dest: NodeId,
+    /// Channels traversed, in order.
+    pub hops: Vec<DirectedChannel>,
+}
+
+impl Path {
+    /// Number of hops in the path.
+    pub fn len(&self) -> usize {
+        self.hops.len()
+    }
+
+    /// True for the trivial path from a node to itself.
+    pub fn is_empty(&self) -> bool {
+        self.hops.is_empty()
+    }
+
+    /// The sequence of nodes visited, including `src` and `dest`.
+    pub fn nodes(&self, torus: &Torus) -> Vec<NodeId> {
+        let mut nodes = Vec::with_capacity(self.hops.len() + 1);
+        nodes.push(self.src);
+        for hop in &self.hops {
+            nodes.push(torus.channel_dest(*hop));
+        }
+        nodes
+    }
+
+    /// Verifies that consecutive hops are adjacent and end at `dest`.
+    pub fn is_well_formed(&self, torus: &Torus) -> bool {
+        let mut cur = self.src;
+        for hop in &self.hops {
+            if hop.from != cur {
+                return false;
+            }
+            cur = torus.channel_dest(*hop);
+        }
+        cur == self.dest
+    }
+}
+
+/// Builds the dimension-order (e-cube) minimal path from `src` to `dest`,
+/// resolving each dimension in increasing order.
+pub fn dimension_order_path(torus: &Torus, src: NodeId, dest: NodeId) -> Path {
+    let mut hops = Vec::new();
+    let mut cur = src;
+    for dim in 0..torus.dims() {
+        loop {
+            let off = torus.offset(cur, dest, dim);
+            let Some(dir) = Direction::from_offset(off) else {
+                break;
+            };
+            let ch = DirectedChannel::new(cur, dim, dir);
+            cur = torus.channel_dest(ch);
+            hops.push(ch);
+        }
+    }
+    Path { src, dest, hops }
+}
+
+/// Number of hops of a minimal path between two nodes (equals
+/// [`Torus::distance`]; provided for readability at call sites that think in
+/// terms of paths).
+pub fn hop_count(torus: &Torus, src: NodeId, dest: NodeId) -> u32 {
+    torus.distance(src, dest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecube_path_is_minimal_and_well_formed() {
+        let t = Torus::new(8, 2).unwrap();
+        let src = t.node_from_digits(&[1, 1]).unwrap();
+        let dest = t.node_from_digits(&[6, 3]).unwrap();
+        let p = dimension_order_path(&t, src, dest);
+        assert!(p.is_well_formed(&t));
+        assert_eq!(p.len() as u32, t.distance(src, dest));
+        assert_eq!(p.len(), 5);
+        // dimension order: all dim-0 hops precede dim-1 hops
+        let first_dim1 = p.hops.iter().position(|h| h.dim == 1).unwrap();
+        assert!(p.hops[..first_dim1].iter().all(|h| h.dim == 0));
+        assert!(p.hops[first_dim1..].iter().all(|h| h.dim == 1));
+    }
+
+    #[test]
+    fn trivial_path() {
+        let t = Torus::new(4, 3).unwrap();
+        let a = t.node_from_digits(&[2, 1, 3]).unwrap();
+        let p = dimension_order_path(&t, a, a);
+        assert!(p.is_empty());
+        assert!(p.is_well_formed(&t));
+        assert_eq!(p.nodes(&t), vec![a]);
+    }
+
+    #[test]
+    fn path_uses_wraparound_when_shorter() {
+        let t = Torus::new(8, 1).unwrap();
+        let a = t.node_from_digits(&[1]).unwrap();
+        let b = t.node_from_digits(&[6]).unwrap();
+        let p = dimension_order_path(&t, a, b);
+        assert_eq!(p.len(), 3);
+        assert!(p.hops.iter().all(|h| h.dir == Direction::Minus));
+        assert!(p.hops.iter().any(|h| t.is_wraparound(*h)));
+    }
+
+    #[test]
+    fn all_pairs_paths_are_minimal_small_torus() {
+        let t = Torus::new(4, 3).unwrap();
+        for src in t.nodes() {
+            for dest in t.nodes() {
+                let p = dimension_order_path(&t, src, dest);
+                assert!(p.is_well_formed(&t));
+                assert_eq!(p.len() as u32, hop_count(&t, src, dest));
+            }
+        }
+    }
+}

@@ -1,0 +1,199 @@
+//! Dateline bookkeeping for deadlock-free virtual-channel class assignment.
+//!
+//! Torus rings contain an inherent cyclic channel dependency. The classical
+//! remedy (Dally & Seitz) splits the virtual channels of every ring into two
+//! classes and places a *dateline* on each ring: a message starts on class 0
+//! (the "high" channels) and switches permanently to class 1 (the "low"
+//! channels) for the remainder of its travel in that dimension once it crosses
+//! the dateline. Because a message can cross the dateline of a ring at most
+//! once on a minimal route, the resulting extended channel-dependency graph is
+//! acyclic.
+//!
+//! [`DatelinePolicy`] computes which class a message must use on each hop and
+//! how a pool of `V` virtual channels is partitioned between the classes (and,
+//! for Duato's protocol, how many channels remain available as fully adaptive
+//! channels).
+
+use crate::channel::Direction;
+use crate::torus::Torus;
+use serde::{Deserialize, Serialize};
+
+/// Virtual-channel class required by the dateline scheme on a given hop.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VcClass {
+    /// Before crossing the ring's dateline.
+    BeforeDateline,
+    /// After crossing the ring's dateline.
+    AfterDateline,
+}
+
+impl VcClass {
+    /// Encodes the class as 0 / 1.
+    #[inline]
+    pub fn index(self) -> usize {
+        match self {
+            VcClass::BeforeDateline => 0,
+            VcClass::AfterDateline => 1,
+        }
+    }
+}
+
+/// Assignment of dateline classes and partitioning of virtual channels.
+///
+/// The policy needs only the topology; datelines are placed uniformly on the
+/// wrap-around link of every ring (the hop from position `k-1` to `0` in the
+/// Plus direction and from `0` to `k-1` in the Minus direction).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DatelinePolicy {
+    k: u16,
+}
+
+impl DatelinePolicy {
+    /// Creates the dateline policy for a torus.
+    pub fn new(torus: &Torus) -> Self {
+        DatelinePolicy { k: torus.radix() }
+    }
+
+    /// Class a message must use when *entering* a ring of this dimension at
+    /// position `entry_pos` and travelling in `dir` towards `dest_pos`.
+    ///
+    /// A message that will not cross the dateline on its remaining journey in
+    /// this ring may stay on [`VcClass::BeforeDateline`]; one that has already
+    /// crossed it must use [`VcClass::AfterDateline`].
+    ///
+    /// `crossed` records whether the message has already crossed the dateline
+    /// of this ring.
+    #[inline]
+    pub fn class_for(&self, crossed: bool) -> VcClass {
+        if crossed {
+            VcClass::AfterDateline
+        } else {
+            VcClass::BeforeDateline
+        }
+    }
+
+    /// Whether a hop departing from ring position `from_pos` in direction
+    /// `dir` crosses the dateline.
+    #[inline]
+    pub fn hop_crosses(&self, from_pos: u16, dir: Direction) -> bool {
+        match dir {
+            Direction::Plus => from_pos == self.k - 1,
+            Direction::Minus => from_pos == 0,
+        }
+    }
+
+    /// Partitions `v` virtual channels of a physical channel into the two
+    /// dateline classes for purely deterministic routing: channels
+    /// `0 .. v/2` belong to class 0 and `v/2 .. v` to class 1 (when `v` is odd
+    /// the extra channel goes to class 0).
+    ///
+    /// Returns the half-open index ranges `(class0, class1)`.
+    pub fn deterministic_partition(&self, v: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        assert!(v >= 2, "deterministic torus routing needs at least 2 virtual channels");
+        let split = v.div_ceil(2);
+        (0..split, split..v)
+    }
+
+    /// Partitions `v` virtual channels for Duato's protocol: the first two
+    /// channels are the escape channels (dateline classes 0 and 1 of the
+    /// embedded e-cube network) and the remaining `v - 2` are fully adaptive.
+    ///
+    /// Returns `(escape_class0, escape_class1, adaptive)` index ranges.
+    pub fn adaptive_partition(
+        &self,
+        v: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
+        assert!(v >= 3, "Duato's protocol needs at least 3 virtual channels (2 escape + 1 adaptive)");
+        (0..1, 1..2, 2..v)
+    }
+
+    /// Index range of the permitted deterministic VCs for a given class.
+    pub fn deterministic_range(&self, v: usize, class: VcClass) -> std::ops::Range<usize> {
+        let (c0, c1) = self.deterministic_partition(v);
+        match class {
+            VcClass::BeforeDateline => c0,
+            VcClass::AfterDateline => c1,
+        }
+    }
+
+    /// Index of the single escape VC for a given class under Duato's protocol.
+    pub fn escape_vc(&self, class: VcClass) -> usize {
+        class.index()
+    }
+
+    /// Index range of the adaptive VCs under Duato's protocol.
+    pub fn adaptive_range(&self, v: usize) -> std::ops::Range<usize> {
+        self.adaptive_partition(v).2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(k: u16) -> DatelinePolicy {
+        DatelinePolicy::new(&Torus::new(k, 2).unwrap())
+    }
+
+    #[test]
+    fn class_tracking() {
+        let p = policy(8);
+        assert_eq!(p.class_for(false), VcClass::BeforeDateline);
+        assert_eq!(p.class_for(true), VcClass::AfterDateline);
+    }
+
+    #[test]
+    fn hop_crossing_matches_wraparound() {
+        let p = policy(8);
+        assert!(p.hop_crosses(7, Direction::Plus));
+        assert!(!p.hop_crosses(3, Direction::Plus));
+        assert!(p.hop_crosses(0, Direction::Minus));
+        assert!(!p.hop_crosses(5, Direction::Minus));
+    }
+
+    #[test]
+    fn deterministic_partition_splits_evenly() {
+        let p = policy(8);
+        assert_eq!(p.deterministic_partition(4), (0..2, 2..4));
+        assert_eq!(p.deterministic_partition(6), (0..3, 3..6));
+        assert_eq!(p.deterministic_partition(10), (0..5, 5..10));
+        assert_eq!(p.deterministic_partition(5), (0..3, 3..5));
+        assert_eq!(p.deterministic_range(6, VcClass::AfterDateline), 3..6);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 virtual channels")]
+    fn deterministic_partition_requires_two_vcs() {
+        policy(8).deterministic_partition(1);
+    }
+
+    #[test]
+    fn adaptive_partition_reserves_escape_channels() {
+        let p = policy(8);
+        let (e0, e1, a) = p.adaptive_partition(10);
+        assert_eq!(e0, 0..1);
+        assert_eq!(e1, 1..2);
+        assert_eq!(a, 2..10);
+        assert_eq!(p.escape_vc(VcClass::BeforeDateline), 0);
+        assert_eq!(p.escape_vc(VcClass::AfterDateline), 1);
+        assert_eq!(p.adaptive_range(4), 2..4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 virtual channels")]
+    fn adaptive_partition_requires_three_vcs() {
+        policy(8).adaptive_partition(2);
+    }
+
+    #[test]
+    fn classes_are_disjoint_and_cover_all_vcs() {
+        let p = policy(16);
+        for v in 2..=12 {
+            let (c0, c1) = p.deterministic_partition(v);
+            assert_eq!(c0.end, c1.start);
+            assert_eq!(c1.end, v);
+            assert!(!c0.is_empty());
+            assert!(!c1.is_empty() || v < 2);
+        }
+    }
+}

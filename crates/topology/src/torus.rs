@@ -1,0 +1,462 @@
+//! The k-ary n-cube topology.
+
+use crate::channel::{ChannelId, DirectedChannel, Direction};
+use crate::coords::{Coord, NodeId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Errors produced when constructing or querying a [`Torus`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum TorusError {
+    /// Radix must be at least 2 (k = 1 is a degenerate single ring node; the
+    /// wormhole channel model additionally requires k >= 3 for distinct
+    /// plus/minus neighbours, but k = 2 is accepted and handled).
+    RadixTooSmall(u16),
+    /// Dimensionality must be at least 1.
+    DimensionTooSmall(u32),
+    /// The network k^n would overflow the node-id space.
+    TooManyNodes { k: u16, n: u32 },
+    /// A supplied coordinate digit lies outside `0..k`.
+    DigitOutOfRange { dim: usize, digit: u16, k: u16 },
+    /// A coordinate has the wrong number of dimensions.
+    WrongDimensionality { expected: usize, got: usize },
+}
+
+impl fmt::Display for TorusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TorusError::RadixTooSmall(k) => write!(f, "radix k={k} is too small (need k >= 2)"),
+            TorusError::DimensionTooSmall(n) => {
+                write!(f, "dimensionality n={n} is too small (need n >= 1)")
+            }
+            TorusError::TooManyNodes { k, n } => {
+                write!(f, "{k}^{n} nodes exceeds the supported node-id space")
+            }
+            TorusError::DigitOutOfRange { dim, digit, k } => {
+                write!(f, "digit {digit} in dimension {dim} out of range 0..{k}")
+            }
+            TorusError::WrongDimensionality { expected, got } => {
+                write!(f, "coordinate has {got} dimensions, expected {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TorusError {}
+
+/// A k-ary n-cube (n-dimensional radix-k torus).
+///
+/// The topology owns no per-node state; it is a pure description of the
+/// address space and channel structure, cheap to copy around.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Torus {
+    k: u16,
+    n: u32,
+    num_nodes: u32,
+    /// `strides[d] = k^d`, used for mixed-radix conversion.
+    strides: Vec<u32>,
+}
+
+impl Torus {
+    /// Creates a k-ary n-cube.
+    ///
+    /// # Errors
+    /// Returns an error if `k < 2`, `n < 1` or `k^n` does not fit in the
+    /// node-id space.
+    pub fn new(k: u16, n: u32) -> Result<Self, TorusError> {
+        if k < 2 {
+            return Err(TorusError::RadixTooSmall(k));
+        }
+        if n < 1 {
+            return Err(TorusError::DimensionTooSmall(n));
+        }
+        let mut strides = Vec::with_capacity(n as usize);
+        let mut acc: u64 = 1;
+        for _ in 0..n {
+            strides.push(acc as u32);
+            acc = acc.checked_mul(k as u64).ok_or(TorusError::TooManyNodes { k, n })?;
+            if acc > u32::MAX as u64 {
+                return Err(TorusError::TooManyNodes { k, n });
+            }
+        }
+        Ok(Torus {
+            k,
+            n,
+            num_nodes: acc as u32,
+            strides,
+        })
+    }
+
+    /// Radix (number of nodes along each dimension).
+    #[inline]
+    pub fn radix(&self) -> u16 {
+        self.k
+    }
+
+    /// Dimensionality of the network.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Total number of nodes, `k^n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes as usize
+    }
+
+    /// Number of unidirectional network channels, `2 n k^n`.
+    #[inline]
+    pub fn num_channels(&self) -> usize {
+        self.num_nodes() * 2 * self.dims()
+    }
+
+    /// Iterator over all node identifiers.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes).map(NodeId)
+    }
+
+    /// Iterator over all unidirectional channels.
+    pub fn channels(&self) -> impl Iterator<Item = DirectedChannel> + '_ {
+        self.nodes().flat_map(move |node| {
+            (0..self.dims()).flat_map(move |dim| {
+                Direction::BOTH
+                    .into_iter()
+                    .map(move |dir| DirectedChannel::new(node, dim, dir))
+            })
+        })
+    }
+
+    /// Converts a node identifier to its mixed-radix coordinate.
+    pub fn coord(&self, node: NodeId) -> Coord {
+        debug_assert!(node.0 < self.num_nodes, "node id out of range");
+        let mut digits = Vec::with_capacity(self.dims());
+        let mut rest = node.0;
+        for _ in 0..self.n {
+            digits.push((rest % self.k as u32) as u16);
+            rest /= self.k as u32;
+        }
+        Coord::new(digits)
+    }
+
+    /// Converts a coordinate to its node identifier.
+    ///
+    /// # Errors
+    /// Returns an error if the coordinate has the wrong dimensionality or a
+    /// digit out of range.
+    pub fn node(&self, coord: &Coord) -> Result<NodeId, TorusError> {
+        if coord.dims() != self.dims() {
+            return Err(TorusError::WrongDimensionality {
+                expected: self.dims(),
+                got: coord.dims(),
+            });
+        }
+        let mut id = 0u32;
+        for (dim, &digit) in coord.digits().iter().enumerate() {
+            if digit >= self.k {
+                return Err(TorusError::DigitOutOfRange {
+                    dim,
+                    digit,
+                    k: self.k,
+                });
+            }
+            id += digit as u32 * self.strides[dim];
+        }
+        Ok(NodeId(id))
+    }
+
+    /// Convenience constructor of a node id from raw digits.
+    pub fn node_from_digits(&self, digits: &[u16]) -> Result<NodeId, TorusError> {
+        self.node(&Coord::new(digits.to_vec()))
+    }
+
+    /// Position of `node` along `dim`.
+    #[inline]
+    pub fn position(&self, node: NodeId, dim: usize) -> u16 {
+        ((node.0 / self.strides[dim]) % self.k as u32) as u16
+    }
+
+    /// The neighbour of `node` one hop away along `dim` in direction `dir`
+    /// (with wrap-around).
+    pub fn neighbor(&self, node: NodeId, dim: usize, dir: Direction) -> NodeId {
+        let pos = self.position(node, dim) as i32;
+        let k = self.k as i32;
+        let next = (pos + dir.sign()).rem_euclid(k) as u32;
+        let base = node.0 - (pos as u32) * self.strides[dim];
+        NodeId(base + next * self.strides[dim])
+    }
+
+    /// All `2n` neighbours of a node together with the channel used to reach
+    /// them.
+    pub fn neighbors(&self, node: NodeId) -> Vec<(DirectedChannel, NodeId)> {
+        let mut out = Vec::with_capacity(2 * self.dims());
+        for dim in 0..self.dims() {
+            for dir in Direction::BOTH {
+                out.push((
+                    DirectedChannel::new(node, dim, dir),
+                    self.neighbor(node, dim, dir),
+                ));
+            }
+        }
+        out
+    }
+
+    /// The node a channel leads to.
+    #[inline]
+    pub fn channel_dest(&self, ch: DirectedChannel) -> NodeId {
+        self.neighbor(ch.from, ch.dim, ch.dir)
+    }
+
+    /// Dense identifier of a channel: `node * 2n + dim * 2 + dir`.
+    #[inline]
+    pub fn channel_id(&self, ch: DirectedChannel) -> ChannelId {
+        let per_node = 2 * self.dims() as u32;
+        ChannelId(ch.from.0 * per_node + (ch.dim as u32) * 2 + ch.dir.index() as u32)
+    }
+
+    /// Inverse of [`Torus::channel_id`].
+    pub fn channel_from_id(&self, id: ChannelId) -> DirectedChannel {
+        let per_node = 2 * self.dims() as u32;
+        let node = NodeId(id.0 / per_node);
+        let rest = id.0 % per_node;
+        let dim = (rest / 2) as usize;
+        let dir = Direction::from_index((rest % 2) as usize);
+        DirectedChannel::new(node, dim, dir)
+    }
+
+    /// Minimal signed offset from `src` to `dest` along dimension `dim`.
+    ///
+    /// The returned value lies in `[-(k/2), k/2]`; when the two directions are
+    /// equidistant (even `k`, offset exactly `k/2`), the positive direction is
+    /// chosen, matching the deterministic tie-break used by e-cube routing.
+    pub fn offset(&self, src: NodeId, dest: NodeId, dim: usize) -> i32 {
+        let a = self.position(src, dim) as i32;
+        let b = self.position(dest, dim) as i32;
+        let k = self.k as i32;
+        let mut d = (b - a).rem_euclid(k); // 0..k, going Plus
+        if d > k / 2 {
+            // going Minus is strictly shorter (on a tie d == k/2 with even k we
+            // keep the positive direction, the deterministic e-cube tie-break)
+            d -= k;
+        }
+        d
+    }
+
+    /// Per-dimension minimal offsets from `src` to `dest`.
+    pub fn offsets(&self, src: NodeId, dest: NodeId) -> Vec<i32> {
+        (0..self.dims()).map(|d| self.offset(src, dest, d)).collect()
+    }
+
+    /// Minimal hop distance between two nodes.
+    pub fn distance(&self, src: NodeId, dest: NodeId) -> u32 {
+        self.offsets(src, dest)
+            .iter()
+            .map(|o| o.unsigned_abs())
+            .sum()
+    }
+
+    /// Ring distance along a single dimension when travelling in a fixed
+    /// direction (always non-negative, `0..k`).
+    pub fn directed_ring_distance(&self, from: u16, to: u16, dir: Direction) -> u16 {
+        let k = self.k as i32;
+        let d = match dir {
+            Direction::Plus => (to as i32 - from as i32).rem_euclid(k),
+            Direction::Minus => (from as i32 - to as i32).rem_euclid(k),
+        };
+        d as u16
+    }
+
+    /// Whether travelling one hop from position `from` in direction `dir`
+    /// crosses the dateline of that ring.
+    ///
+    /// The dateline is placed on the wrap-around link: Plus crosses it when
+    /// moving from `k-1` to `0`, Minus when moving from `0` to `k-1`.
+    #[inline]
+    pub fn crosses_dateline(&self, from: u16, dir: Direction) -> bool {
+        match dir {
+            Direction::Plus => from == self.k - 1,
+            Direction::Minus => from == 0,
+        }
+    }
+
+    /// Whether a hop over `ch` is the wrap-around link of its ring.
+    pub fn is_wraparound(&self, ch: DirectedChannel) -> bool {
+        self.crosses_dateline(self.position(ch.from, ch.dim), ch.dir)
+    }
+
+    /// Average minimal hop distance over all ordered pairs of distinct nodes.
+    ///
+    /// For a k-ary n-cube this equals `n * k / 4` for even `k` and
+    /// `n * (k^2 - 1) / (4k)` for odd `k` (computed exactly here rather than
+    /// by formula so it also holds for k = 2).
+    pub fn average_distance(&self) -> f64 {
+        // Per-dimension expected |offset| over a uniformly random pair.
+        let k = self.k as i64;
+        let mut per_dim_total = 0i64;
+        for delta in 0..k {
+            // offset magnitude for a ring difference of `delta`
+            let d = delta.min(k - delta);
+            per_dim_total += d;
+        }
+        let per_dim_mean = per_dim_total as f64 / k as f64;
+        per_dim_mean * self.dims() as f64 * self.num_nodes() as f64
+            / (self.num_nodes() as f64 - 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_sizes() {
+        let t = Torus::new(8, 2).unwrap();
+        assert_eq!(t.num_nodes(), 64);
+        assert_eq!(t.num_channels(), 64 * 4);
+        let t = Torus::new(8, 3).unwrap();
+        assert_eq!(t.num_nodes(), 512);
+        assert_eq!(t.num_channels(), 512 * 6);
+        let t = Torus::new(16, 2).unwrap();
+        assert_eq!(t.num_nodes(), 256);
+    }
+
+    #[test]
+    fn construction_errors() {
+        assert_eq!(Torus::new(1, 2).unwrap_err(), TorusError::RadixTooSmall(1));
+        assert_eq!(
+            Torus::new(4, 0).unwrap_err(),
+            TorusError::DimensionTooSmall(0)
+        );
+        assert!(matches!(
+            Torus::new(u16::MAX, 4).unwrap_err(),
+            TorusError::TooManyNodes { .. }
+        ));
+    }
+
+    #[test]
+    fn coord_roundtrip() {
+        let t = Torus::new(5, 3).unwrap();
+        for node in t.nodes() {
+            let c = t.coord(node);
+            assert_eq!(t.node(&c).unwrap(), node);
+        }
+    }
+
+    #[test]
+    fn coord_errors() {
+        let t = Torus::new(4, 2).unwrap();
+        assert!(matches!(
+            t.node(&Coord::new(vec![1, 2, 3])),
+            Err(TorusError::WrongDimensionality { .. })
+        ));
+        assert!(matches!(
+            t.node(&Coord::new(vec![4, 0])),
+            Err(TorusError::DigitOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbors_wrap_correctly() {
+        let t = Torus::new(8, 2).unwrap();
+        let origin = t.node_from_digits(&[0, 0]).unwrap();
+        assert_eq!(
+            t.coord(t.neighbor(origin, 0, Direction::Plus)).digits(),
+            &[1, 0]
+        );
+        assert_eq!(
+            t.coord(t.neighbor(origin, 0, Direction::Minus)).digits(),
+            &[7, 0]
+        );
+        assert_eq!(
+            t.coord(t.neighbor(origin, 1, Direction::Minus)).digits(),
+            &[0, 7]
+        );
+        let corner = t.node_from_digits(&[7, 7]).unwrap();
+        assert_eq!(
+            t.coord(t.neighbor(corner, 1, Direction::Plus)).digits(),
+            &[7, 0]
+        );
+    }
+
+    #[test]
+    fn neighbor_is_involutive() {
+        let t = Torus::new(6, 3).unwrap();
+        for node in t.nodes() {
+            for dim in 0..t.dims() {
+                for dir in Direction::BOTH {
+                    let nb = t.neighbor(node, dim, dir);
+                    assert_eq!(t.neighbor(nb, dim, dir.opposite()), node);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degree_is_2n() {
+        let t = Torus::new(4, 3).unwrap();
+        for node in t.nodes().take(16) {
+            assert_eq!(t.neighbors(node).len(), 6);
+        }
+    }
+
+    #[test]
+    fn channel_id_roundtrip() {
+        let t = Torus::new(8, 3).unwrap();
+        for ch in t.channels() {
+            let id = t.channel_id(ch);
+            assert_eq!(t.channel_from_id(id), ch);
+            assert!(id.index() < t.num_channels());
+        }
+    }
+
+    #[test]
+    fn offsets_and_distance() {
+        let t = Torus::new(8, 2).unwrap();
+        let a = t.node_from_digits(&[1, 1]).unwrap();
+        let b = t.node_from_digits(&[6, 2]).unwrap();
+        // 1 -> 6 going minus is 3 hops (1 -> 0 -> 7 -> 6), going plus is 5.
+        assert_eq!(t.offset(a, b, 0), -3);
+        assert_eq!(t.offset(a, b, 1), 1);
+        assert_eq!(t.distance(a, b), 4);
+        assert_eq!(t.distance(a, a), 0);
+    }
+
+    #[test]
+    fn offset_tie_break_is_positive() {
+        let t = Torus::new(8, 1).unwrap();
+        let a = t.node_from_digits(&[0]).unwrap();
+        let b = t.node_from_digits(&[4]).unwrap();
+        assert_eq!(t.offset(a, b, 0), 4);
+        assert_eq!(t.offset(b, a, 0), 4);
+    }
+
+    #[test]
+    fn directed_ring_distance_matches_direction() {
+        let t = Torus::new(8, 1).unwrap();
+        assert_eq!(t.directed_ring_distance(1, 6, Direction::Plus), 5);
+        assert_eq!(t.directed_ring_distance(1, 6, Direction::Minus), 3);
+        assert_eq!(t.directed_ring_distance(3, 3, Direction::Plus), 0);
+    }
+
+    #[test]
+    fn dateline_crossings() {
+        let t = Torus::new(8, 2).unwrap();
+        assert!(t.crosses_dateline(7, Direction::Plus));
+        assert!(!t.crosses_dateline(6, Direction::Plus));
+        assert!(t.crosses_dateline(0, Direction::Minus));
+        assert!(!t.crosses_dateline(1, Direction::Minus));
+        let wrap = DirectedChannel::new(t.node_from_digits(&[7, 3]).unwrap(), 0, Direction::Plus);
+        assert!(t.is_wraparound(wrap));
+        let normal = DirectedChannel::new(t.node_from_digits(&[3, 3]).unwrap(), 0, Direction::Plus);
+        assert!(!t.is_wraparound(normal));
+    }
+
+    #[test]
+    fn average_distance_matches_formula_even_k() {
+        let t = Torus::new(8, 2).unwrap();
+        // n*k/4 = 4, corrected for excluding self-pairs by factor N/(N-1)
+        let expected = 4.0 * 64.0 / 63.0;
+        assert!((t.average_distance() - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the torus topology.
+
+use proptest::prelude::*;
+use torus_topology::{dimension_order_path, Direction, HealthyGraph, Torus};
+
+fn arb_torus() -> impl Strategy<Value = Torus> {
+    (2u16..10, 1u32..4).prop_map(|(k, n)| Torus::new(k, n).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn coord_roundtrip_holds(t in arb_torus(), raw in 0u32..10_000) {
+        let node = torus_topology::NodeId(raw % t.num_nodes() as u32);
+        let c = t.coord(node);
+        prop_assert_eq!(t.node(&c).unwrap(), node);
+        prop_assert!(c.digits().iter().all(|&d| d < t.radix()));
+    }
+
+    #[test]
+    fn neighbor_inverse(t in arb_torus(), raw in 0u32..10_000, dim_raw in 0usize..4, plus in any::<bool>()) {
+        let node = torus_topology::NodeId(raw % t.num_nodes() as u32);
+        let dim = dim_raw % t.dims();
+        let dir = if plus { Direction::Plus } else { Direction::Minus };
+        let nb = t.neighbor(node, dim, dir);
+        prop_assert_eq!(t.neighbor(nb, dim, dir.opposite()), node);
+        // A hop changes exactly one coordinate (unless k == 2 where +/- coincide but the digit still changes).
+        let a = t.coord(node);
+        let b = t.coord(nb);
+        prop_assert_eq!(a.differing_dims(&b).len(), 1);
+    }
+
+    #[test]
+    fn distance_is_metric(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000, rc in 0u32..10_000) {
+        let n = t.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        let c = torus_topology::NodeId(rc % n);
+        prop_assert_eq!(t.distance(a, a), 0);
+        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
+        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
+    }
+
+    #[test]
+    fn ecube_path_minimal(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000) {
+        let n = t.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        let p = dimension_order_path(&t, a, b);
+        prop_assert!(p.is_well_formed(&t));
+        prop_assert_eq!(p.len() as u32, t.distance(a, b));
+        // dimension indices along the path never decrease
+        let dims: Vec<usize> = p.hops.iter().map(|h| h.dim).collect();
+        prop_assert!(dims.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn offsets_bounded_by_half_radix(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000) {
+        let n = t.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        for off in t.offsets(a, b) {
+            prop_assert!(off.unsigned_abs() <= (t.radix() as u32) / 2);
+        }
+    }
+
+    #[test]
+    fn channel_id_dense_and_bijective(t in arb_torus()) {
+        let mut seen = vec![false; t.num_channels()];
+        for ch in t.channels() {
+            let id = t.channel_id(ch);
+            prop_assert!(!seen[id.index()]);
+            seen[id.index()] = true;
+            prop_assert_eq!(t.channel_from_id(id), ch);
+        }
+        prop_assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn fault_free_graph_connected(t in arb_torus()) {
+        let f = |_n: torus_topology::NodeId| false;
+        let g = HealthyGraph::new(&t, &f);
+        prop_assert!(g.is_connected());
+    }
+}

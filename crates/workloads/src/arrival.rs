@@ -1,0 +1,211 @@
+//! Message arrival processes.
+//!
+//! The paper assumes a Poisson arrival process with mean rate λ
+//! messages/node/cycle (assumption (a)). In a cycle-driven simulator a Poisson
+//! process is realised by sampling exponential inter-arrival times; we also
+//! provide a Bernoulli approximation (at most one message per cycle, the
+//! standard approximation for small λ) and a deterministic periodic process
+//! used by a few tests.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A per-node message arrival process.
+///
+/// The simulator asks, once per node per cycle, how many messages are
+/// generated during that cycle.
+pub trait ArrivalProcess {
+    /// Number of messages generated in the given cycle.
+    fn arrivals_in_cycle<R: Rng + ?Sized>(&mut self, cycle: u64, rng: &mut R) -> u32;
+
+    /// Mean offered rate in messages per cycle.
+    fn mean_rate(&self) -> f64;
+}
+
+/// Poisson arrivals with mean rate λ messages/cycle, realised by sampling
+/// exponential inter-arrival gaps (so several messages may arrive in one cycle
+/// when λ is large).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PoissonArrivals {
+    lambda: f64,
+    /// Absolute time of the next arrival, in (fractional) cycles.
+    next_arrival: f64,
+    initialized: bool,
+}
+
+impl PoissonArrivals {
+    /// Creates a Poisson arrival process with rate `lambda` messages/cycle.
+    ///
+    /// A rate of zero produces no arrivals at all.
+    pub fn new(lambda: f64) -> Self {
+        assert!(lambda >= 0.0 && lambda.is_finite(), "rate must be finite and non-negative");
+        PoissonArrivals {
+            lambda,
+            next_arrival: 0.0,
+            initialized: false,
+        }
+    }
+
+    fn sample_gap<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF sampling of Exp(lambda); guard against ln(0).
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        -u.ln() / self.lambda
+    }
+}
+
+impl ArrivalProcess for PoissonArrivals {
+    fn arrivals_in_cycle<R: Rng + ?Sized>(&mut self, cycle: u64, rng: &mut R) -> u32 {
+        if self.lambda <= 0.0 {
+            return 0;
+        }
+        if !self.initialized {
+            self.next_arrival = cycle as f64 + self.sample_gap(rng);
+            self.initialized = true;
+        }
+        let end = cycle as f64 + 1.0;
+        let mut count = 0;
+        while self.next_arrival < end {
+            count += 1;
+            let gap = self.sample_gap(rng);
+            self.next_arrival += gap;
+        }
+        count
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.lambda
+    }
+}
+
+/// Bernoulli arrivals: at most one message per cycle, generated with
+/// probability `p`. For `p ≪ 1` this is the standard discrete approximation of
+/// a Poisson process.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BernoulliArrivals {
+    p: f64,
+}
+
+impl BernoulliArrivals {
+    /// Creates a Bernoulli arrival process with per-cycle probability `p`.
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        BernoulliArrivals { p }
+    }
+}
+
+impl ArrivalProcess for BernoulliArrivals {
+    fn arrivals_in_cycle<R: Rng + ?Sized>(&mut self, _cycle: u64, rng: &mut R) -> u32 {
+        u32::from(rng.gen_bool(self.p))
+    }
+
+    fn mean_rate(&self) -> f64 {
+        self.p
+    }
+}
+
+/// Deterministic periodic arrivals: exactly one message every `period` cycles
+/// (starting at `offset`). Useful for tests that need a predictable load.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PeriodicArrivals {
+    period: u64,
+    offset: u64,
+}
+
+impl PeriodicArrivals {
+    /// Creates a periodic process generating one message every `period`
+    /// cycles, first at cycle `offset`.
+    pub fn new(period: u64, offset: u64) -> Self {
+        assert!(period > 0, "period must be positive");
+        PeriodicArrivals { period, offset }
+    }
+}
+
+impl ArrivalProcess for PeriodicArrivals {
+    fn arrivals_in_cycle<R: Rng + ?Sized>(&mut self, cycle: u64, _rng: &mut R) -> u32 {
+        u32::from(cycle >= self.offset && (cycle - self.offset) % self.period == 0)
+    }
+
+    fn mean_rate(&self) -> f64 {
+        1.0 / self.period as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn poisson_mean_rate_matches_lambda() {
+        let mut rng = StdRng::seed_from_u64(123);
+        for &lambda in &[0.002, 0.01, 0.1, 0.5] {
+            let mut p = PoissonArrivals::new(lambda);
+            let cycles = 200_000u64;
+            let total: u64 = (0..cycles)
+                .map(|c| p.arrivals_in_cycle(c, &mut rng) as u64)
+                .sum();
+            let measured = total as f64 / cycles as f64;
+            let rel_err = (measured - lambda).abs() / lambda;
+            assert!(
+                rel_err < 0.05,
+                "lambda={lambda}, measured={measured}, rel_err={rel_err}"
+            );
+            assert!((p.mean_rate() - lambda).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn poisson_zero_rate_never_fires() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut p = PoissonArrivals::new(0.0);
+        assert!((0..10_000).all(|c| p.arrivals_in_cycle(c, &mut rng) == 0));
+    }
+
+    #[test]
+    fn poisson_interarrival_variability() {
+        // A Poisson process occasionally produces more than one arrival per
+        // cycle at high rate.
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut p = PoissonArrivals::new(1.5);
+        let counts: Vec<u32> = (0..1000).map(|c| p.arrivals_in_cycle(c, &mut rng)).collect();
+        assert!(counts.iter().any(|&c| c >= 2));
+        assert!(counts.iter().any(|&c| c == 0));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn poisson_rejects_negative_rate() {
+        PoissonArrivals::new(-0.1);
+    }
+
+    #[test]
+    fn bernoulli_rate() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut b = BernoulliArrivals::new(0.05);
+        let cycles = 100_000u64;
+        let total: u64 = (0..cycles)
+            .map(|c| b.arrivals_in_cycle(c, &mut rng) as u64)
+            .sum();
+        let measured = total as f64 / cycles as f64;
+        assert!((measured - 0.05).abs() < 0.005);
+        assert!((b.mean_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn bernoulli_rejects_invalid_probability() {
+        BernoulliArrivals::new(1.5);
+    }
+
+    #[test]
+    fn periodic_is_deterministic() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut p = PeriodicArrivals::new(10, 3);
+        let fired: Vec<u64> = (0..40)
+            .filter(|&c| p.arrivals_in_cycle(c, &mut rng) == 1)
+            .collect();
+        assert_eq!(fired, vec![3, 13, 23, 33]);
+        assert!((p.mean_rate() - 0.1).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,117 @@
+//! Message length distributions.
+//!
+//! The paper fixes the message length per experiment (32 or 64 flits,
+//! assumption (c)). Bimodal and uniform distributions are provided for
+//! extension studies (short control messages mixed with long data messages is
+//! the classical bimodal workload).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of message lengths, in flits.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum MessageLength {
+    /// Every message has exactly this many flits (the paper's assumption).
+    Fixed(u32),
+    /// Messages are short with probability `short_fraction`, long otherwise.
+    Bimodal {
+        /// Length of short messages, in flits.
+        short: u32,
+        /// Length of long messages, in flits.
+        long: u32,
+        /// Probability of a short message.
+        short_fraction: f64,
+    },
+    /// Uniformly distributed length in `[min, max]` flits.
+    Uniform {
+        /// Minimum length in flits.
+        min: u32,
+        /// Maximum length in flits (inclusive).
+        max: u32,
+    },
+}
+
+impl MessageLength {
+    /// Samples a message length.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        match *self {
+            MessageLength::Fixed(len) => len.max(1),
+            MessageLength::Bimodal {
+                short,
+                long,
+                short_fraction,
+            } => {
+                if rng.gen_bool(short_fraction.clamp(0.0, 1.0)) {
+                    short.max(1)
+                } else {
+                    long.max(1)
+                }
+            }
+            MessageLength::Uniform { min, max } => rng.gen_range(min.max(1)..=max.max(min.max(1))),
+        }
+    }
+
+    /// Mean message length in flits.
+    pub fn mean(&self) -> f64 {
+        match *self {
+            MessageLength::Fixed(len) => len.max(1) as f64,
+            MessageLength::Bimodal {
+                short,
+                long,
+                short_fraction,
+            } => {
+                let p = short_fraction.clamp(0.0, 1.0);
+                p * short.max(1) as f64 + (1.0 - p) * long.max(1) as f64
+            }
+            MessageLength::Uniform { min, max } => (min.max(1) as f64 + max.max(1) as f64) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fixed_length_is_constant() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let d = MessageLength::Fixed(32);
+        assert!((0..100).all(|_| d.sample(&mut rng) == 32));
+        assert_eq!(d.mean(), 32.0);
+    }
+
+    #[test]
+    fn fixed_zero_is_clamped_to_one_flit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(MessageLength::Fixed(0).sample(&mut rng), 1);
+        assert_eq!(MessageLength::Fixed(0).mean(), 1.0);
+    }
+
+    #[test]
+    fn bimodal_mixes_lengths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let d = MessageLength::Bimodal {
+            short: 8,
+            long: 64,
+            short_fraction: 0.75,
+        };
+        let samples: Vec<u32> = (0..10_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&l| l == 8 || l == 64));
+        let short_frac = samples.iter().filter(|&&l| l == 8).count() as f64 / samples.len() as f64;
+        assert!((short_frac - 0.75).abs() < 0.03);
+        assert!((d.mean() - (0.75 * 8.0 + 0.25 * 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let d = MessageLength::Uniform { min: 4, max: 12 };
+        let samples: Vec<u32> = (0..5_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&l| (4..=12).contains(&l)));
+        assert!(samples.contains(&4));
+        assert!(samples.contains(&12));
+        assert_eq!(d.mean(), 8.0);
+    }
+}

@@ -1,0 +1,282 @@
+//! Destination (spatial traffic) patterns.
+//!
+//! The paper's evaluation uses the uniform random pattern: every healthy node
+//! other than the source is an equally likely destination. The other classical
+//! patterns are provided for the example programs and extension studies; they
+//! all avoid faulty destinations by falling back to uniform random selection
+//! among healthy nodes when their nominal target is faulty (the paper's
+//! assumption that messages are only generated between healthy nodes).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use torus_faults::FaultSet;
+use torus_topology::{Coord, NodeId, Torus};
+
+/// A spatial traffic pattern mapping a source node to a destination node.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum DestinationPattern {
+    /// Uniformly random destination among all healthy nodes other than the
+    /// source (the pattern used in the paper's evaluation).
+    UniformRandom,
+    /// Matrix transpose: the destination's coordinate is the source's
+    /// coordinate rotated by one dimension (digit i of the destination is
+    /// digit (i+1) mod n of the source).
+    Transpose,
+    /// Bit/dimension complement: digit i of the destination is
+    /// `k - 1 - digit i` of the source.
+    Complement,
+    /// Dimension reversal: the destination's digits are the source's digits in
+    /// reverse order.
+    Reversal,
+    /// Hotspot: with probability `fraction` the destination is the given node,
+    /// otherwise uniform random.
+    Hotspot {
+        /// The hotspot node.
+        node: u32,
+        /// Fraction of traffic addressed to the hotspot.
+        fraction: f64,
+    },
+    /// Nearest neighbour: a uniformly random neighbour one hop away.
+    NearestNeighbor,
+}
+
+impl DestinationPattern {
+    /// Picks a destination for a message generated at `src`.
+    ///
+    /// Returns `None` when no valid destination exists (for instance when the
+    /// source is the only healthy node).
+    pub fn pick<R: Rng + ?Sized>(
+        &self,
+        torus: &Torus,
+        faults: &FaultSet,
+        src: NodeId,
+        rng: &mut R,
+    ) -> Option<NodeId> {
+        let nominal = match self {
+            DestinationPattern::UniformRandom => None,
+            DestinationPattern::Transpose => {
+                let c = torus.coord(src);
+                let n = c.dims();
+                let digits: Vec<u16> = (0..n).map(|i| c.get((i + 1) % n)).collect();
+                Some(torus.node(&Coord::new(digits)).expect("valid digits"))
+            }
+            DestinationPattern::Complement => {
+                let c = torus.coord(src);
+                let k = torus.radix();
+                let digits: Vec<u16> = c.digits().iter().map(|&d| k - 1 - d).collect();
+                Some(torus.node(&Coord::new(digits)).expect("valid digits"))
+            }
+            DestinationPattern::Reversal => {
+                let c = torus.coord(src);
+                let digits: Vec<u16> = c.digits().iter().rev().copied().collect();
+                Some(torus.node(&Coord::new(digits)).expect("valid digits"))
+            }
+            DestinationPattern::Hotspot { node, fraction } => {
+                if rng.gen_bool((*fraction).clamp(0.0, 1.0)) {
+                    Some(NodeId(*node))
+                } else {
+                    None
+                }
+            }
+            DestinationPattern::NearestNeighbor => {
+                let neighbors = torus.neighbors(src);
+                let healthy: Vec<NodeId> = neighbors
+                    .iter()
+                    .map(|(_, n)| *n)
+                    .filter(|n| !faults.is_node_faulty(*n) && *n != src)
+                    .collect();
+                if healthy.is_empty() {
+                    None
+                } else {
+                    Some(healthy[rng.gen_range(0..healthy.len())])
+                }
+            }
+        };
+
+        match nominal {
+            Some(dest) if dest != src && !faults.is_node_faulty(dest) => Some(dest),
+            Some(_) | None => uniform_healthy_destination(torus, faults, src, rng),
+        }
+    }
+}
+
+/// Uniformly random healthy destination different from `src`.
+fn uniform_healthy_destination<R: Rng + ?Sized>(
+    torus: &Torus,
+    faults: &FaultSet,
+    src: NodeId,
+    rng: &mut R,
+) -> Option<NodeId> {
+    let n = torus.num_nodes() as u32;
+    let healthy = n as usize - faults.num_faulty_nodes();
+    if healthy <= 1 {
+        return None;
+    }
+    // Rejection sampling: the fault density in all experiments is tiny
+    // (< 10 %), so this terminates almost immediately.
+    for _ in 0..64 {
+        let cand = NodeId(rng.gen_range(0..n));
+        if cand != src && !faults.is_node_faulty(cand) {
+            return Some(cand);
+        }
+    }
+    // Extremely unlikely fallback: scan deterministically.
+    torus
+        .nodes()
+        .find(|c| *c != src && !faults.is_node_faulty(*c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Torus, FaultSet, StdRng) {
+        (
+            Torus::new(8, 2).unwrap(),
+            FaultSet::new(),
+            StdRng::seed_from_u64(2024),
+        )
+    }
+
+    #[test]
+    fn uniform_random_avoids_source_and_faults() {
+        let (t, mut f, mut rng) = setup();
+        let bad = t.node_from_digits(&[5, 5]).unwrap();
+        f.fail_node(bad);
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        for _ in 0..2000 {
+            let d = DestinationPattern::UniformRandom
+                .pick(&t, &f, src, &mut rng)
+                .unwrap();
+            assert_ne!(d, src);
+            assert_ne!(d, bad);
+        }
+    }
+
+    #[test]
+    fn uniform_random_is_roughly_uniform() {
+        let (t, f, mut rng) = setup();
+        let src = t.node_from_digits(&[3, 3]).unwrap();
+        let mut counts = vec![0u32; t.num_nodes()];
+        let draws = 63_000;
+        for _ in 0..draws {
+            let d = DestinationPattern::UniformRandom
+                .pick(&t, &f, src, &mut rng)
+                .unwrap();
+            counts[d.index()] += 1;
+        }
+        let expected = draws as f64 / 63.0;
+        for (i, &c) in counts.iter().enumerate() {
+            if i == src.index() {
+                assert_eq!(c, 0);
+            } else {
+                assert!(
+                    (c as f64 - expected).abs() < expected * 0.25,
+                    "node {i}: {c} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_rotates_digits() {
+        let (t, f, mut rng) = setup();
+        let src = t.node_from_digits(&[2, 6]).unwrap();
+        let d = DestinationPattern::Transpose
+            .pick(&t, &f, src, &mut rng)
+            .unwrap();
+        assert_eq!(t.coord(d).digits(), &[6, 2]);
+    }
+
+    #[test]
+    fn complement_mirrors_digits() {
+        let (t, f, mut rng) = setup();
+        let src = t.node_from_digits(&[1, 3]).unwrap();
+        let d = DestinationPattern::Complement
+            .pick(&t, &f, src, &mut rng)
+            .unwrap();
+        assert_eq!(t.coord(d).digits(), &[6, 4]);
+    }
+
+    #[test]
+    fn reversal_in_three_dims() {
+        let t = Torus::new(4, 3).unwrap();
+        let f = FaultSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let src = t.node_from_digits(&[1, 2, 3]).unwrap();
+        let d = DestinationPattern::Reversal.pick(&t, &f, src, &mut rng).unwrap();
+        assert_eq!(t.coord(d).digits(), &[3, 2, 1]);
+    }
+
+    #[test]
+    fn self_addressed_patterns_fall_back_to_uniform() {
+        let (t, f, mut rng) = setup();
+        // A node on the transpose diagonal would address itself; the pattern
+        // must fall back to a different healthy destination.
+        let src = t.node_from_digits(&[4, 4]).unwrap();
+        for _ in 0..100 {
+            let d = DestinationPattern::Transpose
+                .pick(&t, &f, src, &mut rng)
+                .unwrap();
+            assert_ne!(d, src);
+        }
+    }
+
+    #[test]
+    fn faulty_nominal_destination_falls_back() {
+        let (t, mut f, mut rng) = setup();
+        let victim = t.node_from_digits(&[6, 2]).unwrap();
+        f.fail_node(victim);
+        let src = t.node_from_digits(&[2, 6]).unwrap();
+        for _ in 0..100 {
+            let d = DestinationPattern::Transpose
+                .pick(&t, &f, src, &mut rng)
+                .unwrap();
+            assert_ne!(d, victim);
+        }
+    }
+
+    #[test]
+    fn hotspot_concentrates_traffic() {
+        let (t, f, mut rng) = setup();
+        let hot = t.node_from_digits(&[7, 7]).unwrap();
+        let pat = DestinationPattern::Hotspot {
+            node: hot.0,
+            fraction: 0.3,
+        };
+        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let draws = 20_000;
+        let hits = (0..draws)
+            .filter(|_| pat.pick(&t, &f, src, &mut rng).unwrap() == hot)
+            .count();
+        let frac = hits as f64 / draws as f64;
+        // 30 % direct + ~1/63 of the remaining uniform traffic
+        assert!((frac - 0.311).abs() < 0.03, "fraction {frac}");
+    }
+
+    #[test]
+    fn nearest_neighbor_is_one_hop_away() {
+        let (t, f, mut rng) = setup();
+        let src = t.node_from_digits(&[3, 4]).unwrap();
+        for _ in 0..200 {
+            let d = DestinationPattern::NearestNeighbor
+                .pick(&t, &f, src, &mut rng)
+                .unwrap();
+            assert_eq!(t.distance(src, d), 1);
+        }
+    }
+
+    #[test]
+    fn no_destination_when_alone() {
+        let t = Torus::new(2, 1).unwrap();
+        let mut f = FaultSet::new();
+        f.fail_node(NodeId(1));
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(
+            DestinationPattern::UniformRandom.pick(&t, &f, NodeId(0), &mut rng),
+            None
+        );
+    }
+}

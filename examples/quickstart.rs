@@ -1,0 +1,47 @@
+//! Quickstart: simulate Software-Based fault-tolerant routing on an 8-ary
+//! 2-cube with a handful of random node faults and print the resulting
+//! metrics.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use swbft::prelude::*;
+
+fn main() {
+    // An 8x8 torus, 6 virtual channels per physical channel, 32-flit messages,
+    // Poisson traffic at 0.006 messages/node/cycle, 5 random node faults.
+    let config = ExperimentConfig::paper_point(8, 2, 6, 32, 0.006)
+        .with_routing(RoutingChoice::Adaptive)
+        .with_faults(FaultScenario::RandomNodes { count: 5 })
+        .with_seed(2006)
+        .quick(5_000, 1_000);
+
+    println!("running: {} nodes, V={}, M={} flits, lambda={} msg/node/cycle, {} ...",
+        config.num_nodes(),
+        config.virtual_channels,
+        config.message_length,
+        config.rate,
+        config.routing.label(),
+    );
+
+    let outcome = config.run().expect("experiment runs");
+    let r = &outcome.report;
+
+    println!();
+    println!("faulty nodes           : {}", outcome.fault_count);
+    println!("cycles simulated       : {}", r.cycles);
+    println!("messages generated     : {}", r.generated_messages);
+    println!("messages delivered     : {}", r.delivered_messages);
+    println!("mean message latency   : {:.1} cycles (+/- {:.1}, 95% CI)", r.mean_latency, r.latency_ci95);
+    println!("p50 / p99 latency      : {:.0} / {:.0} cycles", r.p50_latency, r.p99_latency);
+    println!("mean hops per message  : {:.2}", r.mean_hops);
+    println!("throughput             : {:.5} messages/node/cycle", r.throughput);
+    println!("messages queued        : {} (absorptions due to faults)", r.messages_queued);
+    println!("saturated              : {}", outcome.hit_max_cycles);
+
+    // The Software-Based guarantee: every message reaches its destination even
+    // with faulty routers in the network.
+    assert_eq!(outcome.dropped_messages, 0);
+    println!("\nall generated messages were (or will be) delivered — no message was dropped.");
+}

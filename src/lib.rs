@@ -1,0 +1,35 @@
+//! # swbft — Software-Based Fault-Tolerant routing in multi-dimensional networks
+//!
+//! Umbrella crate re-exporting the whole reproduction of
+//! *Safaei et al., "Software-Based Fault-Tolerant Routing Algorithm in
+//! Multi-Dimensional Networks", IPDPS 2006*:
+//!
+//! * [`topology`] — k-ary n-cube topology and channel structure,
+//! * [`faults`] — fault models and fault-region generators,
+//! * [`workloads`] — traffic generation (Poisson arrivals, destination patterns),
+//! * [`metrics`] — latency/throughput statistics and collectors,
+//! * [`routing`] — e-cube, Duato's protocol and the Software-Based
+//!   fault-tolerant routing algorithm (2-D and n-D),
+//! * [`sim`] — the flit-level wormhole-switched network simulator,
+//! * [`analytic`] — a first-order analytical latency model (the paper's
+//!   stated future work), used as an independent cross-check of the simulator,
+//! * [`core`] — the experiment harness that reproduces the paper's figures.
+//!
+//! See `examples/quickstart.rs` for a minimal end-to-end simulation.
+
+#![forbid(unsafe_code)]
+
+pub use swbft_core as core;
+pub use torus_analytic as analytic;
+pub use torus_faults as faults;
+pub use torus_metrics as metrics;
+pub use torus_routing as routing;
+pub use torus_sim as sim;
+pub use torus_topology as topology;
+pub use torus_workloads as workloads;
+
+/// Commonly used items from every sub-crate.
+pub mod prelude {
+    pub use swbft_core::prelude::*;
+    pub use torus_topology::prelude::*;
+}

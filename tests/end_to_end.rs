@@ -1,0 +1,232 @@
+//! Cross-crate integration tests: topology + faults + routing + simulator +
+//! experiment harness working together, checking the qualitative claims of the
+//! paper on small, fast configurations.
+
+use swbft::faults::{random_node_faults, FaultSet, RegionShape};
+use swbft::prelude::*;
+use swbft::routing::cdg::{build_ecube_cdg, VcModel};
+use swbft::routing::SwBasedRouting;
+use swbft::sim::{SimConfig, Simulation, StopCondition};
+use swbft::topology::Torus;
+
+/// A small, fast experiment configuration shared by several tests.
+fn quick(radix: u16, dims: u32, v: usize, rate: f64) -> ExperimentConfig {
+    ExperimentConfig::paper_point(radix, dims, v, 16, rate).quick(800, 200)
+}
+
+#[test]
+fn fault_free_latency_close_to_ideal() {
+    // At very low load the mean latency must approach the no-contention bound:
+    // roughly (mean hops + message length) cycles.
+    let out = quick(8, 2, 4, 0.001).run().expect("runs");
+    let ideal = out.report.mean_hops + 16.0;
+    assert!(
+        out.report.mean_latency < ideal * 1.5 + 10.0,
+        "latency {} too far above the ideal {}",
+        out.report.mean_latency,
+        ideal
+    );
+    assert_eq!(out.report.messages_queued, 0);
+    assert_eq!(out.dropped_messages, 0);
+}
+
+#[test]
+fn all_messages_delivered_under_faults_deterministic_and_adaptive() {
+    for routing in RoutingChoice::BOTH {
+        let out = quick(8, 2, 6, 0.003)
+            .with_routing(routing)
+            .with_faults(FaultScenario::RandomNodes { count: 6 })
+            .run()
+            .expect("runs");
+        assert_eq!(out.dropped_messages, 0, "{routing:?}");
+        assert_eq!(out.forced_absorptions, 0, "{routing:?}");
+        assert!(!out.hit_max_cycles, "{routing:?} saturated unexpectedly");
+        assert!(out.report.measured_messages >= 800);
+    }
+}
+
+#[test]
+fn latency_increases_with_fault_count() {
+    let run = |nf: usize| {
+        quick(8, 2, 4, 0.006)
+            .with_faults(if nf == 0 {
+                FaultScenario::None
+            } else {
+                FaultScenario::RandomNodes { count: nf }
+            })
+            .with_seed(400)
+            .run()
+            .expect("runs")
+            .report
+            .mean_latency
+    };
+    let healthy = run(0);
+    let faulty = run(6);
+    assert!(
+        faulty > healthy,
+        "latency with 6 faults ({faulty}) should exceed the fault-free latency ({healthy})"
+    );
+}
+
+#[test]
+fn concave_region_costs_more_than_convex_region() {
+    // Fig. 5's qualitative claim, on equal-sized regions.
+    let torus = Torus::new(8, 2).unwrap();
+    let run = |shape: RegionShape| {
+        ExperimentConfig::paper_point(8, 2, 10, 32, 0.006)
+            .with_routing(RoutingChoice::Deterministic)
+            .with_faults(FaultScenario::centered_region(&torus, shape))
+            .quick(1_500, 300)
+            .run()
+            .expect("runs")
+            .report
+    };
+    let convex = run(RegionShape::Rect {
+        width: 3,
+        height: 3,
+    });
+    let concave = run(RegionShape::paper_l_9());
+    assert!(
+        concave.messages_queued >= convex.messages_queued,
+        "concave region should absorb at least as many messages ({} vs {})",
+        concave.messages_queued,
+        convex.messages_queued
+    );
+}
+
+#[test]
+fn adaptive_beats_deterministic_under_faults() {
+    // Figs. 6 and 7: adaptive SW-Based routing absorbs far fewer messages and
+    // achieves at least the throughput of deterministic routing.
+    let base = quick(8, 2, 6, 0.008).with_faults(FaultScenario::RandomNodes { count: 6 });
+    let det = base
+        .clone()
+        .with_routing(RoutingChoice::Deterministic)
+        .run()
+        .expect("runs");
+    let ada = base
+        .with_routing(RoutingChoice::Adaptive)
+        .run()
+        .expect("runs");
+    assert!(det.report.messages_queued > 0);
+    assert!(
+        ada.report.messages_queued < det.report.messages_queued,
+        "adaptive queued {} vs deterministic {}",
+        ada.report.messages_queued,
+        det.report.messages_queued
+    );
+}
+
+#[test]
+fn messages_queued_grows_with_fault_count() {
+    // Fig. 7's qualitative claim.
+    let run = |nf: usize| {
+        quick(8, 2, 6, 0.008)
+            .with_routing(RoutingChoice::Deterministic)
+            .with_faults(FaultScenario::RandomNodes { count: nf })
+            .with_seed(77)
+            .run()
+            .expect("runs")
+            .report
+            .messages_queued
+    };
+    let few = run(2);
+    let many = run(8);
+    assert!(
+        many > few,
+        "8 faults should absorb more messages ({many}) than 2 faults ({few})"
+    );
+}
+
+#[test]
+fn deadlock_freedom_argument_holds_for_simulated_topologies() {
+    // Section 4 of the paper: the channel dependency graph of the
+    // deterministic / escape layer is acyclic for the topologies we simulate.
+    for (k, n) in [(8u16, 2u32), (4, 3)] {
+        let torus = Torus::new(k, n).unwrap();
+        let cdg = build_ecube_cdg(&torus, VcModel::DatelineClasses);
+        assert!(cdg.is_acyclic(), "{k}-ary {n}-cube CDG must be acyclic");
+        let naive = build_ecube_cdg(&torus, VcModel::SingleClass);
+        assert!(!naive.is_acyclic(), "without VC classes the torus CDG has cycles");
+    }
+}
+
+#[test]
+fn direct_simulator_usage_with_link_faults() {
+    // Link faults are supported by the fault model even though the paper's
+    // experiments only use node faults.
+    let torus = Torus::new(4, 2).unwrap();
+    let mut faults = FaultSet::new();
+    faults.fail_link(
+        &torus,
+        torus.node_from_digits(&[1, 1]).unwrap(),
+        0,
+        swbft::topology::Direction::Plus,
+    );
+    assert!(faults.preserves_connectivity(&torus));
+    let mut cfg = SimConfig::paper(4, 2, 4, 8, 0.01);
+    cfg.warmup_messages = 100;
+    cfg.stop = StopCondition::MeasuredMessages(500);
+    let mut sim = Simulation::new(cfg, faults, SwBasedRouting::deterministic()).unwrap();
+    let out = sim.run();
+    assert!(!out.hit_max_cycles);
+    assert_eq!(out.dropped_messages, 0);
+    assert!(
+        out.report.messages_queued > 0,
+        "messages crossing the dead link must be absorbed and re-routed"
+    );
+}
+
+#[test]
+fn four_dimensional_torus_is_supported() {
+    // The whole point of the paper: the scheme generalises beyond 2-D.
+    let out = quick(3, 4, 4, 0.002)
+        .with_routing(RoutingChoice::Adaptive)
+        .with_faults(FaultScenario::RandomNodes { count: 4 })
+        .run()
+        .expect("runs");
+    assert_eq!(out.config.num_nodes(), 81);
+    assert_eq!(out.dropped_messages, 0);
+    assert!(!out.hit_max_cycles);
+}
+
+#[test]
+fn random_fault_sets_preserve_connectivity_by_construction() {
+    let torus = Torus::new(8, 3).unwrap();
+    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(99);
+    for nf in [1, 5, 12, 20] {
+        let f: FaultSet = random_node_faults(&torus, nf, &mut rng).unwrap();
+        assert!(f.preserves_connectivity(&torus));
+        assert_eq!(f.num_faulty_nodes(), nf);
+    }
+}
+
+#[test]
+fn reports_render_to_csv_and_text() {
+    let out = quick(4, 2, 4, 0.01).run().expect("runs");
+    let row = out.report.csv_row();
+    assert_eq!(
+        row.split(',').count(),
+        SimulationReport::csv_header().split(',').count()
+    );
+    // A figure result built from a single point renders all its sections.
+    let fig = FigureResult {
+        id: "smoke".into(),
+        title: "smoke figure".into(),
+        panels: vec![PanelResult {
+            title: "panel".into(),
+            x_label: "Traffic rate".into(),
+            metric: swbft::core::results::Metric::MeanLatency,
+            curves: vec![CurveResult {
+                label: "M=16, nf=0".into(),
+                points: vec![PointResult {
+                    x: 0.01,
+                    report: out.report.clone(),
+                    saturated: false,
+                }],
+            }],
+        }],
+    };
+    assert!(fig.render_text().contains("M=16, nf=0"));
+    assert!(fig.to_csv().lines().count() >= 2);
+}

@@ -1,0 +1,151 @@
+//! Property-based integration tests: for randomly drawn topologies, fault
+//! placements and traffic parameters, the Software-Based routing scheme must
+//! deliver every message, never trigger the deadlock watchdog, and never
+//! drop a message while the healthy subgraph stays connected.
+
+use proptest::prelude::*;
+use swbft::faults::FaultSet;
+use swbft::routing::{RouteDecision, RoutingAlgorithm, SwBasedRouting};
+use swbft::sim::{SimConfig, Simulation, StopCondition};
+use swbft::topology::{NodeId, Torus};
+
+/// Walks a single message from `src` to `dest` through a faulty network using
+/// the full software loop (route → absorb → re-route → re-inject), mirroring
+/// what the simulator does, and returns the number of absorptions.
+/// Panics if the message fails to arrive within a generous hop budget.
+fn deliver_one_message(
+    torus: &Torus,
+    faults: &FaultSet,
+    algo: &SwBasedRouting,
+    src: NodeId,
+    dest: NodeId,
+) -> u32 {
+    let mut header = algo.make_header(torus, src, dest);
+    let mut current = src;
+    let mut steps = 0usize;
+    let budget = torus.num_nodes() * 16 + 64;
+    loop {
+        steps += 1;
+        assert!(
+            steps < budget,
+            "message from {src:?} to {dest:?} did not arrive within {budget} steps"
+        );
+        match algo.route(torus, faults, &mut header, current, 6) {
+            RouteDecision::Deliver => {
+                assert_eq!(current, dest);
+                return header.absorptions;
+            }
+            RouteDecision::Forward(cands) => {
+                let c = &cands[0];
+                algo.note_hop(torus, &mut header, current, c.dim, c.dir);
+                current = torus.neighbor(current, c.dim, c.dir);
+                assert!(
+                    !faults.is_node_faulty(current),
+                    "routing forwarded into a faulty node"
+                );
+            }
+            RouteDecision::Absorb => {
+                let blocked = swbft::routing::ecube::ecube_output(torus, &header, current)
+                    .unwrap_or((0, swbft::topology::Direction::Plus));
+                assert!(
+                    algo.reroute_on_fault(torus, faults, &mut header, current, blocked),
+                    "software layer failed to re-route in a connected network"
+                );
+                header.reset_for_injection();
+            }
+        }
+    }
+}
+
+fn arb_topology() -> impl Strategy<Value = (u16, u32)> {
+    prop_oneof![
+        (4u16..=8, Just(2u32)),
+        (3u16..=5, Just(3u32)),
+        Just((3u16, 4u32)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every (source, destination) pair between healthy nodes is deliverable
+    /// under random connectivity-preserving fault placements, for both
+    /// flavours of the algorithm.
+    #[test]
+    fn every_message_is_deliverable(
+        (k, n) in arb_topology(),
+        nf in 0usize..8,
+        seed in any::<u64>(),
+        adaptive in any::<bool>(),
+    ) {
+        let torus = Torus::new(k, n).unwrap();
+        let nf = nf.min(torus.num_nodes() / 8);
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let faults = swbft::faults::random_node_faults(&torus, nf, &mut rng).unwrap();
+        let algo = if adaptive {
+            SwBasedRouting::adaptive()
+        } else {
+            SwBasedRouting::deterministic()
+        };
+        // Sample a handful of healthy pairs rather than all N^2.
+        let healthy: Vec<NodeId> = faults.healthy_nodes(&torus).collect();
+        prop_assume!(healthy.len() >= 2);
+        for i in 0..healthy.len().min(12) {
+            let src = healthy[(i * 7) % healthy.len()];
+            let dest = healthy[(i * 13 + 5) % healthy.len()];
+            if src != dest {
+                deliver_one_message(&torus, &faults, &algo, src, dest);
+            }
+        }
+    }
+
+    /// Short full-simulator runs never drop messages, never trigger the stall
+    /// watchdog, and account for every generated message.
+    #[test]
+    fn short_simulations_conserve_messages(
+        nf in 0usize..6,
+        seed in any::<u64>(),
+        adaptive in any::<bool>(),
+    ) {
+        let torus = Torus::new(6, 2).unwrap();
+        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
+        let faults = swbft::faults::random_node_faults(&torus, nf, &mut rng).unwrap();
+        let mut cfg = SimConfig::paper(6, 2, 4, 8, 0.01);
+        cfg.seed = seed;
+        cfg.warmup_messages = 50;
+        cfg.stop = StopCondition::MeasuredMessages(300);
+        cfg.max_cycles = 60_000;
+        let algo = if adaptive {
+            SwBasedRouting::adaptive()
+        } else {
+            SwBasedRouting::deterministic()
+        };
+        let mut sim = Simulation::new(cfg, faults, algo).unwrap();
+        let out = sim.run();
+        prop_assert_eq!(out.dropped_messages, 0);
+        prop_assert_eq!(out.forced_absorptions, 0);
+        prop_assert!(!out.hit_max_cycles);
+        // Conservation: generated = delivered + still in flight.
+        prop_assert_eq!(
+            out.report.generated_messages,
+            out.report.delivered_messages + out.report.in_flight_messages
+        );
+        if nf == 0 {
+            prop_assert_eq!(out.report.messages_queued, 0);
+        }
+    }
+
+    /// The latency of every delivered message is at least its serialisation
+    /// bound (length + hops) and the mean reflects that.
+    #[test]
+    fn latency_respects_serialisation_bound(seed in any::<u64>()) {
+        let mut cfg = SimConfig::paper(4, 2, 4, 12, 0.01);
+        cfg.seed = seed;
+        cfg.warmup_messages = 0;
+        cfg.stop = StopCondition::MeasuredMessages(200);
+        let mut sim = Simulation::new(cfg, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        prop_assert!(out.report.mean_latency >= 12.0);
+        prop_assert!(out.report.mean_hops >= 1.0);
+    }
+}
