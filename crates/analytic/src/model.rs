@@ -24,7 +24,13 @@ pub struct AnalyticConfig {
 
 impl AnalyticConfig {
     /// Configuration matching the paper's default assumptions (`Td = Δ = 0`).
-    pub fn paper(radix: u16, dims: u32, v: usize, message_length: u32, faulty_nodes: usize) -> Self {
+    pub fn paper(
+        radix: u16,
+        dims: u32,
+        v: usize,
+        message_length: u32,
+        faulty_nodes: usize,
+    ) -> Self {
         AnalyticConfig {
             radix,
             dims,
@@ -131,8 +137,8 @@ impl AnalyticModel {
         // Fault penalty: expected absorptions × (re-serialisation + Δ + detour).
         let p_fault = self.fault_encounter_probability();
         let detour_hops = self.avg_distance / 2.0;
-        let fault_penalty =
-            p_fault * (m + self.config.reinjection_delay as f64 + detour_hops * (1.0 + per_hop_wait));
+        let fault_penalty = p_fault
+            * (m + self.config.reinjection_delay as f64 + detour_hops * (1.0 + per_hop_wait));
         Some(LatencyBreakdown {
             routing,
             serialization: m,

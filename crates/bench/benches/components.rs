@@ -38,7 +38,10 @@ fn routing_benches(c: &mut Criterion) {
     let faults = random_node_faults(&torus, 12, &mut rng).expect("connected placement");
     let mut group = c.benchmark_group("routing");
     for (name, algo) in [
-        ("deterministic_route_decision", SwBasedRouting::deterministic()),
+        (
+            "deterministic_route_decision",
+            SwBasedRouting::deterministic(),
+        ),
         ("adaptive_route_decision", SwBasedRouting::adaptive()),
     ] {
         group.bench_function(name, |b| {
@@ -69,5 +72,10 @@ fn simulator_benches(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, topology_benches, routing_benches, simulator_benches);
+criterion_group!(
+    benches,
+    topology_benches,
+    routing_benches,
+    simulator_benches
+);
 criterion_main!(benches);

@@ -28,10 +28,7 @@ struct Row {
     throughput: f64,
 }
 
-fn run_variants(
-    title: &str,
-    variants: Vec<(String, ExperimentConfig)>,
-) -> (String, Vec<Row>) {
+fn run_variants(title: &str, variants: Vec<(String, ExperimentConfig)>) -> (String, Vec<Row>) {
     let rows = run_parallel(variants, |(label, cfg)| {
         let out = cfg.run().expect("ablation point runs");
         Row {

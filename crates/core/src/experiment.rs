@@ -206,8 +206,7 @@ impl ExperimentConfig {
 
     /// Runs the experiment and returns its outcome.
     pub fn run(&self) -> Result<ExperimentOutcome, ExperimentError> {
-        let torus =
-            Torus::new(self.radix, self.dims).map_err(ExperimentError::Topology)?;
+        let torus = Torus::new(self.radix, self.dims).map_err(ExperimentError::Topology)?;
         // Fault placement uses a dedicated RNG stream (derived from the fault
         // seed if pinned, otherwise from the run seed) so the same faults are
         // applied to both routing flavours of a comparison.
@@ -249,10 +248,7 @@ impl ExperimentOutcome {
     /// Short label combining message length and fault count, the curve legend
     /// format used by Figs. 3 and 4 ("M=32, nf=5").
     pub fn curve_label(&self) -> String {
-        format!(
-            "M={}, nf={}",
-            self.config.message_length, self.fault_count
-        )
+        format!("M={}, nf={}", self.config.message_length, self.fault_count)
     }
 }
 
@@ -328,7 +324,11 @@ mod tests {
         let base = ExperimentConfig::paper_point(8, 2, 6, 16, 0.003)
             .with_faults(FaultScenario::RandomNodes { count: 4 })
             .quick(200, 50);
-        let det = base.clone().with_routing(RoutingChoice::Deterministic).run().unwrap();
+        let det = base
+            .clone()
+            .with_routing(RoutingChoice::Deterministic)
+            .run()
+            .unwrap();
         let ada = base.with_routing(RoutingChoice::Adaptive).run().unwrap();
         assert_eq!(det.fault_count, ada.fault_count);
     }
@@ -340,8 +340,8 @@ mod tests {
         let cfg = ExperimentConfig::paper_point(8, 2, 4, 8, 0.01)
             .with_faults(FaultScenario::RandomNodes { count: 64 });
         assert!(matches!(cfg.run(), Err(ExperimentError::Faults(_))));
-        let mut cfg = ExperimentConfig::paper_point(8, 2, 4, 8, 0.01)
-            .with_routing(RoutingChoice::Adaptive);
+        let mut cfg =
+            ExperimentConfig::paper_point(8, 2, 4, 8, 0.01).with_routing(RoutingChoice::Adaptive);
         cfg.virtual_channels = 2;
         assert!(matches!(cfg.run(), Err(ExperimentError::Sim(_))));
     }

@@ -197,10 +197,7 @@ fn rate_grid(max: f64, points: usize) -> Vec<f64> {
 /// routing flavour).
 fn point_seed(fig: &str, panel: usize, curve: usize, point: usize) -> u64 {
     let mut h: u64 = 0xcbf29ce484222325;
-    for b in fig
-        .bytes()
-        .chain([panel as u8, curve as u8, point as u8])
-    {
+    for b in fig.bytes().chain([panel as u8, curve as u8, point as u8]) {
         h ^= b as u64;
         h = h.wrapping_mul(0x100000001b3);
     }
@@ -305,9 +302,9 @@ fn fig5(scale: Scale) -> FigureResult {
                 shape.node_count(),
                 shape_label
             ));
-            let rates = rate_grid(max_rate(routing, v, dims as u32), scale.rate_points());
+            let rates = rate_grid(max_rate(routing, v, dims), scale.rate_points());
             for (pi, &rate) in rates.iter().enumerate() {
-                let cfg = ExperimentConfig::paper_point(radix, dims as u32, v, m, rate)
+                let cfg = ExperimentConfig::paper_point(radix, dims, v, m, rate)
                     .with_routing(routing)
                     .with_faults(FaultScenario::centered_region(&torus, shape))
                     .with_seed(point_seed("fig5", 0, curve_idx, pi))
@@ -481,7 +478,12 @@ fn assemble_figure(
     panels_meta: Vec<(String, Vec<String>)>,
 ) -> FigureResult {
     let outcomes = run_parallel(tagged, |(panel, curve, x, cfg)| {
-        (*panel, *curve, *x, cfg.run().expect("figure point must run"))
+        (
+            *panel,
+            *curve,
+            *x,
+            cfg.run().expect("figure point must run"),
+        )
     });
     let mut panels: Vec<PanelResult> = panels_meta
         .into_iter()
@@ -519,13 +521,14 @@ fn assemble_figure(
 
 /// Field-wise average of several simulation reports (used by Fig. 6 to average
 /// over independent random fault placements).
-pub fn average_reports(reports: &[torus_metrics::SimulationReport]) -> torus_metrics::SimulationReport {
+pub fn average_reports(
+    reports: &[torus_metrics::SimulationReport],
+) -> torus_metrics::SimulationReport {
     assert!(!reports.is_empty(), "cannot average zero reports");
     let n = reports.len() as f64;
     let mut avg = reports[0].clone();
-    let sum_f = |f: fn(&torus_metrics::SimulationReport) -> f64| {
-        reports.iter().map(f).sum::<f64>() / n
-    };
+    let sum_f =
+        |f: fn(&torus_metrics::SimulationReport) -> f64| reports.iter().map(f).sum::<f64>() / n;
     avg.mean_latency = sum_f(|r| r.mean_latency);
     avg.latency_std_dev = sum_f(|r| r.latency_std_dev);
     avg.latency_ci95 = sum_f(|r| r.latency_ci95);
@@ -548,8 +551,11 @@ pub fn average_reports(reports: &[torus_metrics::SimulationReport]) -> torus_met
         (reports.iter().map(|r| r.in_flight_messages).sum::<u64>() as f64 / n) as u64;
     avg.messages_queued =
         (reports.iter().map(|r| r.messages_queued).sum::<u64>() as f64 / n) as u64;
-    avg.messages_queued_measured =
-        (reports.iter().map(|r| r.messages_queued_measured).sum::<u64>() as f64 / n) as u64;
+    avg.messages_queued_measured = (reports
+        .iter()
+        .map(|r| r.messages_queued_measured)
+        .sum::<u64>() as f64
+        / n) as u64;
     avg.reinjection_queue_peak = reports
         .iter()
         .map(|r| r.reinjection_queue_peak)

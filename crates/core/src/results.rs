@@ -131,11 +131,7 @@ impl FigureResult {
             for x in xs {
                 out.push_str(&format!("{x:>14.5}"));
                 for curve in &panel.curves {
-                    match curve
-                        .points
-                        .iter()
-                        .find(|p| (p.x - x).abs() < 1e-12)
-                    {
+                    match curve.points.iter().find(|p| (p.x - x).abs() < 1e-12) {
                         Some(p) => {
                             let sat = if p.saturated { "*" } else { " " };
                             out.push_str(&format!(" | {:>21.3}{}", p.y(panel.metric), sat));
@@ -169,8 +165,12 @@ impl FigureResult {
                 out.push_str("  (no points)\n");
                 continue;
             }
-            let (mut x_min, mut x_max, mut y_min, mut y_max) =
-                (f64::INFINITY, f64::NEG_INFINITY, f64::INFINITY, f64::NEG_INFINITY);
+            let (mut x_min, mut x_max, mut y_min, mut y_max) = (
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+            );
             for &(x, y) in &all_points {
                 x_min = x_min.min(x);
                 x_max = x_max.max(x);
@@ -321,7 +321,10 @@ mod tests {
         assert!(plot.contains('+'));
         // Both curve symbols appear somewhere on the canvas.
         assert!(plot.matches('o').count() >= 1);
-        assert!(plot.matches('x').count() >= 2, "legend + at least one point");
+        assert!(
+            plot.matches('x').count() >= 2,
+            "legend + at least one point"
+        );
     }
 
     #[test]
@@ -357,6 +360,9 @@ mod tests {
         };
         assert!(p.y(Metric::MeanLatency) > 0.0);
         assert_eq!(p.y(Metric::MessagesQueued), 0.0);
-        assert_eq!(Metric::Throughput.label(), "throughput (messages/node/cycle)");
+        assert_eq!(
+            Metric::Throughput.label(),
+            "throughput (messages/node/cycle)"
+        );
     }
 }

@@ -170,7 +170,11 @@ mod tests {
         assert!(est.simulations <= 10);
         // A 4-ary 2-cube with 8-flit messages saturates somewhere between a
         // fraction of a percent and ~20 % injection rate.
-        assert!(est.rate() > 0.002 && est.rate() < 0.25, "rate {}", est.rate());
+        assert!(
+            est.rate() > 0.002 && est.rate() < 0.25,
+            "rate {}",
+            est.rate()
+        );
     }
 
     #[test]
@@ -180,8 +184,7 @@ mod tests {
             relative_tolerance: 0.2,
             ..SaturationSearch::default()
         };
-        let det =
-            estimate_saturation_rate(&tiny(RoutingChoice::Deterministic, 4), search).unwrap();
+        let det = estimate_saturation_rate(&tiny(RoutingChoice::Deterministic, 4), search).unwrap();
         let ada = estimate_saturation_rate(&tiny(RoutingChoice::Adaptive, 4), search).unwrap();
         // Adaptive routing exploits all minimal paths, so its saturation point
         // is at least as high (allow a small tolerance for bracketing noise).

@@ -30,7 +30,7 @@ where
         .unwrap_or(1)
         .min(n);
     if threads <= 1 {
-        return inputs.iter().map(|t| work(t)).collect();
+        return inputs.iter().map(&work).collect();
     }
 
     let (task_tx, task_rx) = channel::unbounded::<(usize, &T)>();

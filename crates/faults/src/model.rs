@@ -243,7 +243,12 @@ mod tests {
         a.fail_node(t.node_from_digits(&[0, 1]).unwrap());
         let mut b = FaultSet::new();
         b.fail_node(t.node_from_digits(&[5, 5]).unwrap());
-        b.fail_link(&t, t.node_from_digits(&[6, 6]).unwrap(), 1, Direction::Minus);
+        b.fail_link(
+            &t,
+            t.node_from_digits(&[6, 6]).unwrap(),
+            1,
+            Direction::Minus,
+        );
         a.merge(&b);
         assert_eq!(a.num_faulty_nodes(), 2);
         assert_eq!(a.num_faulty_links(), 1);

@@ -267,7 +267,11 @@ pub struct FaultRegion {
 impl FaultRegion {
     /// Places `shape` in the plane of dimensions `(0, 1)` anchored at the
     /// given digits.
-    pub fn in_default_plane(torus: &Torus, shape: RegionShape, anchor: &[u16]) -> Result<Self, TorusError> {
+    pub fn in_default_plane(
+        torus: &Torus,
+        shape: RegionShape,
+        anchor: &[u16],
+    ) -> Result<Self, TorusError> {
         // Validate the anchor against the torus.
         let coord = Coord::new(anchor.to_vec());
         torus.node(&coord)?;
@@ -385,7 +389,10 @@ mod tests {
         let nodes = region.nodes(&t);
         assert_eq!(nodes.len(), 6);
         // The region should cover x in {6,7,0} and y in {7,0}.
-        let coords: Vec<Vec<u16>> = nodes.iter().map(|n| t.coord(*n).digits().to_vec()).collect();
+        let coords: Vec<Vec<u16>> = nodes
+            .iter()
+            .map(|n| t.coord(*n).digits().to_vec())
+            .collect();
         assert!(coords.contains(&vec![0, 0]));
         assert!(coords.contains(&vec![6, 7]));
     }
@@ -410,8 +417,7 @@ mod tests {
     #[test]
     fn to_fault_set_and_connectivity() {
         let t = Torus::new(8, 2).unwrap();
-        let region =
-            FaultRegion::in_default_plane(&t, RegionShape::paper_u_8(), &[2, 2]).unwrap();
+        let region = FaultRegion::in_default_plane(&t, RegionShape::paper_u_8(), &[2, 2]).unwrap();
         let f = region.to_fault_set(&t);
         assert_eq!(f.num_faulty_nodes(), 8);
         assert!(f.preserves_connectivity(&t));

@@ -138,7 +138,7 @@ mod tests {
         let median = h.quantile(0.5).unwrap();
         assert!((median - 51.0).abs() <= 1.0);
         let p99 = h.quantile(0.99).unwrap();
-        assert!(p99 >= 99.0 && p99 <= 101.0);
+        assert!((99.0..=101.0).contains(&p99));
         assert!(h.quantile(0.0).is_some());
         assert_eq!(Histogram::new(1.0, 4).quantile(0.5), None);
     }

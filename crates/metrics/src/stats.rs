@@ -152,7 +152,9 @@ mod tests {
 
     #[test]
     fn merge_matches_sequential() {
-        let values: Vec<f64> = (0..1000).map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0).collect();
+        let values: Vec<f64> = (0..1000)
+            .map(|i| (i as f64 * 0.37).sin() * 10.0 + 50.0)
+            .collect();
         let mut all = StreamingStats::new();
         for &v in &values {
             all.record(v);

@@ -14,7 +14,11 @@ use torus_topology::{Direction, NodeId, Torus, VcClass};
 /// the header's forced-direction overrides into account.
 ///
 /// Returns `None` when the message is already at its current routing target.
-pub fn ecube_output(torus: &Torus, header: &RouteHeader, current: NodeId) -> Option<(usize, Direction)> {
+pub fn ecube_output(
+    torus: &Torus,
+    header: &RouteHeader,
+    current: NodeId,
+) -> Option<(usize, Direction)> {
     let target = header.target();
     for dim in 0..torus.dims() {
         let off = torus.offset(current, target, dim);

@@ -247,7 +247,12 @@ mod tests {
     fn note_hop_tracks_datelines_and_hops() {
         let t = torus();
         let src = t.node_from_digits(&[7, 0]).unwrap();
-        let mut h = RouteHeader::new(&t, src, t.node_from_digits(&[1, 0]).unwrap(), RoutingFlavor::Deterministic);
+        let mut h = RouteHeader::new(
+            &t,
+            src,
+            t.node_from_digits(&[1, 0]).unwrap(),
+            RoutingFlavor::Deterministic,
+        );
         assert!(!h.crossed_dateline[0]);
         h.note_hop(&t, src, 0, Direction::Plus); // 7 -> 0 crosses the dateline
         assert!(h.crossed_dateline[0]);

@@ -51,7 +51,14 @@ pub trait RoutingAlgorithm {
     ) -> RouteDecision;
 
     /// Header bookkeeping when the message advances one hop.
-    fn note_hop(&self, torus: &Torus, header: &mut RouteHeader, from: NodeId, dim: usize, dir: Direction);
+    fn note_hop(
+        &self,
+        torus: &Torus,
+        header: &mut RouteHeader,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    );
 
     /// Software-layer header rewrite after the message was absorbed at `at`
     /// because output `blocked` led to a fault. Returns `false` only when the
@@ -221,7 +228,14 @@ impl RoutingAlgorithm for SwBasedRouting {
         RouteDecision::Forward(candidates)
     }
 
-    fn note_hop(&self, torus: &Torus, header: &mut RouteHeader, from: NodeId, dim: usize, dir: Direction) {
+    fn note_hop(
+        &self,
+        torus: &Torus,
+        header: &mut RouteHeader,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) {
         header.note_hop(torus, from, dim, dir);
     }
 
@@ -334,8 +348,7 @@ mod tests {
         let src = t.node_from_digits(&[1, 1]).unwrap();
         let dest = t.node_from_digits(&[5, 3]).unwrap();
         let visited = walk(&t, &no_faults(), &algo, src, dest);
-        let expected: Vec<NodeId> =
-            torus_topology::dimension_order_path(&t, src, dest).nodes(&t);
+        let expected: Vec<NodeId> = torus_topology::dimension_order_path(&t, src, dest).nodes(&t);
         assert_eq!(visited, expected);
     }
 
@@ -379,7 +392,9 @@ mod tests {
         // dim 0 plus is faulty but dim 1 plus is healthy: still forwarding.
         match d {
             RouteDecision::Forward(cands) => {
-                assert!(cands.iter().all(|c| !(c.dim == 0 && c.dir == Direction::Plus)));
+                assert!(cands
+                    .iter()
+                    .all(|c| !(c.dim == 0 && c.dir == Direction::Plus)));
                 assert!(!cands.is_empty());
             }
             other => panic!("expected Forward, got {other:?}"),
@@ -514,13 +529,7 @@ mod tests {
                     absorptions += 1;
                     // Determine the blocked output exactly as the router does.
                     let (dim, dir) = ecube_output(&t, &header, current).unwrap();
-                    assert!(algo.reroute_on_fault(
-                        &t,
-                        &faults,
-                        &mut header,
-                        current,
-                        (dim, dir)
-                    ));
+                    assert!(algo.reroute_on_fault(&t, &faults, &mut header, current, (dim, dir)));
                     header.reset_for_injection();
                 }
             }

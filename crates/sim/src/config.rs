@@ -103,7 +103,7 @@ impl SimConfig {
             warmup_messages: 2_000,
             stop: StopCondition::MeasuredMessages(10_000),
             max_cycles: 300_000,
-            seed: 0x5afae1_2006,
+            seed: 0x005a_fae1_2006,
             stall_absorb_threshold: 20_000,
         }
     }

@@ -197,7 +197,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
         self.switch_and_traverse(now);
         self.apply_arrivals(now);
         self.apply_credit_returns();
-        if self.config.stall_absorb_threshold > 0 && now % 128 == 0 {
+        if self.config.stall_absorb_threshold > 0 && now.is_multiple_of(128) {
             self.stall_watchdog(now);
         }
         self.cycle = now + 1;
@@ -336,8 +336,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                                     .iter()
                                     .copied()
                                     .filter(|&ovc| {
-                                        router.outputs[out_port][ovc]
-                                            .available(config.buffer_depth)
+                                        router.outputs[out_port][ovc].available(config.buffer_depth)
                                     })
                                     .collect();
                                 if let Some(&ovc) = free.choose(rng) {
@@ -628,7 +627,10 @@ mod tests {
         let mut sim =
             Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
         let out = sim.run();
-        assert!(!out.hit_max_cycles, "network should not saturate at this load");
+        assert!(
+            !out.hit_max_cycles,
+            "network should not saturate at this load"
+        );
         assert_eq!(out.forced_absorptions, 0);
         assert_eq!(out.dropped_messages, 0);
         assert_eq!(out.report.messages_queued, 0, "no faults, no absorptions");
@@ -636,7 +638,11 @@ mod tests {
         // Latency must be at least message length (serialisation) and below
         // an order-of-magnitude bound for this small, lightly loaded network.
         assert!(out.report.mean_latency >= 8.0);
-        assert!(out.report.mean_latency < 80.0, "{}", out.report.mean_latency);
+        assert!(
+            out.report.mean_latency < 80.0,
+            "{}",
+            out.report.mean_latency
+        );
         // Mean hops should approximate the analytic average distance.
         let avg = sim.torus().average_distance();
         assert!((out.report.mean_hops - avg).abs() < 0.6);
@@ -645,8 +651,7 @@ mod tests {
     #[test]
     fn fault_free_adaptive_delivers_everything() {
         let config = quick_config(4, 2, 4, 8, 0.01);
-        let mut sim =
-            Simulation::new(config, FaultSet::new(), SwBasedRouting::adaptive()).unwrap();
+        let mut sim = Simulation::new(config, FaultSet::new(), SwBasedRouting::adaptive()).unwrap();
         let out = sim.run();
         assert!(!out.hit_max_cycles);
         assert_eq!(out.report.messages_queued, 0);
@@ -682,9 +687,13 @@ mod tests {
         let mut config = quick_config(8, 2, 6, 16, 0.004);
         config.stop = StopCondition::MeasuredMessages(1_000);
 
-        let det = Simulation::new(config.clone(), faults.clone(), SwBasedRouting::deterministic())
-            .unwrap()
-            .run();
+        let det = Simulation::new(
+            config.clone(),
+            faults.clone(),
+            SwBasedRouting::deterministic(),
+        )
+        .unwrap()
+        .run();
         let ada = Simulation::new(config, faults, SwBasedRouting::adaptive())
             .unwrap()
             .run();
@@ -718,10 +727,8 @@ mod tests {
     #[test]
     fn region_fault_scenario_runs() {
         let torus = Torus::new(8, 2).unwrap();
-        let scenario = FaultScenario::centered_region(
-            &torus,
-            torus_faults::RegionShape::paper_u_8(),
-        );
+        let scenario =
+            FaultScenario::centered_region(&torus, torus_faults::RegionShape::paper_u_8());
         let mut rng = StdRng::seed_from_u64(0);
         let faults = scenario.realize(&torus, &mut rng).unwrap();
         let mut config = quick_config(8, 2, 4, 16, 0.003);
@@ -881,6 +888,9 @@ mod tests {
         let out = sim.run();
         let offered_rate =
             out.report.generated_messages as f64 / (20_000.0 * sim.torus().num_nodes() as f64);
-        assert!((offered_rate - 0.02).abs() < 0.004, "offered {offered_rate}");
+        assert!(
+            (offered_rate - 0.02).abs() < 0.004,
+            "offered {offered_rate}"
+        );
     }
 }

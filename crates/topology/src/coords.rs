@@ -64,9 +64,7 @@ impl Coord {
 
     /// Creates the all-zero coordinate with `n` dimensions.
     pub fn zero(n: usize) -> Self {
-        Coord {
-            digits: vec![0; n],
-        }
+        Coord { digits: vec![0; n] }
     }
 
     /// The per-dimension digits (dimension 0 first).

@@ -103,11 +103,7 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
     /// healthy channels (the paper's assumption (h): "faults do not disconnect
     /// the network").
     pub fn is_connected(&self) -> bool {
-        let Some(start) = self
-            .torus
-            .nodes()
-            .find(|n| !self.filter.node_blocked(*n))
-        else {
+        let Some(start) = self.torus.nodes().find(|n| !self.filter.node_blocked(*n)) else {
             // no healthy nodes at all: vacuously connected
             return true;
         };
@@ -166,12 +162,7 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
     /// Shortest fault-free path restricted to moves inside the given set of
     /// dimensions (used by the SW-Based n-D scheme, which detours inside one
     /// dimension pair at a time). Falls back to `None` if no such path exists.
-    pub fn shortest_path_in_dims(
-        &self,
-        src: NodeId,
-        dest: NodeId,
-        dims: &[usize],
-    ) -> Option<Path> {
+    pub fn shortest_path_in_dims(&self, src: NodeId, dest: NodeId, dims: &[usize]) -> Option<Path> {
         if self.filter.node_blocked(src) || self.filter.node_blocked(dest) {
             return None;
         }
@@ -304,7 +295,9 @@ mod tests {
 
         let blocked = Blocked(HashSet::from([a]));
         let g = HealthyGraph::new(&t, &blocked);
-        assert!(g.shortest_path(a, t.node_from_digits(&[0, 0]).unwrap()).is_none());
+        assert!(g
+            .shortest_path(a, t.node_from_digits(&[0, 0]).unwrap())
+            .is_none());
     }
 
     #[test]

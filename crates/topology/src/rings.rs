@@ -88,8 +88,14 @@ impl DatelinePolicy {
     /// the extra channel goes to class 0).
     ///
     /// Returns the half-open index ranges `(class0, class1)`.
-    pub fn deterministic_partition(&self, v: usize) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
-        assert!(v >= 2, "deterministic torus routing needs at least 2 virtual channels");
+    pub fn deterministic_partition(
+        &self,
+        v: usize,
+    ) -> (std::ops::Range<usize>, std::ops::Range<usize>) {
+        assert!(
+            v >= 2,
+            "deterministic torus routing needs at least 2 virtual channels"
+        );
         let split = v.div_ceil(2);
         (0..split, split..v)
     }
@@ -102,8 +108,15 @@ impl DatelinePolicy {
     pub fn adaptive_partition(
         &self,
         v: usize,
-    ) -> (std::ops::Range<usize>, std::ops::Range<usize>, std::ops::Range<usize>) {
-        assert!(v >= 3, "Duato's protocol needs at least 3 virtual channels (2 escape + 1 adaptive)");
+    ) -> (
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+        std::ops::Range<usize>,
+    ) {
+        assert!(
+            v >= 3,
+            "Duato's protocol needs at least 3 virtual channels (2 escape + 1 adaptive)"
+        );
         (0..1, 1..2, 2..v)
     }
 

@@ -75,7 +75,9 @@ impl Torus {
         let mut acc: u64 = 1;
         for _ in 0..n {
             strides.push(acc as u32);
-            acc = acc.checked_mul(k as u64).ok_or(TorusError::TooManyNodes { k, n })?;
+            acc = acc
+                .checked_mul(k as u64)
+                .ok_or(TorusError::TooManyNodes { k, n })?;
             if acc > u32::MAX as u64 {
                 return Err(TorusError::TooManyNodes { k, n });
             }
@@ -245,7 +247,9 @@ impl Torus {
 
     /// Per-dimension minimal offsets from `src` to `dest`.
     pub fn offsets(&self, src: NodeId, dest: NodeId) -> Vec<i32> {
-        (0..self.dims()).map(|d| self.offset(src, dest, d)).collect()
+        (0..self.dims())
+            .map(|d| self.offset(src, dest, d))
+            .collect()
     }
 
     /// Minimal hop distance between two nodes.

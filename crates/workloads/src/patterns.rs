@@ -206,7 +206,9 @@ mod tests {
         let f = FaultSet::new();
         let mut rng = StdRng::seed_from_u64(1);
         let src = t.node_from_digits(&[1, 2, 3]).unwrap();
-        let d = DestinationPattern::Reversal.pick(&t, &f, src, &mut rng).unwrap();
+        let d = DestinationPattern::Reversal
+            .pick(&t, &f, src, &mut rng)
+            .unwrap();
         assert_eq!(t.coord(d).digits(), &[3, 2, 1]);
     }
 

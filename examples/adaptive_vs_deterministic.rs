@@ -13,10 +13,7 @@ fn main() {
     let fault_counts = [0usize, 2, 4, 6, 8];
     let rate = 0.006;
     println!("8-ary 2-cube, M=32, V=6, lambda={rate} messages/node/cycle, 4,000 measured messages per point\n");
-    println!(
-        "{:>4} | {:>28} | {:>28}",
-        "nf", "deterministic", "adaptive"
-    );
+    println!("{:>4} | {:>28} | {:>28}", "nf", "deterministic", "adaptive");
     println!(
         "{:>4} | {:>13} {:>14} | {:>13} {:>14}",
         "", "latency", "queued", "latency", "queued"

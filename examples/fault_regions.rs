@@ -20,7 +20,13 @@ fn main() {
         (RegionShape::paper_u_8(), "U"),
         (RegionShape::paper_t_10(), "T"),
         (RegionShape::paper_plus_16(), "+"),
-        (RegionShape::HShape { width: 5, height: 5 }, "H"),
+        (
+            RegionShape::HShape {
+                width: 5,
+                height: 5,
+            },
+            "H",
+        ),
     ];
     for (shape, label) in &shapes {
         let class = match classify_region(shape) {
@@ -39,7 +45,13 @@ fn main() {
     println!("latency penalty, deterministic SW-Based routing, 8-ary 2-cube, M=32, V=10, lambda=0.006:\n");
     let torus = Torus::new(8, 2).expect("valid topology");
     for (shape, label) in [
-        (RegionShape::Rect { width: 3, height: 3 }, "convex 3x3 block (9 nodes)"),
+        (
+            RegionShape::Rect {
+                width: 3,
+                height: 3,
+            },
+            "convex 3x3 block (9 nodes)",
+        ),
         (RegionShape::paper_l_9(), "concave L-shape (9 nodes)"),
     ] {
         let cfg = ExperimentConfig::paper_point(8, 2, 10, 32, 0.006)

@@ -17,7 +17,8 @@ fn main() {
         .with_seed(2006)
         .quick(5_000, 1_000);
 
-    println!("running: {} nodes, V={}, M={} flits, lambda={} msg/node/cycle, {} ...",
+    println!(
+        "running: {} nodes, V={}, M={} flits, lambda={} msg/node/cycle, {} ...",
         config.num_nodes(),
         config.virtual_channels,
         config.message_length,
@@ -33,11 +34,23 @@ fn main() {
     println!("cycles simulated       : {}", r.cycles);
     println!("messages generated     : {}", r.generated_messages);
     println!("messages delivered     : {}", r.delivered_messages);
-    println!("mean message latency   : {:.1} cycles (+/- {:.1}, 95% CI)", r.mean_latency, r.latency_ci95);
-    println!("p50 / p99 latency      : {:.0} / {:.0} cycles", r.p50_latency, r.p99_latency);
+    println!(
+        "mean message latency   : {:.1} cycles (+/- {:.1}, 95% CI)",
+        r.mean_latency, r.latency_ci95
+    );
+    println!(
+        "p50 / p99 latency      : {:.0} / {:.0} cycles",
+        r.p50_latency, r.p99_latency
+    );
     println!("mean hops per message  : {:.2}", r.mean_hops);
-    println!("throughput             : {:.5} messages/node/cycle", r.throughput);
-    println!("messages queued        : {} (absorptions due to faults)", r.messages_queued);
+    println!(
+        "throughput             : {:.5} messages/node/cycle",
+        r.throughput
+    );
+    println!(
+        "messages queued        : {} (absorptions due to faults)",
+        r.messages_queued
+    );
     println!("saturated              : {}", outcome.hit_max_cycles);
 
     // The Software-Based guarantee: every message reaches its destination even

@@ -48,13 +48,20 @@ fn both_predict_longer_messages_cost_proportionally_more() {
     let model_ratio = predict(6, 64, 0, 0.002) / predict(6, 32, 0, 0.002);
     // Doubling the message length roughly doubles the low-load latency in both
     // views (the paper's observation that latency is proportional to length).
-    assert!(sim_ratio > 1.5 && sim_ratio < 3.5, "simulated ratio {sim_ratio}");
-    assert!(model_ratio > 1.5 && model_ratio < 2.5, "analytic ratio {model_ratio}");
+    assert!(
+        sim_ratio > 1.5 && sim_ratio < 3.5,
+        "simulated ratio {sim_ratio}"
+    );
+    assert!(
+        model_ratio > 1.5 && model_ratio < 2.5,
+        "analytic ratio {model_ratio}"
+    );
 }
 
 #[test]
 fn both_predict_fault_latency_penalty() {
-    let sim_penalty = simulate(6, 32, 5, 0.004).mean_latency - simulate(6, 32, 0, 0.004).mean_latency;
+    let sim_penalty =
+        simulate(6, 32, 5, 0.004).mean_latency - simulate(6, 32, 0, 0.004).mean_latency;
     let model_penalty = predict(6, 32, 5, 0.004) - predict(6, 32, 0, 0.004);
     assert!(sim_penalty > 0.0, "simulated penalty {sim_penalty}");
     assert!(model_penalty > 0.0, "analytic penalty {model_penalty}");
@@ -69,5 +76,9 @@ fn model_saturation_estimate_brackets_simulated_saturation() {
     let sat = model.saturation_rate();
     assert!(sat > 0.02 && sat < 0.05, "saturation estimate {sat}");
     let half = simulate(6, 32, 0, sat / 2.0);
-    assert!(half.mean_latency < 1_000.0, "half-saturation latency {}", half.mean_latency);
+    assert!(
+        half.mean_latency < 1_000.0,
+        "half-saturation latency {}",
+        half.mean_latency
+    );
 }

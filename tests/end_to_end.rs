@@ -147,7 +147,10 @@ fn deadlock_freedom_argument_holds_for_simulated_topologies() {
         let cdg = build_ecube_cdg(&torus, VcModel::DatelineClasses);
         assert!(cdg.is_acyclic(), "{k}-ary {n}-cube CDG must be acyclic");
         let naive = build_ecube_cdg(&torus, VcModel::SingleClass);
-        assert!(!naive.is_acyclic(), "without VC classes the torus CDG has cycles");
+        assert!(
+            !naive.is_acyclic(),
+            "without VC classes the torus CDG has cycles"
+        );
     }
 }
 

@@ -1,0 +1,189 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The build environment has no crates.io access, so this crate implements
+//! the subset of Criterion's surface the workspace's benches use —
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`] — as a simple
+//! wall-clock timer: each benchmark is warmed up once, then timed over
+//! `sample_size` batches, and the per-iteration mean / min / max are printed
+//! as an aligned table.
+//!
+//! There is no statistical analysis, no plotting and no baseline storage;
+//! the point is that `cargo bench` compiles, runs and prints comparable
+//! numbers, and that swapping in real Criterion later needs no source edits.
+
+#![forbid(unsafe_code)]
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Entry point handed to benchmark functions; registry of benchmark runs.
+pub struct Criterion {
+    default_sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Under `cargo test` (harness = false bench targets are still run as
+        // tests) Criterion proper runs each bench exactly once; mirror that.
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            default_sample_size: 10,
+            test_mode,
+        }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.default_sample_size, self.test_mode, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        println!("group: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a single named benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let test_mode = self._criterion.test_mode;
+        run_one(
+            &format!("{}/{}", self.name, name),
+            self.sample_size,
+            test_mode,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    durations: Vec<Duration>,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters_per_sample` times per recorded
+    /// sample (after one untimed warm-up call).
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        if self.test_mode {
+            return;
+        }
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+fn run_one<F>(name: &str, samples: usize, test_mode: bool, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher {
+        samples,
+        test_mode,
+        durations: Vec::new(),
+        iters_per_sample: 1,
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("test {name} ... ok");
+        return;
+    }
+    if bencher.durations.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    let per_iter: Vec<f64> = bencher
+        .durations
+        .iter()
+        .map(|d| d.as_secs_f64() / bencher.iters_per_sample as f64)
+        .collect();
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let min = per_iter.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_iter.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{name:<48} mean {} (min {}, max {}, n={})",
+        fmt_time(mean),
+        fmt_time(min),
+        fmt_time(max),
+        per_iter.len(),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:8.3} s ")
+    } else if seconds >= 1e-3 {
+        format!("{:8.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:8.3} µs", seconds * 1e6)
+    } else {
+        format!("{:8.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring Criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

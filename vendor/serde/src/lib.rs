@@ -1,0 +1,28 @@
+//! Offline stand-in for the [`serde`](https://serde.rs) crate.
+//!
+//! The build environment has no crates.io access, and nothing in this
+//! workspace actually serialises through serde yet — the derives exist so the
+//! data model is ready for a real serialisation backend later. This stub
+//! keeps the source compatible with real serde at zero cost:
+//!
+//! * [`Serialize`] / [`Deserialize`] are marker traits, blanket-implemented
+//!   for every type;
+//! * the `derive` re-exports are no-op proc macros that accept (and ignore)
+//!   `#[serde(...)]` attributes.
+//!
+//! Swapping in the real crate later is a one-line `Cargo.toml` change; no
+//! source edits are needed.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; satisfied by every type.
+pub trait Serialize {}
+
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; satisfied by every type.
+pub trait Deserialize<'de> {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

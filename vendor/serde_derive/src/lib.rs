@@ -1,0 +1,20 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! The stub's `Serialize`/`Deserialize` traits are blanket-implemented for
+//! all types, so these derives validate nothing and emit nothing; they exist
+//! so `#[derive(Serialize, Deserialize)]` and `#[serde(...)]` field/container
+//! attributes compile unchanged against the stub.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
