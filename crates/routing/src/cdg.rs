@@ -194,6 +194,91 @@ mod tests {
     }
 
     #[test]
+    fn fault_free_ecube_cdg_acyclic_across_dimensionalities() {
+        // The deadlock-freedom argument must hold in n dimensions, not just
+        // the 2-D cases the other tests cover: SW-Based-nD sends every
+        // faulted message over this escape layer.
+        for (k, n) in [(4u16, 1u32), (9, 1), (3, 3), (3, 4)] {
+            let t = Torus::new(k, n).unwrap();
+            let g = build_ecube_cdg(&t, VcModel::DatelineClasses);
+            assert!(g.num_edges() > 0);
+            assert!(
+                g.is_acyclic(),
+                "fault-free e-cube CDG must be acyclic on the {k}-ary {n}-cube"
+            );
+        }
+    }
+
+    #[test]
+    fn artificial_cycle_is_rejected() {
+        // A hand-built dependency cycle a -> b -> c -> a must be caught
+        // regardless of how many acyclic vertices surround it.
+        let mut g = DependencyGraph::new(6);
+        let mut seen = HashSet::new();
+        g.add_edge(3, 4, &mut seen);
+        g.add_edge(4, 5, &mut seen);
+        assert!(g.is_acyclic());
+        g.add_edge(0, 1, &mut seen);
+        g.add_edge(1, 2, &mut seen);
+        g.add_edge(2, 0, &mut seen);
+        assert!(!g.is_acyclic(), "a 3-cycle must be detected");
+    }
+
+    #[test]
+    fn two_vertex_cycle_is_rejected() {
+        let mut g = DependencyGraph::new(2);
+        let mut seen = HashSet::new();
+        g.add_edge(0, 1, &mut seen);
+        g.add_edge(1, 0, &mut seen);
+        assert!(!g.is_acyclic(), "a 2-cycle must be detected");
+    }
+
+    #[test]
+    fn cycle_unreachable_from_low_vertices_is_still_found() {
+        // The DFS restarts from every white vertex, so a cycle confined to
+        // the high-numbered vertices must not be missed.
+        let mut g = DependencyGraph::new(8);
+        let mut seen = HashSet::new();
+        for v in 0..4 {
+            g.add_edge(v, v + 1, &mut seen);
+        }
+        g.add_edge(6, 7, &mut seen);
+        g.add_edge(7, 6, &mut seen);
+        assert!(!g.is_acyclic());
+    }
+
+    #[test]
+    fn self_loops_are_not_recorded_as_edges() {
+        // `add_edge` drops a == b pairs: a worm re-requesting the resource it
+        // already holds is not a dependency. The graph must stay acyclic.
+        let mut g = DependencyGraph::new(2);
+        let mut seen = HashSet::new();
+        g.add_edge(0, 0, &mut seen);
+        assert_eq!(g.num_edges(), 0);
+        assert!(g.is_acyclic());
+    }
+
+    #[test]
+    fn long_chain_is_acyclic_and_diamond_reconvergence_is_not_a_cycle() {
+        // Reconverging paths (0 -> 1 -> 3, 0 -> 2 -> 3) share a sink but
+        // contain no directed cycle; three-colour DFS must not confuse a
+        // Black revisit with a Grey back-edge.
+        let mut g = DependencyGraph::new(1000);
+        let mut seen = HashSet::new();
+        for v in 0..999 {
+            g.add_edge(v, v + 1, &mut seen);
+        }
+        assert!(g.is_acyclic());
+        let mut d = DependencyGraph::new(4);
+        let mut seen = HashSet::new();
+        d.add_edge(0, 1, &mut seen);
+        d.add_edge(0, 2, &mut seen);
+        d.add_edge(1, 3, &mut seen);
+        d.add_edge(2, 3, &mut seen);
+        assert!(d.is_acyclic(), "diamond reconvergence is not a cycle");
+    }
+
+    #[test]
     fn trivial_graph_properties() {
         let g = DependencyGraph::new(3);
         assert!(g.is_acyclic());
