@@ -1,0 +1,45 @@
+//! Criterion benchmarks of the cycles/sec suite: every point of
+//! [`torus_bench::cycles::SUITE`] stepped on the active-set engine and on the
+//! full-scan reference engine. `bench_cycles` (the binary) times the same
+//! points over longer runs and records them in `BENCH_cycles.json`; this
+//! bench keeps the suite wired into `cargo bench`.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use torus_bench::cycles::SUITE;
+use torus_routing::SwBasedRouting;
+use torus_sim::{ReferenceSimulation, Simulation};
+
+const BENCH_CYCLES: u64 = 2_000;
+
+fn engine_benches(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_cycles");
+    group.sample_size(10);
+    for point in SUITE {
+        group.bench_function(&format!("active/{}", point.name), |b| {
+            b.iter(|| {
+                let mut sim = Simulation::new(
+                    point.sim_config(BENCH_CYCLES),
+                    point.fault_set(),
+                    SwBasedRouting::adaptive(),
+                )
+                .expect("valid suite config");
+                black_box(sim.run().report.delivered_messages)
+            })
+        });
+        group.bench_function(&format!("reference/{}", point.name), |b| {
+            b.iter(|| {
+                let mut sim = ReferenceSimulation::new(
+                    point.sim_config(BENCH_CYCLES),
+                    point.fault_set(),
+                    SwBasedRouting::adaptive(),
+                )
+                .expect("valid suite config");
+                black_box(sim.run().report.delivered_messages)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, engine_benches);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Runs the cycles/sec benchmark suite and writes `BENCH_cycles.json`.
+//!
+//! Each suite point is timed on the production active-set engine *and* on the
+//! full-scan reference engine (after asserting both produce identical
+//! reports), so the JSON records the engine speedup and the peak
+//! message-table occupancy alongside the raw cycles/sec trajectory.
+//!
+//! ```text
+//! usage: bench_cycles [--smoke] [--out <path>]
+//!   --smoke      short runs for CI (fewer cycles, one repetition)
+//!   --out PATH   output path (default: BENCH_cycles.json)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use torus_bench::cycles::{render_table, run_suite, to_json};
+
+fn main() -> ExitCode {
+    let mut smoke = false;
+    let mut out_path = PathBuf::from("BENCH_cycles.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a file path");
+                    return ExitCode::FAILURE;
+                };
+                out_path = PathBuf::from(path);
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_cycles [--smoke] [--out <path>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: bench_cycles [--smoke] [--out <path>]"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let (cycles, reps) = if smoke { (2_000, 1) } else { (30_000, 3) };
+    eprintln!(
+        "running cycles/sec suite: {cycles} cycles/point, {reps} rep(s){}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    let results = run_suite(cycles, reps);
+    print!("{}", render_table(&results));
+    if let Err(e) = std::fs::write(&out_path, to_json(&results, smoke)) {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,333 @@
+//! The cycles/sec benchmark suite: a small set of representative simulation
+//! points (fault-free low-load, faulted, near-saturation, on 2-D and 3-D
+//! tori), each timed on both the active-set engine and the full-scan
+//! reference engine.
+//!
+//! The `bench_cycles` binary runs the suite and emits `BENCH_cycles.json`
+//! (cycles/sec per engine, speedup, peak message-table occupancy), giving the
+//! repository a recorded performance trajectory across PRs; the
+//! `engine_cycles` Criterion bench exposes the same points to `cargo bench`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Instant;
+use torus_faults::{random_node_faults, FaultSet};
+use torus_metrics::SimulationReport;
+use torus_routing::SwBasedRouting;
+use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
+use torus_topology::Torus;
+
+/// Seed for fault placement, fixed so every run of the suite benchmarks the
+/// same network.
+const FAULT_SEED: u64 = 17;
+
+/// One benchmark point of the suite.
+#[derive(Clone, Copy, Debug)]
+pub struct CyclePoint {
+    /// Stable identifier used in `BENCH_cycles.json` and bench names.
+    pub name: &'static str,
+    /// Radix `k` of the k-ary n-cube.
+    pub radix: u16,
+    /// Dimensionality `n`.
+    pub dims: u32,
+    /// Virtual channels per physical channel.
+    pub virtual_channels: usize,
+    /// Message length in flits.
+    pub message_length: u32,
+    /// Offered load in messages/node/cycle.
+    pub rate: f64,
+    /// Number of random node faults (0 = fault-free).
+    pub faults: usize,
+}
+
+/// The benchmark suite: fault-free low-load (the regime most figure points
+/// run in), faulted, and near-saturation, on 2-D and 3-D tori.
+pub const SUITE: &[CyclePoint] = &[
+    CyclePoint {
+        name: "2d_fault_free_low_load",
+        radix: 16,
+        dims: 2,
+        virtual_channels: 4,
+        message_length: 32,
+        rate: 0.002,
+        faults: 0,
+    },
+    CyclePoint {
+        name: "2d_faulted_low_load",
+        radix: 8,
+        dims: 2,
+        virtual_channels: 4,
+        message_length: 16,
+        rate: 0.004,
+        faults: 5,
+    },
+    CyclePoint {
+        name: "2d_near_saturation",
+        radix: 8,
+        dims: 2,
+        virtual_channels: 4,
+        message_length: 16,
+        rate: 0.03,
+        faults: 0,
+    },
+    CyclePoint {
+        name: "3d_fault_free_low_load",
+        radix: 8,
+        dims: 3,
+        virtual_channels: 4,
+        message_length: 32,
+        rate: 0.001,
+        faults: 0,
+    },
+    CyclePoint {
+        name: "3d_faulted_low_load",
+        radix: 4,
+        dims: 3,
+        virtual_channels: 4,
+        message_length: 16,
+        rate: 0.004,
+        faults: 3,
+    },
+];
+
+impl CyclePoint {
+    /// The simulator configuration for this point, running a fixed number of
+    /// cycles (so cycles/sec is directly comparable between engines).
+    pub fn sim_config(&self, cycles: u64) -> SimConfig {
+        let mut cfg = SimConfig::paper(
+            self.radix,
+            self.dims,
+            self.virtual_channels,
+            self.message_length,
+            self.rate,
+        );
+        cfg.stop = StopCondition::Cycles(cycles);
+        cfg.max_cycles = cycles;
+        cfg
+    }
+
+    /// The fault set for this point (deterministic placement).
+    pub fn fault_set(&self) -> FaultSet {
+        if self.faults == 0 {
+            return FaultSet::new();
+        }
+        let torus = Torus::new(self.radix, self.dims).expect("valid suite topology");
+        let mut rng = StdRng::seed_from_u64(FAULT_SEED);
+        random_node_faults(&torus, self.faults, &mut rng).expect("realizable fault placement")
+    }
+}
+
+/// Which engine a measurement timed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Engine {
+    /// The production active-set engine ([`Simulation`]).
+    Active,
+    /// The full-scan reference engine ([`ReferenceSimulation`]).
+    Reference,
+}
+
+/// Result of timing one engine on one point.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineMeasurement {
+    /// Simulated cycles per wall-clock second (best of the repetitions).
+    pub cycles_per_sec: f64,
+    /// Peak message-table occupancy (for the reference engine this equals the
+    /// total number of messages generated — its table never reclaims).
+    pub peak_message_table: u64,
+    /// Messages generated during the run.
+    pub generated_messages: u64,
+    /// Messages delivered during the run.
+    pub delivered_messages: u64,
+}
+
+/// Runs `engine` on `point` for `cycles` simulated cycles, `reps` times.
+/// Returns the best-run measurement plus the run's [`SimulationReport`]
+/// (identical across repetitions — runs are seed-deterministic — and used by
+/// [`run_suite`] to cross-check the two engines against each other).
+pub fn measure(
+    point: &CyclePoint,
+    engine: Engine,
+    cycles: u64,
+    reps: usize,
+) -> (EngineMeasurement, SimulationReport) {
+    assert!(reps >= 1);
+    let mut best = f64::MIN;
+    let mut peak = 0u64;
+    let mut report = None;
+    for _ in 0..reps {
+        let cfg = point.sim_config(cycles);
+        let faults = point.fault_set();
+        let (elapsed, out) = match engine {
+            Engine::Active => {
+                let mut sim = Simulation::new(cfg, faults, SwBasedRouting::adaptive())
+                    .expect("valid suite config");
+                let start = Instant::now();
+                let out = sim.run();
+                (start.elapsed(), out)
+            }
+            Engine::Reference => {
+                let mut sim = ReferenceSimulation::new(cfg, faults, SwBasedRouting::adaptive())
+                    .expect("valid suite config");
+                let start = Instant::now();
+                let out = sim.run();
+                (start.elapsed(), out)
+            }
+        };
+        best = best.max(cycles as f64 / elapsed.as_secs_f64().max(1e-9));
+        peak = out.message_table_peak;
+        report = Some(out.report);
+    }
+    let report = report.expect("at least one repetition");
+    let measurement = EngineMeasurement {
+        cycles_per_sec: best,
+        peak_message_table: peak,
+        generated_messages: report.generated_messages,
+        delivered_messages: report.delivered_messages,
+    };
+    (measurement, report)
+}
+
+/// Result of one suite point: both engines plus the derived speedup.
+#[derive(Clone, Copy, Debug)]
+pub struct PointResult {
+    /// The benchmarked point.
+    pub point: CyclePoint,
+    /// Simulated cycles per run.
+    pub cycles: u64,
+    /// Active-set engine measurement.
+    pub active: EngineMeasurement,
+    /// Full-scan reference measurement.
+    pub reference: EngineMeasurement,
+}
+
+impl PointResult {
+    /// Active-set cycles/sec over reference cycles/sec.
+    pub fn speedup(&self) -> f64 {
+        self.active.cycles_per_sec / self.reference.cycles_per_sec
+    }
+}
+
+/// Runs the whole suite, asserting along the way that both engines produce
+/// identical reports for every point (a cross-check of the equivalence test
+/// suite on the exact benchmark configurations, at no extra runs — the
+/// reports come out of the timed repetitions themselves).
+pub fn run_suite(cycles: u64, reps: usize) -> Vec<PointResult> {
+    SUITE
+        .iter()
+        .map(|point| {
+            let (active, active_report) = measure(point, Engine::Active, cycles, reps);
+            let (reference, reference_report) = measure(point, Engine::Reference, cycles, reps);
+            assert_eq!(
+                active_report, reference_report,
+                "engines diverged on benchmark point {}",
+                point.name
+            );
+            PointResult {
+                point: *point,
+                cycles,
+                active,
+                reference,
+            }
+        })
+        .collect()
+}
+
+/// Renders the suite results as the `BENCH_cycles.json` document.
+pub fn to_json(results: &[PointResult], smoke: bool) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench-cycles-v1\",\n");
+    out.push_str(&format!("  \"smoke\": {smoke},\n"));
+    out.push_str("  \"points\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let p = &r.point;
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", p.name));
+        out.push_str(&format!(
+            "      \"topology\": {{\"radix\": {}, \"dims\": {}, \"virtual_channels\": {}}},\n",
+            p.radix, p.dims, p.virtual_channels
+        ));
+        out.push_str(&format!(
+            "      \"workload\": {{\"message_length\": {}, \"rate\": {}, \"faults\": {}}},\n",
+            p.message_length, p.rate, p.faults
+        ));
+        out.push_str(&format!("      \"cycles\": {},\n", r.cycles));
+        for (label, m) in [("active", &r.active), ("reference", &r.reference)] {
+            out.push_str(&format!(
+                "      \"{label}\": {{\"cycles_per_sec\": {:.1}, \"peak_message_table\": {}, \"generated_messages\": {}, \"delivered_messages\": {}}},\n",
+                m.cycles_per_sec, m.peak_message_table, m.generated_messages, m.delivered_messages
+            ));
+        }
+        out.push_str(&format!("      \"speedup\": {:.3}\n", r.speedup()));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the suite results as an aligned text table.
+pub fn render_table(results: &[PointResult]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<26} {:>14} {:>14} {:>8} {:>10} {:>10}\n",
+        "point", "active c/s", "reference c/s", "speedup", "peak tbl", "generated"
+    ));
+    for r in results {
+        out.push_str(&format!(
+            "{:<26} {:>14.0} {:>14.0} {:>7.2}x {:>10} {:>10}\n",
+            r.point.name,
+            r.active.cycles_per_sec,
+            r.reference.cycles_per_sec,
+            r.speedup(),
+            r.active.peak_message_table,
+            r.active.generated_messages,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_points_are_valid_and_engines_agree() {
+        // A very short run over every point: configurations must build, both
+        // engines must agree, and the JSON/table renderers must cover them.
+        let results = run_suite(300, 1);
+        assert_eq!(results.len(), SUITE.len());
+        for r in &results {
+            assert!(r.active.cycles_per_sec > 0.0);
+            assert!(r.reference.cycles_per_sec > 0.0);
+            assert_eq!(r.active.generated_messages, r.reference.generated_messages);
+            assert_eq!(r.active.delivered_messages, r.reference.delivered_messages);
+            assert!(
+                r.active.peak_message_table <= r.reference.peak_message_table,
+                "reclaiming table can never peak above the append-only table"
+            );
+        }
+        let json = to_json(&results, true);
+        assert!(json.contains("\"schema\": \"bench-cycles-v1\""));
+        assert!(json.contains("2d_fault_free_low_load"));
+        assert!(json.contains("\"smoke\": true"));
+        let table = render_table(&results);
+        assert!(table.contains("3d_faulted_low_load"));
+    }
+
+    #[test]
+    fn fault_sets_are_deterministic() {
+        let p = &SUITE[1];
+        assert_eq!(p.fault_set().num_faulty_nodes(), p.faults);
+        // Same placement on every call (fixed seed): membership must agree
+        // node for node.
+        let torus = Torus::new(p.radix, p.dims).unwrap();
+        let (a, b) = (p.fault_set(), p.fault_set());
+        for node in torus.nodes() {
+            assert_eq!(a.is_node_faulty(node), b.is_node_faulty(node));
+        }
+        assert_eq!(SUITE[0].fault_set().num_faulty_nodes(), 0);
+    }
+}

@@ -10,9 +10,14 @@
 //! * `cargo bench -p torus-bench` runs the Criterion micro/meso benchmarks:
 //!   one small representative point per figure plus component benchmarks of
 //!   the topology, routing and simulator layers.
+//! * `cargo run -p torus-bench --release --bin bench_cycles` runs the
+//!   [`cycles`] suite and writes `BENCH_cycles.json` — the recorded
+//!   performance trajectory of the simulation engine across PRs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod cycles;
 
 use std::path::PathBuf;
 use swbft_core::{Figure, Scale};

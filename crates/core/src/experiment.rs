@@ -223,6 +223,7 @@ impl ExperimentConfig {
             hit_max_cycles: outcome.hit_max_cycles,
             forced_absorptions: outcome.forced_absorptions,
             dropped_messages: outcome.dropped_messages,
+            message_table_peak: outcome.message_table_peak,
         })
     }
 }
@@ -242,6 +243,11 @@ pub struct ExperimentOutcome {
     pub forced_absorptions: u64,
     /// Dropped messages (expected 0).
     pub dropped_messages: u64,
+    /// Peak occupancy of the simulator's message table. Bounded by the
+    /// in-flight population (the table reclaims delivered entries), so long
+    /// saturation searches no longer grow memory with delivered traffic.
+    #[serde(default)]
+    pub message_table_peak: u64,
 }
 
 impl ExperimentOutcome {
@@ -290,6 +296,13 @@ mod tests {
         assert!(out.report.mean_latency >= 8.0);
         assert_eq!(out.report.messages_queued, 0);
         assert_eq!(out.curve_label(), "M=8, nf=0");
+        assert!(out.message_table_peak > 0);
+        assert!(
+            out.message_table_peak < out.report.generated_messages,
+            "reclaiming table: peak {} must stay below the generated total {}",
+            out.message_table_peak,
+            out.report.generated_messages
+        );
     }
 
     #[test]

@@ -58,7 +58,14 @@ impl StreamingStats {
         }
     }
 
-    /// Sample standard deviation.
+    /// Population standard deviation — the square root of
+    /// [`StreamingStats::variance`], i.e. `sqrt(m2 / n)`.
+    ///
+    /// The *population* convention (divide by `n`, not `n - 1`) is used
+    /// deliberately and consistently: simulation runs measure the entire
+    /// delivered-message population of the run, not a sample from a larger
+    /// one, and the derived standard error / confidence intervals inherit the
+    /// same convention. Pinned by `std_dev_uses_population_convention`.
     pub fn std_dev(&self) -> f64 {
         self.variance().sqrt()
     }
@@ -138,6 +145,28 @@ mod tests {
         assert!((s.std_dev() - 2.0).abs() < 1e-12);
         assert_eq!(s.min(), Some(2.0));
         assert_eq!(s.max(), Some(9.0));
+    }
+
+    #[test]
+    fn std_dev_uses_population_convention() {
+        // Pin the documented convention: std_dev = sqrt(m2 / n), NOT the
+        // Bessel-corrected sample formula sqrt(m2 / (n - 1)).
+        let values = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let mut s = StreamingStats::new();
+        for v in values {
+            s.record(v);
+        }
+        let n = values.len() as f64;
+        let mean: f64 = values.iter().sum::<f64>() / n;
+        let m2: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let population = (m2 / n).sqrt();
+        let sample = (m2 / (n - 1.0)).sqrt();
+        assert!((s.std_dev() - population).abs() < 1e-12);
+        assert!(
+            (s.std_dev() - sample).abs() > 1e-3,
+            "must not be the sample convention"
+        );
+        assert!((s.std_error() - population / n.sqrt()).abs() < 1e-12);
     }
 
     #[test]

@@ -28,6 +28,10 @@ pub enum SimConfigError {
     },
     /// Flit buffers must hold at least one flit.
     ZeroBufferDepth,
+    /// The workload is configured with zero-length messages. A message needs
+    /// at least its header flit; rather than silently clamping the length to
+    /// one flit at generation time, the configuration is rejected up front.
+    ZeroMessageLength,
     /// The topology parameters are invalid.
     Topology(torus_topology::TorusError),
 }
@@ -40,6 +44,10 @@ impl fmt::Display for SimConfigError {
                 "{requested} virtual channels requested but the routing algorithm needs at least {minimum}"
             ),
             SimConfigError::ZeroBufferDepth => write!(f, "flit buffers must hold at least one flit"),
+            SimConfigError::ZeroMessageLength => write!(
+                f,
+                "the workload is configured with zero-length messages (every message needs at least its header flit)"
+            ),
             SimConfigError::Topology(e) => write!(f, "invalid topology: {e}"),
         }
     }
@@ -135,6 +143,9 @@ impl SimConfig {
         if self.buffer_depth == 0 {
             return Err(SimConfigError::ZeroBufferDepth);
         }
+        if self.traffic.length.min_flits() == 0 {
+            return Err(SimConfigError::ZeroMessageLength);
+        }
         if self.virtual_channels < min_vcs {
             return Err(SimConfigError::TooFewVirtualChannels {
                 requested: self.virtual_channels,
@@ -184,6 +195,24 @@ mod tests {
         c.buffer_depth = 2;
         c.radix = 1;
         assert!(matches!(c.validate(2), Err(SimConfigError::Topology(_))));
+    }
+
+    #[test]
+    fn zero_length_messages_are_rejected() {
+        use torus_workloads::MessageLength;
+        let mut c = SimConfig::paper(8, 2, 4, 0, 0.001);
+        assert_eq!(c.validate(2), Err(SimConfigError::ZeroMessageLength));
+        assert!(format!("{}", SimConfigError::ZeroMessageLength).contains("zero-length"));
+        c.traffic.length = MessageLength::Uniform { min: 0, max: 8 };
+        assert_eq!(c.validate(2), Err(SimConfigError::ZeroMessageLength));
+        c.traffic.length = MessageLength::Bimodal {
+            short: 0,
+            long: 32,
+            short_fraction: 0.5,
+        };
+        assert_eq!(c.validate(2), Err(SimConfigError::ZeroMessageLength));
+        c.traffic.length = MessageLength::Fixed(1);
+        assert!(c.validate(2).is_ok());
     }
 
     #[test]

@@ -3,23 +3,48 @@
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
-/// Identifier of a message within one simulation run (messages are numbered
-/// in generation order).
+/// Identifier of a message within one simulation run.
+///
+/// The identifier packs a **slot index** (low 32 bits) and a **generation
+/// tag** (high 32 bits). The slot indexes the simulator's message table
+/// ([`crate::message::MessageSlab`]); the generation distinguishes successive
+/// messages that reuse the same reclaimed slot, so a stale identifier can
+/// never silently alias a newer message. Identifiers produced by an
+/// append-only table (generation 0) are plain sequential integers, which
+/// keeps `MessageId(n)` literals in tests meaningful.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct MessageId(pub u64);
 
 impl MessageId {
-    /// Returns the identifier as a `usize` suitable for indexing the message
-    /// table.
+    const SLOT_BITS: u32 = 32;
+    const SLOT_MASK: u64 = (1 << Self::SLOT_BITS) - 1;
+
+    /// Builds an identifier from a table slot index and a generation tag.
     #[inline]
-    pub fn index(self) -> usize {
-        self.0 as usize
+    pub fn from_parts(slot: u32, generation: u32) -> Self {
+        MessageId(((generation as u64) << Self::SLOT_BITS) | slot as u64)
+    }
+
+    /// The message-table slot this identifier points at.
+    #[inline]
+    pub fn slot(self) -> usize {
+        (self.0 & Self::SLOT_MASK) as usize
+    }
+
+    /// The generation tag of the slot at the time the message was created.
+    #[inline]
+    pub fn generation(self) -> u32 {
+        (self.0 >> Self::SLOT_BITS) as u32
     }
 }
 
 impl fmt::Debug for MessageId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "m{}", self.0)
+        if self.generation() == 0 {
+            write!(f, "m{}", self.slot())
+        } else {
+            write!(f, "m{}g{}", self.slot(), self.generation())
+        }
     }
 }
 
@@ -131,6 +156,28 @@ mod tests {
     fn message_id_display() {
         assert_eq!(format!("{}", MessageId(12)), "12");
         assert_eq!(format!("{:?}", MessageId(12)), "m12");
-        assert_eq!(MessageId(5).index(), 5);
+        assert_eq!(MessageId(5).slot(), 5);
+        assert_eq!(MessageId(5).generation(), 0);
+    }
+
+    #[test]
+    fn message_id_packs_slot_and_generation() {
+        let id = MessageId::from_parts(7, 3);
+        assert_eq!(id.slot(), 7);
+        assert_eq!(id.generation(), 3);
+        assert_eq!(format!("{id:?}"), "m7g3");
+        assert_ne!(
+            id,
+            MessageId::from_parts(7, 2),
+            "generations disambiguate reuse"
+        );
+        assert_eq!(
+            MessageId::from_parts(9, 0),
+            MessageId(9),
+            "generation 0 is the plain index"
+        );
+        let max = MessageId::from_parts(u32::MAX, u32::MAX);
+        assert_eq!(max.slot(), u32::MAX as usize);
+        assert_eq!(max.generation(), u32::MAX);
     }
 }

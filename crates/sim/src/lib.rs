@@ -27,20 +27,29 @@
 //! The main entry point is [`Simulation`]: build it from a [`SimConfig`],
 //! call [`Simulation::run`] and read the resulting
 //! [`torus_metrics::SimulationReport`].
+//!
+//! [`Simulation`] schedules its pipeline stages over active-set worklists and
+//! reclaims retired message-table entries (see [`network`]); the full-scan
+//! [`reference::ReferenceSimulation`] implements identical semantics in the
+//! simplest possible way and is used by the equivalence tests and benchmarks
+//! as the executable specification.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod active;
 pub mod config;
 pub mod flit;
 pub mod message;
 pub mod network;
+pub mod reference;
 pub mod router;
 
 pub use config::{SimConfig, SimConfigError, StopCondition};
 pub use flit::{Flit, FlitKind, MessageId};
-pub use message::MessageState;
+pub use message::{MessageSlab, MessageState};
 pub use network::{RunOutcome, Simulation};
+pub use reference::ReferenceSimulation;
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {

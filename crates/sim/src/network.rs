@@ -22,20 +22,54 @@
 //! rewrites the header ([`torus_routing::RoutingAlgorithm::reroute_on_fault`])
 //! and places the message in the node's re-injection queue, which is served
 //! with priority over locally generated messages.
+//!
+//! # Active-set scheduling
+//!
+//! The stages above iterate **worklists of live state** instead of the full
+//! `routers × ports × VCs` grid:
+//!
+//! * traffic generation pops an *arrival calendar* (a min-heap of per-node
+//!   next-arrival cycles) so idle sources are never polled — safe because
+//!   [`torus_workloads::TrafficSource::next_due_cycle`] guarantees skipped
+//!   polls draw nothing from the RNG;
+//! * injection iterates only routers with non-empty source/re-injection
+//!   queues ([`crate::active::ActiveSet`]);
+//! * routing, switching and the stall watchdog iterate only routers with at
+//!   least one occupied input VC (tracked by a per-router live-VC counter).
+//!
+//! All worklists iterate in ascending router order — the order a full scan
+//! visits them — so RNG draws and metric recordings happen in exactly the
+//! same sequence and fixed-seed results are **bit-identical** to the
+//! straightforward full-scan engine ([`crate::reference::ReferenceSimulation`],
+//! enforced by the equivalence test suite).
+//!
+//! The message table is a reclaiming slab ([`MessageSlab`]): delivered and
+//! dropped entries are retired after their metrics have been folded into the
+//! collector, so table memory is bounded by the peak in-flight population
+//! rather than by the total traffic of the run.
 
+use crate::active::ActiveSet;
 use crate::config::{SimConfig, SimConfigError, StopCondition};
-use crate::flit::{Flit, MessageId};
-use crate::message::{MessagePhase, MessageState};
+use crate::flit::Flit;
+use crate::message::{MessagePhase, MessageSlab, MessageState};
 use crate::router::{InputVc, OutputVc, ReinjectionEntry, RouteTarget, RouterState, VcRoute};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
 use torus_routing::ecube::ecube_output;
 use torus_routing::{RouteDecision, RoutingAlgorithm};
 use torus_topology::{Direction, Torus};
 use torus_workloads::TrafficSource;
+
+/// Legacy scan stride of the stall watchdog, kept as an upper bound on the
+/// interval between scans. Within a stride the watchdog wakes exactly at the
+/// earliest pending stall deadline, so `stall_absorb_threshold` is honored to
+/// the cycle instead of being quantized to the stride.
+const WATCHDOG_STRIDE: u64 = 128;
 
 /// Result of running a simulation to its stop condition.
 #[derive(Clone, Debug)]
@@ -51,6 +85,10 @@ pub struct RunOutcome {
     /// Messages dropped because no fault-free path to their destination
     /// existed (always 0 when faults preserve connectivity).
     pub dropped_messages: u64,
+    /// Peak number of simultaneously live entries in the message table.
+    /// Bounded by the in-flight population (the table reclaims retired
+    /// entries), not by the total number of messages delivered.
+    pub message_table_peak: u64,
 }
 
 /// A flit-level wormhole simulation of one network configuration.
@@ -60,7 +98,7 @@ pub struct Simulation<A: RoutingAlgorithm> {
     algo: A,
     config: SimConfig,
     routers: Vec<RouterState>,
-    messages: Vec<MessageState>,
+    messages: MessageSlab,
     sources: Vec<TrafficSource>,
     collector: MetricsCollector,
     rng: StdRng,
@@ -71,6 +109,19 @@ pub struct Simulation<A: RoutingAlgorithm> {
     // Scratch buffers reused across cycles to avoid per-cycle allocation.
     arrivals: Vec<(usize, usize, usize, Flit)>,
     credit_returns: Vec<(usize, usize, usize)>,
+    // Active-set scheduling state.
+    /// Min-heap of `(next_arrival_cycle, node)` for every healthy source.
+    arrival_calendar: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Routers with a non-empty source or re-injection queue.
+    inject_set: ActiveSet,
+    /// Routers with at least one non-idle input VC.
+    busy_set: ActiveSet,
+    /// Per-router count of non-idle input VCs (backs `busy_set` membership).
+    live_input_vcs: Vec<u32>,
+    /// Reusable snapshot buffer for per-stage worklist iteration.
+    stage_scratch: Vec<usize>,
+    /// Next cycle the stall watchdog must scan at.
+    watchdog_next: u64,
 }
 
 impl<A: RoutingAlgorithm> Simulation<A> {
@@ -85,7 +136,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
         let torus = Torus::new(config.radix, config.dims).map_err(SimConfigError::Topology)?;
         let n = torus.dims();
         let v = config.virtual_channels;
-        let routers = torus
+        let routers: Vec<RouterState> = torus
             .nodes()
             .map(|node| {
                 RouterState::new(node, n, v, config.buffer_depth, faults.is_node_faulty(node))
@@ -100,13 +151,22 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             WarmupPolicy::Messages(config.warmup_messages),
         );
         let rng = StdRng::seed_from_u64(config.seed);
+        let num_nodes = torus.num_nodes();
+        // Every healthy source is due for its very first poll at cycle 0 (the
+        // poll that draws its initial inter-arrival gap).
+        let mut arrival_calendar = BinaryHeap::with_capacity(num_nodes);
+        for (idx, router) in routers.iter().enumerate() {
+            if !router.is_faulty {
+                arrival_calendar.push(Reverse((0u64, idx)));
+            }
+        }
         Ok(Simulation {
             torus,
             faults,
             algo,
             config,
             routers,
-            messages: Vec::new(),
+            messages: MessageSlab::new(),
             sources,
             collector,
             rng,
@@ -116,6 +176,12 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             forced_absorptions: 0,
             arrivals: Vec::new(),
             credit_returns: Vec::new(),
+            arrival_calendar,
+            inject_set: ActiveSet::new(num_nodes),
+            busy_set: ActiveSet::new(num_nodes),
+            live_input_vcs: vec![0; num_nodes],
+            stage_scratch: Vec::with_capacity(num_nodes),
+            watchdog_next: 0,
         })
     }
 
@@ -149,9 +215,25 @@ impl<A: RoutingAlgorithm> Simulation<A> {
         self.dropped
     }
 
-    /// Read-only access to the message table (used by tests and examples).
-    pub fn messages(&self) -> &[MessageState] {
-        &self.messages
+    /// Read-only iterator over the live (not yet retired) messages, in table
+    /// slot order (used by tests and examples).
+    pub fn live_messages(&self) -> impl Iterator<Item = &MessageState> {
+        self.messages.iter_live()
+    }
+
+    /// Current number of live entries in the message table.
+    pub fn message_table_live(&self) -> usize {
+        self.messages.live()
+    }
+
+    /// Peak number of simultaneously live entries the message table has held.
+    pub fn message_table_peak(&self) -> usize {
+        self.messages.peak_live()
+    }
+
+    /// Number of slots the message table has grown to (its memory footprint).
+    pub fn message_table_capacity(&self) -> usize {
+        self.messages.capacity()
     }
 
     /// The current metrics report.
@@ -178,6 +260,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             hit_max_cycles,
             forced_absorptions: self.forced_absorptions,
             dropped_messages: self.dropped,
+            message_table_peak: self.messages.peak_live() as u64,
         }
     }
 
@@ -197,7 +280,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
         self.switch_and_traverse(now);
         self.apply_arrivals(now);
         self.apply_credit_returns();
-        if self.config.stall_absorb_threshold > 0 && now.is_multiple_of(128) {
+        if self.config.stall_absorb_threshold > 0 && now >= self.watchdog_next {
             self.stall_watchdog(now);
         }
         self.cycle = now + 1;
@@ -216,19 +299,36 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             collector,
             rng,
             in_flight,
+            arrival_calendar,
+            inject_set,
             ..
         } = self;
-        for (idx, source) in sources.iter_mut().enumerate() {
-            if routers[idx].is_faulty {
-                continue;
+        // Entries pop in (cycle, node) order, so sources due at the same
+        // cycle are polled in ascending node order — exactly the order the
+        // full scan polls them — and skipped (not-yet-due) sources would have
+        // drawn nothing from the RNG anyway.
+        while let Some(&Reverse((due, idx))) = arrival_calendar.peek() {
+            if due > now {
+                break;
             }
+            arrival_calendar.pop();
+            debug_assert!(!routers[idx].is_faulty, "faulty nodes are never scheduled");
+            let source = &mut sources[idx];
+            let mut queued_any = false;
             for gen in source.generate(torus, faults, now, rng) {
-                let id = MessageId(messages.len() as u64);
                 let header = algo.make_header(torus, gen.src, gen.dest);
                 let measured = collector.on_generated(now);
-                messages.push(MessageState::new(id, header, gen.length, now, measured));
+                let id = messages
+                    .insert_with(|id| MessageState::new(id, header, gen.length, now, measured));
                 routers[idx].source_queue.push_back(id);
                 *in_flight += 1;
+                queued_any = true;
+            }
+            if queued_any {
+                inject_set.insert(idx);
+            }
+            if let Some(next_due) = source.next_due_cycle() {
+                arrival_calendar.push(Reverse((next_due.max(now + 1), idx)));
             }
         }
     }
@@ -238,12 +338,15 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             routers,
             messages,
             config,
+            inject_set,
+            busy_set,
+            live_input_vcs,
+            stage_scratch,
             ..
         } = self;
-        for router in routers.iter_mut() {
-            if router.is_faulty {
-                continue;
-            }
+        inject_set.collect_into(stage_scratch);
+        for &idx in stage_scratch.iter() {
+            let router = &mut routers[idx];
             let port = router.injection_port();
             for vc in 0..config.virtual_channels {
                 if !router.inputs[port][vc].is_idle() {
@@ -262,13 +365,18 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 let Some(msg_id) = msg_id else {
                     break;
                 };
-                let msg = &mut messages[msg_id.index()];
+                let msg = &mut messages[msg_id];
                 msg.header.reset_for_injection();
                 msg.note_injected(now);
                 let ivc = &mut router.inputs[port][vc];
                 ivc.buffer.extend(Flit::all_of(msg_id, msg.length));
                 ivc.route = None;
                 ivc.last_progress = now;
+                live_input_vcs[idx] += 1;
+                busy_set.insert(idx);
+            }
+            if router.source_queue.is_empty() && router.reinjection_queue.is_empty() {
+                inject_set.remove(idx);
             }
         }
     }
@@ -282,13 +390,14 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             messages,
             config,
             rng,
+            busy_set,
+            stage_scratch,
             ..
         } = self;
         let v = config.virtual_channels;
-        for router in routers.iter_mut() {
-            if router.is_faulty {
-                continue;
-            }
+        busy_set.collect_into(stage_scratch);
+        for &idx in stage_scratch.iter() {
+            let router = &mut routers[idx];
             let node = router.node;
             let num_ports = router.injection_port() + 1;
             for port in 0..num_ports {
@@ -303,7 +412,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                         continue;
                     }
                     let msg_id = front.msg;
-                    let header = &mut messages[msg_id.index()].header;
+                    let header = &mut messages[msg_id].header;
                     let decision = algo.route(torus, faults, header, node, v);
                     let ready_at = now + config.router_delay as u64;
                     match decision {
@@ -373,16 +482,19 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             dropped,
             arrivals,
             credit_returns,
+            inject_set,
+            busy_set,
+            live_input_vcs,
+            stage_scratch,
             ..
         } = self;
         let v = config.virtual_channels;
         arrivals.clear();
         credit_returns.clear();
 
-        for router in routers.iter_mut() {
-            if router.is_faulty {
-                continue;
-            }
+        busy_set.collect_into(stage_scratch);
+        for &idx in stage_scratch.iter() {
+            let router = &mut routers[idx];
             let node = router.node;
             let injection_port = router.injection_port();
             let num_inputs = injection_port + 1;
@@ -414,9 +526,11 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                     // Whole message has arrived locally.
                     router.local_assembly.remove(&flit.msg);
                     router.inputs[port][vc].route = None;
-                    let msg = &mut messages[flit.msg.index()];
                     match route.target {
                         RouteTarget::Deliver => {
+                            // Fold-on-retire: fold the metrics into the
+                            // collector, then reclaim the table slot.
+                            let mut msg = messages.remove(flit.msg);
                             msg.note_delivered(now);
                             collector.on_delivered(
                                 msg.generated_at,
@@ -429,31 +543,39 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                             *in_flight -= 1;
                         }
                         RouteTarget::Absorb => {
-                            collector.on_absorbed(msg.measured);
-                            let blocked = ecube_output(torus, &msg.header, node)
+                            collector.on_absorbed(messages[flit.msg].measured);
+                            let blocked = ecube_output(torus, &messages[flit.msg].header, node)
                                 .unwrap_or((0, Direction::Plus));
                             let rerouted = algo.reroute_on_fault(
                                 torus,
                                 faults,
-                                &mut msg.header,
+                                &mut messages[flit.msg].header,
                                 node,
                                 blocked,
                             );
                             if rerouted {
-                                msg.phase = MessagePhase::Queued;
+                                messages[flit.msg].phase = MessagePhase::Queued;
                                 router.reinjection_queue.push_back(ReinjectionEntry {
                                     msg: flit.msg,
                                     ready_at: now + config.reinjection_delay as u64,
                                 });
                                 collector
                                     .on_reinjection_queue_depth(router.reinjection_queue.len());
+                                inject_set.insert(idx);
                             } else {
+                                let mut msg = messages.remove(flit.msg);
                                 msg.note_dropped();
                                 *dropped += 1;
                                 *in_flight -= 1;
                             }
                         }
                         RouteTarget::Network { .. } => unreachable!("local sink"),
+                    }
+                    if router.inputs[port][vc].is_idle() {
+                        live_input_vcs[idx] -= 1;
+                        if live_input_vcs[idx] == 0 {
+                            busy_set.remove(idx);
+                        }
                     }
                 }
             }
@@ -511,7 +633,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 }
                 let (dim, dir) = RouterState::port_dim_dir(out_port);
                 if flit.kind.is_head() {
-                    let header = &mut messages[flit.msg.index()].header;
+                    let header = &mut messages[flit.msg].header;
                     algo.note_hop(torus, header, node, dim, dir);
                 }
                 let dest = torus.neighbor(node, dim, dir);
@@ -519,6 +641,12 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 if flit.kind.is_tail() {
                     router.inputs[in_port][in_vc].route = None;
                     router.outputs[out_port][out_vc].draining = true;
+                    if router.inputs[in_port][in_vc].is_idle() {
+                        live_input_vcs[idx] -= 1;
+                        if live_input_vcs[idx] == 0 {
+                            busy_set.remove(idx);
+                        }
+                    }
                 }
                 router.sa_pointer[out_port] = (flat + 1) % total_slots;
             }
@@ -530,6 +658,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             routers,
             arrivals,
             config,
+            busy_set,
+            live_input_vcs,
             ..
         } = self;
         for (node_idx, in_port, vc, flit) in arrivals.drain(..) {
@@ -538,6 +668,10 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 ivc.buffer.len() < config.buffer_depth,
                 "flit arrived at a full buffer (credit accounting violated)"
             );
+            if ivc.is_idle() {
+                live_input_vcs[node_idx] += 1;
+                busy_set.insert(node_idx);
+            }
             if ivc.buffer.is_empty() {
                 ivc.last_progress = now;
             }
@@ -566,18 +700,29 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     /// extremely long time is handed to the software layer exactly as if it
     /// had hit a fault. Never triggers with the deadlock-free algorithms in
     /// this repository (asserted by the integration tests).
+    ///
+    /// Scans wake exactly at the earliest pending stall deadline
+    /// (`last_progress + threshold`), so the configured threshold is honored
+    /// to the cycle; the legacy [`WATCHDOG_STRIDE`] caps the interval between
+    /// scans as a safety net. Deadlines created after a scan (every progress
+    /// event refreshes `last_progress`) are at least `now + threshold`, which
+    /// the next scheduled scan always precedes or meets, so no expiry can
+    /// slip between scans.
     fn stall_watchdog(&mut self, now: u64) {
         let threshold = self.config.stall_absorb_threshold;
         let v = self.config.virtual_channels;
         let Simulation {
             routers,
             forced_absorptions,
+            busy_set,
+            stage_scratch,
+            watchdog_next,
             ..
         } = self;
-        for router in routers.iter_mut() {
-            if router.is_faulty {
-                continue;
-            }
+        let mut next = now + threshold.min(WATCHDOG_STRIDE);
+        busy_set.collect_into(stage_scratch);
+        for &idx in stage_scratch.iter() {
+            let router = &mut routers[idx];
             let num_inputs = router.injection_port() + 1;
             for port in 0..num_inputs {
                 for vc in 0..v {
@@ -585,13 +730,15 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                     if ivc.route.is_some() || ivc.buffer.is_empty() {
                         continue;
                     }
-                    if now.saturating_sub(ivc.last_progress) < threshold {
-                        continue;
-                    }
                     let Some(front) = ivc.buffer.front() else {
                         continue;
                     };
                     if !front.kind.is_head() {
+                        continue;
+                    }
+                    let deadline = ivc.last_progress + threshold;
+                    if deadline > now {
+                        next = next.min(deadline);
                         continue;
                     }
                     ivc.route = Some(VcRoute {
@@ -603,6 +750,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 }
             }
         }
+        *watchdog_next = next;
     }
 }
 
@@ -722,6 +870,34 @@ mod tests {
         assert_eq!(a, b);
         let c = run(12);
         assert_ne!(a.mean_latency, c.mean_latency);
+    }
+
+    #[test]
+    fn message_table_is_reclaimed() {
+        // A long fixed-cycle run delivers thousands of messages; with the
+        // reclaiming slab the peak table occupancy must track the in-flight
+        // population, not the delivered total.
+        let mut config = quick_config(4, 2, 4, 8, 0.02);
+        config.stop = StopCondition::Cycles(60_000);
+        config.max_cycles = 60_000;
+        let mut sim =
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
+        let out = sim.run();
+        assert!(
+            out.report.generated_messages > 5_000,
+            "generated {}",
+            out.report.generated_messages
+        );
+        assert!(
+            out.message_table_peak < out.report.generated_messages / 10,
+            "peak {} should be far below the generated total {}",
+            out.message_table_peak,
+            out.report.generated_messages
+        );
+        assert_eq!(out.message_table_peak, sim.message_table_peak() as u64);
+        assert!(sim.message_table_capacity() <= sim.message_table_peak());
+        assert_eq!(sim.message_table_live() as u64, sim.in_flight());
+        assert_eq!(sim.live_messages().count(), sim.message_table_live());
     }
 
     #[test]
@@ -861,6 +1037,15 @@ mod tests {
         let mut config = quick_config(4, 2, 2, 8, 0.01);
         config.virtual_channels = 2;
         assert!(Simulation::new(config, FaultSet::new(), SwBasedRouting::adaptive()).is_err());
+    }
+
+    #[test]
+    fn zero_length_workload_is_rejected() {
+        let config = quick_config(4, 2, 4, 0, 0.01);
+        assert_eq!(
+            Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).err(),
+            Some(SimConfigError::ZeroMessageLength)
+        );
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Equivalence harness: the active-set engine ([`Simulation`]) and the
+//! straightforward full-scan reference ([`ReferenceSimulation`]) must produce
+//! **bit-identical** [`SimulationReport`]s — same delivery order, same
+//! floating-point accumulation order, same RNG stream — for every seed, load
+//! and fault scenario.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use torus_faults::{FaultScenario, FaultSet};
+use torus_routing::SwBasedRouting;
+use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
+use torus_topology::Torus;
+
+/// Runs both engines on the same configuration and asserts identical results.
+/// Returns the active engine's message-table peak for boundedness checks.
+fn assert_equivalent(config: SimConfig, faults: FaultSet, adaptive: bool) -> (u64, u64) {
+    let (active, reference) = if adaptive {
+        let mut a = Simulation::new(config.clone(), faults.clone(), SwBasedRouting::adaptive())
+            .expect("valid config");
+        let mut r = ReferenceSimulation::new(config, faults, SwBasedRouting::adaptive())
+            .expect("valid config");
+        (a.run(), r.run())
+    } else {
+        let mut a = Simulation::new(
+            config.clone(),
+            faults.clone(),
+            SwBasedRouting::deterministic(),
+        )
+        .expect("valid config");
+        let mut r = ReferenceSimulation::new(config, faults, SwBasedRouting::deterministic())
+            .expect("valid config");
+        (a.run(), r.run())
+    };
+    assert_eq!(
+        active.report, reference.report,
+        "active-set and full-scan engines diverged"
+    );
+    assert_eq!(active.hit_max_cycles, reference.hit_max_cycles);
+    assert_eq!(active.forced_absorptions, reference.forced_absorptions);
+    assert_eq!(active.dropped_messages, reference.dropped_messages);
+    (active.message_table_peak, reference.message_table_peak)
+}
+
+fn quick(radix: u16, dims: u32, v: usize, m: u32, rate: f64, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper(radix, dims, v, m, rate).with_seed(seed);
+    c.warmup_messages = 100;
+    c.stop = StopCondition::MeasuredMessages(500);
+    c.max_cycles = 100_000;
+    c
+}
+
+fn faults_for(scenario: &FaultScenario, torus: &Torus, seed: u64) -> FaultSet {
+    let mut rng = StdRng::seed_from_u64(seed);
+    scenario
+        .realize(torus, &mut rng)
+        .expect("realizable faults")
+}
+
+#[test]
+fn fault_free_across_seeds_and_loads() {
+    for seed in [1, 2, 3] {
+        for rate in [0.003, 0.02] {
+            for adaptive in [false, true] {
+                let config = quick(4, 2, 4, 8, rate, seed);
+                assert_equivalent(config, FaultSet::new(), adaptive);
+            }
+        }
+    }
+}
+
+#[test]
+fn random_node_faults_across_seeds() {
+    let torus = Torus::new(8, 2).unwrap();
+    let scenario = FaultScenario::RandomNodes { count: 5 };
+    for seed in [7, 8] {
+        for adaptive in [false, true] {
+            let config = quick(8, 2, 4, 16, 0.003, seed);
+            let faults = faults_for(&scenario, &torus, seed ^ 0xFA);
+            assert_equivalent(config, faults, adaptive);
+        }
+    }
+}
+
+#[test]
+fn region_faults_match() {
+    let torus = Torus::new(8, 2).unwrap();
+    let scenario = FaultScenario::centered_region(&torus, torus_faults::RegionShape::paper_u_8());
+    let faults = faults_for(&scenario, &torus, 0);
+    let config = quick(8, 2, 4, 16, 0.003, 9);
+    assert_equivalent(config, faults, true);
+}
+
+#[test]
+fn three_dimensional_faulted_match() {
+    let torus = Torus::new(4, 3).unwrap();
+    let scenario = FaultScenario::RandomNodes { count: 3 };
+    let faults = faults_for(&scenario, &torus, 5);
+    let config = quick(4, 3, 4, 8, 0.004, 4);
+    assert_equivalent(config, faults, false);
+}
+
+#[test]
+fn near_saturation_cycle_capped_match() {
+    // A saturated network exercises the busy sets at full occupancy and the
+    // cycle-cap exit path.
+    let mut config = quick(4, 2, 4, 8, 0.2, 13);
+    config.stop = StopCondition::Cycles(4_000);
+    config.max_cycles = 4_000;
+    assert_equivalent(config, FaultSet::new(), false);
+}
+
+#[test]
+fn nonzero_delays_match() {
+    // Router decision time and re-injection overhead shift `ready_at`
+    // schedules; both engines must agree cycle for cycle.
+    let torus = Torus::new(8, 2).unwrap();
+    let faults = faults_for(&FaultScenario::RandomNodes { count: 4 }, &torus, 3);
+    let mut config = quick(8, 2, 4, 16, 0.003, 21);
+    config.router_delay = 2;
+    config.reinjection_delay = 40;
+    assert_equivalent(config, faults, false);
+}
+
+#[test]
+fn message_table_stays_bounded_under_sustained_traffic() {
+    // The active engine's table peak must track the in-flight population;
+    // the reference's append-only table grows with the delivered total.
+    let mut config = quick(4, 2, 4, 8, 0.02, 2);
+    config.stop = StopCondition::Cycles(50_000);
+    config.max_cycles = 50_000;
+    let (active_peak, reference_total) = assert_equivalent(config, FaultSet::new(), false);
+    assert!(
+        reference_total > 5_000,
+        "run too short to be meaningful: {reference_total}"
+    );
+    assert!(
+        active_peak < reference_total / 10,
+        "active peak {active_peak} should be far below the append-only total {reference_total}"
+    );
+}
+
+#[test]
+fn tiny_stall_threshold_matches() {
+    // A threshold far below the legacy 128-cycle watchdog stride: the
+    // deadline-driven scans must reproduce the reference's every-cycle checks
+    // exactly (including when the watchdog never needs to fire).
+    let mut config = quick(4, 2, 4, 8, 0.02, 6);
+    config.stall_absorb_threshold = 37;
+    config.stop = StopCondition::MeasuredMessages(300);
+    assert_equivalent(config, FaultSet::new(), false);
+}

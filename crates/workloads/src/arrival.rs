@@ -54,6 +54,26 @@ impl PoissonArrivals {
         let u: f64 = rng.gen_range(f64::EPSILON..1.0);
         -u.ln() / self.lambda
     }
+
+    /// Earliest cycle at which this process can produce its next arrival, or
+    /// `None` when it never fires again (zero rate).
+    ///
+    /// Polling [`ArrivalProcess::arrivals_in_cycle`] for any cycle before the
+    /// returned one is guaranteed to generate nothing *and to draw nothing
+    /// from the RNG*, so an event-driven scheduler may skip those cycles
+    /// without perturbing the random stream. An uninitialised process (never
+    /// polled) reports cycle 0: its first poll draws the initial gap.
+    pub fn next_due_cycle(&self) -> Option<u64> {
+        if self.lambda <= 0.0 {
+            return None;
+        }
+        if !self.initialized {
+            return Some(0);
+        }
+        // `as u64` truncates toward zero (floor for the non-negative arrival
+        // time) and saturates at u64::MAX if the arrival time overflowed.
+        Some(self.next_arrival as u64)
+    }
 }
 
 impl ArrivalProcess for PoissonArrivals {
@@ -161,6 +181,62 @@ mod tests {
             );
             assert!((p.mean_rate() - lambda).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn poisson_next_due_cycle_skips_are_draw_free() {
+        // Skipping every cycle before `next_due_cycle` must leave the RNG
+        // stream identical to polling each cycle in turn.
+        let mut rng_poll = StdRng::seed_from_u64(42);
+        let mut rng_skip = StdRng::seed_from_u64(42);
+        let mut polled = PoissonArrivals::new(0.01);
+        let mut skipped = PoissonArrivals::new(0.01);
+        let mut polled_counts = Vec::new();
+        let mut skipped_counts = Vec::new();
+        for cycle in 0..20_000u64 {
+            let n = polled.arrivals_in_cycle(cycle, &mut rng_poll);
+            if n > 0 {
+                polled_counts.push((cycle, n));
+            }
+        }
+        let mut cycle = 0u64;
+        while cycle < 20_000 {
+            let due = skipped.next_due_cycle().expect("positive rate");
+            cycle = cycle.max(due);
+            if cycle >= 20_000 {
+                break;
+            }
+            let n = skipped.arrivals_in_cycle(cycle, &mut rng_skip);
+            if n > 0 {
+                skipped_counts.push((cycle, n));
+            }
+            cycle += 1;
+        }
+        assert_eq!(polled_counts, skipped_counts);
+        assert!(!polled_counts.is_empty());
+        // Both RNGs must be in the same state afterwards.
+        assert_eq!(
+            rng_poll.gen_range(0..u64::MAX),
+            rng_skip.gen_range(0..u64::MAX)
+        );
+    }
+
+    #[test]
+    fn poisson_next_due_cycle_edges() {
+        assert_eq!(PoissonArrivals::new(0.0).next_due_cycle(), None);
+        let mut p = PoissonArrivals::new(0.5);
+        assert_eq!(
+            p.next_due_cycle(),
+            Some(0),
+            "uninitialised process is due immediately"
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        p.arrivals_in_cycle(0, &mut rng);
+        let due = p.next_due_cycle().unwrap();
+        assert!(
+            due >= 1,
+            "after polling cycle 0 the next due cycle is in the future"
+        );
     }
 
     #[test]

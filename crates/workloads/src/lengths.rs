@@ -51,6 +51,20 @@ impl MessageLength {
         }
     }
 
+    /// Smallest length this distribution is *configured* with, in flits,
+    /// before any clamping is applied by [`MessageLength::sample`].
+    ///
+    /// Simulator configurations use this to reject degenerate zero-length
+    /// workloads at validation time instead of silently clamping them to one
+    /// flit at generation time.
+    pub fn min_flits(&self) -> u32 {
+        match *self {
+            MessageLength::Fixed(len) => len,
+            MessageLength::Bimodal { short, long, .. } => short.min(long),
+            MessageLength::Uniform { min, .. } => min,
+        }
+    }
+
     /// Mean message length in flits.
     pub fn mean(&self) -> f64 {
         match *self {
@@ -102,6 +116,22 @@ mod tests {
         let short_frac = samples.iter().filter(|&&l| l == 8).count() as f64 / samples.len() as f64;
         assert!((short_frac - 0.75).abs() < 0.03);
         assert!((d.mean() - (0.75 * 8.0 + 0.25 * 64.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_flits_reports_configured_minimum() {
+        assert_eq!(MessageLength::Fixed(32).min_flits(), 32);
+        assert_eq!(MessageLength::Fixed(0).min_flits(), 0, "no clamping");
+        assert_eq!(
+            MessageLength::Bimodal {
+                short: 0,
+                long: 64,
+                short_fraction: 0.5
+            }
+            .min_flits(),
+            0
+        );
+        assert_eq!(MessageLength::Uniform { min: 4, max: 12 }.min_flits(), 4);
     }
 
     #[test]
