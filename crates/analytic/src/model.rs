@@ -1,15 +1,13 @@
 //! The analytical latency model.
 
 use serde::{Deserialize, Serialize};
-use torus_topology::Torus;
+use torus_topology::TopologySpec;
 
 /// Parameters of the analytical model (mirrors the simulator's configuration).
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct AnalyticConfig {
-    /// Radix `k` of the k-ary n-cube.
-    pub radix: u16,
-    /// Dimensionality `n`.
-    pub dims: u32,
+    /// The network topology (torus / mesh / hypercube / mixed-radix).
+    pub topology: TopologySpec,
     /// Virtual channels per physical channel.
     pub virtual_channels: usize,
     /// Message length in flits.
@@ -23,7 +21,8 @@ pub struct AnalyticConfig {
 }
 
 impl AnalyticConfig {
-    /// Configuration matching the paper's default assumptions (`Td = Δ = 0`).
+    /// Configuration matching the paper's default assumptions (`Td = Δ = 0`)
+    /// on a k-ary n-cube.
     pub fn paper(
         radix: u16,
         dims: u32,
@@ -31,9 +30,24 @@ impl AnalyticConfig {
         message_length: u32,
         faulty_nodes: usize,
     ) -> Self {
+        Self::paper_topology(
+            TopologySpec::torus(radix, dims),
+            v,
+            message_length,
+            faulty_nodes,
+        )
+    }
+
+    /// Configuration matching the paper's default assumptions on an arbitrary
+    /// topology.
+    pub fn paper_topology(
+        topology: TopologySpec,
+        v: usize,
+        message_length: u32,
+        faulty_nodes: usize,
+    ) -> Self {
         AnalyticConfig {
-            radix,
-            dims,
+            topology,
             virtual_channels: v,
             message_length,
             faulty_nodes,
@@ -69,15 +83,20 @@ pub struct AnalyticModel {
     config: AnalyticConfig,
     avg_distance: f64,
     num_nodes: usize,
+    /// Mean number of *existing* network channels per node (2n on a torus,
+    /// less on meshes whose edge nodes are missing outward channels).
+    channels_per_node: f64,
 }
 
 impl AnalyticModel {
-    /// Builds the model, deriving the average distance from the topology.
-    pub fn new(config: AnalyticConfig) -> Result<Self, torus_topology::TorusError> {
-        let torus = Torus::new(config.radix, config.dims)?;
+    /// Builds the model, deriving the average distance and channel density
+    /// from the topology.
+    pub fn new(config: AnalyticConfig) -> Result<Self, torus_topology::NetworkError> {
+        let net = config.topology.build()?;
         Ok(AnalyticModel {
-            avg_distance: torus.average_distance(),
-            num_nodes: torus.num_nodes(),
+            avg_distance: net.average_distance(),
+            num_nodes: net.num_nodes(),
+            channels_per_node: net.num_channels() as f64 / net.num_nodes() as f64,
             config,
         })
     }
@@ -95,15 +114,13 @@ impl AnalyticModel {
     /// Utilisation `ρ` of a network channel at offered load `rate`
     /// (messages/node/cycle).
     pub fn channel_utilization(&self, rate: f64) -> f64 {
-        let channels_per_node = 2.0 * self.config.dims as f64;
-        rate * self.avg_distance * self.config.message_length as f64 / channels_per_node
+        rate * self.avg_distance * self.config.message_length as f64 / self.channels_per_node
     }
 
     /// The offered load at which the channel utilisation reaches 1 — the
     /// model's saturation estimate (messages/node/cycle).
     pub fn saturation_rate(&self) -> f64 {
-        let channels_per_node = 2.0 * self.config.dims as f64;
-        channels_per_node / (self.avg_distance * self.config.message_length as f64)
+        self.channels_per_node / (self.avg_distance * self.config.message_length as f64)
     }
 
     /// Probability that a message encounters at least one faulty router among
@@ -254,6 +271,38 @@ mod tests {
         assert!(m.average_distance() > 5.9 && m.average_distance() < 6.1);
         assert!(m.mean_latency(0.004).unwrap() > 38.0);
         assert!(m.saturation_rate() > 0.02);
+    }
+
+    #[test]
+    fn mesh_saturates_earlier_than_torus() {
+        // A mesh has longer average distances and fewer channels, so the
+        // model must place its saturation point below the torus's.
+        let torus = AnalyticModel::new(AnalyticConfig::paper(8, 2, 6, 32, 0)).unwrap();
+        let mesh = AnalyticModel::new(AnalyticConfig::paper_topology(
+            torus_topology::TopologySpec::mesh(8, 2),
+            6,
+            32,
+            0,
+        ))
+        .unwrap();
+        assert!(mesh.average_distance() > torus.average_distance());
+        assert!(mesh.saturation_rate() < torus.saturation_rate());
+        // And its low-load latency is higher (more hops on average).
+        assert!(mesh.mean_latency(0.001).unwrap() > torus.mean_latency(0.001).unwrap());
+    }
+
+    #[test]
+    fn hypercube_model_builds() {
+        let h = AnalyticModel::new(AnalyticConfig::paper_topology(
+            torus_topology::TopologySpec::hypercube(6),
+            4,
+            32,
+            0,
+        ))
+        .unwrap();
+        // Average distance of a binary n-cube is ~n/2 (exactly n/2 * N/(N-1)).
+        assert!((h.average_distance() - 3.0 * 64.0 / 63.0).abs() < 1e-9);
+        assert!(h.saturation_rate() > 0.0);
     }
 
     #[test]

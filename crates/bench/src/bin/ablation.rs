@@ -86,7 +86,7 @@ fn main() {
     let rows = run_parallel(variants, |(label, delta, cfg)| {
         let mut sim_cfg = cfg.sim_config();
         sim_cfg.reinjection_delay = *delta;
-        let t = torus_topology::Torus::new(cfg.radix, cfg.dims).expect("topology");
+        let t = cfg.topology.build().expect("topology");
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0xFA17_5EED);
         let faults = cfg.faults.realize(&t, &mut rng).expect("faults");
         let mut sim = torus_sim::Simulation::new(sim_cfg, faults, cfg.routing.algorithm())

@@ -1,7 +1,8 @@
 //! The cycles/sec benchmark suite: a small set of representative simulation
-//! points (fault-free low-load, faulted, near-saturation, on 2-D and 3-D
-//! tori), each timed on both the active-set engine and the full-scan
-//! reference engine.
+//! points (fault-free low-load, faulted, near-saturation — on 2-D and 3-D
+//! tori plus a mesh and a hypercube point so the perf trajectory covers the
+//! non-wrap topologies), each timed on both the active-set engine and the
+//! full-scan reference engine.
 //!
 //! The `bench_cycles` binary runs the suite and emits `BENCH_cycles.json`
 //! (cycles/sec per engine, speedup, peak message-table occupancy), giving the
@@ -15,18 +16,32 @@ use torus_faults::{random_node_faults, FaultSet};
 use torus_metrics::SimulationReport;
 use torus_routing::SwBasedRouting;
 use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
-use torus_topology::Torus;
+use torus_topology::{Network, TopologySpec};
 
 /// Seed for fault placement, fixed so every run of the suite benchmarks the
 /// same network.
 const FAULT_SEED: u64 = 17;
+
+/// Topology family of a benchmark point (the `topology.kind` column of
+/// `BENCH_cycles.json`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopologyKind {
+    /// k-ary n-cube (all dimensions wrap).
+    Torus,
+    /// k-ary n-mesh (no dimension wraps).
+    Mesh,
+    /// Binary n-cube (radix-2 mesh).
+    Hypercube,
+}
 
 /// One benchmark point of the suite.
 #[derive(Clone, Copy, Debug)]
 pub struct CyclePoint {
     /// Stable identifier used in `BENCH_cycles.json` and bench names.
     pub name: &'static str,
-    /// Radix `k` of the k-ary n-cube.
+    /// Topology family of the point.
+    pub kind: TopologyKind,
+    /// Radix `k` along each dimension (2 for hypercubes).
     pub radix: u16,
     /// Dimensionality `n`.
     pub dims: u32,
@@ -41,10 +56,12 @@ pub struct CyclePoint {
 }
 
 /// The benchmark suite: fault-free low-load (the regime most figure points
-/// run in), faulted, and near-saturation, on 2-D and 3-D tori.
+/// run in), faulted, and near-saturation, on 2-D and 3-D tori — plus a mesh
+/// and a hypercube point so the trajectory covers the non-wrap topologies.
 pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "2d_fault_free_low_load",
+        kind: TopologyKind::Torus,
         radix: 16,
         dims: 2,
         virtual_channels: 4,
@@ -54,6 +71,7 @@ pub const SUITE: &[CyclePoint] = &[
     },
     CyclePoint {
         name: "2d_faulted_low_load",
+        kind: TopologyKind::Torus,
         radix: 8,
         dims: 2,
         virtual_channels: 4,
@@ -63,6 +81,7 @@ pub const SUITE: &[CyclePoint] = &[
     },
     CyclePoint {
         name: "2d_near_saturation",
+        kind: TopologyKind::Torus,
         radix: 8,
         dims: 2,
         virtual_channels: 4,
@@ -72,6 +91,7 @@ pub const SUITE: &[CyclePoint] = &[
     },
     CyclePoint {
         name: "3d_fault_free_low_load",
+        kind: TopologyKind::Torus,
         radix: 8,
         dims: 3,
         virtual_channels: 4,
@@ -81,6 +101,7 @@ pub const SUITE: &[CyclePoint] = &[
     },
     CyclePoint {
         name: "3d_faulted_low_load",
+        kind: TopologyKind::Torus,
         radix: 4,
         dims: 3,
         virtual_channels: 4,
@@ -88,15 +109,43 @@ pub const SUITE: &[CyclePoint] = &[
         rate: 0.004,
         faults: 3,
     },
+    CyclePoint {
+        name: "2d_mesh_faulted_low_load",
+        kind: TopologyKind::Mesh,
+        radix: 16,
+        dims: 2,
+        virtual_channels: 4,
+        message_length: 16,
+        rate: 0.003,
+        faults: 5,
+    },
+    CyclePoint {
+        name: "hypercube6_fault_free_low_load",
+        kind: TopologyKind::Hypercube,
+        radix: 2,
+        dims: 6,
+        virtual_channels: 4,
+        message_length: 16,
+        rate: 0.004,
+        faults: 0,
+    },
 ];
 
 impl CyclePoint {
+    /// The topology spec of this point.
+    pub fn topology(&self) -> TopologySpec {
+        match self.kind {
+            TopologyKind::Torus => TopologySpec::torus(self.radix, self.dims),
+            TopologyKind::Mesh => TopologySpec::mesh(self.radix, self.dims),
+            TopologyKind::Hypercube => TopologySpec::hypercube(self.dims),
+        }
+    }
+
     /// The simulator configuration for this point, running a fixed number of
     /// cycles (so cycles/sec is directly comparable between engines).
     pub fn sim_config(&self, cycles: u64) -> SimConfig {
-        let mut cfg = SimConfig::paper(
-            self.radix,
-            self.dims,
+        let mut cfg = SimConfig::paper_topology(
+            self.topology(),
             self.virtual_channels,
             self.message_length,
             self.rate,
@@ -111,9 +160,9 @@ impl CyclePoint {
         if self.faults == 0 {
             return FaultSet::new();
         }
-        let torus = Torus::new(self.radix, self.dims).expect("valid suite topology");
+        let net: Network = self.topology().build().expect("valid suite topology");
         let mut rng = StdRng::seed_from_u64(FAULT_SEED);
-        random_node_faults(&torus, self.faults, &mut rng).expect("realizable fault placement")
+        random_node_faults(&net, self.faults, &mut rng).expect("realizable fault placement")
     }
 }
 
@@ -243,8 +292,11 @@ pub fn to_json(results: &[PointResult], smoke: bool) -> String {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", p.name));
         out.push_str(&format!(
-            "      \"topology\": {{\"radix\": {}, \"dims\": {}, \"virtual_channels\": {}}},\n",
-            p.radix, p.dims, p.virtual_channels
+            "      \"topology\": {{\"kind\": \"{}\", \"radix\": {}, \"dims\": {}, \"virtual_channels\": {}}},\n",
+            p.topology().kind(),
+            p.radix,
+            p.dims,
+            p.virtual_channels
         ));
         out.push_str(&format!(
             "      \"workload\": {{\"message_length\": {}, \"rate\": {}, \"faults\": {}}},\n",
@@ -272,13 +324,14 @@ pub fn to_json(results: &[PointResult], smoke: bool) -> String {
 pub fn render_table(results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<26} {:>14} {:>14} {:>8} {:>10} {:>10}\n",
-        "point", "active c/s", "reference c/s", "speedup", "peak tbl", "generated"
+        "{:<30} {:>10} {:>14} {:>14} {:>8} {:>10} {:>10}\n",
+        "point", "topology", "active c/s", "reference c/s", "speedup", "peak tbl", "generated"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<26} {:>14.0} {:>14.0} {:>7.2}x {:>10} {:>10}\n",
+            "{:<30} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>10} {:>10}\n",
             r.point.name,
+            r.point.topology().kind(),
             r.active.cycles_per_sec,
             r.reference.cycles_per_sec,
             r.speedup(),
@@ -313,8 +366,14 @@ mod tests {
         assert!(json.contains("\"schema\": \"bench-cycles-v1\""));
         assert!(json.contains("2d_fault_free_low_load"));
         assert!(json.contains("\"smoke\": true"));
+        // The topology column names every family in the suite.
+        assert!(json.contains("\"kind\": \"torus\""));
+        assert!(json.contains("\"kind\": \"mesh\""));
+        assert!(json.contains("\"kind\": \"hypercube\""));
         let table = render_table(&results);
         assert!(table.contains("3d_faulted_low_load"));
+        assert!(table.contains("2d_mesh_faulted_low_load"));
+        assert!(table.contains("hypercube6_fault_free_low_load"));
     }
 
     #[test]
@@ -323,11 +382,20 @@ mod tests {
         assert_eq!(p.fault_set().num_faulty_nodes(), p.faults);
         // Same placement on every call (fixed seed): membership must agree
         // node for node.
-        let torus = Torus::new(p.radix, p.dims).unwrap();
+        let net = p.topology().build().unwrap();
         let (a, b) = (p.fault_set(), p.fault_set());
-        for node in torus.nodes() {
+        for node in net.nodes() {
             assert_eq!(a.is_node_faulty(node), b.is_node_faulty(node));
         }
         assert_eq!(SUITE[0].fault_set().num_faulty_nodes(), 0);
+    }
+
+    #[test]
+    fn suite_covers_mesh_and_hypercube_topologies() {
+        assert!(SUITE.iter().any(|p| p.kind == TopologyKind::Mesh));
+        assert!(SUITE.iter().any(|p| p.kind == TopologyKind::Hypercube));
+        for p in SUITE {
+            assert!(p.topology().build().is_ok(), "{}", p.name);
+        }
     }
 }

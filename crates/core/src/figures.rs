@@ -290,7 +290,7 @@ fn fig5(scale: Scale) -> FigureResult {
     let dims = 2;
     let v = 10;
     let m = 32;
-    let torus = torus_topology::Torus::new(radix, dims).expect("valid topology");
+    let torus = torus_topology::Network::torus(radix, dims).expect("valid topology");
     let mut tagged = Vec::new();
     let mut curve_labels = Vec::new();
     let mut curve_idx = 0;

@@ -1,7 +1,8 @@
 //! # torus-faults
 //!
-//! Fault models and fault-pattern generators for k-ary n-cube networks,
-//! following Section 3 of Safaei et al. (IPDPS 2006):
+//! Fault models and fault-pattern generators for mixed-radix multidimensional
+//! networks (tori, meshes, hypercubes), following Section 3 of Safaei et al.
+//! (IPDPS 2006):
 //!
 //! * **Node failures** — an entire processing element and its router fail; all
 //!   physical links and virtual channels incident on the node are also marked
@@ -20,7 +21,10 @@
 //!   [`torus_topology::NodeFilter`] so it plugs directly into connectivity and
 //!   detour-path queries).
 //! * [`RegionShape`] / [`FaultRegion`] — parametric generators for the shaped
-//!   fault regions evaluated in Fig. 5 of the paper.
+//!   fault regions evaluated in Fig. 5 of the paper, with placement validated
+//!   against the per-dimension radices (regions may wrap around rings but are
+//!   rejected — not silently wrapped — when they exceed a dimension's extent
+//!   or overhang a mesh edge).
 //! * [`random`] — uniform random node-fault injection that preserves network
 //!   connectivity (paper assumption (h)).
 //! * [`FaultScenario`] — a serialisable description of a fault configuration
@@ -37,9 +41,9 @@ pub mod regions;
 
 pub use classify::{classify_region, RegionClass};
 pub use model::{FaultKind, FaultSet};
-pub use plan::FaultScenario;
+pub use plan::{FaultScenario, FaultScenarioError};
 pub use random::{random_node_faults, RandomFaultError};
-pub use regions::{FaultRegion, RegionShape};
+pub use regions::{FaultRegion, RegionPlacementError, RegionShape};
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use torus_topology::{DirectedChannel, Direction, NodeFilter, NodeId, Torus};
+use torus_topology::{DirectedChannel, Direction, Network, NodeFilter, NodeId};
 
 /// The two kinds of permanent static component failure considered by the
 /// paper (Section 3).
@@ -15,7 +15,7 @@ pub enum FaultKind {
     Link,
 }
 
-/// The set of faulty components of a torus network.
+/// The set of faulty components of a network.
 ///
 /// A `FaultSet` answers the queries the routers and routing algorithms need:
 /// is this node faulty, is this outgoing channel usable, does this message
@@ -23,6 +23,10 @@ pub enum FaultKind {
 /// [`torus_topology::NodeFilter`], so it can be used directly with
 /// [`torus_topology::HealthyGraph`] for connectivity checks and fault-free
 /// detour path computation.
+///
+/// Channels that do not physically exist (the outward channels of mesh edge
+/// nodes) are reported as unusable by every query, so routing layers can
+/// treat "missing" and "faulty" uniformly.
 #[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultSet {
     faulty_nodes: HashSet<NodeId>,
@@ -51,8 +55,13 @@ impl FaultSet {
 
     /// Marks the physical link leaving `from` along `dim`/`dir` as faulty in
     /// **both** directions (a link failure always affects the channel pair).
-    pub fn fail_link(&mut self, torus: &Torus, from: NodeId, dim: usize, dir: Direction) {
-        let to = torus.neighbor(from, dim, dir);
+    ///
+    /// Failing a channel that does not exist (the outward edge of an open
+    /// dimension) is a no-op: there is no link there to fail.
+    pub fn fail_link(&mut self, net: &Network, from: NodeId, dim: usize, dir: Direction) {
+        let Some(to) = net.neighbor(from, dim, dir) else {
+            return;
+        };
         self.faulty_channels.insert((from, dim, dir.index() as u8));
         self.faulty_channels
             .insert((to, dim, dir.opposite().index() as u8));
@@ -64,12 +73,15 @@ impl FaultSet {
         self.faulty_nodes.contains(&node)
     }
 
-    /// True if the directed channel is unusable, either because it was failed
-    /// explicitly (link fault) or because one of its endpoints is a faulty
-    /// node.
-    pub fn is_channel_faulty(&self, torus: &Torus, ch: DirectedChannel) -> bool {
+    /// True if the directed channel is unusable: it does not exist (mesh
+    /// edge), it was failed explicitly (link fault), or one of its endpoints
+    /// is a faulty node.
+    pub fn is_channel_faulty(&self, net: &Network, ch: DirectedChannel) -> bool {
+        let Some(dest) = net.channel_dest(ch) else {
+            return true;
+        };
         self.faulty_nodes.contains(&ch.from)
-            || self.faulty_nodes.contains(&torus.channel_dest(ch))
+            || self.faulty_nodes.contains(&dest)
             || self
                 .faulty_channels
                 .contains(&(ch.from, ch.dim, ch.dir.index() as u8))
@@ -78,8 +90,8 @@ impl FaultSet {
     /// Convenience query used by the routers: is the output channel of `node`
     /// along `dim`/`dir` usable?
     #[inline]
-    pub fn output_usable(&self, torus: &Torus, node: NodeId, dim: usize, dir: Direction) -> bool {
-        !self.is_channel_faulty(torus, DirectedChannel::new(node, dim, dir))
+    pub fn output_usable(&self, net: &Network, node: NodeId, dim: usize, dir: Direction) -> bool {
+        !self.is_channel_faulty(net, DirectedChannel::new(node, dim, dir))
     }
 
     /// Number of faulty nodes.
@@ -112,14 +124,14 @@ impl FaultSet {
 
     /// True if all healthy nodes remain mutually reachable over healthy
     /// channels (the paper's assumption (h)).
-    pub fn preserves_connectivity(&self, torus: &Torus) -> bool {
-        let g = torus_topology::HealthyGraph::new(torus, self);
+    pub fn preserves_connectivity(&self, net: &Network) -> bool {
+        let g = torus_topology::HealthyGraph::new(net, self);
         g.is_connected()
     }
 
-    /// Healthy nodes of the torus, in id order.
-    pub fn healthy_nodes<'a>(&'a self, torus: &'a Torus) -> impl Iterator<Item = NodeId> + 'a {
-        torus.nodes().filter(move |n| !self.is_node_faulty(*n))
+    /// Healthy nodes of the network, in id order.
+    pub fn healthy_nodes<'a>(&'a self, net: &'a Network) -> impl Iterator<Item = NodeId> + 'a {
+        net.nodes().filter(move |n| !self.is_node_faulty(*n))
     }
 
     /// Merges another fault set into this one.
@@ -135,8 +147,8 @@ impl NodeFilter for FaultSet {
         self.is_node_faulty(node)
     }
 
-    fn channel_blocked(&self, torus: &Torus, ch: DirectedChannel) -> bool {
-        self.is_channel_faulty(torus, ch)
+    fn channel_blocked(&self, net: &Network, ch: DirectedChannel) -> bool {
+        self.is_channel_faulty(net, ch)
     }
 }
 
@@ -145,8 +157,8 @@ mod tests {
     use super::*;
     use torus_topology::HealthyGraph;
 
-    fn torus8x8() -> Torus {
-        Torus::new(8, 2).unwrap()
+    fn torus8x8() -> Network {
+        Network::torus(8, 2).unwrap()
     }
 
     #[test]
@@ -188,7 +200,7 @@ mod tests {
         let mut f = FaultSet::new();
         let a = t.node_from_digits(&[2, 2]).unwrap();
         f.fail_link(&t, a, 0, Direction::Plus);
-        let b = t.neighbor(a, 0, Direction::Plus);
+        let b = t.neighbor(a, 0, Direction::Plus).unwrap();
         assert!(!f.is_node_faulty(a));
         assert!(!f.is_node_faulty(b));
         assert!(f.is_channel_faulty(&t, DirectedChannel::new(a, 0, Direction::Plus)));
@@ -200,6 +212,23 @@ mod tests {
     }
 
     #[test]
+    fn missing_mesh_channels_are_unusable_but_not_link_faults() {
+        let m = Network::mesh(4, 2).unwrap();
+        let mut f = FaultSet::new();
+        let corner = m.node_from_digits(&[0, 0]).unwrap();
+        // The outward channel of an edge node does not exist: unusable, and
+        // failing it is a no-op.
+        assert!(!f.output_usable(&m, corner, 0, Direction::Minus));
+        f.fail_link(&m, corner, 0, Direction::Minus);
+        assert!(f.is_empty());
+        assert_eq!(f.num_faulty_links(), 0);
+        // An existing edge link can be failed normally.
+        f.fail_link(&m, corner, 0, Direction::Plus);
+        assert_eq!(f.num_faulty_links(), 1);
+        assert!(!f.output_usable(&m, corner, 0, Direction::Plus));
+    }
+
+    #[test]
     fn connectivity_check_via_node_filter() {
         // Blocking a full column of a 4x1 ring disconnects it; on a 2-D torus
         // a single faulty node never disconnects.
@@ -208,7 +237,7 @@ mod tests {
         f.fail_node(t.node_from_digits(&[4, 4]).unwrap());
         assert!(f.preserves_connectivity(&t));
 
-        let ring = Torus::new(4, 1).unwrap();
+        let ring = Network::torus(4, 1).unwrap();
         let mut f = FaultSet::new();
         f.fail_node(ring.node_from_digits(&[0]).unwrap());
         f.fail_node(ring.node_from_digits(&[2]).unwrap());

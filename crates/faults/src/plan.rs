@@ -4,14 +4,49 @@
 //! of one experiment: either a number of uniformly random node faults (Figs.
 //! 3, 4, 6, 7), an explicit shaped fault region (Fig. 5), an explicit list of
 //! faulty nodes, or no faults at all. The experiment harness resolves a
-//! scenario into a concrete [`FaultSet`] with [`FaultScenario::realize`].
+//! scenario into a concrete [`FaultSet`] with [`FaultScenario::realize`],
+//! which validates region placements against the network's per-dimension
+//! radices and wrap flags.
 
 use crate::model::FaultSet;
 use crate::random::{random_node_faults, RandomFaultError};
-use crate::regions::{FaultRegion, RegionShape};
+use crate::regions::{FaultRegion, RegionPlacementError, RegionShape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-use torus_topology::{Coord, NodeId, Torus};
+use std::fmt;
+use torus_topology::{Coord, Network, NodeId};
+
+/// Errors produced when resolving a [`FaultScenario`] on a concrete network.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultScenarioError {
+    /// Random node-fault injection failed.
+    Random(RandomFaultError),
+    /// A shaped region does not fit the network.
+    Region(RegionPlacementError),
+}
+
+impl fmt::Display for FaultScenarioError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultScenarioError::Random(e) => write!(f, "{e}"),
+            FaultScenarioError::Region(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FaultScenarioError {}
+
+impl From<RandomFaultError> for FaultScenarioError {
+    fn from(e: RandomFaultError) -> Self {
+        FaultScenarioError::Random(e)
+    }
+}
+
+impl From<RegionPlacementError> for FaultScenarioError {
+    fn from(e: RegionPlacementError) -> Self {
+        FaultScenarioError::Region(e)
+    }
+}
 
 /// A declarative fault configuration.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -42,13 +77,14 @@ pub enum FaultScenario {
 
 impl FaultScenario {
     /// A shaped region placed in the (0, 1) plane roughly at the centre of the
-    /// network, the placement used for the Fig. 5 experiments.
-    pub fn centered_region(torus: &Torus, shape: RegionShape) -> Self {
+    /// network, the placement used for the Fig. 5 experiments. Centring keeps
+    /// the region inside the extent of both plane dimensions, so the same
+    /// scenario is valid on tori and meshes alike (as long as the shape fits).
+    pub fn centered_region(net: &Network, shape: RegionShape) -> Self {
         let (w, h) = shape.bounding_box();
-        let k = torus.radix();
-        let ax = (k.saturating_sub(w)) / 2;
-        let ay = (k.saturating_sub(h)) / 2;
-        let mut anchor = vec![0u16; torus.dims()];
+        let ax = net.radix(0).saturating_sub(w) / 2;
+        let ay = net.radix(1).saturating_sub(h) / 2;
+        let mut anchor = vec![0u16; net.dims()];
         anchor[0] = ax;
         anchor[1] = ay;
         FaultScenario::Region {
@@ -81,18 +117,20 @@ impl FaultScenario {
         }
     }
 
-    /// Resolves the scenario into a concrete [`FaultSet`] on the given torus.
+    /// Resolves the scenario into a concrete [`FaultSet`] on the given
+    /// network.
     ///
     /// Randomised scenarios draw from `rng`, so experiments are reproducible
-    /// from the seed recorded in their configuration.
+    /// from the seed recorded in their configuration. Region scenarios are
+    /// validated against the network's per-dimension bounds.
     pub fn realize<R: Rng + ?Sized>(
         &self,
-        torus: &Torus,
+        net: &Network,
         rng: &mut R,
-    ) -> Result<FaultSet, RandomFaultError> {
+    ) -> Result<FaultSet, FaultScenarioError> {
         match self {
             FaultScenario::None => Ok(FaultSet::new()),
-            FaultScenario::RandomNodes { count } => random_node_faults(torus, *count, rng),
+            FaultScenario::RandomNodes { count } => Ok(random_node_faults(net, *count, rng)?),
             FaultScenario::Region {
                 shape,
                 anchor,
@@ -103,7 +141,7 @@ impl FaultScenario {
                     anchor: Coord::new(anchor.clone()),
                     plane: *plane,
                 };
-                Ok(region.to_fault_set(torus))
+                Ok(region.to_fault_set(net)?)
             }
             FaultScenario::ExplicitNodes { nodes } => {
                 let mut f = FaultSet::new();
@@ -122,7 +160,7 @@ mod tests {
 
     #[test]
     fn none_scenario() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let f = FaultScenario::None.realize(&t, &mut rng).unwrap();
         assert!(f.is_empty());
@@ -132,7 +170,7 @@ mod tests {
 
     #[test]
     fn random_scenario_matches_count() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let s = FaultScenario::RandomNodes { count: 5 };
         let mut rng = StdRng::seed_from_u64(9);
         let f = s.realize(&t, &mut rng).unwrap();
@@ -143,7 +181,7 @@ mod tests {
 
     #[test]
     fn centered_region_scenario() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let s = FaultScenario::centered_region(&t, RegionShape::paper_u_8());
         assert_eq!(s.fault_count(), 8);
         assert!(s.label().starts_with("U-shaped"));
@@ -154,8 +192,34 @@ mod tests {
     }
 
     #[test]
+    fn centered_region_fits_meshes_and_mixed_shapes() {
+        // Centring keeps the region inside the grid, so the same scenario
+        // realizes on a mesh without silent wrapping.
+        let m = Network::mesh(8, 2).unwrap();
+        let s = FaultScenario::centered_region(&m, RegionShape::paper_u_8());
+        let mut rng = StdRng::seed_from_u64(0);
+        let f = s.realize(&m, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 8);
+
+        // A region too wide for an open dimension is rejected with a region
+        // placement error rather than wrapped.
+        let s = FaultScenario::Region {
+            shape: RegionShape::Rect {
+                width: 3,
+                height: 3,
+            },
+            anchor: vec![6, 6],
+            plane: (0, 1),
+        };
+        assert!(matches!(
+            s.realize(&m, &mut rng).unwrap_err(),
+            FaultScenarioError::Region(RegionPlacementError::ExceedsExtent { .. })
+        ));
+    }
+
+    #[test]
     fn explicit_scenario() {
-        let t = Torus::new(4, 2).unwrap();
+        let t = Network::torus(4, 2).unwrap();
         let s = FaultScenario::ExplicitNodes {
             nodes: vec![3, 7, 11],
         };
@@ -167,7 +231,7 @@ mod tests {
 
     #[test]
     fn region_scenario_in_3d_plane() {
-        let t = Torus::new(8, 3).unwrap();
+        let t = Network::torus(8, 3).unwrap();
         let s = FaultScenario::Region {
             shape: RegionShape::Rect {
                 width: 2,

@@ -11,7 +11,7 @@ use crate::model::FaultSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::fmt;
-use torus_topology::{NodeId, Torus};
+use torus_topology::{Network, NodeId};
 
 /// Errors produced by random fault injection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,28 +65,28 @@ const MAX_ATTEMPTS: usize = 1000;
 /// Fails if `nf` is not smaller than the number of nodes, or if no
 /// connectivity-preserving placement is found within an internal retry budget
 /// (practically impossible for the fault densities used in the paper — at
-/// most 20 faults in a 64..512-node torus).
+/// most 20 faults in a 64..512-node net).
 pub fn random_node_faults<R: Rng + ?Sized>(
-    torus: &Torus,
+    net: &Network,
     nf: usize,
     rng: &mut R,
 ) -> Result<FaultSet, RandomFaultError> {
     if nf == 0 {
         return Ok(FaultSet::new());
     }
-    let n = torus.num_nodes();
+    let n = net.num_nodes();
     if nf >= n {
         return Err(RandomFaultError::TooManyFaults {
             requested: nf,
             nodes: n,
         });
     }
-    let mut ids: Vec<NodeId> = torus.nodes().collect();
+    let mut ids: Vec<NodeId> = net.nodes().collect();
     for attempt in 1..=MAX_ATTEMPTS {
         ids.shuffle(rng);
         let mut f = FaultSet::new();
         f.fail_nodes(ids[..nf].iter().copied());
-        if f.preserves_connectivity(torus) {
+        if f.preserves_connectivity(net) {
             return Ok(f);
         }
         if attempt == MAX_ATTEMPTS {
@@ -103,13 +103,13 @@ pub fn random_node_faults<R: Rng + ?Sized>(
 /// the Fig. 6 experiment, which averages over several random placements per
 /// fault count to make results independent of relative fault positions).
 pub fn random_fault_ensembles<R: Rng + ?Sized>(
-    torus: &Torus,
+    net: &Network,
     nf: usize,
     count: usize,
     rng: &mut R,
 ) -> Result<Vec<FaultSet>, RandomFaultError> {
     (0..count)
-        .map(|_| random_node_faults(torus, nf, rng))
+        .map(|_| random_node_faults(net, nf, rng))
         .collect()
 }
 
@@ -121,7 +121,7 @@ mod tests {
 
     #[test]
     fn zero_faults_is_empty() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
         let f = random_node_faults(&t, 0, &mut rng).unwrap();
         assert!(f.is_empty());
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn requested_count_is_honoured_and_connected() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(42);
         for nf in [1, 3, 5, 10, 20] {
             let f = random_node_faults(&t, nf, &mut rng).unwrap();
@@ -140,7 +140,7 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let t = Torus::new(8, 3).unwrap();
+        let t = Network::torus(8, 3).unwrap();
         let a = random_node_faults(&t, 12, &mut StdRng::seed_from_u64(7)).unwrap();
         let b = random_node_faults(&t, 12, &mut StdRng::seed_from_u64(7)).unwrap();
         assert_eq!(a.faulty_nodes_sorted(), b.faulty_nodes_sorted());
@@ -150,7 +150,7 @@ mod tests {
 
     #[test]
     fn too_many_faults_is_an_error() {
-        let t = Torus::new(4, 1).unwrap();
+        let t = Network::torus(4, 1).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         assert!(matches!(
             random_node_faults(&t, 4, &mut rng),
@@ -164,7 +164,7 @@ mod tests {
 
     #[test]
     fn ensembles_produce_independent_placements() {
-        let t = Torus::new(16, 2).unwrap();
+        let t = Network::torus(16, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(11);
         let ensembles = random_fault_ensembles(&t, 6, 5, &mut rng).unwrap();
         assert_eq!(ensembles.len(), 5);

@@ -7,12 +7,16 @@
 //! around and therefore cost more latency (Fig. 5).
 //!
 //! Shapes are described as sets of cells in a two-dimensional plane of the
-//! torus; [`FaultRegion`] anchors a shape at a coordinate and maps the cells
-//! onto concrete nodes (with wrap-around).
+//! network; [`FaultRegion`] anchors a shape at a coordinate and maps the cells
+//! onto concrete nodes. Placement is validated against the per-dimension
+//! radices: a region may wrap around a *wrapped* dimension, but a shape whose
+//! bounding box exceeds a dimension's extent — or overhangs the edge of an
+//! open (mesh) dimension — is rejected instead of being wrapped silently.
 
 use crate::model::FaultSet;
 use serde::{Deserialize, Serialize};
-use torus_topology::{Coord, NodeId, Torus, TorusError};
+use std::fmt;
+use torus_topology::{Coord, Network, NetworkError, NodeId};
 
 /// A parametric 2-D fault-region shape.
 ///
@@ -251,61 +255,179 @@ impl RegionShape {
     }
 }
 
-/// A fault-region shape placed onto a torus: anchored at a coordinate, lying
-/// in the plane spanned by two dimensions.
+/// Errors produced when validating the placement of a [`FaultRegion`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionPlacementError {
+    /// A plane dimension index is outside the network's dimensionality.
+    PlaneDimOutOfRange {
+        /// The offending dimension index.
+        dim: usize,
+        /// The network's dimensionality.
+        dims: usize,
+    },
+    /// The two plane dimensions coincide.
+    DegeneratePlane(usize),
+    /// The anchor coordinate is not a valid node address.
+    Anchor(NetworkError),
+    /// The shape's bounding box does not fit the dimension: it is wider than
+    /// the dimension's whole extent, or it overhangs the edge of an open
+    /// (non-wrapping) dimension. Regions are rejected instead of being
+    /// wrapped or truncated silently.
+    ExceedsExtent {
+        /// The dimension the shape does not fit in.
+        dim: usize,
+        /// Radix (extent) of that dimension.
+        extent: u16,
+        /// First position the shape would need beyond the last valid one
+        /// (`anchor + bounding_box` for open dims, `bounding_box` for rings).
+        /// Wider than the radix type so the sum cannot overflow on large
+        /// open dimensions.
+        needed: u32,
+    },
+}
+
+impl fmt::Display for RegionPlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegionPlacementError::PlaneDimOutOfRange { dim, dims } => {
+                write!(
+                    f,
+                    "plane dimension {dim} out of range for a {dims}-D network"
+                )
+            }
+            RegionPlacementError::DegeneratePlane(dim) => {
+                write!(f, "region plane uses dimension {dim} twice")
+            }
+            RegionPlacementError::Anchor(e) => write!(f, "invalid region anchor: {e}"),
+            RegionPlacementError::ExceedsExtent {
+                dim,
+                extent,
+                needed,
+            } => write!(
+                f,
+                "region needs {needed} positions in dimension {dim} but only {extent} exist \
+                 (regions are not wrapped silently)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegionPlacementError {}
+
+impl From<NetworkError> for RegionPlacementError {
+    fn from(e: NetworkError) -> Self {
+        RegionPlacementError::Anchor(e)
+    }
+}
+
+/// A fault-region shape placed onto a network: anchored at a coordinate,
+/// lying in the plane spanned by two dimensions.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FaultRegion {
     /// The shape of the region.
     pub shape: RegionShape,
     /// Coordinate of the shape's `(0, 0)` cell.
     pub anchor: Coord,
-    /// The two torus dimensions spanning the plane of the region
+    /// The two network dimensions spanning the plane of the region
     /// (`plane.0` carries the shape's x offsets, `plane.1` the y offsets).
     pub plane: (usize, usize),
 }
 
 impl FaultRegion {
     /// Places `shape` in the plane of dimensions `(0, 1)` anchored at the
-    /// given digits.
+    /// given digits, validating the placement against the network.
     pub fn in_default_plane(
-        torus: &Torus,
+        net: &Network,
         shape: RegionShape,
         anchor: &[u16],
-    ) -> Result<Self, TorusError> {
-        // Validate the anchor against the torus.
-        let coord = Coord::new(anchor.to_vec());
-        torus.node(&coord)?;
-        Ok(FaultRegion {
+    ) -> Result<Self, RegionPlacementError> {
+        let region = FaultRegion {
             shape,
-            anchor: coord,
+            anchor: Coord::new(anchor.to_vec()),
             plane: (0, 1),
-        })
+        };
+        region.validate(net)?;
+        Ok(region)
     }
 
-    /// The concrete nodes covered by the region on the given torus
-    /// (wrapping around the plane's rings if the shape overhangs an edge).
-    pub fn nodes(&self, torus: &Torus) -> Vec<NodeId> {
-        let k = torus.radix();
+    /// Validates the placement against the network's per-dimension radices.
+    ///
+    /// A region is valid when its plane dimensions exist and are distinct,
+    /// its anchor is a valid node address, and its bounding box fits each
+    /// plane dimension: on a wrapped dimension the shape may overhang the
+    /// edge (it wraps around the ring) but must not be wider than the whole
+    /// ring; on an open dimension `anchor + bounding_box` must stay within
+    /// the extent. Ill-fitting regions are rejected instead of being wrapped
+    /// silently.
+    pub fn validate(&self, net: &Network) -> Result<(), RegionPlacementError> {
+        let dims = net.dims();
+        for dim in [self.plane.0, self.plane.1] {
+            if dim >= dims {
+                return Err(RegionPlacementError::PlaneDimOutOfRange { dim, dims });
+            }
+        }
+        if self.plane.0 == self.plane.1 {
+            return Err(RegionPlacementError::DegeneratePlane(self.plane.0));
+        }
+        net.node(&self.anchor)?;
+        let (w, h) = self.shape.bounding_box();
+        for (dim, span) in [(self.plane.0, w), (self.plane.1, h)] {
+            let extent = net.radix(dim);
+            if span > extent {
+                return Err(RegionPlacementError::ExceedsExtent {
+                    dim,
+                    extent,
+                    needed: span as u32,
+                });
+            }
+            if !net.wraps(dim) {
+                // Widen before adding: `anchor + span` can exceed u16::MAX on
+                // a large open dimension, which would silently re-enable the
+                // wrapping this check exists to reject.
+                let needed = self.anchor.get(dim) as u32 + span as u32;
+                if needed > extent as u32 {
+                    return Err(RegionPlacementError::ExceedsExtent {
+                        dim,
+                        extent,
+                        needed,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The concrete nodes covered by the region on the given network
+    /// (wrapping around a ring when the shape overhangs the edge of a
+    /// wrapped dimension).
+    ///
+    /// Call [`FaultRegion::validate`] first; a region that overhangs an open
+    /// dimension has no sensible node set (this method would wrap it, which
+    /// `validate` exists to reject).
+    pub fn nodes(&self, net: &Network) -> Vec<NodeId> {
+        debug_assert!(self.validate(net).is_ok(), "unvalidated region placement");
         let (dx, dy) = self.plane;
+        let (kx, ky) = (net.radix(dx), net.radix(dy));
         self.shape
             .cells()
             .into_iter()
             .map(|(x, y)| {
                 let mut c = self.anchor.clone();
-                c.set(dx, (self.anchor.get(dx) + x) % k);
-                c.set(dy, (self.anchor.get(dy) + y) % k);
-                torus
-                    .node(&c)
+                c.set(dx, (self.anchor.get(dx) + x) % kx);
+                c.set(dy, (self.anchor.get(dy) + y) % ky);
+                net.node(&c)
                     .expect("region cell wraps onto a valid coordinate")
             })
             .collect()
     }
 
-    /// Builds a [`FaultSet`] failing every node covered by the region.
-    pub fn to_fault_set(&self, torus: &Torus) -> FaultSet {
+    /// Builds a [`FaultSet`] failing every node covered by the region,
+    /// validating the placement first.
+    pub fn to_fault_set(&self, net: &Network) -> Result<FaultSet, RegionPlacementError> {
+        self.validate(net)?;
         let mut f = FaultSet::new();
-        f.fail_nodes(self.nodes(torus));
-        f
+        f.fail_nodes(self.nodes(net));
+        Ok(f)
     }
 
     /// Number of faulty nodes.
@@ -363,7 +485,7 @@ mod tests {
 
     #[test]
     fn region_maps_to_distinct_nodes() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         for (shape, _) in RegionShape::paper_fig5_regions() {
             let region = FaultRegion::in_default_plane(&t, shape, &[1, 1]).unwrap();
             let nodes = region.nodes(&t);
@@ -375,8 +497,8 @@ mod tests {
     }
 
     #[test]
-    fn region_wraps_around_edges() {
-        let t = Torus::new(8, 2).unwrap();
+    fn region_wraps_around_torus_edges() {
+        let t = Network::torus(8, 2).unwrap();
         let region = FaultRegion::in_default_plane(
             &t,
             RegionShape::Rect {
@@ -398,8 +520,91 @@ mod tests {
     }
 
     #[test]
+    fn region_overhanging_a_mesh_edge_is_rejected() {
+        // The same placement that wraps on a torus is rejected on a mesh:
+        // open dimensions have no edge to wrap around.
+        let m = Network::mesh(8, 2).unwrap();
+        let shape = RegionShape::Rect {
+            width: 3,
+            height: 2,
+        };
+        assert_eq!(
+            FaultRegion::in_default_plane(&m, shape, &[6, 7]).unwrap_err(),
+            RegionPlacementError::ExceedsExtent {
+                dim: 0,
+                extent: 8,
+                needed: 9
+            }
+        );
+        // Anchored away from the edge the same shape is fine.
+        let region = FaultRegion::in_default_plane(&m, shape, &[5, 6]).unwrap();
+        assert_eq!(region.nodes(&m).len(), 6);
+    }
+
+    #[test]
+    fn region_wider_than_the_dimension_is_rejected_even_on_rings() {
+        let t = Network::torus(4, 2).unwrap();
+        // A 5-node bar cannot fit a 4-ring without self-overlap.
+        let err =
+            FaultRegion::in_default_plane(&t, RegionShape::Bar { length: 5 }, &[0, 0]).unwrap_err();
+        assert_eq!(
+            err,
+            RegionPlacementError::ExceedsExtent {
+                dim: 1,
+                extent: 4,
+                needed: 5
+            }
+        );
+        assert!(format!("{err}").contains("not wrapped silently"));
+    }
+
+    #[test]
+    fn region_validation_on_mixed_radix_networks() {
+        // 8x8 wrapped plane with an open radix-4 third dimension.
+        let net = Network::new(vec![8, 8, 4], vec![true, true, false]).unwrap();
+        let shape = RegionShape::Rect {
+            width: 3,
+            height: 3,
+        };
+        // In the wrapped (0, 1) plane the shape may overhang.
+        let region = FaultRegion {
+            shape,
+            anchor: Coord::new(vec![6, 6, 1]),
+            plane: (0, 1),
+        };
+        assert!(region.validate(&net).is_ok());
+        // In the (1, 2) plane dimension 2 is open with radix 4: anchored at
+        // position 2 the 3-wide shape overhangs (2 + 3 > 4).
+        let region = FaultRegion {
+            shape,
+            anchor: Coord::new(vec![0, 0, 2]),
+            plane: (1, 2),
+        };
+        assert_eq!(
+            region.validate(&net).unwrap_err(),
+            RegionPlacementError::ExceedsExtent {
+                dim: 2,
+                extent: 4,
+                needed: 5
+            }
+        );
+        // Degenerate and out-of-range planes are rejected.
+        let mut bad = region.clone();
+        bad.plane = (1, 1);
+        assert_eq!(
+            bad.validate(&net).unwrap_err(),
+            RegionPlacementError::DegeneratePlane(1)
+        );
+        bad.plane = (1, 3);
+        assert_eq!(
+            bad.validate(&net).unwrap_err(),
+            RegionPlacementError::PlaneDimOutOfRange { dim: 3, dims: 3 }
+        );
+    }
+
+    #[test]
     fn region_in_higher_dimension_plane() {
-        let t = Torus::new(8, 3).unwrap();
+        let t = Network::torus(8, 3).unwrap();
         let region = FaultRegion {
             shape: RegionShape::Rect {
                 width: 2,
@@ -408,6 +613,7 @@ mod tests {
             anchor: Coord::new(vec![1, 2, 3]),
             plane: (1, 2),
         };
+        assert!(region.validate(&t).is_ok());
         let nodes = region.nodes(&t);
         assert_eq!(nodes.len(), 4);
         // dimension 0 never changes
@@ -416,9 +622,9 @@ mod tests {
 
     #[test]
     fn to_fault_set_and_connectivity() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let region = FaultRegion::in_default_plane(&t, RegionShape::paper_u_8(), &[2, 2]).unwrap();
-        let f = region.to_fault_set(&t);
+        let f = region.to_fault_set(&t).unwrap();
         assert_eq!(f.num_faulty_nodes(), 8);
         assert!(f.preserves_connectivity(&t));
     }
@@ -434,9 +640,15 @@ mod tests {
 
     #[test]
     fn anchor_validation() {
-        let t = Torus::new(8, 2).unwrap();
-        assert!(FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[9, 0]).is_err());
-        assert!(FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[0]).is_err());
+        let t = Network::torus(8, 2).unwrap();
+        assert!(matches!(
+            FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[9, 0]).unwrap_err(),
+            RegionPlacementError::Anchor(_)
+        ));
+        assert!(matches!(
+            FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[0]).unwrap_err(),
+            RegionPlacementError::Anchor(_)
+        ));
     }
 
     #[test]

@@ -7,23 +7,29 @@
 //! message can always fall back to the escape sub-network, whose extended
 //! channel-dependency graph is acyclic, the whole protocol is deadlock free
 //! while permitting full minimal adaptivity.
+//!
+//! The escape layer is wrap-aware: wrapped dimensions reserve two escape
+//! channels (one per dateline class) while a pure mesh needs only one, which
+//! leaves one more channel in the adaptive pool.
 
 use crate::decision::OutputCandidate;
 use crate::ecube::{ecube_output, ecube_vc_class};
 use crate::header::RouteHeader;
-use torus_topology::{DatelinePolicy, Direction, NodeId, Torus};
+use torus_topology::{DatelinePolicy, Direction, Network, NodeId};
 
 /// All minimal (productive) outputs towards the header's current target:
-/// one `(dim, dir)` pair per dimension with a non-zero offset.
+/// one `(dim, dir)` pair per dimension with a non-zero offset. Minimal hops
+/// never leave an open dimension's extent, so every productive output is an
+/// existing channel on meshes too.
 pub fn productive_outputs(
-    torus: &Torus,
+    net: &Network,
     header: &RouteHeader,
     current: NodeId,
 ) -> Vec<(usize, Direction)> {
     let target = header.target();
-    (0..torus.dims())
+    (0..net.dims())
         .filter_map(|dim| {
-            let off = torus.offset(current, target, dim);
+            let off = net.offset(current, target, dim);
             Direction::from_offset(off).map(|dir| (dim, dir))
         })
         .collect()
@@ -38,7 +44,7 @@ pub fn productive_outputs(
 /// The `healthy` predicate decides whether the output channel `(dim, dir)` of
 /// `current` is usable; candidates whose channel is faulty are omitted.
 pub fn adaptive_candidates<F>(
-    torus: &Torus,
+    net: &Network,
     header: &RouteHeader,
     current: NodeId,
     v: usize,
@@ -47,17 +53,17 @@ pub fn adaptive_candidates<F>(
 where
     F: Fn(usize, Direction) -> bool,
 {
-    let policy = DatelinePolicy::new(torus);
+    let policy = DatelinePolicy::new(net);
     let adaptive_vcs: Vec<usize> = policy.adaptive_range(v).collect();
     let mut candidates = Vec::new();
-    for (dim, dir) in productive_outputs(torus, header, current) {
+    for (dim, dir) in productive_outputs(net, header, current) {
         if healthy(dim, dir) {
             candidates.push(OutputCandidate::new(dim, dir, adaptive_vcs.clone()));
         }
     }
-    if let Some((dim, dir)) = ecube_output(torus, header, current) {
+    if let Some((dim, dir)) = ecube_output(net, header, current) {
         if healthy(dim, dir) {
-            let escape_vc = policy.escape_vc(ecube_vc_class(header, dim));
+            let escape_vc = policy.escape_vc(dim, ecube_vc_class(header, dim));
             candidates.push(OutputCandidate::escape(dim, dir, escape_vc));
         }
     }
@@ -69,8 +75,8 @@ mod tests {
     use super::*;
     use crate::header::RoutingFlavor;
 
-    fn torus() -> Torus {
-        Torus::new(8, 3).unwrap()
+    fn torus() -> Network {
+        Network::torus(8, 3).unwrap()
     }
 
     #[test]
@@ -94,6 +100,21 @@ mod tests {
     }
 
     #[test]
+    fn mesh_productive_outputs_always_exist() {
+        let m = Network::mesh(4, 2).unwrap();
+        let corner = m.node_from_digits(&[0, 0]).unwrap();
+        let far = m.node_from_digits(&[3, 3]).unwrap();
+        let h = RouteHeader::new(&m, corner, far, RoutingFlavor::Adaptive);
+        for (dim, dir) in productive_outputs(&m, &h, corner) {
+            assert!(m.has_channel(corner, dim, dir));
+        }
+        let h = RouteHeader::new(&m, far, corner, RoutingFlavor::Adaptive);
+        for (dim, dir) in productive_outputs(&m, &h, far) {
+            assert!(m.has_channel(far, dim, dir));
+        }
+    }
+
+    #[test]
     fn candidates_include_adaptive_and_escape() {
         let t = torus();
         let src = t.node_from_digits(&[0, 0, 0]).unwrap();
@@ -110,6 +131,25 @@ mod tests {
         for c in cands.iter().filter(|c| !c.is_escape) {
             assert_eq!(c.vcs, vec![2, 3, 4, 5]);
         }
+    }
+
+    #[test]
+    fn mesh_reserves_a_single_escape_channel() {
+        // A pure mesh needs only one escape class, so with the same v the
+        // adaptive pool is one channel larger than on a torus.
+        let m = Network::mesh(8, 2).unwrap();
+        let src = m.node_from_digits(&[0, 0]).unwrap();
+        let dest = m.node_from_digits(&[3, 2]).unwrap();
+        let h = RouteHeader::new(&m, src, dest, RoutingFlavor::Adaptive);
+        let cands = adaptive_candidates(&m, &h, src, 6, |_, _| true);
+        let escape = cands.iter().find(|c| c.is_escape).unwrap();
+        assert_eq!(escape.vcs, vec![0]);
+        for c in cands.iter().filter(|c| !c.is_escape) {
+            assert_eq!(c.vcs, vec![1, 2, 3, 4, 5]);
+        }
+        // Two VCs suffice for Duato's protocol on a mesh.
+        let cands = adaptive_candidates(&m, &h, src, 2, |_, _| true);
+        assert!(!cands.is_empty());
     }
 
     #[test]

@@ -8,12 +8,14 @@
 //! explicitly, which the test-suite exercises for representative network
 //! sizes. It can also build the *naive* dependency graph that ignores the
 //! dateline virtual-channel classes, demonstrating that torus wrap-around
-//! links do introduce cycles without them.
+//! links do introduce cycles without them — and, conversely, that on meshes
+//! (no wrapped dimension) the naive single-class graph is already acyclic,
+//! i.e. the dateline VC is provably unnecessary there.
 
 use crate::ecube::ecube_output;
 use crate::header::{RouteHeader, RoutingFlavor};
 use std::collections::HashSet;
-use torus_topology::{DirectedChannel, Torus, VcClass};
+use torus_topology::{DirectedChannel, Network, VcClass};
 
 /// A dependency graph over virtual-channel resources.
 #[derive(Clone, Debug)]
@@ -95,56 +97,62 @@ impl DependencyGraph {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum VcModel {
     /// Each physical channel contributes two resources, one per dateline
-    /// class — the scheme actually used by the deterministic / escape layer.
+    /// class — the scheme actually used by the deterministic / escape layer
+    /// on networks with wrapped dimensions.
     DatelineClasses,
     /// Each physical channel is a single resource (no virtual-channel
     /// classes). On a torus this graph is cyclic, which is exactly why the
-    /// dateline classes are needed.
+    /// dateline classes are needed; on a mesh it is acyclic — one VC per
+    /// class suffices when no dimension wraps.
     SingleClass,
 }
 
-fn resource_id(torus: &Torus, model: VcModel, ch: DirectedChannel, class: VcClass) -> usize {
+fn resource_id(net: &Network, model: VcModel, ch: DirectedChannel, class: VcClass) -> usize {
     match model {
-        VcModel::DatelineClasses => torus.channel_id(ch).index() * 2 + class.index(),
-        VcModel::SingleClass => torus.channel_id(ch).index(),
+        VcModel::DatelineClasses => net.channel_id(ch).index() * 2 + class.index(),
+        VcModel::SingleClass => net.channel_id(ch).index(),
     }
 }
 
-fn num_resources(torus: &Torus, model: VcModel) -> usize {
+/// Resource vertices are allocated per channel *slot* of the dense id space,
+/// so missing mesh-edge channels simply leave isolated (edge-free) vertices.
+fn num_resources(net: &Network, model: VcModel) -> usize {
     match model {
-        VcModel::DatelineClasses => torus.num_channels() * 2,
-        VcModel::SingleClass => torus.num_channels(),
+        VcModel::DatelineClasses => net.channel_slots() * 2,
+        VcModel::SingleClass => net.channel_slots(),
     }
 }
 
 /// Builds the channel dependency graph of dimension-order routing on the
-/// fault-free torus, walking every ordered (source, destination) pair and
+/// fault-free network, walking every ordered (source, destination) pair and
 /// recording the successive virtual-channel resources a message holds.
-pub fn build_ecube_cdg(torus: &Torus, model: VcModel) -> DependencyGraph {
-    let mut graph = DependencyGraph::new(num_resources(torus, model));
+pub fn build_ecube_cdg(net: &Network, model: VcModel) -> DependencyGraph {
+    let mut graph = DependencyGraph::new(num_resources(net, model));
     let mut seen = HashSet::new();
-    for src in torus.nodes() {
-        for dest in torus.nodes() {
+    for src in net.nodes() {
+        for dest in net.nodes() {
             if src == dest {
                 continue;
             }
-            let mut header = RouteHeader::new(torus, src, dest, RoutingFlavor::Deterministic);
+            let mut header = RouteHeader::new(net, src, dest, RoutingFlavor::Deterministic);
             let mut current = src;
             let mut previous: Option<usize> = None;
-            while let Some((dim, dir)) = ecube_output(torus, &header, current) {
+            while let Some((dim, dir)) = ecube_output(net, &header, current) {
                 let class = if header.crossed_dateline[dim] {
                     VcClass::AfterDateline
                 } else {
                     VcClass::BeforeDateline
                 };
                 let ch = DirectedChannel::new(current, dim, dir);
-                let resource = resource_id(torus, model, ch, class);
+                let resource = resource_id(net, model, ch, class);
                 if let Some(prev) = previous {
                     graph.add_edge(prev, resource, &mut seen);
                 }
                 previous = Some(resource);
-                header.note_hop(torus, current, dim, dir);
-                current = torus.neighbor(current, dim, dir);
+                header.note_hop(net, current, dim, dir);
+                current = net
+                    .neighbor(current, dim, dir)
+                    .expect("e-cube hop always crosses an existing channel");
             }
         }
     }
@@ -158,7 +166,7 @@ mod tests {
     #[test]
     fn ecube_with_dateline_classes_is_acyclic() {
         for (k, n) in [(4u16, 2u32), (5, 2), (8, 2), (4, 3)] {
-            let t = Torus::new(k, n).unwrap();
+            let t = Network::torus(k, n).unwrap();
             let g = build_ecube_cdg(&t, VcModel::DatelineClasses);
             assert!(g.num_edges() > 0);
             assert!(
@@ -174,7 +182,7 @@ mod tests {
         // channel classes are ignored (k >= 4 so that a ring has at least
         // four channels in each direction).
         for (k, n) in [(4u16, 2u32), (8, 2)] {
-            let t = Torus::new(k, n).unwrap();
+            let t = Network::torus(k, n).unwrap();
             let g = build_ecube_cdg(&t, VcModel::SingleClass);
             assert!(
                 !g.is_acyclic(),
@@ -184,12 +192,54 @@ mod tests {
     }
 
     #[test]
+    fn ecube_on_meshes_is_acyclic_even_without_vc_classes() {
+        // The dateline VC exists solely because of wrap-around links: on a
+        // mesh the single-class (one VC per class) dependency graph is already
+        // acyclic, so deterministic routing needs only one virtual channel.
+        for (k, n) in [(4u16, 2u32), (8, 2), (4, 3)] {
+            let m = Network::mesh(k, n).unwrap();
+            let g = build_ecube_cdg(&m, VcModel::SingleClass);
+            assert!(g.num_edges() > 0);
+            assert!(
+                g.is_acyclic(),
+                "single-class e-cube on a {k}-ary {n}-mesh must be acyclic"
+            );
+        }
+    }
+
+    #[test]
+    fn ecube_on_hypercubes_is_acyclic_without_vc_classes() {
+        for n in [3u32, 4, 5] {
+            let h = Network::hypercube(n).unwrap();
+            let g = build_ecube_cdg(&h, VcModel::SingleClass);
+            assert!(g.num_edges() > 0);
+            assert!(
+                g.is_acyclic(),
+                "single-class e-cube on the {n}-hypercube must be acyclic"
+            );
+        }
+    }
+
+    #[test]
+    fn mixed_radix_networks_stay_acyclic_with_dateline_classes() {
+        // A wrapped 4x4 plane with an open third dimension: the wrapped plane
+        // still needs the dateline classes, and with them the whole mixed
+        // shape is deadlock free.
+        let net = Network::new(vec![4, 4, 3], vec![true, true, false]).unwrap();
+        let g = build_ecube_cdg(&net, VcModel::DatelineClasses);
+        assert!(g.is_acyclic());
+        // Without classes the wrapped plane closes cycles.
+        let naive = build_ecube_cdg(&net, VcModel::SingleClass);
+        assert!(!naive.is_acyclic());
+    }
+
+    #[test]
     fn dependency_graph_counts() {
-        let t = Torus::new(4, 2).unwrap();
+        let t = Network::torus(4, 2).unwrap();
         let g = build_ecube_cdg(&t, VcModel::DatelineClasses);
-        assert_eq!(g.num_vertices(), t.num_channels() * 2);
+        assert_eq!(g.num_vertices(), t.channel_slots() * 2);
         let g1 = build_ecube_cdg(&t, VcModel::SingleClass);
-        assert_eq!(g1.num_vertices(), t.num_channels());
+        assert_eq!(g1.num_vertices(), t.channel_slots());
         assert!(g1.num_edges() <= g.num_edges() * 2);
     }
 
@@ -199,7 +249,7 @@ mod tests {
         // the 2-D cases the other tests cover: SW-Based-nD sends every
         // faulted message over this escape layer.
         for (k, n) in [(4u16, 1u32), (9, 1), (3, 3), (3, 4)] {
-            let t = Torus::new(k, n).unwrap();
+            let t = Network::torus(k, n).unwrap();
             let g = build_ecube_cdg(&t, VcModel::DatelineClasses);
             assert!(g.num_edges() > 0);
             assert!(

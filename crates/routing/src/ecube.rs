@@ -6,22 +6,26 @@
 //! adaptive flavour, extended with the per-dimension *forced direction*
 //! overrides installed by the software layer when it re-routes an absorbed
 //! message the "wrong way" around a ring.
+//!
+//! Virtual-channel classes are wrap-aware: a hop in a wrapped dimension must
+//! use the dateline class the header has earned, while a hop in an open
+//! (mesh) dimension needs no dateline split and may use the whole VC pool.
 
 use crate::header::RouteHeader;
-use torus_topology::{Direction, NodeId, Torus, VcClass};
+use torus_topology::{Direction, Network, NodeId, VcClass};
 
 /// The e-cube output (dimension, direction) for a header at `current`, taking
 /// the header's forced-direction overrides into account.
 ///
 /// Returns `None` when the message is already at its current routing target.
 pub fn ecube_output(
-    torus: &Torus,
+    net: &Network,
     header: &RouteHeader,
     current: NodeId,
 ) -> Option<(usize, Direction)> {
     let target = header.target();
-    for dim in 0..torus.dims() {
-        let off = torus.offset(current, target, dim);
+    for dim in 0..net.dims() {
+        let off = net.offset(current, target, dim);
         if let Some(forced) = header.forced_dir[dim] {
             // A forced dimension is routed (possibly non-minimally) in the
             // stored direction until its offset is nullified.
@@ -40,7 +44,9 @@ pub fn ecube_output(
 }
 
 /// The dateline virtual-channel class the deterministic scheme requires for a
-/// hop in `dim`, given the header's dateline-crossing history.
+/// hop in `dim`, given the header's dateline-crossing history. (Headers never
+/// record a crossing in an open dimension, so the class is always
+/// [`VcClass::BeforeDateline`] there.)
 pub fn ecube_vc_class(header: &RouteHeader, dim: usize) -> VcClass {
     if header.crossed_dateline[dim] {
         VcClass::AfterDateline
@@ -50,12 +56,14 @@ pub fn ecube_vc_class(header: &RouteHeader, dim: usize) -> VcClass {
 }
 
 /// Permitted virtual channels for a deterministic hop in `dim` when `v`
-/// virtual channels are configured per physical channel: the half of the VC
-/// pool assigned to the header's current dateline class.
-pub fn deterministic_vcs(torus: &Torus, header: &RouteHeader, dim: usize, v: usize) -> Vec<usize> {
-    let policy = torus_topology::DatelinePolicy::new(torus);
+/// virtual channels are configured per physical channel: on a wrapped
+/// dimension, the half of the VC pool assigned to the header's current
+/// dateline class; on an open dimension, the whole pool (no dateline exists,
+/// so no split is needed).
+pub fn deterministic_vcs(net: &Network, header: &RouteHeader, dim: usize, v: usize) -> Vec<usize> {
+    let policy = torus_topology::DatelinePolicy::new(net);
     policy
-        .deterministic_range(v, ecube_vc_class(header, dim))
+        .deterministic_range(v, dim, ecube_vc_class(header, dim))
         .collect()
 }
 
@@ -64,8 +72,8 @@ mod tests {
     use super::*;
     use crate::header::RoutingFlavor;
 
-    fn torus() -> Torus {
-        Torus::new(8, 2).unwrap()
+    fn torus() -> Network {
+        Network::torus(8, 2).unwrap()
     }
 
     #[test]
@@ -88,6 +96,17 @@ mod tests {
         let dest = t.node_from_digits(&[6, 0]).unwrap();
         let h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
         assert_eq!(ecube_output(&t, &h, src), Some((0, Direction::Minus)));
+    }
+
+    #[test]
+    fn mesh_routes_straight_without_wrap_shortcut() {
+        let m = Network::mesh(8, 2).unwrap();
+        let src = m.node_from_digits(&[1, 0]).unwrap();
+        let dest = m.node_from_digits(&[6, 0]).unwrap();
+        let h = RouteHeader::new(&m, src, dest, RoutingFlavor::Deterministic);
+        // On the torus the minimal direction is Minus (3 hops over the wrap);
+        // on the mesh the only way is Plus (5 hops).
+        assert_eq!(ecube_output(&m, &h, src), Some((0, Direction::Plus)));
     }
 
     #[test]
@@ -137,5 +156,27 @@ mod tests {
         assert_eq!(deterministic_vcs(&t, &h, 0, 4), vec![2, 3]);
         // other dimensions are unaffected
         assert_eq!(deterministic_vcs(&t, &h, 1, 6), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn mesh_hops_use_the_whole_vc_pool() {
+        let m = Network::mesh(8, 2).unwrap();
+        let src = m.node_from_digits(&[0, 0]).unwrap();
+        let dest = m.node_from_digits(&[5, 0]).unwrap();
+        let h = RouteHeader::new(&m, src, dest, RoutingFlavor::Deterministic);
+        // No dateline split on open dimensions: every VC is permitted, and a
+        // single VC suffices.
+        assert_eq!(deterministic_vcs(&m, &h, 0, 4), vec![0, 1, 2, 3]);
+        assert_eq!(deterministic_vcs(&m, &h, 1, 1), vec![0]);
+        // Mixed shape: the wrapped dimension still splits.
+        let mixed = Network::new(vec![8, 4], vec![true, false]).unwrap();
+        let h = RouteHeader::new(
+            &mixed,
+            mixed.node_from_digits(&[0, 0]).unwrap(),
+            mixed.node_from_digits(&[5, 3]).unwrap(),
+            RoutingFlavor::Deterministic,
+        );
+        assert_eq!(deterministic_vcs(&mixed, &h, 0, 4), vec![0, 1]);
+        assert_eq!(deterministic_vcs(&mixed, &h, 1, 4), vec![0, 1, 2, 3]);
     }
 }

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use torus_topology::{Direction, NodeId, Torus};
+use torus_topology::{Direction, Network, NodeId};
 
 /// The two flavours of Software-Based routing evaluated in the paper.
 ///
@@ -72,8 +72,8 @@ pub struct RouteHeader {
 
 impl RouteHeader {
     /// Creates the header of a freshly generated message.
-    pub fn new(torus: &Torus, source: NodeId, dest: NodeId, flavor: RoutingFlavor) -> Self {
-        let n = torus.dims();
+    pub fn new(net: &Network, source: NodeId, dest: NodeId, flavor: RoutingFlavor) -> Self {
+        let n = net.dims();
         let mut via = VecDeque::with_capacity(2);
         via.push_back(dest);
         RouteHeader {
@@ -85,7 +85,7 @@ impl RouteHeader {
             forced_dir: vec![None; n],
             crossed_dateline: vec![false; n],
             absorptions: 0,
-            misroute_budget: default_misroute_budget(torus),
+            misroute_budget: default_misroute_budget(net),
             hops: 0,
             escorted: false,
         }
@@ -157,16 +157,18 @@ impl RouteHeader {
     /// Records that the header moved one hop along `dim` in direction `dir`
     /// from ring position `from_pos`, updating dateline and forced-direction
     /// bookkeeping.
-    pub fn note_hop(&mut self, torus: &Torus, from: NodeId, dim: usize, dir: Direction) {
+    pub fn note_hop(&mut self, net: &Network, from: NodeId, dim: usize, dir: Direction) {
         self.hops += 1;
-        let from_pos = torus.position(from, dim);
-        if torus.crosses_dateline(from_pos, dir) {
+        let from_pos = net.position(from, dim);
+        if net.crosses_dateline(dim, from_pos, dir) {
             self.crossed_dateline[dim] = true;
         }
         // A forced (non-minimal) dimension is released as soon as the offset
         // towards the current target is nullified.
-        let next = torus.neighbor(from, dim, dir);
-        if self.forced_dir[dim].is_some() && torus.offset(next, self.target(), dim) == 0 {
+        let next = net
+            .neighbor(from, dim, dir)
+            .expect("a recorded hop always crosses an existing channel");
+        if self.forced_dir[dim].is_some() && net.offset(next, self.target(), dim) == 0 {
             self.forced_dir[dim] = None;
         }
     }
@@ -177,16 +179,16 @@ impl RouteHeader {
 /// computes an explicit fault-free path. `4 + 2n` absorptions is far more than
 /// the fault patterns of the paper ever require, yet small enough to bound
 /// worst-case livelock tightly.
-pub fn default_misroute_budget(torus: &Torus) -> u32 {
-    4 + 2 * torus.dims() as u32
+pub fn default_misroute_budget(net: &Network) -> u32 {
+    4 + 2 * net.dims() as u32
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn torus() -> Torus {
-        Torus::new(8, 2).unwrap()
+    fn torus() -> Network {
+        Network::torus(8, 2).unwrap()
     }
 
     #[test]
@@ -274,7 +276,7 @@ mod tests {
         for _ in 0..7 {
             assert!(h.forced_dir[0].is_some());
             h.note_hop(&t, cur, 0, Direction::Minus);
-            cur = t.neighbor(cur, 0, Direction::Minus);
+            cur = t.neighbor(cur, 0, Direction::Minus).unwrap();
         }
         assert_eq!(cur, dest);
         assert!(h.forced_dir[0].is_none());
@@ -293,7 +295,7 @@ mod tests {
 
     #[test]
     fn misroute_budget_scales_with_dimensionality() {
-        assert_eq!(default_misroute_budget(&Torus::new(8, 2).unwrap()), 8);
-        assert_eq!(default_misroute_budget(&Torus::new(8, 3).unwrap()), 10);
+        assert_eq!(default_misroute_budget(&Network::torus(8, 2).unwrap()), 8);
+        assert_eq!(default_misroute_budget(&Network::torus(8, 3).unwrap()), 10);
     }
 }

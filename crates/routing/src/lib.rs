@@ -1,11 +1,13 @@
 //! # torus-routing
 //!
-//! Routing algorithms for wormhole-switched k-ary n-cubes, implementing the
+//! Routing algorithms for wormhole-switched multidimensional networks —
+//! tori, meshes, hypercubes and mixed-radix shapes — implementing the
 //! algorithms evaluated by Safaei et al. (IPDPS 2006):
 //!
 //! * **Dimension-order (e-cube) routing** — the deterministic baseline
-//!   (Dally & Seitz), made deadlock-free on tori with two dateline
-//!   virtual-channel classes per dimension ([`ecube`]).
+//!   (Dally & Seitz), made deadlock-free on wrapped dimensions with two
+//!   dateline virtual-channel classes; open (mesh) dimensions need no split
+//!   and may use the whole VC pool ([`ecube`]).
 //! * **Duato's Protocol (DP) fully adaptive routing** — minimal adaptive
 //!   routing over the "adaptive" virtual channels with an e-cube escape layer
 //!   ([`adaptive`]).
@@ -21,7 +23,9 @@
 //!   deterministic.
 //! * **Channel-dependency-graph analysis** ([`cdg`]) — builds the extended
 //!   CDG of the deterministic / escape layer and verifies acyclicity, the
-//!   deadlock-freedom argument of Section 4 of the paper.
+//!   deadlock-freedom argument of Section 4 of the paper (and, on meshes,
+//!   that a single VC class suffices: the dateline VC is only needed where a
+//!   dimension wraps).
 //!
 //! The simulator drives a [`SwBasedRouting`] instance through the
 //! [`RoutingAlgorithm`] interface: `route` for head-flit routing decisions,

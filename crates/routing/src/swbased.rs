@@ -11,7 +11,10 @@
 //!   message-passing software rewrites the header via
 //!   [`SwBasedRouting::reroute_on_fault`]:
 //!   1. first re-route in the *same dimension, opposite direction* (a
-//!      non-minimal traversal of the ring installed as a forced direction),
+//!      non-minimal traversal of the ring installed as a forced direction) —
+//!      this rule only applies to wrapped dimensions: on an open (mesh)
+//!      dimension the opposite direction leads away from the target and off
+//!      the edge, so the scheme falls through to rule 2 directly,
 //!   2. if another fault is encountered, route in an *orthogonal dimension*
 //!      (an intermediate destination one hop to the side of the fault
 //!      region),
@@ -28,7 +31,7 @@ use crate::ecube::{deterministic_vcs, ecube_output, ecube_vc_class};
 use crate::header::{RouteHeader, RoutingFlavor};
 use serde::{Deserialize, Serialize};
 use torus_faults::FaultSet;
-use torus_topology::{DatelinePolicy, Direction, HealthyGraph, NodeId, Torus};
+use torus_topology::{DatelinePolicy, Direction, HealthyGraph, Network, NodeId};
 
 /// Interface between the router pipeline / software layer and a routing
 /// algorithm.
@@ -36,14 +39,18 @@ pub trait RoutingAlgorithm {
     /// The flavour this algorithm routes with in the absence of faults.
     fn flavor(&self) -> RoutingFlavor;
 
+    /// Minimum number of virtual channels per physical channel this algorithm
+    /// needs for deadlock freedom on the given network.
+    fn min_virtual_channels(&self, net: &Network) -> usize;
+
     /// Builds the header of a newly generated message.
-    fn make_header(&self, torus: &Torus, src: NodeId, dest: NodeId) -> RouteHeader;
+    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader;
 
     /// Routing decision for a header flit of `header` currently at `current`,
     /// with `v` virtual channels per physical channel.
     fn route(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
@@ -53,7 +60,7 @@ pub trait RoutingAlgorithm {
     /// Header bookkeeping when the message advances one hop.
     fn note_hop(
         &self,
-        torus: &Torus,
+        net: &Network,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
@@ -66,7 +73,7 @@ pub trait RoutingAlgorithm {
     /// message must be dropped.
     fn reroute_on_fault(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
@@ -77,7 +84,8 @@ pub trait RoutingAlgorithm {
     fn name(&self) -> String;
 }
 
-/// The Software-Based fault-tolerant routing algorithm for n-dimensional tori.
+/// The Software-Based fault-tolerant routing algorithm for n-dimensional
+/// networks (tori, meshes, hypercubes and mixed-radix shapes).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SwBasedRouting {
     flavor: RoutingFlavor,
@@ -103,42 +111,32 @@ impl SwBasedRouting {
         SwBasedRouting { flavor }
     }
 
-    /// Minimum number of virtual channels per physical channel required by
-    /// this flavour (2 dateline classes for deterministic routing, 2 escape +
-    /// 1 adaptive for Duato's protocol).
-    pub fn min_virtual_channels(&self) -> usize {
-        match self.flavor {
-            RoutingFlavor::Deterministic => 2,
-            RoutingFlavor::Adaptive => 3,
-        }
-    }
-
     /// Deterministic-mode routing step shared by the deterministic flavour and
     /// by faulted messages of the adaptive flavour.
     fn route_deterministic(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         header: &RouteHeader,
         current: NodeId,
         v: usize,
     ) -> RouteDecision {
-        let Some((dim, dir)) = ecube_output(torus, header, current) else {
+        let Some((dim, dir)) = ecube_output(net, header, current) else {
             // No remaining offset towards the current target; `route` already
             // handled target advancement, so this is the final destination.
             return RouteDecision::Deliver;
         };
-        if !faults.output_usable(torus, current, dim, dir) {
+        if !faults.output_usable(net, current, dim, dir) {
             return RouteDecision::Absorb;
         }
         let vcs = if header.flavor == RoutingFlavor::Adaptive {
             // Faulted messages of the adaptive flavour travel on the escape
             // layer (the embedded e-cube network) to preserve Duato's
             // deadlock-freedom argument.
-            let policy = DatelinePolicy::new(torus);
-            vec![policy.escape_vc(ecube_vc_class(header, dim))]
+            let policy = DatelinePolicy::new(net);
+            vec![policy.escape_vc(dim, ecube_vc_class(header, dim))]
         } else {
-            deterministic_vcs(torus, header, dim, v)
+            deterministic_vcs(net, header, dim, v)
         };
         RouteDecision::Forward(vec![OutputCandidate {
             dim,
@@ -152,16 +150,16 @@ impl SwBasedRouting {
     /// (rule 3 / assumption (i)(ii) of the paper).
     fn install_explicit_path(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
     ) -> bool {
-        let graph = HealthyGraph::new(torus, faults);
+        let graph = HealthyGraph::new(net, faults);
         let Some(path) = graph.shortest_path(at, header.final_dest) else {
             return false;
         };
-        let nodes = path.nodes(torus);
+        let nodes = path.nodes(net);
         header.set_via_chain(nodes.into_iter().skip(1));
         header.escorted = true;
         for forced in &mut header.forced_dir {
@@ -194,13 +192,21 @@ impl RoutingAlgorithm for SwBasedRouting {
         self.flavor
     }
 
-    fn make_header(&self, torus: &Torus, src: NodeId, dest: NodeId) -> RouteHeader {
-        RouteHeader::new(torus, src, dest, self.flavor)
+    fn min_virtual_channels(&self, net: &Network) -> usize {
+        let policy = DatelinePolicy::new(net);
+        match self.flavor {
+            RoutingFlavor::Deterministic => policy.min_deterministic_vcs(),
+            RoutingFlavor::Adaptive => policy.min_adaptive_vcs(),
+        }
+    }
+
+    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+        RouteHeader::new(net, src, dest, self.flavor)
     }
 
     fn route(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
@@ -213,14 +219,14 @@ impl RoutingAlgorithm for SwBasedRouting {
             }
         }
         if header.is_deterministic() {
-            return self.route_deterministic(torus, faults, header, current, v);
+            return self.route_deterministic(net, faults, header, current, v);
         }
         // Adaptive flavour, not yet faulted: Duato's Protocol over the healthy
         // productive outputs. The message is absorbed only when *all*
         // productive outputs lead to faults (Section 5: "a message is
         // delivered to current node when all available paths are faulty").
-        let candidates = adaptive_candidates(torus, header, current, v, |dim, dir| {
-            faults.output_usable(torus, current, dim, dir)
+        let candidates = adaptive_candidates(net, header, current, v, |dim, dir| {
+            faults.output_usable(net, current, dim, dir)
         });
         if candidates.is_empty() {
             return RouteDecision::Absorb;
@@ -230,18 +236,18 @@ impl RoutingAlgorithm for SwBasedRouting {
 
     fn note_hop(
         &self,
-        torus: &Torus,
+        net: &Network,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
         dir: Direction,
     ) {
-        header.note_hop(torus, from, dim, dir);
+        header.note_hop(net, from, dim, dir);
     }
 
     fn reroute_on_fault(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
@@ -254,17 +260,20 @@ impl RoutingAlgorithm for SwBasedRouting {
         // again (which can only happen if the fault set changed) — compute an
         // explicit fault-free path.
         if header.escorted || header.misroute_budget == 0 {
-            return self.install_explicit_path(torus, faults, header, at);
+            return self.install_explicit_path(net, faults, header, at);
         }
         header.misroute_budget -= 1;
 
         let (dim, dir) = blocked;
 
-        // Rule 1: re-route in the same dimension, opposite direction.
-        if header.forced_dir[dim].is_none() {
+        // Rule 1: re-route in the same dimension, opposite direction. Only a
+        // wrapped dimension can reach the target the "wrong way round"; on an
+        // open dimension the opposite direction walks away from the target
+        // and dead-ends at the edge, so the rule is skipped there.
+        if net.wraps(dim) && header.forced_dir[dim].is_none() {
             let opposite = dir.opposite();
-            if faults.output_usable(torus, at, dim, opposite)
-                && torus.offset(at, header.target(), dim) != 0
+            if faults.output_usable(net, at, dim, opposite)
+                && net.offset(at, header.target(), dim) != 0
             {
                 header.forced_dir[dim] = Some(opposite);
                 return true;
@@ -272,13 +281,17 @@ impl RoutingAlgorithm for SwBasedRouting {
         }
 
         // Rule 2: route in an orthogonal dimension to slide along the fault
-        // region, then resume towards the destination.
-        for o in Self::orthogonal_order(torus.dims(), dim) {
+        // region, then resume towards the destination. `output_usable` is
+        // false for channels that do not exist, so mesh edges are skipped
+        // naturally.
+        for o in Self::orthogonal_order(net.dims(), dim) {
             for cand_dir in Direction::BOTH {
-                if !faults.output_usable(torus, at, o, cand_dir) {
+                if !faults.output_usable(net, at, o, cand_dir) {
                     continue;
                 }
-                let via = torus.neighbor(at, o, cand_dir);
+                let via = net
+                    .neighbor(at, o, cand_dir)
+                    .expect("usable output leads to an existing neighbour");
                 if faults.is_node_faulty(via) {
                     continue;
                 }
@@ -291,7 +304,7 @@ impl RoutingAlgorithm for SwBasedRouting {
         // Every neighbouring move is faulty (the node is walled in except for
         // the channel the message arrived on) — fall back to the explicit
         // path, which exists as long as the network is connected.
-        self.install_explicit_path(torus, faults, header, at)
+        self.install_explicit_path(net, faults, header, at)
     }
 
     fn name(&self) -> String {
@@ -303,8 +316,8 @@ impl RoutingAlgorithm for SwBasedRouting {
 mod tests {
     use super::*;
 
-    fn torus() -> Torus {
-        Torus::new(8, 2).unwrap()
+    fn torus() -> Network {
+        Network::torus(8, 2).unwrap()
     }
 
     fn no_faults() -> FaultSet {
@@ -315,25 +328,25 @@ mod tests {
     /// taking the first candidate, and returns the nodes visited. Panics on
     /// Absorb (tests that expect absorption handle it themselves).
     fn walk(
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         algo: &SwBasedRouting,
         src: NodeId,
         dest: NodeId,
     ) -> Vec<NodeId> {
-        let mut header = algo.make_header(torus, src, dest);
+        let mut header = algo.make_header(net, src, dest);
         let mut current = src;
         let mut visited = vec![src];
         for _ in 0..10_000 {
-            match algo.route(torus, faults, &mut header, current, 4) {
+            match algo.route(net, faults, &mut header, current, 4) {
                 RouteDecision::Deliver => return visited,
                 RouteDecision::Absorb => {
                     panic!("unexpected absorption at {current:?}");
                 }
                 RouteDecision::Forward(cands) => {
                     let c = &cands[0];
-                    algo.note_hop(torus, &mut header, current, c.dim, c.dir);
-                    current = torus.neighbor(current, c.dim, c.dir);
+                    algo.note_hop(net, &mut header, current, c.dim, c.dir);
+                    current = net.neighbor(current, c.dim, c.dir).expect("existing hop");
                     visited.push(current);
                 }
             }
@@ -350,6 +363,19 @@ mod tests {
         let visited = walk(&t, &no_faults(), &algo, src, dest);
         let expected: Vec<NodeId> = torus_topology::dimension_order_path(&t, src, dest).nodes(&t);
         assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn fault_free_deterministic_is_ecube_on_meshes_and_hypercubes() {
+        for net in [Network::mesh(8, 2).unwrap(), Network::hypercube(5).unwrap()] {
+            let algo = SwBasedRouting::deterministic();
+            let src = NodeId(1);
+            let dest = NodeId(net.num_nodes() as u32 - 2);
+            let visited = walk(&net, &no_faults(), &algo, src, dest);
+            let expected: Vec<NodeId> =
+                torus_topology::dimension_order_path(&net, src, dest).nodes(&net);
+            assert_eq!(visited, expected);
+        }
     }
 
     #[test]
@@ -432,6 +458,25 @@ mod tests {
     }
 
     #[test]
+    fn reroute_rule1_skipped_on_open_dimensions() {
+        // On a mesh the opposite direction cannot wrap around to the target,
+        // so the software layer must go straight to the orthogonal rule.
+        let m = Network::mesh(8, 2).unwrap();
+        let mut faults = FaultSet::new();
+        faults.fail_node(m.node_from_digits(&[2, 0]).unwrap());
+        let algo = SwBasedRouting::deterministic();
+        let at = m.node_from_digits(&[1, 0]).unwrap();
+        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let mut header = algo.make_header(&m, at, dest);
+        assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (0, Direction::Plus)));
+        assert!(header.forced_dir.iter().all(|f| f.is_none()));
+        assert_eq!(header.pending_via(), 1);
+        // The orthogonal via node sits one hop away in dimension 1 (the only
+        // open direction from row 0 is Plus).
+        assert_eq!(header.target(), m.node_from_digits(&[1, 1]).unwrap());
+    }
+
+    #[test]
     fn reroute_rule2_detours_orthogonally_when_both_directions_blocked() {
         let t = torus();
         let mut faults = FaultSet::new();
@@ -492,7 +537,7 @@ mod tests {
             assert!(!cands.is_empty(), "escorted message must always forward");
             let c = &cands[0];
             algo.note_hop(&t, &mut header, current, c.dim, c.dir);
-            current = t.neighbor(current, c.dim, c.dir);
+            current = t.neighbor(current, c.dim, c.dir).expect("existing hop");
             assert!(!faults.is_node_faulty(current));
             hops += 1;
             assert!(hops < 100);
@@ -502,41 +547,49 @@ mod tests {
     #[test]
     fn deterministic_message_routes_around_single_fault_end_to_end() {
         // Full software loop: route, absorb, re-route, re-inject (conceptually)
-        // until delivery, mirroring what the simulator does.
-        let t = torus();
-        let mut faults = FaultSet::new();
-        faults.fail_node(t.node_from_digits(&[3, 0]).unwrap());
-        let algo = SwBasedRouting::deterministic();
-        let src = t.node_from_digits(&[1, 0]).unwrap();
-        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        // until delivery, mirroring what the simulator does — on a torus and
+        // on the matching mesh.
+        for net in [Network::torus(8, 2).unwrap(), Network::mesh(8, 2).unwrap()] {
+            let mut faults = FaultSet::new();
+            faults.fail_node(net.node_from_digits(&[3, 0]).unwrap());
+            let algo = SwBasedRouting::deterministic();
+            let src = net.node_from_digits(&[1, 0]).unwrap();
+            let dest = net.node_from_digits(&[4, 0]).unwrap();
 
-        let mut header = algo.make_header(&t, src, dest);
-        let mut current = src;
-        let mut absorptions = 0;
-        let mut steps = 0;
-        loop {
-            steps += 1;
-            assert!(steps < 1000, "livelock: message never delivered");
-            match algo.route(&t, &faults, &mut header, current, 4) {
-                RouteDecision::Deliver => break,
-                RouteDecision::Forward(cands) => {
-                    let c = &cands[0];
-                    algo.note_hop(&t, &mut header, current, c.dim, c.dir);
-                    current = t.neighbor(current, c.dim, c.dir);
-                    assert!(!faults.is_node_faulty(current));
-                }
-                RouteDecision::Absorb => {
-                    absorptions += 1;
-                    // Determine the blocked output exactly as the router does.
-                    let (dim, dir) = ecube_output(&t, &header, current).unwrap();
-                    assert!(algo.reroute_on_fault(&t, &faults, &mut header, current, (dim, dir)));
-                    header.reset_for_injection();
+            let mut header = algo.make_header(&net, src, dest);
+            let mut current = src;
+            let mut absorptions = 0;
+            let mut steps = 0;
+            loop {
+                steps += 1;
+                assert!(steps < 1000, "livelock: message never delivered");
+                match algo.route(&net, &faults, &mut header, current, 4) {
+                    RouteDecision::Deliver => break,
+                    RouteDecision::Forward(cands) => {
+                        let c = &cands[0];
+                        algo.note_hop(&net, &mut header, current, c.dim, c.dir);
+                        current = net.neighbor(current, c.dim, c.dir).expect("existing hop");
+                        assert!(!faults.is_node_faulty(current));
+                    }
+                    RouteDecision::Absorb => {
+                        absorptions += 1;
+                        // Determine the blocked output exactly as the router does.
+                        let (dim, dir) = ecube_output(&net, &header, current).unwrap();
+                        assert!(algo.reroute_on_fault(
+                            &net,
+                            &faults,
+                            &mut header,
+                            current,
+                            (dim, dir)
+                        ));
+                        header.reset_for_injection();
+                    }
                 }
             }
+            assert_eq!(current, dest);
+            assert!(absorptions >= 1, "the fault lies on the e-cube path");
+            assert_eq!(header.absorptions, absorptions);
         }
-        assert_eq!(current, dest);
-        assert!(absorptions >= 1, "the fault lies on the e-cube path");
-        assert_eq!(header.absorptions, absorptions);
     }
 
     #[test]
@@ -560,8 +613,19 @@ mod tests {
 
     #[test]
     fn min_virtual_channels_and_names() {
-        assert_eq!(SwBasedRouting::deterministic().min_virtual_channels(), 2);
-        assert_eq!(SwBasedRouting::adaptive().min_virtual_channels(), 3);
+        let t = torus();
+        let m = Network::mesh(8, 2).unwrap();
+        let mixed = Network::new(vec![8, 4], vec![true, false]).unwrap();
+        assert_eq!(SwBasedRouting::deterministic().min_virtual_channels(&t), 2);
+        assert_eq!(SwBasedRouting::adaptive().min_virtual_channels(&t), 3);
+        // Meshes need no dateline VC: one deterministic VC, two for Duato.
+        assert_eq!(SwBasedRouting::deterministic().min_virtual_channels(&m), 1);
+        assert_eq!(SwBasedRouting::adaptive().min_virtual_channels(&m), 2);
+        // One wrapped dimension is enough to require the full split.
+        assert_eq!(
+            SwBasedRouting::deterministic().min_virtual_channels(&mixed),
+            2
+        );
         assert_eq!(
             SwBasedRouting::deterministic().name(),
             "SW-Based-nD (deterministic)"

@@ -1,0 +1,69 @@
+//! Property-based CDG acyclicity tests: for randomly drawn meshes the e-cube
+//! channel dependency graph is acyclic with a *single* VC per class — the
+//! dateline virtual channel is provably unnecessary when no dimension wraps —
+//! while randomly drawn tori always need the dateline classes.
+
+use proptest::prelude::*;
+use torus_routing::cdg::{build_ecube_cdg, VcModel};
+use torus_topology::Network;
+
+/// Random mesh shapes: 1..=3 dimensions with mixed radices, no wraps.
+fn arb_mesh() -> impl Strategy<Value = Network> {
+    (1usize..=3, (2u16..6, 2u16..6, 2u16..6)).prop_map(|(n, (k0, k1, k2))| {
+        let radices = [k0, k1, k2][..n].to_vec();
+        Network::new(radices, vec![false; n]).unwrap()
+    })
+}
+
+/// Random mixed shapes with at least one wrapped dimension of radix >= 4
+/// (radix-2/3 rings do not close single-class cycles under minimal routing:
+/// no minimal route crosses the wrap link in the same direction twice).
+fn arb_wrapped() -> impl Strategy<Value = Network> {
+    (2u16..6, 4u16..6, any::<bool>()).prop_map(|(k_open, k_ring, open_first)| {
+        if open_first {
+            Network::new(vec![k_open, k_ring], vec![false, true]).unwrap()
+        } else {
+            Network::new(vec![k_ring, k_open], vec![true, false]).unwrap()
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The satellite claim: on meshes a single VC per class suffices — the
+    /// single-class e-cube CDG is acyclic for every mesh shape.
+    #[test]
+    fn mesh_single_class_cdg_is_acyclic(net in arb_mesh()) {
+        let g = build_ecube_cdg(&net, VcModel::SingleClass);
+        prop_assert!(
+            g.is_acyclic(),
+            "single-class CDG must be acyclic on mesh {net}"
+        );
+        // The dateline-class graph is acyclic too, trivially.
+        prop_assert!(build_ecube_cdg(&net, VcModel::DatelineClasses).is_acyclic());
+    }
+
+    /// With the dateline classes every shape — wrapped, open or mixed — has
+    /// an acyclic extended CDG.
+    #[test]
+    fn dateline_class_cdg_is_acyclic_on_wrapped_shapes(net in arb_wrapped()) {
+        let g = build_ecube_cdg(&net, VcModel::DatelineClasses);
+        prop_assert!(g.num_edges() > 0);
+        prop_assert!(
+            g.is_acyclic(),
+            "dateline-class CDG must be acyclic on {net}"
+        );
+    }
+
+    /// Conversely, a wrapped dimension of radix >= 4 closes a single-class
+    /// cycle: the dateline VC is necessary exactly when a dimension wraps.
+    #[test]
+    fn wrapped_shapes_need_the_dateline_classes(net in arb_wrapped()) {
+        let g = build_ecube_cdg(&net, VcModel::SingleClass);
+        prop_assert!(
+            !g.is_acyclic(),
+            "single-class CDG on {net} (which has a wrapped ring) must contain cycles"
+        );
+    }
+}

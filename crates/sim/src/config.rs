@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use torus_topology::TopologySpec;
 use torus_workloads::TrafficSpec;
 
 /// When a simulation run stops.
@@ -19,11 +20,11 @@ pub enum StopCondition {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimConfigError {
     /// The requested number of virtual channels is below the minimum the
-    /// routing algorithm needs for deadlock freedom.
+    /// routing algorithm needs for deadlock freedom on this topology.
     TooFewVirtualChannels {
         /// Requested V.
         requested: usize,
-        /// Minimum required by the routing flavour.
+        /// Minimum required by the routing flavour on this topology.
         minimum: usize,
     },
     /// Flit buffers must hold at least one flit.
@@ -33,7 +34,7 @@ pub enum SimConfigError {
     /// one flit at generation time, the configuration is rejected up front.
     ZeroMessageLength,
     /// The topology parameters are invalid.
-    Topology(torus_topology::TorusError),
+    Topology(torus_topology::NetworkError),
 }
 
 impl fmt::Display for SimConfigError {
@@ -41,7 +42,7 @@ impl fmt::Display for SimConfigError {
         match self {
             SimConfigError::TooFewVirtualChannels { requested, minimum } => write!(
                 f,
-                "{requested} virtual channels requested but the routing algorithm needs at least {minimum}"
+                "{requested} virtual channels requested but the routing algorithm needs at least {minimum} on this topology"
             ),
             SimConfigError::ZeroBufferDepth => write!(f, "flit buffers must hold at least one flit"),
             SimConfigError::ZeroMessageLength => write!(
@@ -62,10 +63,8 @@ impl std::error::Error for SimConfigError {}
 /// arrivals, uniform destinations.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct SimConfig {
-    /// Radix `k` of the k-ary n-cube.
-    pub radix: u16,
-    /// Dimensionality `n` of the k-ary n-cube.
-    pub dims: u32,
+    /// The network topology (torus / mesh / hypercube / mixed-radix).
+    pub topology: TopologySpec,
     /// Virtual channels per physical channel (`V`).
     pub virtual_channels: usize,
     /// Flit-buffer depth of each virtual channel, in flits.
@@ -95,14 +94,24 @@ pub struct SimConfig {
 }
 
 impl SimConfig {
-    /// A configuration matching the paper's experimental setup for the given
-    /// topology, virtual-channel count, message length (flits) and traffic
-    /// rate (messages/node/cycle), at a reduced message budget suitable for
-    /// quick runs (2,000 warm-up + 10,000 measured messages).
+    /// A configuration matching the paper's experimental setup for a k-ary
+    /// n-cube, virtual-channel count, message length (flits) and traffic rate
+    /// (messages/node/cycle), at a reduced message budget suitable for quick
+    /// runs (2,000 warm-up + 10,000 measured messages).
     pub fn paper(radix: u16, dims: u32, v: usize, message_length: u32, rate: f64) -> Self {
+        Self::paper_topology(TopologySpec::torus(radix, dims), v, message_length, rate)
+    }
+
+    /// The paper-style configuration on an arbitrary topology (mesh,
+    /// hypercube or mixed-radix shape).
+    pub fn paper_topology(
+        topology: TopologySpec,
+        v: usize,
+        message_length: u32,
+        rate: f64,
+    ) -> Self {
         SimConfig {
-            radix,
-            dims,
+            topology,
             virtual_channels: v,
             buffer_depth: 2,
             traffic: TrafficSpec::paper(rate, message_length),
@@ -133,13 +142,13 @@ impl SimConfig {
 
     /// Total number of nodes of the configured topology.
     pub fn num_nodes(&self) -> usize {
-        (self.radix as usize).pow(self.dims)
+        self.topology.num_nodes()
     }
 
     /// Validates the configuration against the minimum virtual-channel count
-    /// required by a routing algorithm.
+    /// required by a routing algorithm on this topology.
     pub fn validate(&self, min_vcs: usize) -> Result<(), SimConfigError> {
-        torus_topology::Torus::new(self.radix, self.dims).map_err(SimConfigError::Topology)?;
+        self.topology.build().map_err(SimConfigError::Topology)?;
         if self.buffer_depth == 0 {
             return Err(SimConfigError::ZeroBufferDepth);
         }
@@ -164,6 +173,7 @@ mod tests {
     fn paper_config_defaults() {
         let c = SimConfig::paper(8, 2, 6, 32, 0.008);
         assert_eq!(c.num_nodes(), 64);
+        assert_eq!(c.topology, TopologySpec::torus(8, 2));
         assert_eq!(c.router_delay, 0);
         assert_eq!(c.reinjection_delay, 0);
         assert_eq!(c.virtual_channels, 6);
@@ -180,6 +190,16 @@ mod tests {
     }
 
     #[test]
+    fn mesh_and_hypercube_configs() {
+        let m = SimConfig::paper_topology(TopologySpec::mesh(8, 2), 4, 32, 0.004);
+        assert_eq!(m.num_nodes(), 64);
+        assert!(m.validate(1).is_ok());
+        let h = SimConfig::paper_topology(TopologySpec::hypercube(6), 2, 16, 0.002);
+        assert_eq!(h.num_nodes(), 64);
+        assert!(h.validate(2).is_ok());
+    }
+
+    #[test]
     fn validation_errors() {
         let mut c = SimConfig::paper(8, 2, 2, 32, 0.001);
         assert_eq!(
@@ -193,7 +213,7 @@ mod tests {
         c.buffer_depth = 0;
         assert_eq!(c.validate(2), Err(SimConfigError::ZeroBufferDepth));
         c.buffer_depth = 2;
-        c.radix = 1;
+        c.topology = TopologySpec::torus(1, 2);
         assert!(matches!(c.validate(2), Err(SimConfigError::Topology(_))));
     }
 

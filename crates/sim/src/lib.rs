@@ -1,11 +1,13 @@
 //! # torus-sim
 //!
-//! A flit-level simulator of wormhole-switched k-ary n-cube networks with
-//! virtual channels, faithful to the simulation model of Safaei et al.
-//! (IPDPS 2006), Section 5:
+//! A flit-level simulator of wormhole-switched multidimensional networks
+//! (tori, meshes, hypercubes and mixed-radix shapes, selected by
+//! [`torus_topology::TopologySpec`]) with virtual channels, faithful to the
+//! simulation model of Safaei et al. (IPDPS 2006), Section 5:
 //!
-//! * each node couples a processing element (PE) to a router with `2n`
-//!   network input/output channel pairs plus injection and ejection channels;
+//! * each node couples a processing element (PE) to a router with up to `2n`
+//!   network input/output channel pairs plus injection and ejection channels
+//!   (edge nodes of open/mesh dimensions lack the outward ports);
 //! * every physical channel carries `V` virtual channels, each with its own
 //!   flit buffer, sharing the physical link bandwidth (one flit per physical
 //!   channel per cycle);

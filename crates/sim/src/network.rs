@@ -62,7 +62,7 @@ use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
 use torus_routing::ecube::ecube_output;
 use torus_routing::{RouteDecision, RoutingAlgorithm};
-use torus_topology::{Direction, Torus};
+use torus_topology::{Direction, Network};
 use torus_workloads::TrafficSource;
 
 /// Legacy scan stride of the stall watchdog, kept as an upper bound on the
@@ -93,7 +93,7 @@ pub struct RunOutcome {
 
 /// A flit-level wormhole simulation of one network configuration.
 pub struct Simulation<A: RoutingAlgorithm> {
-    torus: Torus,
+    net: Network,
     faults: FaultSet,
     algo: A,
     config: SimConfig,
@@ -128,30 +128,39 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     /// Builds a simulation from a configuration, a fault set and a routing
     /// algorithm.
     pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
-        let min_vcs = 2.max(match algo.flavor() {
-            torus_routing::RoutingFlavor::Deterministic => 2,
-            torus_routing::RoutingFlavor::Adaptive => 3,
-        });
-        config.validate(min_vcs)?;
-        let torus = Torus::new(config.radix, config.dims).map_err(SimConfigError::Topology)?;
-        let n = torus.dims();
+        let net = config.topology.build().map_err(SimConfigError::Topology)?;
+        config.validate(algo.min_virtual_channels(&net))?;
+        let n = net.dims();
         let v = config.virtual_channels;
-        let routers: Vec<RouterState> = torus
+        let routers: Vec<RouterState> = net
             .nodes()
             .map(|node| {
-                RouterState::new(node, n, v, config.buffer_depth, faults.is_node_faulty(node))
+                let port_present = (0..2 * n)
+                    .map(|port| {
+                        let (dim, dir) = RouterState::port_dim_dir(port);
+                        net.has_channel(node, dim, dir)
+                    })
+                    .collect();
+                RouterState::new(
+                    node,
+                    n,
+                    v,
+                    config.buffer_depth,
+                    faults.is_node_faulty(node),
+                    port_present,
+                )
             })
             .collect();
-        let sources = torus
+        let sources = net
             .nodes()
             .map(|node| config.traffic.source_for(node))
             .collect();
         let collector = MetricsCollector::new(
-            torus.num_nodes(),
+            net.num_nodes(),
             WarmupPolicy::Messages(config.warmup_messages),
         );
         let rng = StdRng::seed_from_u64(config.seed);
-        let num_nodes = torus.num_nodes();
+        let num_nodes = net.num_nodes();
         // Every healthy source is due for its very first poll at cycle 0 (the
         // poll that draws its initial inter-arrival gap).
         let mut arrival_calendar = BinaryHeap::with_capacity(num_nodes);
@@ -161,7 +170,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             }
         }
         Ok(Simulation {
-            torus,
+            net,
             faults,
             algo,
             config,
@@ -186,8 +195,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     }
 
     /// The topology being simulated.
-    pub fn torus(&self) -> &Torus {
-        &self.torus
+    pub fn network(&self) -> &Network {
+        &self.net
     }
 
     /// The fault set applied to the network.
@@ -290,7 +299,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
 
     fn generate_traffic(&mut self, now: u64) {
         let Simulation {
-            torus,
+            net,
             faults,
             algo,
             routers,
@@ -315,8 +324,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             debug_assert!(!routers[idx].is_faulty, "faulty nodes are never scheduled");
             let source = &mut sources[idx];
             let mut queued_any = false;
-            for gen in source.generate(torus, faults, now, rng) {
-                let header = algo.make_header(torus, gen.src, gen.dest);
+            for gen in source.generate(net, faults, now, rng) {
+                let header = algo.make_header(net, gen.src, gen.dest);
                 let measured = collector.on_generated(now);
                 let id = messages
                     .insert_with(|id| MessageState::new(id, header, gen.length, now, measured));
@@ -383,7 +392,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
 
     fn route_and_allocate(&mut self, now: u64) {
         let Simulation {
-            torus,
+            net,
             faults,
             algo,
             routers,
@@ -413,7 +422,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                     }
                     let msg_id = front.msg;
                     let header = &mut messages[msg_id].header;
-                    let decision = algo.route(torus, faults, header, node, v);
+                    let decision = algo.route(net, faults, header, node, v);
                     let ready_at = now + config.router_delay as u64;
                     match decision {
                         RouteDecision::Deliver => {
@@ -440,6 +449,10 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                             let mut chosen: Option<(usize, usize)> = None;
                             for cand in &candidates {
                                 let out_port = RouterState::out_port(cand.dim, cand.dir);
+                                debug_assert!(
+                                    router.port_present[out_port],
+                                    "routing candidate targets an absent mesh-edge port"
+                                );
                                 let free: Vec<usize> = cand
                                     .vcs
                                     .iter()
@@ -471,7 +484,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
 
     fn switch_and_traverse(&mut self, now: u64) {
         let Simulation {
-            torus,
+            net,
             faults,
             algo,
             routers,
@@ -515,7 +528,9 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                     router.inputs[port][vc].last_progress = now;
                     if port != injection_port {
                         let (dim, dir) = RouterState::port_dim_dir(port);
-                        let upstream = torus.neighbor(node, dim, dir.opposite());
+                        let upstream = net
+                            .neighbor(node, dim, dir.opposite())
+                            .expect("flits only arrive over existing channels");
                         credit_returns.push((upstream.index(), port, vc));
                     }
                     let entry = router.local_assembly.entry(flit.msg).or_insert(0);
@@ -544,10 +559,10 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                         }
                         RouteTarget::Absorb => {
                             collector.on_absorbed(messages[flit.msg].measured);
-                            let blocked = ecube_output(torus, &messages[flit.msg].header, node)
+                            let blocked = ecube_output(net, &messages[flit.msg].header, node)
                                 .unwrap_or((0, Direction::Plus));
                             let rerouted = algo.reroute_on_fault(
-                                torus,
+                                net,
                                 faults,
                                 &mut messages[flit.msg].header,
                                 node,
@@ -628,15 +643,19 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 router.outputs[out_port][out_vc].credits -= 1;
                 if in_port != injection_port {
                     let (dim, dir) = RouterState::port_dim_dir(in_port);
-                    let upstream = torus.neighbor(node, dim, dir.opposite());
+                    let upstream = net
+                        .neighbor(node, dim, dir.opposite())
+                        .expect("flits only arrive over existing channels");
                     credit_returns.push((upstream.index(), in_port, in_vc));
                 }
                 let (dim, dir) = RouterState::port_dim_dir(out_port);
                 if flit.kind.is_head() {
                     let header = &mut messages[flit.msg].header;
-                    algo.note_hop(torus, header, node, dim, dir);
+                    algo.note_hop(net, header, node, dim, dir);
                 }
-                let dest = torus.neighbor(node, dim, dir);
+                let dest = net
+                    .neighbor(node, dim, dir)
+                    .expect("routing only targets existing channels");
                 arrivals.push((dest.index(), out_port, out_vc, flit));
                 if flit.kind.is_tail() {
                     router.inputs[in_port][in_vc].route = None;
@@ -792,7 +811,7 @@ mod tests {
             out.report.mean_latency
         );
         // Mean hops should approximate the analytic average distance.
-        let avg = sim.torus().average_distance();
+        let avg = sim.network().average_distance();
         assert!((out.report.mean_hops - avg).abs() < 0.6);
     }
 
@@ -812,7 +831,7 @@ mod tests {
     fn faulty_network_still_delivers_with_absorptions() {
         let mut config = quick_config(8, 2, 4, 16, 0.004);
         config.stop = StopCondition::MeasuredMessages(1_000);
-        let torus = Torus::new(8, 2).unwrap();
+        let torus = Network::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(17);
         let faults = random_node_faults(&torus, 5, &mut rng).unwrap();
         let mut sim = Simulation::new(config, faults, SwBasedRouting::deterministic()).unwrap();
@@ -829,7 +848,7 @@ mod tests {
 
     #[test]
     fn adaptive_absorbs_fewer_messages_than_deterministic() {
-        let torus = Torus::new(8, 2).unwrap();
+        let torus = Network::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(7);
         let faults = random_node_faults(&torus, 5, &mut rng).unwrap();
         let mut config = quick_config(8, 2, 6, 16, 0.004);
@@ -902,7 +921,7 @@ mod tests {
 
     #[test]
     fn region_fault_scenario_runs() {
-        let torus = Torus::new(8, 2).unwrap();
+        let torus = Network::torus(8, 2).unwrap();
         let scenario =
             FaultScenario::centered_region(&torus, torus_faults::RegionShape::paper_u_8());
         let mut rng = StdRng::seed_from_u64(0);
@@ -1004,7 +1023,7 @@ mod tests {
 
     #[test]
     fn reinjection_delay_penalises_absorbed_messages_only() {
-        let torus = Torus::new(8, 2).unwrap();
+        let torus = Network::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(21);
         let faults = random_node_faults(&torus, 5, &mut rng).unwrap();
         let run = |delta: u32, faults: FaultSet| {
@@ -1052,7 +1071,7 @@ mod tests {
     fn three_dimensional_network_runs() {
         let mut config = quick_config(4, 3, 4, 8, 0.004);
         config.stop = StopCondition::MeasuredMessages(800);
-        let torus = Torus::new(4, 3).unwrap();
+        let torus = Network::torus(4, 3).unwrap();
         let mut rng = StdRng::seed_from_u64(5);
         let faults = random_node_faults(&torus, 3, &mut rng).unwrap();
         let mut sim = Simulation::new(config, faults, SwBasedRouting::deterministic()).unwrap();
@@ -1072,7 +1091,7 @@ mod tests {
             Simulation::new(config, FaultSet::new(), SwBasedRouting::deterministic()).unwrap();
         let out = sim.run();
         let offered_rate =
-            out.report.generated_messages as f64 / (20_000.0 * sim.torus().num_nodes() as f64);
+            out.report.generated_messages as f64 / (20_000.0 * sim.network().num_nodes() as f64);
         assert!(
             (offered_rate - 0.02).abs() < 0.004,
             "offered {offered_rate}"

@@ -26,12 +26,12 @@ use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
 use torus_routing::ecube::ecube_output;
 use torus_routing::{RouteDecision, RoutingAlgorithm};
-use torus_topology::{Direction, Torus};
+use torus_topology::{Direction, Network};
 use torus_workloads::TrafficSource;
 
 /// Full-scan, append-only-table reference implementation of the simulator.
 pub struct ReferenceSimulation<A: RoutingAlgorithm> {
-    torus: Torus,
+    net: Network,
     faults: FaultSet,
     algo: A,
     config: SimConfig,
@@ -52,31 +52,40 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
     /// Builds a reference simulation from a configuration, a fault set and a
     /// routing algorithm.
     pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
-        let min_vcs = 2.max(match algo.flavor() {
-            torus_routing::RoutingFlavor::Deterministic => 2,
-            torus_routing::RoutingFlavor::Adaptive => 3,
-        });
-        config.validate(min_vcs)?;
-        let torus = Torus::new(config.radix, config.dims).map_err(SimConfigError::Topology)?;
-        let n = torus.dims();
+        let net = config.topology.build().map_err(SimConfigError::Topology)?;
+        config.validate(algo.min_virtual_channels(&net))?;
+        let n = net.dims();
         let v = config.virtual_channels;
-        let routers = torus
+        let routers = net
             .nodes()
             .map(|node| {
-                RouterState::new(node, n, v, config.buffer_depth, faults.is_node_faulty(node))
+                let port_present = (0..2 * n)
+                    .map(|port| {
+                        let (dim, dir) = RouterState::port_dim_dir(port);
+                        net.has_channel(node, dim, dir)
+                    })
+                    .collect();
+                RouterState::new(
+                    node,
+                    n,
+                    v,
+                    config.buffer_depth,
+                    faults.is_node_faulty(node),
+                    port_present,
+                )
             })
             .collect();
-        let sources = torus
+        let sources = net
             .nodes()
             .map(|node| config.traffic.source_for(node))
             .collect();
         let collector = MetricsCollector::new(
-            torus.num_nodes(),
+            net.num_nodes(),
             WarmupPolicy::Messages(config.warmup_messages),
         );
         let rng = StdRng::seed_from_u64(config.seed);
         Ok(ReferenceSimulation {
-            torus,
+            net,
             faults,
             algo,
             config,
@@ -164,7 +173,7 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
 
     fn generate_traffic(&mut self, now: u64) {
         let ReferenceSimulation {
-            torus,
+            net,
             faults,
             algo,
             routers,
@@ -179,9 +188,9 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
             if routers[idx].is_faulty {
                 continue;
             }
-            for gen in source.generate(torus, faults, now, rng) {
+            for gen in source.generate(net, faults, now, rng) {
                 let id = MessageId(messages.len() as u64);
-                let header = algo.make_header(torus, gen.src, gen.dest);
+                let header = algo.make_header(net, gen.src, gen.dest);
                 let measured = collector.on_generated(now);
                 messages.push(MessageState::new(id, header, gen.length, now, measured));
                 routers[idx].source_queue.push_back(id);
@@ -232,7 +241,7 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
 
     fn route_and_allocate(&mut self, now: u64) {
         let ReferenceSimulation {
-            torus,
+            net,
             faults,
             algo,
             routers,
@@ -261,7 +270,7 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                     }
                     let msg_id = front.msg;
                     let header = &mut messages[msg_id.slot()].header;
-                    let decision = algo.route(torus, faults, header, node, v);
+                    let decision = algo.route(net, faults, header, node, v);
                     let ready_at = now + config.router_delay as u64;
                     match decision {
                         RouteDecision::Deliver => {
@@ -284,6 +293,10 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                             let mut chosen: Option<(usize, usize)> = None;
                             for cand in &candidates {
                                 let out_port = RouterState::out_port(cand.dim, cand.dir);
+                                debug_assert!(
+                                    router.port_present[out_port],
+                                    "routing candidate targets an absent mesh-edge port"
+                                );
                                 let free: Vec<usize> = cand
                                     .vcs
                                     .iter()
@@ -315,7 +328,7 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
 
     fn switch_and_traverse(&mut self, now: u64) {
         let ReferenceSimulation {
-            torus,
+            net,
             faults,
             algo,
             routers,
@@ -356,7 +369,9 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                     router.inputs[port][vc].last_progress = now;
                     if port != injection_port {
                         let (dim, dir) = RouterState::port_dim_dir(port);
-                        let upstream = torus.neighbor(node, dim, dir.opposite());
+                        let upstream = net
+                            .neighbor(node, dim, dir.opposite())
+                            .expect("flits only arrive over existing channels");
                         credit_returns.push((upstream.index(), port, vc));
                     }
                     let entry = router.local_assembly.entry(flit.msg).or_insert(0);
@@ -383,15 +398,10 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                         }
                         RouteTarget::Absorb => {
                             collector.on_absorbed(msg.measured);
-                            let blocked = ecube_output(torus, &msg.header, node)
+                            let blocked = ecube_output(net, &msg.header, node)
                                 .unwrap_or((0, Direction::Plus));
-                            let rerouted = algo.reroute_on_fault(
-                                torus,
-                                faults,
-                                &mut msg.header,
-                                node,
-                                blocked,
-                            );
+                            let rerouted =
+                                algo.reroute_on_fault(net, faults, &mut msg.header, node, blocked);
                             if rerouted {
                                 msg.phase = MessagePhase::Queued;
                                 router.reinjection_queue.push_back(ReinjectionEntry {
@@ -459,15 +469,19 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                 router.outputs[out_port][out_vc].credits -= 1;
                 if in_port != injection_port {
                     let (dim, dir) = RouterState::port_dim_dir(in_port);
-                    let upstream = torus.neighbor(node, dim, dir.opposite());
+                    let upstream = net
+                        .neighbor(node, dim, dir.opposite())
+                        .expect("flits only arrive over existing channels");
                     credit_returns.push((upstream.index(), in_port, in_vc));
                 }
                 let (dim, dir) = RouterState::port_dim_dir(out_port);
                 if flit.kind.is_head() {
                     let header = &mut messages[flit.msg.slot()].header;
-                    algo.note_hop(torus, header, node, dim, dir);
+                    algo.note_hop(net, header, node, dim, dir);
                 }
-                let dest = torus.neighbor(node, dim, dir);
+                let dest = net
+                    .neighbor(node, dim, dir)
+                    .expect("routing only targets existing channels");
                 arrivals.push((dest.index(), out_port, out_vc, flit));
                 if flit.kind.is_tail() {
                     router.inputs[in_port][in_vc].route = None;

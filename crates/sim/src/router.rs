@@ -114,6 +114,12 @@ pub struct RouterState {
     /// True when the node (PE + router) is faulty; a faulty router neither
     /// generates, forwards nor accepts flits.
     pub is_faulty: bool,
+    /// Which of the `2n` network ports physically exist. On a torus every
+    /// port is present; at the edge of an open (mesh) dimension the outward
+    /// port is absent — its VC state is allocated but never used (the VC
+    /// allocation stage of both engines debug-asserts that no routing
+    /// candidate targets an absent port).
+    pub port_present: Vec<bool>,
     /// Input ports: `2n` network ports followed by the injection port. Each
     /// has `V` virtual channels.
     pub inputs: Vec<Vec<InputVc>>,
@@ -132,10 +138,20 @@ pub struct RouterState {
 }
 
 impl RouterState {
-    /// Creates the router of `node` for an `n`-dimensional torus with `v`
+    /// Creates the router of `node` for an `n`-dimensional network with `v`
     /// virtual channels per physical channel and the given flit-buffer depth.
-    pub fn new(node: NodeId, n: usize, v: usize, buffer_depth: usize, is_faulty: bool) -> Self {
+    /// `port_present[p]` records whether network port `p` physically exists
+    /// (pass `vec![true; 2 * n]` for a torus).
+    pub fn new(
+        node: NodeId,
+        n: usize,
+        v: usize,
+        buffer_depth: usize,
+        is_faulty: bool,
+        port_present: Vec<bool>,
+    ) -> Self {
         let num_net_ports = 2 * n;
+        debug_assert_eq!(port_present.len(), num_net_ports);
         let inputs = (0..=num_net_ports)
             .map(|_| (0..v).map(|_| InputVc::default()).collect())
             .collect();
@@ -145,6 +161,7 @@ impl RouterState {
         RouterState {
             node,
             is_faulty,
+            port_present,
             inputs,
             outputs,
             source_queue: VecDeque::new(),
@@ -199,13 +216,14 @@ mod tests {
 
     #[test]
     fn construction_and_port_layout() {
-        let r = RouterState::new(NodeId(3), 2, 4, 2, false);
+        let r = RouterState::new(NodeId(3), 2, 4, 2, false, vec![true; 4]);
         assert_eq!(r.num_net_ports(), 4);
         assert_eq!(r.injection_port(), 4);
         assert_eq!(r.inputs.len(), 5);
         assert_eq!(r.inputs[0].len(), 4);
         assert_eq!(r.outputs.len(), 4);
         assert!(!r.is_faulty);
+        assert!(r.port_present.iter().all(|&p| p));
         assert!(r.is_quiescent());
     }
 
@@ -253,7 +271,7 @@ mod tests {
 
     #[test]
     fn buffered_flit_count() {
-        let mut r = RouterState::new(NodeId(0), 2, 2, 4, false);
+        let mut r = RouterState::new(NodeId(0), 2, 2, 4, false, vec![true; 4]);
         r.inputs[0][1]
             .buffer
             .push_back(Flit::nth_of(MessageId(0), 0, 2));

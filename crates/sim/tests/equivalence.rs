@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use torus_faults::{FaultScenario, FaultSet};
 use torus_routing::SwBasedRouting;
 use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
-use torus_topology::Torus;
+use torus_topology::{Network, TopologySpec};
 
 /// Runs both engines on the same configuration and asserts identical results.
 /// Returns the active engine's message-table peak for boundedness checks.
@@ -42,14 +42,18 @@ fn assert_equivalent(config: SimConfig, faults: FaultSet, adaptive: bool) -> (u6
 }
 
 fn quick(radix: u16, dims: u32, v: usize, m: u32, rate: f64, seed: u64) -> SimConfig {
-    let mut c = SimConfig::paper(radix, dims, v, m, rate).with_seed(seed);
+    quick_topology(TopologySpec::torus(radix, dims), v, m, rate, seed)
+}
+
+fn quick_topology(spec: TopologySpec, v: usize, m: u32, rate: f64, seed: u64) -> SimConfig {
+    let mut c = SimConfig::paper_topology(spec, v, m, rate).with_seed(seed);
     c.warmup_messages = 100;
     c.stop = StopCondition::MeasuredMessages(500);
     c.max_cycles = 100_000;
     c
 }
 
-fn faults_for(scenario: &FaultScenario, torus: &Torus, seed: u64) -> FaultSet {
+fn faults_for(scenario: &FaultScenario, torus: &Network, seed: u64) -> FaultSet {
     let mut rng = StdRng::seed_from_u64(seed);
     scenario
         .realize(torus, &mut rng)
@@ -70,7 +74,7 @@ fn fault_free_across_seeds_and_loads() {
 
 #[test]
 fn random_node_faults_across_seeds() {
-    let torus = Torus::new(8, 2).unwrap();
+    let torus = Network::torus(8, 2).unwrap();
     let scenario = FaultScenario::RandomNodes { count: 5 };
     for seed in [7, 8] {
         for adaptive in [false, true] {
@@ -83,7 +87,7 @@ fn random_node_faults_across_seeds() {
 
 #[test]
 fn region_faults_match() {
-    let torus = Torus::new(8, 2).unwrap();
+    let torus = Network::torus(8, 2).unwrap();
     let scenario = FaultScenario::centered_region(&torus, torus_faults::RegionShape::paper_u_8());
     let faults = faults_for(&scenario, &torus, 0);
     let config = quick(8, 2, 4, 16, 0.003, 9);
@@ -92,7 +96,7 @@ fn region_faults_match() {
 
 #[test]
 fn three_dimensional_faulted_match() {
-    let torus = Torus::new(4, 3).unwrap();
+    let torus = Network::torus(4, 3).unwrap();
     let scenario = FaultScenario::RandomNodes { count: 3 };
     let faults = faults_for(&scenario, &torus, 5);
     let config = quick(4, 3, 4, 8, 0.004, 4);
@@ -113,7 +117,7 @@ fn near_saturation_cycle_capped_match() {
 fn nonzero_delays_match() {
     // Router decision time and re-injection overhead shift `ready_at`
     // schedules; both engines must agree cycle for cycle.
-    let torus = Torus::new(8, 2).unwrap();
+    let torus = Network::torus(8, 2).unwrap();
     let faults = faults_for(&FaultScenario::RandomNodes { count: 4 }, &torus, 3);
     let mut config = quick(8, 2, 4, 16, 0.003, 21);
     config.router_delay = 2;
@@ -148,4 +152,70 @@ fn tiny_stall_threshold_matches() {
     config.stall_absorb_threshold = 37;
     config.stop = StopCondition::MeasuredMessages(300);
     assert_equivalent(config, FaultSet::new(), false);
+}
+
+#[test]
+fn mesh_fault_free_across_seeds_and_loads() {
+    // Non-wrap topologies exercise the absent-edge-port paths of both
+    // engines; they must stay bit-identical there too.
+    for seed in [1, 2] {
+        for rate in [0.003, 0.02] {
+            for adaptive in [false, true] {
+                let config = quick_topology(TopologySpec::mesh(4, 2), 4, 8, rate, seed);
+                assert_equivalent(config, FaultSet::new(), adaptive);
+            }
+        }
+    }
+}
+
+#[test]
+fn mesh_random_node_faults_match() {
+    let mesh = Network::mesh(8, 2).unwrap();
+    let scenario = FaultScenario::RandomNodes { count: 4 };
+    for adaptive in [false, true] {
+        let config = quick_topology(TopologySpec::mesh(8, 2), 4, 16, 0.003, 15);
+        let faults = faults_for(&scenario, &mesh, 0x3E5);
+        assert_equivalent(config, faults, adaptive);
+    }
+}
+
+#[test]
+fn mesh_region_faults_match() {
+    let mesh = Network::mesh(8, 2).unwrap();
+    let scenario = FaultScenario::centered_region(&mesh, torus_faults::RegionShape::paper_u_8());
+    let faults = faults_for(&scenario, &mesh, 0);
+    let config = quick_topology(TopologySpec::mesh(8, 2), 4, 16, 0.003, 9);
+    assert_equivalent(config, faults, true);
+}
+
+#[test]
+fn hypercube_fault_free_and_faulted_match() {
+    let cube = Network::hypercube(5).unwrap();
+    for adaptive in [false, true] {
+        let config = quick_topology(TopologySpec::hypercube(5), 3, 8, 0.005, 31);
+        assert_equivalent(config, FaultSet::new(), adaptive);
+        let config = quick_topology(TopologySpec::hypercube(5), 3, 8, 0.005, 32);
+        let faults = faults_for(&FaultScenario::RandomNodes { count: 2 }, &cube, 77);
+        assert_equivalent(config, faults, adaptive);
+    }
+}
+
+#[test]
+fn mesh_minimum_vc_configurations_match() {
+    // Meshes need no dateline VC: one VC suffices for deterministic routing
+    // and two for Duato's protocol. Both engines must agree at the minimum.
+    let config = quick_topology(TopologySpec::mesh(4, 2), 1, 8, 0.01, 5);
+    assert_equivalent(config, FaultSet::new(), false);
+    let config = quick_topology(TopologySpec::mesh(4, 2), 2, 8, 0.01, 6);
+    assert_equivalent(config, FaultSet::new(), true);
+}
+
+#[test]
+fn mixed_radix_network_matches() {
+    // A 4x4 wrapped plane with an open radix-3 third dimension (48 nodes).
+    let spec = TopologySpec::mixed(vec![4, 4, 3], vec![true, true, false]);
+    let net = spec.build().unwrap();
+    let config = quick_topology(spec, 4, 8, 0.003, 23);
+    let faults = faults_for(&FaultScenario::RandomNodes { count: 3 }, &net, 41);
+    assert_equivalent(config, faults, false);
 }

@@ -109,8 +109,11 @@ impl fmt::Display for DirectedChannel {
 /// Dense identifier of a unidirectional physical channel.
 ///
 /// The encoding is `node * 2n + dim * 2 + dir`, so all channels leaving one
-/// node are contiguous. Use [`crate::Torus::channel_id`] /
-/// [`crate::Torus::channel_from_id`] for conversions.
+/// node are contiguous. Use [`crate::Network::channel_id`] /
+/// [`crate::Network::channel_from_id`] for conversions. On open (mesh)
+/// dimensions some slots of the dense id space correspond to channels that do
+/// not physically exist; they are never enumerated by
+/// [`crate::Network::channels`].
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
 pub struct ChannelId(pub u32);
 

@@ -1,15 +1,15 @@
-//! Graph queries over the healthy (non-faulty) subgraph of the torus.
+//! Graph queries over the healthy (non-faulty) subgraph of the network.
 //!
 //! The fault model (assumption (h) of the paper) requires that faults never
 //! disconnect the network; the software re-routing layer additionally needs to
 //! compute fault-free detour paths when the simple table-driven rules run out
 //! of options. Both needs are served by [`HealthyGraph`], a thin view over a
-//! [`Torus`] plus a predicate marking nodes/channels unusable.
+//! [`Network`] plus a predicate marking nodes/channels unusable.
 
 use crate::channel::{DirectedChannel, Direction};
 use crate::coords::NodeId;
+use crate::network::Network;
 use crate::path::Path;
-use crate::torus::Torus;
 use std::collections::VecDeque;
 
 /// Predicate describing which nodes and channels are unusable (faulty).
@@ -18,9 +18,13 @@ pub trait NodeFilter {
     fn node_blocked(&self, node: NodeId) -> bool;
 
     /// True if the channel is faulty / unusable. The default implementation
-    /// blocks a channel iff either endpoint is blocked.
-    fn channel_blocked(&self, torus: &Torus, ch: DirectedChannel) -> bool {
-        self.node_blocked(ch.from) || self.node_blocked(torus.channel_dest(ch))
+    /// blocks a channel iff either endpoint is blocked; channels that do not
+    /// physically exist (mesh edges) are always blocked.
+    fn channel_blocked(&self, net: &Network, ch: DirectedChannel) -> bool {
+        match net.channel_dest(ch) {
+            Some(to) => self.node_blocked(ch.from) || self.node_blocked(to),
+            None => true,
+        }
     }
 }
 
@@ -40,37 +44,37 @@ impl<F: Fn(NodeId) -> bool> NodeFilter for F {
     }
 }
 
-/// A view of the torus restricted to healthy nodes and channels.
+/// A view of the network restricted to healthy nodes and channels.
 pub struct HealthyGraph<'a, F: NodeFilter> {
-    torus: &'a Torus,
+    net: &'a Network,
     filter: &'a F,
 }
 
 impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
     /// Creates the healthy-subgraph view.
-    pub fn new(torus: &'a Torus, filter: &'a F) -> Self {
-        HealthyGraph { torus, filter }
+    pub fn new(net: &'a Network, filter: &'a F) -> Self {
+        HealthyGraph { net, filter }
     }
 
     /// The underlying topology.
-    pub fn torus(&self) -> &Torus {
-        self.torus
+    pub fn network(&self) -> &Network {
+        self.net
     }
 
     /// Healthy neighbours reachable over healthy channels.
     pub fn healthy_neighbors(&self, node: NodeId) -> Vec<(DirectedChannel, NodeId)> {
-        self.torus
+        self.net
             .neighbors(node)
             .into_iter()
             .filter(|(ch, next)| {
-                !self.filter.node_blocked(*next) && !self.filter.channel_blocked(self.torus, *ch)
+                !self.filter.node_blocked(*next) && !self.filter.channel_blocked(self.net, *ch)
             })
             .collect()
     }
 
     /// Number of healthy nodes.
     pub fn healthy_node_count(&self) -> usize {
-        self.torus
+        self.net
             .nodes()
             .filter(|n| !self.filter.node_blocked(*n))
             .count()
@@ -80,7 +84,7 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
     /// distance through the healthy subgraph (`None` if unreachable or
     /// blocked).
     pub fn bfs_distances(&self, start: NodeId) -> Vec<Option<u32>> {
-        let mut dist = vec![None; self.torus.num_nodes()];
+        let mut dist = vec![None; self.net.num_nodes()];
         if self.filter.node_blocked(start) {
             return dist;
         }
@@ -103,12 +107,12 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
     /// healthy channels (the paper's assumption (h): "faults do not disconnect
     /// the network").
     pub fn is_connected(&self) -> bool {
-        let Some(start) = self.torus.nodes().find(|n| !self.filter.node_blocked(*n)) else {
+        let Some(start) = self.net.nodes().find(|n| !self.filter.node_blocked(*n)) else {
             // no healthy nodes at all: vacuously connected
             return true;
         };
         let dist = self.bfs_distances(start);
-        self.torus
+        self.net
             .nodes()
             .filter(|n| !self.filter.node_blocked(*n))
             .all(|n| dist[n.index()].is_some())
@@ -127,8 +131,8 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
                 hops: Vec::new(),
             });
         }
-        let mut prev: Vec<Option<DirectedChannel>> = vec![None; self.torus.num_nodes()];
-        let mut seen = vec![false; self.torus.num_nodes()];
+        let mut prev: Vec<Option<DirectedChannel>> = vec![None; self.net.num_nodes()];
+        let mut seen = vec![false; self.net.num_nodes()];
         let mut queue = VecDeque::new();
         seen[src.index()] = true;
         queue.push_back(src);
@@ -173,8 +177,8 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
                 hops: Vec::new(),
             });
         }
-        let mut prev: Vec<Option<DirectedChannel>> = vec![None; self.torus.num_nodes()];
-        let mut seen = vec![false; self.torus.num_nodes()];
+        let mut prev: Vec<Option<DirectedChannel>> = vec![None; self.net.num_nodes()];
+        let mut seen = vec![false; self.net.num_nodes()];
         let mut queue = VecDeque::new();
         seen[src.index()] = true;
         queue.push_back(src);
@@ -182,9 +186,11 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
             for dim in dims.iter().copied() {
                 for dir in Direction::BOTH {
                     let ch = DirectedChannel::new(cur, dim, dir);
-                    let next = self.torus.channel_dest(ch);
+                    let Some(next) = self.net.channel_dest(ch) else {
+                        continue;
+                    };
                     if self.filter.node_blocked(next)
-                        || self.filter.channel_blocked(self.torus, ch)
+                        || self.filter.channel_blocked(self.net, ch)
                         || seen[next.index()]
                     {
                         continue;
@@ -225,28 +231,34 @@ mod tests {
 
     #[test]
     fn fault_free_network_is_connected() {
-        let t = Torus::new(8, 2).unwrap();
-        let f = NoFaults;
-        let g = HealthyGraph::new(&t, &f);
-        assert!(g.is_connected());
-        assert_eq!(g.healthy_node_count(), 64);
+        for net in [
+            Network::torus(8, 2).unwrap(),
+            Network::mesh(8, 2).unwrap(),
+            Network::hypercube(6).unwrap(),
+        ] {
+            let f = NoFaults;
+            let g = HealthyGraph::new(&net, &f);
+            assert!(g.is_connected());
+            assert_eq!(g.healthy_node_count(), 64);
+        }
     }
 
     #[test]
-    fn bfs_distance_equals_torus_distance_without_faults() {
-        let t = Torus::new(6, 2).unwrap();
-        let f = NoFaults;
-        let g = HealthyGraph::new(&t, &f);
-        let src = t.node_from_digits(&[0, 0]).unwrap();
-        let dist = g.bfs_distances(src);
-        for node in t.nodes() {
-            assert_eq!(dist[node.index()], Some(t.distance(src, node)));
+    fn bfs_distance_equals_network_distance_without_faults() {
+        for net in [Network::torus(6, 2).unwrap(), Network::mesh(6, 2).unwrap()] {
+            let f = NoFaults;
+            let g = HealthyGraph::new(&net, &f);
+            let src = net.node_from_digits(&[0, 0]).unwrap();
+            let dist = g.bfs_distances(src);
+            for node in net.nodes() {
+                assert_eq!(dist[node.index()], Some(net.distance(src, node)));
+            }
         }
     }
 
     #[test]
     fn blocked_nodes_are_unreachable() {
-        let t = Torus::new(4, 2).unwrap();
+        let t = Network::torus(4, 2).unwrap();
         let blocked = Blocked(HashSet::from([t.node_from_digits(&[1, 1]).unwrap()]));
         let g = HealthyGraph::new(&t, &blocked);
         let dist = g.bfs_distances(t.node_from_digits(&[0, 0]).unwrap());
@@ -257,18 +269,24 @@ mod tests {
     #[test]
     fn disconnection_is_detected() {
         // On a 4x1 ring, blocking two opposite nodes splits the ring.
-        let t = Torus::new(4, 1).unwrap();
+        let t = Network::torus(4, 1).unwrap();
         let blocked = Blocked(HashSet::from([
             t.node_from_digits(&[0]).unwrap(),
             t.node_from_digits(&[2]).unwrap(),
         ]));
         let g = HealthyGraph::new(&t, &blocked);
         assert!(!g.is_connected());
+        // On a 4x1 open line, blocking *one* interior node already splits it
+        // (there is no wrap-around to route behind the fault).
+        let m = Network::mesh(4, 1).unwrap();
+        let blocked = Blocked(HashSet::from([m.node_from_digits(&[1]).unwrap()]));
+        let g = HealthyGraph::new(&m, &blocked);
+        assert!(!g.is_connected());
     }
 
     #[test]
     fn shortest_path_detours_around_faults() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let src = t.node_from_digits(&[0, 0]).unwrap();
         let dest = t.node_from_digits(&[3, 0]).unwrap();
         // Block the straight line between them.
@@ -286,8 +304,25 @@ mod tests {
     }
 
     #[test]
+    fn mesh_detours_stay_inside_the_grid() {
+        let m = Network::mesh(8, 2).unwrap();
+        let src = m.node_from_digits(&[0, 0]).unwrap();
+        let dest = m.node_from_digits(&[3, 0]).unwrap();
+        let blocked = Blocked(HashSet::from([
+            m.node_from_digits(&[1, 0]).unwrap(),
+            m.node_from_digits(&[2, 0]).unwrap(),
+        ]));
+        let g = HealthyGraph::new(&m, &blocked);
+        let p = g.shortest_path(src, dest).unwrap();
+        assert!(p.is_well_formed(&m));
+        for node in p.nodes(&m) {
+            assert!(!blocked.node_blocked(node));
+        }
+    }
+
+    #[test]
     fn shortest_path_trivial_and_unreachable() {
-        let t = Torus::new(4, 2).unwrap();
+        let t = Network::torus(4, 2).unwrap();
         let f = NoFaults;
         let g = HealthyGraph::new(&t, &f);
         let a = t.node_from_digits(&[1, 2]).unwrap();
@@ -302,22 +337,23 @@ mod tests {
 
     #[test]
     fn shortest_path_in_dims_respects_dimension_restriction() {
-        let t = Torus::new(4, 3).unwrap();
-        let f = NoFaults;
-        let g = HealthyGraph::new(&t, &f);
-        let src = t.node_from_digits(&[0, 0, 0]).unwrap();
-        let dest = t.node_from_digits(&[2, 1, 0]).unwrap();
-        let p = g.shortest_path_in_dims(src, dest, &[0, 1]).unwrap();
-        assert!(p.is_well_formed(&t));
-        assert!(p.hops.iter().all(|h| h.dim < 2));
-        // destination differing in an excluded dimension is unreachable
-        let dest2 = t.node_from_digits(&[0, 0, 1]).unwrap();
-        assert!(g.shortest_path_in_dims(src, dest2, &[0, 1]).is_none());
+        for net in [Network::torus(4, 3).unwrap(), Network::mesh(4, 3).unwrap()] {
+            let f = NoFaults;
+            let g = HealthyGraph::new(&net, &f);
+            let src = net.node_from_digits(&[0, 0, 0]).unwrap();
+            let dest = net.node_from_digits(&[2, 1, 0]).unwrap();
+            let p = g.shortest_path_in_dims(src, dest, &[0, 1]).unwrap();
+            assert!(p.is_well_formed(&net));
+            assert!(p.hops.iter().all(|h| h.dim < 2));
+            // destination differing in an excluded dimension is unreachable
+            let dest2 = net.node_from_digits(&[0, 0, 1]).unwrap();
+            assert!(g.shortest_path_in_dims(src, dest2, &[0, 1]).is_none());
+        }
     }
 
     #[test]
     fn closure_filter_works() {
-        let t = Torus::new(4, 2).unwrap();
+        let t = Network::torus(4, 2).unwrap();
         let bad = t.node_from_digits(&[3, 3]).unwrap();
         let filter = move |n: NodeId| n == bad;
         let g = HealthyGraph::new(&t, &filter);

@@ -1,17 +1,23 @@
 //! # torus-topology
 //!
-//! k-ary n-cube (torus) topology support for the software-based fault-tolerant
-//! routing study (Safaei et al., IPDPS 2006).
+//! Mixed-radix multidimensional network topology support for the
+//! software-based fault-tolerant routing study (Safaei et al., IPDPS 2006).
 //!
-//! A k-ary n-cube consists of `N = k^n` nodes arranged in an n-dimensional cube
-//! with `k` nodes along each dimension. Every node is connected by a pair of
-//! unidirectional channels (one in each direction) to its two neighbours in each
-//! dimension, so the network is a direct, regular, edge-symmetric torus.
+//! The central type is [`Network`]: an n-dimensional grid with a per-dimension
+//! radix vector and a per-dimension wrap flag. A k-ary n-cube (torus), a
+//! k-ary n-mesh, a binary hypercube and arbitrary mixed-radix shapes like
+//! `8x8x4` are all instances of the same type, constructible from one code
+//! path ([`Network::torus`] / [`Network::mesh`] / [`Network::hypercube`] /
+//! [`Network::new`]). Every node is connected by a pair of unidirectional
+//! channels (one per direction) to its neighbour in each dimension; on open
+//! (non-wrapping) dimensions the edge nodes simply lack the outward channel.
 //!
 //! This crate provides:
 //!
-//! * [`Torus`] — the topology itself: node addressing, neighbour arithmetic,
+//! * [`Network`] — the topology itself: node addressing, neighbour arithmetic,
 //!   minimal offsets, distances and channel enumeration.
+//! * [`TopologySpec`] — a declarative, serialisable topology description with
+//!   a compact string form, used by configurations and CLIs.
 //! * [`Coord`] / [`NodeId`] — mixed-radix node addresses and their conversions.
 //! * [`Direction`], [`DirectedChannel`] — identification of unidirectional
 //!   physical channels.
@@ -19,21 +25,26 @@
 //! * [`graph`] — connectivity / shortest-path queries over the healthy subgraph
 //!   (used by the fault model and by the software re-routing layer).
 //! * [`rings`] — dateline bookkeeping used for deadlock-free virtual-channel
-//!   class assignment on torus rings.
+//!   class assignment on wrapped dimensions (open dimensions need no dateline
+//!   split, which [`DatelinePolicy`] encodes).
 //!
 //! # Example
 //!
 //! ```
-//! use torus_topology::{Torus, Direction};
+//! use torus_topology::{Network, Direction};
 //!
-//! let t = Torus::new(8, 2).unwrap();          // 8-ary 2-cube: 64 nodes
+//! let t = Network::torus(8, 2).unwrap();      // 8-ary 2-cube: 64 nodes
 //! assert_eq!(t.num_nodes(), 64);
 //! let origin = t.node_from_digits(&[0, 0]).unwrap();
-//! let east = t.neighbor(origin, 0, Direction::Plus);
+//! let east = t.neighbor(origin, 0, Direction::Plus).unwrap();
 //! assert_eq!(t.coord(east).digits(), &[1, 0]);
 //! // wrap-around
-//! let west = t.neighbor(origin, 0, Direction::Minus);
+//! let west = t.neighbor(origin, 0, Direction::Minus).unwrap();
 //! assert_eq!(t.coord(west).digits(), &[7, 0]);
+//!
+//! // the same origin on a mesh has no west neighbour at all
+//! let m = Network::mesh(8, 2).unwrap();
+//! assert_eq!(m.neighbor(origin, 0, Direction::Minus), None);
 //! ```
 
 #![forbid(unsafe_code)]
@@ -42,23 +53,26 @@
 pub mod channel;
 pub mod coords;
 pub mod graph;
+pub mod network;
 pub mod path;
 pub mod rings;
-pub mod torus;
+pub mod spec;
 
 pub use channel::{ChannelId, DirectedChannel, Direction};
 pub use coords::{Coord, NodeId};
 pub use graph::{HealthyGraph, NodeFilter};
+pub use network::{Network, NetworkError};
 pub use path::{dimension_order_path, hop_count, Path};
 pub use rings::{DatelinePolicy, VcClass};
-pub use torus::{Torus, TorusError};
+pub use spec::TopologySpec;
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
     pub use crate::channel::{ChannelId, DirectedChannel, Direction};
     pub use crate::coords::{Coord, NodeId};
     pub use crate::graph::HealthyGraph;
+    pub use crate::network::{Network, NetworkError};
     pub use crate::path::{dimension_order_path, hop_count};
     pub use crate::rings::{DatelinePolicy, VcClass};
-    pub use crate::torus::Torus;
+    pub use crate::spec::TopologySpec;
 }

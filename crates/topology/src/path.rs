@@ -8,9 +8,9 @@
 
 use crate::channel::{DirectedChannel, Direction};
 use crate::coords::NodeId;
-use crate::torus::Torus;
+use crate::network::Network;
 
-/// A hop-by-hop path through the torus.
+/// A hop-by-hop path through the network.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Path {
     /// Node the path starts at.
@@ -33,23 +33,34 @@ impl Path {
     }
 
     /// The sequence of nodes visited, including `src` and `dest`.
-    pub fn nodes(&self, torus: &Torus) -> Vec<NodeId> {
+    ///
+    /// # Panics
+    /// Panics if the path contains a channel that does not exist in `net`
+    /// (use [`Path::is_well_formed`] to check first).
+    pub fn nodes(&self, net: &Network) -> Vec<NodeId> {
         let mut nodes = Vec::with_capacity(self.hops.len() + 1);
         nodes.push(self.src);
         for hop in &self.hops {
-            nodes.push(torus.channel_dest(*hop));
+            nodes.push(
+                net.channel_dest(*hop)
+                    .expect("path hop over a non-existent channel"),
+            );
         }
         nodes
     }
 
-    /// Verifies that consecutive hops are adjacent and end at `dest`.
-    pub fn is_well_formed(&self, torus: &Torus) -> bool {
+    /// Verifies that every hop exists, consecutive hops are adjacent and the
+    /// path ends at `dest`.
+    pub fn is_well_formed(&self, net: &Network) -> bool {
         let mut cur = self.src;
         for hop in &self.hops {
             if hop.from != cur {
                 return false;
             }
-            cur = torus.channel_dest(*hop);
+            match net.channel_dest(*hop) {
+                Some(next) => cur = next,
+                None => return false,
+            }
         }
         cur == self.dest
     }
@@ -57,17 +68,19 @@ impl Path {
 
 /// Builds the dimension-order (e-cube) minimal path from `src` to `dest`,
 /// resolving each dimension in increasing order.
-pub fn dimension_order_path(torus: &Torus, src: NodeId, dest: NodeId) -> Path {
+pub fn dimension_order_path(net: &Network, src: NodeId, dest: NodeId) -> Path {
     let mut hops = Vec::new();
     let mut cur = src;
-    for dim in 0..torus.dims() {
+    for dim in 0..net.dims() {
         loop {
-            let off = torus.offset(cur, dest, dim);
+            let off = net.offset(cur, dest, dim);
             let Some(dir) = Direction::from_offset(off) else {
                 break;
             };
             let ch = DirectedChannel::new(cur, dim, dir);
-            cur = torus.channel_dest(ch);
+            cur = net
+                .channel_dest(ch)
+                .expect("minimal hop always stays inside the network");
             hops.push(ch);
         }
     }
@@ -75,10 +88,10 @@ pub fn dimension_order_path(torus: &Torus, src: NodeId, dest: NodeId) -> Path {
 }
 
 /// Number of hops of a minimal path between two nodes (equals
-/// [`Torus::distance`]; provided for readability at call sites that think in
-/// terms of paths).
-pub fn hop_count(torus: &Torus, src: NodeId, dest: NodeId) -> u32 {
-    torus.distance(src, dest)
+/// [`Network::distance`]; provided for readability at call sites that think
+/// in terms of paths).
+pub fn hop_count(net: &Network, src: NodeId, dest: NodeId) -> u32 {
+    net.distance(src, dest)
 }
 
 #[cfg(test)]
@@ -87,7 +100,7 @@ mod tests {
 
     #[test]
     fn ecube_path_is_minimal_and_well_formed() {
-        let t = Torus::new(8, 2).unwrap();
+        let t = Network::torus(8, 2).unwrap();
         let src = t.node_from_digits(&[1, 1]).unwrap();
         let dest = t.node_from_digits(&[6, 3]).unwrap();
         let p = dimension_order_path(&t, src, dest);
@@ -102,7 +115,7 @@ mod tests {
 
     #[test]
     fn trivial_path() {
-        let t = Torus::new(4, 3).unwrap();
+        let t = Network::torus(4, 3).unwrap();
         let a = t.node_from_digits(&[2, 1, 3]).unwrap();
         let p = dimension_order_path(&t, a, a);
         assert!(p.is_empty());
@@ -112,7 +125,7 @@ mod tests {
 
     #[test]
     fn path_uses_wraparound_when_shorter() {
-        let t = Torus::new(8, 1).unwrap();
+        let t = Network::torus(8, 1).unwrap();
         let a = t.node_from_digits(&[1]).unwrap();
         let b = t.node_from_digits(&[6]).unwrap();
         let p = dimension_order_path(&t, a, b);
@@ -122,14 +135,45 @@ mod tests {
     }
 
     #[test]
-    fn all_pairs_paths_are_minimal_small_torus() {
-        let t = Torus::new(4, 3).unwrap();
-        for src in t.nodes() {
-            for dest in t.nodes() {
-                let p = dimension_order_path(&t, src, dest);
-                assert!(p.is_well_formed(&t));
-                assert_eq!(p.len() as u32, hop_count(&t, src, dest));
+    fn mesh_path_never_leaves_the_grid() {
+        let m = Network::mesh(8, 1).unwrap();
+        let a = m.node_from_digits(&[1]).unwrap();
+        let b = m.node_from_digits(&[6]).unwrap();
+        let p = dimension_order_path(&m, a, b);
+        // No wrap shortcut: 5 Plus hops instead of the torus's 3 Minus hops.
+        assert_eq!(p.len(), 5);
+        assert!(p.hops.iter().all(|h| h.dir == Direction::Plus));
+        assert!(p.is_well_formed(&m));
+    }
+
+    #[test]
+    fn all_pairs_paths_are_minimal_small_networks() {
+        for net in [
+            Network::torus(4, 3).unwrap(),
+            Network::mesh(4, 2).unwrap(),
+            Network::hypercube(4).unwrap(),
+            Network::new(vec![4, 3], vec![true, false]).unwrap(),
+        ] {
+            for src in net.nodes() {
+                for dest in net.nodes() {
+                    let p = dimension_order_path(&net, src, dest);
+                    assert!(p.is_well_formed(&net));
+                    assert_eq!(p.len() as u32, hop_count(&net, src, dest));
+                }
             }
         }
+    }
+
+    #[test]
+    fn ill_formed_paths_are_rejected() {
+        let m = Network::mesh(4, 1).unwrap();
+        let edge = m.node_from_digits(&[0]).unwrap();
+        // A hop off the open edge is not well-formed.
+        let p = Path {
+            src: edge,
+            dest: m.node_from_digits(&[3]).unwrap(),
+            hops: vec![DirectedChannel::new(edge, 0, Direction::Minus)],
+        };
+        assert!(!p.is_well_formed(&m));
     }
 }

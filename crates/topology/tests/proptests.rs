@@ -1,86 +1,167 @@
-//! Property-based tests for the torus topology.
+//! Property-based tests for the mixed-radix network topology (torus, mesh,
+//! hypercube and arbitrary mixed shapes).
 
 use proptest::prelude::*;
-use torus_topology::{dimension_order_path, Direction, HealthyGraph, Torus};
+use torus_topology::{dimension_order_path, Direction, HealthyGraph, Network};
 
-fn arb_torus() -> impl Strategy<Value = Torus> {
-    (2u16..10, 1u32..4).prop_map(|(k, n)| Torus::new(k, n).unwrap())
+/// An arbitrary uniform-radix torus (every dimension wraps).
+fn arb_torus() -> impl Strategy<Value = Network> {
+    (2u16..10, 1u32..4).prop_map(|(k, n)| Network::torus(k, n).unwrap())
+}
+
+/// An arbitrary network: mixed radices (2..10) and independent per-dimension
+/// wrap flags, 1..=3 dimensions — covers tori, meshes, hypercubes and mixed
+/// shapes in one strategy.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (
+        1usize..=3,
+        (2u16..10, 2u16..10, 2u16..10),
+        (any::<bool>(), any::<bool>(), any::<bool>()),
+    )
+        .prop_map(|(n, (k0, k1, k2), (w0, w1, w2))| {
+            let radices = [k0, k1, k2][..n].to_vec();
+            let wraps = [w0, w1, w2][..n].to_vec();
+            Network::new(radices, wraps).unwrap()
+        })
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
 
     #[test]
-    fn coord_roundtrip_holds(t in arb_torus(), raw in 0u32..10_000) {
-        let node = torus_topology::NodeId(raw % t.num_nodes() as u32);
-        let c = t.coord(node);
-        prop_assert_eq!(t.node(&c).unwrap(), node);
-        prop_assert!(c.digits().iter().all(|&d| d < t.radix()));
-    }
-
-    #[test]
-    fn neighbor_inverse(t in arb_torus(), raw in 0u32..10_000, dim_raw in 0usize..4, plus in any::<bool>()) {
-        let node = torus_topology::NodeId(raw % t.num_nodes() as u32);
-        let dim = dim_raw % t.dims();
-        let dir = if plus { Direction::Plus } else { Direction::Minus };
-        let nb = t.neighbor(node, dim, dir);
-        prop_assert_eq!(t.neighbor(nb, dim, dir.opposite()), node);
-        // A hop changes exactly one coordinate (unless k == 2 where +/- coincide but the digit still changes).
-        let a = t.coord(node);
-        let b = t.coord(nb);
-        prop_assert_eq!(a.differing_dims(&b).len(), 1);
-    }
-
-    #[test]
-    fn distance_is_metric(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000, rc in 0u32..10_000) {
-        let n = t.num_nodes() as u32;
-        let a = torus_topology::NodeId(ra % n);
-        let b = torus_topology::NodeId(rb % n);
-        let c = torus_topology::NodeId(rc % n);
-        prop_assert_eq!(t.distance(a, a), 0);
-        prop_assert_eq!(t.distance(a, b), t.distance(b, a));
-        prop_assert!(t.distance(a, c) <= t.distance(a, b) + t.distance(b, c));
-    }
-
-    #[test]
-    fn ecube_path_minimal(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000) {
-        let n = t.num_nodes() as u32;
-        let a = torus_topology::NodeId(ra % n);
-        let b = torus_topology::NodeId(rb % n);
-        let p = dimension_order_path(&t, a, b);
-        prop_assert!(p.is_well_formed(&t));
-        prop_assert_eq!(p.len() as u32, t.distance(a, b));
-        // dimension indices along the path never decrease
-        let dims: Vec<usize> = p.hops.iter().map(|h| h.dim).collect();
-        prop_assert!(dims.windows(2).all(|w| w[0] <= w[1]));
-    }
-
-    #[test]
-    fn offsets_bounded_by_half_radix(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000) {
-        let n = t.num_nodes() as u32;
-        let a = torus_topology::NodeId(ra % n);
-        let b = torus_topology::NodeId(rb % n);
-        for off in t.offsets(a, b) {
-            prop_assert!(off.unsigned_abs() <= (t.radix() as u32) / 2);
+    fn coord_roundtrip_holds(net in arb_network(), raw in 0u32..10_000) {
+        let node = torus_topology::NodeId(raw % net.num_nodes() as u32);
+        let c = net.coord(node);
+        prop_assert_eq!(net.node(&c).unwrap(), node);
+        for (dim, &d) in c.digits().iter().enumerate() {
+            prop_assert!(d < net.radix(dim));
         }
     }
 
     #[test]
-    fn channel_id_dense_and_bijective(t in arb_torus()) {
-        let mut seen = vec![false; t.num_channels()];
+    fn neighbor_inverse(net in arb_network(), raw in 0u32..10_000, dim_raw in 0usize..4, plus in any::<bool>()) {
+        let node = torus_topology::NodeId(raw % net.num_nodes() as u32);
+        let dim = dim_raw % net.dims();
+        let dir = if plus { Direction::Plus } else { Direction::Minus };
+        match net.neighbor(node, dim, dir) {
+            Some(nb) => {
+                prop_assert_eq!(net.neighbor(nb, dim, dir.opposite()), Some(node));
+                // A hop changes exactly one coordinate (unless k == 2 where +/-
+                // coincide but the digit still changes).
+                let a = net.coord(node);
+                let b = net.coord(nb);
+                prop_assert_eq!(a.differing_dims(&b).len(), 1);
+                prop_assert!(net.has_channel(node, dim, dir));
+            }
+            None => {
+                // Missing neighbours only happen at the outward edge of an
+                // open dimension.
+                prop_assert!(!net.wraps(dim));
+                prop_assert!(!net.has_channel(node, dim, dir));
+                let pos = net.position(node, dim);
+                match dir {
+                    Direction::Plus => prop_assert_eq!(pos, net.radix(dim) - 1),
+                    Direction::Minus => prop_assert_eq!(pos, 0),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_metric(net in arb_network(), ra in 0u32..10_000, rb in 0u32..10_000, rc in 0u32..10_000) {
+        let n = net.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        let c = torus_topology::NodeId(rc % n);
+        prop_assert_eq!(net.distance(a, a), 0);
+        prop_assert_eq!(net.distance(a, b), net.distance(b, a));
+        prop_assert!(net.distance(a, c) <= net.distance(a, b) + net.distance(b, c));
+    }
+
+    #[test]
+    fn ecube_path_minimal(net in arb_network(), ra in 0u32..10_000, rb in 0u32..10_000) {
+        let n = net.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        let p = dimension_order_path(&net, a, b);
+        prop_assert!(p.is_well_formed(&net));
+        prop_assert_eq!(p.len() as u32, net.distance(a, b));
+        // dimension indices along the path never decrease
+        let dims: Vec<usize> = p.hops.iter().map(|h| h.dim).collect();
+        prop_assert!(dims.windows(2).all(|w| w[0] <= w[1]));
+        // no hop of a minimal path crosses an open dimension's edge
+        prop_assert!(p.hops.iter().all(|h| net.has_channel(h.from, h.dim, h.dir)));
+    }
+
+    #[test]
+    fn offsets_bounded_by_half_radix_on_rings(t in arb_torus(), ra in 0u32..10_000, rb in 0u32..10_000) {
+        let n = t.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        for (dim, off) in t.offsets(a, b).into_iter().enumerate() {
+            prop_assert!(off.unsigned_abs() <= (t.radix(dim) as u32) / 2);
+        }
+    }
+
+    #[test]
+    fn mesh_offsets_are_plain_differences(net in arb_network(), ra in 0u32..10_000, rb in 0u32..10_000) {
+        let n = net.num_nodes() as u32;
+        let a = torus_topology::NodeId(ra % n);
+        let b = torus_topology::NodeId(rb % n);
+        for dim in 0..net.dims() {
+            if !net.wraps(dim) {
+                let expected =
+                    net.position(b, dim) as i32 - net.position(a, dim) as i32;
+                prop_assert_eq!(net.offset(a, b, dim), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn channel_id_dense_and_bijective_on_tori(t in arb_torus()) {
+        let mut seen = vec![false; t.channel_slots()];
         for ch in t.channels() {
             let id = t.channel_id(ch);
             prop_assert!(!seen[id.index()]);
             seen[id.index()] = true;
             prop_assert_eq!(t.channel_from_id(id), ch);
         }
+        // On a torus every slot is a real channel.
         prop_assert!(seen.into_iter().all(|b| b));
     }
 
     #[test]
-    fn fault_free_graph_connected(t in arb_torus()) {
+    fn channel_id_injective_on_any_network(net in arb_network()) {
+        let mut seen = vec![false; net.channel_slots()];
+        let mut count = 0usize;
+        for ch in net.channels() {
+            let id = net.channel_id(ch);
+            prop_assert!(!seen[id.index()]);
+            seen[id.index()] = true;
+            prop_assert_eq!(net.channel_from_id(id), ch);
+            // Every enumerated channel exists and has a destination.
+            prop_assert!(net.channel_dest(ch).is_some());
+            count += 1;
+        }
+        prop_assert_eq!(count, net.num_channels());
+    }
+
+    #[test]
+    fn fault_free_graph_connected(net in arb_network()) {
         let f = |_n: torus_topology::NodeId| false;
-        let g = HealthyGraph::new(&t, &f);
+        let g = HealthyGraph::new(&net, &f);
         prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn datelines_only_on_wrapped_dimensions(net in arb_network()) {
+        for ch in net.channels() {
+            if net.is_wraparound(ch) {
+                prop_assert!(net.wraps(ch.dim));
+            }
+        }
+        if !net.any_wrap() {
+            prop_assert!(net.channels().all(|ch| !net.is_wraparound(ch)));
+        }
     }
 }

@@ -10,7 +10,7 @@
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use torus_faults::FaultSet;
-use torus_topology::{Coord, NodeId, Torus};
+use torus_topology::{Coord, Network, NodeId};
 
 /// A spatial traffic pattern mapping a source node to a destination node.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -47,7 +47,7 @@ impl DestinationPattern {
     /// source is the only healthy node).
     pub fn pick<R: Rng + ?Sized>(
         &self,
-        torus: &Torus,
+        net: &Network,
         faults: &FaultSet,
         src: NodeId,
         rng: &mut R,
@@ -55,21 +55,32 @@ impl DestinationPattern {
         let nominal = match self {
             DestinationPattern::UniformRandom => None,
             DestinationPattern::Transpose => {
-                let c = torus.coord(src);
+                // On mixed-radix shapes the rotated digits may not be a valid
+                // address; fall back to uniform random in that case.
+                let c = net.coord(src);
                 let n = c.dims();
                 let digits: Vec<u16> = (0..n).map(|i| c.get((i + 1) % n)).collect();
-                Some(torus.node(&Coord::new(digits)).expect("valid digits"))
+                net.node(&Coord::new(digits)).ok()
             }
             DestinationPattern::Complement => {
-                let c = torus.coord(src);
-                let k = torus.radix();
-                let digits: Vec<u16> = c.digits().iter().map(|&d| k - 1 - d).collect();
-                Some(torus.node(&Coord::new(digits)).expect("valid digits"))
+                let c = net.coord(src);
+                let digits: Vec<u16> = c
+                    .digits()
+                    .iter()
+                    .enumerate()
+                    .map(|(dim, &d)| net.radix(dim) - 1 - d)
+                    .collect();
+                Some(
+                    net.node(&Coord::new(digits))
+                        .expect("complement digit stays in range"),
+                )
             }
             DestinationPattern::Reversal => {
-                let c = torus.coord(src);
+                // Like Transpose, reversal is only address-preserving on
+                // uniform radices; otherwise fall back to uniform random.
+                let c = net.coord(src);
                 let digits: Vec<u16> = c.digits().iter().rev().copied().collect();
-                Some(torus.node(&Coord::new(digits)).expect("valid digits"))
+                net.node(&Coord::new(digits)).ok()
             }
             DestinationPattern::Hotspot { node, fraction } => {
                 if rng.gen_bool((*fraction).clamp(0.0, 1.0)) {
@@ -79,7 +90,7 @@ impl DestinationPattern {
                 }
             }
             DestinationPattern::NearestNeighbor => {
-                let neighbors = torus.neighbors(src);
+                let neighbors = net.neighbors(src);
                 let healthy: Vec<NodeId> = neighbors
                     .iter()
                     .map(|(_, n)| *n)
@@ -95,19 +106,19 @@ impl DestinationPattern {
 
         match nominal {
             Some(dest) if dest != src && !faults.is_node_faulty(dest) => Some(dest),
-            Some(_) | None => uniform_healthy_destination(torus, faults, src, rng),
+            Some(_) | None => uniform_healthy_destination(net, faults, src, rng),
         }
     }
 }
 
 /// Uniformly random healthy destination different from `src`.
 fn uniform_healthy_destination<R: Rng + ?Sized>(
-    torus: &Torus,
+    net: &Network,
     faults: &FaultSet,
     src: NodeId,
     rng: &mut R,
 ) -> Option<NodeId> {
-    let n = torus.num_nodes() as u32;
+    let n = net.num_nodes() as u32;
     let healthy = n as usize - faults.num_faulty_nodes();
     if healthy <= 1 {
         return None;
@@ -121,8 +132,7 @@ fn uniform_healthy_destination<R: Rng + ?Sized>(
         }
     }
     // Extremely unlikely fallback: scan deterministically.
-    torus
-        .nodes()
+    net.nodes()
         .find(|c| *c != src && !faults.is_node_faulty(*c))
 }
 
@@ -132,9 +142,9 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (Torus, FaultSet, StdRng) {
+    fn setup() -> (Network, FaultSet, StdRng) {
         (
-            Torus::new(8, 2).unwrap(),
+            Network::torus(8, 2).unwrap(),
             FaultSet::new(),
             StdRng::seed_from_u64(2024),
         )
@@ -202,7 +212,7 @@ mod tests {
 
     #[test]
     fn reversal_in_three_dims() {
-        let t = Torus::new(4, 3).unwrap();
+        let t = Network::torus(4, 3).unwrap();
         let f = FaultSet::new();
         let mut rng = StdRng::seed_from_u64(1);
         let src = t.node_from_digits(&[1, 2, 3]).unwrap();
@@ -271,8 +281,35 @@ mod tests {
     }
 
     #[test]
+    fn mixed_radix_patterns_fall_back_safely() {
+        // On an 8x4 mixed-radix shape, transposing/reversing a coordinate can
+        // produce an out-of-range digit; the pattern must fall back to a
+        // uniform healthy destination instead of panicking.
+        let net = Network::new(vec![8, 4], vec![true, false]).unwrap();
+        let f = FaultSet::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        let src = net.node_from_digits(&[6, 1]).unwrap();
+        for pattern in [
+            DestinationPattern::Transpose,
+            DestinationPattern::Reversal,
+            DestinationPattern::Complement,
+            DestinationPattern::NearestNeighbor,
+        ] {
+            for _ in 0..200 {
+                let d = pattern.pick(&net, &f, src, &mut rng).unwrap();
+                assert_ne!(d, src, "{pattern:?}");
+            }
+        }
+        // Complement uses the per-dimension radix.
+        let d = DestinationPattern::Complement
+            .pick(&net, &f, net.node_from_digits(&[1, 3]).unwrap(), &mut rng)
+            .unwrap();
+        assert_eq!(net.coord(d).digits(), &[6, 0]);
+    }
+
+    #[test]
     fn no_destination_when_alone() {
-        let t = Torus::new(2, 1).unwrap();
+        let t = Network::torus(2, 1).unwrap();
         let mut f = FaultSet::new();
         f.fail_node(NodeId(1));
         let mut rng = StdRng::seed_from_u64(4);

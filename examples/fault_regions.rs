@@ -8,7 +8,7 @@
 
 use swbft::faults::{classify_region, RegionClass, RegionShape};
 use swbft::prelude::*;
-use swbft::topology::Torus;
+use swbft::topology::Network;
 
 fn main() {
     println!("Fault-region shapes used in the paper (Fig. 1 / Fig. 5):\n");
@@ -43,7 +43,7 @@ fn main() {
     // Latency comparison: convex vs concave region of similar size, identical
     // traffic, deterministic Software-Based routing.
     println!("latency penalty, deterministic SW-Based routing, 8-ary 2-cube, M=32, V=10, lambda=0.006:\n");
-    let torus = Torus::new(8, 2).expect("valid topology");
+    let torus = Network::torus(8, 2).expect("valid topology");
     for (shape, label) in [
         (
             RegionShape::Rect {

@@ -4,7 +4,8 @@
 //! *Safaei et al., "Software-Based Fault-Tolerant Routing Algorithm in
 //! Multi-Dimensional Networks", IPDPS 2006*:
 //!
-//! * [`topology`] — k-ary n-cube topology and channel structure,
+//! * [`topology`] — mixed-radix multidimensional networks (torus / mesh /
+//!   hypercube / mixed shapes) and their channel structure,
 //! * [`faults`] — fault models and fault-region generators,
 //! * [`workloads`] — traffic generation (Poisson arrivals, destination patterns),
 //! * [`metrics`] — latency/throughput statistics and collectors,

@@ -7,7 +7,7 @@ use swbft::prelude::*;
 use swbft::routing::cdg::{build_ecube_cdg, VcModel};
 use swbft::routing::SwBasedRouting;
 use swbft::sim::{SimConfig, Simulation, StopCondition};
-use swbft::topology::Torus;
+use swbft::topology::{Network, TopologySpec};
 
 /// A small, fast experiment configuration shared by several tests.
 fn quick(radix: u16, dims: u32, v: usize, rate: f64) -> ExperimentConfig {
@@ -71,7 +71,7 @@ fn latency_increases_with_fault_count() {
 #[test]
 fn concave_region_costs_more_than_convex_region() {
     // Fig. 5's qualitative claim, on equal-sized regions.
-    let torus = Torus::new(8, 2).unwrap();
+    let torus = Network::torus(8, 2).unwrap();
     let run = |shape: RegionShape| {
         ExperimentConfig::paper_point(8, 2, 10, 32, 0.006)
             .with_routing(RoutingChoice::Deterministic)
@@ -143,7 +143,7 @@ fn deadlock_freedom_argument_holds_for_simulated_topologies() {
     // Section 4 of the paper: the channel dependency graph of the
     // deterministic / escape layer is acyclic for the topologies we simulate.
     for (k, n) in [(8u16, 2u32), (4, 3)] {
-        let torus = Torus::new(k, n).unwrap();
+        let torus = Network::torus(k, n).unwrap();
         let cdg = build_ecube_cdg(&torus, VcModel::DatelineClasses);
         assert!(cdg.is_acyclic(), "{k}-ary {n}-cube CDG must be acyclic");
         let naive = build_ecube_cdg(&torus, VcModel::SingleClass);
@@ -158,7 +158,7 @@ fn deadlock_freedom_argument_holds_for_simulated_topologies() {
 fn direct_simulator_usage_with_link_faults() {
     // Link faults are supported by the fault model even though the paper's
     // experiments only use node faults.
-    let torus = Torus::new(4, 2).unwrap();
+    let torus = Network::torus(4, 2).unwrap();
     let mut faults = FaultSet::new();
     faults.fail_link(
         &torus,
@@ -195,7 +195,7 @@ fn four_dimensional_torus_is_supported() {
 
 #[test]
 fn random_fault_sets_preserve_connectivity_by_construction() {
-    let torus = Torus::new(8, 3).unwrap();
+    let torus = Network::torus(8, 3).unwrap();
     let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(99);
     for nf in [1, 5, 12, 20] {
         let f: FaultSet = random_node_faults(&torus, nf, &mut rng).unwrap();
@@ -232,4 +232,90 @@ fn reports_render_to_csv_and_text() {
     };
     assert!(fig.render_text().contains("M=16, nf=0"));
     assert!(fig.to_csv().lines().count() >= 2);
+}
+
+#[test]
+fn mesh_experiments_run_end_to_end() {
+    // The generalized network layer: the same experiment harness drives a
+    // k-ary n-mesh (no wrap-around, one fewer VC class needed).
+    for routing in RoutingChoice::BOTH {
+        let out = ExperimentConfig::mesh_point(8, 2, 4, 16, 0.003)
+            .with_routing(routing)
+            .with_faults(FaultScenario::RandomNodes { count: 4 })
+            .quick(600, 150)
+            .run()
+            .expect("mesh experiment runs");
+        assert_eq!(out.config.topology, TopologySpec::mesh(8, 2));
+        assert_eq!(out.dropped_messages, 0, "{routing:?}");
+        assert_eq!(out.forced_absorptions, 0, "{routing:?}");
+        assert!(!out.hit_max_cycles, "{routing:?}");
+        assert!(out.report.messages_queued > 0, "{routing:?}");
+    }
+}
+
+#[test]
+fn hypercube_experiments_run_end_to_end() {
+    let out = ExperimentConfig::hypercube_point(6, 2, 16, 0.003)
+        .with_routing(RoutingChoice::Adaptive)
+        .with_faults(FaultScenario::RandomNodes { count: 3 })
+        .quick(600, 150)
+        .run()
+        .expect("hypercube experiment runs");
+    assert_eq!(out.config.num_nodes(), 64);
+    assert_eq!(out.dropped_messages, 0);
+    assert_eq!(out.forced_absorptions, 0);
+    assert!(!out.hit_max_cycles);
+}
+
+#[test]
+fn mesh_edge_traffic_is_delivered() {
+    // Corner-to-corner traffic on a mesh exercises the absent edge ports.
+    let out = ExperimentConfig::mesh_point(4, 2, 1, 8, 0.01)
+        .quick(500, 100)
+        .run()
+        .expect("single-VC mesh runs (no dateline class needed)");
+    assert_eq!(out.dropped_messages, 0);
+    assert!(!out.hit_max_cycles);
+    assert!(out.report.mean_latency >= 8.0);
+}
+
+#[test]
+fn mixed_radix_experiment_runs_end_to_end() {
+    let spec = TopologySpec::mixed(vec![8, 8, 4], vec![true, true, false]);
+    let out = ExperimentConfig::topology_point(spec.clone(), 4, 16, 0.002)
+        .with_faults(FaultScenario::RandomNodes { count: 4 })
+        .quick(400, 100)
+        .run()
+        .expect("mixed-radix experiment runs");
+    assert_eq!(out.config.topology, spec);
+    assert_eq!(out.config.num_nodes(), 256);
+    assert_eq!(out.dropped_messages, 0);
+}
+
+#[test]
+fn torus_beats_mesh_on_average_latency() {
+    // Wrap-around links halve the average distance, so at equal low load the
+    // torus must deliver lower mean latency than the matching mesh.
+    let base = |spec: TopologySpec| {
+        ExperimentConfig::topology_point(spec, 4, 16, 0.002)
+            .with_seed(9876)
+            .quick(800, 200)
+            .run()
+            .expect("runs")
+            .report
+    };
+    let torus = base(TopologySpec::torus(8, 2));
+    let mesh = base(TopologySpec::mesh(8, 2));
+    assert!(
+        mesh.mean_hops > torus.mean_hops,
+        "mesh hops {} vs torus hops {}",
+        mesh.mean_hops,
+        torus.mean_hops
+    );
+    assert!(
+        mesh.mean_latency > torus.mean_latency,
+        "mesh latency {} vs torus latency {}",
+        mesh.mean_latency,
+        torus.mean_latency
+    );
 }

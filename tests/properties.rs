@@ -7,48 +7,50 @@ use proptest::prelude::*;
 use swbft::faults::FaultSet;
 use swbft::routing::{RouteDecision, RoutingAlgorithm, SwBasedRouting};
 use swbft::sim::{SimConfig, Simulation, StopCondition};
-use swbft::topology::{NodeId, Torus};
+use swbft::topology::{Network, NodeId, TopologySpec};
 
 /// Walks a single message from `src` to `dest` through a faulty network using
 /// the full software loop (route → absorb → re-route → re-inject), mirroring
 /// what the simulator does, and returns the number of absorptions.
 /// Panics if the message fails to arrive within a generous hop budget.
 fn deliver_one_message(
-    torus: &Torus,
+    net: &Network,
     faults: &FaultSet,
     algo: &SwBasedRouting,
     src: NodeId,
     dest: NodeId,
 ) -> u32 {
-    let mut header = algo.make_header(torus, src, dest);
+    let mut header = algo.make_header(net, src, dest);
     let mut current = src;
     let mut steps = 0usize;
-    let budget = torus.num_nodes() * 16 + 64;
+    let budget = net.num_nodes() * 16 + 64;
     loop {
         steps += 1;
         assert!(
             steps < budget,
             "message from {src:?} to {dest:?} did not arrive within {budget} steps"
         );
-        match algo.route(torus, faults, &mut header, current, 6) {
+        match algo.route(net, faults, &mut header, current, 6) {
             RouteDecision::Deliver => {
                 assert_eq!(current, dest);
                 return header.absorptions;
             }
             RouteDecision::Forward(cands) => {
                 let c = &cands[0];
-                algo.note_hop(torus, &mut header, current, c.dim, c.dir);
-                current = torus.neighbor(current, c.dim, c.dir);
+                algo.note_hop(net, &mut header, current, c.dim, c.dir);
+                current = net
+                    .neighbor(current, c.dim, c.dir)
+                    .expect("forwarded over an existing channel");
                 assert!(
                     !faults.is_node_faulty(current),
                     "routing forwarded into a faulty node"
                 );
             }
             RouteDecision::Absorb => {
-                let blocked = swbft::routing::ecube::ecube_output(torus, &header, current)
+                let blocked = swbft::routing::ecube::ecube_output(net, &header, current)
                     .unwrap_or((0, swbft::topology::Direction::Plus));
                 assert!(
-                    algo.reroute_on_fault(torus, faults, &mut header, current, blocked),
+                    algo.reroute_on_fault(net, faults, &mut header, current, blocked),
                     "software layer failed to re-route in a connected network"
                 );
                 header.reset_for_injection();
@@ -57,11 +59,15 @@ fn deliver_one_message(
     }
 }
 
-fn arb_topology() -> impl Strategy<Value = (u16, u32)> {
+fn arb_topology() -> impl Strategy<Value = TopologySpec> {
     prop_oneof![
-        (4u16..=8, Just(2u32)),
-        (3u16..=5, Just(3u32)),
-        Just((3u16, 4u32)),
+        (4u16..=8, Just(2u32)).prop_map(|(k, n)| TopologySpec::torus(k, n)),
+        (3u16..=5, Just(3u32)).prop_map(|(k, n)| TopologySpec::torus(k, n)),
+        Just(TopologySpec::torus(3, 4)),
+        (4u16..=8, Just(2u32)).prop_map(|(k, n)| TopologySpec::mesh(k, n)),
+        (3u16..=4, Just(3u32)).prop_map(|(k, n)| TopologySpec::mesh(k, n)),
+        (4u32..=6).prop_map(TopologySpec::hypercube),
+        Just(TopologySpec::mixed(vec![6, 4, 3], vec![true, false, true])),
     ]
 }
 
@@ -73,28 +79,33 @@ proptest! {
     /// flavours of the algorithm.
     #[test]
     fn every_message_is_deliverable(
-        (k, n) in arb_topology(),
+        spec in arb_topology(),
         nf in 0usize..8,
         seed in any::<u64>(),
         adaptive in any::<bool>(),
     ) {
-        let torus = Torus::new(k, n).unwrap();
-        let nf = nf.min(torus.num_nodes() / 8);
+        let net = spec.build().unwrap();
+        let nf = nf.min(net.num_nodes() / 8);
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
-        let faults = swbft::faults::random_node_faults(&torus, nf, &mut rng).unwrap();
+        // Random fault placement can fail to preserve connectivity on sparse
+        // meshes; retry with fewer faults in that case.
+        let faults = (0..=nf)
+            .rev()
+            .find_map(|n| swbft::faults::random_node_faults(&net, n, &mut rng).ok())
+            .expect("nf = 0 always succeeds");
         let algo = if adaptive {
             SwBasedRouting::adaptive()
         } else {
             SwBasedRouting::deterministic()
         };
         // Sample a handful of healthy pairs rather than all N^2.
-        let healthy: Vec<NodeId> = faults.healthy_nodes(&torus).collect();
+        let healthy: Vec<NodeId> = faults.healthy_nodes(&net).collect();
         prop_assume!(healthy.len() >= 2);
         for i in 0..healthy.len().min(12) {
             let src = healthy[(i * 7) % healthy.len()];
             let dest = healthy[(i * 13 + 5) % healthy.len()];
             if src != dest {
-                deliver_one_message(&torus, &faults, &algo, src, dest);
+                deliver_one_message(&net, &faults, &algo, src, dest);
             }
         }
     }
@@ -106,11 +117,21 @@ proptest! {
         nf in 0usize..6,
         seed in any::<u64>(),
         adaptive in any::<bool>(),
+        mesh in any::<bool>(),
     ) {
-        let torus = Torus::new(6, 2).unwrap();
+        let spec = if mesh {
+            TopologySpec::mesh(6, 2)
+        } else {
+            TopologySpec::torus(6, 2)
+        };
+        let net = spec.clone().build().unwrap();
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(seed);
-        let faults = swbft::faults::random_node_faults(&torus, nf, &mut rng).unwrap();
-        let mut cfg = SimConfig::paper(6, 2, 4, 8, 0.01);
+        let faults = (0..=nf)
+            .rev()
+            .find_map(|n| swbft::faults::random_node_faults(&net, n, &mut rng).ok())
+            .expect("nf = 0 always succeeds");
+        let had_faults = faults.num_faulty_nodes() > 0;
+        let mut cfg = SimConfig::paper_topology(spec, 4, 8, 0.01);
         cfg.seed = seed;
         cfg.warmup_messages = 50;
         cfg.stop = StopCondition::MeasuredMessages(300);
@@ -130,7 +151,7 @@ proptest! {
             out.report.generated_messages,
             out.report.delivered_messages + out.report.in_flight_messages
         );
-        if nf == 0 {
+        if !had_faults {
             prop_assert_eq!(out.report.messages_queued, 0);
         }
     }
