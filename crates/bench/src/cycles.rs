@@ -1,7 +1,8 @@
 //! The cycles/sec benchmark suite: a small set of representative simulation
 //! points (fault-free low-load, faulted, near-saturation — on 2-D and 3-D
-//! tori plus a mesh and a hypercube point so the perf trajectory covers the
-//! non-wrap topologies), each timed on both the active-set engine and the
+//! tori plus mesh and hypercube points so the perf trajectory covers the
+//! non-wrap topologies, under both Duato-over-e-cube and negative-first
+//! turn-model routing), each timed on both the active-set engine and the
 //! full-scan reference engine.
 //!
 //! The `bench_cycles` binary runs the suite and emits `BENCH_cycles.json`
@@ -14,7 +15,7 @@ use rand::SeedableRng;
 use std::time::Instant;
 use torus_faults::{random_node_faults, FaultSet};
 use torus_metrics::SimulationReport;
-use torus_routing::SwBasedRouting;
+use torus_routing::{AnyRouting, SwBasedRouting, TurnModelRouting};
 use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
 use torus_topology::{Network, TopologySpec};
 
@@ -34,6 +35,36 @@ pub enum TopologyKind {
     Hypercube,
 }
 
+/// Routing algorithm of a benchmark point (the `routing` column of
+/// `BENCH_cycles.json`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointRouting {
+    /// Adaptive SW-Based routing (Duato's protocol over the e-cube escape
+    /// layer); valid on every topology.
+    SwAdaptive,
+    /// Negative-first turn-model routing (adaptive flavour); open topologies
+    /// only.
+    TurnModel,
+}
+
+impl PointRouting {
+    /// Stable label recorded in `BENCH_cycles.json`.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PointRouting::SwAdaptive => "sw-adaptive",
+            PointRouting::TurnModel => "turn-model",
+        }
+    }
+
+    /// The algorithm object the engines are timed with.
+    pub fn algorithm(&self) -> AnyRouting {
+        match self {
+            PointRouting::SwAdaptive => AnyRouting::SwBased(SwBasedRouting::adaptive()),
+            PointRouting::TurnModel => AnyRouting::TurnModel(TurnModelRouting::adaptive()),
+        }
+    }
+}
+
 /// One benchmark point of the suite.
 #[derive(Clone, Copy, Debug)]
 pub struct CyclePoint {
@@ -41,6 +72,8 @@ pub struct CyclePoint {
     pub name: &'static str,
     /// Topology family of the point.
     pub kind: TopologyKind,
+    /// Routing algorithm timed at this point.
+    pub routing: PointRouting,
     /// Radix `k` along each dimension (2 for hypercubes).
     pub radix: u16,
     /// Dimensionality `n`.
@@ -62,6 +95,7 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "2d_fault_free_low_load",
         kind: TopologyKind::Torus,
+        routing: PointRouting::SwAdaptive,
         radix: 16,
         dims: 2,
         virtual_channels: 4,
@@ -72,6 +106,7 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "2d_faulted_low_load",
         kind: TopologyKind::Torus,
+        routing: PointRouting::SwAdaptive,
         radix: 8,
         dims: 2,
         virtual_channels: 4,
@@ -82,6 +117,7 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "2d_near_saturation",
         kind: TopologyKind::Torus,
+        routing: PointRouting::SwAdaptive,
         radix: 8,
         dims: 2,
         virtual_channels: 4,
@@ -92,6 +128,7 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "3d_fault_free_low_load",
         kind: TopologyKind::Torus,
+        routing: PointRouting::SwAdaptive,
         radix: 8,
         dims: 3,
         virtual_channels: 4,
@@ -102,6 +139,7 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "3d_faulted_low_load",
         kind: TopologyKind::Torus,
+        routing: PointRouting::SwAdaptive,
         radix: 4,
         dims: 3,
         virtual_channels: 4,
@@ -112,6 +150,7 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "2d_mesh_faulted_low_load",
         kind: TopologyKind::Mesh,
+        routing: PointRouting::SwAdaptive,
         radix: 16,
         dims: 2,
         virtual_channels: 4,
@@ -122,9 +161,35 @@ pub const SUITE: &[CyclePoint] = &[
     CyclePoint {
         name: "hypercube6_fault_free_low_load",
         kind: TopologyKind::Hypercube,
+        routing: PointRouting::SwAdaptive,
         radix: 2,
         dims: 6,
         virtual_channels: 4,
+        message_length: 16,
+        rate: 0.004,
+        faults: 0,
+    },
+    // Turn-model points: the same mesh/hypercube shapes under negative-first
+    // routing at its reduced VC budget (1 escape + 1 adaptive), so the perf
+    // trajectory covers the second routing subsystem.
+    CyclePoint {
+        name: "2d_mesh_turnmodel_faulted_low_load",
+        kind: TopologyKind::Mesh,
+        routing: PointRouting::TurnModel,
+        radix: 16,
+        dims: 2,
+        virtual_channels: 2,
+        message_length: 16,
+        rate: 0.003,
+        faults: 5,
+    },
+    CyclePoint {
+        name: "hypercube6_turnmodel_fault_free_low_load",
+        kind: TopologyKind::Hypercube,
+        routing: PointRouting::TurnModel,
+        radix: 2,
+        dims: 6,
+        virtual_channels: 2,
         message_length: 16,
         rate: 0.004,
         faults: 0,
@@ -206,17 +271,17 @@ pub fn measure(
     for _ in 0..reps {
         let cfg = point.sim_config(cycles);
         let faults = point.fault_set();
+        let algo = point.routing.algorithm();
         let (elapsed, out) = match engine {
             Engine::Active => {
-                let mut sim = Simulation::new(cfg, faults, SwBasedRouting::adaptive())
-                    .expect("valid suite config");
+                let mut sim = Simulation::new(cfg, faults, algo).expect("valid suite config");
                 let start = Instant::now();
                 let out = sim.run();
                 (start.elapsed(), out)
             }
             Engine::Reference => {
-                let mut sim = ReferenceSimulation::new(cfg, faults, SwBasedRouting::adaptive())
-                    .expect("valid suite config");
+                let mut sim =
+                    ReferenceSimulation::new(cfg, faults, algo).expect("valid suite config");
                 let start = Instant::now();
                 let out = sim.run();
                 (start.elapsed(), out)
@@ -284,13 +349,14 @@ pub fn run_suite(cycles: u64, reps: usize) -> Vec<PointResult> {
 /// Renders the suite results as the `BENCH_cycles.json` document.
 pub fn to_json(results: &[PointResult], smoke: bool) -> String {
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"bench-cycles-v1\",\n");
+    out.push_str("  \"schema\": \"bench-cycles-v2\",\n");
     out.push_str(&format!("  \"smoke\": {smoke},\n"));
     out.push_str("  \"points\": [\n");
     for (i, r) in results.iter().enumerate() {
         let p = &r.point;
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", p.name));
+        out.push_str(&format!("      \"routing\": \"{}\",\n", p.routing.label()));
         out.push_str(&format!(
             "      \"topology\": {{\"kind\": \"{}\", \"radix\": {}, \"dims\": {}, \"virtual_channels\": {}}},\n",
             p.topology().kind(),
@@ -324,14 +390,22 @@ pub fn to_json(results: &[PointResult], smoke: bool) -> String {
 pub fn render_table(results: &[PointResult]) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<30} {:>10} {:>14} {:>14} {:>8} {:>10} {:>10}\n",
-        "point", "topology", "active c/s", "reference c/s", "speedup", "peak tbl", "generated"
+        "{:<40} {:>10} {:>12} {:>14} {:>14} {:>8} {:>10} {:>10}\n",
+        "point",
+        "topology",
+        "routing",
+        "active c/s",
+        "reference c/s",
+        "speedup",
+        "peak tbl",
+        "generated"
     ));
     for r in results {
         out.push_str(&format!(
-            "{:<30} {:>10} {:>14.0} {:>14.0} {:>7.2}x {:>10} {:>10}\n",
+            "{:<40} {:>10} {:>12} {:>14.0} {:>14.0} {:>7.2}x {:>10} {:>10}\n",
             r.point.name,
             r.point.topology().kind(),
+            r.point.routing.label(),
             r.active.cycles_per_sec,
             r.reference.cycles_per_sec,
             r.speedup(),
@@ -363,17 +437,21 @@ mod tests {
             );
         }
         let json = to_json(&results, true);
-        assert!(json.contains("\"schema\": \"bench-cycles-v1\""));
+        assert!(json.contains("\"schema\": \"bench-cycles-v2\""));
         assert!(json.contains("2d_fault_free_low_load"));
         assert!(json.contains("\"smoke\": true"));
         // The topology column names every family in the suite.
         assert!(json.contains("\"kind\": \"torus\""));
         assert!(json.contains("\"kind\": \"mesh\""));
         assert!(json.contains("\"kind\": \"hypercube\""));
+        // The routing column names both subsystems.
+        assert!(json.contains("\"routing\": \"sw-adaptive\""));
+        assert!(json.contains("\"routing\": \"turn-model\""));
         let table = render_table(&results);
         assert!(table.contains("3d_faulted_low_load"));
         assert!(table.contains("2d_mesh_faulted_low_load"));
         assert!(table.contains("hypercube6_fault_free_low_load"));
+        assert!(table.contains("2d_mesh_turnmodel_faulted_low_load"));
     }
 
     #[test]
@@ -396,6 +474,27 @@ mod tests {
         assert!(SUITE.iter().any(|p| p.kind == TopologyKind::Hypercube));
         for p in SUITE {
             assert!(p.topology().build().is_ok(), "{}", p.name);
+        }
+    }
+
+    #[test]
+    fn suite_covers_both_routing_subsystems_on_valid_topologies() {
+        use torus_routing::RoutingAlgorithm;
+        assert!(SUITE
+            .iter()
+            .any(|p| p.routing == PointRouting::TurnModel && p.kind == TopologyKind::Mesh));
+        assert!(SUITE
+            .iter()
+            .any(|p| p.routing == PointRouting::TurnModel && p.kind == TopologyKind::Hypercube));
+        // Every suite point's algorithm must be supported on its topology —
+        // turn-model points can only name open shapes.
+        for p in SUITE {
+            let net = p.topology().build().unwrap();
+            assert!(
+                p.routing.algorithm().supported_on(&net).is_ok(),
+                "{}",
+                p.name
+            );
         }
     }
 }

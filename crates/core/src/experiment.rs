@@ -6,11 +6,11 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use torus_faults::{FaultScenario, FaultScenarioError};
 use torus_metrics::SimulationReport;
-use torus_routing::SwBasedRouting;
+use torus_routing::{AnyRouting, SwBasedRouting, TurnModelRouting};
 use torus_sim::{SimConfig, SimConfigError, Simulation, StopCondition};
 use torus_topology::TopologySpec;
 
-/// Which routing flavour an experiment uses.
+/// Which routing algorithm an experiment uses.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum RoutingChoice {
     /// Deterministic Software-Based routing (e-cube in the fault-free case).
@@ -18,28 +18,45 @@ pub enum RoutingChoice {
     /// Adaptive Software-Based routing (Duato's Protocol in the fault-free
     /// case).
     Adaptive,
+    /// Negative-first turn-model routing (phase-adaptive with a
+    /// negative-first escape channel). Only valid on open (non-wrap)
+    /// topologies: running it on a wrapped dimension yields
+    /// [`ExperimentError::Sim`] with
+    /// [`torus_sim::SimConfigError::UnsupportedRouting`].
+    TurnModel,
 }
 
 impl RoutingChoice {
     /// The routing algorithm object for this choice.
-    pub fn algorithm(&self) -> SwBasedRouting {
+    pub fn algorithm(&self) -> AnyRouting {
         match self {
-            RoutingChoice::Deterministic => SwBasedRouting::deterministic(),
-            RoutingChoice::Adaptive => SwBasedRouting::adaptive(),
+            RoutingChoice::Deterministic => AnyRouting::SwBased(SwBasedRouting::deterministic()),
+            RoutingChoice::Adaptive => AnyRouting::SwBased(SwBasedRouting::adaptive()),
+            RoutingChoice::TurnModel => AnyRouting::TurnModel(TurnModelRouting::adaptive()),
         }
     }
 
-    /// Label used in tables ("deterministic" / "adaptive").
+    /// Label used in tables ("deterministic" / "adaptive" / "turn-model").
     pub fn label(&self) -> &'static str {
         match self {
             RoutingChoice::Deterministic => "deterministic",
             RoutingChoice::Adaptive => "adaptive",
+            RoutingChoice::TurnModel => "turn-model",
         }
     }
 
-    /// Both flavours, deterministic first (the order used by the paper's
-    /// figures).
+    /// Both Software-Based flavours, deterministic first (the order used by
+    /// the paper's figures; the torus baselines never include the turn model,
+    /// which wrapped dimensions reject).
     pub const BOTH: [RoutingChoice; 2] = [RoutingChoice::Deterministic, RoutingChoice::Adaptive];
+
+    /// Every routing choice, in comparison-table order. Only meaningful on
+    /// open topologies — the turn model is rejected elsewhere.
+    pub const ALL: [RoutingChoice; 3] = [
+        RoutingChoice::Deterministic,
+        RoutingChoice::Adaptive,
+        RoutingChoice::TurnModel,
+    ];
 }
 
 /// Errors produced while setting up or running an experiment.
@@ -397,6 +414,46 @@ mod tests {
         let out = cube.run().unwrap();
         assert!(!out.hit_max_cycles);
         assert_eq!(out.dropped_messages, 0);
+    }
+
+    #[test]
+    fn turn_model_runs_on_meshes_and_is_rejected_on_tori() {
+        let mesh = ExperimentConfig::mesh_point(8, 2, 2, 16, 0.003)
+            .with_routing(RoutingChoice::TurnModel)
+            .with_faults(FaultScenario::RandomNodes { count: 3 })
+            .quick(400, 100);
+        let out = mesh.run().unwrap();
+        assert_eq!(out.fault_count, 3);
+        assert_eq!(out.dropped_messages, 0);
+        assert_eq!(out.forced_absorptions, 0);
+        assert!(!out.hit_max_cycles);
+
+        let cube = ExperimentConfig::hypercube_point(5, 2, 8, 0.005)
+            .with_routing(RoutingChoice::TurnModel)
+            .quick(300, 100);
+        assert!(cube.run().is_ok());
+
+        // Wrapped dimensions reject the choice with a typed error, so torus
+        // baselines can never silently run the wrong algorithm.
+        let torus = ExperimentConfig::paper_point(8, 2, 4, 16, 0.003)
+            .with_routing(RoutingChoice::TurnModel)
+            .quick(300, 100);
+        assert!(matches!(
+            torus.run(),
+            Err(ExperimentError::Sim(
+                torus_sim::SimConfigError::UnsupportedRouting(_)
+            ))
+        ));
+    }
+
+    #[test]
+    fn routing_choice_all_covers_every_variant() {
+        assert_eq!(RoutingChoice::ALL.len(), 3);
+        assert_eq!(RoutingChoice::TurnModel.label(), "turn-model");
+        assert_eq!(
+            RoutingChoice::TurnModel.algorithm(),
+            torus_routing::AnyRouting::TurnModel(torus_routing::TurnModelRouting::adaptive())
+        );
     }
 
     #[test]

@@ -175,6 +175,11 @@ fn max_rate(routing: RoutingChoice, v: usize, dims: u32) -> f64 {
         (RoutingChoice::Adaptive, 4) => 0.016,
         (RoutingChoice::Adaptive, 6) => 0.020,
         (RoutingChoice::Adaptive, _) => 0.023,
+        // The turn model never appears in the paper's torus figures (wrapped
+        // dimensions reject it); mesh comparisons reuse the adaptive ranges.
+        (RoutingChoice::TurnModel, 4) => 0.016,
+        (RoutingChoice::TurnModel, 6) => 0.020,
+        (RoutingChoice::TurnModel, _) => 0.023,
     };
     // The 8-ary 3-cube saturates at similar per-node rates (Fig. 4 uses the
     // same axis ranges as Fig. 3), so no dimensional correction is applied.

@@ -12,10 +12,20 @@
 //! (no wrapped dimension) the naive single-class graph is already acyclic,
 //! i.e. the dateline VC is provably unnecessary there.
 
+//!
+//! For the negative-first turn model the module builds the *turn-rule* CDG
+//! ([`build_turn_cdg`]): an over-approximation containing a dependency edge
+//! for **every** pair of consecutive channels a turn-permitted route could
+//! occupy, not just the pairs the canonical routes actually use. Acyclicity
+//! of this graph therefore proves deadlock freedom for every routing function
+//! obeying the turn rule — the deterministic negative-first order and the
+//! phase-adaptive variant alike — with a single virtual channel per physical
+//! channel.
+
 use crate::ecube::ecube_output;
 use crate::header::{RouteHeader, RoutingFlavor};
 use std::collections::HashSet;
-use torus_topology::{DirectedChannel, Network, VcClass};
+use torus_topology::{DirectedChannel, Direction, Network, VcClass};
 
 /// A dependency graph over virtual-channel resources.
 #[derive(Clone, Debug)]
@@ -159,6 +169,67 @@ pub fn build_ecube_cdg(net: &Network, model: VcModel) -> DependencyGraph {
     graph
 }
 
+/// Turn rule used by [`build_turn_cdg`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TurnRule {
+    /// Negative-first: a hop in the Minus direction may never follow a hop in
+    /// the Plus direction. Breaks every dependency cycle on open dimensions.
+    NegativeFirst,
+    /// Every turn is permitted (except U-turns) — the unrestricted adaptive
+    /// baseline, cyclic on any mesh with at least two dimensions.
+    Unrestricted,
+}
+
+impl TurnRule {
+    /// Whether a message holding `held` may next request a channel in
+    /// direction `next` under this rule.
+    #[inline]
+    pub fn permits(self, held: Direction, next: Direction) -> bool {
+        match self {
+            TurnRule::NegativeFirst => !(held == Direction::Plus && next == Direction::Minus),
+            TurnRule::Unrestricted => true,
+        }
+    }
+}
+
+/// Builds the single-VC-class channel dependency graph of **all** routes
+/// permitted by `rule`: one edge per pair of channels `(held, requested)`
+/// such that `requested` starts where `held` ends, is not the U-turn back
+/// along `held`, and the turn is legal under the rule.
+///
+/// This over-approximates every concrete routing function obeying the rule
+/// (minimal or not), so acyclicity here implies deadlock freedom for the
+/// negative-first subsystem with one virtual channel. Conversely, on a
+/// wrapped dimension the same-direction dependency chain around the ring
+/// closes a cycle no turn prohibition can break — which is exactly why the
+/// turn model is rejected on wrapped dimensions.
+pub fn build_turn_cdg(net: &Network, rule: TurnRule) -> DependencyGraph {
+    let mut graph = DependencyGraph::new(net.channel_slots());
+    let mut seen = HashSet::new();
+    for held in net.channels() {
+        let mid = net
+            .channel_dest(held)
+            .expect("channels() yields only existing channels");
+        let from = net.channel_id(held).index();
+        for dim in 0..net.dims() {
+            for dir in Direction::BOTH {
+                if dim == held.dim && dir == held.dir.opposite() {
+                    continue; // U-turn
+                }
+                if !rule.permits(held.dir, dir) {
+                    continue;
+                }
+                if !net.has_channel(mid, dim, dir) {
+                    continue;
+                }
+                let to = net.channel_id(DirectedChannel::new(mid, dim, dir)).index();
+                graph.add_edge(from, to, &mut seen);
+            }
+        }
+    }
+    graph
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -257,6 +328,90 @@ mod tests {
                 "fault-free e-cube CDG must be acyclic on the {k}-ary {n}-cube"
             );
         }
+    }
+
+    #[test]
+    fn negative_first_turn_cdg_is_acyclic_on_open_shapes() {
+        // The tentpole claim: with the Plus->Minus turn prohibited, the
+        // *complete* dependency graph of all permitted routes is acyclic with
+        // a single VC class — on meshes, hypercubes and mixed-radix open
+        // shapes alike.
+        for net in [
+            Network::mesh(4, 2).unwrap(),
+            Network::mesh(8, 2).unwrap(),
+            Network::mesh(3, 3).unwrap(),
+            Network::hypercube(5).unwrap(),
+            Network::new(vec![6, 3, 2], vec![false, false, false]).unwrap(),
+        ] {
+            let g = build_turn_cdg(&net, TurnRule::NegativeFirst);
+            assert!(g.num_edges() > 0);
+            assert!(
+                g.is_acyclic(),
+                "negative-first turn CDG must be acyclic on {net}"
+            );
+        }
+    }
+
+    #[test]
+    fn unrestricted_turns_close_cycles_on_meshes() {
+        // Without the turn restriction even a mesh deadlocks: the four turns
+        // of any 2-D plane close a cycle. This is why the adaptive flavour
+        // restricts its candidates to the current negative-first phase.
+        for net in [
+            Network::mesh(2, 2).unwrap(),
+            Network::mesh(4, 2).unwrap(),
+            Network::hypercube(3).unwrap(),
+        ] {
+            let g = build_turn_cdg(&net, TurnRule::Unrestricted);
+            assert!(
+                !g.is_acyclic(),
+                "unrestricted turn CDG on {net} must contain cycles"
+            );
+        }
+        // A 1-D line has no turns at all; even unrestricted it is acyclic.
+        let line = Network::mesh(8, 1).unwrap();
+        assert!(build_turn_cdg(&line, TurnRule::Unrestricted).is_acyclic());
+    }
+
+    #[test]
+    fn negative_first_turn_cdg_is_cyclic_on_wrapped_dimensions() {
+        // The reason the turn model is rejected on tori: a ring's
+        // same-direction chain is a cycle no turn prohibition breaks.
+        for net in [
+            Network::torus(4, 2).unwrap(),
+            Network::torus(8, 1).unwrap(),
+            Network::new(vec![4, 3], vec![true, false]).unwrap(),
+        ] {
+            let g = build_turn_cdg(&net, TurnRule::NegativeFirst);
+            assert!(
+                !g.is_acyclic(),
+                "negative-first turn CDG on wrapped {net} must contain cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn turn_rule_permits_table() {
+        use Direction::{Minus, Plus};
+        assert!(TurnRule::NegativeFirst.permits(Minus, Minus));
+        assert!(TurnRule::NegativeFirst.permits(Minus, Plus));
+        assert!(TurnRule::NegativeFirst.permits(Plus, Plus));
+        assert!(!TurnRule::NegativeFirst.permits(Plus, Minus));
+        for held in Direction::BOTH {
+            for next in Direction::BOTH {
+                assert!(TurnRule::Unrestricted.permits(held, next));
+            }
+        }
+    }
+
+    #[test]
+    fn turn_cdg_vertex_space_matches_channel_slots() {
+        let m = Network::mesh(4, 2).unwrap();
+        let g = build_turn_cdg(&m, TurnRule::NegativeFirst);
+        assert_eq!(g.num_vertices(), m.channel_slots());
+        // The restricted graph is a strict subgraph of the unrestricted one.
+        let u = build_turn_cdg(&m, TurnRule::Unrestricted);
+        assert!(g.num_edges() < u.num_edges());
     }
 
     #[test]

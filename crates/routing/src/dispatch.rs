@@ -1,0 +1,181 @@
+//! Runtime dispatch over the routing subsystems.
+//!
+//! The simulator engines are generic over [`RoutingAlgorithm`], which is
+//! ideal for tests and benchmarks that know their algorithm statically. The
+//! experiment harness, however, selects the algorithm from configuration at
+//! runtime; [`AnyRouting`] is the closed enum it dispatches through — a
+//! zero-allocation alternative to trait objects that keeps the engines
+//! monomorphised.
+
+use crate::decision::RouteDecision;
+use crate::header::{RouteHeader, RoutingFlavor};
+use crate::swbased::{RoutingAlgorithm, SwBasedRouting};
+use crate::turnmodel::{RoutingTopologyError, TurnModelRouting};
+use torus_faults::FaultSet;
+use torus_topology::{Direction, Network, NodeId};
+
+/// Either routing subsystem behind one dispatchable value.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnyRouting {
+    /// The Software-Based scheme over e-cube / Duato's protocol (all
+    /// topologies).
+    SwBased(SwBasedRouting),
+    /// The negative-first turn model (open topologies only).
+    TurnModel(TurnModelRouting),
+}
+
+impl From<SwBasedRouting> for AnyRouting {
+    fn from(algo: SwBasedRouting) -> Self {
+        AnyRouting::SwBased(algo)
+    }
+}
+
+impl From<TurnModelRouting> for AnyRouting {
+    fn from(algo: TurnModelRouting) -> Self {
+        AnyRouting::TurnModel(algo)
+    }
+}
+
+macro_rules! delegate {
+    ($self:ident, $algo:ident => $body:expr) => {
+        match $self {
+            AnyRouting::SwBased($algo) => $body,
+            AnyRouting::TurnModel($algo) => $body,
+        }
+    };
+}
+
+impl RoutingAlgorithm for AnyRouting {
+    fn flavor(&self) -> RoutingFlavor {
+        delegate!(self, a => a.flavor())
+    }
+
+    fn min_virtual_channels(&self, net: &Network) -> usize {
+        delegate!(self, a => a.min_virtual_channels(net))
+    }
+
+    fn supported_on(&self, net: &Network) -> Result<(), RoutingTopologyError> {
+        delegate!(self, a => a.supported_on(net))
+    }
+
+    fn deterministic_output(
+        &self,
+        net: &Network,
+        header: &RouteHeader,
+        current: NodeId,
+    ) -> Option<(usize, Direction)> {
+        delegate!(self, a => a.deterministic_output(net, header, current))
+    }
+
+    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+        delegate!(self, a => a.make_header(net, src, dest))
+    }
+
+    fn route(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision {
+        delegate!(self, a => a.route(net, faults, header, current, v))
+    }
+
+    fn note_hop(
+        &self,
+        net: &Network,
+        header: &mut RouteHeader,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) {
+        delegate!(self, a => a.note_hop(net, header, from, dim, dir))
+    }
+
+    fn reroute_on_fault(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        at: NodeId,
+        blocked: (usize, Direction),
+    ) -> bool {
+        delegate!(self, a => a.reroute_on_fault(net, faults, header, at, blocked))
+    }
+
+    fn name(&self) -> String {
+        delegate!(self, a => a.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delegates_to_the_wrapped_algorithm() {
+        let mesh = Network::mesh(8, 2).unwrap();
+        let torus = Network::torus(8, 2).unwrap();
+        let sw: AnyRouting = SwBasedRouting::adaptive().into();
+        let tm: AnyRouting = TurnModelRouting::adaptive().into();
+        assert_eq!(sw.flavor(), RoutingFlavor::Adaptive);
+        assert_eq!(sw.min_virtual_channels(&torus), 3);
+        assert_eq!(tm.min_virtual_channels(&mesh), 2);
+        assert_eq!(sw.supported_on(&torus), Ok(()));
+        assert!(tm.supported_on(&torus).is_err());
+        assert_eq!(sw.name(), "SW-Based-nD (adaptive)");
+        assert_eq!(tm.name(), "Negative-First (adaptive)");
+    }
+
+    #[test]
+    fn deterministic_output_matches_the_subsystem() {
+        let mesh = Network::mesh(8, 2).unwrap();
+        let src = mesh.node_from_digits(&[3, 5]).unwrap();
+        let dest = mesh.node_from_digits(&[5, 2]).unwrap();
+        let sw: AnyRouting = SwBasedRouting::deterministic().into();
+        let tm: AnyRouting = TurnModelRouting::deterministic().into();
+        let h = sw.make_header(&mesh, src, dest);
+        // e-cube goes lowest-dimension first (+2 in dim 0); negative-first
+        // clears the negative dim-1 offset first.
+        assert_eq!(
+            sw.deterministic_output(&mesh, &h, src),
+            Some((0, Direction::Plus))
+        );
+        assert_eq!(
+            tm.deterministic_output(&mesh, &h, src),
+            Some((1, Direction::Minus))
+        );
+    }
+
+    #[test]
+    fn routes_end_to_end_through_the_dispatcher() {
+        let mesh = Network::mesh(4, 2).unwrap();
+        let faults = FaultSet::new();
+        for algo in [
+            AnyRouting::SwBased(SwBasedRouting::deterministic()),
+            AnyRouting::TurnModel(TurnModelRouting::deterministic()),
+        ] {
+            let src = mesh.node_from_digits(&[0, 3]).unwrap();
+            let dest = mesh.node_from_digits(&[3, 0]).unwrap();
+            let mut header = algo.make_header(&mesh, src, dest);
+            let mut current = src;
+            let mut hops = 0u32;
+            loop {
+                match algo.route(&mesh, &faults, &mut header, current, 2) {
+                    RouteDecision::Deliver => break,
+                    RouteDecision::Forward(cands) => {
+                        let c = &cands[0];
+                        algo.note_hop(&mesh, &mut header, current, c.dim, c.dir);
+                        current = mesh.neighbor(current, c.dim, c.dir).unwrap();
+                        hops += 1;
+                        assert!(hops <= 6);
+                    }
+                    other => panic!("unexpected {other:?} from {}", algo.name()),
+                }
+            }
+            assert_eq!(current, dest);
+            assert_eq!(hops, mesh.distance(src, dest));
+        }
+    }
+}

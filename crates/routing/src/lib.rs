@@ -21,11 +21,18 @@
 //!   dimension, finally an explicit fault-free intermediate-node path), and it
 //!   is re-injected with priority. Once faulted, a message stays
 //!   deterministic.
+//! * **Negative-first turn-model routing** ([`turnmodel`]) — the classic
+//!   low-VC alternative on open (non-wrap) topologies: deadlock freedom via
+//!   a prohibited turn instead of dateline channel classes, with the same
+//!   SW-Based software-layer fault handling. One VC suffices deterministic,
+//!   two adaptive; the algorithm is rejected with a typed error on wrapped
+//!   dimensions.
 //! * **Channel-dependency-graph analysis** ([`cdg`]) — builds the extended
 //!   CDG of the deterministic / escape layer and verifies acyclicity, the
 //!   deadlock-freedom argument of Section 4 of the paper (and, on meshes,
 //!   that a single VC class suffices: the dateline VC is only needed where a
-//!   dimension wraps).
+//!   dimension wraps). The turn-rule CDG does the same for the negative-first
+//!   subsystem.
 //!
 //! The simulator drives a [`SwBasedRouting`] instance through the
 //! [`RoutingAlgorithm`] interface: `route` for head-flit routing decisions,
@@ -38,17 +45,23 @@
 pub mod adaptive;
 pub mod cdg;
 pub mod decision;
+pub mod dispatch;
 pub mod ecube;
 pub mod header;
 pub mod swbased;
+pub mod turnmodel;
 
 pub use decision::{OutputCandidate, RouteDecision};
+pub use dispatch::AnyRouting;
 pub use header::{RouteHeader, RoutingFlavor};
 pub use swbased::{RoutingAlgorithm, SwBasedRouting};
+pub use turnmodel::{RoutingTopologyError, TurnModelRouting};
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
     pub use crate::decision::{OutputCandidate, RouteDecision};
+    pub use crate::dispatch::AnyRouting;
     pub use crate::header::{RouteHeader, RoutingFlavor};
     pub use crate::swbased::{RoutingAlgorithm, SwBasedRouting};
+    pub use crate::turnmodel::{RoutingTopologyError, TurnModelRouting};
 }

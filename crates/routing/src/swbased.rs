@@ -29,6 +29,7 @@ use crate::adaptive::adaptive_candidates;
 use crate::decision::{OutputCandidate, RouteDecision};
 use crate::ecube::{deterministic_vcs, ecube_output, ecube_vc_class};
 use crate::header::{RouteHeader, RoutingFlavor};
+use crate::turnmodel::RoutingTopologyError;
 use serde::{Deserialize, Serialize};
 use torus_faults::FaultSet;
 use torus_topology::{DatelinePolicy, Direction, HealthyGraph, Network, NodeId};
@@ -42,6 +43,28 @@ pub trait RoutingAlgorithm {
     /// Minimum number of virtual channels per physical channel this algorithm
     /// needs for deadlock freedom on the given network.
     fn min_virtual_channels(&self, net: &Network) -> usize;
+
+    /// Checks that the algorithm can operate on `net` at all. Both simulator
+    /// engines call this at construction time and surface the error as a
+    /// typed configuration failure. Defaults to "supported everywhere"; the
+    /// negative-first turn model overrides it to reject wrapped dimensions.
+    fn supported_on(&self, _net: &Network) -> Result<(), RoutingTopologyError> {
+        Ok(())
+    }
+
+    /// The deterministic-layer output this algorithm steers `header` towards
+    /// at `current` — the output the simulator reports as `blocked` to
+    /// [`RoutingAlgorithm::reroute_on_fault`] when a message is absorbed.
+    /// Defaults to the e-cube output; the turn model overrides it with the
+    /// negative-first output.
+    fn deterministic_output(
+        &self,
+        net: &Network,
+        header: &RouteHeader,
+        current: NodeId,
+    ) -> Option<(usize, Direction)> {
+        ecube_output(net, header, current)
+    }
 
     /// Builds the header of a newly generated message.
     fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader;
@@ -155,36 +178,57 @@ impl SwBasedRouting {
         header: &mut RouteHeader,
         at: NodeId,
     ) -> bool {
-        let graph = HealthyGraph::new(net, faults);
-        let Some(path) = graph.shortest_path(at, header.final_dest) else {
-            return false;
-        };
-        let nodes = path.nodes(net);
-        header.set_via_chain(nodes.into_iter().skip(1));
-        header.escorted = true;
-        for forced in &mut header.forced_dir {
-            *forced = None;
-        }
-        true
+        install_explicit_path(net, faults, header, at)
     }
 
     /// Dimensions to try for the orthogonal detour (rule 2), preferring the
     /// partner dimension of the current dimension pair as in the SW-Based-nD
     /// formulation of Fig. 2.
     fn orthogonal_order(dims: usize, blocked_dim: usize) -> Vec<usize> {
-        let mut order = Vec::with_capacity(dims.saturating_sub(1));
-        if blocked_dim + 1 < dims {
-            order.push(blocked_dim + 1);
-        } else if blocked_dim > 0 {
-            order.push(blocked_dim - 1);
-        }
-        for d in 0..dims {
-            if d != blocked_dim && !order.contains(&d) {
-                order.push(d);
-            }
-        }
-        order
+        orthogonal_order(dims, blocked_dim)
     }
+}
+
+/// Installs an explicit fault-free path from `at` to the header's final
+/// destination (rule 3 / assumption (i)(ii) of the paper). Shared between the
+/// SW-Based scheme and the turn-model subsystem, whose software layers apply
+/// the same fallback. Returns `false` only when the destination is
+/// unreachable.
+pub(crate) fn install_explicit_path(
+    net: &Network,
+    faults: &FaultSet,
+    header: &mut RouteHeader,
+    at: NodeId,
+) -> bool {
+    let graph = HealthyGraph::new(net, faults);
+    let Some(path) = graph.shortest_path(at, header.final_dest) else {
+        return false;
+    };
+    let nodes = path.nodes(net);
+    header.set_via_chain(nodes.into_iter().skip(1));
+    header.escorted = true;
+    for forced in &mut header.forced_dir {
+        *forced = None;
+    }
+    true
+}
+
+/// Dimensions to try for the orthogonal detour (rule 2), preferring the
+/// partner dimension of the blocked dimension's pair as in the SW-Based-nD
+/// formulation of Fig. 2. Shared with the turn-model software layer.
+pub(crate) fn orthogonal_order(dims: usize, blocked_dim: usize) -> Vec<usize> {
+    let mut order = Vec::with_capacity(dims.saturating_sub(1));
+    if blocked_dim + 1 < dims {
+        order.push(blocked_dim + 1);
+    } else if blocked_dim > 0 {
+        order.push(blocked_dim - 1);
+    }
+    for d in 0..dims {
+        if d != blocked_dim && !order.contains(&d) {
+            order.push(d);
+        }
+    }
+    order
 }
 
 impl RoutingAlgorithm for SwBasedRouting {

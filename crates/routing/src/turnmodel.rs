@@ -1,0 +1,673 @@
+//! Negative-first turn-model routing for open (non-wrap) topologies.
+//!
+//! The turn model (Glass & Ni) achieves deadlock freedom on meshes without
+//! virtual-channel classes by *prohibiting turns* instead of splitting
+//! channels: negative-first routing forbids every turn from a positive
+//! (Plus) channel onto a negative (Minus) channel, which breaks all channel
+//! dependency cycles on open dimensions (see [`crate::cdg::build_turn_cdg`]
+//! for the explicit acyclicity proof the test-suite runs). A message first
+//! takes all its negative hops — in any order — and then all its positive
+//! hops; once it has moved in a positive direction it never moves negatively
+//! again within the same network traversal.
+//!
+//! This gives the SW-Based scheme a second deterministic/escape substrate on
+//! meshes, hypercubes and mixed-radix open shapes:
+//!
+//! * **deterministic flavour** — the canonical negative-first order (negative
+//!   hops in increasing dimension order, then positive hops in increasing
+//!   dimension order). One virtual channel suffices: the negative-first CDG
+//!   is acyclic with a single VC class.
+//! * **adaptive flavour** — minimal adaptive routing restricted to the
+//!   current negative-first phase (any productive Minus hop while negative
+//!   offsets remain, any productive Plus hop afterwards) on the adaptive VC
+//!   pool, with the canonical negative-first output as the escape channel on
+//!   VC 0. Two virtual channels suffice (1 escape + >= 1 adaptive), versus
+//!   three for Duato-over-e-cube on a torus.
+//!
+//! Because the turn restriction replaces the dateline argument, the model is
+//! only sound where no dimension wraps: a ring's same-direction dependency
+//! chain closes a cycle no turn prohibition can break. Both simulator engines
+//! therefore reject the algorithm on wrapped dimensions at construction time
+//! with a typed [`RoutingTopologyError`].
+//!
+//! **Fault handling** mirrors the SW-Based software layer (Fig. 2 of the
+//! paper) minus rule 1: re-routing in the same dimension, opposite direction
+//! only pays off on a wrapped ring, which this model never runs on, so an
+//! absorbed message goes straight to the orthogonal detour (rule 2) and
+//! falls back to an explicit fault-free path (rule 3) when the misroute
+//! budget is exhausted. As with the SW-Based scheme, the detour legs of a
+//! faulted message may violate the turn restriction across absorption
+//! boundaries; the deadlock-freedom argument for the fault-free layer (the
+//! CDG analysis) matches the scope of the paper's Section 4 argument for
+//! e-cube.
+
+use crate::adaptive::productive_outputs;
+use crate::decision::{OutputCandidate, RouteDecision};
+use crate::header::{RouteHeader, RoutingFlavor};
+use crate::swbased::{install_explicit_path, orthogonal_order, RoutingAlgorithm};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use torus_faults::FaultSet;
+use torus_topology::{Direction, Network, NodeId};
+
+/// Typed error for routing algorithms that cannot operate on a topology.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RoutingTopologyError {
+    /// The algorithm requires every dimension to be open (non-wrap), but the
+    /// network wraps in the named dimension.
+    WrappedDimension {
+        /// Human-readable algorithm name.
+        algorithm: &'static str,
+        /// First wrapped dimension encountered.
+        dim: usize,
+        /// Radix of that dimension.
+        radix: u16,
+    },
+}
+
+impl fmt::Display for RoutingTopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RoutingTopologyError::WrappedDimension {
+                algorithm,
+                dim,
+                radix,
+            } => write!(
+                f,
+                "{algorithm} routing requires open dimensions, but dimension {dim} \
+                 (radix {radix}) wraps around; use a mesh/hypercube topology or \
+                 Duato-over-e-cube routing"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RoutingTopologyError {}
+
+/// The canonical negative-first output for a header at `current`: the lowest
+/// dimension with a negative offset towards the current target, else the
+/// lowest dimension with a positive offset.
+///
+/// Returns `None` when the message is already at its current routing target.
+/// Forced-direction overrides are never consulted: they are only installed by
+/// software rule 1, which requires a wrapped dimension, and this model runs
+/// exclusively on open topologies.
+pub fn negative_first_output(
+    net: &Network,
+    header: &RouteHeader,
+    current: NodeId,
+) -> Option<(usize, Direction)> {
+    let target = header.target();
+    let mut positive = None;
+    for dim in 0..net.dims() {
+        let off = net.offset(current, target, dim);
+        if off < 0 {
+            return Some((dim, Direction::Minus));
+        }
+        if off > 0 && positive.is_none() {
+            positive = Some((dim, Direction::Plus));
+        }
+    }
+    positive
+}
+
+/// Negative-first turn-model routing for open multidimensional networks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TurnModelRouting {
+    flavor: RoutingFlavor,
+}
+
+impl TurnModelRouting {
+    /// Deterministic (canonical negative-first order) routing.
+    pub fn deterministic() -> Self {
+        TurnModelRouting {
+            flavor: RoutingFlavor::Deterministic,
+        }
+    }
+
+    /// Phase-adaptive negative-first routing with a negative-first escape
+    /// channel.
+    pub fn adaptive() -> Self {
+        TurnModelRouting {
+            flavor: RoutingFlavor::Adaptive,
+        }
+    }
+
+    /// Constructs the algorithm for a given flavour.
+    pub fn with_flavor(flavor: RoutingFlavor) -> Self {
+        TurnModelRouting { flavor }
+    }
+
+    /// Deterministic-mode routing step shared by the deterministic flavour
+    /// and by faulted messages of the adaptive flavour.
+    fn route_deterministic(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision {
+        let Some((dim, dir)) = negative_first_output(net, header, current) else {
+            // `route` already advanced through reached targets, so a missing
+            // output means the final destination.
+            return RouteDecision::Deliver;
+        };
+        if !faults.output_usable(net, current, dim, dir) {
+            return RouteDecision::Absorb;
+        }
+        let (vcs, is_escape) = if header.flavor == RoutingFlavor::Adaptive {
+            // Faulted adaptive-flavour messages travel on the negative-first
+            // escape channel, mirroring the SW-Based scheme's use of the
+            // e-cube escape layer.
+            (vec![0], true)
+        } else {
+            // No dateline class exists on open dimensions: the whole pool is
+            // permitted, and a single VC suffices (negative-first CDG is
+            // acyclic with one class).
+            ((0..v).collect(), false)
+        };
+        RouteDecision::Forward(vec![OutputCandidate {
+            dim,
+            dir,
+            vcs,
+            is_escape,
+        }])
+    }
+}
+
+impl RoutingAlgorithm for TurnModelRouting {
+    fn flavor(&self) -> RoutingFlavor {
+        self.flavor
+    }
+
+    fn min_virtual_channels(&self, _net: &Network) -> usize {
+        match self.flavor {
+            // The turn restriction alone is deadlock free: one VC suffices.
+            RoutingFlavor::Deterministic => 1,
+            // One negative-first escape channel plus at least one adaptive
+            // channel.
+            RoutingFlavor::Adaptive => 2,
+        }
+    }
+
+    fn supported_on(&self, net: &Network) -> Result<(), RoutingTopologyError> {
+        for dim in 0..net.dims() {
+            if net.wraps(dim) {
+                return Err(RoutingTopologyError::WrappedDimension {
+                    algorithm: "negative-first turn-model",
+                    dim,
+                    radix: net.radix(dim),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    fn deterministic_output(
+        &self,
+        net: &Network,
+        header: &RouteHeader,
+        current: NodeId,
+    ) -> Option<(usize, Direction)> {
+        negative_first_output(net, header, current)
+    }
+
+    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+        RouteHeader::new(net, src, dest, self.flavor)
+    }
+
+    fn route(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision {
+        // Advance through intermediate destinations that have been reached.
+        while current == header.target() {
+            if header.advance_target(current) {
+                return RouteDecision::Deliver;
+            }
+        }
+        if header.is_deterministic() {
+            return self.route_deterministic(net, faults, header, current, v);
+        }
+        // Adaptive flavour, not yet faulted: any productive output of the
+        // current negative-first phase on the adaptive VC pool. While any
+        // negative offset remains only Minus hops are legal; afterwards the
+        // remaining productive hops are all Plus, so no Minus hop can ever
+        // follow a Plus hop towards the same target.
+        let prods = productive_outputs(net, header, current);
+        let negative_phase = prods.iter().any(|&(_, dir)| dir == Direction::Minus);
+        let adaptive_vcs: Vec<usize> = (1..v).collect();
+        let mut candidates: Vec<OutputCandidate> = prods
+            .into_iter()
+            .filter(|&(_, dir)| !negative_phase || dir == Direction::Minus)
+            .filter(|&(dim, dir)| faults.output_usable(net, current, dim, dir))
+            .map(|(dim, dir)| OutputCandidate::new(dim, dir, adaptive_vcs.clone()))
+            .collect();
+        if let Some((dim, dir)) = negative_first_output(net, header, current) {
+            if faults.output_usable(net, current, dim, dir) {
+                candidates.push(OutputCandidate::escape(dim, dir, 0));
+            }
+        }
+        if candidates.is_empty() {
+            return RouteDecision::Absorb;
+        }
+        RouteDecision::Forward(candidates)
+    }
+
+    fn note_hop(
+        &self,
+        net: &Network,
+        header: &mut RouteHeader,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) {
+        header.note_hop(net, from, dim, dir);
+    }
+
+    fn reroute_on_fault(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        at: NodeId,
+        blocked: (usize, Direction),
+    ) -> bool {
+        header.absorptions += 1;
+        header.faulted = true;
+
+        // Rule 3 (fallback): out of budget, or already escorted yet absorbed
+        // again — compute an explicit fault-free path.
+        if header.escorted || header.misroute_budget == 0 {
+            return install_explicit_path(net, faults, header, at);
+        }
+        header.misroute_budget -= 1;
+
+        // Rule 1 (same dimension, opposite direction) is skipped outright:
+        // it only reaches the target the "wrong way round" a ring, and this
+        // model never runs on wrapped dimensions.
+
+        // Rule 2: orthogonal detour to slide along the fault region.
+        // `output_usable` is false for channels that do not exist, so mesh
+        // edges are skipped naturally.
+        let (blocked_dim, _) = blocked;
+        for o in orthogonal_order(net.dims(), blocked_dim) {
+            for cand_dir in Direction::BOTH {
+                if !faults.output_usable(net, at, o, cand_dir) {
+                    continue;
+                }
+                let via = net
+                    .neighbor(at, o, cand_dir)
+                    .expect("usable output leads to an existing neighbour");
+                if faults.is_node_faulty(via) {
+                    continue;
+                }
+                header.push_intermediate(via);
+                return true;
+            }
+        }
+
+        // Walled in except for the arrival channel: fall back to the explicit
+        // path, which exists as long as the network is connected.
+        install_explicit_path(net, faults, header, at)
+    }
+
+    fn name(&self) -> String {
+        format!("Negative-First ({})", self.flavor.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mesh() -> Network {
+        Network::mesh(8, 2).unwrap()
+    }
+
+    fn no_faults() -> FaultSet {
+        FaultSet::new()
+    }
+
+    /// Walks a message with the given algorithm, always taking the first
+    /// candidate, and returns the nodes visited. Panics on Absorb.
+    fn walk(
+        net: &Network,
+        faults: &FaultSet,
+        algo: &TurnModelRouting,
+        src: NodeId,
+        dest: NodeId,
+        v: usize,
+    ) -> Vec<NodeId> {
+        let mut header = algo.make_header(net, src, dest);
+        let mut current = src;
+        let mut visited = vec![src];
+        for _ in 0..10_000 {
+            match algo.route(net, faults, &mut header, current, v) {
+                RouteDecision::Deliver => return visited,
+                RouteDecision::Absorb => panic!("unexpected absorption at {current:?}"),
+                RouteDecision::Forward(cands) => {
+                    let c = &cands[0];
+                    algo.note_hop(net, &mut header, current, c.dim, c.dir);
+                    current = net.neighbor(current, c.dim, c.dir).expect("existing hop");
+                    visited.push(current);
+                }
+            }
+        }
+        panic!("message did not arrive");
+    }
+
+    /// Asserts a hop sequence never takes a Minus hop after a Plus hop.
+    fn assert_negative_first(net: &Network, visited: &[NodeId]) {
+        let mut seen_plus = false;
+        for pair in visited.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            let dim = (0..net.dims())
+                .find(|&d| net.position(from, d) != net.position(to, d))
+                .expect("consecutive nodes differ in exactly one dimension");
+            let plus = net.position(to, dim) > net.position(from, dim);
+            if plus {
+                seen_plus = true;
+            } else {
+                assert!(!seen_plus, "Minus hop after a Plus hop in {visited:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn canonical_output_routes_negative_phase_first() {
+        let m = mesh();
+        let src = m.node_from_digits(&[3, 5]).unwrap();
+        let dest = m.node_from_digits(&[5, 2]).unwrap();
+        let h = RouteHeader::new(&m, src, dest, RoutingFlavor::Deterministic);
+        // Offset is (+2, -3): the negative dimension-1 offset goes first.
+        assert_eq!(
+            negative_first_output(&m, &h, src),
+            Some((1, Direction::Minus))
+        );
+        let mid = m.node_from_digits(&[3, 2]).unwrap();
+        assert_eq!(
+            negative_first_output(&m, &h, mid),
+            Some((0, Direction::Plus))
+        );
+        assert_eq!(negative_first_output(&m, &h, dest), None);
+    }
+
+    #[test]
+    fn deterministic_walk_is_minimal_and_obeys_the_turn_restriction() {
+        let m = mesh();
+        let algo = TurnModelRouting::deterministic();
+        for (s, d) in [([1u16, 6], [6u16, 1]), ([7, 0], [0, 7]), ([2, 2], [5, 5])] {
+            let src = m.node_from_digits(&s).unwrap();
+            let dest = m.node_from_digits(&d).unwrap();
+            let visited = walk(&m, &no_faults(), &algo, src, dest, 1);
+            assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
+            assert_eq!(*visited.last().unwrap(), dest);
+            assert_negative_first(&m, &visited);
+        }
+    }
+
+    #[test]
+    fn adaptive_walk_is_minimal_and_obeys_the_turn_restriction() {
+        let m = mesh();
+        let algo = TurnModelRouting::adaptive();
+        let src = m.node_from_digits(&[6, 5]).unwrap();
+        let dest = m.node_from_digits(&[1, 0]).unwrap();
+        let visited = walk(&m, &no_faults(), &algo, src, dest, 2);
+        assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
+        assert_negative_first(&m, &visited);
+    }
+
+    #[test]
+    fn adaptive_candidates_restricted_to_the_negative_phase() {
+        let m = mesh();
+        let algo = TurnModelRouting::adaptive();
+        let src = m.node_from_digits(&[3, 5]).unwrap();
+        let dest = m.node_from_digits(&[5, 2]).unwrap();
+        let mut h = algo.make_header(&m, src, dest);
+        let d = algo.route(&m, &no_faults(), &mut h, src, 3);
+        let cands = d.candidates();
+        // Offset (+2, -3): while the negative offset remains, the productive
+        // Plus hop in dimension 0 is forbidden.
+        assert!(cands
+            .iter()
+            .all(|c| c.dim == 1 && c.dir == Direction::Minus));
+        let escape = cands.iter().find(|c| c.is_escape).unwrap();
+        assert_eq!(escape.vcs, vec![0]);
+        for c in cands.iter().filter(|c| !c.is_escape) {
+            assert_eq!(c.vcs, vec![1, 2]);
+        }
+        // Once the negative phase is done, Plus hops open up.
+        let mid = m.node_from_digits(&[3, 2]).unwrap();
+        let d = algo.route(&m, &no_faults(), &mut h, mid, 3);
+        assert!(d
+            .candidates()
+            .iter()
+            .all(|c| c.dim == 0 && c.dir == Direction::Plus));
+    }
+
+    #[test]
+    fn deterministic_flavor_uses_the_whole_pool() {
+        let m = mesh();
+        let algo = TurnModelRouting::deterministic();
+        let src = m.node_from_digits(&[0, 0]).unwrap();
+        let dest = m.node_from_digits(&[3, 0]).unwrap();
+        let mut h = algo.make_header(&m, src, dest);
+        let d = algo.route(&m, &no_faults(), &mut h, src, 4);
+        let cands = d.candidates();
+        assert_eq!(cands.len(), 1);
+        assert_eq!(cands[0].vcs, vec![0, 1, 2, 3]);
+        assert!(!cands[0].is_escape);
+    }
+
+    #[test]
+    fn faulted_adaptive_messages_ride_the_escape_channel() {
+        let m = mesh();
+        let algo = TurnModelRouting::adaptive();
+        let src = m.node_from_digits(&[0, 0]).unwrap();
+        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let mut h = algo.make_header(&m, src, dest);
+        h.faulted = true;
+        let d = algo.route(&m, &no_faults(), &mut h, src, 3);
+        match d {
+            RouteDecision::Forward(cands) => {
+                assert_eq!(cands.len(), 1);
+                assert_eq!(cands[0].vcs, vec![0]);
+                assert!(cands[0].is_escape);
+            }
+            other => panic!("expected Forward, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absorbs_at_fault_and_absorbs_only_when_all_phase_outputs_faulty() {
+        let m = mesh();
+        let mut faults = FaultSet::new();
+        faults.fail_node(m.node_from_digits(&[2, 0]).unwrap());
+        let det = TurnModelRouting::deterministic();
+        let src = m.node_from_digits(&[1, 0]).unwrap();
+        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let mut h = det.make_header(&m, src, dest);
+        assert!(det.route(&m, &faults, &mut h, src, 2).is_absorb());
+
+        // The adaptive flavour still forwards while another phase-legal
+        // productive output is healthy.
+        let ada = TurnModelRouting::adaptive();
+        let dest2 = m.node_from_digits(&[4, 2]).unwrap();
+        let mut h = ada.make_header(&m, src, dest2);
+        let d = ada.route(&m, &faults, &mut h, src, 2);
+        assert!(!d.candidates().is_empty());
+        assert!(d
+            .candidates()
+            .iter()
+            .all(|c| !(c.dim == 0 && c.dir == Direction::Plus && !c.is_escape)));
+    }
+
+    #[test]
+    fn reroute_goes_straight_to_the_orthogonal_detour() {
+        let m = mesh();
+        let mut faults = FaultSet::new();
+        faults.fail_node(m.node_from_digits(&[2, 0]).unwrap());
+        let algo = TurnModelRouting::deterministic();
+        let at = m.node_from_digits(&[1, 0]).unwrap();
+        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let mut header = algo.make_header(&m, at, dest);
+        assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (0, Direction::Plus)));
+        assert!(header.faulted);
+        assert_eq!(header.absorptions, 1);
+        // No rule-1 forced direction is ever installed on open dimensions.
+        assert!(header.forced_dir.iter().all(|f| f.is_none()));
+        assert_eq!(header.pending_via(), 1);
+        // From row 0 the only open orthogonal direction is Plus in dim 1.
+        assert_eq!(header.target(), m.node_from_digits(&[1, 1]).unwrap());
+    }
+
+    #[test]
+    fn reroute_falls_back_to_explicit_path_when_budget_exhausted() {
+        let m = mesh();
+        let mut faults = FaultSet::new();
+        faults.fail_node(m.node_from_digits(&[3, 3]).unwrap());
+        let algo = TurnModelRouting::deterministic();
+        let at = m.node_from_digits(&[3, 2]).unwrap();
+        let dest = m.node_from_digits(&[3, 5]).unwrap();
+        let mut header = algo.make_header(&m, at, dest);
+        header.misroute_budget = 0;
+        assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (1, Direction::Plus)));
+        assert!(header.escorted);
+    }
+
+    #[test]
+    fn routes_around_a_fault_end_to_end() {
+        // Full software loop: route, absorb, re-route, re-inject until
+        // delivery, on a mesh and on a hypercube. The faulty node sits on the
+        // canonical negative-first path in each case.
+        let cases = [
+            (
+                Network::mesh(8, 2).unwrap(),
+                &[1u16, 0][..],
+                &[4, 0][..],
+                &[3, 0][..],
+            ),
+            (
+                Network::hypercube(4).unwrap(),
+                &[0, 0, 0, 0][..],
+                &[1, 1, 0, 0][..],
+                &[1, 0, 0, 0][..],
+            ),
+        ];
+        for (net, src, dest, blocker) in cases {
+            let mut faults = FaultSet::new();
+            faults.fail_node(net.node_from_digits(blocker).unwrap());
+            for algo in [
+                TurnModelRouting::deterministic(),
+                TurnModelRouting::adaptive(),
+            ] {
+                let src = net.node_from_digits(src).unwrap();
+                let dest = net.node_from_digits(dest).unwrap();
+                let mut header = algo.make_header(&net, src, dest);
+                let mut current = src;
+                let mut steps = 0;
+                loop {
+                    steps += 1;
+                    assert!(steps < 1000, "livelock: message never delivered");
+                    match algo.route(&net, &faults, &mut header, current, 2) {
+                        RouteDecision::Deliver => break,
+                        RouteDecision::Forward(cands) => {
+                            let c = &cands[0];
+                            algo.note_hop(&net, &mut header, current, c.dim, c.dir);
+                            current = net.neighbor(current, c.dim, c.dir).expect("existing hop");
+                            assert!(!faults.is_node_faulty(current));
+                        }
+                        RouteDecision::Absorb => {
+                            let blocked = algo
+                                .deterministic_output(&net, &header, current)
+                                .unwrap_or((0, Direction::Plus));
+                            assert!(algo.reroute_on_fault(
+                                &net,
+                                &faults,
+                                &mut header,
+                                current,
+                                blocked
+                            ));
+                            header.reset_for_injection();
+                        }
+                    }
+                }
+                assert_eq!(current, dest, "{}", algo.name());
+            }
+        }
+    }
+
+    #[test]
+    fn supported_on_rejects_wrapped_dimensions() {
+        let algo = TurnModelRouting::adaptive();
+        assert_eq!(algo.supported_on(&Network::mesh(8, 2).unwrap()), Ok(()));
+        assert_eq!(algo.supported_on(&Network::hypercube(6).unwrap()), Ok(()));
+        let torus = Network::torus(8, 2).unwrap();
+        assert_eq!(
+            algo.supported_on(&torus),
+            Err(RoutingTopologyError::WrappedDimension {
+                algorithm: "negative-first turn-model",
+                dim: 0,
+                radix: 8,
+            })
+        );
+        // A single wrapped dimension anywhere is enough, and the error names
+        // it precisely.
+        let mixed = Network::new(vec![4, 6, 3], vec![false, true, false]).unwrap();
+        match algo.supported_on(&mixed) {
+            Err(RoutingTopologyError::WrappedDimension { dim, radix, .. }) => {
+                assert_eq!((dim, radix), (1, 6));
+            }
+            other => panic!("expected WrappedDimension, got {other:?}"),
+        }
+        let err = algo.supported_on(&torus).unwrap_err();
+        assert!(format!("{err}").contains("wraps around"));
+    }
+
+    #[test]
+    fn min_virtual_channels_and_names() {
+        let m = mesh();
+        assert_eq!(
+            TurnModelRouting::deterministic().min_virtual_channels(&m),
+            1
+        );
+        assert_eq!(TurnModelRouting::adaptive().min_virtual_channels(&m), 2);
+        assert_eq!(
+            TurnModelRouting::deterministic().name(),
+            "Negative-First (deterministic)"
+        );
+        assert_eq!(
+            TurnModelRouting::adaptive().name(),
+            "Negative-First (adaptive)"
+        );
+        assert_eq!(
+            TurnModelRouting::with_flavor(RoutingFlavor::Adaptive).flavor(),
+            RoutingFlavor::Adaptive
+        );
+    }
+
+    #[test]
+    fn deterministic_output_hook_is_negative_first() {
+        let m = mesh();
+        let algo = TurnModelRouting::deterministic();
+        let src = m.node_from_digits(&[3, 5]).unwrap();
+        let dest = m.node_from_digits(&[5, 2]).unwrap();
+        let h = algo.make_header(&m, src, dest);
+        assert_eq!(
+            algo.deterministic_output(&m, &h, src),
+            Some((1, Direction::Minus))
+        );
+        // The e-cube output for the same header would be (0, Plus): the hook
+        // matters for the blocked-output reported at absorption time.
+        assert_eq!(
+            crate::ecube::ecube_output(&m, &h, src),
+            Some((0, Direction::Plus))
+        );
+    }
+}

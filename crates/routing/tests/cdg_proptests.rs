@@ -1,10 +1,13 @@
 //! Property-based CDG acyclicity tests: for randomly drawn meshes the e-cube
 //! channel dependency graph is acyclic with a *single* VC per class — the
 //! dateline virtual channel is provably unnecessary when no dimension wraps —
-//! while randomly drawn tori always need the dateline classes.
+//! while randomly drawn tori always need the dateline classes. The
+//! negative-first turn-rule CDG gives the same guarantee for the turn-model
+//! subsystem (acyclic on every open shape, cyclic as soon as a dimension
+//! wraps, and cyclic without the turn prohibition).
 
 use proptest::prelude::*;
-use torus_routing::cdg::{build_ecube_cdg, VcModel};
+use torus_routing::cdg::{build_ecube_cdg, build_turn_cdg, TurnRule, VcModel};
 use torus_topology::Network;
 
 /// Random mesh shapes: 1..=3 dimensions with mixed radices, no wraps.
@@ -64,6 +67,46 @@ proptest! {
         prop_assert!(
             !g.is_acyclic(),
             "single-class CDG on {net} (which has a wrapped ring) must contain cycles"
+        );
+    }
+
+    /// The turn-model claim: on every mixed-radix mesh the negative-first
+    /// turn-rule CDG — which over-approximates all permitted routes, minimal
+    /// or not — is acyclic with a single virtual channel per physical
+    /// channel. This is the reduced-VC-budget deadlock-freedom proof the
+    /// simulator's `min_virtual_channels` relies on.
+    #[test]
+    fn negative_first_turn_cdg_is_acyclic_on_meshes(net in arb_mesh()) {
+        let g = build_turn_cdg(&net, TurnRule::NegativeFirst);
+        prop_assert!(
+            g.is_acyclic(),
+            "negative-first turn CDG must be acyclic on mesh {net}"
+        );
+    }
+
+    /// On shapes with at least two dimensions the prohibition is load
+    /// bearing: lifting it (all turns permitted) closes cycles on the same
+    /// meshes the restricted graph proves acyclic.
+    #[test]
+    fn unrestricted_turns_are_cyclic_on_multidim_meshes(net in arb_mesh()) {
+        prop_assume!(net.dims() >= 2);
+        let g = build_turn_cdg(&net, TurnRule::Unrestricted);
+        prop_assert!(
+            !g.is_acyclic(),
+            "unrestricted turn CDG on {net} must contain cycles"
+        );
+    }
+
+    /// And a wrapped ring defeats the turn model entirely: the
+    /// same-direction chain around the ring is a cycle no turn prohibition
+    /// breaks — the reason both engines reject the turn model on wrapped
+    /// dimensions with a typed error.
+    #[test]
+    fn negative_first_turn_cdg_is_cyclic_on_wrapped_shapes(net in arb_wrapped()) {
+        let g = build_turn_cdg(&net, TurnRule::NegativeFirst);
+        prop_assert!(
+            !g.is_acyclic(),
+            "negative-first turn CDG on wrapped {net} must contain cycles"
         );
     }
 }

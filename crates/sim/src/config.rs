@@ -35,6 +35,9 @@ pub enum SimConfigError {
     ZeroMessageLength,
     /// The topology parameters are invalid.
     Topology(torus_topology::NetworkError),
+    /// The routing algorithm cannot operate on this topology (e.g. the
+    /// negative-first turn model on a network with wrapped dimensions).
+    UnsupportedRouting(torus_routing::RoutingTopologyError),
 }
 
 impl fmt::Display for SimConfigError {
@@ -50,6 +53,9 @@ impl fmt::Display for SimConfigError {
                 "the workload is configured with zero-length messages (every message needs at least its header flit)"
             ),
             SimConfigError::Topology(e) => write!(f, "invalid topology: {e}"),
+            SimConfigError::UnsupportedRouting(e) => {
+                write!(f, "routing algorithm unsupported on this topology: {e}")
+            }
         }
     }
 }
@@ -233,6 +239,19 @@ mod tests {
         assert_eq!(c.validate(2), Err(SimConfigError::ZeroMessageLength));
         c.traffic.length = MessageLength::Fixed(1);
         assert!(c.validate(2).is_ok());
+    }
+
+    #[test]
+    fn unsupported_routing_error_renders() {
+        use torus_routing::RoutingTopologyError;
+        let e = SimConfigError::UnsupportedRouting(RoutingTopologyError::WrappedDimension {
+            algorithm: "negative-first turn-model",
+            dim: 0,
+            radix: 8,
+        });
+        let msg = format!("{e}");
+        assert!(msg.contains("unsupported on this topology"));
+        assert!(msg.contains("negative-first"));
     }
 
     #[test]

@@ -15,8 +15,14 @@
 //!   and data flits follow it in a pipelined fashion (wormhole switching);
 //! * routing decisions, virtual-channel selection and deadlock avoidance are
 //!   delegated to a [`torus_routing::RoutingAlgorithm`] — in this repository
-//!   the Software-Based fault-tolerant algorithm in its deterministic and
-//!   adaptive flavours;
+//!   the Software-Based fault-tolerant algorithm (deterministic and adaptive
+//!   flavours) and the negative-first turn model for open topologies; an
+//!   algorithm that cannot operate on the configured topology is rejected at
+//!   construction time with a typed error
+//!   ([`SimConfigError::UnsupportedRouting`]), and the blocked output
+//!   reported to the software layer at absorption time comes from the
+//!   algorithm's own deterministic layer
+//!   ([`torus_routing::RoutingAlgorithm::deterministic_output`]);
 //! * when the routing algorithm decides to **absorb** a message (its useful
 //!   outputs lead to faulty components), the whole worm is drained into the
 //!   local node, handed to the message-passing software, re-routed and

@@ -60,7 +60,6 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
-use torus_routing::ecube::ecube_output;
 use torus_routing::{RouteDecision, RoutingAlgorithm};
 use torus_topology::{Direction, Network};
 use torus_workloads::TrafficSource;
@@ -129,6 +128,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     /// algorithm.
     pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
         let net = config.topology.build().map_err(SimConfigError::Topology)?;
+        algo.supported_on(&net)
+            .map_err(SimConfigError::UnsupportedRouting)?;
         config.validate(algo.min_virtual_channels(&net))?;
         let n = net.dims();
         let v = config.virtual_channels;
@@ -559,7 +560,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                         }
                         RouteTarget::Absorb => {
                             collector.on_absorbed(messages[flit.msg].measured);
-                            let blocked = ecube_output(net, &messages[flit.msg].header, node)
+                            let blocked = algo
+                                .deterministic_output(net, &messages[flit.msg].header, node)
                                 .unwrap_or((0, Direction::Plus));
                             let rerouted = algo.reroute_on_fault(
                                 net,
@@ -1049,6 +1051,40 @@ mod tests {
             faulty_big.mean_latency,
             faulty_zero.mean_latency
         );
+    }
+
+    #[test]
+    fn turn_model_runs_on_meshes_and_is_rejected_on_wrapped_dimensions() {
+        use torus_routing::{RoutingTopologyError, TurnModelRouting};
+        use torus_topology::TopologySpec;
+        // Two VCs (1 escape + 1 adaptive) are enough for the turn model on a
+        // mesh — one less than Duato-over-e-cube needs on the torus.
+        let mut config = quick_config(8, 2, 2, 16, 0.003);
+        config.topology = TopologySpec::mesh(8, 2);
+        config.stop = StopCondition::MeasuredMessages(800);
+        let mesh = Network::mesh(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(23);
+        let faults = random_node_faults(&mesh, 4, &mut rng).unwrap();
+        let mut sim = Simulation::new(config.clone(), faults, TurnModelRouting::adaptive())
+            .expect("turn model is valid on meshes");
+        let out = sim.run();
+        assert!(!out.hit_max_cycles);
+        assert_eq!(out.dropped_messages, 0);
+        assert_eq!(out.forced_absorptions, 0);
+        assert!(out.report.messages_queued > 0);
+
+        // The same configuration on a torus is rejected with the typed error.
+        config.topology = TopologySpec::torus(8, 2);
+        let err = Simulation::new(config, FaultSet::new(), TurnModelRouting::adaptive())
+            .err()
+            .expect("turn model must be rejected on wrapped dimensions");
+        assert!(matches!(
+            err,
+            SimConfigError::UnsupportedRouting(RoutingTopologyError::WrappedDimension {
+                dim: 0,
+                ..
+            })
+        ));
     }
 
     #[test]

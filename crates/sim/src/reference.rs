@@ -24,7 +24,6 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
-use torus_routing::ecube::ecube_output;
 use torus_routing::{RouteDecision, RoutingAlgorithm};
 use torus_topology::{Direction, Network};
 use torus_workloads::TrafficSource;
@@ -53,6 +52,8 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
     /// routing algorithm.
     pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
         let net = config.topology.build().map_err(SimConfigError::Topology)?;
+        algo.supported_on(&net)
+            .map_err(SimConfigError::UnsupportedRouting)?;
         config.validate(algo.min_virtual_channels(&net))?;
         let n = net.dims();
         let v = config.virtual_channels;
@@ -398,7 +399,8 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                         }
                         RouteTarget::Absorb => {
                             collector.on_absorbed(msg.measured);
-                            let blocked = ecube_output(net, &msg.header, node)
+                            let blocked = algo
+                                .deterministic_output(net, &msg.header, node)
                                 .unwrap_or((0, Direction::Plus));
                             let rerouted =
                                 algo.reroute_on_fault(net, faults, &mut msg.header, node, blocked);

@@ -7,38 +7,42 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use torus_faults::{FaultScenario, FaultSet};
-use torus_routing::SwBasedRouting;
+use torus_routing::{RoutingAlgorithm, SwBasedRouting, TurnModelRouting};
 use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
 use torus_topology::{Network, TopologySpec};
 
-/// Runs both engines on the same configuration and asserts identical results.
-/// Returns the active engine's message-table peak for boundedness checks.
-fn assert_equivalent(config: SimConfig, faults: FaultSet, adaptive: bool) -> (u64, u64) {
-    let (active, reference) = if adaptive {
-        let mut a = Simulation::new(config.clone(), faults.clone(), SwBasedRouting::adaptive())
-            .expect("valid config");
-        let mut r = ReferenceSimulation::new(config, faults, SwBasedRouting::adaptive())
-            .expect("valid config");
-        (a.run(), r.run())
-    } else {
-        let mut a = Simulation::new(
-            config.clone(),
-            faults.clone(),
-            SwBasedRouting::deterministic(),
-        )
-        .expect("valid config");
-        let mut r = ReferenceSimulation::new(config, faults, SwBasedRouting::deterministic())
-            .expect("valid config");
-        (a.run(), r.run())
-    };
+/// Runs both engines with `algo` on the same configuration and asserts
+/// identical results. Returns the two engines' message-table peaks for
+/// boundedness checks.
+fn assert_equivalent_with<A: RoutingAlgorithm + Clone>(
+    config: SimConfig,
+    faults: FaultSet,
+    algo: A,
+) -> (u64, u64) {
+    let mut a = Simulation::new(config.clone(), faults.clone(), algo.clone())
+        .expect("valid config for the active engine");
+    let mut r = ReferenceSimulation::new(config, faults, algo.clone())
+        .expect("valid config for the reference engine");
+    let (active, reference) = (a.run(), r.run());
     assert_eq!(
-        active.report, reference.report,
-        "active-set and full-scan engines diverged"
+        active.report,
+        reference.report,
+        "active-set and full-scan engines diverged under {}",
+        algo.name()
     );
     assert_eq!(active.hit_max_cycles, reference.hit_max_cycles);
     assert_eq!(active.forced_absorptions, reference.forced_absorptions);
     assert_eq!(active.dropped_messages, reference.dropped_messages);
     (active.message_table_peak, reference.message_table_peak)
+}
+
+/// Legacy SW-Based entry point used by the torus/mesh baseline cases.
+fn assert_equivalent(config: SimConfig, faults: FaultSet, adaptive: bool) -> (u64, u64) {
+    if adaptive {
+        assert_equivalent_with(config, faults, SwBasedRouting::adaptive())
+    } else {
+        assert_equivalent_with(config, faults, SwBasedRouting::deterministic())
+    }
 }
 
 fn quick(radix: u16, dims: u32, v: usize, m: u32, rate: f64, seed: u64) -> SimConfig {
@@ -218,4 +222,90 @@ fn mixed_radix_network_matches() {
     let config = quick_topology(spec, 4, 8, 0.003, 23);
     let faults = faults_for(&FaultScenario::RandomNodes { count: 3 }, &net, 41);
     assert_equivalent(config, faults, false);
+}
+
+#[test]
+fn turn_model_mesh_fault_free_across_seeds_and_loads() {
+    // The negative-first turn model exercises a different deterministic
+    // output and phase-restricted adaptive candidates; both engines must stay
+    // bit-identical across seeds and loads.
+    for seed in [1, 2] {
+        for rate in [0.003, 0.02] {
+            let config = quick_topology(TopologySpec::mesh(4, 2), 2, 8, rate, seed);
+            assert_equivalent_with(
+                config.clone(),
+                FaultSet::new(),
+                TurnModelRouting::adaptive(),
+            );
+            assert_equivalent_with(config, FaultSet::new(), TurnModelRouting::deterministic());
+        }
+    }
+}
+
+#[test]
+fn turn_model_mesh_random_node_faults_match() {
+    let mesh = Network::mesh(8, 2).unwrap();
+    let scenario = FaultScenario::RandomNodes { count: 4 };
+    let faults = faults_for(&scenario, &mesh, 0x3E5);
+    let config = quick_topology(TopologySpec::mesh(8, 2), 4, 16, 0.003, 15);
+    assert_equivalent_with(config.clone(), faults.clone(), TurnModelRouting::adaptive());
+    assert_equivalent_with(config, faults, TurnModelRouting::deterministic());
+}
+
+#[test]
+fn turn_model_hypercube_matches() {
+    let cube = Network::hypercube(5).unwrap();
+    let config = quick_topology(TopologySpec::hypercube(5), 2, 8, 0.005, 31);
+    assert_equivalent_with(
+        config.clone(),
+        FaultSet::new(),
+        TurnModelRouting::adaptive(),
+    );
+    let faults = faults_for(&FaultScenario::RandomNodes { count: 2 }, &cube, 77);
+    assert_equivalent_with(config, faults, TurnModelRouting::adaptive());
+}
+
+#[test]
+fn turn_model_mixed_radix_open_mesh_matches() {
+    // A mixed-radix all-open shape (6x3x2, 36 nodes): the turn model accepts
+    // any network as long as no dimension wraps.
+    let spec = TopologySpec::mixed(vec![6, 3, 2], vec![false, false, false]);
+    let net = spec.build().unwrap();
+    let config = quick_topology(spec, 2, 8, 0.004, 19);
+    let faults = faults_for(&FaultScenario::RandomNodes { count: 2 }, &net, 53);
+    assert_equivalent_with(config, faults, TurnModelRouting::adaptive());
+}
+
+#[test]
+fn turn_model_minimum_vc_configurations_match() {
+    // The reduced VC budget: one VC suffices for the deterministic flavour,
+    // two (1 escape + 1 adaptive) for the adaptive flavour.
+    let config = quick_topology(TopologySpec::mesh(4, 2), 1, 8, 0.01, 5);
+    assert_equivalent_with(config, FaultSet::new(), TurnModelRouting::deterministic());
+    let config = quick_topology(TopologySpec::mesh(4, 2), 2, 8, 0.01, 6);
+    assert_equivalent_with(config, FaultSet::new(), TurnModelRouting::adaptive());
+}
+
+#[test]
+fn turn_model_rejected_identically_by_both_engines_on_wrapped_dimensions() {
+    use torus_sim::SimConfigError;
+    for spec in [
+        TopologySpec::torus(4, 2),
+        TopologySpec::mixed(vec![4, 3], vec![true, false]),
+    ] {
+        let config = quick_topology(spec, 4, 8, 0.003, 1);
+        let active = Simulation::new(
+            config.clone(),
+            FaultSet::new(),
+            TurnModelRouting::adaptive(),
+        )
+        .err()
+        .expect("active engine must reject the turn model on wrapped dims");
+        let reference =
+            ReferenceSimulation::new(config, FaultSet::new(), TurnModelRouting::deterministic())
+                .err()
+                .expect("reference engine must reject the turn model on wrapped dims");
+        assert!(matches!(active, SimConfigError::UnsupportedRouting(_)));
+        assert!(matches!(reference, SimConfigError::UnsupportedRouting(_)));
+    }
 }

@@ -10,11 +10,18 @@
 //!    before saturating; the mesh needs fewer virtual channels because no
 //!    dateline class exists.
 //!
+//! The saturation column comes from the simulation-based doubling+bisection
+//! search at a deliberately small probe budget. Small budgets are safe now
+//! that the search reports honest brackets: a budget exhausted before
+//! bracketing shows up as an explicit `>=` bound instead of the midpoint of a
+//! fictitious bracket (this example previously fell back to the analytic
+//! model for exactly that reason).
+//!
 //! ```text
 //! cargo run --release --example dimensionality_sweep
 //! ```
 
-use swbft::analytic::{AnalyticConfig, AnalyticModel};
+use swbft::core::{estimate_saturation_rate, SaturationSearch};
 use swbft::prelude::*;
 
 fn main() {
@@ -54,14 +61,20 @@ fn main() {
         "\ntorus vs mesh vs hypercube — same 2x2 block fault region, adaptive routing, M=16, V=4\n"
     );
     println!(
-        "{:>16} {:>7} {:>12} {:>12} {:>10} {:>14}",
-        "topology", "nodes", "latency", "mean hops", "queued", "sat. (model)"
+        "{:>16} {:>7} {:>12} {:>12} {:>10} {:>22} {:>7}",
+        "topology", "nodes", "latency", "mean hops", "queued", "sat. (simulated)", "probes"
     );
     let specs = [
         TopologySpec::torus(8, 2),
         TopologySpec::mesh(8, 2),
         TopologySpec::hypercube(6),
     ];
+    // A small-budget search: 10 probes of 1,000 measured messages each.
+    let search = SaturationSearch {
+        max_simulations: 10,
+        relative_tolerance: 0.2,
+        ..SaturationSearch::default()
+    };
     for spec in specs {
         let net = spec.build().expect("valid topology");
         let region = RegionShape::Rect {
@@ -75,18 +88,17 @@ fn main() {
             .with_seed(2026)
             .quick(2_000, 400);
         let out = cfg.run().expect("experiment runs");
-        // The analytic first-order saturation estimate for the same shape:
-        // channel count and average distance drive where latency diverges.
-        let model = AnalyticModel::new(AnalyticConfig::paper_topology(spec.clone(), 4, 16, 4))
-            .expect("valid model");
+        let est = estimate_saturation_rate(&cfg.clone().quick(1_000, 200), search)
+            .expect("saturation search runs");
         println!(
-            "{:>16} {:>7} {:>9.1} cyc {:>9.2} hops {:>8} {:>11.4}",
+            "{:>16} {:>7} {:>9.1} cyc {:>9.2} hops {:>8} {:>22} {:>7}",
             spec.label(),
             out.config.num_nodes(),
             out.report.mean_latency,
             out.report.mean_hops,
             out.report.messages_queued,
-            model.saturation_rate(),
+            est.display_rate(),
+            est.simulations,
         );
     }
     println!();

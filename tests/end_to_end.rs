@@ -4,7 +4,7 @@
 
 use swbft::faults::{random_node_faults, FaultSet, RegionShape};
 use swbft::prelude::*;
-use swbft::routing::cdg::{build_ecube_cdg, VcModel};
+use swbft::routing::cdg::{build_ecube_cdg, build_turn_cdg, TurnRule, VcModel};
 use swbft::routing::SwBasedRouting;
 use swbft::sim::{SimConfig, Simulation, StopCondition};
 use swbft::topology::{Network, TopologySpec};
@@ -152,6 +152,53 @@ fn deadlock_freedom_argument_holds_for_simulated_topologies() {
             "without VC classes the torus CDG has cycles"
         );
     }
+}
+
+#[test]
+fn turn_model_deadlock_freedom_argument_holds_for_open_topologies() {
+    // The turn-model counterpart of the Section 4 argument: the
+    // negative-first turn-rule CDG (an over-approximation of every permitted
+    // route) is acyclic on the open shapes we simulate, with a single VC —
+    // and cyclic on the torus, which is why the choice is rejected there.
+    for net in [Network::mesh(8, 2).unwrap(), Network::hypercube(6).unwrap()] {
+        let cdg = build_turn_cdg(&net, TurnRule::NegativeFirst);
+        assert!(cdg.is_acyclic(), "negative-first CDG must be acyclic");
+        let unrestricted = build_turn_cdg(&net, TurnRule::Unrestricted);
+        assert!(
+            !unrestricted.is_acyclic(),
+            "without the turn prohibition the mesh CDG has cycles"
+        );
+    }
+    let torus = Network::torus(8, 2).unwrap();
+    assert!(!build_turn_cdg(&torus, TurnRule::NegativeFirst).is_acyclic());
+}
+
+#[test]
+fn turn_model_experiments_run_end_to_end_on_open_topologies_only() {
+    // The full vertical slice: RoutingChoice::TurnModel through
+    // ExperimentConfig::run on a mesh and a hypercube, at the reduced VC
+    // budget (V=2: one negative-first escape + one adaptive channel).
+    for spec in [TopologySpec::mesh(8, 2), TopologySpec::hypercube(6)] {
+        let out = ExperimentConfig::topology_point(spec.clone(), 2, 16, 0.003)
+            .with_routing(RoutingChoice::TurnModel)
+            .with_faults(FaultScenario::RandomNodes { count: 4 })
+            .quick(600, 150)
+            .run()
+            .expect("turn-model experiment runs");
+        assert_eq!(out.config.topology, spec);
+        assert_eq!(out.dropped_messages, 0);
+        assert_eq!(out.forced_absorptions, 0);
+        assert!(!out.hit_max_cycles);
+        assert!(out.report.messages_queued > 0);
+    }
+    // Wrapped dimensions reject the choice with a typed error, so the torus
+    // baselines are untouched by the new subsystem.
+    let err = ExperimentConfig::paper_point(8, 2, 4, 16, 0.003)
+        .with_routing(RoutingChoice::TurnModel)
+        .quick(300, 100)
+        .run()
+        .expect_err("turn model must be rejected on the torus");
+    assert!(format!("{err}").contains("unsupported on this topology"));
 }
 
 #[test]
