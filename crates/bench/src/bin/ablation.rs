@@ -4,17 +4,26 @@
 //! Td = Δ = 0 and does not report a buffer depth; this binary quantifies how
 //! sensitive the headline latency results are to those choices.
 //!
+//! By default the ablations run on the paper's 8-ary 2-cube comparing the two
+//! Software-Based flavours; `--topology`/`--routing` re-run them on any shape
+//! or routing algorithm (e.g. the turn model on a mesh).
+//!
 //! ```text
 //! cargo run -p torus-bench --release --bin ablation
+//!     [-- --topology mesh:8x2] [-- --routing turnmodel]
 //! ```
 
 use swbft_core::prelude::*;
 use swbft_core::run_parallel;
+use torus_topology::TopologySpec;
 
-/// Fixed operating point for the ablations: 8-ary 2-cube, M = 32, five random
-/// node faults, a mid-load traffic rate, both routing flavours.
-fn base(routing: RoutingChoice) -> ExperimentConfig {
-    ExperimentConfig::paper_point(8, 2, 6, 32, 0.006)
+const USAGE: &str = "usage: ablation [--topology <spec>] \
+                     [--routing det|adaptive|turnmodel|turnmodel-det]";
+
+/// Fixed operating point for the ablations: M = 32, five random node faults,
+/// a mid-load traffic rate.
+fn base(topology: &TopologySpec, routing: RoutingChoice) -> ExperimentConfig {
+    ExperimentConfig::topology_point(topology.clone(), 6, 32, 0.006)
         .with_routing(routing)
         .with_faults(FaultScenario::RandomNodes { count: 5 })
         .with_seed(0xAB1A)
@@ -23,21 +32,32 @@ fn base(routing: RoutingChoice) -> ExperimentConfig {
 
 struct Row {
     label: String,
-    latency: f64,
-    queued: u64,
-    throughput: f64,
+    /// (latency, queued, throughput), or the rendered experiment error.
+    result: Result<(f64, u64, f64), String>,
+}
+
+impl Row {
+    fn from_outcome(
+        label: &str,
+        outcome: Result<ExperimentOutcome, swbft_core::ExperimentError>,
+    ) -> Row {
+        Row {
+            label: label.to_string(),
+            result: outcome
+                .map(|out| {
+                    (
+                        out.report.mean_latency,
+                        out.report.messages_queued,
+                        out.report.throughput,
+                    )
+                })
+                .map_err(|e| e.to_string()),
+        }
+    }
 }
 
 fn run_variants(title: &str, variants: Vec<(String, ExperimentConfig)>) -> (String, Vec<Row>) {
-    let rows = run_parallel(variants, |(label, cfg)| {
-        let out = cfg.run().expect("ablation point runs");
-        Row {
-            label: label.clone(),
-            latency: out.report.mean_latency,
-            queued: out.report.messages_queued,
-            throughput: out.report.throughput,
-        }
-    });
+    let rows = run_parallel(variants, |(label, cfg)| Row::from_outcome(label, cfg.run()));
     (title.to_string(), rows)
 }
 
@@ -49,21 +69,69 @@ fn print_section(title: &str, rows: &[Row]) {
     );
     println!("{}", "-".repeat(80));
     for r in rows {
-        println!(
-            "{:>34} | {:>14.1} | {:>10} | {:>12.5}",
-            r.label, r.latency, r.queued, r.throughput
-        );
+        match &r.result {
+            Ok((latency, queued, throughput)) => println!(
+                "{:>34} | {:>14.1} | {:>10} | {:>12.5}",
+                r.label, latency, queued, throughput
+            ),
+            Err(e) => println!("{:>34} | error: {e}", r.label),
+        }
     }
 }
 
 fn main() {
-    println!("Ablation study — 8-ary 2-cube, M=32, V=6, nf=5, lambda=0.006, 3,000 measured messages per point");
+    let mut topology = TopologySpec::torus(8, 2);
+    let mut routings: Vec<RoutingChoice> = RoutingChoice::BOTH.to_vec();
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--topology" => {
+                let value = iter.next().unwrap_or_default();
+                topology = match TopologySpec::parse(&value) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--routing" => {
+                let value = iter.next().unwrap_or_default();
+                routings = match RoutingChoice::parse(&value) {
+                    Ok(r) => vec![r],
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    // Reject routing/topology mismatches once, up front, instead of printing
+    // one identical error per ablation row.
+    if let Err(e) = torus_bench::validate_topology_routings(&topology, &routings) {
+        eprintln!("{e}");
+        std::process::exit(2);
+    }
+
+    println!(
+        "Ablation study — {}, M=32, V=6, nf=5, lambda=0.006, 3,000 measured messages per point",
+        topology.label()
+    );
 
     // 1. Flit-buffer depth.
     let mut variants = Vec::new();
-    for routing in RoutingChoice::BOTH {
+    for &routing in &routings {
         for depth in [1usize, 2, 4, 8] {
-            let mut cfg = base(routing);
+            let mut cfg = base(&topology, routing);
             cfg.buffer_depth = depth;
             variants.push((format!("{}, buffer depth {}", routing.label(), depth), cfg));
         }
@@ -74,38 +142,47 @@ fn main() {
     // 2. Software re-injection overhead Δ. `ExperimentConfig` has no Δ field
     // (the paper fixes it to 0), so these points drive the simulator directly.
     let mut variants: Vec<(String, u32, ExperimentConfig)> = Vec::new();
-    for routing in RoutingChoice::BOTH {
+    for &routing in &routings {
         for delta in [0u32, 10, 50, 200] {
             variants.push((
                 format!("{}, reinjection delay {} cycles", routing.label(), delta),
                 delta,
-                base(routing),
+                base(&topology, routing),
             ));
         }
     }
     let rows = run_parallel(variants, |(label, delta, cfg)| {
-        let mut sim_cfg = cfg.sim_config();
-        sim_cfg.reinjection_delay = *delta;
-        let t = cfg.topology.build().expect("topology");
-        let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(cfg.seed ^ 0xFA17_5EED);
-        let faults = cfg.faults.realize(&t, &mut rng).expect("faults");
-        let mut sim = torus_sim::Simulation::new(sim_cfg, faults, cfg.routing.algorithm())
-            .expect("simulation");
-        let out = sim.run();
+        let run = || -> Result<(f64, u64, f64), String> {
+            let mut sim_cfg = cfg.sim_config();
+            sim_cfg.reinjection_delay = *delta;
+            let t = cfg.topology.build().map_err(|e| e.to_string())?;
+            let mut rng: rand::rngs::StdRng =
+                rand::SeedableRng::seed_from_u64(cfg.seed ^ 0xFA17_5EED);
+            let faults = cfg
+                .faults
+                .realize(&t, &mut rng)
+                .map_err(|e| e.to_string())?;
+            let mut sim = torus_sim::Simulation::new(sim_cfg, faults, cfg.routing.algorithm())
+                .map_err(|e| e.to_string())?;
+            let out = sim.run();
+            Ok((
+                out.report.mean_latency,
+                out.report.messages_queued,
+                out.report.throughput,
+            ))
+        };
         Row {
             label: label.clone(),
-            latency: out.report.mean_latency,
-            queued: out.report.messages_queued,
-            throughput: out.report.throughput,
+            result: run(),
         }
     });
     print_section("software re-injection overhead Δ", &rows);
 
     // 3. Number of virtual channels.
     let mut variants = Vec::new();
-    for routing in RoutingChoice::BOTH {
+    for &routing in &routings {
         for v in [3usize, 4, 6, 10] {
-            let mut cfg = base(routing);
+            let mut cfg = base(&topology, routing);
             cfg.virtual_channels = v;
             variants.push((format!("{}, V={}", routing.label(), v), cfg));
         }

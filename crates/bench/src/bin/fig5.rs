@@ -1,6 +1,9 @@
-//! Regenerates Fig. 5 of Safaei et al. (IPDPS 2006).
+//! Regenerates Fig. 5 of Safaei et al. (IPDPS 2006), by default on the
+//! paper's torus; `--topology`/`--routing` regenerate it on meshes,
+//! hypercubes or mixed shapes under any routing algorithm.
 //!
-//! `cargo run -p torus-bench --release --bin fig5 [-- --scale paper] [-- --csv fig5.csv]`
+//! `cargo run -p torus-bench --release --bin fig5 [-- --scale paper]
+//! [-- --csv fig5.csv] [-- --topology mesh:8x2] [-- --routing turnmodel]`
 
 use swbft_core::Figure;
 use torus_bench::{parse_figure_args, run_figure};
@@ -16,7 +19,7 @@ fn main() {
     match run_figure(Figure::Fig5, &opts) {
         Ok(text) => println!("{text}"),
         Err(e) => {
-            eprintln!("failed to write CSV: {e}");
+            eprintln!("fig5: {e}");
             std::process::exit(1);
         }
     }

@@ -11,11 +11,15 @@
 //!    comparison point the turn-model subsystem exists for. The turn model
 //!    runs at its reduced VC budget where Duato needs its escape classes.
 //!
-//! Estimates whose search exhausted its probe budget before bracketing are
-//! reported as explicit bounds (never as midpoints of fictitious brackets).
+//! `--topology <spec>` replaces both tables with one table on the given
+//! shape; the routing set defaults to every algorithm the shape supports
+//! (`--routing` narrows it to one). Estimates whose search exhausted its
+//! probe budget before bracketing are reported as explicit bounds (never as
+//! midpoints of fictitious brackets).
 //!
 //! ```text
 //! cargo run -p torus-bench --release --bin saturation [-- --smoke]
+//!     [-- --topology mesh:8x2] [-- --routing turnmodel-det]
 //!   --smoke      tiny grid and budgets for CI
 //! ```
 
@@ -23,7 +27,11 @@ use std::process::ExitCode;
 use swbft_core::prelude::*;
 use swbft_core::run_parallel;
 use swbft_core::{estimate_saturation_rate, SaturationSearch};
+use torus_routing::RoutingAlgorithm;
 use torus_topology::TopologySpec;
+
+const USAGE: &str = "usage: saturation [--smoke] [--topology <spec>] \
+                     [--routing det|adaptive|turnmodel|turnmodel-det]";
 
 struct Grid {
     torus_vs: &'static [usize],
@@ -93,33 +101,64 @@ fn run_table(
             .with_faults(faults_for(nf))
             .with_fault_seed(2006 + nf as u64)
             .quick(grid.measured, grid.warmup);
-        let est = estimate_saturation_rate(&cfg, search).expect("saturation search runs");
+        let est = estimate_saturation_rate(&cfg, search).map_err(|e| e.to_string());
         (routing, v, nf, est)
     });
     for (routing, v, nf, est) in results {
-        println!(
-            "{:>14} | {:>4} | {:>4} | {:>24} | {:>12}",
-            routing.label(),
-            v,
-            nf,
-            est.display_rate(),
-            est.simulations
-        );
+        match est {
+            Ok(est) => println!(
+                "{:>14} | {:>4} | {:>4} | {:>24} | {:>12}",
+                routing.label(),
+                v,
+                nf,
+                est.display_rate(),
+                est.simulations
+            ),
+            Err(e) => println!(
+                "{:>14} | {:>4} | {:>4} | error: {e}",
+                routing.label(),
+                v,
+                nf
+            ),
+        }
     }
     println!();
 }
 
 fn main() -> ExitCode {
     let mut smoke = false;
-    for arg in std::env::args().skip(1) {
+    let mut topology: Option<TopologySpec> = None;
+    let mut routing: Option<RoutingChoice> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--topology" => {
+                let value = iter.next().unwrap_or_default();
+                match TopologySpec::parse(&value) {
+                    Ok(t) => topology = Some(t),
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--routing" => {
+                let value = iter.next().unwrap_or_default();
+                match RoutingChoice::parse(&value) {
+                    Ok(r) => routing = Some(r),
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             "--help" | "-h" => {
-                println!("usage: saturation [--smoke]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
-                eprintln!("unknown argument '{other}'\nusage: saturation [--smoke]");
+                eprintln!("unknown argument '{other}'\n{USAGE}");
                 return ExitCode::FAILURE;
             }
         }
@@ -131,17 +170,86 @@ fn main() -> ExitCode {
         if smoke { " (smoke)" } else { "" }
     );
 
+    if let Some(spec) = topology {
+        // Custom-topology mode: one table on the requested shape, with either
+        // the requested routing or every algorithm the shape supports.
+        let requested: Vec<RoutingChoice> = routing.into_iter().collect();
+        let net = match torus_bench::validate_topology_routings(&spec, &requested) {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let routings: Vec<RoutingChoice> = match routing {
+            Some(r) => vec![r],
+            None => RoutingChoice::ALL
+                .into_iter()
+                .filter(|r| r.algorithm().supported_on(&net).is_ok())
+                .collect(),
+        };
+        let fully_open = (0..net.dims()).all(|d| !net.wraps(d));
+        let vs = if fully_open {
+            grid.mesh_vs
+        } else {
+            grid.torus_vs
+        };
+        run_table(
+            &format!(
+                "== {}: saturation by routing, V and fault count ==",
+                spec.label()
+            ),
+            spec,
+            &routings,
+            vs,
+            grid,
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // Default mode: the paper's torus table plus the mesh turn-model
+    // comparison. `--routing` narrows both tables to one algorithm (the
+    // torus table is skipped when that algorithm cannot run on a torus).
+    let torus = TopologySpec::torus(8, 2).build().expect("valid topology");
+    let torus_routings: Vec<RoutingChoice> = routing
+        .map(|r| vec![r])
+        .unwrap_or_else(|| RoutingChoice::BOTH.to_vec())
+        .into_iter()
+        .filter(|r| r.algorithm().supported_on(&torus).is_ok())
+        .collect();
+    let mesh_routings: Vec<RoutingChoice> = routing
+        .map(|r| vec![r])
+        .unwrap_or_else(|| vec![RoutingChoice::Adaptive, RoutingChoice::TurnModel]);
+    // Titles reflect the routing set that actually runs, so a narrowed table
+    // never claims a comparison it does not contain.
+    let torus_title = match routing {
+        None => "== 8-ary 2-cube (torus): SW-Based deterministic vs adaptive ==".to_string(),
+        Some(r) => format!("== 8-ary 2-cube (torus): {} only ==", r.label()),
+    };
+    let mesh_title = match routing {
+        None => {
+            "== 8-ary 2-mesh: negative-first turn model vs Duato-over-e-cube, same fault scenarios =="
+                .to_string()
+        }
+        Some(r) => format!("== 8-ary 2-mesh: {} only, same fault scenarios ==", r.label()),
+    };
+    if torus_routings.is_empty() {
+        eprintln!(
+            "note: the requested routing cannot run on the torus — showing the mesh table only\n"
+        );
+    } else {
+        run_table(
+            &torus_title,
+            TopologySpec::torus(8, 2),
+            &torus_routings,
+            grid.torus_vs,
+            grid,
+        );
+    }
     run_table(
-        "== 8-ary 2-cube (torus): SW-Based deterministic vs adaptive ==",
-        TopologySpec::torus(8, 2),
-        &RoutingChoice::BOTH,
-        grid.torus_vs,
-        grid,
-    );
-    run_table(
-        "== 8-ary 2-mesh: negative-first turn model vs Duato-over-e-cube, same fault scenarios ==",
+        &mesh_title,
         TopologySpec::mesh(8, 2),
-        &[RoutingChoice::Adaptive, RoutingChoice::TurnModel],
+        &mesh_routings,
         grid.mesh_vs,
         grid,
     );

@@ -6,7 +6,9 @@
 //! * `cargo run -p torus-bench --release --bin fig3` (… `fig7`) regenerates
 //!   the corresponding figure of the paper and prints its series as aligned
 //!   text tables (add `--csv <path>` to also write CSV, `--scale paper` for
-//!   the full 100,000-message methodology).
+//!   the full 100,000-message methodology, `--topology mesh:8x2` /
+//!   `--routing turnmodel` to regenerate the figure on another shape or
+//!   routing algorithm).
 //! * `cargo bench -p torus-bench` runs the Criterion micro/meso benchmarks:
 //!   one small representative point per figure plus component benchmarks of
 //!   the topology, routing and simulator layers.
@@ -20,15 +22,34 @@
 pub mod cycles;
 
 use std::path::PathBuf;
-use swbft_core::{Figure, Scale};
+use swbft_core::{Figure, FigureOptions, RoutingChoice, Scale};
+use torus_topology::TopologySpec;
 
 /// Command-line options shared by the `fig*` binaries.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FigureCliOptions {
     /// Measurement scale.
     pub scale: Scale,
     /// Optional path to write the figure's CSV rows to.
     pub csv: Option<PathBuf>,
+    /// Optional topology override (`None` = the figure's paper topology).
+    pub topology: Option<TopologySpec>,
+    /// Optional routing override (`None` = deterministic vs adaptive).
+    pub routing: Option<RoutingChoice>,
+}
+
+impl FigureCliOptions {
+    /// The figure-run options these CLI options describe.
+    pub fn figure_options(&self) -> FigureOptions {
+        let mut opts = FigureOptions::new(self.scale);
+        if let Some(t) = &self.topology {
+            opts = opts.with_topology(t.clone());
+        }
+        if let Some(r) = self.routing {
+            opts = opts.with_routing(r);
+        }
+        opts
+    }
 }
 
 impl Default for FigureCliOptions {
@@ -36,13 +57,18 @@ impl Default for FigureCliOptions {
         FigureCliOptions {
             scale: Scale::Quick,
             csv: None,
+            topology: None,
+            routing: None,
         }
     }
 }
 
 /// Parses the `fig*` binaries' command-line arguments.
 ///
-/// Recognised flags: `--scale quick|paper` (default `quick`), `--csv <path>`.
+/// Recognised flags: `--scale smoke|quick|paper` (default `quick`),
+/// `--csv <path>`, `--topology <spec>` (a [`TopologySpec::parse`] string such
+/// as `mesh:8x2`, `hc:6` or `8x8x4o`) and
+/// `--routing det|adaptive|turnmodel|turnmodel-det`.
 /// Unknown flags produce an error string listing the usage.
 pub fn parse_figure_args<I: IntoIterator<Item = String>>(
     args: I,
@@ -52,16 +78,26 @@ pub fn parse_figure_args<I: IntoIterator<Item = String>>(
     while let Some(arg) = iter.next() {
         match arg.as_str() {
             "--scale" => {
-                let value = iter.next().ok_or("--scale needs a value (quick|paper)")?;
-                opts.scale = match value.as_str() {
-                    "quick" => Scale::Quick,
-                    "paper" => Scale::Paper,
-                    other => return Err(format!("unknown scale '{other}' (use quick|paper)")),
-                };
+                let value = iter
+                    .next()
+                    .ok_or("--scale needs a value (smoke|quick|paper)")?;
+                opts.scale = Scale::parse(&value)?;
             }
             "--csv" => {
                 let value = iter.next().ok_or("--csv needs a file path")?;
                 opts.csv = Some(PathBuf::from(value));
+            }
+            "--topology" => {
+                let value = iter
+                    .next()
+                    .ok_or("--topology needs a spec (e.g. mesh:8x2, hc:6, 8x8x4o)")?;
+                opts.topology = Some(TopologySpec::parse(&value)?);
+            }
+            "--routing" => {
+                let value = iter
+                    .next()
+                    .ok_or("--routing needs a value (det|adaptive|turnmodel|turnmodel-det)")?;
+                opts.routing = Some(RoutingChoice::parse(&value)?);
             }
             "--help" | "-h" => {
                 return Err(usage());
@@ -74,15 +110,47 @@ pub fn parse_figure_args<I: IntoIterator<Item = String>>(
 
 /// Usage string of the `fig*` binaries.
 pub fn usage() -> String {
-    "usage: fig<N> [--scale quick|paper] [--csv <path>]".to_string()
+    "usage: fig<N> [--scale smoke|quick|paper] [--csv <path>] \
+     [--topology <spec>] [--routing det|adaptive|turnmodel|turnmodel-det]\n\
+     topology specs: torus:8x2, mesh:8x2, hypercube:6 (or hc:6), mixed:8,8,4o (or 8x8x4o)"
+        .to_string()
+}
+
+/// Builds a topology and verifies every requested routing algorithm can run
+/// on it, producing the error line the CLI binaries print before exiting.
+/// Shared by the non-figure binaries (`ablation`, `saturation`) so the
+/// rejection message stays identical everywhere.
+pub fn validate_topology_routings(
+    topology: &TopologySpec,
+    routings: &[RoutingChoice],
+) -> Result<torus_topology::Network, String> {
+    use torus_routing::RoutingAlgorithm;
+    let net = topology
+        .build()
+        .map_err(|e| format!("topology error: {e}"))?;
+    for &r in routings {
+        r.algorithm().supported_on(&net).map_err(|e| {
+            format!(
+                "routing '{}' cannot run on {}: {e}",
+                r.label(),
+                topology.label()
+            )
+        })?;
+    }
+    Ok(net)
 }
 
 /// Runs one figure with the given options and returns the text report
-/// (writing the CSV file if requested).
-pub fn run_figure(figure: Figure, opts: &FigureCliOptions) -> std::io::Result<String> {
-    let result = figure.run(opts.scale);
+/// (writing the CSV file if requested). Figure-level errors (bad topology,
+/// routing unsupported on the requested shape) come back as `Err(String)`;
+/// individual failed points are listed inside the report text.
+pub fn run_figure(figure: Figure, opts: &FigureCliOptions) -> Result<String, String> {
+    let result = figure
+        .run_with(&opts.figure_options())
+        .map_err(|e| e.to_string())?;
     if let Some(path) = &opts.csv {
-        std::fs::write(path, result.to_csv())?;
+        std::fs::write(path, result.to_csv())
+            .map_err(|e| format!("failed to write CSV to {}: {e}", path.display()))?;
     }
     Ok(result.render_text())
 }
@@ -100,6 +168,9 @@ mod tests {
         let o = parse_figure_args(args(&[])).unwrap();
         assert_eq!(o.scale, Scale::Quick);
         assert!(o.csv.is_none());
+        assert!(o.topology.is_none());
+        assert!(o.routing.is_none());
+        assert_eq!(o.figure_options(), FigureOptions::new(Scale::Quick));
     }
 
     #[test]
@@ -107,6 +178,35 @@ mod tests {
         let o = parse_figure_args(args(&["--scale", "paper", "--csv", "/tmp/out.csv"])).unwrap();
         assert_eq!(o.scale, Scale::Paper);
         assert_eq!(o.csv, Some(PathBuf::from("/tmp/out.csv")));
+        let o = parse_figure_args(args(&["--scale", "smoke"])).unwrap();
+        assert_eq!(o.scale, Scale::Smoke);
+    }
+
+    #[test]
+    fn parses_topology_and_routing() {
+        let o = parse_figure_args(args(&[
+            "--topology",
+            "mesh:8x2",
+            "--routing",
+            "turnmodel-det",
+        ]))
+        .unwrap();
+        assert_eq!(o.topology, Some(TopologySpec::mesh(8, 2)));
+        assert_eq!(o.routing, Some(RoutingChoice::TurnModelDeterministic));
+        let fo = o.figure_options();
+        assert_eq!(fo.topology, Some(TopologySpec::mesh(8, 2)));
+        assert_eq!(
+            fo.routings,
+            Some(vec![RoutingChoice::TurnModelDeterministic])
+        );
+        // The CLI shorthands go straight through the spec parser.
+        let o = parse_figure_args(args(&["--topology", "hc:6"])).unwrap();
+        assert_eq!(o.topology, Some(TopologySpec::hypercube(6)));
+        let o = parse_figure_args(args(&["--topology", "8x8x4o"])).unwrap();
+        assert_eq!(
+            o.topology,
+            Some(TopologySpec::mixed(vec![8, 8, 4], vec![true, true, false]))
+        );
     }
 
     #[test]
@@ -114,6 +214,23 @@ mod tests {
         assert!(parse_figure_args(args(&["--bogus"])).is_err());
         assert!(parse_figure_args(args(&["--scale", "huge"])).is_err());
         assert!(parse_figure_args(args(&["--scale"])).is_err());
+        assert!(parse_figure_args(args(&["--topology", "ring:9"])).is_err());
+        assert!(parse_figure_args(args(&["--topology"])).is_err());
+        assert!(parse_figure_args(args(&["--routing", "magic"])).is_err());
+        assert!(parse_figure_args(args(&["--routing"])).is_err());
         assert!(parse_figure_args(args(&["--help"])).is_err());
+    }
+
+    #[test]
+    fn figure_level_errors_are_strings_not_panics() {
+        // Turn-model routing on the default torus topology: rejected with a
+        // readable message before any simulation runs.
+        let o = FigureCliOptions {
+            scale: Scale::Smoke,
+            routing: Some(RoutingChoice::TurnModel),
+            ..FigureCliOptions::default()
+        };
+        let err = run_figure(Figure::Fig3, &o).unwrap_err();
+        assert!(err.contains("turn-model"), "{err}");
     }
 }

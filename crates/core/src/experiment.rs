@@ -24,6 +24,11 @@ pub enum RoutingChoice {
     /// [`ExperimentError::Sim`] with
     /// [`torus_sim::SimConfigError::UnsupportedRouting`].
     TurnModel,
+    /// Deterministic negative-first turn-model routing: the canonical
+    /// negative-first order over the whole VC pool (1 VC suffices). The 1-VC
+    /// counterpart to [`RoutingChoice::Deterministic`]'s e-cube on meshes;
+    /// rejected on wrapped dimensions like [`RoutingChoice::TurnModel`].
+    TurnModelDeterministic,
 }
 
 impl RoutingChoice {
@@ -33,15 +38,34 @@ impl RoutingChoice {
             RoutingChoice::Deterministic => AnyRouting::SwBased(SwBasedRouting::deterministic()),
             RoutingChoice::Adaptive => AnyRouting::SwBased(SwBasedRouting::adaptive()),
             RoutingChoice::TurnModel => AnyRouting::TurnModel(TurnModelRouting::adaptive()),
+            RoutingChoice::TurnModelDeterministic => {
+                AnyRouting::TurnModel(TurnModelRouting::deterministic())
+            }
         }
     }
 
-    /// Label used in tables ("deterministic" / "adaptive" / "turn-model").
+    /// Label used in tables ("deterministic" / "adaptive" / "turn-model" /
+    /// "turn-model-det").
     pub fn label(&self) -> &'static str {
         match self {
             RoutingChoice::Deterministic => "deterministic",
             RoutingChoice::Adaptive => "adaptive",
             RoutingChoice::TurnModel => "turn-model",
+            RoutingChoice::TurnModelDeterministic => "turn-model-det",
+        }
+    }
+
+    /// Parses a CLI routing name. Accepts the labels plus short aliases:
+    /// `det`, `adaptive`, `turnmodel`, `turnmodel-det`.
+    pub fn parse(s: &str) -> Result<RoutingChoice, String> {
+        match s {
+            "det" | "deterministic" | "ecube" => Ok(RoutingChoice::Deterministic),
+            "adaptive" | "duato" => Ok(RoutingChoice::Adaptive),
+            "turnmodel" | "turn-model" => Ok(RoutingChoice::TurnModel),
+            "turnmodel-det" | "turn-model-det" => Ok(RoutingChoice::TurnModelDeterministic),
+            other => Err(format!(
+                "unknown routing '{other}' (use det|adaptive|turnmodel|turnmodel-det)"
+            )),
         }
     }
 
@@ -51,11 +75,12 @@ impl RoutingChoice {
     pub const BOTH: [RoutingChoice; 2] = [RoutingChoice::Deterministic, RoutingChoice::Adaptive];
 
     /// Every routing choice, in comparison-table order. Only meaningful on
-    /// open topologies — the turn model is rejected elsewhere.
-    pub const ALL: [RoutingChoice; 3] = [
+    /// open topologies — the turn models are rejected elsewhere.
+    pub const ALL: [RoutingChoice; 4] = [
         RoutingChoice::Deterministic,
         RoutingChoice::Adaptive,
         RoutingChoice::TurnModel,
+        RoutingChoice::TurnModelDeterministic,
     ];
 }
 
@@ -448,12 +473,63 @@ mod tests {
 
     #[test]
     fn routing_choice_all_covers_every_variant() {
-        assert_eq!(RoutingChoice::ALL.len(), 3);
+        assert_eq!(RoutingChoice::ALL.len(), 4);
         assert_eq!(RoutingChoice::TurnModel.label(), "turn-model");
+        assert_eq!(
+            RoutingChoice::TurnModelDeterministic.label(),
+            "turn-model-det"
+        );
         assert_eq!(
             RoutingChoice::TurnModel.algorithm(),
             torus_routing::AnyRouting::TurnModel(torus_routing::TurnModelRouting::adaptive())
         );
+        assert_eq!(
+            RoutingChoice::TurnModelDeterministic.algorithm(),
+            torus_routing::AnyRouting::TurnModel(torus_routing::TurnModelRouting::deterministic())
+        );
+    }
+
+    #[test]
+    fn routing_choice_parse_accepts_labels_and_aliases() {
+        for choice in RoutingChoice::ALL {
+            assert_eq!(RoutingChoice::parse(choice.label()), Ok(choice));
+        }
+        assert_eq!(
+            RoutingChoice::parse("det"),
+            Ok(RoutingChoice::Deterministic)
+        );
+        assert_eq!(RoutingChoice::parse("duato"), Ok(RoutingChoice::Adaptive));
+        assert_eq!(
+            RoutingChoice::parse("turnmodel"),
+            Ok(RoutingChoice::TurnModel)
+        );
+        assert_eq!(
+            RoutingChoice::parse("turnmodel-det"),
+            Ok(RoutingChoice::TurnModelDeterministic)
+        );
+        assert!(RoutingChoice::parse("magic").is_err());
+    }
+
+    #[test]
+    fn deterministic_turn_model_runs_at_one_vc_on_meshes() {
+        let cfg = ExperimentConfig::mesh_point(8, 2, 1, 16, 0.003)
+            .with_routing(RoutingChoice::TurnModelDeterministic)
+            .with_faults(FaultScenario::RandomNodes { count: 3 })
+            .quick(300, 100);
+        let out = cfg.run().unwrap();
+        assert_eq!(out.fault_count, 3);
+        assert_eq!(out.dropped_messages, 0);
+
+        // Rejected on wrapped dimensions exactly like the adaptive flavour.
+        let torus = ExperimentConfig::paper_point(8, 2, 4, 16, 0.003)
+            .with_routing(RoutingChoice::TurnModelDeterministic)
+            .quick(200, 50);
+        assert!(matches!(
+            torus.run(),
+            Err(ExperimentError::Sim(
+                torus_sim::SimConfigError::UnsupportedRouting(_)
+            ))
+        ));
     }
 
     #[test]

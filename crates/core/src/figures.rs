@@ -1,26 +1,42 @@
-//! The exact experiment grids of Figs. 3–7 of the paper.
+//! The exact experiment grids of Figs. 3–7 of the paper, parameterised over
+//! topology and routing.
 //!
-//! Every figure is a set of independent simulation points; `Figure::run`
+//! Every figure is a set of independent simulation points; [`Figure::run`]
 //! executes them in parallel (deterministically, each point owns its seed) and
 //! returns a [`FigureResult`] whose text rendering reproduces the series the
-//! paper plots.
+//! paper plots. By default each figure runs on its paper topology (a k-ary
+//! n-cube torus) comparing deterministic against adaptive Software-Based
+//! routing; [`Figure::run_with`] regenerates the same grid on any
+//! [`TopologySpec`] (meshes, hypercubes, mixed-radix shapes) and any set of
+//! [`RoutingChoice`]s — the scenario-diversity axis of the evaluation.
 //!
-//! Two scales are provided:
+//! Individual points that cannot run (for example a fault region that does
+//! not fit the requested shape) are reported as typed failures on the result
+//! instead of aborting the figure.
 //!
+//! Three scales are provided:
+//!
+//! * [`Scale::Smoke`] — a tiny grid for CI smoke runs and tests (seconds);
 //! * [`Scale::Quick`] — a reduced message budget and coarser rate grid, meant
 //!   for laptops and CI (minutes);
 //! * [`Scale::Paper`] — the paper's methodology (100,000 messages per point,
 //!   of which the first 10,000 are discarded) and a denser grid.
 
 use crate::experiment::{ExperimentConfig, ExperimentOutcome, RoutingChoice};
-use crate::results::{CurveResult, FigureResult, Metric, PanelResult, PointResult};
+use crate::results::{CurveResult, FigureResult, Metric, PanelResult, PointFailure, PointResult};
 use crate::sweep::run_parallel;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
 use torus_faults::{FaultScenario, RegionShape};
+use torus_routing::RoutingAlgorithm;
+use torus_topology::{Network, TopologySpec};
 
 /// Measurement scale of a figure run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Scale {
+    /// Tiny budget and grid: figure smoke tests finish in seconds.
+    Smoke,
     /// Reduced budget: quick to run, qualitatively identical curves.
     Quick,
     /// The paper's full budget (10,000 warm-up + 90,000 measured messages per
@@ -31,6 +47,7 @@ pub enum Scale {
 impl Scale {
     fn warmup(self) -> u64 {
         match self {
+            Scale::Smoke => 100,
             Scale::Quick => 1_000,
             Scale::Paper => 10_000,
         }
@@ -38,6 +55,7 @@ impl Scale {
 
     fn measured(self) -> u64 {
         match self {
+            Scale::Smoke => 500,
             Scale::Quick => 5_000,
             Scale::Paper => 90_000,
         }
@@ -45,6 +63,7 @@ impl Scale {
 
     fn max_cycles(self, num_nodes: usize) -> u64 {
         match self {
+            Scale::Smoke => 15_000,
             // Large enough to reach steady state well past saturation, small
             // enough that saturated points terminate promptly.
             Scale::Quick => {
@@ -60,6 +79,7 @@ impl Scale {
 
     fn rate_points(self) -> usize {
         match self {
+            Scale::Smoke => 3,
             Scale::Quick => 5,
             Scale::Paper => 8,
         }
@@ -67,11 +87,123 @@ impl Scale {
 
     fn fault_step(self) -> usize {
         match self {
+            Scale::Smoke => 4,
             Scale::Quick => 2,
             Scale::Paper => 1,
         }
     }
+
+    /// Random fault placements averaged per Fig. 6 cell.
+    fn fig6_reps(self) -> u64 {
+        match self {
+            Scale::Smoke => 1,
+            Scale::Quick => 2,
+            Scale::Paper => 5,
+        }
+    }
+
+    /// Identifier ("smoke" / "quick" / "paper").
+    pub fn id(&self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Quick => "quick",
+            Scale::Paper => "paper",
+        }
+    }
+
+    /// Parses an identifier.
+    pub fn parse(s: &str) -> Result<Scale, String> {
+        match s {
+            "smoke" => Ok(Scale::Smoke),
+            "quick" => Ok(Scale::Quick),
+            "paper" => Ok(Scale::Paper),
+            other => Err(format!("unknown scale '{other}' (use smoke|quick|paper)")),
+        }
+    }
 }
+
+/// How to run a figure: the scale plus optional topology and routing
+/// overrides. The default options reproduce the paper bit-identically.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FigureOptions {
+    /// Measurement scale.
+    pub scale: Scale,
+    /// Topology override (`None` = the figure's paper topology).
+    pub topology: Option<TopologySpec>,
+    /// Routing comparison set override (`None` = deterministic vs adaptive
+    /// Software-Based routing, the paper's comparison).
+    pub routings: Option<Vec<RoutingChoice>>,
+}
+
+impl FigureOptions {
+    /// Paper-default options at the given scale.
+    pub fn new(scale: Scale) -> Self {
+        FigureOptions {
+            scale,
+            topology: None,
+            routings: None,
+        }
+    }
+
+    /// Overrides the topology the figure is measured on.
+    pub fn with_topology(mut self, topology: TopologySpec) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Restricts the figure to a single routing algorithm.
+    pub fn with_routing(mut self, routing: RoutingChoice) -> Self {
+        self.routings = Some(vec![routing]);
+        self
+    }
+
+    /// Overrides the full routing comparison set.
+    pub fn with_routings(mut self, routings: Vec<RoutingChoice>) -> Self {
+        self.routings = Some(routings);
+        self
+    }
+}
+
+/// Errors that prevent a figure from running at all (individual point
+/// failures are reported on the [`FigureResult`] instead).
+#[derive(Clone, Debug)]
+pub enum FigureError {
+    /// The requested topology could not be built.
+    Topology(torus_topology::NetworkError),
+    /// A requested routing algorithm cannot run on the requested topology
+    /// (for example the turn model on a wrapped dimension).
+    UnsupportedRouting {
+        /// The rejected routing choice.
+        routing: RoutingChoice,
+        /// The topology it was requested on.
+        topology: TopologySpec,
+        /// The typed rejection from the routing subsystem.
+        error: torus_routing::RoutingTopologyError,
+    },
+    /// The routing comparison set was empty.
+    NoRoutings,
+}
+
+impl fmt::Display for FigureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FigureError::Topology(e) => write!(f, "topology error: {e}"),
+            FigureError::UnsupportedRouting {
+                routing,
+                topology,
+                error,
+            } => write!(
+                f,
+                "routing '{}' cannot run on {}: {error}",
+                routing.label(),
+                topology.label()
+            ),
+            FigureError::NoRoutings => write!(f, "the routing comparison set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for FigureError {}
 
 /// The figures of the paper's evaluation section.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -140,14 +272,181 @@ impl Figure {
         }
     }
 
-    /// Runs the whole figure at the given scale.
-    pub fn run(&self, scale: Scale) -> FigureResult {
+    /// The topology the paper measures this figure on.
+    pub fn default_topology(&self) -> TopologySpec {
         match self {
-            Figure::Fig3 => latency_figure(scale, "fig3", self.title(), 8, 2, &[0, 3, 5]),
-            Figure::Fig4 => latency_figure(scale, "fig4", self.title(), 8, 3, &[0, 12]),
-            Figure::Fig5 => fig5(scale),
-            Figure::Fig6 => fig6(scale),
-            Figure::Fig7 => fig7(scale),
+            Figure::Fig3 | Figure::Fig5 => TopologySpec::torus(8, 2),
+            Figure::Fig4 | Figure::Fig7 => TopologySpec::torus(8, 3),
+            Figure::Fig6 => TopologySpec::torus(16, 2),
+        }
+    }
+
+    /// Runs the whole figure at the given scale on its paper topology.
+    pub fn run(&self, scale: Scale) -> Result<FigureResult, FigureError> {
+        self.run_with(&FigureOptions::new(scale))
+    }
+
+    /// Runs the figure with topology/routing overrides.
+    pub fn run_with(&self, opts: &FigureOptions) -> Result<FigureResult, FigureError> {
+        Ok(self.plan(opts)?.execute())
+    }
+
+    /// The experiment configurations the figure would run, in execution
+    /// order. Exposed so pinning tests (and external tooling) can check the
+    /// exact parameter grid without paying for the simulations.
+    pub fn point_configs(
+        &self,
+        opts: &FigureOptions,
+    ) -> Result<Vec<ExperimentConfig>, FigureError> {
+        Ok(self
+            .plan(opts)?
+            .tagged
+            .into_iter()
+            .map(|(_, _, _, cfg)| cfg)
+            .collect())
+    }
+
+    /// Panel titles and curve labels of the figure grid for the given
+    /// options, without running any simulation. Together with
+    /// [`Figure::point_configs`] this exposes the whole figure grid, which
+    /// pinning tests digest to guarantee the default (paper) grids never
+    /// drift.
+    pub fn grid_labels(
+        &self,
+        opts: &FigureOptions,
+    ) -> Result<Vec<(String, Vec<String>)>, FigureError> {
+        Ok(self.plan(opts)?.panels_meta)
+    }
+
+    /// Builds the figure's full point grid for the given options.
+    fn plan(&self, opts: &FigureOptions) -> Result<FigurePlan, FigureError> {
+        let topology = opts
+            .topology
+            .clone()
+            .unwrap_or_else(|| self.default_topology());
+        let net = topology.build().map_err(FigureError::Topology)?;
+        let routings = opts
+            .routings
+            .clone()
+            .unwrap_or_else(|| RoutingChoice::BOTH.to_vec());
+        if routings.is_empty() {
+            return Err(FigureError::NoRoutings);
+        }
+        // Reject routing/topology mismatches up front with one typed error
+        // instead of one identical failure per point.
+        for &routing in &routings {
+            routing.algorithm().supported_on(&net).map_err(|error| {
+                FigureError::UnsupportedRouting {
+                    routing,
+                    topology: topology.clone(),
+                    error,
+                }
+            })?;
+        }
+        Ok(match self {
+            Figure::Fig3 => latency_figure(
+                opts.scale,
+                "fig3",
+                self.title(),
+                &topology,
+                &routings,
+                &[0, 3, 5],
+            ),
+            Figure::Fig4 => latency_figure(
+                opts.scale,
+                "fig4",
+                self.title(),
+                &topology,
+                &routings,
+                &[0, 12],
+            ),
+            Figure::Fig5 => fig5(opts.scale, &topology, &net, &routings),
+            Figure::Fig6 => fig6(opts.scale, &topology, &routings),
+            Figure::Fig7 => fig7(opts.scale, &topology, &routings),
+        })
+    }
+}
+
+/// A fully built figure grid: every experiment configuration tagged with its
+/// (panel, curve, x) coordinates, plus the panel/curve metadata needed to
+/// assemble the result. Executing the plan is the only part that simulates.
+struct FigurePlan {
+    id: String,
+    title: String,
+    metric: Metric,
+    x_label: String,
+    /// (panel index, curve index, x value, configuration). Several entries
+    /// may share one (panel, curve, x) cell; their reports are averaged
+    /// (Fig. 6 uses this to average over random fault placements).
+    tagged: Vec<(usize, usize, f64, ExperimentConfig)>,
+    /// Per panel: title and curve labels.
+    panels_meta: Vec<(String, Vec<String>)>,
+}
+
+impl FigurePlan {
+    /// Runs every point in parallel and assembles the figure, collecting
+    /// failed points instead of aborting.
+    fn execute(self) -> FigureResult {
+        let outcomes = run_parallel(self.tagged, |(panel, curve, x, cfg)| {
+            (*panel, *curve, *x, cfg.run())
+        });
+        let mut panels: Vec<PanelResult> = self
+            .panels_meta
+            .into_iter()
+            .map(|(ptitle, curve_labels)| PanelResult {
+                title: ptitle,
+                x_label: self.x_label.clone(),
+                metric: self.metric,
+                curves: curve_labels
+                    .into_iter()
+                    .map(|label| CurveResult {
+                        label,
+                        points: Vec::new(),
+                    })
+                    .collect(),
+            })
+            .collect();
+        // Group outcomes into (panel, curve, x) cells, averaging repetitions.
+        let mut order: Vec<(usize, usize, f64)> = Vec::new();
+        let mut cells: HashMap<(usize, usize, u64), Vec<ExperimentOutcome>> = HashMap::new();
+        let mut failures = Vec::new();
+        for (panel, curve, x, outcome) in outcomes {
+            match outcome {
+                Ok(o) => {
+                    let key = (panel, curve, x.to_bits());
+                    if !cells.contains_key(&key) {
+                        order.push((panel, curve, x));
+                    }
+                    cells.entry(key).or_default().push(o);
+                }
+                Err(e) => failures.push(PointFailure {
+                    panel: panels[panel].title.clone(),
+                    curve: panels[panel].curves[curve].label.clone(),
+                    x,
+                    error: e.to_string(),
+                }),
+            }
+        }
+        for (panel, curve, x) in order {
+            let cell = &cells[&(panel, curve, x.to_bits())];
+            let reports: Vec<torus_metrics::SimulationReport> =
+                cell.iter().map(|o| o.report.clone()).collect();
+            panels[panel].curves[curve].points.push(PointResult {
+                x,
+                report: average_reports(&reports),
+                saturated: cell.iter().all(|o| o.hit_max_cycles),
+            });
+        }
+        for panel in &mut panels {
+            for curve in &mut panel.curves {
+                curve.points.sort_by(|a, b| a.x.total_cmp(&b.x));
+            }
+        }
+        FigureResult {
+            id: self.id,
+            title: self.title,
+            panels,
+            failures,
         }
     }
 }
@@ -167,24 +466,19 @@ fn budgeted_max_cycles(scale: Scale, cfg: &ExperimentConfig) -> u64 {
 
 /// Per-(routing, V) saturation-aware maximum traffic rate of the sweep grids,
 /// chosen to bracket the saturation points visible in the paper's figures.
-fn max_rate(routing: RoutingChoice, v: usize, dims: u32) -> f64 {
-    let base = match (routing, v) {
-        (RoutingChoice::Deterministic, 4) => 0.013,
-        (RoutingChoice::Deterministic, 6) => 0.016,
-        (RoutingChoice::Deterministic, _) => 0.019,
-        (RoutingChoice::Adaptive, 4) => 0.016,
-        (RoutingChoice::Adaptive, 6) => 0.020,
-        (RoutingChoice::Adaptive, _) => 0.023,
-        // The turn model never appears in the paper's torus figures (wrapped
-        // dimensions reject it); mesh comparisons reuse the adaptive ranges.
-        (RoutingChoice::TurnModel, 4) => 0.016,
-        (RoutingChoice::TurnModel, 6) => 0.020,
-        (RoutingChoice::TurnModel, _) => 0.023,
-    };
-    // The 8-ary 3-cube saturates at similar per-node rates (Fig. 4 uses the
-    // same axis ranges as Fig. 3), so no dimensional correction is applied.
-    let _ = dims;
-    base
+/// The deterministic turn model shares the e-cube ranges and the adaptive
+/// turn model the Duato ranges (mesh saturation sits a little lower, which
+/// only makes the top of the grid saturate visibly — exactly what the figure
+/// is meant to show).
+fn max_rate(routing: RoutingChoice, v: usize) -> f64 {
+    match (routing, v) {
+        (RoutingChoice::Deterministic | RoutingChoice::TurnModelDeterministic, 4) => 0.013,
+        (RoutingChoice::Deterministic | RoutingChoice::TurnModelDeterministic, 6) => 0.016,
+        (RoutingChoice::Deterministic | RoutingChoice::TurnModelDeterministic, _) => 0.019,
+        (RoutingChoice::Adaptive | RoutingChoice::TurnModel, 4) => 0.016,
+        (RoutingChoice::Adaptive | RoutingChoice::TurnModel, 6) => 0.020,
+        (RoutingChoice::Adaptive | RoutingChoice::TurnModel, _) => 0.023,
+    }
 }
 
 /// Evenly spaced traffic grid from a low load up to `max`.
@@ -209,34 +503,33 @@ fn point_seed(fig: &str, panel: usize, curve: usize, point: usize) -> u64 {
     h
 }
 
-fn outcome_point(x: f64, outcome: ExperimentOutcome) -> PointResult {
-    PointResult {
-        x,
-        report: outcome.report,
-        saturated: outcome.hit_max_cycles,
+/// The paper's phrasing for a topology in panel titles: tori keep the
+/// "k-ary n-cube" wording of the captions, every other shape uses its label.
+fn shape_phrase(spec: &TopologySpec) -> String {
+    match spec {
+        TopologySpec::Torus { radix, dims } => format!("{radix}-ary {dims}-cube"),
+        other => other.label(),
     }
 }
 
-/// Shared driver for Figs. 3 and 4: mean latency vs traffic rate over panels
+/// Shared grid for Figs. 3 and 4: mean latency vs traffic rate over panels
 /// (routing × V), curves (M × nf).
 fn latency_figure(
     scale: Scale,
     id: &str,
     title: &str,
-    radix: u16,
-    dims: u32,
+    topology: &TopologySpec,
+    routings: &[RoutingChoice],
     fault_counts: &[usize],
-) -> FigureResult {
+) -> FigurePlan {
     let vs = [4usize, 6, 10];
     let ms = [32u32, 64];
-    // Build the flat list of experiment configs with their (panel, curve, x)
-    // coordinates.
     let mut tagged: Vec<(usize, usize, f64, ExperimentConfig)> = Vec::new();
     let mut panels_meta: Vec<(String, Vec<String>)> = Vec::new();
     let mut panel_idx = 0;
-    for routing in RoutingChoice::BOTH {
+    for &routing in routings {
         for &v in &vs {
-            let rates = rate_grid(max_rate(routing, v, dims), scale.rate_points());
+            let rates = rate_grid(max_rate(routing, v), scale.rate_points());
             let mut curve_labels = Vec::new();
             let mut curve_idx = 0;
             for &m in &ms {
@@ -248,7 +541,7 @@ fn latency_figure(
                         } else {
                             FaultScenario::RandomNodes { count: nf }
                         };
-                        let cfg = ExperimentConfig::paper_point(radix, dims, v, m, rate)
+                        let cfg = ExperimentConfig::topology_point(topology.clone(), v, m, rate)
                             .with_routing(routing)
                             .with_faults(faults)
                             .with_seed(point_seed(id, panel_idx, curve_idx, pi))
@@ -267,10 +560,9 @@ fn latency_figure(
             }
             panels_meta.push((
                 format!(
-                    "{} routing, {}-ary {}-cube, V={}",
+                    "{} routing, {}, V={}",
                     capitalise(routing.label()),
-                    radix,
-                    dims,
+                    shape_phrase(topology),
                     v
                 ),
                 curve_labels,
@@ -278,28 +570,30 @@ fn latency_figure(
             panel_idx += 1;
         }
     }
-    assemble_figure(
-        id,
-        title,
-        Metric::MeanLatency,
-        "Traffic rate",
+    FigurePlan {
+        id: id.to_string(),
+        title: title.to_string(),
+        metric: Metric::MeanLatency,
+        x_label: "Traffic rate".to_string(),
         tagged,
         panels_meta,
-    )
+    }
 }
 
 /// Fig. 5: latency vs traffic rate for the five fault-region shapes, both
-/// routing flavours, 8-ary 2-cube, M = 32, V = 10.
-fn fig5(scale: Scale) -> FigureResult {
-    let radix = 8;
-    let dims = 2;
+/// routing flavours, M = 32, V = 10.
+fn fig5(
+    scale: Scale,
+    topology: &TopologySpec,
+    net: &Network,
+    routings: &[RoutingChoice],
+) -> FigurePlan {
     let v = 10;
     let m = 32;
-    let torus = torus_topology::Network::torus(radix, dims).expect("valid topology");
     let mut tagged = Vec::new();
     let mut curve_labels = Vec::new();
     let mut curve_idx = 0;
-    for routing in RoutingChoice::BOTH {
+    for &routing in routings {
         for (shape, shape_label) in RegionShape::paper_fig5_regions() {
             curve_labels.push(format!(
                 "{}, nf={}, {}",
@@ -307,11 +601,11 @@ fn fig5(scale: Scale) -> FigureResult {
                 shape.node_count(),
                 shape_label
             ));
-            let rates = rate_grid(max_rate(routing, v, dims), scale.rate_points());
+            let rates = rate_grid(max_rate(routing, v), scale.rate_points());
             for (pi, &rate) in rates.iter().enumerate() {
-                let cfg = ExperimentConfig::paper_point(radix, dims, v, m, rate)
+                let cfg = ExperimentConfig::topology_point(topology.clone(), v, m, rate)
                     .with_routing(routing)
-                    .with_faults(FaultScenario::centered_region(&torus, shape))
+                    .with_faults(FaultScenario::centered_region(net, shape))
                     .with_seed(point_seed("fig5", 0, curve_idx, pi))
                     .quick(scale.measured(), scale.warmup());
                 let cfg = ExperimentConfig {
@@ -324,36 +618,34 @@ fn fig5(scale: Scale) -> FigureResult {
         }
     }
     let panels_meta = vec![(
-        format!("{radix}-ary {dims}-cube, M={m}, V={v}, convex and concave fault regions"),
+        format!(
+            "{}, M={m}, V={v}, convex and concave fault regions",
+            shape_phrase(topology)
+        ),
         curve_labels,
     )];
-    assemble_figure(
-        "fig5",
-        Figure::Fig5.title(),
-        Metric::MeanLatency,
-        "Traffic rate",
+    FigurePlan {
+        id: "fig5".to_string(),
+        title: Figure::Fig5.title().to_string(),
+        metric: Metric::MeanLatency,
+        x_label: "Traffic rate".to_string(),
         tagged,
         panels_meta,
-    )
+    }
 }
 
-/// Fig. 6: throughput vs number of random faulty nodes, 16-ary 2-cube, M = 32,
-/// V = 6, measured at a fixed offered load above the deterministic saturation
-/// point, averaged over several random placements per fault count.
-fn fig6(scale: Scale) -> FigureResult {
-    let radix = 16;
-    let dims = 2;
+/// Fig. 6: throughput vs number of random faulty nodes, M = 32, V = 6,
+/// measured at a fixed offered load above the deterministic saturation point,
+/// averaged over several random placements per fault count.
+fn fig6(scale: Scale, topology: &TopologySpec, routings: &[RoutingChoice]) -> FigurePlan {
     let v = 6;
     let m = 32;
     let offered = 0.012;
-    let reps: u64 = match scale {
-        Scale::Quick => 2,
-        Scale::Paper => 5,
-    };
-    let fault_counts: Vec<usize> = (0..=10).step_by(scale.fault_step().min(2)).collect();
+    let reps = scale.fig6_reps();
+    let fault_counts: Vec<usize> = (0..=10).step_by(scale.fault_step()).collect();
     let mut tagged: Vec<(usize, usize, f64, ExperimentConfig)> = Vec::new();
     let mut curve_labels = Vec::new();
-    for (curve_idx, routing) in RoutingChoice::BOTH.into_iter().enumerate() {
+    for (curve_idx, &routing) in routings.iter().enumerate() {
         curve_labels.push(routing.label().to_string());
         for (pi, &nf) in fault_counts.iter().enumerate() {
             for rep in 0..reps {
@@ -362,7 +654,7 @@ fn fig6(scale: Scale) -> FigureResult {
                 } else {
                     FaultScenario::RandomNodes { count: nf }
                 };
-                let cfg = ExperimentConfig::paper_point(radix, dims, v, m, offered)
+                let cfg = ExperimentConfig::topology_point(topology.clone(), v, m, offered)
                     .with_routing(routing)
                     .with_faults(faults)
                     .with_seed(point_seed("fig6", rep as usize, curve_idx, pi))
@@ -371,57 +663,32 @@ fn fig6(scale: Scale) -> FigureResult {
                     max_cycles: budgeted_max_cycles(scale, &cfg),
                     ..cfg
                 };
-                tagged.push((curve_idx, pi, nf as f64, cfg));
+                tagged.push((0usize, curve_idx, nf as f64, cfg));
             }
         }
     }
-    // Run all points, then average the repetitions of each (curve, nf) cell.
-    let outcomes = run_parallel(tagged, |(curve, pi, x, cfg)| {
-        (*curve, *pi, *x, cfg.run().expect("fig6 point must run"))
-    });
-    let mut curves: Vec<CurveResult> = curve_labels
-        .iter()
-        .map(|label| CurveResult {
-            label: label.clone(),
-            points: Vec::new(),
-        })
-        .collect();
-    for (curve_idx, _) in RoutingChoice::BOTH.into_iter().enumerate() {
-        for (pi, &nf) in fault_counts.iter().enumerate() {
-            let cell: Vec<&ExperimentOutcome> = outcomes
-                .iter()
-                .filter(|(c, p, _, _)| *c == curve_idx && *p == pi)
-                .map(|(_, _, _, o)| o)
-                .collect();
-            let reports: Vec<torus_metrics::SimulationReport> =
-                cell.iter().map(|o| o.report.clone()).collect();
-            let averaged = average_reports(&reports);
-            curves[curve_idx].points.push(PointResult {
-                x: nf as f64,
-                report: averaged,
-                saturated: cell.iter().all(|o| o.hit_max_cycles),
-            });
-        }
-    }
-    FigureResult {
+    let panels_meta = vec![(
+        format!(
+            "{}, M={m}, V={v}, offered load {offered}",
+            shape_phrase(topology)
+        ),
+        curve_labels,
+    )];
+    FigurePlan {
         id: "fig6".to_string(),
         title: Figure::Fig6.title().to_string(),
-        panels: vec![PanelResult {
-            title: format!("{radix}-ary {dims}-cube, M={m}, V={v}, offered load {offered}"),
-            x_label: "Number of faulty nodes".to_string(),
-            metric: Metric::Throughput,
-            curves,
-        }],
+        metric: Metric::Throughput,
+        x_label: "Number of faulty nodes".to_string(),
+        tagged,
+        panels_meta,
     }
 }
 
 /// Fig. 7: messages queued (absorption events) vs number of random faulty
-/// nodes, 8-ary 3-cube, M = 32, V = 10, for the two generation rates the paper
-/// labels "70" and "100" (interpreted as mean inter-arrival times in cycles,
-/// i.e. λ = 1/70 and 1/100 messages/node/cycle — see DESIGN.md).
-fn fig7(scale: Scale) -> FigureResult {
-    let radix = 8;
-    let dims = 3;
+/// nodes, M = 32, V = 10, for the two generation rates the paper labels "70"
+/// and "100" (interpreted as mean inter-arrival times in cycles, i.e.
+/// λ = 1/70 and 1/100 messages/node/cycle — see DESIGN.md).
+fn fig7(scale: Scale, topology: &TopologySpec, routings: &[RoutingChoice]) -> FigurePlan {
     let v = 10;
     let m = 32;
     let rates = [(70u32, 1.0 / 70.0), (100u32, 1.0 / 100.0)];
@@ -429,7 +696,7 @@ fn fig7(scale: Scale) -> FigureResult {
     let mut tagged = Vec::new();
     let mut curve_labels = Vec::new();
     let mut curve_idx = 0;
-    for routing in RoutingChoice::BOTH {
+    for &routing in routings {
         for &(label, rate) in &rates {
             curve_labels.push(format!(
                 "{}, generation rate={}",
@@ -442,7 +709,7 @@ fn fig7(scale: Scale) -> FigureResult {
                 } else {
                     FaultScenario::RandomNodes { count: nf }
                 };
-                let cfg = ExperimentConfig::paper_point(radix, dims, v, m, rate)
+                let cfg = ExperimentConfig::topology_point(topology.clone(), v, m, rate)
                     .with_routing(routing)
                     .with_faults(faults)
                     .with_seed(point_seed("fig7", 0, curve_idx, pi))
@@ -460,72 +727,22 @@ fn fig7(scale: Scale) -> FigureResult {
         }
     }
     let panels_meta = vec![(
-        format!("{radix}-ary {dims}-cube, M={m}, V={v}"),
+        format!("{}, M={m}, V={v}", shape_phrase(topology)),
         curve_labels,
     )];
-    assemble_figure(
-        "fig7",
-        Figure::Fig7.title(),
-        Metric::MessagesQueued,
-        "Number of faulty nodes",
+    FigurePlan {
+        id: "fig7".to_string(),
+        title: Figure::Fig7.title().to_string(),
+        metric: Metric::MessagesQueued,
+        x_label: "Number of faulty nodes".to_string(),
         tagged,
         panels_meta,
-    )
-}
-
-/// Runs the tagged experiment list in parallel and assembles the figure.
-fn assemble_figure(
-    id: &str,
-    title: &str,
-    metric: Metric,
-    x_label: &str,
-    tagged: Vec<(usize, usize, f64, ExperimentConfig)>,
-    panels_meta: Vec<(String, Vec<String>)>,
-) -> FigureResult {
-    let outcomes = run_parallel(tagged, |(panel, curve, x, cfg)| {
-        (
-            *panel,
-            *curve,
-            *x,
-            cfg.run().expect("figure point must run"),
-        )
-    });
-    let mut panels: Vec<PanelResult> = panels_meta
-        .into_iter()
-        .map(|(ptitle, curve_labels)| PanelResult {
-            title: ptitle,
-            x_label: x_label.to_string(),
-            metric,
-            curves: curve_labels
-                .into_iter()
-                .map(|label| CurveResult {
-                    label,
-                    points: Vec::new(),
-                })
-                .collect(),
-        })
-        .collect();
-    for (panel, curve, x, outcome) in outcomes {
-        panels[panel].curves[curve]
-            .points
-            .push(outcome_point(x, outcome));
-    }
-    for panel in &mut panels {
-        for curve in &mut panel.curves {
-            curve
-                .points
-                .sort_by(|a, b| a.x.partial_cmp(&b.x).expect("finite x values"));
-        }
-    }
-    FigureResult {
-        id: id.to_string(),
-        title: title.to_string(),
-        panels,
     }
 }
 
 /// Field-wise average of several simulation reports (used by Fig. 6 to average
-/// over independent random fault placements).
+/// over independent random fault placements; averaging a single report
+/// reproduces it bit-identically).
 pub fn average_reports(
     reports: &[torus_metrics::SimulationReport],
 ) -> torus_metrics::SimulationReport {
@@ -595,10 +812,17 @@ mod tests {
     #[test]
     fn scales() {
         assert!(Scale::Paper.measured() > Scale::Quick.measured());
+        assert!(Scale::Quick.measured() > Scale::Smoke.measured());
         assert!(Scale::Paper.warmup() > Scale::Quick.warmup());
         assert!(Scale::Paper.rate_points() > Scale::Quick.rate_points());
         assert!(Scale::Quick.max_cycles(512) <= Scale::Quick.max_cycles(64));
+        assert!(Scale::Smoke.max_cycles(64) < Scale::Quick.max_cycles(64));
         assert_eq!(Scale::Paper.fault_step(), 1);
+        assert_eq!(Scale::Smoke.fig6_reps(), 1);
+        for s in [Scale::Smoke, Scale::Quick, Scale::Paper] {
+            assert_eq!(Scale::parse(s.id()), Ok(s));
+        }
+        assert!(Scale::parse("huge").is_err());
     }
 
     #[test]
@@ -612,18 +836,22 @@ mod tests {
 
     #[test]
     fn max_rates_ordered_by_adaptivity_and_vcs() {
-        for dims in [2, 3] {
-            for v in [4, 6, 10] {
-                assert!(
-                    max_rate(RoutingChoice::Adaptive, v, dims)
-                        > max_rate(RoutingChoice::Deterministic, v, dims)
-                );
-            }
+        for v in [4, 6, 10] {
             assert!(
-                max_rate(RoutingChoice::Deterministic, 10, dims)
-                    > max_rate(RoutingChoice::Deterministic, 4, dims)
+                max_rate(RoutingChoice::Adaptive, v) > max_rate(RoutingChoice::Deterministic, v)
+            );
+            assert_eq!(
+                max_rate(RoutingChoice::TurnModel, v),
+                max_rate(RoutingChoice::Adaptive, v)
+            );
+            assert_eq!(
+                max_rate(RoutingChoice::TurnModelDeterministic, v),
+                max_rate(RoutingChoice::Deterministic, v)
             );
         }
+        assert!(
+            max_rate(RoutingChoice::Deterministic, 10) > max_rate(RoutingChoice::Deterministic, 4)
+        );
     }
 
     #[test]
@@ -641,6 +869,86 @@ mod tests {
     }
 
     #[test]
+    fn default_topologies_are_the_papers() {
+        assert_eq!(Figure::Fig3.default_topology(), TopologySpec::torus(8, 2));
+        assert_eq!(Figure::Fig4.default_topology(), TopologySpec::torus(8, 3));
+        assert_eq!(Figure::Fig5.default_topology(), TopologySpec::torus(8, 2));
+        assert_eq!(Figure::Fig6.default_topology(), TopologySpec::torus(16, 2));
+        assert_eq!(Figure::Fig7.default_topology(), TopologySpec::torus(8, 3));
+    }
+
+    #[test]
+    fn shape_phrase_keeps_the_papers_cube_wording() {
+        assert_eq!(shape_phrase(&TopologySpec::torus(8, 2)), "8-ary 2-cube");
+        assert_eq!(shape_phrase(&TopologySpec::mesh(8, 2)), "8-ary 2-mesh");
+        assert_eq!(shape_phrase(&TopologySpec::hypercube(6)), "6-hypercube");
+    }
+
+    #[test]
+    fn unsupported_routing_is_a_figure_level_error() {
+        // The turn model on the default (torus) topology is rejected before
+        // any simulation runs.
+        let opts = FigureOptions::new(Scale::Smoke).with_routing(RoutingChoice::TurnModel);
+        let err = Figure::Fig3.plan(&opts).err().expect("must be rejected");
+        assert!(matches!(err, FigureError::UnsupportedRouting { .. }));
+        assert!(format!("{err}").contains("turn-model"));
+        // And an empty routing set is rejected too.
+        let opts = FigureOptions::new(Scale::Smoke).with_routings(Vec::new());
+        assert!(matches!(
+            Figure::Fig3.plan(&opts),
+            Err(FigureError::NoRoutings)
+        ));
+        // A nonsense topology fails to build.
+        let opts = FigureOptions::new(Scale::Smoke).with_topology(TopologySpec::torus(1, 2));
+        assert!(matches!(
+            Figure::Fig3.plan(&opts),
+            Err(FigureError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn default_point_configs_are_torus_points() {
+        let cfgs = Figure::Fig3
+            .point_configs(&FigureOptions::new(Scale::Quick))
+            .unwrap();
+        // 2 routings × 3 V panels × (2 M × 3 nf) curves × 5 rate points.
+        assert_eq!(cfgs.len(), 2 * 3 * 6 * 5);
+        assert!(cfgs.iter().all(|c| c.topology == TopologySpec::torus(8, 2)));
+        // A topology override rewrites every point, keeping the grid shape.
+        let mesh = Figure::Fig3
+            .point_configs(
+                &FigureOptions::new(Scale::Quick).with_topology(TopologySpec::mesh(8, 2)),
+            )
+            .unwrap();
+        assert_eq!(mesh.len(), cfgs.len());
+        assert!(mesh.iter().all(|c| c.topology == TopologySpec::mesh(8, 2)));
+        // Seeds are untouched by the override, so fault placements (drawn
+        // from per-curve fault seeds) stay comparable across shapes.
+        for (a, b) in cfgs.iter().zip(&mesh) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.fault_seed, b.fault_seed);
+        }
+    }
+
+    #[test]
+    fn fig5_regions_that_do_not_fit_surface_as_point_failures() {
+        // The paper's Fig. 5 regions cannot fit a radix-2 hypercube: every
+        // point fails with a typed region-placement error, but the figure
+        // still assembles instead of panicking.
+        let res = Figure::Fig5
+            .run_with(
+                &FigureOptions::new(Scale::Smoke)
+                    .with_topology(TopologySpec::hypercube(4))
+                    .with_routing(RoutingChoice::Adaptive),
+            )
+            .unwrap();
+        assert_eq!(res.num_points(), 0);
+        assert!(!res.failures.is_empty());
+        assert!(res.failures.iter().all(|f| f.error.contains("fault")));
+        assert!(res.render_text().contains("failed to run"));
+    }
+
+    #[test]
     fn average_reports_mean() {
         use torus_metrics::{MetricsCollector, WarmupPolicy};
         let make = |latency: u64| {
@@ -652,6 +960,11 @@ mod tests {
         let avg = average_reports(&[make(10), make(30)]);
         assert!((avg.mean_latency - 20.0).abs() < 1e-9);
         assert_eq!(avg.delivered_messages, 1);
+        // Averaging a single report is the identity.
+        let one = make(17);
+        let same = average_reports(std::slice::from_ref(&one));
+        assert_eq!(same.mean_latency.to_bits(), one.mean_latency.to_bits());
+        assert_eq!(same.cycles, one.cycles);
     }
 
     #[test]

@@ -41,15 +41,15 @@ pub mod saturation;
 pub mod sweep;
 
 pub use experiment::{ExperimentConfig, ExperimentError, ExperimentOutcome, RoutingChoice};
-pub use figures::{Figure, Scale};
-pub use results::{CurveResult, FigureResult, PanelResult, PointResult};
+pub use figures::{Figure, FigureError, FigureOptions, Scale};
+pub use results::{CurveResult, FigureResult, PanelResult, PointFailure, PointResult};
 pub use saturation::{estimate_saturation_rate, SaturationEstimate, SaturationSearch};
 pub use sweep::run_parallel;
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
     pub use crate::experiment::{ExperimentConfig, ExperimentOutcome, RoutingChoice};
-    pub use crate::figures::{Figure, Scale};
+    pub use crate::figures::{Figure, FigureOptions, Scale};
     pub use crate::results::{CurveResult, FigureResult, PanelResult, PointResult};
     pub use crate::sweep::run_parallel;
     pub use torus_faults::{FaultScenario, RegionShape};

@@ -83,6 +83,23 @@ pub struct PanelResult {
     pub curves: Vec<CurveResult>,
 }
 
+/// A point that failed to run: its coordinates in the figure and the rendered
+/// experiment error. Figures collect failures instead of aborting, so one
+/// incompatible point (for example a fault region that does not fit the
+/// requested topology) leaves a hole in its curve rather than killing the
+/// whole figure.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PointFailure {
+    /// Title of the panel the point belongs to.
+    pub panel: String,
+    /// Legend label of the curve the point belongs to.
+    pub curve: String,
+    /// The x coordinate of the failed point.
+    pub x: f64,
+    /// The rendered [`swbft_core::ExperimentError`](crate::ExperimentError).
+    pub error: String,
+}
+
 /// A complete reproduced figure.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct FigureResult {
@@ -92,6 +109,9 @@ pub struct FigureResult {
     pub title: String,
     /// Panels of the figure.
     pub panels: Vec<PanelResult>,
+    /// Points that failed to run (empty on a fully successful figure).
+    #[serde(default)]
+    pub failures: Vec<PointFailure>,
 }
 
 impl FigureResult {
@@ -126,7 +146,7 @@ impl FigureResult {
                 .iter()
                 .flat_map(|c| c.points.iter().map(|p| p.x))
                 .collect();
-            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            xs.sort_by(f64::total_cmp);
             xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
             for x in xs {
                 out.push_str(&format!("{x:>14.5}"));
@@ -143,6 +163,18 @@ impl FigureResult {
             }
         }
         out.push_str("\n(* = the point hit the simulation cycle cap: the network is saturated)\n");
+        if !self.failures.is_empty() {
+            out.push_str(&format!(
+                "\n!! {} point(s) failed to run:\n",
+                self.failures.len()
+            ));
+            for f in &self.failures {
+                out.push_str(&format!(
+                    "   [{} | {} | x={}] {}\n",
+                    f.panel, f.curve, f.x, f.error
+                ));
+            }
+        }
         out
     }
 
@@ -289,6 +321,7 @@ mod tests {
                     },
                 ],
             }],
+            failures: Vec::new(),
         }
     }
 
@@ -338,8 +371,35 @@ mod tests {
                 metric: Metric::MeanLatency,
                 curves: vec![],
             }],
+            failures: Vec::new(),
         };
         assert!(fig.render_ascii_plot(20, 8).contains("(no points)"));
+    }
+
+    #[test]
+    fn failed_points_are_listed_in_the_text_rendering() {
+        let mut fig = dummy_figure();
+        assert!(!fig.render_text().contains("failed to run"));
+        fig.failures.push(PointFailure {
+            panel: "panel A".into(),
+            curve: "M=32, nf=0".into(),
+            x: 0.003,
+            error: "fault scenario error: region does not fit".into(),
+        });
+        let text = fig.render_text();
+        assert!(text.contains("1 point(s) failed to run"));
+        assert!(text.contains("region does not fit"));
+    }
+
+    #[test]
+    fn nan_x_values_do_not_panic_the_text_rendering() {
+        let mut fig = dummy_figure();
+        fig.panels[0].curves[0].points.push(PointResult {
+            x: f64::NAN,
+            report: dummy_report(1.0),
+            saturated: false,
+        });
+        let _ = fig.render_text();
     }
 
     #[test]

@@ -1,0 +1,129 @@
+//! Pinning and smoke tests for the topology-parameterised figure pipeline.
+//!
+//! The default (no-override) figure grids must stay bit-identical to the
+//! paper reproduction: every outcome is a deterministic function of its
+//! `ExperimentConfig` (seeds included) and of the panel/curve labels the CSV
+//! embeds, so digesting the full grid pins the CSV output without paying for
+//! the simulations. The digests below were captured from the grids that
+//! produced the pre-refactor torus CSVs (verified bit-identical binary
+//! output), and must only change when a PR *intends* to change the figures.
+
+use swbft_core::{Figure, FigureOptions, RoutingChoice, Scale};
+use torus_topology::TopologySpec;
+
+/// FNV-1a over the debug rendering of the figure's labels and point configs.
+fn grid_digest(figure: Figure, opts: &FigureOptions) -> u64 {
+    let labels = figure.grid_labels(opts).expect("grid builds");
+    let configs = figure.point_configs(opts).expect("grid builds");
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in format!("{labels:?}|{configs:?}").bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[test]
+fn default_quick_grids_are_pinned() {
+    let expected = [
+        (Figure::Fig3, 0x45b6a8b0e077aa4du64),
+        (Figure::Fig4, 0xeabcfc1542e41784u64),
+        (Figure::Fig5, 0x5cea26c5c7549a04u64),
+        (Figure::Fig6, 0x0205aefa0d67b24au64),
+        (Figure::Fig7, 0x6b6a35b639ad7cb9u64),
+    ];
+    for (figure, digest) in expected {
+        assert_eq!(
+            grid_digest(figure, &FigureOptions::new(Scale::Quick)),
+            digest,
+            "{}: the default quick-scale grid changed — the figure CSVs are no \
+             longer bit-identical to the paper reproduction",
+            figure.id()
+        );
+    }
+}
+
+#[test]
+fn default_paper_grids_are_pinned() {
+    let expected = [
+        (Figure::Fig3, 0xa8c214793ddee559u64),
+        (Figure::Fig4, 0xf3a544bb4fe6eb2au64),
+        (Figure::Fig5, 0xbd214c7b1df1009du64),
+        (Figure::Fig6, 0x2c8138ac93bd3bbfu64),
+        (Figure::Fig7, 0xfa61e585f8fba175u64),
+    ];
+    for (figure, digest) in expected {
+        assert_eq!(
+            grid_digest(figure, &FigureOptions::new(Scale::Paper)),
+            digest,
+            "{}: the default paper-scale grid changed",
+            figure.id()
+        );
+    }
+}
+
+#[test]
+fn topology_override_only_rewrites_the_topology() {
+    // The mesh grid differs from the torus grid in topology (and panel
+    // titles) only: same length, same seeds, same budgets.
+    let torus = Figure::Fig7
+        .point_configs(&FigureOptions::new(Scale::Quick))
+        .unwrap();
+    let mesh = Figure::Fig7
+        .point_configs(&FigureOptions::new(Scale::Quick).with_topology(TopologySpec::mesh(8, 2)))
+        .unwrap();
+    assert_eq!(torus.len(), mesh.len());
+    for (t, m) in torus.iter().zip(&mesh) {
+        assert_eq!(m.topology, TopologySpec::mesh(8, 2));
+        assert_eq!(t.seed, m.seed);
+        assert_eq!(t.fault_seed, m.fault_seed);
+        assert_eq!(t.rate, m.rate);
+        assert_eq!(t.virtual_channels, m.virtual_channels);
+        assert_eq!(t.routing, m.routing);
+    }
+}
+
+#[test]
+fn fig3_smoke_runs_on_a_mesh_under_the_deterministic_turn_model() {
+    let res = Figure::Fig3
+        .run_with(
+            &FigureOptions::new(Scale::Smoke)
+                .with_topology(TopologySpec::mesh(8, 2))
+                .with_routing(RoutingChoice::TurnModelDeterministic),
+        )
+        .expect("mesh fig3 runs");
+    assert!(res.failures.is_empty(), "failures: {:?}", res.failures);
+    // One routing × 3 V panels, 2 M × 3 nf curves, 3 rate points.
+    assert_eq!(res.panels.len(), 3);
+    assert_eq!(res.num_points(), 3 * 6 * 3);
+    assert!(res.panels[0].title.contains("8-ary 2-mesh"));
+    assert!(res.panels[0].title.contains("Turn-model-det"));
+    let csv = res.to_csv();
+    assert!(csv.contains("8-ary 2-mesh"));
+    // Every point measured a real latency.
+    for panel in &res.panels {
+        for curve in &panel.curves {
+            for p in &curve.points {
+                assert!(p.report.mean_latency > 0.0 || p.saturated);
+            }
+        }
+    }
+}
+
+#[test]
+fn fig6_smoke_runs_on_a_hypercube() {
+    let res = Figure::Fig6
+        .run_with(
+            &FigureOptions::new(Scale::Smoke)
+                .with_topology(TopologySpec::hypercube(6))
+                .with_routing(RoutingChoice::Adaptive),
+        )
+        .expect("hypercube fig6 runs");
+    assert!(res.failures.is_empty(), "failures: {:?}", res.failures);
+    assert_eq!(res.panels.len(), 1);
+    assert!(res.panels[0].title.contains("6-hypercube"));
+    // One curve (adaptive), smoke fault counts 0/4/8.
+    assert_eq!(res.panels[0].curves.len(), 1);
+    let xs: Vec<f64> = res.panels[0].curves[0].points.iter().map(|p| p.x).collect();
+    assert_eq!(xs, vec![0.0, 4.0, 8.0]);
+}

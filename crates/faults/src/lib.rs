@@ -42,7 +42,7 @@ pub mod regions;
 pub use classify::{classify_region, RegionClass};
 pub use model::{FaultKind, FaultSet};
 pub use plan::{FaultScenario, FaultScenarioError};
-pub use random::{random_node_faults, RandomFaultError};
+pub use random::{clustered_node_faults, random_node_faults, RandomFaultError};
 pub use regions::{FaultRegion, RegionPlacementError, RegionShape};
 
 /// Convenience prelude re-exporting the most frequently used items.

@@ -59,6 +59,22 @@ pub enum FaultScenario {
         /// Number of faulty nodes.
         count: usize,
     },
+    /// `count` random node faults clustered along one axis: every fault's
+    /// digit along `dim` lies in `[plane, plane + width)`. This is the
+    /// per-dimension fault-density knob — `width == radix(dim)` degenerates
+    /// to [`FaultScenario::RandomNodes`], `width == 1` concentrates every
+    /// fault in a single cross-section plane. The slab is validated against
+    /// the dimension's extent (never silently wrapped), like shaped regions.
+    ClusteredNodes {
+        /// Number of faulty nodes.
+        count: usize,
+        /// The dimension the slab cuts across.
+        dim: usize,
+        /// First plane of the slab along `dim`.
+        plane: u16,
+        /// Number of consecutive planes in the slab.
+        width: u16,
+    },
     /// A shaped fault region anchored at a coordinate in a dimension plane.
     Region {
         /// The region shape.
@@ -99,6 +115,7 @@ impl FaultScenario {
         match self {
             FaultScenario::None => 0,
             FaultScenario::RandomNodes { count } => *count,
+            FaultScenario::ClusteredNodes { count, .. } => *count,
             FaultScenario::Region { shape, .. } => shape.node_count(),
             FaultScenario::ExplicitNodes { nodes } => nodes.len(),
         }
@@ -110,6 +127,9 @@ impl FaultScenario {
         match self {
             FaultScenario::None => "nf=0".to_string(),
             FaultScenario::RandomNodes { count } => format!("nf={count}"),
+            FaultScenario::ClusteredNodes {
+                count, dim, width, ..
+            } => format!("nf={count} (dim {dim}, {width}-plane slab)"),
             FaultScenario::Region { shape, .. } => {
                 format!("{} (nf={})", shape.name(), shape.node_count())
             }
@@ -131,6 +151,14 @@ impl FaultScenario {
         match self {
             FaultScenario::None => Ok(FaultSet::new()),
             FaultScenario::RandomNodes { count } => Ok(random_node_faults(net, *count, rng)?),
+            FaultScenario::ClusteredNodes {
+                count,
+                dim,
+                plane,
+                width,
+            } => Ok(crate::random::clustered_node_faults(
+                net, *count, *dim, *plane, *width, rng,
+            )?),
             FaultScenario::Region {
                 shape,
                 anchor,
@@ -214,6 +242,37 @@ mod tests {
         assert!(matches!(
             s.realize(&m, &mut rng).unwrap_err(),
             FaultScenarioError::Region(RegionPlacementError::ExceedsExtent { .. })
+        ));
+    }
+
+    #[test]
+    fn clustered_scenario_realizes_in_the_requested_plane() {
+        let m = Network::mesh(8, 2).unwrap();
+        let s = FaultScenario::ClusteredNodes {
+            count: 4,
+            dim: 0,
+            plane: 2,
+            width: 2,
+        };
+        assert_eq!(s.fault_count(), 4);
+        assert_eq!(s.label(), "nf=4 (dim 0, 2-plane slab)");
+        let mut rng = StdRng::seed_from_u64(5);
+        let f = s.realize(&m, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 4);
+        for n in f.faulty_nodes_sorted() {
+            let p = m.position(n, 0);
+            assert!((2..4).contains(&p));
+        }
+        // Overhanging slabs surface the typed random-fault error.
+        let bad = FaultScenario::ClusteredNodes {
+            count: 2,
+            dim: 1,
+            plane: 7,
+            width: 2,
+        };
+        assert!(matches!(
+            bad.realize(&m, &mut rng).unwrap_err(),
+            FaultScenarioError::Random(crate::random::RandomFaultError::SlabOutOfRange { .. })
         ));
     }
 

@@ -30,6 +30,24 @@ pub enum RandomFaultError {
         /// Number of placements tried.
         attempts: usize,
     },
+    /// A clustered placement named a dimension the network does not have.
+    DimensionOutOfRange {
+        /// Requested dimension index.
+        dim: usize,
+        /// Dimensionality of the network.
+        dims: usize,
+    },
+    /// A clustered placement's slab of planes exceeds the dimension's extent.
+    /// Slabs never wrap, even on wrapped dimensions, so the same scenario
+    /// means the same node set on a torus and on the matching mesh.
+    SlabOutOfRange {
+        /// First plane of the slab.
+        plane: u16,
+        /// Number of consecutive planes in the slab.
+        width: u16,
+        /// Radix of the dimension the slab lies in.
+        radix: u16,
+    },
 }
 
 impl fmt::Display for RandomFaultError {
@@ -46,6 +64,19 @@ impl fmt::Display for RandomFaultError {
                 f,
                 "no connectivity-preserving placement of {requested} faults found in {attempts} attempts"
             ),
+            RandomFaultError::DimensionOutOfRange { dim, dims } => write!(
+                f,
+                "clustered faults name dimension {dim} of a {dims}-dimensional network"
+            ),
+            RandomFaultError::SlabOutOfRange {
+                plane,
+                width,
+                radix,
+            } => write!(
+                f,
+                "fault slab [{plane}, {}) exceeds the dimension's extent {radix}",
+                *plane as u32 + *width as u32
+            ),
         }
     }
 }
@@ -54,6 +85,29 @@ impl std::error::Error for RandomFaultError {}
 
 /// Maximum number of placements tried before giving up.
 const MAX_ATTEMPTS: usize = 1000;
+
+/// Shared sampling loop: draws `nf` distinct nodes from the candidate set,
+/// resampling the whole placement until the healthy subgraph of the network
+/// stays connected (or the retry budget runs out).
+fn sample_connected<R: Rng + ?Sized>(
+    net: &Network,
+    mut ids: Vec<NodeId>,
+    nf: usize,
+    rng: &mut R,
+) -> Result<FaultSet, RandomFaultError> {
+    for _ in 0..MAX_ATTEMPTS {
+        ids.shuffle(rng);
+        let mut f = FaultSet::new();
+        f.fail_nodes(ids[..nf].iter().copied());
+        if f.preserves_connectivity(net) {
+            return Ok(f);
+        }
+    }
+    Err(RandomFaultError::NoConnectedPlacement {
+        requested: nf,
+        attempts: MAX_ATTEMPTS,
+    })
+}
 
 /// Samples `nf` distinct faulty nodes uniformly at random such that the
 /// healthy subgraph remains connected.
@@ -81,22 +135,68 @@ pub fn random_node_faults<R: Rng + ?Sized>(
             nodes: n,
         });
     }
-    let mut ids: Vec<NodeId> = net.nodes().collect();
-    for attempt in 1..=MAX_ATTEMPTS {
-        ids.shuffle(rng);
-        let mut f = FaultSet::new();
-        f.fail_nodes(ids[..nf].iter().copied());
-        if f.preserves_connectivity(net) {
-            return Ok(f);
-        }
-        if attempt == MAX_ATTEMPTS {
-            break;
-        }
+    sample_connected(net, net.nodes().collect(), nf, rng)
+}
+
+/// Samples `nf` distinct faulty nodes uniformly at random *within a slab of
+/// planes along one dimension*, such that the healthy subgraph of the whole
+/// network remains connected.
+///
+/// This is the per-dimension fault-density knob: all faults have their digit
+/// along `dim` in `[plane, plane + width)`, so a sweep over `dim`/`width`
+/// exposes how a routing scheme degrades when faults cluster along one axis
+/// instead of spreading uniformly. `width == radix(dim)` recovers the uniform
+/// sampler. The slab never wraps — it is validated against the dimension's
+/// extent exactly like a shaped fault region on an open dimension — so the
+/// same scenario denotes the same node set on a torus and the matching mesh.
+///
+/// # Errors
+/// Fails if `dim` is out of range, the slab exceeds the dimension's extent,
+/// the slab holds fewer than `nf` candidate nodes, or no
+/// connectivity-preserving placement is found within the retry budget.
+pub fn clustered_node_faults<R: Rng + ?Sized>(
+    net: &Network,
+    nf: usize,
+    dim: usize,
+    plane: u16,
+    width: u16,
+    rng: &mut R,
+) -> Result<FaultSet, RandomFaultError> {
+    if dim >= net.dims() {
+        return Err(RandomFaultError::DimensionOutOfRange {
+            dim,
+            dims: net.dims(),
+        });
     }
-    Err(RandomFaultError::NoConnectedPlacement {
-        requested: nf,
-        attempts: MAX_ATTEMPTS,
-    })
+    let radix = net.radix(dim);
+    if width == 0 || plane >= radix || radix - plane < width {
+        return Err(RandomFaultError::SlabOutOfRange {
+            plane,
+            width,
+            radix,
+        });
+    }
+    if nf == 0 {
+        return Ok(FaultSet::new());
+    }
+    let ids: Vec<NodeId> = net
+        .nodes()
+        .filter(|&n| {
+            let p = net.position(n, dim);
+            p >= plane && p < plane + width
+        })
+        .collect();
+    // More faults than candidate nodes is impossible; failing every node of
+    // the network is always invalid. Failing an entire slab is allowed —
+    // a boundary slab can leave the rest of the network connected, and the
+    // connectivity retry loop decides each concrete placement.
+    if nf > ids.len() || nf >= net.num_nodes() {
+        return Err(RandomFaultError::TooManyFaults {
+            requested: nf,
+            nodes: ids.len(),
+        });
+    }
+    sample_connected(net, ids, nf, rng)
 }
 
 /// Samples `count` independent fault placements of `nf` nodes each (used by
@@ -160,6 +260,96 @@ mod tests {
             random_node_faults(&t, 9, &mut rng),
             Err(RandomFaultError::TooManyFaults { .. })
         ));
+    }
+
+    #[test]
+    fn clustered_faults_land_in_the_requested_slab() {
+        let t = Network::torus(8, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(21);
+        for (dim, plane, width) in [(0usize, 2u16, 1u16), (1, 5, 2), (2, 0, 3)] {
+            let f = clustered_node_faults(&t, 6, dim, plane, width, &mut rng).unwrap();
+            assert_eq!(f.num_faulty_nodes(), 6);
+            assert!(f.preserves_connectivity(&t));
+            for n in f.faulty_nodes_sorted() {
+                let p = t.position(n, dim);
+                assert!(
+                    p >= plane && p < plane + width,
+                    "fault at digit {p} outside slab [{plane}, {})",
+                    plane + width
+                );
+            }
+        }
+        // Full-width slab degenerates to the uniform sampler's support.
+        let f = clustered_node_faults(&t, 4, 0, 0, 8, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 4);
+    }
+
+    #[test]
+    fn clustered_faults_work_on_open_dimensions() {
+        let m = Network::mesh(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let f = clustered_node_faults(&m, 3, 1, 6, 2, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 3);
+        assert!(f.preserves_connectivity(&m));
+        for n in f.faulty_nodes_sorted() {
+            assert!(m.position(n, 1) >= 6);
+        }
+    }
+
+    #[test]
+    fn clustered_faults_validate_dim_and_slab() {
+        let m = Network::mesh(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(0);
+        assert!(matches!(
+            clustered_node_faults(&m, 2, 5, 0, 1, &mut rng),
+            Err(RandomFaultError::DimensionOutOfRange { dim: 5, dims: 2 })
+        ));
+        // A slab overhanging the extent is rejected, not wrapped — even on a
+        // wrapped dimension.
+        let t = Network::torus(8, 2).unwrap();
+        for net in [&m, &t] {
+            assert!(matches!(
+                clustered_node_faults(net, 2, 0, 6, 3, &mut rng),
+                Err(RandomFaultError::SlabOutOfRange {
+                    plane: 6,
+                    width: 3,
+                    radix: 8
+                })
+            ));
+        }
+        assert!(matches!(
+            clustered_node_faults(&m, 2, 0, 0, 0, &mut rng),
+            Err(RandomFaultError::SlabOutOfRange { .. })
+        ));
+        // The slab-overflow error renders without panicking even at the
+        // extremes of the u16 domain.
+        let err = clustered_node_faults(&m, 1, 0, u16::MAX, 2, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("exceeds the dimension's extent"));
+        // More faults than slab candidates.
+        assert!(matches!(
+            clustered_node_faults(&m, 9, 0, 3, 1, &mut rng),
+            Err(RandomFaultError::TooManyFaults {
+                requested: 9,
+                nodes: 8
+            })
+        ));
+        assert!(clustered_node_faults(&m, 0, 0, 3, 1, &mut rng)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn failing_an_entire_boundary_slab_is_allowed_when_connectivity_survives() {
+        // The whole boundary column of a mesh can fail: the remaining 7
+        // columns stay connected.
+        let m = Network::mesh(8, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(8);
+        let f = clustered_node_faults(&m, 8, 0, 7, 1, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 8);
+        assert!(f.preserves_connectivity(&m));
+        for n in f.faulty_nodes_sorted() {
+            assert_eq!(m.position(n, 0), 7);
+        }
     }
 
     #[test]

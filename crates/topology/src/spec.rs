@@ -152,14 +152,19 @@ impl TopologySpec {
     }
 
     /// Parses the compact string form produced by
-    /// [`TopologySpec::to_spec_string`].
+    /// [`TopologySpec::to_spec_string`], plus two CLI-friendly shorthands:
+    /// `hc:<dims>` for `hypercube:<dims>`, and a prefix-less mixed form
+    /// `8x8x4o` (x-separated per-dimension radices, `o` marking an open
+    /// dimension) equivalent to `mixed:8,8,4o`.
     ///
     /// # Errors
     /// Returns a human-readable message on malformed input.
     pub fn parse(s: &str) -> Result<Self, String> {
-        let (kind, rest) = s
-            .split_once(':')
-            .ok_or_else(|| format!("topology spec '{s}' is missing the 'kind:' prefix"))?;
+        let Some((kind, rest)) = s.split_once(':') else {
+            // Prefix-less mixed shorthand: "8x8x4o".
+            return Self::parse_mixed_parts(s.split('x'))
+                .map_err(|e| format!("topology spec '{s}': {e}"));
+        };
         match kind {
             "torus" | "mesh" => {
                 let (k, n) = rest
@@ -173,30 +178,33 @@ impl TopologySpec {
                     TopologySpec::mesh(radix, dims)
                 })
             }
-            "hypercube" => {
+            "hypercube" | "hc" => {
                 let dims: u32 = rest.parse().map_err(|_| format!("bad dims '{rest}'"))?;
                 Ok(TopologySpec::hypercube(dims))
             }
-            "mixed" => {
-                let mut radices = Vec::new();
-                let mut wraps = Vec::new();
-                for part in rest.split(',') {
-                    let (digits, open) = match part.strip_suffix('o') {
-                        Some(d) => (d, true),
-                        None => (part, false),
-                    };
-                    let k: u16 = digits
-                        .parse()
-                        .map_err(|_| format!("bad radix '{part}' in mixed spec"))?;
-                    radices.push(k);
-                    wraps.push(!open);
-                }
-                Ok(TopologySpec::mixed(radices, wraps))
-            }
+            "mixed" => Self::parse_mixed_parts(rest.split(',')),
             other => Err(format!(
-                "unknown topology kind '{other}' (use torus|mesh|hypercube|mixed)"
+                "unknown topology kind '{other}' (use torus|mesh|hypercube|hc|mixed)"
             )),
         }
+    }
+
+    /// Parses a sequence of `<radix>[o]` parts into a mixed spec.
+    fn parse_mixed_parts<'a, I: Iterator<Item = &'a str>>(parts: I) -> Result<Self, String> {
+        let mut radices = Vec::new();
+        let mut wraps = Vec::new();
+        for part in parts {
+            let (digits, open) = match part.strip_suffix('o') {
+                Some(d) => (d, true),
+                None => (part, false),
+            };
+            let k: u16 = digits
+                .parse()
+                .map_err(|_| format!("bad radix '{part}' in mixed spec"))?;
+            radices.push(k);
+            wraps.push(!open);
+        }
+        Ok(TopologySpec::mixed(radices, wraps))
     }
 }
 
@@ -276,8 +284,25 @@ mod tests {
     }
 
     #[test]
+    fn parse_cli_shorthands() {
+        assert_eq!(
+            TopologySpec::parse("hc:6").unwrap(),
+            TopologySpec::hypercube(6)
+        );
+        assert_eq!(
+            TopologySpec::parse("8x8x4o").unwrap(),
+            TopologySpec::mixed(vec![8, 8, 4], vec![true, true, false])
+        );
+        assert_eq!(
+            TopologySpec::parse("4ox4o").unwrap(),
+            TopologySpec::mixed(vec![4, 4], vec![false, false])
+        );
+        assert!(TopologySpec::parse("8y2").is_err());
+        assert!(TopologySpec::parse("8x").is_err());
+    }
+
+    #[test]
     fn parse_errors() {
-        assert!(TopologySpec::parse("8x2").is_err());
         assert!(TopologySpec::parse("ring:8").is_err());
         assert!(TopologySpec::parse("torus:8").is_err());
         assert!(TopologySpec::parse("torus:ax2").is_err());

@@ -10,6 +10,11 @@
 //!    before saturating; the mesh needs fewer virtual channels because no
 //!    dateline class exists.
 //!
+//! `--topology <spec>` replaces the default torus/mesh/hypercube trio with a
+//! single shape of your choice, and `--routing <choice>` swaps the adaptive
+//! Software-Based algorithm for another one (shapes the algorithm rejects are
+//! reported with the typed error instead of crashing).
+//!
 //! The saturation column comes from the simulation-based doubling+bisection
 //! search at a deliberately small probe budget. Small budgets are safe now
 //! that the search reports honest brackets: a budget exhausted before
@@ -19,56 +24,109 @@
 //!
 //! ```text
 //! cargo run --release --example dimensionality_sweep
+//!     [-- --topology 8x8x4o] [-- --routing turnmodel]
 //! ```
 
 use swbft::core::{estimate_saturation_rate, SaturationSearch};
 use swbft::prelude::*;
+use swbft::routing::RoutingAlgorithm;
+use swbft::topology::TopologySpec;
 
 fn main() {
+    let mut routing = RoutingChoice::Adaptive;
+    let mut custom: Option<TopologySpec> = None;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--topology" => match TopologySpec::parse(&iter.next().unwrap_or_default()) {
+                Ok(t) => custom = Some(t),
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            "--routing" => match RoutingChoice::parse(&iter.next().unwrap_or_default()) {
+                Ok(r) => routing = r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: dimensionality_sweep [--topology <spec>] [--routing <choice>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
     // ---- axis 1: dimensionality (tori of comparable size) ----
+    // Skipped when the chosen routing cannot run on tori (the turn models).
     let networks: [(u16, u32); 3] = [(8, 2), (4, 3), (4, 4)];
     let rate = 0.004;
-    println!("Software-Based adaptive routing, M=32, V=6, lambda={rate}, 3 random node faults\n");
-    println!(
-        "{:>12} {:>7} {:>12} {:>12} {:>10} {:>14}",
-        "network", "nodes", "latency", "mean hops", "queued", "saturated?"
-    );
-    for (k, n) in networks {
-        let cfg = ExperimentConfig::paper_point(k, n, 6, 32, rate)
-            .with_routing(RoutingChoice::Adaptive)
-            .with_faults(FaultScenario::RandomNodes { count: 3 })
-            .with_seed(7_000 + n as u64)
-            .quick(3_000, 500);
-        let out = cfg.run().expect("experiment runs");
+    let torus_capable = routing
+        .algorithm()
+        .supported_on(&TopologySpec::torus(8, 2).build().expect("valid topology"))
+        .is_ok();
+    if torus_capable {
         println!(
-            "{:>9}-ary {:>1}-cube{:>4} {:>9.1} cyc {:>9.2} hops {:>8} {:>12}",
-            k,
-            n,
-            out.config.num_nodes(),
-            out.report.mean_latency,
-            out.report.mean_hops,
-            out.report.messages_queued,
-            out.hit_max_cycles,
+            "Software-Based {} routing, M=32, V=6, lambda={rate}, 3 random node faults\n",
+            routing.label()
+        );
+        println!(
+            "{:>12} {:>7} {:>12} {:>12} {:>10} {:>14}",
+            "network", "nodes", "latency", "mean hops", "queued", "saturated?"
+        );
+        for (k, n) in networks {
+            let cfg = ExperimentConfig::paper_point(k, n, 6, 32, rate)
+                .with_routing(routing)
+                .with_faults(FaultScenario::RandomNodes { count: 3 })
+                .with_seed(7_000 + n as u64)
+                .quick(3_000, 500);
+            match cfg.run() {
+                Ok(out) => println!(
+                    "{:>9}-ary {:>1}-cube{:>4} {:>9.1} cyc {:>9.2} hops {:>8} {:>12}",
+                    k,
+                    n,
+                    out.config.num_nodes(),
+                    out.report.mean_latency,
+                    out.report.mean_hops,
+                    out.report.messages_queued,
+                    out.hit_max_cycles,
+                ),
+                Err(e) => println!("{k:>9}-ary {n:>1}-cube  error: {e}"),
+            }
+        }
+    } else {
+        println!(
+            "(skipping the torus dimensionality table: routing '{}' only runs on open topologies)",
+            routing.label()
         );
     }
 
     // ---- axis 2: topology family under the same fault region ----
     // A centred 2x2 block fault region (Fig. 5 style, sized to fit even the
     // radix-2 hypercube dimensions) applied identically to a 64-node torus,
-    // mesh and hypercube. V=4 everywhere: legal on all three (the torus
-    // needs >= 3 for Duato, the meshes only >= 2).
+    // mesh and hypercube — or to the single shape given with `--topology`.
+    // V=4 everywhere: legal on all defaults (the torus needs >= 3 for Duato,
+    // the meshes only >= 2).
     println!(
-        "\ntorus vs mesh vs hypercube — same 2x2 block fault region, adaptive routing, M=16, V=4\n"
+        "\ntopology family — same 2x2 block fault region, {} routing, M=16, V=4\n",
+        routing.label()
     );
     println!(
         "{:>16} {:>7} {:>12} {:>12} {:>10} {:>22} {:>7}",
         "topology", "nodes", "latency", "mean hops", "queued", "sat. (simulated)", "probes"
     );
-    let specs = [
-        TopologySpec::torus(8, 2),
-        TopologySpec::mesh(8, 2),
-        TopologySpec::hypercube(6),
-    ];
+    let specs: Vec<TopologySpec> = match custom {
+        Some(spec) => vec![spec],
+        None => vec![
+            TopologySpec::torus(8, 2),
+            TopologySpec::mesh(8, 2),
+            TopologySpec::hypercube(6),
+        ],
+    };
     // A small-budget search: 10 probes of 1,000 measured messages each.
     let search = SaturationSearch {
         max_simulations: 10,
@@ -76,30 +134,51 @@ fn main() {
         ..SaturationSearch::default()
     };
     for spec in specs {
-        let net = spec.build().expect("valid topology");
+        let net = match spec.build() {
+            Ok(n) => n,
+            Err(e) => {
+                println!("{:>16} error: {e}", spec.label());
+                continue;
+            }
+        };
+        if let Err(e) = routing.algorithm().supported_on(&net) {
+            println!(
+                "{:>16} routing '{}' rejected: {e}",
+                spec.label(),
+                routing.label()
+            );
+            continue;
+        }
         let region = RegionShape::Rect {
             width: 2,
             height: 2,
         };
         let faults = FaultScenario::centered_region(&net, region);
         let cfg = ExperimentConfig::topology_point(spec.clone(), 4, 16, 0.004)
-            .with_routing(RoutingChoice::Adaptive)
+            .with_routing(routing)
             .with_faults(faults)
             .with_seed(2026)
             .quick(2_000, 400);
-        let out = cfg.run().expect("experiment runs");
-        let est = estimate_saturation_rate(&cfg.clone().quick(1_000, 200), search)
-            .expect("saturation search runs");
-        println!(
-            "{:>16} {:>7} {:>9.1} cyc {:>9.2} hops {:>8} {:>22} {:>7}",
-            spec.label(),
-            out.config.num_nodes(),
-            out.report.mean_latency,
-            out.report.mean_hops,
-            out.report.messages_queued,
-            est.display_rate(),
-            est.simulations,
-        );
+        let out = match cfg.run() {
+            Ok(out) => out,
+            Err(e) => {
+                println!("{:>16} error: {e}", spec.label());
+                continue;
+            }
+        };
+        match estimate_saturation_rate(&cfg.clone().quick(1_000, 200), search) {
+            Ok(est) => println!(
+                "{:>16} {:>7} {:>9.1} cyc {:>9.2} hops {:>8} {:>22} {:>7}",
+                spec.label(),
+                out.config.num_nodes(),
+                out.report.mean_latency,
+                out.report.mean_hops,
+                out.report.messages_queued,
+                est.display_rate(),
+                est.simulations,
+            ),
+            Err(e) => println!("{:>16} saturation search error: {e}", spec.label()),
+        }
     }
     println!();
     println!("the same SW-Based-nD algorithm (Fig. 2 of the paper) handles every shape: the");

@@ -1,16 +1,48 @@
 //! Fault regions (paper Fig. 1 and Fig. 5): render the convex and concave
 //! fault-region shapes, classify them, and compare the latency penalty of a
-//! convex (rectangular) region against a concave (U-shaped) region.
+//! convex (rectangular) region against a concave (U-shaped) region — plus the
+//! per-dimension fault-density knob: the same number of faults spread
+//! uniformly vs clustered into a slab of planes along one axis.
 //!
 //! ```text
 //! cargo run --release --example fault_regions
+//!     [-- --topology mesh:8x2] [-- --routing turnmodel]
 //! ```
 
 use swbft::faults::{classify_region, RegionClass, RegionShape};
 use swbft::prelude::*;
-use swbft::topology::Network;
+use swbft::routing::RoutingAlgorithm;
+use swbft::topology::TopologySpec;
 
 fn main() {
+    let mut topology = TopologySpec::torus(8, 2);
+    let mut routing = RoutingChoice::Deterministic;
+    let mut iter = std::env::args().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--topology" => match TopologySpec::parse(&iter.next().unwrap_or_default()) {
+                Ok(t) => topology = t,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            "--routing" => match RoutingChoice::parse(&iter.next().unwrap_or_default()) {
+                Ok(r) => routing = r,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!(
+                    "unknown argument '{other}'\nusage: fault_regions [--topology <spec>] [--routing <choice>]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
     println!("Fault-region shapes used in the paper (Fig. 1 / Fig. 5):\n");
     let shapes: Vec<(RegionShape, &str)> = vec![
         (RegionShape::Bar { length: 5 }, "| (bar)"),
@@ -40,10 +72,30 @@ fn main() {
         println!();
     }
 
+    let net = match topology.build() {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("topology error: {e}");
+            std::process::exit(2);
+        }
+    };
+    if let Err(e) = routing.algorithm().supported_on(&net) {
+        eprintln!(
+            "routing '{}' cannot run on {}: {e}",
+            routing.label(),
+            topology.label()
+        );
+        std::process::exit(2);
+    }
+
     // Latency comparison: convex vs concave region of similar size, identical
-    // traffic, deterministic Software-Based routing.
-    println!("latency penalty, deterministic SW-Based routing, 8-ary 2-cube, M=32, V=10, lambda=0.006:\n");
-    let torus = Network::torus(8, 2).expect("valid topology");
+    // traffic. A region that does not fit the requested topology reports its
+    // placement error instead of aborting the example.
+    println!(
+        "latency penalty, {} routing, {}, M=32, V=10, lambda=0.006:\n",
+        routing.label(),
+        topology.label()
+    );
     for (shape, label) in [
         (
             RegionShape::Rect {
@@ -54,15 +106,52 @@ fn main() {
         ),
         (RegionShape::paper_l_9(), "concave L-shape (9 nodes)"),
     ] {
-        let cfg = ExperimentConfig::paper_point(8, 2, 10, 32, 0.006)
-            .with_routing(RoutingChoice::Deterministic)
-            .with_faults(FaultScenario::centered_region(&torus, shape))
+        let cfg = ExperimentConfig::topology_point(topology.clone(), 10, 32, 0.006)
+            .with_routing(routing)
+            .with_faults(FaultScenario::centered_region(&net, shape))
             .quick(3_000, 500);
-        let out = cfg.run().expect("experiment runs");
-        println!(
-            "  {label:<30} mean latency {:>7.1} cycles, messages queued {:>5}",
-            out.report.mean_latency, out.report.messages_queued
-        );
+        match cfg.run() {
+            Ok(out) => println!(
+                "  {label:<30} mean latency {:>7.1} cycles, messages queued {:>5}",
+                out.report.mean_latency, out.report.messages_queued
+            ),
+            Err(e) => println!("  {label:<30} error: {e}"),
+        }
     }
     println!("\nconcave regions are harder to enter and exit, so their latency (and absorption count) is higher — the paper's Fig. 5 observation.");
+
+    // Per-dimension fault density: the same fault count spread uniformly over
+    // the whole network vs clustered into a 2-plane slab along dimension 0 —
+    // the knob for studying how each routing scheme reacts when faults
+    // concentrate along one axis instead of spreading evenly.
+    println!("\nuniform vs axis-clustered random faults, nf=8, same workload:\n");
+    let scenarios = [
+        (
+            FaultScenario::RandomNodes { count: 8 },
+            "uniform over the network",
+        ),
+        (
+            FaultScenario::ClusteredNodes {
+                count: 8,
+                dim: 0,
+                plane: 2,
+                width: 2,
+            },
+            "clustered: dim 0, planes 2-3",
+        ),
+    ];
+    for (faults, label) in scenarios {
+        let cfg = ExperimentConfig::topology_point(topology.clone(), 10, 32, 0.006)
+            .with_routing(routing)
+            .with_faults(faults)
+            .with_seed(0xC1A5)
+            .quick(3_000, 500);
+        match cfg.run() {
+            Ok(out) => println!(
+                "  {label:<30} mean latency {:>7.1} cycles, messages queued {:>5}",
+                out.report.mean_latency, out.report.messages_queued
+            ),
+            Err(e) => println!("  {label:<30} error: {e}"),
+        }
+    }
 }

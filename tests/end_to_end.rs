@@ -276,6 +276,7 @@ fn reports_render_to_csv_and_text() {
                 }],
             }],
         }],
+        failures: Vec::new(),
     };
     assert!(fig.render_text().contains("M=16, nf=0"));
     assert!(fig.to_csv().lines().count() >= 2);
