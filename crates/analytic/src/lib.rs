@@ -37,9 +37,6 @@
 //! growing with `V` and shrinking with `M` and with the number of faults) and
 //! serves as an independent cross-check of the simulation results.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod model;
 
 pub use model::{AnalyticConfig, AnalyticModel, LatencyBreakdown};

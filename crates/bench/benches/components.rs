@@ -22,12 +22,12 @@ fn topology_benches(c: &mut Criterion) {
                 acc = acc.wrapping_add(torus.node(&coord).expect("roundtrip").0);
             }
             black_box(acc)
-        })
+        });
     });
     group.bench_function("ecube_path_8ary3cube", |b| {
         let src = NodeId(0);
         let dest = NodeId(torus.num_nodes() as u32 - 1);
-        b.iter(|| black_box(dimension_order_path(&torus, src, dest).len()))
+        b.iter(|| black_box(dimension_order_path(&torus, src, dest).len()));
     });
     group.finish();
 }
@@ -50,7 +50,7 @@ fn routing_benches(c: &mut Criterion) {
             b.iter(|| {
                 let mut header = algo.make_header(&torus, src, dest);
                 black_box(algo.route(&torus, &faults, &mut header, src, 10))
-            })
+            });
         });
     }
     group.finish();
@@ -67,7 +67,7 @@ fn simulator_benches(c: &mut Criterion) {
             let mut sim = Simulation::new(cfg, FaultSet::new(), SwBasedRouting::adaptive())
                 .expect("valid config");
             black_box(sim.run().report.delivered_messages)
-        })
+        });
     });
     group.finish();
 }

@@ -24,7 +24,7 @@ fn engine_benches(c: &mut Criterion) {
                 )
                 .expect("valid suite config");
                 black_box(sim.run().report.delivered_messages)
-            })
+            });
         });
         group.bench_function(&format!("reference/{}", point.name), |b| {
             b.iter(|| {
@@ -35,7 +35,7 @@ fn engine_benches(c: &mut Criterion) {
                 )
                 .expect("valid suite config");
                 black_box(sim.run().report.delivered_messages)
-            })
+            });
         });
     }
     group.finish();

@@ -212,14 +212,14 @@ fn main() -> ExitCode {
     // torus table is skipped when that algorithm cannot run on a torus).
     let torus = TopologySpec::torus(8, 2).build().expect("valid topology");
     let torus_routings: Vec<RoutingChoice> = routing
-        .map(|r| vec![r])
-        .unwrap_or_else(|| RoutingChoice::BOTH.to_vec())
+        .map_or_else(|| RoutingChoice::BOTH.to_vec(), |r| vec![r])
         .into_iter()
         .filter(|r| r.algorithm().supported_on(&torus).is_ok())
         .collect();
-    let mesh_routings: Vec<RoutingChoice> = routing
-        .map(|r| vec![r])
-        .unwrap_or_else(|| vec![RoutingChoice::Adaptive, RoutingChoice::TurnModel]);
+    let mesh_routings: Vec<RoutingChoice> = routing.map_or_else(
+        || vec![RoutingChoice::Adaptive, RoutingChoice::TurnModel],
+        |r| vec![r],
+    );
     // Titles reflect the routing set that actually runs, so a narrowed table
     // never claims a comparison it does not contain.
     let torus_title = match routing {

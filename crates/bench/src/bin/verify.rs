@@ -1,0 +1,88 @@
+//! Static routing verification gate: exact CDG acyclicity, cycle witnesses
+//! and reachability proofs over the whole supported matrix, written to
+//! `VERIFY.json`.
+//!
+//! ```text
+//! usage: verify [--matrix smoke|full] [--out <path>] [--naive-demo]
+//!   --matrix M    matrix slice to verify (default: smoke)
+//!   --out PATH    output path (default: VERIFY.json)
+//!   --naive-demo  instead of the matrix, run the known-cyclic negative
+//!                 control (dimension-order torus routing with the dateline
+//!                 VC classes merged away), print its channel-cycle witness,
+//!                 and exit with status 2
+//! ```
+//!
+//! Exit status: 0 when every case is proved or rejected, 1 on a usage or
+//! I/O error, 2 when any case fails verification.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use swbft_verify::matrix::{naive_torus_demo, run_matrix_with_progress, MatrixKind};
+use swbft_verify::report::{case_line, render_text, to_json};
+
+const USAGE: &str = "usage: verify [--matrix smoke|full] [--out <path>] [--naive-demo]";
+
+fn main() -> ExitCode {
+    let mut kind = MatrixKind::Smoke;
+    let mut out_path = PathBuf::from("VERIFY.json");
+    let mut naive_demo = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--matrix" => {
+                let Some(m) = args.next() else {
+                    eprintln!("--matrix needs a value (smoke|full)\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                kind = match MatrixKind::parse(&m) {
+                    Ok(k) => k,
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            "--out" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a file path\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                out_path = PathBuf::from(path);
+            }
+            "--naive-demo" => naive_demo = true,
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown argument '{other}'\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if naive_demo {
+        eprintln!("running the known-cyclic negative control (expected to fail):");
+        let case = naive_torus_demo();
+        println!("{}", case_line(&case));
+        println!("  violation: {}", case.detail);
+        for line in &case.witness {
+            println!("  {line}");
+        }
+        return ExitCode::from(2);
+    }
+
+    eprintln!("verifying the {} matrix:", kind.name());
+    let report = run_matrix_with_progress(kind, |case| eprintln!("  {}", case_line(case)));
+    print!("{}", render_text(&report));
+    if let Err(e) = std::fs::write(&out_path, to_json(&report)) {
+        eprintln!("failed to write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    eprintln!("wrote {}", out_path.display());
+    if report.violations() > 0 {
+        ExitCode::from(2)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

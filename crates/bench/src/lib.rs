@@ -16,9 +16,6 @@
 //!   [`cycles`] suite and writes `BENCH_cycles.json` — the recorded
 //!   performance trajectory of the simulation engine across PRs.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod cycles;
 
 use std::path::PathBuf;
@@ -160,7 +157,7 @@ mod tests {
     use super::*;
 
     fn args(list: &[&str]) -> Vec<String> {
-        list.iter().map(|s| s.to_string()).collect()
+        list.iter().map(ToString::to_string).collect()
     }
 
     #[test]

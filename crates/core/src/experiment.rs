@@ -466,7 +466,7 @@ mod tests {
         assert!(matches!(
             torus.run(),
             Err(ExperimentError::Sim(
-                torus_sim::SimConfigError::UnsupportedRouting(_)
+                torus_sim::SimConfigError::UnsupportedRouting { .. }
             ))
         ));
     }
@@ -527,7 +527,7 @@ mod tests {
         assert!(matches!(
             torus.run(),
             Err(ExperimentError::Sim(
-                torus_sim::SimConfigError::UnsupportedRouting(_)
+                torus_sim::SimConfigError::UnsupportedRouting { .. }
             ))
         ));
     }

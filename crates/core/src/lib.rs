@@ -31,9 +31,6 @@
 //! assert!(outcome.report.mean_latency > 0.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod experiment;
 pub mod figures;
 pub mod results;

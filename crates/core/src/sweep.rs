@@ -26,8 +26,7 @@ where
         return Vec::new();
     }
     let threads = thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+        .map_or(1, NonZeroUsize::get)
         .min(n);
     if threads <= 1 {
         return inputs.iter().map(&work).collect();

@@ -30,9 +30,6 @@
 //! * [`FaultScenario`] — a serialisable description of a fault configuration
 //!   (used by the experiment harness and the CLI binaries).
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod classify;
 pub mod model;
 pub mod plan;

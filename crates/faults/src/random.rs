@@ -363,8 +363,10 @@ mod tests {
             assert!(f.preserves_connectivity(&t));
         }
         // overwhelmingly likely that at least two placements differ
-        let distinct: std::collections::HashSet<Vec<NodeId>> =
-            ensembles.iter().map(|f| f.faulty_nodes_sorted()).collect();
+        let distinct: std::collections::HashSet<Vec<NodeId>> = ensembles
+            .iter()
+            .map(FaultSet::faulty_nodes_sorted)
+            .collect();
         assert!(distinct.len() > 1);
     }
 }

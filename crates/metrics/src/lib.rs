@@ -18,9 +18,6 @@
 //! The crate is simulator-agnostic: the simulator reports events to a
 //! [`MetricsCollector`] and reads a [`SimulationReport`] at the end.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod collector;
 pub mod histogram;
 pub mod stats;

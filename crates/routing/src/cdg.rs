@@ -24,11 +24,12 @@
 
 use crate::ecube::ecube_output;
 use crate::header::{RouteHeader, RoutingFlavor};
+use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 use torus_topology::{DirectedChannel, Direction, Network, VcClass};
 
 /// A dependency graph over virtual-channel resources.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 pub struct DependencyGraph {
     /// Number of resource vertices.
     num_vertices: usize,
@@ -36,19 +37,25 @@ pub struct DependencyGraph {
     /// resource `a` while requesting resource `b`.
     edges: Vec<Vec<usize>>,
     num_edges: usize,
+    /// Dedup set so repeated [`DependencyGraph::add_edge`] calls are idempotent.
+    seen: HashSet<(usize, usize)>,
 }
 
 impl DependencyGraph {
-    fn new(num_vertices: usize) -> Self {
+    /// Creates an edge-free graph over `num_vertices` resource vertices.
+    pub fn new(num_vertices: usize) -> Self {
         DependencyGraph {
             num_vertices,
             edges: vec![Vec::new(); num_vertices],
             num_edges: 0,
+            seen: HashSet::new(),
         }
     }
 
-    fn add_edge(&mut self, from: usize, to: usize, seen: &mut HashSet<(usize, usize)>) {
-        if from != to && seen.insert((from, to)) {
+    /// Records the dependency `from -> to`. Duplicate edges and self-loops
+    /// (a worm re-requesting the resource it already holds) are ignored.
+    pub fn add_edge(&mut self, from: usize, to: usize) {
+        if from != to && self.seen.insert((from, to)) {
             self.edges[from].push(to);
             self.num_edges += 1;
         }
@@ -62,6 +69,24 @@ impl DependencyGraph {
     /// Number of (deduplicated) dependency edges.
     pub fn num_edges(&self) -> usize {
         self.num_edges
+    }
+
+    /// Whether the dependency `from -> to` has been recorded.
+    pub fn has_edge(&self, from: usize, to: usize) -> bool {
+        self.seen.contains(&(from, to))
+    }
+
+    /// The recorded successors of `vertex` (resources it may be held against).
+    pub fn edges_from(&self, vertex: usize) -> &[usize] {
+        &self.edges[vertex]
+    }
+
+    /// Iterates over every recorded `(from, to)` dependency edge.
+    pub fn iter_edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges
+            .iter()
+            .enumerate()
+            .flat_map(|(from, succs)| succs.iter().map(move |&to| (from, to)))
     }
 
     /// True if the graph contains no directed cycle (iterative three-colour
@@ -101,6 +126,52 @@ impl DependencyGraph {
         }
         true
     }
+
+    /// Returns a directed cycle as a witness, or `None` if the graph is
+    /// acyclic. The returned vertices `v0, v1, .., vk` are a closed walk:
+    /// every consecutive pair `(vi, vi+1)` is a recorded edge, as is
+    /// `(vk, v0)`.
+    pub fn find_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Colour {
+            White,
+            Grey,
+            Black,
+        }
+        let mut colour = vec![Colour::White; self.num_vertices];
+        for start in 0..self.num_vertices {
+            if colour[start] != Colour::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+            colour[start] = Colour::Grey;
+            while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+                if *idx < self.edges[v].len() {
+                    let child = self.edges[v][*idx];
+                    *idx += 1;
+                    match colour[child] {
+                        Colour::Grey => {
+                            // The DFS stack from `child` up to `v` is the cycle.
+                            let pos = stack
+                                .iter()
+                                .position(|&(u, _)| u == child)
+                                .expect("grey vertices are always on the DFS stack");
+                            return Some(stack[pos..].iter().map(|&(u, _)| u).collect());
+                        }
+                        Colour::White => {
+                            colour[child] = Colour::Grey;
+                            stack.push((child, 0));
+                        }
+                        Colour::Black => {}
+                    }
+                } else {
+                    colour[v] = Colour::Black;
+                    stack.pop();
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Resource granularity used when building the dependency graph.
@@ -138,7 +209,6 @@ fn num_resources(net: &Network, model: VcModel) -> usize {
 /// recording the successive virtual-channel resources a message holds.
 pub fn build_ecube_cdg(net: &Network, model: VcModel) -> DependencyGraph {
     let mut graph = DependencyGraph::new(num_resources(net, model));
-    let mut seen = HashSet::new();
     for src in net.nodes() {
         for dest in net.nodes() {
             if src == dest {
@@ -156,7 +226,7 @@ pub fn build_ecube_cdg(net: &Network, model: VcModel) -> DependencyGraph {
                 let ch = DirectedChannel::new(current, dim, dir);
                 let resource = resource_id(net, model, ch, class);
                 if let Some(prev) = previous {
-                    graph.add_edge(prev, resource, &mut seen);
+                    graph.add_edge(prev, resource);
                 }
                 previous = Some(resource);
                 header.note_hop(net, current, dim, dir);
@@ -169,26 +239,58 @@ pub fn build_ecube_cdg(net: &Network, model: VcModel) -> DependencyGraph {
     graph
 }
 
-/// Turn rule used by [`build_turn_cdg`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Turn rule used by [`build_turn_cdg`] and the turn-model routing flavours.
+///
+/// Every restricted rule is a *per-dimension direction priority*: each
+/// dimension names a "first" direction, and a hop against a dimension's first
+/// direction (the second phase) may never be followed by a hop *in* any
+/// dimension's first direction. Negative-first is the special case where
+/// every dimension's first direction is Minus; west-first flips dimension 0.
+/// Any such rule is a reflection (per-dimension relabelling of Plus/Minus) of
+/// negative-first, so its turn CDG is acyclic on open shapes for exactly the
+/// same reason.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum TurnRule {
     /// Negative-first: a hop in the Minus direction may never follow a hop in
     /// the Plus direction. Breaks every dependency cycle on open dimensions.
     NegativeFirst,
+    /// West-first: dimension 0 routes Minus ("west") in the first phase while
+    /// every higher dimension routes Plus first. A reflection of
+    /// negative-first in all dimensions but the first.
+    WestFirst,
     /// Every turn is permitted (except U-turns) — the unrestricted adaptive
     /// baseline, cyclic on any mesh with at least two dimensions.
     Unrestricted,
 }
 
 impl TurnRule {
-    /// Whether a message holding `held` may next request a channel in
-    /// direction `next` under this rule.
+    /// The direction `dim` routes during the first phase, or `None` when the
+    /// rule imposes no ordering (unrestricted).
     #[inline]
-    pub fn permits(self, held: Direction, next: Direction) -> bool {
+    pub fn first_direction(self, dim: usize) -> Option<Direction> {
         match self {
-            TurnRule::NegativeFirst => !(held == Direction::Plus && next == Direction::Minus),
-            TurnRule::Unrestricted => true,
+            TurnRule::NegativeFirst => Some(Direction::Minus),
+            TurnRule::WestFirst => Some(if dim == 0 {
+                Direction::Minus
+            } else {
+                Direction::Plus
+            }),
+            TurnRule::Unrestricted => None,
         }
+    }
+
+    /// Whether a message holding a channel along `held` (dimension,
+    /// direction) may next request a channel along `next` under this rule: a
+    /// second-phase hop may never be followed by a first-phase hop.
+    #[inline]
+    pub fn permits(self, held: (usize, Direction), next: (usize, Direction)) -> bool {
+        let Some(held_first) = self.first_direction(held.0) else {
+            return true;
+        };
+        let next_first = self
+            .first_direction(next.0)
+            .expect("restricted rules order every dimension");
+        !(held.1 == held_first.opposite() && next.1 == next_first)
     }
 }
 
@@ -205,7 +307,6 @@ impl TurnRule {
 /// turn model is rejected on wrapped dimensions.
 pub fn build_turn_cdg(net: &Network, rule: TurnRule) -> DependencyGraph {
     let mut graph = DependencyGraph::new(net.channel_slots());
-    let mut seen = HashSet::new();
     for held in net.channels() {
         let mid = net
             .channel_dest(held)
@@ -216,14 +317,14 @@ pub fn build_turn_cdg(net: &Network, rule: TurnRule) -> DependencyGraph {
                 if dim == held.dim && dir == held.dir.opposite() {
                     continue; // U-turn
                 }
-                if !rule.permits(held.dir, dir) {
+                if !rule.permits((held.dim, held.dir), (dim, dir)) {
                     continue;
                 }
                 if !net.has_channel(mid, dim, dir) {
                     continue;
                 }
                 let to = net.channel_id(DirectedChannel::new(mid, dim, dir)).index();
-                graph.add_edge(from, to, &mut seen);
+                graph.add_edge(from, to);
             }
         }
     }
@@ -335,7 +436,8 @@ mod tests {
         // The tentpole claim: with the Plus->Minus turn prohibited, the
         // *complete* dependency graph of all permitted routes is acyclic with
         // a single VC class — on meshes, hypercubes and mixed-radix open
-        // shapes alike.
+        // shapes alike. West-first is a per-dimension reflection of the same
+        // rule and must stay acyclic for the same reason.
         for net in [
             Network::mesh(4, 2).unwrap(),
             Network::mesh(8, 2).unwrap(),
@@ -343,12 +445,11 @@ mod tests {
             Network::hypercube(5).unwrap(),
             Network::new(vec![6, 3, 2], vec![false, false, false]).unwrap(),
         ] {
-            let g = build_turn_cdg(&net, TurnRule::NegativeFirst);
-            assert!(g.num_edges() > 0);
-            assert!(
-                g.is_acyclic(),
-                "negative-first turn CDG must be acyclic on {net}"
-            );
+            for rule in [TurnRule::NegativeFirst, TurnRule::WestFirst] {
+                let g = build_turn_cdg(&net, rule);
+                assert!(g.num_edges() > 0);
+                assert!(g.is_acyclic(), "{rule:?} turn CDG must be acyclic on {net}");
+            }
         }
     }
 
@@ -382,24 +483,45 @@ mod tests {
             Network::torus(8, 1).unwrap(),
             Network::new(vec![4, 3], vec![true, false]).unwrap(),
         ] {
-            let g = build_turn_cdg(&net, TurnRule::NegativeFirst);
-            assert!(
-                !g.is_acyclic(),
-                "negative-first turn CDG on wrapped {net} must contain cycles"
-            );
+            for rule in [TurnRule::NegativeFirst, TurnRule::WestFirst] {
+                let g = build_turn_cdg(&net, rule);
+                assert!(
+                    !g.is_acyclic(),
+                    "{rule:?} turn CDG on wrapped {net} must contain cycles"
+                );
+            }
         }
     }
 
     #[test]
     fn turn_rule_permits_table() {
         use Direction::{Minus, Plus};
-        assert!(TurnRule::NegativeFirst.permits(Minus, Minus));
-        assert!(TurnRule::NegativeFirst.permits(Minus, Plus));
-        assert!(TurnRule::NegativeFirst.permits(Plus, Plus));
-        assert!(!TurnRule::NegativeFirst.permits(Plus, Minus));
+        // Negative-first ignores the dimensions: only second-phase (Plus)
+        // followed by first-phase (Minus) is forbidden.
+        for (held_dim, next_dim) in [(0usize, 1usize), (1, 0), (0, 2)] {
+            assert!(TurnRule::NegativeFirst.permits((held_dim, Minus), (next_dim, Minus)));
+            assert!(TurnRule::NegativeFirst.permits((held_dim, Minus), (next_dim, Plus)));
+            assert!(TurnRule::NegativeFirst.permits((held_dim, Plus), (next_dim, Plus)));
+            assert!(!TurnRule::NegativeFirst.permits((held_dim, Plus), (next_dim, Minus)));
+        }
+        // West-first flips dimension 0: its first phase is Minus (west) while
+        // every higher dimension routes Plus first.
+        assert_eq!(TurnRule::WestFirst.first_direction(0), Some(Minus));
+        assert_eq!(TurnRule::WestFirst.first_direction(1), Some(Plus));
+        assert_eq!(TurnRule::WestFirst.first_direction(5), Some(Plus));
+        // East (second phase of dim 0) may not be followed by west or north.
+        assert!(!TurnRule::WestFirst.permits((0, Plus), (0, Minus)));
+        assert!(!TurnRule::WestFirst.permits((0, Plus), (1, Plus)));
+        // South (second phase of dim 1) may not be followed by west or north.
+        assert!(!TurnRule::WestFirst.permits((1, Minus), (0, Minus)));
+        assert!(!TurnRule::WestFirst.permits((1, Minus), (2, Plus)));
+        // First-phase hops may be followed by anything.
+        assert!(TurnRule::WestFirst.permits((0, Minus), (1, Minus)));
+        assert!(TurnRule::WestFirst.permits((1, Plus), (0, Plus)));
+        assert!(TurnRule::WestFirst.permits((1, Plus), (2, Minus)));
         for held in Direction::BOTH {
             for next in Direction::BOTH {
-                assert!(TurnRule::Unrestricted.permits(held, next));
+                assert!(TurnRule::Unrestricted.permits((0, held), (1, next)));
             }
         }
     }
@@ -419,22 +541,20 @@ mod tests {
         // A hand-built dependency cycle a -> b -> c -> a must be caught
         // regardless of how many acyclic vertices surround it.
         let mut g = DependencyGraph::new(6);
-        let mut seen = HashSet::new();
-        g.add_edge(3, 4, &mut seen);
-        g.add_edge(4, 5, &mut seen);
+        g.add_edge(3, 4);
+        g.add_edge(4, 5);
         assert!(g.is_acyclic());
-        g.add_edge(0, 1, &mut seen);
-        g.add_edge(1, 2, &mut seen);
-        g.add_edge(2, 0, &mut seen);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 0);
         assert!(!g.is_acyclic(), "a 3-cycle must be detected");
     }
 
     #[test]
     fn two_vertex_cycle_is_rejected() {
         let mut g = DependencyGraph::new(2);
-        let mut seen = HashSet::new();
-        g.add_edge(0, 1, &mut seen);
-        g.add_edge(1, 0, &mut seen);
+        g.add_edge(0, 1);
+        g.add_edge(1, 0);
         assert!(!g.is_acyclic(), "a 2-cycle must be detected");
     }
 
@@ -443,12 +563,11 @@ mod tests {
         // The DFS restarts from every white vertex, so a cycle confined to
         // the high-numbered vertices must not be missed.
         let mut g = DependencyGraph::new(8);
-        let mut seen = HashSet::new();
         for v in 0..4 {
-            g.add_edge(v, v + 1, &mut seen);
+            g.add_edge(v, v + 1);
         }
-        g.add_edge(6, 7, &mut seen);
-        g.add_edge(7, 6, &mut seen);
+        g.add_edge(6, 7);
+        g.add_edge(7, 6);
         assert!(!g.is_acyclic());
     }
 
@@ -457,8 +576,7 @@ mod tests {
         // `add_edge` drops a == b pairs: a worm re-requesting the resource it
         // already holds is not a dependency. The graph must stay acyclic.
         let mut g = DependencyGraph::new(2);
-        let mut seen = HashSet::new();
-        g.add_edge(0, 0, &mut seen);
+        g.add_edge(0, 0);
         assert_eq!(g.num_edges(), 0);
         assert!(g.is_acyclic());
     }
@@ -469,18 +587,63 @@ mod tests {
         // contain no directed cycle; three-colour DFS must not confuse a
         // Black revisit with a Grey back-edge.
         let mut g = DependencyGraph::new(1000);
-        let mut seen = HashSet::new();
         for v in 0..999 {
-            g.add_edge(v, v + 1, &mut seen);
+            g.add_edge(v, v + 1);
         }
         assert!(g.is_acyclic());
         let mut d = DependencyGraph::new(4);
-        let mut seen = HashSet::new();
-        d.add_edge(0, 1, &mut seen);
-        d.add_edge(0, 2, &mut seen);
-        d.add_edge(1, 3, &mut seen);
-        d.add_edge(2, 3, &mut seen);
+        d.add_edge(0, 1);
+        d.add_edge(0, 2);
+        d.add_edge(1, 3);
+        d.add_edge(2, 3);
         assert!(d.is_acyclic(), "diamond reconvergence is not a cycle");
+    }
+
+    #[test]
+    fn cycle_witness_is_genuine_on_naive_torus_cdg() {
+        // The known-cyclic case: the dateline-free (single-class) torus CDG.
+        // A reported witness must be a genuine closed walk — every
+        // consecutive pair, including the wrap-around back to the start, must
+        // be a recorded edge — with no repeated vertex.
+        let t = Network::torus(8, 2).unwrap();
+        let g = build_ecube_cdg(&t, VcModel::SingleClass);
+        let witness = g
+            .find_cycle()
+            .expect("dateline-free torus CDG must yield a cycle witness");
+        assert!(witness.len() >= 2, "a cycle visits at least two resources");
+        for i in 0..witness.len() {
+            let from = witness[i];
+            let to = witness[(i + 1) % witness.len()];
+            assert!(
+                g.has_edge(from, to),
+                "witness edge {from} -> {to} is not in the extracted graph"
+            );
+        }
+        let distinct: HashSet<usize> = witness.iter().copied().collect();
+        assert_eq!(
+            distinct.len(),
+            witness.len(),
+            "a simple cycle witness must not repeat vertices"
+        );
+        // Consistency with the boolean check, and no witness on the provably
+        // acyclic dateline-class graph.
+        assert!(!g.is_acyclic());
+        let datelined = build_ecube_cdg(&t, VcModel::DatelineClasses);
+        assert!(datelined.find_cycle().is_none());
+        assert!(datelined.is_acyclic());
+    }
+
+    #[test]
+    fn edge_queries_and_iteration_agree() {
+        let mut g = DependencyGraph::new(4);
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 1); // duplicate ignored
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert_eq!(g.edges_from(0), &[1]);
+        let all: Vec<(usize, usize)> = g.iter_edges().collect();
+        assert_eq!(all, vec![(0, 1), (1, 2)]);
     }
 
     #[test]
@@ -488,13 +651,12 @@ mod tests {
         let g = DependencyGraph::new(3);
         assert!(g.is_acyclic());
         let mut g = DependencyGraph::new(3);
-        let mut seen = HashSet::new();
-        g.add_edge(0, 1, &mut seen);
-        g.add_edge(1, 2, &mut seen);
-        g.add_edge(0, 1, &mut seen); // duplicate ignored
+        g.add_edge(0, 1);
+        g.add_edge(1, 2);
+        g.add_edge(0, 1); // duplicate ignored
         assert_eq!(g.num_edges(), 2);
         assert!(g.is_acyclic());
-        g.add_edge(2, 0, &mut seen);
+        g.add_edge(2, 0);
         assert!(!g.is_acyclic());
     }
 }

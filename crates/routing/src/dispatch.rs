@@ -90,7 +90,7 @@ impl RoutingAlgorithm for AnyRouting {
         dim: usize,
         dir: Direction,
     ) {
-        delegate!(self, a => a.note_hop(net, header, from, dim, dir))
+        delegate!(self, a => a.note_hop(net, header, from, dim, dir));
     }
 
     fn reroute_on_fault(

@@ -36,7 +36,7 @@ impl RoutingFlavor {
 /// `faulted` flag that pins the message to deterministic routing after its
 /// first fault encounter, and the remaining misroute budget that bounds
 /// livelock.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct RouteHeader {
     /// Node that generated the message.
     pub source: NodeId,

@@ -21,26 +21,25 @@
 //!   dimension, finally an explicit fault-free intermediate-node path), and it
 //!   is re-injected with priority. Once faulted, a message stays
 //!   deterministic.
-//! * **Negative-first turn-model routing** ([`turnmodel`]) — the classic
-//!   low-VC alternative on open (non-wrap) topologies: deadlock freedom via
-//!   a prohibited turn instead of dateline channel classes, with the same
-//!   SW-Based software-layer fault handling. One VC suffices deterministic,
-//!   two adaptive; the algorithm is rejected with a typed error on wrapped
+//! * **Turn-model routing** ([`turnmodel`]) — the classic low-VC alternative
+//!   on open (non-wrap) topologies: deadlock freedom via prohibited turns
+//!   instead of dateline channel classes, with the same SW-Based
+//!   software-layer fault handling. Parameterised over the turn rule
+//!   (negative-first or west-first); one VC suffices deterministic, two
+//!   adaptive; the algorithm is rejected with a typed error on wrapped
 //!   dimensions.
 //! * **Channel-dependency-graph analysis** ([`cdg`]) — builds the extended
 //!   CDG of the deterministic / escape layer and verifies acyclicity, the
 //!   deadlock-freedom argument of Section 4 of the paper (and, on meshes,
 //!   that a single VC class suffices: the dateline VC is only needed where a
-//!   dimension wraps). The turn-rule CDG does the same for the negative-first
-//!   subsystem.
+//!   dimension wraps). The turn-rule CDG does the same for the turn-model
+//!   subsystem, and [`cdg::DependencyGraph::find_cycle`] extracts a concrete
+//!   cycle witness when acyclicity fails.
 //!
 //! The simulator drives a [`SwBasedRouting`] instance through the
 //! [`RoutingAlgorithm`] interface: `route` for head-flit routing decisions,
 //! `note_hop` for header bookkeeping as flits advance, and `reroute_on_fault`
 //! for the software layer's header rewrite at absorption time.
-
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
 
 pub mod adaptive;
 pub mod cdg;
@@ -51,6 +50,7 @@ pub mod header;
 pub mod swbased;
 pub mod turnmodel;
 
+pub use cdg::{DependencyGraph, TurnRule};
 pub use decision::{OutputCandidate, RouteDecision};
 pub use dispatch::AnyRouting;
 pub use header::{RouteHeader, RoutingFlavor};
@@ -59,6 +59,7 @@ pub use turnmodel::{RoutingTopologyError, TurnModelRouting};
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
+    pub use crate::cdg::{DependencyGraph, TurnRule};
     pub use crate::decision::{OutputCandidate, RouteDecision};
     pub use crate::dispatch::AnyRouting;
     pub use crate::header::{RouteHeader, RoutingFlavor};

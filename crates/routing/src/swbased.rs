@@ -258,6 +258,15 @@ impl RoutingAlgorithm for SwBasedRouting {
     ) -> RouteDecision {
         // Advance through intermediate destinations that have been reached.
         while current == header.target() {
+            if header.pending_via() > 0 {
+                // Reached an intermediate via host: the message is delivered
+                // to the local software layer and re-injected towards the
+                // next target (software forwarding, Section 3). Releasing
+                // every held channel here is what keeps the escape-layer
+                // dependency chains acyclic — an in-flight retarget could
+                // chain a forbidden turn through the via node.
+                return RouteDecision::Absorb;
+            }
             if header.advance_target(current) {
                 return RouteDecision::Deliver;
             }
@@ -297,6 +306,17 @@ impl RoutingAlgorithm for SwBasedRouting {
         at: NodeId,
         blocked: (usize, Direction),
     ) -> bool {
+        // Software forwarding: the message was absorbed because it reached an
+        // intermediate via host, not because of a new fault. Pop the reached
+        // target(s) and re-inject unchanged.
+        if at == header.target() && header.pending_via() > 0 {
+            header.absorptions += 1;
+            while at == header.target() && header.pending_via() > 0 {
+                header.advance_target(at);
+            }
+            return true;
+        }
+
         header.absorptions += 1;
         header.faulted = true;
 
@@ -513,7 +533,7 @@ mod tests {
         let dest = m.node_from_digits(&[4, 0]).unwrap();
         let mut header = algo.make_header(&m, at, dest);
         assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (0, Direction::Plus)));
-        assert!(header.forced_dir.iter().all(|f| f.is_none()));
+        assert!(header.forced_dir.iter().all(Option::is_none));
         assert_eq!(header.pending_via(), 1);
         // The orthogonal via node sits one hop away in dimension 1 (the only
         // open direction from row 0 is Plus).
@@ -553,7 +573,7 @@ mod tests {
         let mut header = algo.make_header(&t, at, t.node_from_digits(&[1, 4]).unwrap());
         // Dimension 0 offset to the target is zero.
         assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (0, Direction::Plus)));
-        assert!(header.forced_dir.iter().all(|f| f.is_none()));
+        assert!(header.forced_dir.iter().all(Option::is_none));
         assert_eq!(header.pending_via(), 1);
         // The orthogonal detour avoids the faulty node [1,1].
         assert_ne!(header.target(), t.node_from_digits(&[1, 1]).unwrap());
@@ -576,13 +596,26 @@ mod tests {
         let mut current = at;
         let mut hops = 0;
         while current != dest {
-            let d = algo.route(&t, &faults, &mut header, current, 4);
-            let cands = d.candidates().to_vec();
-            assert!(!cands.is_empty(), "escorted message must always forward");
-            let c = &cands[0];
-            algo.note_hop(&t, &mut header, current, c.dim, c.dir);
-            current = t.neighbor(current, c.dim, c.dir).expect("existing hop");
-            assert!(!faults.is_node_faulty(current));
+            match algo.route(&t, &faults, &mut header, current, 4) {
+                RouteDecision::Deliver => break,
+                RouteDecision::Forward(cands) => {
+                    let c = &cands[0];
+                    algo.note_hop(&t, &mut header, current, c.dim, c.dir);
+                    current = t.neighbor(current, c.dim, c.dir).expect("existing hop");
+                    assert!(!faults.is_node_faulty(current));
+                }
+                RouteDecision::Absorb => {
+                    // Escorted hops are software-forwarded through every via
+                    // host: absorbed and re-injected towards the next one.
+                    let blocked =
+                        ecube_output(&t, &header, current).unwrap_or((0, Direction::Plus));
+                    assert!(
+                        algo.reroute_on_fault(&t, &faults, &mut header, current, blocked),
+                        "escorted message must always forward"
+                    );
+                    header.reset_for_injection();
+                }
+            }
             hops += 1;
             assert!(hops < 100);
         }
@@ -617,14 +650,16 @@ mod tests {
                     }
                     RouteDecision::Absorb => {
                         absorptions += 1;
-                        // Determine the blocked output exactly as the router does.
-                        let (dim, dir) = ecube_output(&net, &header, current).unwrap();
+                        // Determine the blocked output exactly as the router
+                        // does; a via host at its reached target has none.
+                        let blocked =
+                            ecube_output(&net, &header, current).unwrap_or((0, Direction::Plus));
                         assert!(algo.reroute_on_fault(
                             &net,
                             &faults,
                             &mut header,
                             current,
-                            (dim, dir)
+                            blocked
                         ));
                         header.reset_for_injection();
                     }

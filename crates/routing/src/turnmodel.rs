@@ -1,4 +1,5 @@
-//! Negative-first turn-model routing for open (non-wrap) topologies.
+//! Turn-model routing (negative-first and west-first) for open (non-wrap)
+//! topologies.
 //!
 //! The turn model (Glass & Ni) achieves deadlock freedom on meshes without
 //! virtual-channel classes by *prohibiting turns* instead of splitting
@@ -9,6 +10,14 @@
 //! takes all its negative hops — in any order — and then all its positive
 //! hops; once it has moved in a positive direction it never moves negatively
 //! again within the same network traversal.
+//!
+//! The implementation is parameterised over a [`TurnRule`], i.e. a
+//! per-dimension *first direction*: negative-first routes Minus first in
+//! every dimension, west-first routes Minus first in dimension 0 and Plus
+//! first everywhere else. Any such assignment is a per-dimension reflection
+//! (relabelling of Plus/Minus) of negative-first, so the same acyclicity
+//! argument applies; the phase discipline below ("first-phase hops before
+//! second-phase hops") is rule-agnostic.
 //!
 //! This gives the SW-Based scheme a second deterministic/escape substrate on
 //! meshes, hypercubes and mixed-radix open shapes:
@@ -42,6 +51,7 @@
 //! e-cube.
 
 use crate::adaptive::productive_outputs;
+use crate::cdg::TurnRule;
 use crate::decision::{OutputCandidate, RouteDecision};
 use crate::header::{RouteHeader, RoutingFlavor};
 use crate::swbased::{install_explicit_path, orthogonal_order, RoutingAlgorithm};
@@ -58,6 +68,9 @@ pub enum RoutingTopologyError {
     WrappedDimension {
         /// Human-readable algorithm name.
         algorithm: &'static str,
+        /// Shape string of the offending topology (`Network` display form,
+        /// e.g. `8x8` for a wrapped 8x8 torus), parseable as a topology spec.
+        shape: String,
         /// First wrapped dimension encountered.
         dim: usize,
         /// Radix of that dimension.
@@ -70,13 +83,14 @@ impl fmt::Display for RoutingTopologyError {
         match self {
             RoutingTopologyError::WrappedDimension {
                 algorithm,
+                shape,
                 dim,
                 radix,
             } => write!(
                 f,
-                "{algorithm} routing requires open dimensions, but dimension {dim} \
-                 (radix {radix}) wraps around; use a mesh/hypercube topology or \
-                 Duato-over-e-cube routing"
+                "{algorithm} routing requires open dimensions, but topology \
+                 '{shape}' wraps around in dimension {dim} (radix {radix}); \
+                 use a mesh/hypercube topology or Duato-over-e-cube routing"
             ),
         }
     }
@@ -84,37 +98,57 @@ impl fmt::Display for RoutingTopologyError {
 
 impl std::error::Error for RoutingTopologyError {}
 
-/// The canonical negative-first output for a header at `current`: the lowest
-/// dimension with a negative offset towards the current target, else the
-/// lowest dimension with a positive offset.
+/// The canonical turn-rule output for a header at `current`: the lowest
+/// dimension with a productive hop in its first-phase direction, else the
+/// lowest dimension with a productive second-phase hop.
 ///
-/// Returns `None` when the message is already at its current routing target.
-/// Forced-direction overrides are never consulted: they are only installed by
-/// software rule 1, which requires a wrapped dimension, and this model runs
-/// exclusively on open topologies.
+/// Returns `None` when the message is already at its current routing target,
+/// and must not be called with [`TurnRule::Unrestricted`] (which orders no
+/// dimension). Forced-direction overrides are never consulted: they are only
+/// installed by software rule 1, which requires a wrapped dimension, and this
+/// model runs exclusively on open topologies.
+pub fn turn_rule_output(
+    net: &Network,
+    rule: TurnRule,
+    header: &RouteHeader,
+    current: NodeId,
+) -> Option<(usize, Direction)> {
+    let target = header.target();
+    let mut second_phase = None;
+    for dim in 0..net.dims() {
+        let off = net.offset(current, target, dim);
+        let Some(dir) = Direction::from_offset(off) else {
+            continue;
+        };
+        let first = rule
+            .first_direction(dim)
+            .expect("turn_rule_output requires a rule that orders every dimension");
+        if dir == first {
+            return Some((dim, dir));
+        }
+        if second_phase.is_none() {
+            second_phase = Some((dim, dir));
+        }
+    }
+    second_phase
+}
+
+/// The canonical negative-first output: first-phase (Minus) hops in
+/// increasing dimension order, then second-phase (Plus) hops.
 pub fn negative_first_output(
     net: &Network,
     header: &RouteHeader,
     current: NodeId,
 ) -> Option<(usize, Direction)> {
-    let target = header.target();
-    let mut positive = None;
-    for dim in 0..net.dims() {
-        let off = net.offset(current, target, dim);
-        if off < 0 {
-            return Some((dim, Direction::Minus));
-        }
-        if off > 0 && positive.is_none() {
-            positive = Some((dim, Direction::Plus));
-        }
-    }
-    positive
+    turn_rule_output(net, TurnRule::NegativeFirst, header, current)
 }
 
-/// Negative-first turn-model routing for open multidimensional networks.
+/// Turn-model routing for open multidimensional networks, parameterised over
+/// the turn rule (negative-first or west-first) and the routing flavour.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TurnModelRouting {
     flavor: RoutingFlavor,
+    rule: TurnRule,
 }
 
 impl TurnModelRouting {
@@ -122,6 +156,7 @@ impl TurnModelRouting {
     pub fn deterministic() -> Self {
         TurnModelRouting {
             flavor: RoutingFlavor::Deterministic,
+            rule: TurnRule::NegativeFirst,
         }
     }
 
@@ -130,12 +165,52 @@ impl TurnModelRouting {
     pub fn adaptive() -> Self {
         TurnModelRouting {
             flavor: RoutingFlavor::Adaptive,
+            rule: TurnRule::NegativeFirst,
         }
     }
 
-    /// Constructs the algorithm for a given flavour.
+    /// Deterministic west-first routing (dimension 0 routes Minus first,
+    /// every higher dimension Plus first).
+    pub fn west_first_deterministic() -> Self {
+        TurnModelRouting {
+            flavor: RoutingFlavor::Deterministic,
+            rule: TurnRule::WestFirst,
+        }
+    }
+
+    /// Phase-adaptive west-first routing with a west-first escape channel.
+    pub fn west_first_adaptive() -> Self {
+        TurnModelRouting {
+            flavor: RoutingFlavor::Adaptive,
+            rule: TurnRule::WestFirst,
+        }
+    }
+
+    /// Constructs the negative-first algorithm for a given flavour.
     pub fn with_flavor(flavor: RoutingFlavor) -> Self {
-        TurnModelRouting { flavor }
+        TurnModelRouting {
+            flavor,
+            rule: TurnRule::NegativeFirst,
+        }
+    }
+
+    /// The turn rule this instance routes under.
+    pub fn rule(&self) -> TurnRule {
+        self.rule
+    }
+
+    fn rule_label(&self) -> &'static str {
+        match self.rule {
+            TurnRule::WestFirst => "West-First",
+            _ => "Negative-First",
+        }
+    }
+
+    fn algorithm_label(&self) -> &'static str {
+        match self.rule {
+            TurnRule::WestFirst => "west-first turn-model",
+            _ => "negative-first turn-model",
+        }
     }
 
     /// Deterministic-mode routing step shared by the deterministic flavour
@@ -148,7 +223,7 @@ impl TurnModelRouting {
         current: NodeId,
         v: usize,
     ) -> RouteDecision {
-        let Some((dim, dir)) = negative_first_output(net, header, current) else {
+        let Some((dim, dir)) = turn_rule_output(net, self.rule, header, current) else {
             // `route` already advanced through reached targets, so a missing
             // output means the final destination.
             return RouteDecision::Deliver;
@@ -157,13 +232,13 @@ impl TurnModelRouting {
             return RouteDecision::Absorb;
         }
         let (vcs, is_escape) = if header.flavor == RoutingFlavor::Adaptive {
-            // Faulted adaptive-flavour messages travel on the negative-first
+            // Faulted adaptive-flavour messages travel on the turn-rule
             // escape channel, mirroring the SW-Based scheme's use of the
             // e-cube escape layer.
             (vec![0], true)
         } else {
             // No dateline class exists on open dimensions: the whole pool is
-            // permitted, and a single VC suffices (negative-first CDG is
+            // permitted, and a single VC suffices (the turn-rule CDG is
             // acyclic with one class).
             ((0..v).collect(), false)
         };
@@ -195,7 +270,8 @@ impl RoutingAlgorithm for TurnModelRouting {
         for dim in 0..net.dims() {
             if net.wraps(dim) {
                 return Err(RoutingTopologyError::WrappedDimension {
-                    algorithm: "negative-first turn-model",
+                    algorithm: self.algorithm_label(),
+                    shape: net.to_string(),
                     dim,
                     radix: net.radix(dim),
                 });
@@ -210,7 +286,7 @@ impl RoutingAlgorithm for TurnModelRouting {
         header: &RouteHeader,
         current: NodeId,
     ) -> Option<(usize, Direction)> {
-        negative_first_output(net, header, current)
+        turn_rule_output(net, self.rule, header, current)
     }
 
     fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
@@ -227,6 +303,14 @@ impl RoutingAlgorithm for TurnModelRouting {
     ) -> RouteDecision {
         // Advance through intermediate destinations that have been reached.
         while current == header.target() {
+            if header.pending_via() > 0 {
+                // Reached an intermediate via host: software forwarding, as
+                // in the SW-Based scheme — absorb, release every held
+                // channel, re-inject towards the next target. An in-flight
+                // retarget here could chain a forbidden (second-phase →
+                // first-phase) turn through the via node on the escape VC.
+                return RouteDecision::Absorb;
+            }
             if header.advance_target(current) {
                 return RouteDecision::Deliver;
             }
@@ -235,20 +319,27 @@ impl RoutingAlgorithm for TurnModelRouting {
             return self.route_deterministic(net, faults, header, current, v);
         }
         // Adaptive flavour, not yet faulted: any productive output of the
-        // current negative-first phase on the adaptive VC pool. While any
-        // negative offset remains only Minus hops are legal; afterwards the
-        // remaining productive hops are all Plus, so no Minus hop can ever
-        // follow a Plus hop towards the same target.
+        // current turn-rule phase on the adaptive VC pool. While any
+        // productive first-phase hop remains only first-phase hops are legal;
+        // afterwards the remaining productive hops are all second-phase, so a
+        // first-phase hop can never follow a second-phase hop towards the
+        // same target (offsets shrink monotonically under minimal routing).
+        let rule = self.rule;
+        let in_first_phase = |&(dim, dir): &(usize, Direction)| {
+            rule.first_direction(dim)
+                .expect("turn-model rules order every dimension")
+                == dir
+        };
         let prods = productive_outputs(net, header, current);
-        let negative_phase = prods.iter().any(|&(_, dir)| dir == Direction::Minus);
+        let first_phase = prods.iter().any(in_first_phase);
         let adaptive_vcs: Vec<usize> = (1..v).collect();
         let mut candidates: Vec<OutputCandidate> = prods
             .into_iter()
-            .filter(|&(_, dir)| !negative_phase || dir == Direction::Minus)
+            .filter(|hop| !first_phase || in_first_phase(hop))
             .filter(|&(dim, dir)| faults.output_usable(net, current, dim, dir))
             .map(|(dim, dir)| OutputCandidate::new(dim, dir, adaptive_vcs.clone()))
             .collect();
-        if let Some((dim, dir)) = negative_first_output(net, header, current) {
+        if let Some((dim, dir)) = turn_rule_output(net, rule, header, current) {
             if faults.output_usable(net, current, dim, dir) {
                 candidates.push(OutputCandidate::escape(dim, dir, 0));
             }
@@ -278,6 +369,16 @@ impl RoutingAlgorithm for TurnModelRouting {
         at: NodeId,
         blocked: (usize, Direction),
     ) -> bool {
+        // Software forwarding: absorbed at a reached intermediate via host,
+        // not at a new fault — pop the reached target(s) and re-inject.
+        if at == header.target() && header.pending_via() > 0 {
+            header.absorptions += 1;
+            while at == header.target() && header.pending_via() > 0 {
+                header.advance_target(at);
+            }
+            return true;
+        }
+
         header.absorptions += 1;
         header.faulted = true;
 
@@ -318,7 +419,7 @@ impl RoutingAlgorithm for TurnModelRouting {
     }
 
     fn name(&self) -> String {
-        format!("Negative-First ({})", self.flavor.label())
+        format!("{} ({})", self.rule_label(), self.flavor.label())
     }
 }
 
@@ -521,7 +622,7 @@ mod tests {
         assert!(header.faulted);
         assert_eq!(header.absorptions, 1);
         // No rule-1 forced direction is ever installed on open dimensions.
-        assert!(header.forced_dir.iter().all(|f| f.is_none()));
+        assert!(header.forced_dir.iter().all(Option::is_none));
         assert_eq!(header.pending_via(), 1);
         // From row 0 the only open orthogonal direction is Plus in dim 1.
         assert_eq!(header.target(), m.node_from_digits(&[1, 1]).unwrap());
@@ -613,6 +714,7 @@ mod tests {
             algo.supported_on(&torus),
             Err(RoutingTopologyError::WrappedDimension {
                 algorithm: "negative-first turn-model",
+                shape: "8x8".into(),
                 dim: 0,
                 radix: 8,
             })
@@ -621,13 +723,130 @@ mod tests {
         // it precisely.
         let mixed = Network::new(vec![4, 6, 3], vec![false, true, false]).unwrap();
         match algo.supported_on(&mixed) {
-            Err(RoutingTopologyError::WrappedDimension { dim, radix, .. }) => {
+            Err(RoutingTopologyError::WrappedDimension {
+                shape, dim, radix, ..
+            }) => {
                 assert_eq!((dim, radix), (1, 6));
+                assert_eq!(shape, "4ox6x3o");
             }
             other => panic!("expected WrappedDimension, got {other:?}"),
         }
+        // The message is self-describing: it names the topology shape and
+        // the rejecting algorithm.
         let err = algo.supported_on(&torus).unwrap_err();
-        assert!(format!("{err}").contains("wraps around"));
+        let msg = format!("{err}");
+        assert!(msg.contains("wraps around"));
+        assert!(msg.contains("'8x8'"));
+        assert!(msg.contains("negative-first turn-model"));
+        let wf_err = TurnModelRouting::west_first_adaptive()
+            .supported_on(&torus)
+            .unwrap_err();
+        assert!(format!("{wf_err}").contains("west-first turn-model"));
+    }
+
+    /// Asserts a hop sequence never takes a first-phase hop (under `rule`)
+    /// after a second-phase hop.
+    fn assert_obeys_rule(net: &Network, rule: TurnRule, visited: &[NodeId]) {
+        let mut seen_second_phase = false;
+        for pair in visited.windows(2) {
+            let (from, to) = (pair[0], pair[1]);
+            let dim = (0..net.dims())
+                .find(|&d| net.position(from, d) != net.position(to, d))
+                .expect("consecutive nodes differ in exactly one dimension");
+            let dir = if net.position(to, dim) > net.position(from, dim) {
+                Direction::Plus
+            } else {
+                Direction::Minus
+            };
+            if Some(dir) == rule.first_direction(dim) {
+                assert!(
+                    !seen_second_phase,
+                    "first-phase hop after a second-phase hop in {visited:?}"
+                );
+            } else {
+                seen_second_phase = true;
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_walks_are_minimal_and_obey_the_rule() {
+        let m = mesh();
+        for (algo, v) in [
+            (TurnModelRouting::west_first_deterministic(), 1),
+            (TurnModelRouting::west_first_adaptive(), 2),
+        ] {
+            for (s, d) in [([1u16, 6], [6u16, 1]), ([7, 0], [0, 7]), ([5, 5], [2, 2])] {
+                let src = m.node_from_digits(&s).unwrap();
+                let dest = m.node_from_digits(&d).unwrap();
+                let visited = walk(&m, &no_faults(), &algo, src, dest, v);
+                assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
+                assert_eq!(*visited.last().unwrap(), dest);
+                assert_obeys_rule(&m, TurnRule::WestFirst, &visited);
+            }
+        }
+    }
+
+    #[test]
+    fn west_first_routes_west_before_everything_else() {
+        let m = mesh();
+        let algo = TurnModelRouting::west_first_deterministic();
+        // Offset (-2, -3): west (dim 0 Minus) is first phase, south (dim 1
+        // Minus) is second phase — dim 0 must be exhausted first.
+        let src = m.node_from_digits(&[4, 5]).unwrap();
+        let dest = m.node_from_digits(&[2, 2]).unwrap();
+        let h = algo.make_header(&m, src, dest);
+        assert_eq!(
+            algo.deterministic_output(&m, &h, src),
+            Some((0, Direction::Minus))
+        );
+        // Offset (+2, +3): both hops are eastward/northward; north (dim 1
+        // Plus) is first phase under west-first, east (dim 0 Plus) second.
+        let src2 = m.node_from_digits(&[2, 2]).unwrap();
+        let dest2 = m.node_from_digits(&[4, 5]).unwrap();
+        let h2 = algo.make_header(&m, src2, dest2);
+        assert_eq!(
+            algo.deterministic_output(&m, &h2, src2),
+            Some((1, Direction::Plus))
+        );
+    }
+
+    #[test]
+    fn west_first_routes_around_a_fault() {
+        let m = mesh();
+        let mut faults = FaultSet::new();
+        faults.fail_node(m.node_from_digits(&[3, 0]).unwrap());
+        for algo in [
+            TurnModelRouting::west_first_deterministic(),
+            TurnModelRouting::west_first_adaptive(),
+        ] {
+            let src = m.node_from_digits(&[4, 0]).unwrap();
+            let dest = m.node_from_digits(&[1, 0]).unwrap();
+            let mut header = algo.make_header(&m, src, dest);
+            let mut current = src;
+            let mut steps = 0;
+            loop {
+                steps += 1;
+                assert!(steps < 1000, "livelock: message never delivered");
+                match algo.route(&m, &faults, &mut header, current, 2) {
+                    RouteDecision::Deliver => break,
+                    RouteDecision::Forward(cands) => {
+                        let c = &cands[0];
+                        algo.note_hop(&m, &mut header, current, c.dim, c.dir);
+                        current = m.neighbor(current, c.dim, c.dir).expect("existing hop");
+                        assert!(!faults.is_node_faulty(current));
+                    }
+                    RouteDecision::Absorb => {
+                        let blocked = algo
+                            .deterministic_output(&m, &header, current)
+                            .unwrap_or((0, Direction::Plus));
+                        assert!(algo.reroute_on_fault(&m, &faults, &mut header, current, blocked));
+                        header.reset_for_injection();
+                    }
+                }
+            }
+            assert_eq!(current, dest, "{}", algo.name());
+        }
     }
 
     #[test]
@@ -647,8 +866,28 @@ mod tests {
             "Negative-First (adaptive)"
         );
         assert_eq!(
+            TurnModelRouting::west_first_deterministic().name(),
+            "West-First (deterministic)"
+        );
+        assert_eq!(
+            TurnModelRouting::west_first_adaptive().name(),
+            "West-First (adaptive)"
+        );
+        assert_eq!(
+            TurnModelRouting::west_first_adaptive().min_virtual_channels(&m),
+            2
+        );
+        assert_eq!(
             TurnModelRouting::with_flavor(RoutingFlavor::Adaptive).flavor(),
             RoutingFlavor::Adaptive
+        );
+        assert_eq!(
+            TurnModelRouting::with_flavor(RoutingFlavor::Adaptive).rule(),
+            TurnRule::NegativeFirst
+        );
+        assert_eq!(
+            TurnModelRouting::west_first_adaptive().rule(),
+            TurnRule::WestFirst
         );
     }
 

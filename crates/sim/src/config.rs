@@ -35,9 +35,16 @@ pub enum SimConfigError {
     ZeroMessageLength,
     /// The topology parameters are invalid.
     Topology(torus_topology::NetworkError),
-    /// The routing algorithm cannot operate on this topology (e.g. the
-    /// negative-first turn model on a network with wrapped dimensions).
-    UnsupportedRouting(torus_routing::RoutingTopologyError),
+    /// The routing algorithm cannot operate on this topology (e.g. a turn
+    /// model on a network with wrapped dimensions).
+    UnsupportedRouting {
+        /// Spec-string of the offending topology (e.g. `torus:8x2`).
+        topology: String,
+        /// Name of the rejecting routing algorithm.
+        routing: String,
+        /// The underlying typed rejection.
+        error: torus_routing::RoutingTopologyError,
+    },
 }
 
 impl fmt::Display for SimConfigError {
@@ -53,8 +60,15 @@ impl fmt::Display for SimConfigError {
                 "the workload is configured with zero-length messages (every message needs at least its header flit)"
             ),
             SimConfigError::Topology(e) => write!(f, "invalid topology: {e}"),
-            SimConfigError::UnsupportedRouting(e) => {
-                write!(f, "routing algorithm unsupported on this topology: {e}")
+            SimConfigError::UnsupportedRouting {
+                topology,
+                routing,
+                error,
+            } => {
+                write!(
+                    f,
+                    "routing '{routing}' is unsupported on topology '{topology}': {error}"
+                )
             }
         }
     }
@@ -244,14 +258,20 @@ mod tests {
     #[test]
     fn unsupported_routing_error_renders() {
         use torus_routing::RoutingTopologyError;
-        let e = SimConfigError::UnsupportedRouting(RoutingTopologyError::WrappedDimension {
-            algorithm: "negative-first turn-model",
-            dim: 0,
-            radix: 8,
-        });
+        let e = SimConfigError::UnsupportedRouting {
+            topology: "torus:8x2".into(),
+            routing: "Negative-First (adaptive)".into(),
+            error: RoutingTopologyError::WrappedDimension {
+                algorithm: "negative-first turn-model",
+                shape: "8x8".into(),
+                dim: 0,
+                radix: 8,
+            },
+        };
         let msg = format!("{e}");
-        assert!(msg.contains("unsupported on this topology"));
-        assert!(msg.contains("negative-first"));
+        assert!(msg.contains("unsupported on topology 'torus:8x2'"));
+        assert!(msg.contains("routing 'Negative-First (adaptive)'"));
+        assert!(msg.contains("negative-first turn-model"));
     }
 
     #[test]

@@ -42,9 +42,6 @@
 //! simplest possible way and is used by the equivalence tests and benchmarks
 //! as the executable specification.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod active;
 pub mod config;
 pub mod flit;

@@ -129,7 +129,11 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
         let net = config.topology.build().map_err(SimConfigError::Topology)?;
         algo.supported_on(&net)
-            .map_err(SimConfigError::UnsupportedRouting)?;
+            .map_err(|error| SimConfigError::UnsupportedRouting {
+                topology: config.topology.to_spec_string(),
+                routing: algo.name(),
+                error,
+            })?;
         config.validate(algo.min_virtual_channels(&net))?;
         let n = net.dims();
         let v = config.virtual_channels;
@@ -1080,11 +1084,15 @@ mod tests {
             .expect("turn model must be rejected on wrapped dimensions");
         assert!(matches!(
             err,
-            SimConfigError::UnsupportedRouting(RoutingTopologyError::WrappedDimension {
-                dim: 0,
+            SimConfigError::UnsupportedRouting {
+                error: RoutingTopologyError::WrappedDimension { dim: 0, .. },
                 ..
-            })
+            }
         ));
+        // The rendered message names both the topology spec and the routing.
+        let msg = format!("{err}");
+        assert!(msg.contains("'torus:8x2'"));
+        assert!(msg.contains("Negative-First (adaptive)"));
     }
 
     #[test]

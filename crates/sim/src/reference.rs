@@ -53,7 +53,11 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
     pub fn new(config: SimConfig, faults: FaultSet, algo: A) -> Result<Self, SimConfigError> {
         let net = config.topology.build().map_err(SimConfigError::Topology)?;
         algo.supported_on(&net)
-            .map_err(SimConfigError::UnsupportedRouting)?;
+            .map_err(|error| SimConfigError::UnsupportedRouting {
+                topology: config.topology.to_spec_string(),
+                routing: algo.name(),
+                error,
+            })?;
         config.validate(algo.min_virtual_channels(&net))?;
         let n = net.dims();
         let v = config.virtual_channels;

@@ -305,7 +305,10 @@ fn turn_model_rejected_identically_by_both_engines_on_wrapped_dimensions() {
             ReferenceSimulation::new(config, FaultSet::new(), TurnModelRouting::deterministic())
                 .err()
                 .expect("reference engine must reject the turn model on wrapped dims");
-        assert!(matches!(active, SimConfigError::UnsupportedRouting(_)));
-        assert!(matches!(reference, SimConfigError::UnsupportedRouting(_)));
+        assert!(matches!(active, SimConfigError::UnsupportedRouting { .. }));
+        assert!(matches!(
+            reference,
+            SimConfigError::UnsupportedRouting { .. }
+        ));
     }
 }

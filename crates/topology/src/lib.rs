@@ -47,9 +47,6 @@
 //! assert_eq!(m.neighbor(origin, 0, Direction::Minus), None);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod channel;
 pub mod coords;
 pub mod graph;

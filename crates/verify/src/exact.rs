@@ -1,0 +1,207 @@
+//! Exact channel-dependency-graph extraction from the routing relation.
+//!
+//! Unlike the hand-derived graphs in `torus_routing::cdg` — which re-encode
+//! what the routing functions *should* do — this module extracts the
+//! dependency graph from the actual `(channel held, header state) → channel
+//! requested` transitions of a [`RoutingAlgorithm`], as enumerated by
+//! [`walk_pair`]. The analysed resources are the virtual channels of the
+//! deterministic / escape layer:
+//!
+//! * for a **deterministic-flavour** algorithm every candidate is tracked —
+//!   the whole VC pool belongs to the layer whose acyclicity proves deadlock
+//!   freedom;
+//! * for an **adaptive-flavour** algorithm only the escape candidates are
+//!   tracked, per Duato's theory: adaptive channels may sit on cycles as long
+//!   as the *extended* dependency graph of the escape subfunction — direct
+//!   dependencies between consecutive escape channels plus **indirect**
+//!   dependencies bridged by any run of adaptive hops — stays acyclic.
+//!
+//! Indirect dependencies fall out of a small dataflow: every state carries
+//! the set of tracked resources the message may still hold on arrival. A
+//! tracked hop emits `held × requested` edges and replaces the set with the
+//! hop's own resources; an adaptive hop propagates the set unchanged (the
+//! escape channel stays held by the worm's tail while the head advances); an
+//! absorption clears it (the software layer drains the message and releases
+//! every channel before re-injection — exactly why the paper's Section 4
+//! argument survives faults).
+//!
+//! With [`Granularity::PerChannel`] the same walk is projected onto whole
+//! physical channels, ignoring the virtual-channel split. On a torus this
+//! reproduces the classic dateline cycle from the *real* routing relation —
+//! the negative control the `verify` binary demonstrates.
+
+use crate::relation::{walk_pair, RelationWalk, StateBudgetExceeded, Step};
+use std::collections::{HashSet, VecDeque};
+use torus_faults::FaultSet;
+use torus_routing::cdg::DependencyGraph;
+use torus_routing::RoutingAlgorithm;
+use torus_topology::{DirectedChannel, Direction, Network, NodeId};
+
+/// Resource granularity of the extracted graph.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Granularity {
+    /// One resource per (physical channel, virtual channel) pair — the real
+    /// resource structure the algorithms are deadlock-free over.
+    PerVc,
+    /// One resource per physical channel, merging all its virtual channels —
+    /// the "no VC classes" projection. On wrapped dimensions this is the
+    /// known-cyclic dateline-free model.
+    PerChannel,
+}
+
+/// An exact dependency graph extracted from a routing relation.
+#[derive(Clone, Debug)]
+pub struct ExactCdg {
+    /// The extracted graph over tracked (escape-layer) resources.
+    pub graph: DependencyGraph,
+    /// Virtual channels per physical channel the relation was walked with.
+    pub virtual_channels: usize,
+    /// Resource granularity of the graph's vertex space.
+    pub granularity: Granularity,
+    /// Total states enumerated across all pairs.
+    pub states_explored: usize,
+    /// Number of (source, destination) pairs walked.
+    pub pairs: usize,
+}
+
+/// Number of resource vertices for a network at the given granularity.
+/// Resources are allocated per channel *slot* of the dense id space, so
+/// missing mesh-edge channels leave isolated vertices, mirroring
+/// `torus_routing::cdg`.
+pub fn resource_count(net: &Network, v: usize, granularity: Granularity) -> usize {
+    match granularity {
+        Granularity::PerVc => net.channel_slots() * v,
+        Granularity::PerChannel => net.channel_slots(),
+    }
+}
+
+/// The resource id of virtual channel `vc` on the channel leaving `node`
+/// along `(dim, dir)`.
+pub fn resource_id(
+    net: &Network,
+    node: NodeId,
+    dim: usize,
+    dir: Direction,
+    vc: usize,
+    v: usize,
+    granularity: Granularity,
+) -> usize {
+    let slot = net.channel_id(DirectedChannel::new(node, dim, dir)).index();
+    match granularity {
+        Granularity::PerVc => slot * v + vc,
+        Granularity::PerChannel => slot,
+    }
+}
+
+/// Folds one pair's [`RelationWalk`] into `graph`: a worklist dataflow over
+/// the sets of tracked resources possibly held on arrival in each state.
+/// Monotone (sets only grow), so it terminates at the least fixpoint; edge
+/// emission is re-run whenever a state's set grows, and the graph
+/// deduplicates.
+pub fn accumulate_cdg(
+    net: &Network,
+    walk: &RelationWalk,
+    v: usize,
+    granularity: Granularity,
+    graph: &mut DependencyGraph,
+) {
+    let n = walk.len();
+    let mut incoming: Vec<HashSet<usize>> = vec![HashSet::new(); n];
+    let mut visited = vec![false; n];
+    let mut queued = vec![false; n];
+    let mut work: VecDeque<usize> = VecDeque::new();
+    visited[walk.start()] = true;
+    queued[walk.start()] = true;
+    work.push_back(walk.start());
+
+    while let Some(s) = work.pop_front() {
+        queued[s] = false;
+        let state = walk.state(s);
+        let held: Vec<usize> = incoming[s].iter().copied().collect();
+        for step in &state.steps {
+            match step {
+                Step::Hop {
+                    dim,
+                    dir,
+                    vcs,
+                    tracked,
+                    next,
+                } => {
+                    let (next, propagated): (usize, Vec<usize>) = if *tracked {
+                        let requested: Vec<usize> = vcs
+                            .iter()
+                            .map(|&vc| resource_id(net, state.node, *dim, *dir, vc, v, granularity))
+                            .collect();
+                        for &h in &held {
+                            for &r in &requested {
+                                graph.add_edge(h, r);
+                            }
+                        }
+                        // After the hop the message holds one of `requested`.
+                        (*next, requested)
+                    } else {
+                        // Adaptive hop: the tracked resources stay held while
+                        // the head advances — Duato's indirect dependencies.
+                        (*next, held.clone())
+                    };
+                    let mut changed = !visited[next];
+                    visited[next] = true;
+                    for r in propagated {
+                        changed |= incoming[next].insert(r);
+                    }
+                    if changed && !queued[next] {
+                        queued[next] = true;
+                        work.push_back(next);
+                    }
+                }
+                Step::Reinject { next } => {
+                    // Absorption releases every held channel.
+                    if !visited[*next] {
+                        visited[*next] = true;
+                        if !queued[*next] {
+                            queued[*next] = true;
+                            work.push_back(*next);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Extracts the exact dependency graph of `algo` on `net` under `faults`,
+/// walking every ordered pair of healthy nodes. `state_budget` bounds the
+/// states of any single pair's walk.
+pub fn extract_exact_cdg<A: RoutingAlgorithm>(
+    net: &Network,
+    algo: &A,
+    faults: &FaultSet,
+    v: usize,
+    granularity: Granularity,
+    state_budget: usize,
+) -> Result<ExactCdg, StateBudgetExceeded> {
+    let mut graph = DependencyGraph::new(resource_count(net, v, granularity));
+    let mut states_explored = 0;
+    let mut pairs = 0;
+    for src in net.nodes() {
+        if faults.is_node_faulty(src) {
+            continue;
+        }
+        for dest in net.nodes() {
+            if dest == src || faults.is_node_faulty(dest) {
+                continue;
+            }
+            let walk = walk_pair(net, algo, faults, v, src, dest, state_budget)?;
+            states_explored += walk.len();
+            pairs += 1;
+            accumulate_cdg(net, &walk, v, granularity, &mut graph);
+        }
+    }
+    Ok(ExactCdg {
+        graph,
+        virtual_channels: v,
+        granularity,
+        states_explored,
+        pairs,
+    })
+}

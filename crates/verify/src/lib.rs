@@ -1,0 +1,364 @@
+//! Static routing verification for the Software-Based fault-tolerant
+//! routing study: exact channel-dependency graphs, cycle witnesses, and
+//! reachability proofs, extracted from the *real* routing implementations
+//! rather than hand-derived models.
+//!
+//! The crate is organised as a small pipeline:
+//!
+//! * [`relation`] — walks a [`torus_routing::RoutingAlgorithm`] exhaustively
+//!   for one (source, destination) pair, materialising the finite state
+//!   graph of every `(node, header) → candidate` transition, including the
+//!   software-layer absorb/reroute/re-inject loop under a fault set;
+//! * [`exact`] — folds walks into an exact per-VC channel dependency graph
+//!   (escape-layer resources only for adaptive algorithms, with Duato-style
+//!   indirect dependencies), whose acyclicity proves deadlock freedom;
+//! * [`reach`] — proves deliver-under-every-schedule per pair, or produces a
+//!   dead-end / livelock witness path;
+//! * [`witness`] — renders cycle and path witnesses as concrete channels and
+//!   coordinates;
+//! * [`matrix`] — sweeps the supported (topology × routing × VC × fault)
+//!   matrix and collects verdicts;
+//! * [`report`] — renders a matrix run as `VERIFY.json` and console text.
+//!
+//! The `verify` binary in `torus-bench` drives [`matrix`] as a CI gate.
+
+pub mod exact;
+pub mod matrix;
+pub mod reach;
+pub mod relation;
+pub mod report;
+pub mod witness;
+
+pub use exact::{extract_exact_cdg, ExactCdg, Granularity};
+pub use matrix::{run_matrix, CaseResult, MatrixKind, MatrixReport, Verdict};
+pub use reach::{check_reachability, PairVerdict, ReachReport};
+pub use relation::{walk_pair, RelationWalk, StateBudgetExceeded};
+
+/// Convenience re-exports for `use swbft_verify::prelude::*;`.
+pub mod prelude {
+    pub use crate::exact::{extract_exact_cdg, ExactCdg, Granularity};
+    pub use crate::matrix::{run_matrix, MatrixKind, MatrixReport, Verdict};
+    pub use crate::reach::{check_reachability, PairVerdict, ReachReport};
+    pub use crate::relation::{walk_pair, RelationWalk};
+    pub use crate::report::{render_text, to_json};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torus_faults::FaultSet;
+    use torus_routing::{
+        RouteDecision, RouteHeader, RoutingAlgorithm, RoutingFlavor, SwBasedRouting,
+        TurnModelRouting,
+    };
+    use torus_topology::{Direction, Network, NodeId, TopologySpec};
+
+    fn net(spec: &str) -> Network {
+        TopologySpec::parse(spec)
+            .expect("valid spec")
+            .build()
+            .expect("topology builds")
+    }
+
+    #[test]
+    fn escape_layer_cdg_is_acyclic_for_swbased_on_small_tori() {
+        for spec in ["torus:4x2", "torus:5x2", "torus:4x3"] {
+            let n = net(spec);
+            for (label, algo) in [
+                ("det", SwBasedRouting::deterministic()),
+                ("adaptive", SwBasedRouting::adaptive()),
+            ] {
+                let v = algo.min_virtual_channels(&n);
+                let cdg = extract_exact_cdg(
+                    &n,
+                    &algo,
+                    &FaultSet::new(),
+                    v,
+                    Granularity::PerVc,
+                    matrix::STATE_BUDGET,
+                )
+                .expect("walk fits budget");
+                assert!(
+                    cdg.graph.find_cycle().is_none(),
+                    "{spec}/{label}: escape-layer CDG must be acyclic"
+                );
+                assert!(
+                    cdg.graph.num_edges() > 0,
+                    "{spec}/{label}: CDG is non-trivial"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn merged_channel_projection_is_cyclic_on_a_torus_and_witness_is_genuine() {
+        let n = net("torus:8x2");
+        let algo = SwBasedRouting::deterministic();
+        let v = algo.min_virtual_channels(&n);
+        let cdg = extract_exact_cdg(
+            &n,
+            &algo,
+            &FaultSet::new(),
+            v,
+            Granularity::PerChannel,
+            matrix::STATE_BUDGET,
+        )
+        .expect("walk fits budget");
+        let cycle = cdg
+            .graph
+            .find_cycle()
+            .expect("dateline-free projection must be cyclic on a torus");
+        assert!(cycle.len() >= 2);
+        for i in 0..cycle.len() {
+            let from = cycle[i];
+            let to = cycle[(i + 1) % cycle.len()];
+            assert!(
+                cdg.graph.has_edge(from, to),
+                "witness edge {from}->{to} missing from the extracted graph"
+            );
+        }
+        // The same relation at per-VC granularity is acyclic: the dateline
+        // VC classes are exactly what breaks the cycle.
+        let per_vc = extract_exact_cdg(
+            &n,
+            &algo,
+            &FaultSet::new(),
+            v,
+            Granularity::PerVc,
+            matrix::STATE_BUDGET,
+        )
+        .expect("walk fits budget");
+        assert!(per_vc.graph.find_cycle().is_none());
+    }
+
+    #[test]
+    fn every_algorithm_delivers_fault_free_on_its_supported_shapes() {
+        for (spec, n) in [
+            ("torus:4x2", net("torus:4x2")),
+            ("mesh:4x2", net("mesh:4x2")),
+        ] {
+            for (label, algo) in matrix::matrix_routings() {
+                if algo.supported_on(&n).is_err() {
+                    continue;
+                }
+                let v = algo.min_virtual_channels(&n);
+                let report =
+                    check_reachability(&n, &algo, &FaultSet::new(), v, matrix::STATE_BUDGET)
+                        .expect("walk fits budget");
+                assert_eq!(
+                    report.delivered, report.pairs,
+                    "{spec}/{label}: every pair must deliver fault-free"
+                );
+                assert!(report.first_failure.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn swbased_survives_a_fault_and_the_escape_cdg_stays_acyclic() {
+        let n = net("torus:4x2");
+        let mut faults = FaultSet::new();
+        faults.fail_node(NodeId(5));
+        assert!(faults.preserves_connectivity(&n));
+        for algo in [SwBasedRouting::deterministic(), SwBasedRouting::adaptive()] {
+            let v = algo.min_virtual_channels(&n);
+            let (cdg, reach) =
+                matrix::verify_case(&n, &algo, &faults, v).expect("walk fits budget");
+            assert!(cdg.graph.find_cycle().is_none());
+            assert_eq!(reach.delivered, reach.pairs);
+        }
+    }
+
+    #[test]
+    fn dead_end_is_detected_with_a_witness_path() {
+        // A 3-node open line with the middle node failed: (0) and (2) are
+        // disconnected, so the software layer must report a dead end.
+        let n = net("mesh:3x1");
+        let mut faults = FaultSet::new();
+        faults.fail_node(NodeId(1));
+        let algo = SwBasedRouting::deterministic();
+        let v = algo.min_virtual_channels(&n);
+        let walk = walk_pair(&n, &algo, &faults, v, NodeId(0), NodeId(2), 1 << 12)
+            .expect("tiny walk fits budget");
+        match reach::check_pair(&walk) {
+            PairVerdict::DeadEnd { path } => {
+                assert_eq!(
+                    path.first(),
+                    Some(&NodeId(0)),
+                    "witness starts at injection"
+                );
+                assert!(!path.is_empty());
+            }
+            other => panic!("expected a dead end, got {other:?}"),
+        }
+    }
+
+    /// A deliberately broken algorithm that always forwards along dimension
+    /// 0 Plus: on a ring it spins forever, exercising livelock detection.
+    #[derive(Clone, Debug)]
+    struct SpinForever;
+
+    impl RoutingAlgorithm for SpinForever {
+        fn name(&self) -> String {
+            "spin-forever".to_string()
+        }
+
+        fn flavor(&self) -> RoutingFlavor {
+            RoutingFlavor::Deterministic
+        }
+
+        fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+            SwBasedRouting::deterministic().make_header(net, src, dest)
+        }
+
+        fn min_virtual_channels(&self, _net: &Network) -> usize {
+            1
+        }
+
+        fn deterministic_output(
+            &self,
+            _net: &Network,
+            _header: &RouteHeader,
+            _current: NodeId,
+        ) -> Option<(usize, Direction)> {
+            Some((0, Direction::Plus))
+        }
+
+        fn route(
+            &self,
+            _net: &Network,
+            _faults: &FaultSet,
+            _header: &mut RouteHeader,
+            _current: NodeId,
+            _v: usize,
+        ) -> RouteDecision {
+            RouteDecision::Forward(vec![torus_routing::OutputCandidate {
+                dim: 0,
+                dir: Direction::Plus,
+                vcs: vec![0],
+                is_escape: true,
+            }])
+        }
+
+        fn note_hop(
+            &self,
+            _net: &Network,
+            _header: &mut RouteHeader,
+            _current: NodeId,
+            _dim: usize,
+            _dir: Direction,
+        ) {
+        }
+
+        fn reroute_on_fault(
+            &self,
+            _net: &Network,
+            _faults: &FaultSet,
+            _header: &mut RouteHeader,
+            _current: NodeId,
+            _blocked: (usize, Direction),
+        ) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn livelock_is_detected_with_a_node_cycle_witness() {
+        let n = net("torus:4x1");
+        let algo = SpinForever;
+        let walk = walk_pair(
+            &n,
+            &algo,
+            &FaultSet::new(),
+            1,
+            NodeId(0),
+            NodeId(2),
+            1 << 12,
+        )
+        .expect("tiny walk fits budget");
+        match reach::check_pair(&walk) {
+            PairVerdict::Livelock { cycle } => {
+                assert!(!cycle.is_empty());
+                assert!(cycle.len() <= n.num_nodes());
+            }
+            other => panic!("expected a livelock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn turn_model_exact_cdgs_are_acyclic_on_open_shapes() {
+        for spec in ["mesh:4x2", "mesh:3x3", "hypercube:3", "mixed:4o,3o"] {
+            let n = net(spec);
+            for algo in [
+                TurnModelRouting::deterministic(),
+                TurnModelRouting::adaptive(),
+                TurnModelRouting::west_first_deterministic(),
+                TurnModelRouting::west_first_adaptive(),
+            ] {
+                let v = algo.min_virtual_channels(&n);
+                let cdg = extract_exact_cdg(
+                    &n,
+                    &algo,
+                    &FaultSet::new(),
+                    v,
+                    Granularity::PerVc,
+                    matrix::STATE_BUDGET,
+                )
+                .expect("walk fits budget");
+                assert!(
+                    cdg.graph.find_cycle().is_none(),
+                    "{spec}/{}: turn-model exact CDG must be acyclic",
+                    algo.name()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn smoke_matrix_proves_every_supported_case() {
+        let report = run_matrix(MatrixKind::Smoke);
+        assert_eq!(
+            report.violations(),
+            0,
+            "smoke matrix must be violation-free"
+        );
+        let (proved, rejected, _) = report.tallies();
+        assert!(proved > 0, "smoke matrix proves at least one case");
+        assert!(
+            rejected > 0,
+            "turn models on the wrapped smoke shapes must be rejected"
+        );
+        for c in &report.cases {
+            if c.verdict == Verdict::Rejected {
+                assert!(
+                    c.detail.contains(&c.topology) || c.detail.contains("wraps around"),
+                    "rejection message names the topology: {}",
+                    c.detail
+                );
+            }
+        }
+        let json = report::to_json(&report);
+        assert!(json.contains("\"schema\": \"swbft-verify-v1\""));
+        assert!(json.contains("\"failed\": 0"));
+        let text = report::render_text(&report);
+        assert!(text.contains("0 failed"));
+    }
+
+    #[test]
+    fn naive_demo_fails_with_a_channel_cycle_witness() {
+        let case = matrix::naive_torus_demo();
+        assert_eq!(case.verdict, Verdict::Failed);
+        assert!(!case.witness.is_empty());
+        assert!(case
+            .witness
+            .last()
+            .expect("non-empty")
+            .contains("back to c0"));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_control_characters() {
+        assert_eq!(report::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(report::json_escape("\u{1}"), "\\u0001");
+    }
+}

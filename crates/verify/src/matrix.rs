@@ -1,0 +1,435 @@
+//! The whole-matrix verification driver.
+//!
+//! Sweeps the supported (topology × routing × virtual-channel × fault)
+//! matrix, running both static checks — exact CDG acyclicity and
+//! reachability — for every combination, and collecting per-case verdicts
+//! into a [`MatrixReport`] that renders to text and to `VERIFY.json`
+//! ([`crate::report`]).
+//!
+//! Verdicts are three-valued:
+//!
+//! * **proved** — the escape-layer CDG is acyclic and every healthy pair
+//!   delivers under every schedule;
+//! * **rejected** — the routing algorithm refuses the topology up front with
+//!   a typed, self-describing error (e.g. a turn model on wrapped
+//!   dimensions); a rejection is a correct outcome, not a violation;
+//! * **failed** — a check found a violation; the case carries a concrete
+//!   witness (the dependency cycle's channels, or the path to a dead
+//!   end/livelock).
+
+use crate::exact::{accumulate_cdg, resource_count, ExactCdg, Granularity};
+use crate::reach::{record_pair, ReachReport};
+use crate::relation::walk_pair;
+use crate::witness::{describe_cycle, describe_pair_verdict};
+use swbft_core::RoutingChoice;
+use torus_faults::FaultSet;
+use torus_routing::cdg::DependencyGraph;
+use torus_routing::{AnyRouting, RoutingAlgorithm, TurnModelRouting};
+use torus_topology::{Network, NodeId, TopologySpec};
+
+/// Default per-pair state budget. Far above anything the supported shapes
+/// produce (the largest full-matrix walks stay in the low thousands), so
+/// hitting it indicates a blown-up relation — reported as a failure, not a
+/// panic.
+pub const STATE_BUDGET: usize = 1 << 20;
+
+/// Which slice of the matrix to verify.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatrixKind {
+    /// Small shapes, minimal VC configs, one fault case — the CI gate.
+    Smoke,
+    /// Every supported shape of the figure matrix, minimal and +1 VC
+    /// configs, several enumerated fault sets.
+    Full,
+}
+
+impl MatrixKind {
+    /// Parses `smoke` / `full`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "smoke" => Ok(MatrixKind::Smoke),
+            "full" => Ok(MatrixKind::Full),
+            other => Err(format!("unknown matrix '{other}' (use smoke|full)")),
+        }
+    }
+
+    /// Lower-case name ("smoke" / "full").
+    pub fn name(self) -> &'static str {
+        match self {
+            MatrixKind::Smoke => "smoke",
+            MatrixKind::Full => "full",
+        }
+    }
+}
+
+/// Verdict of one matrix case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Verdict {
+    /// Acyclicity and delivery proved.
+    Proved,
+    /// The routing rejects the topology with a typed error.
+    Rejected,
+    /// A check found a violation (witness attached).
+    Failed,
+}
+
+impl Verdict {
+    /// Lower-case name ("proved" / "rejected" / "failed").
+    pub fn name(self) -> &'static str {
+        match self {
+            Verdict::Proved => "proved",
+            Verdict::Rejected => "rejected",
+            Verdict::Failed => "failed",
+        }
+    }
+}
+
+/// Outcome of one (topology, routing, V, faults) combination.
+#[derive(Clone, Debug)]
+pub struct CaseResult {
+    /// Topology spec-string (e.g. `torus:8x2`).
+    pub topology: String,
+    /// Routing label (e.g. `deterministic`, `west-first`).
+    pub routing: String,
+    /// Virtual channels per physical channel (0 for rejected cases, which
+    /// never reach VC selection).
+    pub virtual_channels: usize,
+    /// Fault-case label (e.g. `nf=0`, `node@12`).
+    pub faults: String,
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Vertices of the extracted escape-layer graph.
+    pub cdg_vertices: usize,
+    /// Edges of the extracted escape-layer graph.
+    pub cdg_edges: usize,
+    /// Healthy ordered pairs checked for reachability.
+    pub pairs: usize,
+    /// Pairs proved to deliver.
+    pub delivered: usize,
+    /// Total relation states enumerated.
+    pub states: usize,
+    /// Human-readable detail: the rejection message, or the failure reason.
+    pub detail: String,
+    /// Witness lines on failure (dependency-cycle channels or a path).
+    pub witness: Vec<String>,
+}
+
+/// A complete matrix run.
+#[derive(Clone, Debug)]
+pub struct MatrixReport {
+    /// Which matrix was run.
+    pub kind: MatrixKind,
+    /// Per-case outcomes, in sweep order.
+    pub cases: Vec<CaseResult>,
+}
+
+impl MatrixReport {
+    /// Number of failed cases (rejections are not violations).
+    pub fn violations(&self) -> usize {
+        self.cases
+            .iter()
+            .filter(|c| c.verdict == Verdict::Failed)
+            .count()
+    }
+
+    /// Counts per verdict: (proved, rejected, failed).
+    pub fn tallies(&self) -> (usize, usize, usize) {
+        let mut t = (0, 0, 0);
+        for c in &self.cases {
+            match c.verdict {
+                Verdict::Proved => t.0 += 1,
+                Verdict::Rejected => t.1 += 1,
+                Verdict::Failed => t.2 += 1,
+            }
+        }
+        t
+    }
+}
+
+/// The topology slice of a matrix.
+pub fn matrix_topologies(kind: MatrixKind) -> Vec<TopologySpec> {
+    let mut specs = vec!["torus:4x2", "mesh:4x2", "hypercube:3", "mixed:4,3o"];
+    if kind == MatrixKind::Full {
+        specs.extend([
+            "torus:5x2",
+            "torus:4x3",
+            "torus:8x2",
+            "mesh:8x2",
+            "mesh:3x3",
+            "hypercube:4",
+            "hypercube:5",
+            "mixed:4,4,3o",
+            "mixed:8,4o",
+        ]);
+    }
+    specs
+        .into_iter()
+        .map(|s| TopologySpec::parse(s).expect("matrix topology specs are valid"))
+        .collect()
+}
+
+/// The routing slice: every [`RoutingChoice`] plus the west-first turn-model
+/// flavours, which prove the extractor is not negative-first-specific.
+pub fn matrix_routings() -> Vec<(String, AnyRouting)> {
+    let mut out: Vec<(String, AnyRouting)> = RoutingChoice::ALL
+        .iter()
+        .map(|c| (c.label().to_string(), c.algorithm()))
+        .collect();
+    out.push((
+        "west-first".to_string(),
+        AnyRouting::TurnModel(TurnModelRouting::west_first_adaptive()),
+    ));
+    out.push((
+        "west-first-det".to_string(),
+        AnyRouting::TurnModel(TurnModelRouting::west_first_deterministic()),
+    ));
+    out
+}
+
+/// Enumerated fault cases for a topology: always the fault-free network,
+/// plus deterministically chosen small node-fault sets that preserve
+/// connectivity (sets that would disconnect the network are skipped — the
+/// delivery proof is only meaningful on a connected healthy subnetwork).
+pub fn matrix_fault_cases(net: &Network, kind: MatrixKind) -> Vec<(String, FaultSet)> {
+    let mut cases = vec![("nf=0".to_string(), FaultSet::new())];
+    let n = net.num_nodes() as u32;
+    let picks: Vec<Vec<u32>> = match kind {
+        MatrixKind::Smoke => vec![vec![n / 2]],
+        MatrixKind::Full => vec![vec![n / 2], vec![n / 3], vec![n / 4, (3 * n) / 4]],
+    };
+    for nodes in picks {
+        let mut uniq: Vec<u32> = nodes;
+        uniq.sort_unstable();
+        uniq.dedup();
+        let mut faults = FaultSet::new();
+        for &id in &uniq {
+            faults.fail_node(NodeId(id));
+        }
+        if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(net) {
+            continue;
+        }
+        let label = format!(
+            "nodes@{}",
+            uniq.iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        if !cases.iter().any(|(l, _)| *l == label) {
+            cases.push((label, faults));
+        }
+    }
+    cases
+}
+
+/// Runs both static checks for one fully specified case, sharing a single
+/// relation walk per pair between the CDG accumulation and the reachability
+/// verdicts.
+pub fn verify_case<A: RoutingAlgorithm>(
+    net: &Network,
+    algo: &A,
+    faults: &FaultSet,
+    v: usize,
+) -> Result<(ExactCdg, ReachReport), crate::relation::StateBudgetExceeded> {
+    let granularity = Granularity::PerVc;
+    let mut graph = DependencyGraph::new(resource_count(net, v, granularity));
+    let mut reach = ReachReport::default();
+    let mut states_explored = 0;
+    let mut pairs = 0;
+    for src in net.nodes() {
+        if faults.is_node_faulty(src) {
+            continue;
+        }
+        for dest in net.nodes() {
+            if dest == src || faults.is_node_faulty(dest) {
+                continue;
+            }
+            let walk = walk_pair(net, algo, faults, v, src, dest, STATE_BUDGET)?;
+            states_explored += walk.len();
+            pairs += 1;
+            accumulate_cdg(net, &walk, v, granularity, &mut graph);
+            record_pair(&mut reach, &walk, src, dest);
+        }
+    }
+    let cdg = ExactCdg {
+        graph,
+        virtual_channels: v,
+        granularity,
+        states_explored,
+        pairs,
+    };
+    Ok((cdg, reach))
+}
+
+fn case_from_checks(
+    net: &Network,
+    topology: &str,
+    routing: &str,
+    v: usize,
+    fault_label: &str,
+    cdg: &ExactCdg,
+    reach: &ReachReport,
+) -> CaseResult {
+    let mut verdict = Verdict::Proved;
+    let detail;
+    let mut witness = Vec::new();
+    if let Some(cycle) = cdg.graph.find_cycle() {
+        verdict = Verdict::Failed;
+        detail = format!(
+            "escape-layer channel dependency graph has a cycle of {} resources",
+            cycle.len()
+        );
+        witness = describe_cycle(net, &cycle, v, cdg.granularity);
+    } else if let Some(failure) = &reach.first_failure {
+        verdict = Verdict::Failed;
+        detail = format!(
+            "{} of {} pairs failed to deliver ({} dead ends, {} livelocks); first: {} -> {}",
+            reach.pairs - reach.delivered,
+            reach.pairs,
+            reach.dead_ends,
+            reach.livelocks,
+            net.coord(failure.src),
+            net.coord(failure.dest),
+        );
+        witness = describe_pair_verdict(net, &failure.verdict);
+    } else {
+        detail = format!(
+            "acyclic CDG ({} edges) and all {} pairs deliver",
+            cdg.graph.num_edges(),
+            reach.pairs
+        );
+    }
+    CaseResult {
+        topology: topology.to_string(),
+        routing: routing.to_string(),
+        virtual_channels: v,
+        faults: fault_label.to_string(),
+        verdict,
+        cdg_vertices: cdg.graph.num_vertices(),
+        cdg_edges: cdg.graph.num_edges(),
+        pairs: reach.pairs,
+        delivered: reach.delivered,
+        states: cdg.states_explored,
+        detail,
+        witness,
+    }
+}
+
+/// Runs the whole matrix, calling `progress` with a short line per case as
+/// it completes (pass a closure that prints, or one that ignores).
+pub fn run_matrix_with_progress(
+    kind: MatrixKind,
+    mut progress: impl FnMut(&CaseResult),
+) -> MatrixReport {
+    let mut cases = Vec::new();
+    for spec in matrix_topologies(kind) {
+        let topology = spec.to_spec_string();
+        let net = spec.build().expect("matrix topologies build");
+        for (routing, algo) in matrix_routings() {
+            if let Err(e) = algo.supported_on(&net) {
+                let case = CaseResult {
+                    topology: topology.clone(),
+                    routing: routing.clone(),
+                    virtual_channels: 0,
+                    faults: "-".to_string(),
+                    verdict: Verdict::Rejected,
+                    cdg_vertices: 0,
+                    cdg_edges: 0,
+                    pairs: 0,
+                    delivered: 0,
+                    states: 0,
+                    detail: e.to_string(),
+                    witness: Vec::new(),
+                };
+                progress(&case);
+                cases.push(case);
+                continue;
+            }
+            let min_v = algo.min_virtual_channels(&net);
+            let vc_configs = match kind {
+                MatrixKind::Smoke => vec![min_v],
+                MatrixKind::Full => vec![min_v, min_v + 1],
+            };
+            for v in vc_configs {
+                for (fault_label, faults) in matrix_fault_cases(&net, kind) {
+                    let case = match verify_case(&net, &algo, &faults, v) {
+                        Ok((cdg, reach)) => case_from_checks(
+                            &net,
+                            &topology,
+                            &routing,
+                            v,
+                            &fault_label,
+                            &cdg,
+                            &reach,
+                        ),
+                        Err(e) => CaseResult {
+                            topology: topology.clone(),
+                            routing: routing.clone(),
+                            virtual_channels: v,
+                            faults: fault_label.clone(),
+                            verdict: Verdict::Failed,
+                            cdg_vertices: 0,
+                            cdg_edges: 0,
+                            pairs: 0,
+                            delivered: 0,
+                            states: 0,
+                            detail: e.to_string(),
+                            witness: Vec::new(),
+                        },
+                    };
+                    progress(&case);
+                    cases.push(case);
+                }
+            }
+        }
+    }
+    MatrixReport { kind, cases }
+}
+
+/// Runs the whole matrix without progress output.
+pub fn run_matrix(kind: MatrixKind) -> MatrixReport {
+    run_matrix_with_progress(kind, |_| {})
+}
+
+/// The known-cyclic negative control: dimension-order routing on a torus
+/// with the virtual channels merged away (the dateline-free projection of
+/// the real routing relation). Returns the case with its cycle witness —
+/// the `verify` binary prints it and exits nonzero, demonstrating that the
+/// extractor actually detects deadlock-capable configurations.
+pub fn naive_torus_demo() -> CaseResult {
+    let spec = TopologySpec::parse("torus:8x2").expect("valid spec");
+    let net = spec.build().expect("torus builds");
+    let algo = torus_routing::SwBasedRouting::deterministic();
+    let v = algo.min_virtual_channels(&net);
+    let faults = FaultSet::new();
+    let cdg = crate::exact::extract_exact_cdg(
+        &net,
+        &algo,
+        &faults,
+        v,
+        Granularity::PerChannel,
+        STATE_BUDGET,
+    )
+    .expect("torus walk fits the state budget");
+    let cycle = cdg
+        .graph
+        .find_cycle()
+        .expect("the dateline-free torus projection is cyclic");
+    CaseResult {
+        topology: spec.to_spec_string(),
+        routing: "deterministic (VC classes merged)".to_string(),
+        virtual_channels: v,
+        faults: "nf=0".to_string(),
+        verdict: Verdict::Failed,
+        cdg_vertices: cdg.graph.num_vertices(),
+        cdg_edges: cdg.graph.num_edges(),
+        pairs: cdg.pairs,
+        delivered: 0,
+        states: cdg.states_explored,
+        detail: format!(
+            "without dateline VC classes the exact CDG closes a cycle of {} channels",
+            cycle.len()
+        ),
+        witness: describe_cycle(&net, &cycle, v, Granularity::PerChannel),
+    }
+}

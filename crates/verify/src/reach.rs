@@ -1,0 +1,203 @@
+//! Static reachability and progress checking over the routing relation.
+//!
+//! For every (source, destination) pair the checker inspects the pair's
+//! complete state graph ([`RelationWalk`]) and proves one of:
+//!
+//! * **Delivers** — every maximal path through the relation ends in delivery
+//!   at the final destination, regardless of which permitted candidate the
+//!   virtual-channel allocator picks at each hop. This is the static
+//!   counterpart of the simulator's "no message is ever dropped" invariant,
+//!   and it covers *all* adversarial schedules at once.
+//! * **Dead end** — some reachable state absorbs the message and the
+//!   software layer finds no route (`reroute_on_fault` returns `false`),
+//!   with the hop-by-hop witness path from injection.
+//! * **Livelock** — the state graph contains a reachable cycle: some
+//!   schedule routes the message forever without delivering, again with a
+//!   concrete witness (the node cycle).
+//!
+//! Because the walk enumerates header states exactly, a cycle here is a real
+//! property of the routing relation, not a sampling artefact; conversely an
+//! acyclic state graph whose sinks are all deliveries *proves* progress for
+//! the pair.
+
+use crate::relation::{walk_pair, RelationWalk, StateBudgetExceeded, Step, Terminal};
+use torus_faults::FaultSet;
+use torus_routing::RoutingAlgorithm;
+use torus_topology::{Network, NodeId};
+
+/// Typed verdict for one (source, destination) pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PairVerdict {
+    /// Every schedule delivers the message.
+    Delivers,
+    /// A reachable state is a dead end; the witness is the node path from
+    /// injection to the dead state (consecutive entries may repeat a node
+    /// across an absorb/re-inject boundary).
+    DeadEnd {
+        /// Node path from the injection state to the dead state.
+        path: Vec<NodeId>,
+    },
+    /// The state graph has a reachable cycle; the witness is the node cycle.
+    Livelock {
+        /// Nodes of the cyclic run of states.
+        cycle: Vec<NodeId>,
+    },
+}
+
+/// First failing pair of a reachability sweep.
+#[derive(Clone, Debug)]
+pub struct PairFailure {
+    /// Source node of the failing pair.
+    pub src: NodeId,
+    /// Destination node of the failing pair.
+    pub dest: NodeId,
+    /// The failing verdict (never [`PairVerdict::Delivers`]).
+    pub verdict: PairVerdict,
+}
+
+/// Summary of a whole-network reachability sweep.
+#[derive(Clone, Debug, Default)]
+pub struct ReachReport {
+    /// Ordered healthy pairs checked.
+    pub pairs: usize,
+    /// Pairs proved to deliver under every schedule.
+    pub delivered: usize,
+    /// Pairs with a reachable dead end.
+    pub dead_ends: usize,
+    /// Pairs with a reachable livelock cycle.
+    pub livelocks: usize,
+    /// Total states enumerated.
+    pub states_explored: usize,
+    /// Largest single-pair state graph.
+    pub max_states_per_pair: usize,
+    /// First failure encountered, with its witness.
+    pub first_failure: Option<PairFailure>,
+}
+
+/// Returns each step's successor state ids.
+fn successors(steps: &[Step]) -> impl Iterator<Item = usize> + '_ {
+    steps.iter().map(|s| match s {
+        Step::Hop { next, .. } | Step::Reinject { next } => *next,
+    })
+}
+
+/// Classifies one pair's state graph. Dead ends take precedence over
+/// livelocks in the verdict (both are reported in sweep counts via separate
+/// pairs, but a single pair gets its most actionable witness).
+pub fn check_pair(walk: &RelationWalk) -> PairVerdict {
+    // Breadth-first search with parents: find a dead terminal.
+    let mut parent: Vec<Option<usize>> = vec![None; walk.len()];
+    let mut seen = vec![false; walk.len()];
+    let mut queue = std::collections::VecDeque::new();
+    seen[walk.start()] = true;
+    queue.push_back(walk.start());
+    while let Some(s) = queue.pop_front() {
+        let state = walk.state(s);
+        if state.terminal == Some(Terminal::Dead) {
+            let mut path = vec![state.node];
+            let mut at = s;
+            while let Some(p) = parent[at] {
+                path.push(walk.state(p).node);
+                at = p;
+            }
+            path.reverse();
+            return PairVerdict::DeadEnd { path };
+        }
+        for next in successors(&state.steps) {
+            if !seen[next] {
+                seen[next] = true;
+                parent[next] = Some(s);
+                queue.push_back(next);
+            }
+        }
+    }
+
+    // Three-colour DFS: find a cycle (livelock) and extract its node run.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Colour {
+        White,
+        Grey,
+        Black,
+    }
+    let mut colour = vec![Colour::White; walk.len()];
+    let mut stack: Vec<(usize, usize)> = vec![(walk.start(), 0)];
+    colour[walk.start()] = Colour::Grey;
+    while let Some(&mut (s, ref mut idx)) = stack.last_mut() {
+        let succs: Vec<usize> = successors(&walk.state(s).steps).collect();
+        if *idx < succs.len() {
+            let child = succs[*idx];
+            *idx += 1;
+            match colour[child] {
+                Colour::Grey => {
+                    let pos = stack
+                        .iter()
+                        .position(|&(u, _)| u == child)
+                        .expect("grey states are always on the DFS stack");
+                    let cycle = stack[pos..]
+                        .iter()
+                        .map(|&(u, _)| walk.state(u).node)
+                        .collect();
+                    return PairVerdict::Livelock { cycle };
+                }
+                Colour::White => {
+                    colour[child] = Colour::Grey;
+                    stack.push((child, 0));
+                }
+                Colour::Black => {}
+            }
+        } else {
+            colour[s] = Colour::Black;
+            stack.pop();
+        }
+    }
+    PairVerdict::Delivers
+}
+
+/// Sweeps every ordered pair of healthy nodes, proving delivery or
+/// collecting the first witnessed failure.
+pub fn check_reachability<A: RoutingAlgorithm>(
+    net: &Network,
+    algo: &A,
+    faults: &FaultSet,
+    v: usize,
+    state_budget: usize,
+) -> Result<ReachReport, StateBudgetExceeded> {
+    let mut report = ReachReport::default();
+    for src in net.nodes() {
+        if faults.is_node_faulty(src) {
+            continue;
+        }
+        for dest in net.nodes() {
+            if dest == src || faults.is_node_faulty(dest) {
+                continue;
+            }
+            let walk = walk_pair(net, algo, faults, v, src, dest, state_budget)?;
+            record_pair(&mut report, &walk, src, dest);
+        }
+    }
+    Ok(report)
+}
+
+/// Folds one pair's verdict into a sweep report (shared with the matrix
+/// driver, which interleaves reachability with CDG accumulation over a
+/// single walk per pair).
+pub fn record_pair(report: &mut ReachReport, walk: &RelationWalk, src: NodeId, dest: NodeId) {
+    report.pairs += 1;
+    report.states_explored += walk.len();
+    report.max_states_per_pair = report.max_states_per_pair.max(walk.len());
+    match check_pair(walk) {
+        PairVerdict::Delivers => report.delivered += 1,
+        verdict @ PairVerdict::DeadEnd { .. } => {
+            report.dead_ends += 1;
+            if report.first_failure.is_none() {
+                report.first_failure = Some(PairFailure { src, dest, verdict });
+            }
+        }
+        verdict @ PairVerdict::Livelock { .. } => {
+            report.livelocks += 1;
+            if report.first_failure.is_none() {
+                report.first_failure = Some(PairFailure { src, dest, verdict });
+            }
+        }
+    }
+}

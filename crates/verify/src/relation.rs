@@ -1,0 +1,245 @@
+//! Exhaustive enumeration of a routing relation as a finite state graph.
+//!
+//! A routing algorithm, observed from the network's point of view, is a
+//! relation between *states* — (current node, message header) pairs — and the
+//! channels it requests next. Because every header field is bounded (the via
+//! chain, the forced-direction overrides, the dateline flags, the shrinking
+//! misroute budget), the set of states reachable from one injection is
+//! finite, and the whole relation can be walked exactly: no simulation, no
+//! sampling, no hand-derived model. [`walk_pair`] drives the real
+//! [`RoutingAlgorithm`] implementation — `route`, `note_hop`,
+//! `deterministic_output` and the software-layer `reroute_on_fault`, exactly
+//! as the simulator engines do — and materialises every transition the
+//! algorithm can take for one (source, destination) pair under a fixed fault
+//! set.
+//!
+//! The resulting [`RelationWalk`] is the common substrate of the two static
+//! checks: exact channel-dependency-graph extraction
+//! ([`crate::exact`]) and reachability/progress verification
+//! ([`crate::reach`]).
+
+use std::collections::HashMap;
+use torus_faults::FaultSet;
+use torus_routing::{RouteDecision, RouteHeader, RoutingAlgorithm};
+use torus_topology::{Direction, Network, NodeId};
+
+/// Index of a state inside a [`RelationWalk`].
+pub type StateId = usize;
+
+/// One outgoing transition of a routing state.
+#[derive(Clone, Debug)]
+pub enum Step {
+    /// The head flit crosses the channel `(dim, dir)` out of the state's
+    /// node, riding one of the listed virtual channels.
+    Hop {
+        /// Dimension of the crossed channel.
+        dim: usize,
+        /// Direction of the crossed channel.
+        dir: Direction,
+        /// Virtual channels the algorithm permits on this candidate.
+        vcs: Vec<usize>,
+        /// Whether the candidate belongs to the analysed (deterministic /
+        /// escape) layer: all candidates of a deterministic-flavour
+        /// algorithm, only the escape candidates of an adaptive one.
+        tracked: bool,
+        /// State reached after the hop.
+        next: StateId,
+    },
+    /// The message is absorbed at the node (its requested output is faulty),
+    /// its header is rewritten by the software layer, and it is re-injected
+    /// at the same node — releasing every channel it held.
+    Reinject {
+        /// State the rewritten message is re-injected into.
+        next: StateId,
+    },
+}
+
+/// Terminal classification of a state without outgoing transitions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Terminal {
+    /// The message is consumed at its final destination.
+    Delivered,
+    /// The message was absorbed and the software layer found no route
+    /// (`reroute_on_fault` returned `false`): a dead end.
+    Dead,
+}
+
+/// One state of the walk: the routing-relevant part of a (node, header)
+/// pair. The stored header is the representative first reached; hop and
+/// absorption counters are ignored when states are identified.
+#[derive(Clone, Debug)]
+pub struct StateNode {
+    /// Node the message head occupies.
+    pub node: NodeId,
+    /// Representative header (counters not normalised).
+    pub header: RouteHeader,
+    /// Every transition the algorithm permits from this state.
+    pub steps: Vec<Step>,
+    /// Terminal classification, if the state has no outgoing transition.
+    pub terminal: Option<Terminal>,
+}
+
+/// The complete reachable state graph of one (source, destination) pair.
+#[derive(Clone, Debug)]
+pub struct RelationWalk {
+    states: Vec<StateNode>,
+    start: StateId,
+}
+
+impl RelationWalk {
+    /// The injection state.
+    pub fn start(&self) -> StateId {
+        self.start
+    }
+
+    /// Number of reachable states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// True if the walk holds no states (never produced by [`walk_pair`]).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The state with the given id.
+    pub fn state(&self, id: StateId) -> &StateNode {
+        &self.states[id]
+    }
+
+    /// Iterates over `(id, state)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (StateId, &StateNode)> {
+        self.states.iter().enumerate()
+    }
+}
+
+/// The per-pair walk exceeded its state budget — the configuration is too
+/// large for exact analysis (or the routing relation has blown up, which is
+/// itself a finding worth reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StateBudgetExceeded {
+    /// The configured maximum number of states per pair.
+    pub limit: usize,
+}
+
+impl std::fmt::Display for StateBudgetExceeded {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "routing-relation walk exceeded the state budget of {} states per pair",
+            self.limit
+        )
+    }
+}
+
+impl std::error::Error for StateBudgetExceeded {}
+
+/// Normalises a header into a state key: hop and absorption counters do not
+/// influence any routing decision, so folding them together keeps the state
+/// space finite without losing exactness.
+fn state_key(header: &RouteHeader) -> RouteHeader {
+    let mut key = header.clone();
+    key.hops = 0;
+    key.absorptions = 0;
+    key
+}
+
+fn intern(
+    states: &mut Vec<StateNode>,
+    ids: &mut HashMap<(NodeId, RouteHeader), StateId>,
+    node: NodeId,
+    header: RouteHeader,
+) -> StateId {
+    *ids.entry((node, state_key(&header))).or_insert_with(|| {
+        states.push(StateNode {
+            node,
+            header,
+            steps: Vec::new(),
+            terminal: None,
+        });
+        states.len() - 1
+    })
+}
+
+/// Walks the routing relation of `algo` for one (source, destination) pair
+/// under `faults`, enumerating every reachable (node, header) state and every
+/// transition out of it. `v` is the number of virtual channels per physical
+/// channel.
+///
+/// Absorption is handled exactly as in the simulator engines: the blocked
+/// output reported to `reroute_on_fault` is the algorithm's deterministic
+/// output (falling back to `(0, Plus)` when the header is already at its
+/// target), and a successful reroute re-injects the rewritten header at the
+/// same node with its per-traversal dateline flags reset.
+pub fn walk_pair<A: RoutingAlgorithm>(
+    net: &Network,
+    algo: &A,
+    faults: &FaultSet,
+    v: usize,
+    src: NodeId,
+    dest: NodeId,
+    state_budget: usize,
+) -> Result<RelationWalk, StateBudgetExceeded> {
+    let mut states: Vec<StateNode> = Vec::new();
+    let mut ids: HashMap<(NodeId, RouteHeader), StateId> = HashMap::new();
+    let start = intern(&mut states, &mut ids, src, algo.make_header(net, src, dest));
+    let all_tracked = algo.flavor() == torus_routing::RoutingFlavor::Deterministic;
+
+    let mut cursor = 0;
+    while cursor < states.len() {
+        if states.len() > state_budget {
+            return Err(StateBudgetExceeded {
+                limit: state_budget,
+            });
+        }
+        let node = states[cursor].node;
+        let mut header = states[cursor].header.clone();
+        match algo.route(net, faults, &mut header, node, v) {
+            RouteDecision::Deliver => {
+                states[cursor].terminal = Some(Terminal::Delivered);
+            }
+            RouteDecision::Forward(cands) => {
+                if cands.is_empty() {
+                    // Defensive: the algorithms absorb instead of returning an
+                    // empty candidate list, but an empty Forward would be a
+                    // dead end all the same.
+                    states[cursor].terminal = Some(Terminal::Dead);
+                } else {
+                    let mut steps = Vec::with_capacity(cands.len());
+                    for c in &cands {
+                        let mut next_header = header.clone();
+                        algo.note_hop(net, &mut next_header, node, c.dim, c.dir);
+                        let next_node = net
+                            .neighbor(node, c.dim, c.dir)
+                            .expect("routing candidates cross existing channels");
+                        let next = intern(&mut states, &mut ids, next_node, next_header);
+                        steps.push(Step::Hop {
+                            dim: c.dim,
+                            dir: c.dir,
+                            vcs: c.vcs.clone(),
+                            tracked: all_tracked || c.is_escape,
+                            next,
+                        });
+                    }
+                    states[cursor].steps = steps;
+                }
+            }
+            RouteDecision::Absorb => {
+                // Mirror the engines' absorption handling bit for bit.
+                let blocked = algo
+                    .deterministic_output(net, &header, node)
+                    .unwrap_or((0, Direction::Plus));
+                let mut rewritten = header.clone();
+                if algo.reroute_on_fault(net, faults, &mut rewritten, node, blocked) {
+                    rewritten.reset_for_injection();
+                    let next = intern(&mut states, &mut ids, node, rewritten);
+                    states[cursor].steps = vec![Step::Reinject { next }];
+                } else {
+                    states[cursor].terminal = Some(Terminal::Dead);
+                }
+            }
+        }
+        cursor += 1;
+    }
+    Ok(RelationWalk { states, start })
+}

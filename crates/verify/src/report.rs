@@ -1,0 +1,134 @@
+//! Rendering of matrix runs: machine-readable `VERIFY.json` and the
+//! human-readable console summary.
+//!
+//! The JSON is hand-rolled (the workspace's vendored `serde` is a derive
+//! stub without a format backend), matching the idiom of the figure and
+//! bench reports. Strings that can carry arbitrary error text are escaped.
+
+use crate::matrix::{CaseResult, MatrixReport, Verdict};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_string_array(items: &[String], indent: &str) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let body = items
+        .iter()
+        .map(|s| format!("{indent}  \"{}\"", json_escape(s)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n{indent}]")
+}
+
+/// Serialises a matrix report to the `VERIFY.json` schema.
+pub fn to_json(report: &MatrixReport) -> String {
+    let (proved, rejected, failed) = report.tallies();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"swbft-verify-v1\",\n");
+    out.push_str(&format!("  \"matrix\": \"{}\",\n", report.kind.name()));
+    out.push_str(&format!("  \"cases\": {},\n", report.cases.len()));
+    out.push_str(&format!("  \"proved\": {proved},\n"));
+    out.push_str(&format!("  \"rejected\": {rejected},\n"));
+    out.push_str(&format!("  \"failed\": {failed},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, c) in report.cases.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!(
+            "      \"topology\": \"{}\",\n",
+            json_escape(&c.topology)
+        ));
+        out.push_str(&format!(
+            "      \"routing\": \"{}\",\n",
+            json_escape(&c.routing)
+        ));
+        out.push_str(&format!(
+            "      \"virtual_channels\": {},\n",
+            c.virtual_channels
+        ));
+        out.push_str(&format!(
+            "      \"faults\": \"{}\",\n",
+            json_escape(&c.faults)
+        ));
+        out.push_str(&format!("      \"verdict\": \"{}\",\n", c.verdict.name()));
+        out.push_str(&format!("      \"cdg_vertices\": {},\n", c.cdg_vertices));
+        out.push_str(&format!("      \"cdg_edges\": {},\n", c.cdg_edges));
+        out.push_str(&format!("      \"pairs\": {},\n", c.pairs));
+        out.push_str(&format!("      \"delivered\": {},\n", c.delivered));
+        out.push_str(&format!("      \"states\": {},\n", c.states));
+        out.push_str(&format!(
+            "      \"detail\": \"{}\",\n",
+            json_escape(&c.detail)
+        ));
+        out.push_str(&format!(
+            "      \"witness\": {}\n",
+            json_string_array(&c.witness, "      ")
+        ));
+        out.push_str(if i + 1 == report.cases.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// One console line per case, e.g.
+/// `torus:4x2  deterministic    v=2 nf=0      proved  (112 pairs, 64 edges)`.
+pub fn case_line(c: &CaseResult) -> String {
+    let mark = match c.verdict {
+        Verdict::Proved => "proved  ",
+        Verdict::Rejected => "rejected",
+        Verdict::Failed => "FAILED  ",
+    };
+    let stats = match c.verdict {
+        Verdict::Rejected => String::new(),
+        _ => format!(
+            " ({} pairs, {} edges, {} states)",
+            c.pairs, c.cdg_edges, c.states
+        ),
+    };
+    format!(
+        "{:<12} {:<16} v={} {:<12} {mark}{stats}",
+        c.topology, c.routing, c.virtual_channels, c.faults
+    )
+}
+
+/// Renders the full console report, including witnesses of every failed
+/// case and the final tally line.
+pub fn render_text(report: &MatrixReport) -> String {
+    let mut out = String::new();
+    for c in &report.cases {
+        out.push_str(&case_line(c));
+        out.push('\n');
+        if c.verdict == Verdict::Failed {
+            out.push_str(&format!("  violation: {}\n", c.detail));
+            for line in &c.witness {
+                out.push_str(&format!("  {line}\n"));
+            }
+        }
+    }
+    let (proved, rejected, failed) = report.tallies();
+    out.push_str(&format!(
+        "matrix {}: {} cases — {proved} proved, {rejected} rejected, {failed} failed\n",
+        report.kind.name(),
+        report.cases.len()
+    ));
+    out
+}

@@ -1,0 +1,78 @@
+//! Human-readable rendering of verification witnesses.
+//!
+//! Cycle witnesses are sequences of resource ids in the vertex space of an
+//! extracted graph ([`crate::exact`]); this module decodes them back into
+//! directed channels — source coordinate, dimension, direction, destination
+//! coordinate and (at per-VC granularity) the virtual channel — so a CI
+//! failure prints the actual channels of the dependency cycle.
+
+use crate::exact::Granularity;
+use crate::reach::PairVerdict;
+use torus_topology::{ChannelId, Direction, Network, NodeId};
+
+/// Renders one resource id of an extracted graph, e.g.
+/// `(3,0) -d0+-> (0,0) vc1`.
+pub fn describe_resource(net: &Network, id: usize, v: usize, granularity: Granularity) -> String {
+    let (slot, vc) = match granularity {
+        Granularity::PerVc => (id / v, Some(id % v)),
+        Granularity::PerChannel => (id, None),
+    };
+    let ch = net.channel_from_id(ChannelId::from_index(slot));
+    let from = net.coord(ch.from);
+    let sign = match ch.dir {
+        Direction::Plus => '+',
+        Direction::Minus => '-',
+    };
+    let to = match net.neighbor(ch.from, ch.dim, ch.dir) {
+        Some(n) => format!("{}", net.coord(n)),
+        None => "(missing)".to_string(),
+    };
+    let dim = ch.dim;
+    match vc {
+        Some(vc) => format!("{from} -d{dim}{sign}-> {to} vc{vc}"),
+        None => format!("{from} -d{dim}{sign}-> {to}"),
+    }
+}
+
+/// Renders a cycle witness (as returned by
+/// `DependencyGraph::find_cycle`) one channel per line, closing the loop
+/// back to the first resource.
+pub fn describe_cycle(
+    net: &Network,
+    cycle: &[usize],
+    v: usize,
+    granularity: Granularity,
+) -> Vec<String> {
+    let mut lines: Vec<String> = cycle
+        .iter()
+        .enumerate()
+        .map(|(i, &r)| format!("c{i}: {}", describe_resource(net, r, v, granularity)))
+        .collect();
+    if !cycle.is_empty() {
+        lines.push(format!("-> back to c0 (cycle of {} channels)", cycle.len()));
+    }
+    lines
+}
+
+/// Renders a node path (dead-end or livelock witness) as coordinates.
+pub fn describe_node_path(net: &Network, path: &[NodeId]) -> String {
+    path.iter()
+        .map(|&n| format!("{}", net.coord(n)))
+        .collect::<Vec<_>>()
+        .join(" -> ")
+}
+
+/// Renders a pair verdict's witness, if any, as display lines.
+pub fn describe_pair_verdict(net: &Network, verdict: &PairVerdict) -> Vec<String> {
+    match verdict {
+        PairVerdict::Delivers => Vec::new(),
+        PairVerdict::DeadEnd { path } => vec![format!(
+            "dead end after path: {}",
+            describe_node_path(net, path)
+        )],
+        PairVerdict::Livelock { cycle } => vec![format!(
+            "livelock cycle: {} -> (repeats)",
+            describe_node_path(net, cycle)
+        )],
+    }
+}

@@ -15,9 +15,6 @@
 //! The main entry point is [`TrafficSource`], one per node, which the
 //! simulator polls every cycle for newly generated messages.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod arrival;
 pub mod lengths;
 pub mod patterns;

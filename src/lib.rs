@@ -14,13 +14,15 @@
 //! * [`sim`] — the flit-level wormhole-switched network simulator,
 //! * [`analytic`] — a first-order analytical latency model (the paper's
 //!   stated future work), used as an independent cross-check of the simulator,
-//! * [`core`] — the experiment harness that reproduces the paper's figures.
+//! * [`core`] — the experiment harness that reproduces the paper's figures,
+//! * [`verify`] — the static routing verifier: exact channel-dependency-graph
+//!   extraction with cycle witnesses, and reachability proofs over the whole
+//!   (topology × routing × VC × fault) matrix.
 //!
 //! See `examples/quickstart.rs` for a minimal end-to-end simulation.
 
-#![forbid(unsafe_code)]
-
 pub use swbft_core as core;
+pub use swbft_verify as verify;
 pub use torus_analytic as analytic;
 pub use torus_faults as faults;
 pub use torus_metrics as metrics;

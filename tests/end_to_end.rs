@@ -198,7 +198,9 @@ fn turn_model_experiments_run_end_to_end_on_open_topologies_only() {
         .quick(300, 100)
         .run()
         .expect_err("turn model must be rejected on the torus");
-    assert!(format!("{err}").contains("unsupported on this topology"));
+    let msg = format!("{err}");
+    assert!(msg.contains("unsupported on topology 'torus:8x2'"));
+    assert!(msg.contains("routing 'Negative-First (adaptive)'"));
 }
 
 #[test]
