@@ -3,8 +3,10 @@
 //! `VERIFY.json`.
 //!
 //! ```text
-//! usage: verify [--matrix smoke|full] [--out <path>] [--naive-demo]
+//! usage: verify [--matrix smoke|full] [--jobs N] [--out <path>] [--naive-demo]
 //!   --matrix M    matrix slice to verify (default: smoke)
+//!   --jobs N      worker threads for the sweep (default: 1); the case
+//!                 order in the report is deterministic for any N
 //!   --out PATH    output path (default: VERIFY.json)
 //!   --naive-demo  instead of the matrix, run the known-cyclic negative
 //!                 control (dimension-order torus routing with the dateline
@@ -17,13 +19,14 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use swbft_verify::matrix::{naive_torus_demo, run_matrix_with_progress, MatrixKind};
+use swbft_verify::matrix::{naive_torus_demo, run_matrix_with_options, MatrixKind};
 use swbft_verify::report::{case_line, render_text, to_json};
 
-const USAGE: &str = "usage: verify [--matrix smoke|full] [--out <path>] [--naive-demo]";
+const USAGE: &str = "usage: verify [--matrix smoke|full] [--jobs N] [--out <path>] [--naive-demo]";
 
 fn main() -> ExitCode {
     let mut kind = MatrixKind::Smoke;
+    let mut jobs = 1usize;
     let mut out_path = PathBuf::from("VERIFY.json");
     let mut naive_demo = false;
     let mut args = std::env::args().skip(1);
@@ -41,6 +44,14 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
+            }
+            "--jobs" => {
+                let parsed = args.next().and_then(|n| n.parse::<usize>().ok());
+                let Some(n) = parsed.filter(|&n| n >= 1) else {
+                    eprintln!("--jobs needs a positive integer\n{USAGE}");
+                    return ExitCode::FAILURE;
+                };
+                jobs = n;
             }
             "--out" => {
                 let Some(path) = args.next() else {
@@ -72,8 +83,8 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
-    eprintln!("verifying the {} matrix:", kind.name());
-    let report = run_matrix_with_progress(kind, |case| eprintln!("  {}", case_line(case)));
+    eprintln!("verifying the {} matrix on {jobs} thread(s):", kind.name());
+    let report = run_matrix_with_options(kind, jobs, |case| eprintln!("  {}", case_line(case)));
     print!("{}", render_text(&report));
     if let Err(e) = std::fs::write(&out_path, to_json(&report)) {
         eprintln!("failed to write {}: {e}", out_path.display());

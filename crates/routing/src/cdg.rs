@@ -258,6 +258,11 @@ pub enum TurnRule {
     /// every higher dimension routes Plus first. A reflection of
     /// negative-first in all dimensions but the first.
     WestFirst,
+    /// North-last: dimension 0 routes Plus ("east") in the first phase while
+    /// every higher dimension routes Minus first, so every Plus ("north")
+    /// hop in the higher dimensions happens in the closing phase — the exact
+    /// mirror of west-first, and another reflection of negative-first.
+    NorthLast,
     /// Every turn is permitted (except U-turns) — the unrestricted adaptive
     /// baseline, cyclic on any mesh with at least two dimensions.
     Unrestricted,
@@ -274,6 +279,11 @@ impl TurnRule {
                 Direction::Minus
             } else {
                 Direction::Plus
+            }),
+            TurnRule::NorthLast => Some(if dim == 0 {
+                Direction::Plus
+            } else {
+                Direction::Minus
             }),
             TurnRule::Unrestricted => None,
         }
@@ -436,8 +446,9 @@ mod tests {
         // The tentpole claim: with the Plus->Minus turn prohibited, the
         // *complete* dependency graph of all permitted routes is acyclic with
         // a single VC class — on meshes, hypercubes and mixed-radix open
-        // shapes alike. West-first is a per-dimension reflection of the same
-        // rule and must stay acyclic for the same reason.
+        // shapes alike. West-first and north-last are per-dimension
+        // reflections of the same rule and must stay acyclic for the same
+        // reason.
         for net in [
             Network::mesh(4, 2).unwrap(),
             Network::mesh(8, 2).unwrap(),
@@ -445,7 +456,11 @@ mod tests {
             Network::hypercube(5).unwrap(),
             Network::new(vec![6, 3, 2], vec![false, false, false]).unwrap(),
         ] {
-            for rule in [TurnRule::NegativeFirst, TurnRule::WestFirst] {
+            for rule in [
+                TurnRule::NegativeFirst,
+                TurnRule::WestFirst,
+                TurnRule::NorthLast,
+            ] {
                 let g = build_turn_cdg(&net, rule);
                 assert!(g.num_edges() > 0);
                 assert!(g.is_acyclic(), "{rule:?} turn CDG must be acyclic on {net}");
@@ -483,7 +498,11 @@ mod tests {
             Network::torus(8, 1).unwrap(),
             Network::new(vec![4, 3], vec![true, false]).unwrap(),
         ] {
-            for rule in [TurnRule::NegativeFirst, TurnRule::WestFirst] {
+            for rule in [
+                TurnRule::NegativeFirst,
+                TurnRule::WestFirst,
+                TurnRule::NorthLast,
+            ] {
                 let g = build_turn_cdg(&net, rule);
                 assert!(
                     !g.is_acyclic(),
@@ -519,6 +538,22 @@ mod tests {
         assert!(TurnRule::WestFirst.permits((0, Minus), (1, Minus)));
         assert!(TurnRule::WestFirst.permits((1, Plus), (0, Plus)));
         assert!(TurnRule::WestFirst.permits((1, Plus), (2, Minus)));
+        // North-last mirrors west-first: dimension 0 routes Plus (east) first
+        // while every higher dimension routes Minus first, so northward (Plus)
+        // hops in the higher dimensions come last.
+        assert_eq!(TurnRule::NorthLast.first_direction(0), Some(Plus));
+        assert_eq!(TurnRule::NorthLast.first_direction(1), Some(Minus));
+        assert_eq!(TurnRule::NorthLast.first_direction(5), Some(Minus));
+        // West (second phase of dim 0) may not be followed by east or south.
+        assert!(!TurnRule::NorthLast.permits((0, Minus), (0, Plus)));
+        assert!(!TurnRule::NorthLast.permits((0, Minus), (1, Minus)));
+        // North (second phase of dim 1) may not be followed by east or south.
+        assert!(!TurnRule::NorthLast.permits((1, Plus), (0, Plus)));
+        assert!(!TurnRule::NorthLast.permits((1, Plus), (2, Minus)));
+        // First-phase hops may be followed by anything.
+        assert!(TurnRule::NorthLast.permits((0, Plus), (1, Plus)));
+        assert!(TurnRule::NorthLast.permits((1, Minus), (0, Minus)));
+        assert!(TurnRule::NorthLast.permits((1, Minus), (2, Plus)));
         for held in Direction::BOTH {
             for next in Direction::BOTH {
                 assert!(TurnRule::Unrestricted.permits((0, held), (1, next)));

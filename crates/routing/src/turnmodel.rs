@@ -1,5 +1,5 @@
-//! Turn-model routing (negative-first and west-first) for open (non-wrap)
-//! topologies.
+//! Turn-model routing (negative-first, west-first and north-last) for open
+//! (non-wrap) topologies.
 //!
 //! The turn model (Glass & Ni) achieves deadlock freedom on meshes without
 //! virtual-channel classes by *prohibiting turns* instead of splitting
@@ -14,7 +14,8 @@
 //! The implementation is parameterised over a [`TurnRule`], i.e. a
 //! per-dimension *first direction*: negative-first routes Minus first in
 //! every dimension, west-first routes Minus first in dimension 0 and Plus
-//! first everywhere else. Any such assignment is a per-dimension reflection
+//! first everywhere else, north-last the exact mirror (Plus first in
+//! dimension 0, Minus first above). Any such assignment is a reflection
 //! (relabelling of Plus/Minus) of negative-first, so the same acyclicity
 //! argument applies; the phase discipline below ("first-phase hops before
 //! second-phase hops") is rule-agnostic.
@@ -186,6 +187,24 @@ impl TurnModelRouting {
         }
     }
 
+    /// Deterministic north-last routing (dimension 0 routes Plus first,
+    /// every higher dimension Minus first — the mirror of west-first, so the
+    /// northward hops of the higher dimensions come last).
+    pub fn north_last_deterministic() -> Self {
+        TurnModelRouting {
+            flavor: RoutingFlavor::Deterministic,
+            rule: TurnRule::NorthLast,
+        }
+    }
+
+    /// Phase-adaptive north-last routing with a north-last escape channel.
+    pub fn north_last_adaptive() -> Self {
+        TurnModelRouting {
+            flavor: RoutingFlavor::Adaptive,
+            rule: TurnRule::NorthLast,
+        }
+    }
+
     /// Constructs the negative-first algorithm for a given flavour.
     pub fn with_flavor(flavor: RoutingFlavor) -> Self {
         TurnModelRouting {
@@ -202,6 +221,7 @@ impl TurnModelRouting {
     fn rule_label(&self) -> &'static str {
         match self.rule {
             TurnRule::WestFirst => "West-First",
+            TurnRule::NorthLast => "North-Last",
             _ => "Negative-First",
         }
     }
@@ -209,6 +229,7 @@ impl TurnModelRouting {
     fn algorithm_label(&self) -> &'static str {
         match self.rule {
             TurnRule::WestFirst => "west-first turn-model",
+            TurnRule::NorthLast => "north-last turn-model",
             _ => "negative-first turn-model",
         }
     }
@@ -850,6 +871,96 @@ mod tests {
     }
 
     #[test]
+    fn north_last_walks_are_minimal_and_obey_the_rule() {
+        let m = mesh();
+        for (algo, v) in [
+            (TurnModelRouting::north_last_deterministic(), 1),
+            (TurnModelRouting::north_last_adaptive(), 2),
+        ] {
+            for (s, d) in [([1u16, 6], [6u16, 1]), ([7, 0], [0, 7]), ([5, 5], [2, 2])] {
+                let src = m.node_from_digits(&s).unwrap();
+                let dest = m.node_from_digits(&d).unwrap();
+                let visited = walk(&m, &no_faults(), &algo, src, dest, v);
+                assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
+                assert_eq!(*visited.last().unwrap(), dest);
+                assert_obeys_rule(&m, TurnRule::NorthLast, &visited);
+            }
+        }
+    }
+
+    #[test]
+    fn north_last_routes_north_after_everything_else() {
+        let m = mesh();
+        let algo = TurnModelRouting::north_last_deterministic();
+        // Offset (+2, +3): east (dim 0 Plus) is first phase under north-last,
+        // north (dim 1 Plus) is second phase — dim 0 must be exhausted first.
+        let src = m.node_from_digits(&[2, 2]).unwrap();
+        let dest = m.node_from_digits(&[4, 5]).unwrap();
+        let h = algo.make_header(&m, src, dest);
+        assert_eq!(
+            algo.deterministic_output(&m, &h, src),
+            Some((0, Direction::Plus))
+        );
+        // Offset (-2, +3): west and north are both second phase; with no
+        // first-phase hop available the lowest second-phase dimension (west)
+        // goes first.
+        let src2 = m.node_from_digits(&[4, 2]).unwrap();
+        let dest2 = m.node_from_digits(&[2, 5]).unwrap();
+        let h2 = algo.make_header(&m, src2, dest2);
+        assert_eq!(
+            algo.deterministic_output(&m, &h2, src2),
+            Some((0, Direction::Minus))
+        );
+        // Offset (+2, -3): both east and south are first phase; lowest
+        // dimension wins.
+        let src3 = m.node_from_digits(&[2, 5]).unwrap();
+        let dest3 = m.node_from_digits(&[4, 2]).unwrap();
+        let h3 = algo.make_header(&m, src3, dest3);
+        assert_eq!(
+            algo.deterministic_output(&m, &h3, src3),
+            Some((0, Direction::Plus))
+        );
+    }
+
+    #[test]
+    fn north_last_routes_around_a_fault() {
+        let m = mesh();
+        let mut faults = FaultSet::new();
+        faults.fail_node(m.node_from_digits(&[3, 0]).unwrap());
+        for algo in [
+            TurnModelRouting::north_last_deterministic(),
+            TurnModelRouting::north_last_adaptive(),
+        ] {
+            let src = m.node_from_digits(&[1, 0]).unwrap();
+            let dest = m.node_from_digits(&[4, 0]).unwrap();
+            let mut header = algo.make_header(&m, src, dest);
+            let mut current = src;
+            let mut steps = 0;
+            loop {
+                steps += 1;
+                assert!(steps < 1000, "livelock: message never delivered");
+                match algo.route(&m, &faults, &mut header, current, 2) {
+                    RouteDecision::Deliver => break,
+                    RouteDecision::Forward(cands) => {
+                        let c = &cands[0];
+                        algo.note_hop(&m, &mut header, current, c.dim, c.dir);
+                        current = m.neighbor(current, c.dim, c.dir).expect("existing hop");
+                        assert!(!faults.is_node_faulty(current));
+                    }
+                    RouteDecision::Absorb => {
+                        let blocked = algo
+                            .deterministic_output(&m, &header, current)
+                            .unwrap_or((0, Direction::Plus));
+                        assert!(algo.reroute_on_fault(&m, &faults, &mut header, current, blocked));
+                        header.reset_for_injection();
+                    }
+                }
+            }
+            assert_eq!(current, dest, "{}", algo.name());
+        }
+    }
+
+    #[test]
     fn min_virtual_channels_and_names() {
         let m = mesh();
         assert_eq!(
@@ -876,6 +987,22 @@ mod tests {
         assert_eq!(
             TurnModelRouting::west_first_adaptive().min_virtual_channels(&m),
             2
+        );
+        assert_eq!(
+            TurnModelRouting::north_last_deterministic().name(),
+            "North-Last (deterministic)"
+        );
+        assert_eq!(
+            TurnModelRouting::north_last_adaptive().name(),
+            "North-Last (adaptive)"
+        );
+        assert_eq!(
+            TurnModelRouting::north_last_adaptive().rule(),
+            TurnRule::NorthLast
+        );
+        assert_eq!(
+            TurnModelRouting::north_last_deterministic().min_virtual_channels(&m),
+            1
         );
         assert_eq!(
             TurnModelRouting::with_flavor(RoutingFlavor::Adaptive).flavor(),

@@ -41,6 +41,12 @@
 //! [`reference::ReferenceSimulation`] implements identical semantics in the
 //! simplest possible way and is used by the equivalence tests and benchmarks
 //! as the executable specification.
+//!
+//! With the `sanitizer` cargo feature (on by default; disable it for release
+//! benchmarks) both engines accept an invariant-checking observer
+//! ([`sanitizer::Sanitizer`]) that audits conservation invariants every cycle
+//! and checks the runtime wait-for graph against a statically extracted exact
+//! channel-dependency graph.
 
 pub mod active;
 pub mod config;
@@ -49,12 +55,14 @@ pub mod message;
 pub mod network;
 pub mod reference;
 pub mod router;
+pub mod sanitizer;
 
 pub use config::{SimConfig, SimConfigError, StopCondition};
 pub use flit::{Flit, FlitKind, MessageId};
 pub use message::{MessageSlab, MessageState};
 pub use network::{RunOutcome, Simulation};
 pub use reference::ReferenceSimulation;
+pub use sanitizer::{InvariantViolation, Sanitizer};
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {

@@ -53,6 +53,7 @@ use crate::config::{SimConfig, SimConfigError, StopCondition};
 use crate::flit::Flit;
 use crate::message::{MessagePhase, MessageSlab, MessageState};
 use crate::router::{InputVc, OutputVc, ReinjectionEntry, RouteTarget, RouterState, VcRoute};
+use crate::sanitizer::Sanitizer;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -121,6 +122,9 @@ pub struct Simulation<A: RoutingAlgorithm> {
     stage_scratch: Vec<usize>,
     /// Next cycle the stall watchdog must scan at.
     watchdog_next: u64,
+    /// Optional invariant-checking observer (attached by tests; the hooks
+    /// that feed it are compiled only with the `sanitizer` feature).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl<A: RoutingAlgorithm> Simulation<A> {
@@ -196,7 +200,29 @@ impl<A: RoutingAlgorithm> Simulation<A> {
             live_input_vcs: vec![0; num_nodes],
             stage_scratch: Vec::with_capacity(num_nodes),
             watchdog_next: 0,
+            sanitizer: None,
         })
+    }
+
+    /// Attaches an invariant sanitizer to this engine. Pass the statically
+    /// extracted exact CDG (per-VC granularity, matching this configuration's
+    /// topology, routing, VC count and fault set) to additionally enforce
+    /// runtime wait-for conformance, or `None` for conservation checks only.
+    #[cfg(feature = "sanitizer")]
+    pub fn attach_sanitizer(&mut self, cdg: Option<torus_routing::cdg::DependencyGraph>) {
+        let all_tracked = self.algo.flavor() == torus_routing::RoutingFlavor::Deterministic;
+        self.sanitizer = Some(Box::new(Sanitizer::new(
+            self.config.virtual_channels,
+            self.config.buffer_depth,
+            all_tracked,
+            cdg,
+        )));
+    }
+
+    /// The attached sanitizer, if any (always `None` unless
+    /// `attach_sanitizer` was called under the `sanitizer` feature).
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_deref()
     }
 
     /// The topology being simulated.
@@ -297,6 +323,21 @@ impl<A: RoutingAlgorithm> Simulation<A> {
         if self.config.stall_absorb_threshold > 0 && now >= self.watchdog_next {
             self.stall_watchdog(now);
         }
+        #[cfg(feature = "sanitizer")]
+        {
+            let mut sanitizer = self.sanitizer.take();
+            if let Some(s) = sanitizer.as_deref_mut() {
+                s.check_cycle(
+                    now,
+                    &self.net,
+                    &self.faults,
+                    &self.routers,
+                    &self.messages,
+                    self.in_flight,
+                );
+            }
+            self.sanitizer = sanitizer;
+        }
         self.cycle = now + 1;
     }
 
@@ -396,6 +437,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     }
 
     fn route_and_allocate(&mut self, now: u64) {
+        #[cfg(feature = "sanitizer")]
+        let mut sanitizer = self.sanitizer.take();
         let Simulation {
             net,
             faults,
@@ -451,7 +494,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                             // when no adaptive candidate has a free VC.
                             candidates[..].shuffle(rng);
                             candidates.sort_by_key(|c| c.is_escape);
-                            let mut chosen: Option<(usize, usize)> = None;
+                            let mut chosen: Option<(usize, usize, bool)> = None;
                             for cand in &candidates {
                                 let out_port = RouterState::out_port(cand.dim, cand.dir);
                                 debug_assert!(
@@ -467,11 +510,11 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                                     })
                                     .collect();
                                 if let Some(&ovc) = free.choose(rng) {
-                                    chosen = Some((out_port, ovc));
+                                    chosen = Some((out_port, ovc, cand.is_escape));
                                     break;
                                 }
                             }
-                            if let Some((out_port, out_vc)) = chosen {
+                            if let Some((out_port, out_vc, _is_escape)) = chosen {
                                 router.outputs[out_port][out_vc].owner = Some(msg_id);
                                 router.outputs[out_port][out_vc].draining = false;
                                 router.inputs[port][vc].route = Some(VcRoute {
@@ -479,15 +522,28 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                                     target: RouteTarget::Network { out_port, out_vc },
                                     ready_at,
                                 });
+                                #[cfg(feature = "sanitizer")]
+                                if let Some(s) = sanitizer.as_deref_mut() {
+                                    let (dim, dir) = RouterState::port_dim_dir(out_port);
+                                    s.on_allocate(
+                                        now, net, msg_id, node, dim, dir, out_vc, _is_escape,
+                                    );
+                                }
                             }
                         }
                     }
                 }
             }
         }
+        #[cfg(feature = "sanitizer")]
+        {
+            self.sanitizer = sanitizer;
+        }
     }
 
     fn switch_and_traverse(&mut self, now: u64) {
+        #[cfg(feature = "sanitizer")]
+        let mut sanitizer = self.sanitizer.take();
         let Simulation {
             net,
             faults,
@@ -546,6 +602,12 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                     // Whole message has arrived locally.
                     router.local_assembly.remove(&flit.msg);
                     router.inputs[port][vc].route = None;
+                    // Delivery, absorption and drop all release every channel
+                    // the worm held, clearing its wait-for state.
+                    #[cfg(feature = "sanitizer")]
+                    if let Some(s) = sanitizer.as_deref_mut() {
+                        s.on_release(flit.msg);
+                    }
                     match route.target {
                         RouteTarget::Deliver => {
                             // Fold-on-retire: fold the metrics into the
@@ -675,6 +737,10 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 }
                 router.sa_pointer[out_port] = (flat + 1) % total_slots;
             }
+        }
+        #[cfg(feature = "sanitizer")]
+        {
+            self.sanitizer = sanitizer;
         }
     }
 

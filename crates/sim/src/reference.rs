@@ -19,6 +19,7 @@ use crate::flit::{Flit, MessageId};
 use crate::message::{MessagePhase, MessageState};
 use crate::network::RunOutcome;
 use crate::router::{InputVc, OutputVc, ReinjectionEntry, RouteTarget, RouterState, VcRoute};
+use crate::sanitizer::Sanitizer;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -45,6 +46,9 @@ pub struct ReferenceSimulation<A: RoutingAlgorithm> {
     forced_absorptions: u64,
     arrivals: Vec<(usize, usize, usize, Flit)>,
     credit_returns: Vec<(usize, usize, usize)>,
+    /// Optional invariant-checking observer (attached by tests; the hooks
+    /// that feed it are compiled only with the `sanitizer` feature).
+    sanitizer: Option<Box<Sanitizer>>,
 }
 
 impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
@@ -105,7 +109,29 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
             forced_absorptions: 0,
             arrivals: Vec::new(),
             credit_returns: Vec::new(),
+            sanitizer: None,
         })
+    }
+
+    /// Attaches an invariant sanitizer to this engine. Pass the statically
+    /// extracted exact CDG (per-VC granularity, matching this configuration's
+    /// topology, routing, VC count and fault set) to additionally enforce
+    /// runtime wait-for conformance, or `None` for conservation checks only.
+    #[cfg(feature = "sanitizer")]
+    pub fn attach_sanitizer(&mut self, cdg: Option<torus_routing::cdg::DependencyGraph>) {
+        let all_tracked = self.algo.flavor() == torus_routing::RoutingFlavor::Deterministic;
+        self.sanitizer = Some(Box::new(Sanitizer::new(
+            self.config.virtual_channels,
+            self.config.buffer_depth,
+            all_tracked,
+            cdg,
+        )));
+    }
+
+    /// The attached sanitizer, if any (always `None` unless
+    /// `attach_sanitizer` was called under the `sanitizer` feature).
+    pub fn sanitizer(&self) -> Option<&Sanitizer> {
+        self.sanitizer.as_deref()
     }
 
     /// Current simulation cycle.
@@ -170,6 +196,21 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
         self.apply_credit_returns();
         if self.config.stall_absorb_threshold > 0 {
             self.stall_watchdog(now);
+        }
+        #[cfg(feature = "sanitizer")]
+        {
+            let mut sanitizer = self.sanitizer.take();
+            if let Some(s) = sanitizer.as_deref_mut() {
+                s.check_cycle(
+                    now,
+                    &self.net,
+                    &self.faults,
+                    &self.routers,
+                    &self.messages,
+                    self.in_flight,
+                );
+            }
+            self.sanitizer = sanitizer;
         }
         self.cycle = now + 1;
     }
@@ -245,6 +286,8 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
     }
 
     fn route_and_allocate(&mut self, now: u64) {
+        #[cfg(feature = "sanitizer")]
+        let mut sanitizer = self.sanitizer.take();
         let ReferenceSimulation {
             net,
             faults,
@@ -295,7 +338,7 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                         RouteDecision::Forward(mut candidates) => {
                             candidates[..].shuffle(rng);
                             candidates.sort_by_key(|c| c.is_escape);
-                            let mut chosen: Option<(usize, usize)> = None;
+                            let mut chosen: Option<(usize, usize, bool)> = None;
                             for cand in &candidates {
                                 let out_port = RouterState::out_port(cand.dim, cand.dir);
                                 debug_assert!(
@@ -311,11 +354,11 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                                     })
                                     .collect();
                                 if let Some(&ovc) = free.choose(rng) {
-                                    chosen = Some((out_port, ovc));
+                                    chosen = Some((out_port, ovc, cand.is_escape));
                                     break;
                                 }
                             }
-                            if let Some((out_port, out_vc)) = chosen {
+                            if let Some((out_port, out_vc, _is_escape)) = chosen {
                                 router.outputs[out_port][out_vc].owner = Some(msg_id);
                                 router.outputs[out_port][out_vc].draining = false;
                                 router.inputs[port][vc].route = Some(VcRoute {
@@ -323,15 +366,28 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                                     target: RouteTarget::Network { out_port, out_vc },
                                     ready_at,
                                 });
+                                #[cfg(feature = "sanitizer")]
+                                if let Some(s) = sanitizer.as_deref_mut() {
+                                    let (dim, dir) = RouterState::port_dim_dir(out_port);
+                                    s.on_allocate(
+                                        now, net, msg_id, node, dim, dir, out_vc, _is_escape,
+                                    );
+                                }
                             }
                         }
                     }
                 }
             }
         }
+        #[cfg(feature = "sanitizer")]
+        {
+            self.sanitizer = sanitizer;
+        }
     }
 
     fn switch_and_traverse(&mut self, now: u64) {
+        #[cfg(feature = "sanitizer")]
+        let mut sanitizer = self.sanitizer.take();
         let ReferenceSimulation {
             net,
             faults,
@@ -387,6 +443,12 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                     // Whole message has arrived locally.
                     router.local_assembly.remove(&flit.msg);
                     router.inputs[port][vc].route = None;
+                    // Delivery, absorption and drop all release every channel
+                    // the worm held, clearing its wait-for state.
+                    #[cfg(feature = "sanitizer")]
+                    if let Some(s) = sanitizer.as_deref_mut() {
+                        s.on_release(flit.msg);
+                    }
                     let msg = &mut messages[flit.msg.slot()];
                     match route.target {
                         RouteTarget::Deliver => {
@@ -495,6 +557,10 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                 }
                 router.sa_pointer[out_port] = (flat + 1) % total_slots;
             }
+        }
+        #[cfg(feature = "sanitizer")]
+        {
+            self.sanitizer = sanitizer;
         }
     }
 

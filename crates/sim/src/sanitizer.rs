@@ -1,0 +1,712 @@
+//! The simulation sanitizer: an invariant-checking observer for both
+//! engines.
+//!
+//! The sanitizer audits a running simulation on two levels:
+//!
+//! 1. **Conservation invariants**, checked at the end of every cycle over the
+//!    full router/message state: no flit is created or destroyed outside
+//!    injection and local absorption/delivery (every in-network message has
+//!    exactly `length` flits across all buffers and assembly counters), every
+//!    credit counter is the exact complement of its downstream buffer
+//!    occupancy, faulty routers and faulty channels stay quiescent, every
+//!    message reference (buffers, routes, output owners, queues) resolves to
+//!    a live message — stale generation-tagged identifiers are caught, with
+//!    the lazy `draining` owner of an already-retired message as the single
+//!    documented exception.
+//! 2. **Channel-dependency-graph conformance**: the sanitizer maintains the
+//!    runtime *wait-for* state of every message — the last tracked (escape or
+//!    deterministic-layer) virtual-channel resource it was granted — and on
+//!    each new tracked allocation asserts that the observed
+//!    `held → requested` dependency is an edge of the statically extracted
+//!    exact CDG for this (topology, routing, VC, fault) case. This is the
+//!    refinement check tying the static verifier (`swbft-verify`,
+//!    `extract_exact_cdg`) to the real engines: the static graph records
+//!    `held × requested` over *all* candidate VCs of every reachable header
+//!    state, so every dependency a correct engine can create is predicted,
+//!    and a divergence (reported with cycle, message, held and requested
+//!    channel) means the engine routed outside the verified relation.
+//!
+//! Resource identifiers use exactly the per-VC granularity of
+//! `swbft_verify::exact`: `channel_id(node, dim, dir) * V + vc`, so a
+//! [`torus_routing::cdg::DependencyGraph`] produced by the verifier can be
+//! handed to [`Sanitizer::new`] unchanged.
+//!
+//! Violations are recorded, not panicked on, so tests can assert both
+//! directions: the equivalence suite asserts a clean run, the mutation tests
+//! assert a seeded bug is flagged. The module is always compiled (it has its
+//! own unit tests); the *hooks* in the engines are gated behind the
+//! `sanitizer` cargo feature so release benchmarks pay zero cost.
+
+use crate::flit::MessageId;
+use crate::message::{MessagePhase, MessageSlab, MessageState};
+use crate::router::{RouteTarget, RouterState};
+use std::collections::HashMap;
+use torus_faults::FaultSet;
+use torus_routing::cdg::DependencyGraph;
+use torus_topology::{DirectedChannel, Direction, Network, NodeId};
+
+/// Upper bound on stored violation reports (the total count keeps growing).
+const MAX_RECORDED: usize = 64;
+
+/// One invariant violation observed by the sanitizer.
+#[derive(Clone, Debug)]
+pub struct InvariantViolation {
+    /// Simulation cycle the violation was observed at.
+    pub cycle: u64,
+    /// Short machine-matchable category, e.g. `"cdg-divergence"`.
+    pub kind: &'static str,
+    /// Human-readable description with the concrete state involved.
+    pub detail: String,
+}
+
+/// Read-only view over a message store, implemented by both engines' tables
+/// (the reclaiming [`MessageSlab`] and the reference engine's append-only
+/// `Vec`). `lookup` must return `None` for stale or retired identifiers
+/// rather than panicking.
+pub trait MessageLookup {
+    /// Resolves an identifier to its message, if the identifier is current.
+    fn lookup(&self, id: MessageId) -> Option<&MessageState>;
+    /// Visits every live (not delivered/dropped) message.
+    fn for_each_live(&self, f: &mut dyn FnMut(&MessageState));
+}
+
+impl MessageLookup for MessageSlab {
+    fn lookup(&self, id: MessageId) -> Option<&MessageState> {
+        self.get(id)
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(&MessageState)) {
+        for m in self.iter_live() {
+            if !m.is_done() {
+                f(m);
+            }
+        }
+    }
+}
+
+impl MessageLookup for Vec<MessageState> {
+    fn lookup(&self, id: MessageId) -> Option<&MessageState> {
+        if id.generation() != 0 {
+            return None;
+        }
+        self.get(id.slot())
+    }
+
+    fn for_each_live(&self, f: &mut dyn FnMut(&MessageState)) {
+        for m in self {
+            if !m.is_done() {
+                f(m);
+            }
+        }
+    }
+}
+
+/// The invariant-checking observer. Attach one to an engine with
+/// `attach_sanitizer` (requires the `sanitizer` cargo feature), run the
+/// simulation, then inspect [`Sanitizer::violations`].
+#[derive(Clone, Debug)]
+pub struct Sanitizer {
+    /// Virtual channels per physical channel (the resource-id stride).
+    v: usize,
+    /// Flit-buffer depth (the credit complement).
+    buffer_depth: usize,
+    /// True when every hop rides the tracked layer (deterministic-flavour
+    /// routing); false tracks only escape-channel allocations, mirroring the
+    /// escape-layer scope of the static extraction for adaptive flavours.
+    all_tracked: bool,
+    /// The statically extracted exact CDG to check runtime dependencies
+    /// against, or `None` to run conservation checks only.
+    allowed: Option<DependencyGraph>,
+    /// Last tracked resource granted to each in-network message.
+    held: HashMap<MessageId, usize>,
+    /// First [`MAX_RECORDED`] violations, in observation order.
+    recorded: Vec<InvariantViolation>,
+    /// Total violations observed (including unrecorded ones).
+    total: u64,
+    /// Cycles audited so far.
+    cycles_checked: u64,
+    /// Tracked allocations checked against the CDG so far.
+    edges_checked: u64,
+}
+
+impl Sanitizer {
+    /// Creates a sanitizer for an engine with `v` virtual channels and the
+    /// given buffer depth. `all_tracked` selects the tracked layer (true for
+    /// deterministic-flavour routing, false to track escape allocations
+    /// only); `allowed` is the exact CDG to enforce, or `None` for
+    /// conservation checks alone.
+    pub fn new(
+        v: usize,
+        buffer_depth: usize,
+        all_tracked: bool,
+        allowed: Option<DependencyGraph>,
+    ) -> Self {
+        Sanitizer {
+            v,
+            buffer_depth,
+            all_tracked,
+            allowed,
+            held: HashMap::new(),
+            recorded: Vec::new(),
+            total: 0,
+            cycles_checked: 0,
+            edges_checked: 0,
+        }
+    }
+
+    /// The violations observed so far (capped at an internal limit; see
+    /// [`Sanitizer::violation_count`] for the uncapped total).
+    pub fn violations(&self) -> &[InvariantViolation] {
+        &self.recorded
+    }
+
+    /// Total number of violations observed, including any beyond the
+    /// recording cap.
+    pub fn violation_count(&self) -> u64 {
+        self.total
+    }
+
+    /// True when no invariant has been violated.
+    pub fn is_clean(&self) -> bool {
+        self.total == 0
+    }
+
+    /// Number of end-of-cycle audits performed.
+    pub fn cycles_checked(&self) -> u64 {
+        self.cycles_checked
+    }
+
+    /// Number of tracked allocations checked against the exact CDG.
+    pub fn edges_checked(&self) -> u64 {
+        self.edges_checked
+    }
+
+    fn record(&mut self, cycle: u64, kind: &'static str, detail: String) {
+        self.total += 1;
+        if self.recorded.len() < MAX_RECORDED {
+            self.recorded.push(InvariantViolation {
+                cycle,
+                kind,
+                detail,
+            });
+        }
+    }
+
+    /// The per-VC resource id of `(node, dim, dir, vc)` — identical to the
+    /// `Granularity::PerVc` id space of `swbft_verify::exact`.
+    fn resource_id(
+        &self,
+        net: &Network,
+        node: NodeId,
+        dim: usize,
+        dir: Direction,
+        vc: usize,
+    ) -> usize {
+        net.channel_id(DirectedChannel::new(node, dim, dir)).index() * self.v + vc
+    }
+
+    fn describe(node: NodeId, dim: usize, dir: Direction, vc: usize) -> String {
+        let sign = match dir {
+            Direction::Plus => '+',
+            Direction::Minus => '-',
+        };
+        format!("channel {node:?} d{dim}{sign} vc{vc}")
+    }
+
+    // ------------------------------------------------------------- hooks
+
+    /// Called by the engines when a head flit is granted output VC `vc`
+    /// towards `(dim, dir)` at `node`. Tracked allocations (every allocation
+    /// under `all_tracked`, escape allocations otherwise) are checked against
+    /// the exact CDG and update the message's wait-for state; untracked
+    /// (adaptive-layer) allocations leave it unchanged, mirroring Duato-style
+    /// indirect dependencies in the static extraction.
+    #[allow(clippy::too_many_arguments)]
+    pub fn on_allocate(
+        &mut self,
+        cycle: u64,
+        net: &Network,
+        msg: MessageId,
+        node: NodeId,
+        dim: usize,
+        dir: Direction,
+        vc: usize,
+        is_escape: bool,
+    ) {
+        if !(self.all_tracked || is_escape) {
+            return;
+        }
+        let requested = self.resource_id(net, node, dim, dir, vc);
+        if let Some(&held) = self.held.get(&msg) {
+            self.edges_checked += 1;
+            let allowed = match &self.allowed {
+                Some(cdg) => held == requested || cdg.has_edge(held, requested),
+                None => true,
+            };
+            if !allowed {
+                let detail = format!(
+                    "message {msg:?} holds resource {held} while being granted \
+                     {requested} ({}): the dependency {held} -> {requested} is \
+                     not an edge of the exact CDG",
+                    Self::describe(node, dim, dir, vc)
+                );
+                self.record(cycle, "cdg-divergence", detail);
+            }
+        }
+        self.held.insert(msg, requested);
+    }
+
+    /// Called by the engines when a message leaves the network: delivery,
+    /// absorption (which releases every held channel before software
+    /// re-injection) or drop.
+    pub fn on_release(&mut self, msg: MessageId) {
+        self.held.remove(&msg);
+    }
+
+    // ------------------------------------------- end-of-cycle conservation
+
+    /// Audits the full router/message state at the end of a cycle.
+    pub fn check_cycle(
+        &mut self,
+        cycle: u64,
+        net: &Network,
+        faults: &FaultSet,
+        routers: &[RouterState],
+        messages: &dyn MessageLookup,
+        in_flight: u64,
+    ) {
+        self.cycles_checked += 1;
+        self.check_flit_conservation(cycle, routers, messages);
+        self.check_credits_and_faulty_channels(cycle, net, faults, routers);
+        self.check_references(cycle, routers, messages);
+        self.check_in_flight(cycle, messages, in_flight);
+    }
+
+    /// Every live in-network message has exactly `length` flits across all
+    /// input buffers and local assembly counters; queued messages have none;
+    /// every buffered flit belongs to a live message; each input buffer holds
+    /// flits of a single message with consecutive sequence numbers.
+    fn check_flit_conservation(
+        &mut self,
+        cycle: u64,
+        routers: &[RouterState],
+        messages: &dyn MessageLookup,
+    ) {
+        let mut counts: HashMap<MessageId, u32> = HashMap::new();
+        for router in routers {
+            for port in &router.inputs {
+                for ivc in port {
+                    let mut prev: Option<(MessageId, u32)> = None;
+                    for flit in &ivc.buffer {
+                        *counts.entry(flit.msg).or_insert(0) += 1;
+                        if let Some((pmsg, pseq)) = prev {
+                            if pmsg != flit.msg || flit.seq != pseq + 1 {
+                                self.record(
+                                    cycle,
+                                    "buffer-interleaving",
+                                    format!(
+                                        "router {:?} buffer interleaves {pmsg:?}#{pseq} \
+                                         with {:?}#{}",
+                                        router.node, flit.msg, flit.seq
+                                    ),
+                                );
+                            }
+                        }
+                        prev = Some((flit.msg, flit.seq));
+                    }
+                }
+            }
+            for (&msg, &n) in &router.local_assembly {
+                *counts.entry(msg).or_insert(0) += n;
+            }
+        }
+        for (&msg, &n) in &counts {
+            match messages.lookup(msg) {
+                None => self.record(
+                    cycle,
+                    "stale-flit",
+                    format!("{n} buffered flit(s) reference retired/stale message {msg:?}"),
+                ),
+                Some(m) if m.phase != MessagePhase::InNetwork => self.record(
+                    cycle,
+                    "flit-conservation",
+                    format!(
+                        "message {msg:?} is {:?} but has {n} flit(s) in the network",
+                        m.phase
+                    ),
+                ),
+                Some(_) => {}
+            }
+        }
+        messages.for_each_live(&mut |m| {
+            if m.phase == MessagePhase::InNetwork {
+                let n = counts.get(&m.id).copied().unwrap_or(0);
+                if n != m.length {
+                    self.record(
+                        cycle,
+                        "flit-conservation",
+                        format!(
+                            "in-network message {:?} has {n} flit(s) buffered, \
+                             expected its full length {}",
+                            m.id, m.length
+                        ),
+                    );
+                }
+            }
+        });
+    }
+
+    /// Credit counters are the exact complement of the downstream buffer
+    /// occupancy; faulty routers are quiescent; faulty channels carry no
+    /// flits, no owner and a full credit counter.
+    fn check_credits_and_faulty_channels(
+        &mut self,
+        cycle: u64,
+        net: &Network,
+        faults: &FaultSet,
+        routers: &[RouterState],
+    ) {
+        for router in routers {
+            let node = router.node;
+            if router.is_faulty && !router.is_quiescent() {
+                self.record(
+                    cycle,
+                    "faulty-router-active",
+                    format!("faulty router {node:?} holds flits or queued messages"),
+                );
+            }
+            for out_port in 0..router.num_net_ports() {
+                if !router.port_present[out_port] {
+                    continue;
+                }
+                let (dim, dir) = RouterState::port_dim_dir(out_port);
+                let downstream = net
+                    .neighbor(node, dim, dir)
+                    .expect("present ports lead to existing neighbours");
+                let faulty_channel =
+                    faults.is_channel_faulty(net, DirectedChannel::new(node, dim, dir));
+                for vc in 0..self.v {
+                    let ovc = &router.outputs[out_port][vc];
+                    let down_buf = routers[downstream.index()].inputs[out_port][vc]
+                        .buffer
+                        .len();
+                    if ovc.credits > self.buffer_depth
+                        || ovc.credits + down_buf != self.buffer_depth
+                    {
+                        self.record(
+                            cycle,
+                            "credit-mismatch",
+                            format!(
+                                "{}: {} credits + {down_buf} buffered downstream != \
+                                 depth {}",
+                                Self::describe(node, dim, dir, vc),
+                                ovc.credits,
+                                self.buffer_depth
+                            ),
+                        );
+                    }
+                    if faulty_channel
+                        && (ovc.owner.is_some()
+                            || ovc.credits != self.buffer_depth
+                            || down_buf != 0)
+                    {
+                        self.record(
+                            cycle,
+                            "faulty-channel-occupied",
+                            format!(
+                                "faulty {} is occupied (owner {:?}, {} credits, \
+                                 {down_buf} downstream flits)",
+                                Self::describe(node, dim, dir, vc),
+                                ovc.owner,
+                                ovc.credits
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every message reference held by router state resolves to a live
+    /// message, with the lazily released `draining` owner as the one allowed
+    /// exception; non-draining output owners are backed by a matching input
+    /// route of the same router.
+    fn check_references(
+        &mut self,
+        cycle: u64,
+        routers: &[RouterState],
+        messages: &dyn MessageLookup,
+    ) {
+        let live = |id: MessageId| messages.lookup(id).is_some_and(|m| !m.is_done());
+        for router in routers {
+            let node = router.node;
+            // Map of this router's claimed (out_port, out_vc) -> message.
+            let mut claimed: HashMap<(usize, usize), MessageId> = HashMap::new();
+            for port in &router.inputs {
+                for ivc in port {
+                    let Some(route) = ivc.route else { continue };
+                    if !live(route.msg) {
+                        self.record(
+                            cycle,
+                            "stale-route",
+                            format!("router {node:?} route references retired {:?}", route.msg),
+                        );
+                    }
+                    if let Some(front) = ivc.buffer.front() {
+                        if front.msg != route.msg {
+                            self.record(
+                                cycle,
+                                "route-mismatch",
+                                format!(
+                                    "router {node:?} buffers {:?} on a VC routed for {:?}",
+                                    front.msg, route.msg
+                                ),
+                            );
+                        }
+                    }
+                    if let RouteTarget::Network { out_port, out_vc } = route.target {
+                        claimed.insert((out_port, out_vc), route.msg);
+                    }
+                }
+            }
+            for (out_port, port_vcs) in router.outputs.iter().enumerate() {
+                for (vc, ovc) in port_vcs.iter().enumerate() {
+                    let Some(owner) = ovc.owner else { continue };
+                    if ovc.draining {
+                        continue; // lazy release: the owner may be retired
+                    }
+                    if !live(owner) {
+                        self.record(
+                            cycle,
+                            "stale-owner",
+                            format!(
+                                "router {node:?} output p{out_port} vc{vc} owned by \
+                                 retired {owner:?}"
+                            ),
+                        );
+                    }
+                    if claimed.get(&(out_port, vc)) != Some(&owner) {
+                        self.record(
+                            cycle,
+                            "owner-without-route",
+                            format!(
+                                "router {node:?} output p{out_port} vc{vc} owned by \
+                                 {owner:?} without a matching input route"
+                            ),
+                        );
+                    }
+                }
+            }
+            for &id in &router.source_queue {
+                if !messages
+                    .lookup(id)
+                    .is_some_and(|m| m.phase == MessagePhase::Queued)
+                {
+                    self.record(
+                        cycle,
+                        "queue-mismatch",
+                        format!("router {node:?} source queue holds non-queued {id:?}"),
+                    );
+                }
+            }
+            for e in &router.reinjection_queue {
+                if !messages
+                    .lookup(e.msg)
+                    .is_some_and(|m| m.phase == MessagePhase::Queued)
+                {
+                    self.record(
+                        cycle,
+                        "queue-mismatch",
+                        format!(
+                            "router {node:?} reinjection queue holds non-queued {:?}",
+                            e.msg
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    /// The engine's `in_flight` counter equals the live message population.
+    fn check_in_flight(&mut self, cycle: u64, messages: &dyn MessageLookup, in_flight: u64) {
+        let mut live = 0u64;
+        messages.for_each_live(&mut |_| live += 1);
+        if live != in_flight {
+            self.record(
+                cycle,
+                "in-flight-mismatch",
+                format!("in_flight counter is {in_flight} but {live} messages are live"),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flit::Flit;
+    use crate::router::VcRoute;
+    use torus_routing::{RoutingAlgorithm, SwBasedRouting};
+
+    fn mesh() -> Network {
+        Network::mesh(4, 2).unwrap()
+    }
+
+    fn routers_for(net: &Network, v: usize, depth: usize) -> Vec<RouterState> {
+        net.nodes()
+            .map(|node| {
+                let port_present = (0..2 * net.dims())
+                    .map(|port| {
+                        let (dim, dir) = RouterState::port_dim_dir(port);
+                        net.has_channel(node, dim, dir)
+                    })
+                    .collect();
+                RouterState::new(node, net.dims(), v, depth, false, port_present)
+            })
+            .collect()
+    }
+
+    fn message(net: &Network, id: MessageId, length: u32) -> MessageState {
+        let algo = SwBasedRouting::deterministic();
+        let header = algo.make_header(net, NodeId(0), NodeId(5));
+        MessageState::new(id, header, length, 0, false)
+    }
+
+    #[test]
+    fn pristine_state_is_clean() {
+        let net = mesh();
+        let routers = routers_for(&net, 2, 4);
+        let messages: Vec<MessageState> = Vec::new();
+        let mut s = Sanitizer::new(2, 4, true, None);
+        s.check_cycle(0, &net, &FaultSet::new(), &routers, &messages, 0);
+        assert!(s.is_clean());
+        assert_eq!(s.cycles_checked(), 1);
+    }
+
+    #[test]
+    fn missing_flits_are_a_conservation_violation() {
+        let net = mesh();
+        let routers = routers_for(&net, 2, 4);
+        let mut m = message(&net, MessageId(0), 4);
+        m.note_injected(1); // InNetwork, but no flits buffered anywhere
+        let messages = vec![m];
+        let mut s = Sanitizer::new(2, 4, true, None);
+        s.check_cycle(1, &net, &FaultSet::new(), &routers, &messages, 1);
+        assert!(!s.is_clean());
+        assert!(s.violations().iter().any(|v| v.kind == "flit-conservation"));
+    }
+
+    #[test]
+    fn stale_flit_and_credit_mismatch_are_detected() {
+        let net = mesh();
+        let mut routers = routers_for(&net, 2, 4);
+        // A flit referencing a message the table does not know.
+        routers[0].inputs[0][0]
+            .buffer
+            .push_back(Flit::nth_of(MessageId(9), 0, 1));
+        // A credit counter that lost a credit with no downstream flit
+        // (port 0 = dim 0 towards +x, the one port node 0 of a mesh has).
+        routers[0].outputs[0][0].credits = 3;
+        let messages: Vec<MessageState> = Vec::new();
+        let mut s = Sanitizer::new(2, 4, true, None);
+        s.check_cycle(2, &net, &FaultSet::new(), &routers, &messages, 0);
+        let kinds: Vec<&str> = s.violations().iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&"stale-flit"), "{kinds:?}");
+        assert!(kinds.contains(&"credit-mismatch"), "{kinds:?}");
+    }
+
+    #[test]
+    fn faulty_channel_occupancy_is_detected() {
+        let net = mesh();
+        let mut faults = FaultSet::new();
+        faults.fail_link(&net, NodeId(0), 0, Direction::Plus);
+        let mut routers = routers_for(&net, 2, 4);
+        let port = RouterState::out_port(0, Direction::Plus);
+        routers[0].outputs[port][1].owner = Some(MessageId(3));
+        let mut m = message(&net, MessageId(3), 1);
+        m.note_injected(0);
+        // Give the owner a matching route so only the fault check fires
+        // (plus the flit-conservation check for the missing flit, which we
+        // tolerate here).
+        routers[0].inputs[0][0].route = Some(VcRoute {
+            msg: MessageId(3),
+            target: RouteTarget::Network {
+                out_port: port,
+                out_vc: 1,
+            },
+            ready_at: 0,
+        });
+        let messages = vec![m];
+        let mut s = Sanitizer::new(2, 4, true, None);
+        s.check_cycle(3, &net, &faults, &routers, &messages, 1);
+        assert!(s
+            .violations()
+            .iter()
+            .any(|v| v.kind == "faulty-channel-occupied"));
+    }
+
+    #[test]
+    fn cdg_conformance_accepts_allowed_edges_and_flags_divergence() {
+        let net = mesh();
+        let v = 1;
+        // Hand-built CDG permitting only the 0 -> +x -> +x chain.
+        let a = NodeId(0);
+        let b = net.neighbor(a, 0, Direction::Plus).unwrap();
+        let mut cdg = DependencyGraph::new(net.channel_slots() * v);
+        let ra = net
+            .channel_id(DirectedChannel::new(a, 0, Direction::Plus))
+            .index()
+            * v;
+        let rb = net
+            .channel_id(DirectedChannel::new(b, 0, Direction::Plus))
+            .index()
+            * v;
+        cdg.add_edge(ra, rb);
+        let mut s = Sanitizer::new(v, 4, true, Some(cdg));
+        let msg = MessageId(0);
+        // First allocation: no held resource yet, always fine.
+        s.on_allocate(0, &net, msg, a, 0, Direction::Plus, 0, false);
+        // Allowed edge.
+        s.on_allocate(1, &net, msg, b, 0, Direction::Plus, 0, false);
+        assert!(s.is_clean());
+        assert_eq!(s.edges_checked(), 1);
+        // A turn the CDG does not contain is a divergence.
+        let c = net.neighbor(b, 0, Direction::Plus).unwrap();
+        s.on_allocate(2, &net, msg, c, 1, Direction::Plus, 0, false);
+        assert_eq!(s.violation_count(), 1);
+        let v0 = &s.violations()[0];
+        assert_eq!(v0.kind, "cdg-divergence");
+        assert_eq!(v0.cycle, 2);
+        assert!(v0.detail.contains("not an edge of the exact CDG"));
+        // Release clears the wait-for state: the next allocation is fresh.
+        s.on_release(msg);
+        s.on_allocate(3, &net, msg, c, 1, Direction::Plus, 0, false);
+        assert_eq!(s.violation_count(), 1);
+    }
+
+    #[test]
+    fn untracked_allocations_are_ignored_without_all_tracked() {
+        let net = mesh();
+        let mut s = Sanitizer::new(1, 4, false, Some(DependencyGraph::new(net.channel_slots())));
+        let msg = MessageId(0);
+        // Adaptive-layer (non-escape) hops never touch the wait-for state.
+        s.on_allocate(0, &net, msg, NodeId(0), 0, Direction::Plus, 0, false);
+        s.on_allocate(1, &net, msg, NodeId(1), 1, Direction::Plus, 0, false);
+        assert!(s.is_clean());
+        assert_eq!(s.edges_checked(), 0);
+        // Escape hops do: with an edge-free CDG the second one diverges.
+        s.on_allocate(2, &net, msg, NodeId(0), 0, Direction::Plus, 0, true);
+        s.on_allocate(3, &net, msg, NodeId(1), 1, Direction::Plus, 0, true);
+        assert_eq!(s.violation_count(), 1);
+    }
+
+    #[test]
+    fn recording_is_capped_but_counting_is_not() {
+        let mut s = Sanitizer::new(1, 1, true, None);
+        for i in 0..(MAX_RECORDED as u64 + 10) {
+            s.record(i, "test", String::new());
+        }
+        assert_eq!(s.violations().len(), MAX_RECORDED);
+        assert_eq!(s.violation_count(), MAX_RECORDED as u64 + 10);
+    }
+}

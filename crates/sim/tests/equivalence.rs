@@ -3,6 +3,13 @@
 //! **bit-identical** [`SimulationReport`]s — same delivery order, same
 //! floating-point accumulation order, same RNG stream — for every seed, load
 //! and fault scenario.
+//!
+//! With the `sanitizer` feature (the default) every case additionally runs
+//! both engines under the conservation sanitizer and asserts a clean audit:
+//! no flit created or destroyed outside inject/absorb, credit counters the
+//! exact complement of downstream occupancy, faulty components quiescent, no
+//! stale message references. (CDG-conformance runs, which need the static
+//! verifier, live in the workspace-level `sanitizer_conformance` suite.)
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -23,7 +30,23 @@ fn assert_equivalent_with<A: RoutingAlgorithm + Clone>(
         .expect("valid config for the active engine");
     let mut r = ReferenceSimulation::new(config, faults, algo.clone())
         .expect("valid config for the reference engine");
+    #[cfg(feature = "sanitizer")]
+    {
+        a.attach_sanitizer(None);
+        r.attach_sanitizer(None);
+    }
     let (active, reference) = (a.run(), r.run());
+    for (engine, sanitizer) in [("active", a.sanitizer()), ("reference", r.sanitizer())] {
+        if let Some(s) = sanitizer {
+            assert!(
+                s.is_clean(),
+                "{engine} engine violated {} invariant(s) under {}; first: {:?}",
+                s.violation_count(),
+                algo.name(),
+                s.violations().first()
+            );
+        }
+    }
     assert_eq!(
         active.report,
         reference.report,

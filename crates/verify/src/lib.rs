@@ -294,6 +294,8 @@ mod tests {
                 TurnModelRouting::adaptive(),
                 TurnModelRouting::west_first_deterministic(),
                 TurnModelRouting::west_first_adaptive(),
+                TurnModelRouting::north_last_deterministic(),
+                TurnModelRouting::north_last_adaptive(),
             ] {
                 let v = algo.min_virtual_channels(&n);
                 let cdg = extract_exact_cdg(
@@ -337,11 +339,44 @@ mod tests {
                 );
             }
         }
+        assert!(
+            report
+                .cases
+                .iter()
+                .any(|c| c.faults.starts_with("links@") && c.verdict == Verdict::Proved),
+            "smoke matrix covers at least one link-fault case"
+        );
+        assert!(
+            report
+                .cases
+                .iter()
+                .any(|c| c.faults.starts_with("region@") && c.verdict == Verdict::Proved),
+            "smoke matrix covers at least one clustered-region case"
+        );
         let json = report::to_json(&report);
-        assert!(json.contains("\"schema\": \"swbft-verify-v1\""));
+        assert!(json.contains("\"schema\": \"swbft-verify-v2\""));
         assert!(json.contains("\"failed\": 0"));
+        assert!(json.contains("\"wall_clock_ms\": "));
         let text = report::render_text(&report);
         assert!(text.contains("0 failed"));
+    }
+
+    #[test]
+    fn parallel_matrix_matches_sequential_case_for_case() {
+        let sequential = run_matrix(MatrixKind::Smoke);
+        let parallel = matrix::run_matrix_with_options(MatrixKind::Smoke, 4, |_| {});
+        assert_eq!(parallel.jobs, 4);
+        assert_eq!(sequential.cases.len(), parallel.cases.len());
+        for (a, b) in sequential.cases.iter().zip(&parallel.cases) {
+            assert_eq!(a.topology, b.topology);
+            assert_eq!(a.routing, b.routing);
+            assert_eq!(a.virtual_channels, b.virtual_channels);
+            assert_eq!(a.faults, b.faults);
+            assert_eq!(a.verdict, b.verdict);
+            assert_eq!(a.cdg_edges, b.cdg_edges);
+            assert_eq!(a.states, b.states);
+            assert_eq!(a.detail, b.detail);
+        }
     }
 
     #[test]

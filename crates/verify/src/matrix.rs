@@ -21,11 +21,14 @@ use crate::exact::{accumulate_cdg, resource_count, ExactCdg, Granularity};
 use crate::reach::{record_pair, ReachReport};
 use crate::relation::walk_pair;
 use crate::witness::{describe_cycle, describe_pair_verdict};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 use swbft_core::RoutingChoice;
-use torus_faults::FaultSet;
+use torus_faults::{FaultRegion, FaultSet, RegionShape};
 use torus_routing::cdg::DependencyGraph;
 use torus_routing::{AnyRouting, RoutingAlgorithm, TurnModelRouting};
-use torus_topology::{Network, NodeId, TopologySpec};
+use torus_topology::{Direction, Network, NodeId, TopologySpec};
 
 /// Default per-pair state budget. Far above anything the supported shapes
 /// produce (the largest full-matrix walks stay in the low thousands), so
@@ -119,8 +122,13 @@ pub struct CaseResult {
 pub struct MatrixReport {
     /// Which matrix was run.
     pub kind: MatrixKind,
-    /// Per-case outcomes, in sweep order.
+    /// Per-case outcomes, in sweep order (deterministic regardless of
+    /// `jobs` — parallel runs are reassembled into enumeration order).
     pub cases: Vec<CaseResult>,
+    /// Wall-clock duration of the whole sweep, in milliseconds.
+    pub wall_clock_ms: u64,
+    /// Worker threads the sweep ran on.
+    pub jobs: usize,
 }
 
 impl MatrixReport {
@@ -168,8 +176,9 @@ pub fn matrix_topologies(kind: MatrixKind) -> Vec<TopologySpec> {
         .collect()
 }
 
-/// The routing slice: every [`RoutingChoice`] plus the west-first turn-model
-/// flavours, which prove the extractor is not negative-first-specific.
+/// The routing slice: every [`RoutingChoice`] plus the west-first and
+/// north-last turn-model flavours, which prove the extractor is not
+/// negative-first-specific.
 pub fn matrix_routings() -> Vec<(String, AnyRouting)> {
     let mut out: Vec<(String, AnyRouting)> = RoutingChoice::ALL
         .iter()
@@ -183,13 +192,22 @@ pub fn matrix_routings() -> Vec<(String, AnyRouting)> {
         "west-first-det".to_string(),
         AnyRouting::TurnModel(TurnModelRouting::west_first_deterministic()),
     ));
+    out.push((
+        "north-last".to_string(),
+        AnyRouting::TurnModel(TurnModelRouting::north_last_adaptive()),
+    ));
+    out.push((
+        "north-last-det".to_string(),
+        AnyRouting::TurnModel(TurnModelRouting::north_last_deterministic()),
+    ));
     out
 }
 
 /// Enumerated fault cases for a topology: always the fault-free network,
-/// plus deterministically chosen small node-fault sets that preserve
-/// connectivity (sets that would disconnect the network are skipped — the
-/// delivery proof is only meaningful on a connected healthy subnetwork).
+/// plus deterministically chosen node-fault sets, link-fault sets and
+/// clustered fault regions that preserve connectivity (sets that would
+/// disconnect the network are skipped — the delivery proof is only
+/// meaningful on a connected healthy subnetwork).
 pub fn matrix_fault_cases(net: &Network, kind: MatrixKind) -> Vec<(String, FaultSet)> {
     let mut cases = vec![("nf=0".to_string(), FaultSet::new())];
     let n = net.num_nodes() as u32;
@@ -219,7 +237,120 @@ pub fn matrix_fault_cases(net: &Network, kind: MatrixKind) -> Vec<(String, Fault
             cases.push((label, faults));
         }
     }
+    push_link_cases(net, kind, &mut cases);
+    push_region_cases(net, kind, &mut cases);
     cases
+}
+
+/// Adds link-fault cases: one mid-network failed link always, plus a
+/// two-link set on the full matrix. `fail_link` silently ignores channels
+/// that do not exist (open-mesh edges), so a pick that lands on a missing
+/// channel produces no faults and is dropped by the `num_faulty_links`
+/// guard rather than mislabelled as fault-free.
+fn push_link_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, FaultSet)>) {
+    let n = net.num_nodes() as u32;
+    let last_dim = net.dims() - 1;
+    let picks: Vec<Vec<(u32, usize, Direction)>> = match kind {
+        MatrixKind::Smoke => vec![vec![(n / 2, 0, Direction::Plus)]],
+        MatrixKind::Full => vec![
+            vec![(n / 2, 0, Direction::Plus)],
+            vec![
+                (n / 3, 0, Direction::Plus),
+                (n / 2, last_dim, Direction::Minus),
+            ],
+        ],
+    };
+    for links in picks {
+        let mut faults = FaultSet::new();
+        let mut parts = Vec::new();
+        for &(id, dim, dir) in &links {
+            faults.fail_link(net, NodeId(id), dim, dir);
+            let sign = match dir {
+                Direction::Plus => '+',
+                Direction::Minus => '-',
+            };
+            parts.push(format!("{id}:d{dim}{sign}"));
+        }
+        if faults.num_faulty_links() == 0 || !faults.preserves_connectivity(net) {
+            continue;
+        }
+        let label = format!("links@{}", parts.join("+"));
+        if !cases.iter().any(|(l, _)| *l == label) {
+            cases.push((label, faults));
+        }
+    }
+}
+
+/// Adds clustered (region) fault cases for topologies with at least two
+/// dimensions: an L-shaped 2×2 region always, plus a solid 2×2 block on
+/// the full matrix. Each shape is tried centred first and anchored at the
+/// origin as a fallback — on small open meshes a centred block can sever
+/// the network, while an edge-anchored one leaves it connected.
+fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, FaultSet)>) {
+    if net.dims() < 2 {
+        return;
+    }
+    let shapes: Vec<(&str, RegionShape)> = match kind {
+        MatrixKind::Smoke => vec![(
+            "L2x2",
+            RegionShape::LShape {
+                vertical: 2,
+                horizontal: 2,
+            },
+        )],
+        MatrixKind::Full => vec![
+            (
+                "L2x2",
+                RegionShape::LShape {
+                    vertical: 2,
+                    horizontal: 2,
+                },
+            ),
+            (
+                "rect2x2",
+                RegionShape::Rect {
+                    width: 2,
+                    height: 2,
+                },
+            ),
+        ],
+    };
+    for (tag, shape) in shapes {
+        let (bw, bh) = shape.bounding_box();
+        let centered: Vec<u16> = (0..net.dims())
+            .map(|d| {
+                let k = net.radix(d);
+                let span = match d {
+                    0 => bw,
+                    1 => bh,
+                    _ => 1,
+                };
+                if net.wraps(d) {
+                    (k / 2) % k
+                } else {
+                    (k / 2).min(k.saturating_sub(span))
+                }
+            })
+            .collect();
+        let origin: Vec<u16> = vec![0; net.dims()];
+        let label = format!("region@{tag}");
+        if cases.iter().any(|(l, _)| *l == label) {
+            continue;
+        }
+        for anchor in [centered, origin] {
+            let Ok(region) = FaultRegion::in_default_plane(net, shape, &anchor) else {
+                continue;
+            };
+            let Ok(faults) = region.to_fault_set(net) else {
+                continue;
+            };
+            if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(net) {
+                continue;
+            }
+            cases.push((label, faults));
+            break;
+        }
+    }
 }
 
 /// Runs both static checks for one fully specified case, sharing a single
@@ -315,21 +446,37 @@ fn case_from_checks(
     }
 }
 
-/// Runs the whole matrix, calling `progress` with a short line per case as
-/// it completes (pass a closure that prints, or one that ignores).
-pub fn run_matrix_with_progress(
-    kind: MatrixKind,
-    mut progress: impl FnMut(&CaseResult),
-) -> MatrixReport {
-    let mut cases = Vec::new();
+/// One enumerated unit of matrix work: either a case resolved during
+/// enumeration (routing rejections are instantaneous) or a pending
+/// (topology, routing, V, faults) combination to be checked.
+enum WorkItem {
+    Resolved(CaseResult),
+    Pending {
+        net_idx: usize,
+        topology: String,
+        routing: String,
+        algo: AnyRouting,
+        v: usize,
+        fault_label: String,
+        faults: FaultSet,
+    },
+}
+
+/// Enumerates every work item of the matrix in deterministic sweep order,
+/// together with the built networks the pending items index into.
+fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
+    let mut nets = Vec::new();
+    let mut items = Vec::new();
     for spec in matrix_topologies(kind) {
         let topology = spec.to_spec_string();
         let net = spec.build().expect("matrix topologies build");
+        let net_idx = nets.len();
+        let fault_cases = matrix_fault_cases(&net, kind);
         for (routing, algo) in matrix_routings() {
             if let Err(e) = algo.supported_on(&net) {
-                let case = CaseResult {
+                items.push(WorkItem::Resolved(CaseResult {
                     topology: topology.clone(),
-                    routing: routing.clone(),
+                    routing,
                     virtual_channels: 0,
                     faults: "-".to_string(),
                     verdict: Verdict::Rejected,
@@ -340,9 +487,7 @@ pub fn run_matrix_with_progress(
                     states: 0,
                     detail: e.to_string(),
                     witness: Vec::new(),
-                };
-                progress(&case);
-                cases.push(case);
+                }));
                 continue;
             }
             let min_v = algo.min_virtual_channels(&net);
@@ -351,39 +496,130 @@ pub fn run_matrix_with_progress(
                 MatrixKind::Full => vec![min_v, min_v + 1],
             };
             for v in vc_configs {
-                for (fault_label, faults) in matrix_fault_cases(&net, kind) {
-                    let case = match verify_case(&net, &algo, &faults, v) {
-                        Ok((cdg, reach)) => case_from_checks(
-                            &net,
-                            &topology,
-                            &routing,
-                            v,
-                            &fault_label,
-                            &cdg,
-                            &reach,
-                        ),
-                        Err(e) => CaseResult {
-                            topology: topology.clone(),
-                            routing: routing.clone(),
-                            virtual_channels: v,
-                            faults: fault_label.clone(),
-                            verdict: Verdict::Failed,
-                            cdg_vertices: 0,
-                            cdg_edges: 0,
-                            pairs: 0,
-                            delivered: 0,
-                            states: 0,
-                            detail: e.to_string(),
-                            witness: Vec::new(),
-                        },
-                    };
-                    progress(&case);
-                    cases.push(case);
+                for (fault_label, faults) in &fault_cases {
+                    items.push(WorkItem::Pending {
+                        net_idx,
+                        topology: topology.clone(),
+                        routing: routing.clone(),
+                        algo,
+                        v,
+                        fault_label: fault_label.clone(),
+                        faults: faults.clone(),
+                    });
                 }
             }
         }
+        nets.push(net);
     }
-    MatrixReport { kind, cases }
+    (nets, items)
+}
+
+/// Resolves one work item to its case result.
+fn run_item(nets: &[Network], item: &WorkItem) -> CaseResult {
+    match item {
+        WorkItem::Resolved(case) => case.clone(),
+        WorkItem::Pending {
+            net_idx,
+            topology,
+            routing,
+            algo,
+            v,
+            fault_label,
+            faults,
+        } => {
+            let net = &nets[*net_idx];
+            match verify_case(net, algo, faults, *v) {
+                Ok((cdg, reach)) => {
+                    case_from_checks(net, topology, routing, *v, fault_label, &cdg, &reach)
+                }
+                Err(e) => CaseResult {
+                    topology: topology.clone(),
+                    routing: routing.clone(),
+                    virtual_channels: *v,
+                    faults: fault_label.clone(),
+                    verdict: Verdict::Failed,
+                    cdg_vertices: 0,
+                    cdg_edges: 0,
+                    pairs: 0,
+                    delivered: 0,
+                    states: 0,
+                    detail: e.to_string(),
+                    witness: Vec::new(),
+                },
+            }
+        }
+    }
+}
+
+/// Runs the whole matrix on `jobs` worker threads, calling `progress` with
+/// a short line per case.
+///
+/// The case list is enumerated up front and, for `jobs > 1`, workers pull
+/// items off a shared atomic cursor; results are reassembled into
+/// enumeration order, so the case list (and every per-case field of
+/// `VERIFY.json`) is identical for any thread count — only the recorded
+/// wall clock and job count differ. With multiple jobs, `progress` fires
+/// after the sweep completes (still in deterministic order) rather than as
+/// cases finish.
+pub fn run_matrix_with_options(
+    kind: MatrixKind,
+    jobs: usize,
+    mut progress: impl FnMut(&CaseResult),
+) -> MatrixReport {
+    let start = Instant::now();
+    let jobs = jobs.max(1);
+    let (nets, items) = enumerate_work(kind);
+    let cases: Vec<CaseResult> = if jobs == 1 {
+        items
+            .iter()
+            .map(|item| {
+                let case = run_item(&nets, item);
+                progress(&case);
+                case
+            })
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        let slots: Mutex<Vec<Option<CaseResult>>> = Mutex::new(vec![None; items.len()]);
+        std::thread::scope(|scope| {
+            for _ in 0..jobs.min(items.len()) {
+                scope.spawn(|| loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let case = run_item(&nets, &items[i]);
+                    slots.lock().expect("no panics hold the slot lock")[i] = Some(case);
+                });
+            }
+        });
+        let cases: Vec<CaseResult> = slots
+            .into_inner()
+            .expect("no panics hold the slot lock")
+            .into_iter()
+            .map(|c| c.expect("every enumerated case completed"))
+            .collect();
+        for case in &cases {
+            progress(case);
+        }
+        cases
+    };
+    MatrixReport {
+        kind,
+        cases,
+        wall_clock_ms: u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX),
+        jobs,
+    }
+}
+
+/// Runs the whole matrix single-threaded, calling `progress` with a short
+/// line per case as it completes (pass a closure that prints, or one that
+/// ignores).
+pub fn run_matrix_with_progress(
+    kind: MatrixKind,
+    progress: impl FnMut(&CaseResult),
+) -> MatrixReport {
+    run_matrix_with_options(kind, 1, progress)
 }
 
 /// Runs the whole matrix without progress output.

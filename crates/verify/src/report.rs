@@ -40,8 +40,10 @@ fn json_string_array(items: &[String], indent: &str) -> String {
 pub fn to_json(report: &MatrixReport) -> String {
     let (proved, rejected, failed) = report.tallies();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"swbft-verify-v1\",\n");
+    out.push_str("  \"schema\": \"swbft-verify-v2\",\n");
     out.push_str(&format!("  \"matrix\": \"{}\",\n", report.kind.name()));
+    out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
+    out.push_str(&format!("  \"wall_clock_ms\": {},\n", report.wall_clock_ms));
     out.push_str(&format!("  \"cases\": {},\n", report.cases.len()));
     out.push_str(&format!("  \"proved\": {proved},\n"));
     out.push_str(&format!("  \"rejected\": {rejected},\n"));
@@ -126,9 +128,13 @@ pub fn render_text(report: &MatrixReport) -> String {
     }
     let (proved, rejected, failed) = report.tallies();
     out.push_str(&format!(
-        "matrix {}: {} cases — {proved} proved, {rejected} rejected, {failed} failed\n",
+        "matrix {}: {} cases — {proved} proved, {rejected} rejected, {failed} failed \
+         ({} ms on {} thread{})\n",
         report.kind.name(),
-        report.cases.len()
+        report.cases.len(),
+        report.wall_clock_ms,
+        report.jobs,
+        if report.jobs == 1 { "" } else { "s" }
     ));
     out
 }

@@ -9,7 +9,7 @@ use swbft_verify::{extract_exact_cdg, Granularity};
 use torus_faults::FaultSet;
 use torus_routing::cdg::{build_turn_cdg, TurnRule};
 use torus_routing::TurnModelRouting;
-use torus_topology::Network;
+use torus_topology::{Direction, Network, NodeId};
 
 /// Random open shapes: 1..=3 dimensions with mixed radices, no wraps.
 fn arb_mesh() -> impl Strategy<Value = Network> {
@@ -25,6 +25,10 @@ fn rules() -> Vec<(TurnRule, TurnModelRouting)> {
         (
             TurnRule::WestFirst,
             TurnModelRouting::west_first_deterministic(),
+        ),
+        (
+            TurnRule::NorthLast,
+            TurnModelRouting::north_last_deterministic(),
         ),
     ]
 }
@@ -62,6 +66,50 @@ proptest! {
             if net.num_nodes() > 2 {
                 prop_assert!(exact.graph.num_edges() <= over.num_edges());
             }
+        }
+    }
+
+    /// Faults only remove behaviour: under any connectivity-preserving
+    /// single link fault, the exact CDG of the rerouted relation is still a
+    /// subgraph of the fault-free over-approximation (the turn rules keep
+    /// holding), and still acyclic.
+    #[test]
+    fn link_fault_exact_cdg_stays_a_subgraph(net in arb_mesh(), pick in 0usize..1024) {
+        let n = net.num_nodes();
+        let node = NodeId(u32::try_from(pick % n).unwrap());
+        let dim = (pick / n) % net.dims();
+        let dir = if (pick / (n * net.dims())).is_multiple_of(2) {
+            Direction::Plus
+        } else {
+            Direction::Minus
+        };
+        let mut faults = FaultSet::new();
+        faults.fail_link(&net, node, dim, dir);
+        prop_assume!(faults.num_faulty_links() > 0);
+        prop_assume!(faults.preserves_connectivity(&net));
+        for (rule, algo) in rules() {
+            let exact = extract_exact_cdg(
+                &net,
+                &algo,
+                &faults,
+                1,
+                Granularity::PerChannel,
+                1 << 20,
+            )
+            .expect("open-shape walks are tiny");
+            let over = build_turn_cdg(&net, rule);
+            for (from, to) in exact.graph.iter_edges() {
+                prop_assert!(
+                    over.has_edge(from, to),
+                    "link-faulted exact edge {}->{} missing from the {:?} \
+                     over-approximation on {}",
+                    from, to, rule, net
+                );
+            }
+            prop_assert!(
+                exact.graph.find_cycle().is_none(),
+                "{:?} exact CDG under a link fault on {}", rule, net
+            );
         }
     }
 }

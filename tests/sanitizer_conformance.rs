@@ -1,0 +1,319 @@
+//! Runtime-vs-static conformance: both simulation engines run under the
+//! sanitizer with the **exact CDG** of the verifier attached, so every
+//! observed wait-for dependency (held channel → requested channel) is
+//! asserted online to be an edge of the statically extracted graph for the
+//! same (topology, routing, VC, fault) case.
+//!
+//! Two seeded-bug mutation tests close the loop in the other direction: a
+//! routing wrapper that skips the via-host absorption, and a routing run
+//! against the exact CDG of a *different* turn model, must both be flagged
+//! with a concrete `cdg-divergence` report — proving the check can actually
+//! catch real protocol violations, not just vacuously pass.
+
+#![cfg(feature = "sanitizer")]
+
+use swbft::faults::{FaultRegion, FaultSet, RegionShape};
+use swbft::routing::cdg::DependencyGraph;
+use swbft::routing::{
+    RouteDecision, RouteHeader, RoutingAlgorithm, RoutingFlavor, RoutingTopologyError,
+    SwBasedRouting, TurnModelRouting,
+};
+use swbft::sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
+use swbft::topology::{Direction, Network, NodeId, TopologySpec};
+use swbft::verify::{extract_exact_cdg, Granularity};
+
+/// A short, deterministic run: enough traffic to exercise absorption and
+/// re-injection around faults, small enough to keep the suite fast.
+fn quick(spec: &str, v: usize, rate: f64, seed: u64) -> SimConfig {
+    let topology = TopologySpec::parse(spec).expect("valid spec");
+    let mut c = SimConfig::paper_topology(topology, v, 8, rate).with_seed(seed);
+    c.warmup_messages = 100;
+    c.stop = StopCondition::MeasuredMessages(400);
+    c.max_cycles = 200_000;
+    c
+}
+
+/// Extracts the exact per-VC CDG of `algo` for the simulated case. The
+/// sanitizer numbers runtime channels with the same `channel_id * v + vc`
+/// scheme, so the graph can be consumed as-is.
+fn exact_cdg<A: RoutingAlgorithm>(
+    config: &SimConfig,
+    algo: &A,
+    faults: &FaultSet,
+) -> DependencyGraph {
+    let net = config.topology.build().expect("topology builds");
+    extract_exact_cdg(
+        &net,
+        algo,
+        faults,
+        config.virtual_channels,
+        Granularity::PerVc,
+        1 << 20,
+    )
+    .expect("exact walk fits the budget")
+    .graph
+}
+
+/// Runs both engines under the sanitizer with `cdg` attached and returns the
+/// two sanitizer summaries as (edges_checked, violations-of-kind) extractors
+/// via the engines themselves.
+fn run_both_with_cdg<A: RoutingAlgorithm + Clone>(
+    config: SimConfig,
+    faults: FaultSet,
+    algo: A,
+    cdg: DependencyGraph,
+) -> (Simulation<A>, ReferenceSimulation<A>) {
+    let mut a = Simulation::new(config.clone(), faults.clone(), algo.clone())
+        .expect("valid config for the active engine");
+    let mut r =
+        ReferenceSimulation::new(config, faults, algo).expect("valid config for the reference");
+    a.attach_sanitizer(Some(cdg.clone()));
+    r.attach_sanitizer(Some(cdg));
+    a.run();
+    r.run();
+    (a, r)
+}
+
+/// Asserts that a run of `algo` conforms to its own exact CDG on both
+/// engines: a clean audit, with at least one dependency actually checked.
+fn assert_conformant<A: RoutingAlgorithm + Clone>(config: SimConfig, faults: FaultSet, algo: A) {
+    let name = algo.name();
+    let cdg = exact_cdg(&config, &algo, &faults);
+    let (a, r) = run_both_with_cdg(config, faults, algo, cdg);
+    for (engine, sanitizer) in [("active", a.sanitizer()), ("reference", r.sanitizer())] {
+        let s = sanitizer.expect("sanitizer attached");
+        assert!(
+            s.edges_checked() > 0,
+            "{engine} engine under {name}: no wait-for dependencies were checked"
+        );
+        assert!(
+            s.is_clean(),
+            "{engine} engine under {name}: {} violation(s); first: {:?}",
+            s.violation_count(),
+            s.violations().first()
+        );
+    }
+}
+
+#[test]
+fn fault_free_deterministic_conforms_on_torus_and_mesh() {
+    for spec in ["torus:4x2", "mesh:4x2"] {
+        assert_conformant(
+            quick(spec, 2, 0.01, 11),
+            FaultSet::new(),
+            SwBasedRouting::deterministic(),
+        );
+    }
+}
+
+#[test]
+fn node_faulted_deterministic_conforms() {
+    // A central faulty node forces absorptions, software re-injection and
+    // misrouted via chains — the paths whose dependencies are easiest to get
+    // wrong.
+    let mut faults = FaultSet::new();
+    faults.fail_node(NodeId(5));
+    assert_conformant(
+        quick("mesh:4x2", 2, 0.01, 12),
+        faults,
+        SwBasedRouting::deterministic(),
+    );
+}
+
+#[test]
+fn link_faulted_deterministic_conforms() {
+    let config = quick("torus:4x2", 2, 0.01, 13);
+    let net = config.topology.build().expect("topology builds");
+    let mut faults = FaultSet::new();
+    faults.fail_link(&net, NodeId(3), 0, Direction::Plus);
+    assert!(faults.num_faulty_links() > 0);
+    assert_conformant(config, faults, SwBasedRouting::deterministic());
+}
+
+#[test]
+fn region_faulted_deterministic_conforms() {
+    let config = quick("mesh:4x2", 2, 0.01, 14);
+    let net = config.topology.build().expect("topology builds");
+    let shape = RegionShape::LShape {
+        vertical: 2,
+        horizontal: 2,
+    };
+    let faults = FaultRegion::in_default_plane(&net, shape, &[1, 1])
+        .expect("region placement is valid")
+        .to_fault_set(&net)
+        .expect("region realises");
+    assert!(faults.num_faulty_nodes() == 3);
+    assert_conformant(config, faults, SwBasedRouting::deterministic());
+}
+
+#[test]
+fn north_last_turn_model_conforms_on_meshes() {
+    for (spec, seed) in [("mesh:4x2", 15), ("mesh:3x3", 16)] {
+        assert_conformant(
+            quick(spec, 1, 0.01, seed),
+            FaultSet::new(),
+            TurnModelRouting::north_last_deterministic(),
+        );
+    }
+}
+
+#[test]
+fn adaptive_escape_allocations_conform() {
+    // Under the adaptive flavour only escape-channel grabs are tracked (the
+    // adaptive layer is allowed arbitrary dependencies by Duato's protocol);
+    // those grabs must still stay inside the exact relation's edge set.
+    let mut faults = FaultSet::new();
+    faults.fail_node(NodeId(3));
+    // Congestion high enough that escape channels actually get used.
+    let config = quick("torus:4x2", 3, 0.05, 17);
+    let algo = SwBasedRouting::adaptive();
+    let cdg = exact_cdg(&config, &algo, &faults);
+    let (a, r) = run_both_with_cdg(config, faults, algo, cdg);
+    for (engine, sanitizer) in [("active", a.sanitizer()), ("reference", r.sanitizer())] {
+        let s = sanitizer.expect("sanitizer attached");
+        assert!(
+            s.is_clean(),
+            "{engine} engine (adaptive): {} violation(s); first: {:?}",
+            s.violation_count(),
+            s.violations().first()
+        );
+    }
+}
+
+/// Seeded bug #1: a wrapper that, at an intermediate via host, retargets the
+/// message **in flight** instead of returning the `Absorb` the Software-Based
+/// scheme mandates. The worm keeps every channel it holds across the
+/// retarget, chaining dependencies (e.g. a high dimension back into a low
+/// one) that the correct algorithm's exact CDG — where absorption releases
+/// everything — cannot contain.
+#[derive(Clone)]
+struct SkipViaHostAbsorb(SwBasedRouting);
+
+impl RoutingAlgorithm for SkipViaHostAbsorb {
+    fn flavor(&self) -> RoutingFlavor {
+        self.0.flavor()
+    }
+
+    fn min_virtual_channels(&self, net: &Network) -> usize {
+        self.0.min_virtual_channels(net)
+    }
+
+    fn supported_on(&self, net: &Network) -> Result<(), RoutingTopologyError> {
+        self.0.supported_on(net)
+    }
+
+    fn deterministic_output(
+        &self,
+        net: &Network,
+        header: &RouteHeader,
+        current: NodeId,
+    ) -> Option<(usize, Direction)> {
+        self.0.deterministic_output(net, header, current)
+    }
+
+    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+        self.0.make_header(net, src, dest)
+    }
+
+    fn route(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        current: NodeId,
+        v: usize,
+    ) -> RouteDecision {
+        // BUG: pop reached via targets without absorbing.
+        while current == header.target() {
+            if header.advance_target(current) {
+                return RouteDecision::Deliver;
+            }
+        }
+        self.0.route(net, faults, header, current, v)
+    }
+
+    fn note_hop(
+        &self,
+        net: &Network,
+        header: &mut RouteHeader,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) {
+        self.0.note_hop(net, header, from, dim, dir);
+    }
+
+    fn reroute_on_fault(
+        &self,
+        net: &Network,
+        faults: &FaultSet,
+        header: &mut RouteHeader,
+        at: NodeId,
+        blocked: (usize, Direction),
+    ) -> bool {
+        self.0.reroute_on_fault(net, faults, header, at, blocked)
+    }
+
+    fn name(&self) -> String {
+        "skip-via-absorb".to_string()
+    }
+}
+
+/// Asserts that at least one engine reported a `cdg-divergence` whose detail
+/// carries the concrete (cycle, message, held, requested) context.
+fn assert_divergence_flagged<A: RoutingAlgorithm + Clone>(
+    a: &Simulation<A>,
+    r: &ReferenceSimulation<A>,
+    what: &str,
+) {
+    let mut flagged = false;
+    for sanitizer in [a.sanitizer(), r.sanitizer()] {
+        let s = sanitizer.expect("sanitizer attached");
+        if let Some(v) = s.violations().iter().find(|v| v.kind == "cdg-divergence") {
+            flagged = true;
+            assert!(
+                v.detail.contains("not an edge of the exact CDG"),
+                "{what}: divergence report missing the edge context: {}",
+                v.detail
+            );
+        }
+    }
+    assert!(
+        flagged,
+        "{what}: the sanitizer failed to flag the seeded bug"
+    );
+}
+
+#[test]
+fn skipping_the_via_host_absorb_is_caught_as_cdg_divergence() {
+    let correct = SwBasedRouting::deterministic();
+    let buggy = SkipViaHostAbsorb(correct);
+    let mut faults = FaultSet::new();
+    faults.fail_node(NodeId(5));
+    let config = quick("mesh:4x2", 2, 0.01, 18);
+    // The reference graph is the CORRECT algorithm's exact CDG: the bug does
+    // not change which channels exist, only which dependencies the worm may
+    // chain through a via host.
+    let cdg = exact_cdg(&config, &correct, &faults);
+    let (a, r) = run_both_with_cdg(config, faults, buggy, cdg);
+    assert_divergence_flagged(&a, &r, "skip-via-absorb");
+}
+
+#[test]
+fn forbidden_turn_dependency_is_caught_as_cdg_divergence() {
+    // Mutation test: run north-last routing while asserting against the
+    // negative-first exact CDG. North-last takes positive-then-negative turns
+    // that negative-first forbids, so the first such turn held across two
+    // channels must be reported as a divergence.
+    let config = quick("mesh:4x2", 1, 0.02, 19);
+    let faults = FaultSet::new();
+    let negative_first = TurnModelRouting::deterministic();
+    let cdg = exact_cdg(&config, &negative_first, &faults);
+    let (a, r) = run_both_with_cdg(
+        config,
+        faults,
+        TurnModelRouting::north_last_deterministic(),
+        cdg,
+    );
+    assert_divergence_flagged(&a, &r, "forbidden-turn mutation");
+}
