@@ -10,15 +10,17 @@
 //!
 //! ```text
 //! cargo run -p torus-bench --release --bin ablation
-//!     [-- --topology mesh:8x2] [-- --routing turnmodel]
+//!     [-- --topology mesh:8x2] [-- --routing turnmodel] [-- --jobs 8]
 //! ```
+//!
+//! `--jobs` fans the ablation variants over N worker threads (default: all
+//! cores); every variant owns its seed, so output is identical for any value.
 
 use swbft_core::prelude::*;
-use swbft_core::run_parallel;
 use torus_topology::TopologySpec;
 
 const USAGE: &str = "usage: ablation [--topology <spec>] \
-                     [--routing det|adaptive|turnmodel|turnmodel-det]";
+                     [--routing det|adaptive|turnmodel|turnmodel-det] [--jobs N|auto]";
 
 /// Fixed operating point for the ablations: M = 32, five random node faults,
 /// a mid-load traffic rate.
@@ -56,8 +58,14 @@ impl Row {
     }
 }
 
-fn run_variants(title: &str, variants: Vec<(String, ExperimentConfig)>) -> (String, Vec<Row>) {
-    let rows = run_parallel(variants, |(label, cfg)| Row::from_outcome(label, cfg.run()));
+fn run_variants(
+    title: &str,
+    variants: Vec<(String, ExperimentConfig)>,
+    jobs: Jobs,
+) -> (String, Vec<Row>) {
+    let rows = run_pool(variants, jobs, |(label, cfg)| {
+        Row::from_outcome(label, cfg.run())
+    });
     (title.to_string(), rows)
 }
 
@@ -82,6 +90,7 @@ fn print_section(title: &str, rows: &[Row]) {
 fn main() {
     let mut topology = TopologySpec::torus(8, 2);
     let mut routings: Vec<RoutingChoice> = RoutingChoice::BOTH.to_vec();
+    let mut jobs = Jobs::Auto;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -99,6 +108,16 @@ fn main() {
                 let value = iter.next().unwrap_or_default();
                 routings = match RoutingChoice::parse(&value) {
                     Ok(r) => vec![r],
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--jobs" => {
+                let value = iter.next().unwrap_or_default();
+                jobs = match Jobs::parse(&value) {
+                    Ok(j) => j,
                     Err(e) => {
                         eprintln!("{e}\n{USAGE}");
                         std::process::exit(2);
@@ -136,7 +155,7 @@ fn main() {
             variants.push((format!("{}, buffer depth {}", routing.label(), depth), cfg));
         }
     }
-    let (title, rows) = run_variants("flit-buffer depth per virtual channel", variants);
+    let (title, rows) = run_variants("flit-buffer depth per virtual channel", variants, jobs);
     print_section(&title, &rows);
 
     // 2. Software re-injection overhead Δ. `ExperimentConfig` has no Δ field
@@ -151,7 +170,7 @@ fn main() {
             ));
         }
     }
-    let rows = run_parallel(variants, |(label, delta, cfg)| {
+    let rows = run_pool(variants, jobs, |(label, delta, cfg)| {
         let run = || -> Result<(f64, u64, f64), String> {
             let mut sim_cfg = cfg.sim_config();
             sim_cfg.reinjection_delay = *delta;
@@ -187,7 +206,7 @@ fn main() {
             variants.push((format!("{}, V={}", routing.label(), v), cfg));
         }
     }
-    let (title, rows) = run_variants("virtual channels per physical channel", variants);
+    let (title, rows) = run_variants("virtual channels per physical channel", variants, jobs);
     print_section(&title, &rows);
 
     println!("\nNotes:");

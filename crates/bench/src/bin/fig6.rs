@@ -3,7 +3,9 @@
 //! hypercubes or mixed shapes under any routing algorithm.
 //!
 //! `cargo run -p torus-bench --release --bin fig6 [-- --scale paper]
-//! [-- --csv fig6.csv] [-- --topology mesh:8x2] [-- --routing turnmodel]`
+//! [-- --csv fig6.csv] [-- --topology mesh:8x2] [-- --routing turnmodel]
+//! [-- --jobs 8]` — `--jobs` fans the figure's points over N worker threads
+//! (default: all cores); output is bit-identical for any value.
 
 use swbft_core::Figure;
 use torus_bench::{parse_figure_args, run_figure};

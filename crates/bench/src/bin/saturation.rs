@@ -19,19 +19,21 @@
 //!
 //! ```text
 //! cargo run -p torus-bench --release --bin saturation [-- --smoke]
-//!     [-- --topology mesh:8x2] [-- --routing turnmodel-det]
+//!     [-- --topology mesh:8x2] [-- --routing turnmodel-det] [-- --jobs 8]
 //!   --smoke      tiny grid and budgets for CI
+//!   --jobs N     worker threads the independent (routing, V, nf) searches
+//!                are fanned over (default: all cores); each search owns its
+//!                seeds, so the tables are identical for any value
 //! ```
 
 use std::process::ExitCode;
 use swbft_core::prelude::*;
-use swbft_core::run_parallel;
 use swbft_core::{estimate_saturation_rate, SaturationSearch};
 use torus_routing::RoutingAlgorithm;
 use torus_topology::TopologySpec;
 
 const USAGE: &str = "usage: saturation [--smoke] [--topology <spec>] \
-                     [--routing det|adaptive|turnmodel|turnmodel-det]";
+                     [--routing det|adaptive|turnmodel|turnmodel-det] [--jobs N|auto]";
 
 struct Grid {
     torus_vs: &'static [usize],
@@ -74,6 +76,7 @@ fn run_table(
     routings: &[RoutingChoice],
     vs: &[usize],
     grid: &Grid,
+    pool_jobs: Jobs,
 ) {
     println!("{title}\n");
     println!(
@@ -95,7 +98,7 @@ fn run_table(
         }
     }
     let topology = &topology;
-    let results = run_parallel(jobs, |&(routing, v, nf)| {
+    let results = run_pool(jobs, pool_jobs, |&(routing, v, nf)| {
         let cfg = ExperimentConfig::topology_point(topology.clone(), v, 32, 0.001)
             .with_routing(routing)
             .with_faults(faults_for(nf))
@@ -129,6 +132,7 @@ fn main() -> ExitCode {
     let mut smoke = false;
     let mut topology: Option<TopologySpec> = None;
     let mut routing: Option<RoutingChoice> = None;
+    let mut jobs = Jobs::Auto;
     let mut iter = std::env::args().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -152,6 +156,16 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 }
+            }
+            "--jobs" => {
+                let value = iter.next().unwrap_or_default();
+                jobs = match Jobs::parse(&value) {
+                    Ok(j) => j,
+                    Err(e) => {
+                        eprintln!("{e}\n{USAGE}");
+                        return ExitCode::FAILURE;
+                    }
+                };
             }
             "--help" | "-h" => {
                 println!("{USAGE}");
@@ -203,6 +217,7 @@ fn main() -> ExitCode {
             &routings,
             vs,
             grid,
+            jobs,
         );
         return ExitCode::SUCCESS;
     }
@@ -244,6 +259,7 @@ fn main() -> ExitCode {
             &torus_routings,
             grid.torus_vs,
             grid,
+            jobs,
         );
     }
     run_table(
@@ -252,6 +268,7 @@ fn main() -> ExitCode {
         &mesh_routings,
         grid.mesh_vs,
         grid,
+        jobs,
     );
 
     println!("expected ordering (the paper's Fig. 3, extended): the saturation rate grows");

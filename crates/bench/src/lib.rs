@@ -15,11 +15,16 @@
 //! * `cargo run -p torus-bench --release --bin bench_cycles` runs the
 //!   [`cycles`] suite and writes `BENCH_cycles.json` — the recorded
 //!   performance trajectory of the simulation engine across PRs.
+//! * `cargo run -p torus-bench --release --bin bench_wall` runs the [`wall`]
+//!   suite and writes `BENCH_wall.json` — whole-figure wall clock at
+//!   `--jobs 1` vs `--jobs N`, the recorded trajectory of the experiment
+//!   pool (and a determinism gate: both runs must be identical).
 
 pub mod cycles;
+pub mod wall;
 
 use std::path::PathBuf;
-use swbft_core::{Figure, FigureOptions, RoutingChoice, Scale};
+use swbft_core::{Figure, FigureOptions, Jobs, RoutingChoice, Scale};
 use torus_topology::TopologySpec;
 
 /// Command-line options shared by the `fig*` binaries.
@@ -33,12 +38,15 @@ pub struct FigureCliOptions {
     pub topology: Option<TopologySpec>,
     /// Optional routing override (`None` = deterministic vs adaptive).
     pub routing: Option<RoutingChoice>,
+    /// Worker threads for the experiment pool (default: available
+    /// parallelism). Never changes results, only wall clock.
+    pub jobs: Jobs,
 }
 
 impl FigureCliOptions {
     /// The figure-run options these CLI options describe.
     pub fn figure_options(&self) -> FigureOptions {
-        let mut opts = FigureOptions::new(self.scale);
+        let mut opts = FigureOptions::new(self.scale).with_jobs(self.jobs);
         if let Some(t) = &self.topology {
             opts = opts.with_topology(t.clone());
         }
@@ -56,6 +64,7 @@ impl Default for FigureCliOptions {
             csv: None,
             topology: None,
             routing: None,
+            jobs: Jobs::Auto,
         }
     }
 }
@@ -64,8 +73,9 @@ impl Default for FigureCliOptions {
 ///
 /// Recognised flags: `--scale smoke|quick|paper` (default `quick`),
 /// `--csv <path>`, `--topology <spec>` (a [`TopologySpec::parse`] string such
-/// as `mesh:8x2`, `hc:6` or `8x8x4o`) and
-/// `--routing det|adaptive|turnmodel|turnmodel-det`.
+/// as `mesh:8x2`, `hc:6` or `8x8x4o`),
+/// `--routing det|adaptive|turnmodel|turnmodel-det` and `--jobs N|auto`
+/// (worker threads, default all cores; results are identical for any value).
 /// Unknown flags produce an error string listing the usage.
 pub fn parse_figure_args<I: IntoIterator<Item = String>>(
     args: I,
@@ -96,6 +106,12 @@ pub fn parse_figure_args<I: IntoIterator<Item = String>>(
                     .ok_or("--routing needs a value (det|adaptive|turnmodel|turnmodel-det)")?;
                 opts.routing = Some(RoutingChoice::parse(&value)?);
             }
+            "--jobs" => {
+                let value = iter
+                    .next()
+                    .ok_or("--jobs needs a value (a positive integer or 'auto')")?;
+                opts.jobs = Jobs::parse(&value)?;
+            }
             "--help" | "-h" => {
                 return Err(usage());
             }
@@ -108,8 +124,11 @@ pub fn parse_figure_args<I: IntoIterator<Item = String>>(
 /// Usage string of the `fig*` binaries.
 pub fn usage() -> String {
     "usage: fig<N> [--scale smoke|quick|paper] [--csv <path>] \
-     [--topology <spec>] [--routing det|adaptive|turnmodel|turnmodel-det]\n\
-     topology specs: torus:8x2, mesh:8x2, hypercube:6 (or hc:6), mixed:8,8,4o (or 8x8x4o)"
+     [--topology <spec>] [--routing det|adaptive|turnmodel|turnmodel-det] \
+     [--jobs N|auto]\n\
+     topology specs: torus:8x2, mesh:8x2, hypercube:6 (or hc:6), mixed:8,8,4o (or 8x8x4o)\n\
+     --jobs fans the figure's points over N worker threads (default: all \
+     cores); results are bit-identical for any value"
         .to_string()
 }
 
@@ -204,6 +223,18 @@ mod tests {
             o.topology,
             Some(TopologySpec::mixed(vec![8, 8, 4], vec![true, true, false]))
         );
+    }
+
+    #[test]
+    fn parses_jobs() {
+        let o = parse_figure_args(args(&["--jobs", "4"])).unwrap();
+        assert_eq!(o.jobs, Jobs::count(4));
+        assert_eq!(o.figure_options().jobs, Jobs::count(4));
+        let o = parse_figure_args(args(&["--jobs", "auto"])).unwrap();
+        assert_eq!(o.jobs, Jobs::Auto);
+        assert!(parse_figure_args(args(&["--jobs", "0"])).is_err());
+        assert!(parse_figure_args(args(&["--jobs", "lots"])).is_err());
+        assert!(parse_figure_args(args(&["--jobs"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,203 @@
+//! Suite wall-clock benchmark: every figure timed end-to-end at `--jobs 1`
+//! and at a parallel jobs count, written to `BENCH_wall.json`.
+//!
+//! `BENCH_cycles.json` tracks per-point engine throughput (cycles/sec); this
+//! suite tracks what the experiment pool actually buys — whole-figure wall
+//! clock — and doubles as the parallel-determinism gate: each figure's
+//! parallel result must be **equal** (structurally, and byte-identical as
+//! CSV) to its serial result, or the run fails. On a single-core host the
+//! speedup is ~1 by construction; the JSON records the machine's available
+//! parallelism so the trajectory stays interpretable.
+//!
+//! The `bench_wall` binary runs this suite (quick scale by default, smoke for
+//! CI) and writes the JSON trajectory document.
+
+use std::time::Instant;
+use swbft_core::{Figure, FigureOptions, Jobs, Scale};
+
+/// FNV-1a digest of a byte string — the same digest family the figure
+/// pinning tests use, recorded in `BENCH_wall.json` so CSV drift is visible
+/// across PRs without storing the CSVs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Wall-clock measurement of one figure at `jobs = 1` and `jobs = N`.
+#[derive(Clone, Debug)]
+pub struct WallPoint {
+    /// The measured figure.
+    pub figure: Figure,
+    /// Simulation points the figure assembled.
+    pub points: usize,
+    /// Points that failed to run (typed failures, still deterministic).
+    pub failures: usize,
+    /// End-to-end wall clock of the serial (`--jobs 1`) run, milliseconds.
+    pub serial_wall_ms: f64,
+    /// End-to-end wall clock of the parallel run, milliseconds.
+    pub parallel_wall_ms: f64,
+    /// Worker threads the parallel run used.
+    pub parallel_jobs: usize,
+    /// FNV-1a digest of the serial run's CSV rendering.
+    pub csv_digest: u64,
+    /// True when the parallel result equals the serial result (structurally
+    /// and as CSV bytes) — the determinism guarantee of the pool.
+    pub identical: bool,
+}
+
+impl WallPoint {
+    /// Serial wall clock over parallel wall clock.
+    pub fn speedup(&self) -> f64 {
+        self.serial_wall_ms / self.parallel_wall_ms.max(1e-9)
+    }
+}
+
+/// Runs `figure` at the given scale once serially and once on `jobs` worker
+/// threads, timing both and checking the results are identical.
+pub fn measure_figure(figure: Figure, scale: Scale, jobs: Jobs) -> Result<WallPoint, String> {
+    let serial_opts = FigureOptions::new(scale).with_jobs(Jobs::serial());
+    let start = Instant::now();
+    let serial = figure.run_with(&serial_opts).map_err(|e| e.to_string())?;
+    let serial_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let parallel_opts = FigureOptions::new(scale).with_jobs(jobs);
+    let start = Instant::now();
+    let parallel = figure.run_with(&parallel_opts).map_err(|e| e.to_string())?;
+    let parallel_wall_ms = start.elapsed().as_secs_f64() * 1e3;
+
+    let serial_csv = serial.to_csv();
+    let identical = serial == parallel && serial_csv == parallel.to_csv();
+    Ok(WallPoint {
+        figure,
+        points: serial.num_points(),
+        failures: serial.failures.len(),
+        serial_wall_ms,
+        parallel_wall_ms,
+        parallel_jobs: jobs.effective(),
+        csv_digest: fnv1a(serial_csv.as_bytes()),
+        identical,
+    })
+}
+
+/// Runs the whole figure suite (`figures`, in the given order) at `scale`,
+/// calling `progress` after each figure completes.
+pub fn run_wall_suite(
+    figures: &[Figure],
+    scale: Scale,
+    jobs: Jobs,
+    mut progress: impl FnMut(&WallPoint),
+) -> Result<Vec<WallPoint>, String> {
+    let mut out = Vec::with_capacity(figures.len());
+    for &figure in figures {
+        let point = measure_figure(figure, scale, jobs)?;
+        progress(&point);
+        out.push(point);
+    }
+    Ok(out)
+}
+
+/// True when every figure's parallel run reproduced its serial run exactly.
+pub fn all_identical(results: &[WallPoint]) -> bool {
+    results.iter().all(|p| p.identical)
+}
+
+/// Renders the suite results as the `BENCH_wall.json` document
+/// (schema `bench-wall-v1`).
+pub fn to_json(results: &[WallPoint], scale: Scale) -> String {
+    let available = Jobs::Auto.effective();
+    let serial_total: f64 = results.iter().map(|p| p.serial_wall_ms).sum();
+    let parallel_total: f64 = results.iter().map(|p| p.parallel_wall_ms).sum();
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"bench-wall-v1\",\n");
+    out.push_str(&format!("  \"scale\": \"{}\",\n", scale.id()));
+    out.push_str(&format!("  \"available_parallelism\": {available},\n"));
+    out.push_str("  \"figures\": [\n");
+    for (i, p) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"figure\": \"{}\",\n", p.figure.id()));
+        out.push_str(&format!("      \"points\": {},\n", p.points));
+        out.push_str(&format!("      \"failures\": {},\n", p.failures));
+        out.push_str(&format!(
+            "      \"runs\": [{{\"jobs\": 1, \"wall_ms\": {:.1}}}, {{\"jobs\": {}, \"wall_ms\": {:.1}}}],\n",
+            p.serial_wall_ms, p.parallel_jobs, p.parallel_wall_ms
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3},\n", p.speedup()));
+        out.push_str(&format!(
+            "      \"csv_digest\": \"{:#018x}\",\n",
+            p.csv_digest
+        ));
+        out.push_str(&format!("      \"identical\": {}\n", p.identical));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"suite\": {{\"serial_wall_ms\": {:.1}, \"parallel_wall_ms\": {:.1}, \"speedup\": {:.3}}}\n",
+        serial_total,
+        parallel_total,
+        serial_total / parallel_total.max(1e-9)
+    ));
+    out.push_str("}\n");
+    out
+}
+
+/// Renders the suite results as an aligned text table.
+pub fn render_table(results: &[WallPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<8} {:>8} {:>10} {:>14} {:>16} {:>9} {:>10}\n",
+        "figure", "points", "failures", "jobs=1 (ms)", "jobs=N (ms)", "speedup", "identical"
+    ));
+    for p in results {
+        out.push_str(&format!(
+            "{:<8} {:>8} {:>10} {:>14.0} {:>13.0} x{:>2} {:>8.2}x {:>10}\n",
+            p.figure.id(),
+            p.points,
+            p.failures,
+            p.serial_wall_ms,
+            p.parallel_wall_ms,
+            p.parallel_jobs,
+            p.speedup(),
+            p.identical,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv1a_is_stable() {
+        assert_eq!(fnv1a(b""), 0xcbf29ce484222325);
+        assert_ne!(fnv1a(b"fig3"), fnv1a(b"fig4"));
+    }
+
+    #[test]
+    fn smoke_figure_measures_identically_in_serial_and_parallel() {
+        // One cheap figure at smoke scale: the parallel run must reproduce
+        // the serial run bit-identically, and both walls must be positive.
+        let p = measure_figure(Figure::Fig5, Scale::Smoke, Jobs::count(4)).unwrap();
+        assert!(p.identical, "parallel result diverged from serial");
+        assert!(p.points > 0);
+        assert_eq!(p.failures, 0);
+        assert!(p.serial_wall_ms > 0.0 && p.parallel_wall_ms > 0.0);
+        assert_eq!(p.parallel_jobs, 4);
+        let json = to_json(std::slice::from_ref(&p), Scale::Smoke);
+        assert!(json.contains("\"schema\": \"bench-wall-v1\""));
+        assert!(json.contains("\"figure\": \"fig5\""));
+        assert!(json.contains("\"identical\": true"));
+        assert!(json.contains("\"suite\""));
+        assert!(all_identical(std::slice::from_ref(&p)));
+        let table = render_table(std::slice::from_ref(&p));
+        assert!(table.contains("fig5"));
+    }
+}

@@ -23,8 +23,8 @@
 //!   of which the first 10,000 are discarded) and a denser grid.
 
 use crate::experiment::{ExperimentConfig, ExperimentOutcome, RoutingChoice};
+use crate::pool::{run_pool, Jobs};
 use crate::results::{CurveResult, FigureResult, Metric, PanelResult, PointFailure, PointResult};
-use crate::sweep::run_parallel;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
@@ -123,7 +123,10 @@ impl Scale {
 }
 
 /// How to run a figure: the scale plus optional topology and routing
-/// overrides. The default options reproduce the paper bit-identically.
+/// overrides and the worker-thread count. The default options reproduce the
+/// paper bit-identically; `jobs` never changes results, only wall clock
+/// (every point owns its seed and the pool reassembles results into grid
+/// order).
 #[derive(Clone, Debug, PartialEq)]
 pub struct FigureOptions {
     /// Measurement scale.
@@ -133,6 +136,9 @@ pub struct FigureOptions {
     /// Routing comparison set override (`None` = deterministic vs adaptive
     /// Software-Based routing, the paper's comparison).
     pub routings: Option<Vec<RoutingChoice>>,
+    /// Worker threads the figure's points are fanned out over (default:
+    /// available parallelism).
+    pub jobs: Jobs,
 }
 
 impl FigureOptions {
@@ -142,6 +148,7 @@ impl FigureOptions {
             scale,
             topology: None,
             routings: None,
+            jobs: Jobs::Auto,
         }
     }
 
@@ -160,6 +167,12 @@ impl FigureOptions {
     /// Overrides the full routing comparison set.
     pub fn with_routings(mut self, routings: Vec<RoutingChoice>) -> Self {
         self.routings = Some(routings);
+        self
+    }
+
+    /// Sets the worker-thread count the figure's points run on.
+    pub fn with_jobs(mut self, jobs: Jobs) -> Self {
+        self.jobs = jobs;
         self
     }
 }
@@ -286,9 +299,10 @@ impl Figure {
         self.run_with(&FigureOptions::new(scale))
     }
 
-    /// Runs the figure with topology/routing overrides.
+    /// Runs the figure with topology/routing overrides, fanning the grid's
+    /// points over `opts.jobs` worker threads.
     pub fn run_with(&self, opts: &FigureOptions) -> Result<FigureResult, FigureError> {
-        Ok(self.plan(opts)?.execute())
+        Ok(self.plan(opts)?.execute(opts.jobs))
     }
 
     /// The experiment configurations the figure would run, in execution
@@ -384,10 +398,13 @@ struct FigurePlan {
 }
 
 impl FigurePlan {
-    /// Runs every point in parallel and assembles the figure, collecting
-    /// failed points instead of aborting.
-    fn execute(self) -> FigureResult {
-        let outcomes = run_parallel(self.tagged, |(panel, curve, x, cfg)| {
+    /// Runs every point on the work-stealing pool and assembles the figure,
+    /// collecting failed points instead of aborting. The pool streams
+    /// per-point results back in completion order and reassembles them into
+    /// grid-enumeration order, so the assembled figure — failed points
+    /// included — is bit-identical at any `jobs` value.
+    fn execute(self, jobs: Jobs) -> FigureResult {
+        let outcomes = run_pool(self.tagged, jobs, |(panel, curve, x, cfg)| {
             (*panel, *curve, *x, cfg.run())
         });
         let mut panels: Vec<PanelResult> = self
@@ -407,10 +424,15 @@ impl FigurePlan {
             })
             .collect();
         // Group outcomes into (panel, curve, x) cells, averaging repetitions.
+        // Failures carry their grid-enumeration index and are sorted by it
+        // before assembly: the pool already returns outcomes in input order,
+        // but the ordering of the failure list is part of the determinism
+        // guarantee (rendered text and CSV are digest-pinned across `--jobs`
+        // values), so it must not silently depend on collection order.
         let mut order: Vec<(usize, usize, f64)> = Vec::new();
         let mut cells: HashMap<(usize, usize, u64), Vec<ExperimentOutcome>> = HashMap::new();
-        let mut failures = Vec::new();
-        for (panel, curve, x, outcome) in outcomes {
+        let mut failures: Vec<(usize, PointFailure)> = Vec::new();
+        for (grid_idx, (panel, curve, x, outcome)) in outcomes.into_iter().enumerate() {
             match outcome {
                 Ok(o) => {
                     let key = (panel, curve, x.to_bits());
@@ -419,14 +441,19 @@ impl FigurePlan {
                     }
                     cells.entry(key).or_default().push(o);
                 }
-                Err(e) => failures.push(PointFailure {
-                    panel: panels[panel].title.clone(),
-                    curve: panels[panel].curves[curve].label.clone(),
-                    x,
-                    error: e.to_string(),
-                }),
+                Err(e) => failures.push((
+                    grid_idx,
+                    PointFailure {
+                        panel: panels[panel].title.clone(),
+                        curve: panels[panel].curves[curve].label.clone(),
+                        x,
+                        error: e.to_string(),
+                    },
+                )),
             }
         }
+        failures.sort_by_key(|(grid_idx, _)| *grid_idx);
+        let failures: Vec<PointFailure> = failures.into_iter().map(|(_, f)| f).collect();
         for (panel, curve, x) in order {
             let cell = &cells[&(panel, curve, x.to_bits())];
             let reports: Vec<torus_metrics::SimulationReport> =

@@ -8,8 +8,11 @@
 //!   virtual channels, message length, traffic rate, routing flavour, fault
 //!   scenario, seed, measurement budget) and [`ExperimentConfig::run`] to
 //!   execute it;
-//! * [`sweep`] — deterministic parallel execution of many experiment points
-//!   across OS threads;
+//! * [`pool`] — the work-stealing experiment pool: deterministic parallel
+//!   execution of many experiment points across a caller-controlled number of
+//!   worker threads ([`Jobs`], the binaries' `--jobs N`), with results
+//!   reassembled into input order so any thread count is bit-identical;
+//! * [`sweep`] — the `Jobs::Auto` convenience wrapper over the pool;
 //! * [`figures`] — the exact parameter grids of Figs. 3–7 of Safaei et al.
 //!   (IPDPS 2006), at `Scale::Quick` (reduced message budget, default) or
 //!   `Scale::Paper` (the full 100,000-message methodology);
@@ -33,12 +36,14 @@
 
 pub mod experiment;
 pub mod figures;
+pub mod pool;
 pub mod results;
 pub mod saturation;
 pub mod sweep;
 
 pub use experiment::{ExperimentConfig, ExperimentError, ExperimentOutcome, RoutingChoice};
 pub use figures::{Figure, FigureError, FigureOptions, Scale};
+pub use pool::{run_pool, Jobs};
 pub use results::{CurveResult, FigureResult, PanelResult, PointFailure, PointResult};
 pub use saturation::{estimate_saturation_rate, SaturationEstimate, SaturationSearch};
 pub use sweep::run_parallel;
@@ -47,6 +52,7 @@ pub use sweep::run_parallel;
 pub mod prelude {
     pub use crate::experiment::{ExperimentConfig, ExperimentOutcome, RoutingChoice};
     pub use crate::figures::{Figure, FigureOptions, Scale};
+    pub use crate::pool::{run_pool, Jobs};
     pub use crate::results::{CurveResult, FigureResult, PanelResult, PointResult};
     pub use crate::sweep::run_parallel;
     pub use torus_faults::{FaultScenario, RegionShape};

@@ -1,0 +1,363 @@
+//! Work-stealing experiment pool.
+//!
+//! Every figure grid cell, ablation variant and saturation probe is an
+//! independent fixed-seed simulation, so a whole figure suite is
+//! embarrassingly parallel — the only requirements are that (a) the caller
+//! controls the worker count (`--jobs N` on the binaries), and (b) results
+//! come back **in input order** so parallel output is bit-identical to
+//! sequential output at any thread count.
+//!
+//! The pool shards the index space into one contiguous range per worker.
+//! Each worker claims items off the *front* of its own shard; when its shard
+//! drains it steals the *back half* of the fullest remaining shard and
+//! installs the stolen range as its new shard (itself stealable, so a single
+//! long-tailed shard keeps every worker fed). A shard is a single packed
+//! `(cursor, end)` word, so claims and steals race through CAS — no locks, no
+//! `unsafe`. Simulation points vary by orders of magnitude in cost (a
+//! saturated 16-ary 2-cube point runs ~100× longer than an unloaded 4-ary
+//! point), which is exactly the imbalance stealing absorbs and a fixed
+//! upfront partition does not.
+//!
+//! Finished results stream back over a channel as `(index, result)` pairs and
+//! are reassembled into input order by the collector, so the failure-tolerant
+//! collection paths downstream observe the same sequence regardless of
+//! scheduling.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+/// Worker-thread count for a parallel sweep: a fixed count or the machine's
+/// available parallelism. The default (`Auto`) uses every core.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum Jobs {
+    /// Use the machine's available parallelism.
+    #[default]
+    Auto,
+    /// Use exactly this many worker threads.
+    Count(NonZeroUsize),
+}
+
+impl Jobs {
+    /// A fixed worker count of at least one (`count(0)` is clamped to 1, so
+    /// CLI plumbing can stay total; use [`Jobs::parse`] to reject `0` with a
+    /// message instead).
+    pub fn count(n: usize) -> Jobs {
+        Jobs::Count(NonZeroUsize::new(n.max(1)).expect("clamped to >= 1"))
+    }
+
+    /// Serial execution (`--jobs 1`).
+    pub fn serial() -> Jobs {
+        Jobs::count(1)
+    }
+
+    /// The concrete worker count this setting resolves to on this machine.
+    pub fn effective(self) -> usize {
+        match self {
+            Jobs::Auto => thread::available_parallelism().map_or(1, NonZeroUsize::get),
+            Jobs::Count(n) => n.get(),
+        }
+    }
+
+    /// Parses a `--jobs` value: a positive integer or `auto`.
+    pub fn parse(s: &str) -> Result<Jobs, String> {
+        if s == "auto" {
+            return Ok(Jobs::Auto);
+        }
+        s.parse::<usize>()
+            .ok()
+            .and_then(NonZeroUsize::new)
+            .map(Jobs::Count)
+            .ok_or_else(|| format!("jobs must be a positive integer or 'auto', got '{s}'"))
+    }
+}
+
+impl std::fmt::Display for Jobs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Jobs::Auto => write!(f, "auto"),
+            Jobs::Count(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// One worker's claimable range of the index space, packed as
+/// `(cursor << 32) | end` in a single atomic word. The owner claims `cursor`
+/// off the front, thieves CAS `end` down to take the back half; both
+/// revalidate the whole word, and a word always means "indices
+/// `cursor..end` are unclaimed and live here" (indices are globally unique
+/// and never re-enter any shard once claimed), so stale reads can never
+/// double-claim an item.
+struct Shard(AtomicU64);
+
+impl Shard {
+    fn new(cursor: u32, end: u32) -> Shard {
+        Shard(AtomicU64::new(Self::pack(cursor, end)))
+    }
+
+    fn pack(cursor: u32, end: u32) -> u64 {
+        (u64::from(cursor) << 32) | u64::from(end)
+    }
+
+    fn unpack(word: u64) -> (u32, u32) {
+        ((word >> 32) as u32, word as u32)
+    }
+
+    /// Claims the front index, or `None` when the shard is empty.
+    fn claim_front(&self) -> Option<usize> {
+        let mut word = self.0.load(Ordering::Acquire);
+        loop {
+            let (cursor, end) = Self::unpack(word);
+            if cursor >= end {
+                return None;
+            }
+            match self.0.compare_exchange_weak(
+                word,
+                Self::pack(cursor + 1, end),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some(cursor as usize),
+                Err(now) => word = now,
+            }
+        }
+    }
+
+    /// Steals the back half (rounded up, so even a single remaining item is
+    /// stealable from a busy owner) and returns the stolen range.
+    fn steal_back_half(&self) -> Option<(u32, u32)> {
+        let mut word = self.0.load(Ordering::Acquire);
+        loop {
+            let (cursor, end) = Self::unpack(word);
+            let remaining = end.saturating_sub(cursor);
+            if remaining == 0 {
+                return None;
+            }
+            let split = end - remaining.div_ceil(2);
+            match self.0.compare_exchange_weak(
+                word,
+                Self::pack(cursor, split),
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return Some((split, end)),
+                Err(now) => word = now,
+            }
+        }
+    }
+
+    /// Unclaimed items currently in the shard (a racy snapshot, used only to
+    /// pick steal victims and to detect completion).
+    fn remaining(&self) -> u32 {
+        let (cursor, end) = Self::unpack(self.0.load(Ordering::Acquire));
+        end.saturating_sub(cursor)
+    }
+
+    /// Installs a stolen range as the new shard contents. Only the owning
+    /// worker installs, and only while its shard is empty.
+    fn install(&self, cursor: u32, end: u32) {
+        self.0.store(Self::pack(cursor, end), Ordering::Release);
+    }
+}
+
+/// Runs `work` over every item of `inputs` on a work-stealing pool of
+/// `jobs` threads and returns the results in input order.
+///
+/// The closure must be deterministic per item; the output is then
+/// bit-identical for every `jobs` value (including `Jobs::Auto` on any
+/// machine), because results are reassembled by input index. The thread
+/// count never exceeds the number of items, and one item (or one thread)
+/// degenerates to a plain sequential map on the calling thread.
+pub fn run_pool<T, R, F>(inputs: Vec<T>, jobs: Jobs, work: F) -> Vec<R>
+where
+    T: Send + Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = inputs.len();
+    assert!(
+        n <= u32::MAX as usize,
+        "experiment pool supports at most 2^32-1 work items"
+    );
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = jobs.effective().min(n);
+    if threads <= 1 {
+        return inputs.iter().map(&work).collect();
+    }
+
+    let shards: Vec<Shard> = (0..threads)
+        .map(|w| Shard::new((n * w / threads) as u32, (n * (w + 1) / threads) as u32))
+        .collect();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+
+    thread::scope(|scope| {
+        for w in 0..threads {
+            let shards = &shards;
+            let inputs = &inputs;
+            let work = &work;
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                loop {
+                    // Drain the own shard front-to-back.
+                    while let Some(idx) = shards[w].claim_front() {
+                        let r = work(&inputs[idx]);
+                        if result_tx.send((idx, r)).is_err() {
+                            return;
+                        }
+                    }
+                    // Steal the back half of the fullest other shard and make
+                    // it the new own shard (stealable in turn). When every
+                    // shard is empty the sweep is complete. (A range can be
+                    // in a thief's hands between the steal and the install —
+                    // a worker scanning in exactly that window exits early
+                    // and merely leaves a little parallelism on the table;
+                    // the thief itself still processes the range.)
+                    let victim = (0..shards.len())
+                        .filter(|&v| v != w)
+                        .max_by_key(|&v| shards[v].remaining());
+                    match victim.and_then(|v| shards[v].steal_back_half()) {
+                        Some((start, end)) => shards[w].install(start, end),
+                        None => {
+                            if shards.iter().all(|s| s.remaining() == 0) {
+                                return;
+                            }
+                            std::hint::spin_loop();
+                        }
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        // Streamed results arrive in completion order; reassembling by index
+        // restores input order no matter how the shards were carved up.
+        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((idx, r)) = result_rx.recv() {
+            debug_assert!(results[idx].is_none(), "index {idx} claimed twice");
+            results[idx] = Some(r);
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every index is claimed and produces exactly one result"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::Mutex;
+
+    #[test]
+    fn jobs_parsing_and_display() {
+        assert_eq!(Jobs::parse("auto"), Ok(Jobs::Auto));
+        assert_eq!(Jobs::parse("4"), Ok(Jobs::count(4)));
+        assert_eq!(Jobs::parse("1"), Ok(Jobs::serial()));
+        assert!(Jobs::parse("0").is_err());
+        assert!(Jobs::parse("-2").is_err());
+        assert!(Jobs::parse("many").is_err());
+        assert_eq!(Jobs::count(4).to_string(), "4");
+        assert_eq!(Jobs::Auto.to_string(), "auto");
+        assert_eq!(Jobs::default(), Jobs::Auto);
+    }
+
+    #[test]
+    fn jobs_effective_counts() {
+        assert_eq!(Jobs::serial().effective(), 1);
+        assert_eq!(Jobs::count(7).effective(), 7);
+        assert_eq!(Jobs::count(0).effective(), 1, "count(0) clamps to serial");
+        assert!(Jobs::Auto.effective() >= 1);
+    }
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let inputs: Vec<u64> = (0..500).collect();
+        for jobs in [Jobs::serial(), Jobs::count(2), Jobs::count(7), Jobs::Auto] {
+            let out = run_pool(inputs.clone(), jobs, |&x| x * x);
+            assert_eq!(out, inputs.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let out: Vec<u32> = run_pool(Vec::<u32>::new(), Jobs::count(8), |&x| x);
+        assert!(out.is_empty());
+        let out = run_pool(vec![41u32], Jobs::count(8), |&x| x + 1);
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn every_item_processed_exactly_once_under_stealing() {
+        // Skewed costs force the later shards to finish first and steal from
+        // the slow front shard; every index must still be claimed exactly
+        // once.
+        let claimed = Mutex::new(HashSet::new());
+        let inputs: Vec<usize> = (0..257).collect();
+        let out = run_pool(inputs, Jobs::count(4), |&x| {
+            if x < 16 {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            assert!(claimed.lock().unwrap().insert(x), "index {x} ran twice");
+            x
+        });
+        assert_eq!(out.len(), 257);
+        assert_eq!(claimed.lock().unwrap().len(), 257);
+    }
+
+    #[test]
+    fn more_jobs_than_items_is_fine() {
+        let counter = AtomicUsize::new(0);
+        let out = run_pool(vec![1u32, 2, 3], Jobs::count(64), |&x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x * 10
+        });
+        assert_eq!(out, vec![10, 20, 30]);
+        assert_eq!(counter.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_for_seeded_work() {
+        // Each item owns its seed, so any jobs value must be bit-identical to
+        // the sequential map — the invariant the figure digests pin.
+        let inputs: Vec<u64> = (0..48).collect();
+        let f = |&seed: &u64| {
+            use rand::rngs::StdRng;
+            use rand::{Rng, SeedableRng};
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..200).map(|_| rng.gen_range(0..1000u32)).sum::<u32>()
+        };
+        let sequential: Vec<u32> = inputs.iter().map(f).collect();
+        for jobs in [Jobs::serial(), Jobs::count(3), Jobs::count(16)] {
+            assert_eq!(run_pool(inputs.clone(), jobs, f), sequential);
+        }
+    }
+
+    #[test]
+    fn shard_claim_and_steal_protocol() {
+        let s = Shard::new(0, 10);
+        assert_eq!(s.remaining(), 10);
+        assert_eq!(s.claim_front(), Some(0));
+        // Stealing takes the back half, rounded up.
+        assert_eq!(s.steal_back_half(), Some((5, 10)));
+        assert_eq!(s.remaining(), 4);
+        // Draining the rest off the front.
+        for want in 1..5 {
+            assert_eq!(s.claim_front(), Some(want));
+        }
+        assert_eq!(s.claim_front(), None);
+        assert_eq!(s.steal_back_half(), None);
+        // A single remaining item is stealable (a busy owner cannot strand
+        // its last unclaimed item).
+        let s = Shard::new(7, 8);
+        assert_eq!(s.steal_back_half(), Some((7, 8)));
+        assert_eq!(s.remaining(), 0);
+        // Installing a stolen range re-arms the shard.
+        s.install(7, 8);
+        assert_eq!(s.claim_front(), Some(7));
+        assert_eq!(s.claim_front(), None);
+    }
+}

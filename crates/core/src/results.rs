@@ -5,7 +5,7 @@ use torus_metrics::SimulationReport;
 
 /// One point of a curve: an x value (traffic rate or number of faults) and the
 /// simulation report measured there.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PointResult {
     /// The x coordinate (traffic rate in messages/node/cycle, or number of
     /// faulty nodes, depending on the figure).
@@ -50,7 +50,7 @@ impl Metric {
 }
 
 /// One curve of a figure panel (for example "M=32, nf=5").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct CurveResult {
     /// Legend label of the curve.
     pub label: String,
@@ -71,7 +71,7 @@ impl CurveResult {
 }
 
 /// One panel of a figure (one sub-plot, e.g. "Deterministic routing, V=4").
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PanelResult {
     /// Panel title.
     pub title: String,
@@ -88,7 +88,7 @@ pub struct PanelResult {
 /// incompatible point (for example a fault region that does not fit the
 /// requested topology) leaves a hole in its curve rather than killing the
 /// whole figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct PointFailure {
     /// Title of the panel the point belongs to.
     pub panel: String,
@@ -101,7 +101,7 @@ pub struct PointFailure {
 }
 
 /// A complete reproduced figure.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct FigureResult {
     /// Identifier, e.g. "fig3".
     pub id: String,

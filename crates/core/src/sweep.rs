@@ -1,68 +1,28 @@
 //! Deterministic parallel execution of experiment sweeps.
 //!
 //! A figure of the paper is a grid of independent simulation points, each a
-//! deterministic function of its own configuration and seed. The sweep driver
-//! fans the points out over OS threads (scoped, no unsafe, no detached work)
-//! and returns the results in input order, so a parallel sweep produces
-//! bit-identical output to a sequential one.
+//! deterministic function of its own configuration and seed.
+//! [`run_parallel`] fans the points out over the work-stealing experiment
+//! pool ([`crate::pool`]) at the machine's available parallelism and returns
+//! the results in input order, so a parallel sweep produces bit-identical
+//! output to a sequential one. Callers that need an explicit worker count
+//! (the binaries' `--jobs N`) use [`crate::pool::run_pool`] directly.
 
-use crossbeam::channel;
-use std::num::NonZeroUsize;
-use std::thread;
+use crate::pool::{run_pool, Jobs};
 
 /// Runs `work` over every item of `inputs` in parallel and returns the results
 /// in input order.
 ///
 /// The closure must be deterministic per item; the thread count defaults to
 /// the machine's available parallelism and never exceeds the number of items.
+/// Equivalent to `run_pool(inputs, Jobs::Auto, work)`.
 pub fn run_parallel<T, R, F>(inputs: Vec<T>, work: F) -> Vec<R>
 where
     T: Send + Sync,
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    let n = inputs.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = thread::available_parallelism()
-        .map_or(1, NonZeroUsize::get)
-        .min(n);
-    if threads <= 1 {
-        return inputs.iter().map(&work).collect();
-    }
-
-    let (task_tx, task_rx) = channel::unbounded::<(usize, &T)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
-    for pair in inputs.iter().enumerate() {
-        task_tx.send(pair).expect("queue tasks");
-    }
-    drop(task_tx);
-
-    thread::scope(|scope| {
-        for _ in 0..threads {
-            let task_rx = task_rx.clone();
-            let result_tx = result_tx.clone();
-            let work = &work;
-            scope.spawn(move || {
-                while let Ok((idx, item)) = task_rx.recv() {
-                    let r = work(item);
-                    if result_tx.send((idx, r)).is_err() {
-                        break;
-                    }
-                }
-            });
-        }
-        drop(result_tx);
-        let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
-        while let Ok((idx, r)) = result_rx.recv() {
-            results[idx] = Some(r);
-        }
-        results
-            .into_iter()
-            .map(|r| r.expect("every task produces a result"))
-            .collect()
-    })
+    run_pool(inputs, Jobs::Auto, work)
 }
 
 #[cfg(test)]

@@ -21,10 +21,8 @@ use crate::exact::{accumulate_cdg, resource_count, ExactCdg, Granularity};
 use crate::reach::{record_pair, ReachReport};
 use crate::relation::walk_pair;
 use crate::witness::{describe_cycle, describe_pair_verdict};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 use std::time::Instant;
-use swbft_core::RoutingChoice;
+use swbft_core::{run_pool, Jobs, RoutingChoice};
 use torus_faults::{FaultRegion, FaultSet, RegionShape};
 use torus_routing::cdg::DependencyGraph;
 use torus_routing::{AnyRouting, RoutingAlgorithm, TurnModelRouting};
@@ -554,13 +552,13 @@ fn run_item(nets: &[Network], item: &WorkItem) -> CaseResult {
 /// Runs the whole matrix on `jobs` worker threads, calling `progress` with
 /// a short line per case.
 ///
-/// The case list is enumerated up front and, for `jobs > 1`, workers pull
-/// items off a shared atomic cursor; results are reassembled into
-/// enumeration order, so the case list (and every per-case field of
-/// `VERIFY.json`) is identical for any thread count — only the recorded
-/// wall clock and job count differ. With multiple jobs, `progress` fires
-/// after the sweep completes (still in deterministic order) rather than as
-/// cases finish.
+/// The case list is enumerated up front and, for `jobs > 1`, fanned over
+/// the work-stealing experiment pool ([`swbft_core::run_pool`]); results are
+/// reassembled into enumeration order, so the case list (and every per-case
+/// field of `VERIFY.json`) is identical for any thread count — only the
+/// recorded wall clock and job count differ. With multiple jobs, `progress`
+/// fires after the sweep completes (still in deterministic order) rather
+/// than as cases finish.
 pub fn run_matrix_with_options(
     kind: MatrixKind,
     jobs: usize,
@@ -579,26 +577,7 @@ pub fn run_matrix_with_options(
             })
             .collect()
     } else {
-        let cursor = AtomicUsize::new(0);
-        let slots: Mutex<Vec<Option<CaseResult>>> = Mutex::new(vec![None; items.len()]);
-        std::thread::scope(|scope| {
-            for _ in 0..jobs.min(items.len()) {
-                scope.spawn(|| loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
-                        break;
-                    }
-                    let case = run_item(&nets, &items[i]);
-                    slots.lock().expect("no panics hold the slot lock")[i] = Some(case);
-                });
-            }
-        });
-        let cases: Vec<CaseResult> = slots
-            .into_inner()
-            .expect("no panics hold the slot lock")
-            .into_iter()
-            .map(|c| c.expect("every enumerated case completed"))
-            .collect();
+        let cases = run_pool(items, Jobs::count(jobs), |item| run_item(&nets, item));
         for case in &cases {
             progress(case);
         }
