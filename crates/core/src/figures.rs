@@ -28,7 +28,7 @@ use crate::results::{CurveResult, FigureResult, Metric, PanelResult, PointFailur
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
-use torus_faults::{FaultScenario, RegionShape};
+use torus_faults::{FaultRegion, FaultScenario, RegionShape};
 use torus_routing::RoutingAlgorithm;
 use torus_topology::{Network, TopologySpec};
 
@@ -607,6 +607,39 @@ fn latency_figure(
     }
 }
 
+/// Picks the Fig. 5 region actually simulated on `net`: the paper's shape
+/// unchanged when its centred placement validates, a kind-preserving
+/// scaled-down instance when the shape exceeds the network's extents (open
+/// dimensions cap the region at radix − 1, so a scaled region never spans a
+/// whole mesh edge; wrapped dimensions allow the full ring), or the
+/// original shape when no structurally meaningful instance fits — the point
+/// then records its placement failure exactly as before. Returns the shape
+/// and whether it was scaled.
+fn fig5_shape(net: &Network, shape: RegionShape) -> (RegionShape, bool) {
+    let centred_fits = |s: RegionShape| {
+        let (w, h) = s.bounding_box();
+        let mut anchor = vec![0u16; net.dims()];
+        anchor[0] = net.radix(0).saturating_sub(w) / 2;
+        anchor[1] = net.radix(1).saturating_sub(h) / 2;
+        FaultRegion::in_default_plane(net, s, &anchor).is_ok()
+    };
+    if centred_fits(shape) {
+        return (shape, false);
+    }
+    let cap = |dim: usize| {
+        let k = net.radix(dim);
+        if net.wraps(dim) {
+            k
+        } else {
+            k.saturating_sub(1)
+        }
+    };
+    match shape.scaled_to_fit(cap(0), cap(1)) {
+        Some(scaled) if centred_fits(scaled) => (scaled, true),
+        _ => (shape, false),
+    }
+}
+
 /// Fig. 5: latency vs traffic rate for the five fault-region shapes, both
 /// routing flavours, M = 32, V = 10.
 fn fig5(
@@ -621,12 +654,14 @@ fn fig5(
     let mut curve_labels = Vec::new();
     let mut curve_idx = 0;
     for &routing in routings {
-        for (shape, shape_label) in RegionShape::paper_fig5_regions() {
+        for (paper_shape, shape_label) in RegionShape::paper_fig5_regions() {
+            let (shape, scaled) = fig5_shape(net, paper_shape);
             curve_labels.push(format!(
-                "{}, nf={}, {}",
+                "{}, nf={}, {}{}",
                 capitalise(routing.label()),
                 shape.node_count(),
-                shape_label
+                shape_label,
+                if scaled { " (scaled)" } else { "" }
             ));
             let rates = rate_grid(max_rate(routing, v), scale.rate_points());
             for (pi, &rate) in rates.iter().enumerate() {
@@ -824,6 +859,31 @@ fn capitalise(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig5_regions_scale_to_small_open_meshes() {
+        // The 10-node T (5×6 bounding box) exceeds a 5-extent open mesh and
+        // is scaled down, keeping its kind within the radix − 1 caps.
+        let net = Network::mesh(5, 2).unwrap();
+        let (shape, scaled) = fig5_shape(&net, RegionShape::paper_t_10());
+        assert!(scaled);
+        assert!(matches!(shape, RegionShape::TShape { .. }));
+        let (w, h) = shape.bounding_box();
+        assert!(w <= 4 && h <= 4, "scaled T is {w}x{h}");
+        // The 20-node rect (4×5) fits the same mesh unchanged.
+        let (shape, scaled) = fig5_shape(&net, RegionShape::paper_rect_20());
+        assert!(!scaled);
+        assert_eq!(shape, RegionShape::paper_rect_20());
+        // On a hypercube (radix-2 open dims) no instance of any Fig. 5 kind
+        // fits; the paper shape is kept so the point records its placement
+        // failure exactly as before.
+        let hc = Network::hypercube(4).unwrap();
+        for (paper, _) in RegionShape::paper_fig5_regions() {
+            let (shape, scaled) = fig5_shape(&hc, paper);
+            assert!(!scaled);
+            assert_eq!(shape, paper);
+        }
+    }
 
     #[test]
     fn figure_identifiers() {

@@ -29,18 +29,23 @@
 //!   connectivity (paper assumption (h)).
 //! * [`FaultScenario`] — a serialisable description of a fault configuration
 //!   (used by the experiment harness and the CLI binaries).
+//! * [`FaultSchedule`] — a time-ordered list of node/link fault injections,
+//!   validated and materialised into cumulative per-epoch fault sets (the
+//!   input of the static fault-schedule verifier in `swbft-verify`).
 
 pub mod classify;
 pub mod model;
 pub mod plan;
 pub mod random;
 pub mod regions;
+pub mod schedule;
 
 pub use classify::{classify_region, RegionClass};
 pub use model::{FaultKind, FaultSet};
 pub use plan::{FaultScenario, FaultScenarioError};
 pub use random::{clustered_node_faults, random_node_faults, RandomFaultError};
 pub use regions::{FaultRegion, RegionPlacementError, RegionShape};
+pub use schedule::{FaultEvent, FaultSchedule, FaultScheduleError, ScheduleEpoch, ScheduledFault};
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
@@ -49,4 +54,5 @@ pub mod prelude {
     pub use crate::plan::FaultScenario;
     pub use crate::random::random_node_faults;
     pub use crate::regions::{FaultRegion, RegionShape};
+    pub use crate::schedule::{FaultEvent, FaultSchedule};
 }

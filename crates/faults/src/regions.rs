@@ -201,6 +201,102 @@ impl RegionShape {
         out
     }
 
+    /// Shrinks the shape — preserving its kind — until its bounding box fits
+    /// inside `max_w × max_h`, or returns `None` when no structurally
+    /// meaningful instance of the kind fits.
+    ///
+    /// A shape that already fits is returned unchanged. Each kind keeps the
+    /// minimum extents below which it degenerates into a different kind (a
+    /// 2-node bar is still a bar; a 1-node bar is not; a `+` needs at least
+    /// a 3×3 cross to stay concave), so a scaled region still exercises the
+    /// routing behaviour its Fig. 5 label names. Used by the figure harness
+    /// to keep the Fig. 5 sweep meaningful on shapes smaller than the
+    /// paper's 8×8 torus.
+    pub fn scaled_to_fit(&self, max_w: u16, max_h: u16) -> Option<RegionShape> {
+        let scaled = match *self {
+            RegionShape::Rect { width, height } => {
+                let (width, height) = (width.min(max_w), height.min(max_h));
+                if width == 0 || height == 0 || u32::from(width) * u32::from(height) < 2 {
+                    return None;
+                }
+                RegionShape::Rect { width, height }
+            }
+            RegionShape::Bar { length } => {
+                let length = length.min(max_h);
+                if length < 2 {
+                    return None;
+                }
+                RegionShape::Bar { length }
+            }
+            RegionShape::DoubleBar { length } => {
+                let length = length.min(max_h);
+                if max_w < 2 || length < 2 {
+                    return None;
+                }
+                RegionShape::DoubleBar { length }
+            }
+            RegionShape::LShape {
+                vertical,
+                horizontal,
+            } => {
+                let (vertical, horizontal) = (vertical.min(max_h), horizontal.min(max_w));
+                if vertical < 2 || horizontal < 2 {
+                    return None;
+                }
+                RegionShape::LShape {
+                    vertical,
+                    horizontal,
+                }
+            }
+            RegionShape::UShape { width, height } => {
+                let (width, height) = (width.min(max_w), height.min(max_h));
+                if width < 3 || height < 2 {
+                    return None;
+                }
+                RegionShape::UShape { width, height }
+            }
+            RegionShape::TShape { bar, stem } => {
+                let bar = bar.min(max_w);
+                let stem = stem.min(max_h.saturating_sub(1));
+                if bar < 3 || stem < 1 {
+                    return None;
+                }
+                RegionShape::TShape { bar, stem }
+            }
+            RegionShape::PlusShape {
+                horizontal,
+                vertical,
+                thickness,
+            } => {
+                let (horizontal, vertical) = (horizontal.min(max_w), vertical.min(max_h));
+                if horizontal < 3 || vertical < 3 {
+                    return None;
+                }
+                // The bar sits at rows vertical/2 .. vertical/2 + thickness;
+                // thin it until it stays inside the vertical extent.
+                let headroom = max_h - vertical / 2;
+                let thickness = thickness.max(1).min(headroom);
+                if thickness == 0 {
+                    return None;
+                }
+                RegionShape::PlusShape {
+                    horizontal,
+                    vertical,
+                    thickness,
+                }
+            }
+            RegionShape::HShape { width, height } => {
+                let (width, height) = (width.min(max_w), height.min(max_h));
+                if width < 3 || height < 3 {
+                    return None;
+                }
+                RegionShape::HShape { width, height }
+            }
+        };
+        let (w, h) = scaled.bounding_box();
+        (w <= max_w && h <= max_h).then_some(scaled)
+    }
+
     // ----- The exact configurations used in Fig. 5 of the paper -----
 
     /// The 20-node `□`-shaped (rectangular) region of Fig. 5.
@@ -649,6 +745,67 @@ mod tests {
             FaultRegion::in_default_plane(&t, RegionShape::paper_l_9(), &[0]).unwrap_err(),
             RegionPlacementError::Anchor(_)
         ));
+    }
+
+    #[test]
+    fn scaling_is_identity_when_the_shape_already_fits() {
+        for (shape, _) in RegionShape::paper_fig5_regions() {
+            assert_eq!(shape.scaled_to_fit(8, 8), Some(shape));
+        }
+    }
+
+    #[test]
+    fn scaling_preserves_kind_and_fits_the_caps() {
+        for (shape, _) in RegionShape::paper_fig5_regions() {
+            for (max_w, max_h) in [(3u16, 3u16), (4, 3), (3, 4), (5, 4)] {
+                let Some(scaled) = shape.scaled_to_fit(max_w, max_h) else {
+                    continue;
+                };
+                assert_eq!(
+                    std::mem::discriminant(&scaled),
+                    std::mem::discriminant(&shape),
+                    "scaling must not change the kind of {shape:?}"
+                );
+                let (w, h) = scaled.bounding_box();
+                assert!(
+                    w <= max_w && h <= max_h,
+                    "{shape:?} scaled to {scaled:?} still {w}x{h} > {max_w}x{max_h}"
+                );
+                assert!(scaled.node_count() >= 2);
+            }
+        }
+    }
+
+    #[test]
+    fn scaling_keeps_concave_shapes_concave() {
+        use crate::classify::{classify_region, RegionClass};
+        for shape in [
+            RegionShape::paper_t_10(),
+            RegionShape::paper_plus_16(),
+            RegionShape::paper_l_9(),
+            RegionShape::paper_u_8(),
+        ] {
+            let scaled = shape.scaled_to_fit(4, 4).expect("4x4 fits every kind");
+            assert_eq!(
+                classify_region(&scaled),
+                RegionClass::Concave,
+                "{shape:?} scaled to {scaled:?} lost its concavity"
+            );
+        }
+    }
+
+    #[test]
+    fn degenerate_caps_scale_nothing() {
+        for (shape, _) in RegionShape::paper_fig5_regions() {
+            assert_eq!(shape.scaled_to_fit(1, 1), None);
+            assert_eq!(shape.scaled_to_fit(0, 8), None);
+        }
+        // A bar needs at least two nodes of height.
+        assert_eq!(RegionShape::Bar { length: 5 }.scaled_to_fit(1, 1), None);
+        assert_eq!(
+            RegionShape::Bar { length: 5 }.scaled_to_fit(1, 2),
+            Some(RegionShape::Bar { length: 2 })
+        );
     }
 
     #[test]

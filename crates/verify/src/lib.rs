@@ -14,6 +14,10 @@
 //!   indirect dependencies), whose acyclicity proves deadlock freedom;
 //! * [`reach`] — proves deliver-under-every-schedule per pair, or produces a
 //!   dead-end / livelock witness path;
+//! * [`epochs`] — verifies dynamic fault schedules epoch by epoch,
+//!   differentially re-walking only pairs whose footprint a new fault
+//!   touches and classifying every pair's fate (routable / rerouted /
+//!   disconnected) per epoch;
 //! * [`witness`] — renders cycle and path witnesses as concrete channels and
 //!   coordinates;
 //! * [`matrix`] — sweeps the supported (topology × routing × VC × fault)
@@ -22,6 +26,7 @@
 //!
 //! The `verify` binary in `torus-bench` drives [`matrix`] as a CI gate.
 
+pub mod epochs;
 pub mod exact;
 pub mod matrix;
 pub mod reach;
@@ -29,6 +34,7 @@ pub mod relation;
 pub mod report;
 pub mod witness;
 
+pub use epochs::{verify_schedule, EpochReport, PairFate, ScheduleOutcome, ScheduleVerifyError};
 pub use exact::{extract_exact_cdg, ExactCdg, Granularity};
 pub use matrix::{run_matrix, CaseResult, MatrixKind, MatrixReport, Verdict};
 pub use reach::{check_reachability, PairVerdict, ReachReport};
@@ -36,6 +42,7 @@ pub use relation::{walk_pair, RelationWalk, StateBudgetExceeded};
 
 /// Convenience re-exports for `use swbft_verify::prelude::*;`.
 pub mod prelude {
+    pub use crate::epochs::{verify_schedule, EpochReport, PairFate, ScheduleOutcome};
     pub use crate::exact::{extract_exact_cdg, ExactCdg, Granularity};
     pub use crate::matrix::{run_matrix, MatrixKind, MatrixReport, Verdict};
     pub use crate::reach::{check_reachability, PairVerdict, ReachReport};
@@ -353,10 +360,26 @@ mod tests {
                 .any(|c| c.faults.starts_with("region@") && c.verdict == Verdict::Proved),
             "smoke matrix covers at least one clustered-region case"
         );
+        let sched = report
+            .cases
+            .iter()
+            .filter(|c| c.faults.starts_with("sched@"))
+            .collect::<Vec<_>>();
+        assert!(
+            sched
+                .iter()
+                .any(|c| c.verdict == Verdict::Proved && c.epochs.len() > 1),
+            "smoke matrix proves at least one multi-epoch schedule case"
+        );
+        assert!(
+            sched.iter().flat_map(|c| &c.epochs).any(|e| e.reused > 0),
+            "differential re-verification reuses at least one pair verdict"
+        );
         let json = report::to_json(&report);
-        assert!(json.contains("\"schema\": \"swbft-verify-v2\""));
+        assert!(json.contains("\"schema\": \"swbft-verify-v3\""));
         assert!(json.contains("\"failed\": 0"));
         assert!(json.contains("\"wall_clock_ms\": "));
+        assert!(json.contains("\"rewalked\": "));
         let text = report::render_text(&report);
         assert!(text.contains("0 failed"));
     }

@@ -4,7 +4,10 @@
 //! matrix, running both static checks — exact CDG acyclicity and
 //! reachability — for every combination, and collecting per-case verdicts
 //! into a [`MatrixReport`] that renders to text and to `VERIFY.json`
-//! ([`crate::report`]).
+//! ([`crate::report`]). Alongside the static fault sets, each supported
+//! (topology, routing) pair also verifies fault *schedules* (`sched@...`
+//! cases) epoch-differentially via [`crate::epochs`], always with the
+//! paranoid from-scratch cross-check enabled.
 //!
 //! Verdicts are three-valued:
 //!
@@ -17,13 +20,14 @@
 //!   witness (the dependency cycle's channels, or the path to a dead
 //!   end/livelock).
 
+use crate::epochs::{verify_schedule, EpochReport};
 use crate::exact::{accumulate_cdg, resource_count, ExactCdg, Granularity};
 use crate::reach::{record_pair, ReachReport};
 use crate::relation::walk_pair;
 use crate::witness::{describe_cycle, describe_pair_verdict};
 use std::time::Instant;
 use swbft_core::{run_pool, Jobs, RoutingChoice};
-use torus_faults::{FaultRegion, FaultSet, RegionShape};
+use torus_faults::{FaultEvent, FaultRegion, FaultSchedule, FaultSet, RegionShape};
 use torus_routing::cdg::DependencyGraph;
 use torus_routing::{AnyRouting, RoutingAlgorithm, TurnModelRouting};
 use torus_topology::{Direction, Network, NodeId, TopologySpec};
@@ -113,6 +117,9 @@ pub struct CaseResult {
     pub detail: String,
     /// Witness lines on failure (dependency-cycle channels or a path).
     pub witness: Vec<String>,
+    /// Per-epoch reports for fault-schedule (`sched@...`) cases; empty for
+    /// static fault cases.
+    pub epochs: Vec<EpochReport>,
 }
 
 /// A complete matrix run.
@@ -281,9 +288,12 @@ fn push_link_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, Fau
 
 /// Adds clustered (region) fault cases for topologies with at least two
 /// dimensions: an L-shaped 2×2 region always, plus a solid 2×2 block on
-/// the full matrix. Each shape is tried centred first and anchored at the
-/// origin as a fallback — on small open meshes a centred block can sever
-/// the network, while an edge-anchored one leaves it connected.
+/// the full matrix. Each shape is tried at every distinct anchor of a
+/// candidate set — the centre of the plane plus all four corners (clamped
+/// so the shape stays inside open dimensions) — and every valid,
+/// connectivity-preserving placement with a *distinct fault set* becomes
+/// its own case, labelled with its anchor. On small shapes several anchors
+/// collapse onto the same node set and are deduplicated.
 fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, FaultSet)>) {
     if net.dims() < 2 {
         return;
@@ -330,12 +340,20 @@ fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, F
                 }
             })
             .collect();
-        let origin: Vec<u16> = vec![0; net.dims()];
-        let label = format!("region@{tag}");
-        if cases.iter().any(|(l, _)| *l == label) {
-            continue;
+        let mut anchors: Vec<Vec<u16>> = vec![centered];
+        // The four plane corners, clamped so the bounding box fits open
+        // dimensions (on wrapped dimensions clamping is harmless: the shape
+        // may overhang and wrap).
+        for ax in [0, net.radix(0).saturating_sub(bw)] {
+            for ay in [0, net.radix(1).saturating_sub(bh)] {
+                let mut a = vec![0u16; net.dims()];
+                a[0] = ax;
+                a[1] = ay;
+                anchors.push(a);
+            }
         }
-        for anchor in [centered, origin] {
+        let mut seen_fault_sets: Vec<Vec<NodeId>> = Vec::new();
+        for anchor in anchors {
             let Ok(region) = FaultRegion::in_default_plane(net, shape, &anchor) else {
                 continue;
             };
@@ -345,10 +363,78 @@ fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, F
             if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(net) {
                 continue;
             }
-            cases.push((label, faults));
-            break;
+            let signature = faults.faulty_nodes_sorted();
+            if seen_fault_sets.contains(&signature) {
+                continue;
+            }
+            seen_fault_sets.push(signature);
+            let label = format!("region@{tag}@{},{}", anchor[0], anchor[1]);
+            if !cases.iter().any(|(l, _)| *l == label) {
+                cases.push((label, faults));
+            }
         }
     }
+}
+
+/// Enumerated fault-schedule cases for a topology. Every matrix slice gets
+/// a staged `sched@mix` (a node fault, then a link fault, each starting a
+/// new epoch); the full matrix adds `sched@fence0`, which fails the
+/// neighbours of node 0 one epoch at a time — on low-degree shapes the last
+/// epoch isolates node 0, flipping its pairs to the `disconnected` fate.
+pub fn matrix_schedule_cases(net: &Network, kind: MatrixKind) -> Vec<(String, FaultSchedule)> {
+    let n = net.num_nodes() as u32;
+    let mut out = Vec::new();
+
+    // sched@mix: node n/2 at cycle 100, then a link at cycle 200. The link
+    // pick scans forward from n/3 for an existing d0+ channel that does not
+    // touch the already-failed node.
+    let mut events = vec![(100u64, FaultEvent::Node { node: n / 2 })];
+    'mix: for offset in 0..n {
+        let id = (n / 3 + offset) % n;
+        if id == n / 2 {
+            continue;
+        }
+        if let Some(nb) = net.neighbor(NodeId(id), 0, Direction::Plus) {
+            if nb.0 != n / 2 && nb.0 != id {
+                events.push((
+                    200,
+                    FaultEvent::Link {
+                        node: id,
+                        dim: 0,
+                        dir: Direction::Plus,
+                    },
+                ));
+                break 'mix;
+            }
+        }
+    }
+    if let Ok(sched) = FaultSchedule::from_events(events) {
+        out.push(("sched@mix".to_string(), sched));
+    }
+
+    if kind == MatrixKind::Full {
+        // sched@fence0: the distinct neighbours of node 0, one per epoch,
+        // capped at four events to bound the epoch count on high-degree
+        // shapes.
+        let mut fenced: Vec<u32> = Vec::new();
+        for (_, nb) in net.neighbors(NodeId(0)) {
+            if nb != NodeId(0) && !fenced.contains(&nb.0) {
+                fenced.push(nb.0);
+            }
+        }
+        fenced.truncate(4);
+        let events: Vec<(u64, FaultEvent)> = fenced
+            .into_iter()
+            .enumerate()
+            .map(|(i, node)| (100 * (i as u64 + 1), FaultEvent::Node { node }))
+            .collect();
+        if !events.is_empty() {
+            if let Ok(sched) = FaultSchedule::from_events(events) {
+                out.push(("sched@fence0".to_string(), sched));
+            }
+        }
+    }
+    out
 }
 
 /// Runs both static checks for one fully specified case, sharing a single
@@ -441,12 +527,13 @@ fn case_from_checks(
         states: cdg.states_explored,
         detail,
         witness,
+        epochs: Vec::new(),
     }
 }
 
-/// One enumerated unit of matrix work: either a case resolved during
-/// enumeration (routing rejections are instantaneous) or a pending
-/// (topology, routing, V, faults) combination to be checked.
+/// One enumerated unit of matrix work: a case resolved during enumeration
+/// (routing rejections are instantaneous), a pending (topology, routing, V,
+/// faults) combination, or a pending fault-schedule case.
 enum WorkItem {
     Resolved(CaseResult),
     Pending {
@@ -457,6 +544,15 @@ enum WorkItem {
         v: usize,
         fault_label: String,
         faults: FaultSet,
+    },
+    PendingSchedule {
+        net_idx: usize,
+        topology: String,
+        routing: String,
+        algo: AnyRouting,
+        v: usize,
+        label: String,
+        schedule: FaultSchedule,
     },
 }
 
@@ -470,6 +566,7 @@ fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
         let net = spec.build().expect("matrix topologies build");
         let net_idx = nets.len();
         let fault_cases = matrix_fault_cases(&net, kind);
+        let schedule_cases = matrix_schedule_cases(&net, kind);
         for (routing, algo) in matrix_routings() {
             if let Err(e) = algo.supported_on(&net) {
                 items.push(WorkItem::Resolved(CaseResult {
@@ -485,6 +582,7 @@ fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
                     states: 0,
                     detail: e.to_string(),
                     witness: Vec::new(),
+                    epochs: Vec::new(),
                 }));
                 continue;
             }
@@ -505,6 +603,20 @@ fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
                         faults: faults.clone(),
                     });
                 }
+            }
+            // Schedule cases run at the minimal VC config only: the epoch
+            // machinery is what is under test, and the +1 sweep already
+            // covers the static checks.
+            for (label, schedule) in &schedule_cases {
+                items.push(WorkItem::PendingSchedule {
+                    net_idx,
+                    topology: topology.clone(),
+                    routing: routing.clone(),
+                    algo,
+                    v: min_v,
+                    label: label.clone(),
+                    schedule: schedule.clone(),
+                });
             }
         }
         nets.push(net);
@@ -543,6 +655,70 @@ fn run_item(nets: &[Network], item: &WorkItem) -> CaseResult {
                     states: 0,
                     detail: e.to_string(),
                     witness: Vec::new(),
+                    epochs: Vec::new(),
+                },
+            }
+        }
+        WorkItem::PendingSchedule {
+            net_idx,
+            topology,
+            routing,
+            algo,
+            v,
+            label,
+            schedule,
+        } => {
+            let net = &nets[*net_idx];
+            // Matrix schedule cases always run the paranoid from-scratch
+            // cross-check: a divergence between the differential and the
+            // scratch result is itself a verification failure.
+            match verify_schedule(net, algo, schedule, *v, STATE_BUDGET, true) {
+                Ok(outcome) => {
+                    let failed = outcome.failed();
+                    let last = outcome
+                        .epochs
+                        .last()
+                        .expect("schedules materialise at least epoch 0");
+                    let witness = outcome
+                        .epochs
+                        .iter()
+                        .find(|e| e.failure.is_some())
+                        .map(|e| e.witness.clone())
+                        .unwrap_or_default();
+                    CaseResult {
+                        topology: topology.clone(),
+                        routing: routing.clone(),
+                        virtual_channels: *v,
+                        faults: label.clone(),
+                        verdict: if failed {
+                            Verdict::Failed
+                        } else {
+                            Verdict::Proved
+                        },
+                        cdg_vertices: last.cdg_vertices,
+                        cdg_edges: last.cdg_edges,
+                        pairs: last.pairs,
+                        delivered: last.routable + last.rerouted,
+                        states: outcome.total_states(),
+                        detail: outcome.summary(),
+                        witness,
+                        epochs: outcome.epochs,
+                    }
+                }
+                Err(e) => CaseResult {
+                    topology: topology.clone(),
+                    routing: routing.clone(),
+                    virtual_channels: *v,
+                    faults: label.clone(),
+                    verdict: Verdict::Failed,
+                    cdg_vertices: 0,
+                    cdg_edges: 0,
+                    pairs: 0,
+                    delivered: 0,
+                    states: 0,
+                    detail: e.to_string(),
+                    witness: Vec::new(),
+                    epochs: Vec::new(),
                 },
             }
         }
@@ -646,5 +822,6 @@ pub fn naive_torus_demo() -> CaseResult {
             cycle.len()
         ),
         witness: describe_cycle(&net, &cycle, v, Granularity::PerChannel),
+        epochs: Vec::new(),
     }
 }

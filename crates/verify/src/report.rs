@@ -5,6 +5,7 @@
 //! stub without a format backend), matching the idiom of the figure and
 //! bench reports. Strings that can carry arbitrary error text are escaped.
 
+use crate::epochs::{EpochReport, ScheduleOutcome};
 use crate::matrix::{CaseResult, MatrixReport, Verdict};
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -36,11 +37,52 @@ fn json_string_array(items: &[String], indent: &str) -> String {
     format!("[\n{body}\n{indent}]")
 }
 
-/// Serialises a matrix report to the `VERIFY.json` schema.
+/// Serialises one epoch of a schedule case as a compact JSON object.
+fn epoch_json(e: &EpochReport, indent: &str) -> String {
+    format!(
+        "{indent}{{\"cycle\": {}, \"new_faults\": {}, \"faulty_nodes\": {}, \
+         \"faulty_links\": {}, \"pairs\": {}, \"routable\": {}, \"rerouted\": {}, \
+         \"disconnected\": {}, \"endpoint_faulty\": {}, \"rewalked\": {}, \
+         \"reused\": {}, \"cdg_edges\": {}, \"acyclic\": {}, \"states\": {}, \
+         \"wall_ms\": {}, \"witness\": {}}}",
+        e.cycle,
+        json_string_array(&e.new_faults, indent),
+        e.faulty_nodes,
+        e.faulty_links,
+        e.pairs,
+        e.routable,
+        e.rerouted,
+        e.disconnected,
+        e.endpoint_faulty,
+        e.rewalked,
+        e.reused,
+        e.cdg_edges,
+        e.acyclic,
+        e.states,
+        e.wall_ms,
+        json_string_array(&e.witness, indent),
+    )
+}
+
+fn epochs_json(epochs: &[EpochReport], indent: &str) -> String {
+    if epochs.is_empty() {
+        return "[]".to_string();
+    }
+    let body = epochs
+        .iter()
+        .map(|e| epoch_json(e, &format!("{indent}  ")))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n{indent}]")
+}
+
+/// Serialises a matrix report to the `VERIFY.json` schema (v3: per-case
+/// `epochs` array with pair-fate counts and re-walked/reused tallies for
+/// fault-schedule cases).
 pub fn to_json(report: &MatrixReport) -> String {
     let (proved, rejected, failed) = report.tallies();
     let mut out = String::from("{\n");
-    out.push_str("  \"schema\": \"swbft-verify-v2\",\n");
+    out.push_str("  \"schema\": \"swbft-verify-v3\",\n");
     out.push_str(&format!("  \"matrix\": \"{}\",\n", report.kind.name()));
     out.push_str(&format!("  \"jobs\": {},\n", report.jobs));
     out.push_str(&format!("  \"wall_clock_ms\": {},\n", report.wall_clock_ms));
@@ -78,8 +120,12 @@ pub fn to_json(report: &MatrixReport) -> String {
             json_escape(&c.detail)
         ));
         out.push_str(&format!(
-            "      \"witness\": {}\n",
+            "      \"witness\": {},\n",
             json_string_array(&c.witness, "      ")
+        ));
+        out.push_str(&format!(
+            "      \"epochs\": {}\n",
+            epochs_json(&c.epochs, "      ")
         ));
         out.push_str(if i + 1 == report.cases.len() {
             "    }\n"
@@ -112,6 +158,48 @@ pub fn case_line(c: &CaseResult) -> String {
     )
 }
 
+/// One console line per epoch of a schedule case, e.g.
+/// `epoch@100 [node@8] 110 pairs: 98 routable / 8 rerouted / 4 disconnected
+/// (12 re-walked, 98 reused), acyclic`.
+pub fn epoch_line(e: &EpochReport) -> String {
+    format!(
+        "epoch@{} [{}] {} pairs: {} routable / {} rerouted / {} disconnected \
+         ({} re-walked, {} reused), {}",
+        e.cycle,
+        e.new_faults.join("+"),
+        e.pairs,
+        e.routable,
+        e.rerouted,
+        e.disconnected,
+        e.rewalked,
+        e.reused,
+        if e.acyclic { "acyclic" } else { "CYCLIC" },
+    )
+}
+
+/// Renders a standalone schedule verification (the `verify --schedule`
+/// path): one line per epoch, witnesses, and the verdict.
+pub fn render_schedule_text(outcome: &ScheduleOutcome) -> String {
+    let mut out = String::new();
+    for e in &outcome.epochs {
+        out.push_str(&format!("  {}\n", epoch_line(e)));
+        if let Some(failure) = &e.failure {
+            out.push_str(&format!("    violation: {failure}\n"));
+        }
+        for line in &e.witness {
+            out.push_str(&format!("    {line}\n"));
+        }
+    }
+    for d in &outcome.divergences {
+        out.push_str(&format!("  divergence: {d}\n"));
+    }
+    out.push_str(&format!(
+        "schedule: {}\n",
+        if outcome.failed() { "FAILED" } else { "proved" }
+    ));
+    out
+}
+
 /// Renders the full console report, including witnesses of every failed
 /// case and the final tally line.
 pub fn render_text(report: &MatrixReport) -> String {
@@ -123,6 +211,9 @@ pub fn render_text(report: &MatrixReport) -> String {
             out.push_str(&format!("  violation: {}\n", c.detail));
             for line in &c.witness {
                 out.push_str(&format!("  {line}\n"));
+            }
+            for e in &c.epochs {
+                out.push_str(&format!("  {}\n", epoch_line(e)));
             }
         }
     }

@@ -16,8 +16,10 @@
 //!   stated future work), used as an independent cross-check of the simulator,
 //! * [`core`] — the experiment harness that reproduces the paper's figures,
 //! * [`verify`] — the static routing verifier: exact channel-dependency-graph
-//!   extraction with cycle witnesses, and reachability proofs over the whole
-//!   (topology × routing × VC × fault) matrix.
+//!   extraction with cycle witnesses, reachability proofs over the whole
+//!   (topology × routing × VC × fault) matrix, and epoch-differential
+//!   verification of dynamic fault schedules with per-pair fate
+//!   classification.
 //!
 //! See `examples/quickstart.rs` for a minimal end-to-end simulation.
 
