@@ -8,7 +8,7 @@ use rand::SeedableRng;
 use torus_faults::{random_node_faults, FaultSet};
 use torus_routing::{RoutingAlgorithm, SwBasedRouting};
 use torus_sim::{SimConfig, Simulation, StopCondition};
-use torus_topology::{dimension_order_path, Network, NodeId};
+use torus_topology::{dimension_order_path, AnyTopology, Network, NodeId};
 
 fn topology_benches(c: &mut Criterion) {
     let torus = Network::torus(8, 3).expect("valid topology");
@@ -33,7 +33,7 @@ fn topology_benches(c: &mut Criterion) {
 }
 
 fn routing_benches(c: &mut Criterion) {
-    let torus = Network::torus(8, 3).expect("valid topology");
+    let torus = AnyTopology::torus(8, 3).expect("valid topology");
     let mut rng = StdRng::seed_from_u64(1);
     let faults = random_node_faults(&torus, 12, &mut rng).expect("connected placement");
     let mut group = c.benchmark_group("routing");

@@ -202,7 +202,11 @@ fn main() -> ExitCode {
                 .filter(|r| r.algorithm().supported_on(&net).is_ok())
                 .collect(),
         };
-        let fully_open = (0..net.dims()).all(|d| !net.wraps(d));
+        // Fat-trees have no wraparound channels, so they take the open-shape
+        // VC sweep alongside fully-open grids.
+        let fully_open = net
+            .grid()
+            .is_none_or(|g| (0..g.dims()).all(|d| !g.wraps(d)));
         let vs = if fully_open {
             grid.mesh_vs
         } else {

@@ -17,7 +17,7 @@ use torus_faults::{random_node_faults, FaultSet};
 use torus_metrics::SimulationReport;
 use torus_routing::{AnyRouting, SwBasedRouting, TurnModelRouting};
 use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
-use torus_topology::{Network, TopologySpec};
+use torus_topology::TopologySpec;
 
 /// Seed for fault placement, fixed so every run of the suite benchmarks the
 /// same network.
@@ -225,7 +225,7 @@ impl CyclePoint {
         if self.faults == 0 {
             return FaultSet::new();
         }
-        let net: Network = self.topology().build().expect("valid suite topology");
+        let net = self.topology().build().expect("valid suite topology");
         let mut rng = StdRng::seed_from_u64(FAULT_SEED);
         random_node_faults(&net, self.faults, &mut rng).expect("realizable fault placement")
     }

@@ -73,8 +73,9 @@ impl Default for FigureCliOptions {
 ///
 /// Recognised flags: `--scale smoke|quick|paper` (default `quick`),
 /// `--csv <path>`, `--topology <spec>` (a [`TopologySpec::parse`] string such
-/// as `mesh:8x2`, `hc:6` or `8x8x4o`),
-/// `--routing det|adaptive|turnmodel|turnmodel-det` and `--jobs N|auto`
+/// as `mesh:8x2`, `hc:6`, `8x8x4o` or `ft:4,2`),
+/// `--routing det|adaptive|turnmodel|turnmodel-det|updown|updown-det` and
+/// `--jobs N|auto`
 /// (worker threads, default all cores; results are identical for any value).
 /// Unknown flags produce an error string listing the usage.
 pub fn parse_figure_args<I: IntoIterator<Item = String>>(
@@ -97,13 +98,13 @@ pub fn parse_figure_args<I: IntoIterator<Item = String>>(
             "--topology" => {
                 let value = iter
                     .next()
-                    .ok_or("--topology needs a spec (e.g. mesh:8x2, hc:6, 8x8x4o)")?;
+                    .ok_or("--topology needs a spec (e.g. mesh:8x2, hc:6, 8x8x4o, ft:4,2)")?;
                 opts.topology = Some(TopologySpec::parse(&value)?);
             }
             "--routing" => {
                 let value = iter
                     .next()
-                    .ok_or("--routing needs a value (det|adaptive|turnmodel|turnmodel-det)")?;
+                    .ok_or("--routing needs a value (det|adaptive|turnmodel|turnmodel-det|updown|updown-det)")?;
                 opts.routing = Some(RoutingChoice::parse(&value)?);
             }
             "--jobs" => {
@@ -124,9 +125,11 @@ pub fn parse_figure_args<I: IntoIterator<Item = String>>(
 /// Usage string of the `fig*` binaries.
 pub fn usage() -> String {
     "usage: fig<N> [--scale smoke|quick|paper] [--csv <path>] \
-     [--topology <spec>] [--routing det|adaptive|turnmodel|turnmodel-det] \
+     [--topology <spec>] \
+     [--routing det|adaptive|turnmodel|turnmodel-det|updown|updown-det] \
      [--jobs N|auto]\n\
-     topology specs: torus:8x2, mesh:8x2, hypercube:6 (or hc:6), mixed:8,8,4o (or 8x8x4o)\n\
+     topology specs: torus:8x2, mesh:8x2, hypercube:6 (or hc:6), mixed:8,8,4o (or 8x8x4o), \
+     fattree:4,2 (or ft:4,2)\n\
      --jobs fans the figure's points over N worker threads (default: all \
      cores); results are bit-identical for any value"
         .to_string()
@@ -139,7 +142,7 @@ pub fn usage() -> String {
 pub fn validate_topology_routings(
     topology: &TopologySpec,
     routings: &[RoutingChoice],
-) -> Result<torus_topology::Network, String> {
+) -> Result<torus_topology::AnyTopology, String> {
     use torus_routing::RoutingAlgorithm;
     let net = topology
         .build()

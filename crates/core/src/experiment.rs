@@ -6,7 +6,7 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 use torus_faults::{FaultScenario, FaultScenarioError};
 use torus_metrics::SimulationReport;
-use torus_routing::{AnyRouting, SwBasedRouting, TurnModelRouting};
+use torus_routing::{AnyRouting, SwBasedRouting, TurnModelRouting, UpDownRouting};
 use torus_sim::{SimConfig, SimConfigError, Simulation, StopCondition};
 use torus_topology::TopologySpec;
 
@@ -29,6 +29,14 @@ pub enum RoutingChoice {
     /// counterpart to [`RoutingChoice::Deterministic`]'s e-cube on meshes;
     /// rejected on wrapped dimensions like [`RoutingChoice::TurnModel`].
     TurnModelDeterministic,
+    /// Deterministic up*/down* routing on fat-trees: destination-aligned
+    /// ascent, unique descent, one VC. Rejected with a typed error on every
+    /// direct (grid) topology.
+    UpDownDeterministic,
+    /// Adaptive up*/down* routing on fat-trees: any live parent on the way
+    /// up, deterministic escape on VC 0. Rejected on grids like
+    /// [`RoutingChoice::UpDownDeterministic`].
+    UpDownAdaptive,
 }
 
 impl RoutingChoice {
@@ -41,30 +49,40 @@ impl RoutingChoice {
             RoutingChoice::TurnModelDeterministic => {
                 AnyRouting::TurnModel(TurnModelRouting::deterministic())
             }
+            RoutingChoice::UpDownDeterministic => {
+                AnyRouting::UpDown(UpDownRouting::deterministic())
+            }
+            RoutingChoice::UpDownAdaptive => AnyRouting::UpDown(UpDownRouting::adaptive()),
         }
     }
 
     /// Label used in tables ("deterministic" / "adaptive" / "turn-model" /
-    /// "turn-model-det").
+    /// "turn-model-det" / "updown-det" / "updown").
     pub fn label(&self) -> &'static str {
         match self {
             RoutingChoice::Deterministic => "deterministic",
             RoutingChoice::Adaptive => "adaptive",
             RoutingChoice::TurnModel => "turn-model",
             RoutingChoice::TurnModelDeterministic => "turn-model-det",
+            RoutingChoice::UpDownDeterministic => "updown-det",
+            RoutingChoice::UpDownAdaptive => "updown",
         }
     }
 
     /// Parses a CLI routing name. Accepts the labels plus short aliases:
-    /// `det`, `adaptive`, `turnmodel`, `turnmodel-det`.
+    /// `det`, `adaptive`, `turnmodel`, `turnmodel-det`, `updown`, `updown-det`.
     pub fn parse(s: &str) -> Result<RoutingChoice, String> {
         match s {
             "det" | "deterministic" | "ecube" => Ok(RoutingChoice::Deterministic),
             "adaptive" | "duato" => Ok(RoutingChoice::Adaptive),
             "turnmodel" | "turn-model" => Ok(RoutingChoice::TurnModel),
             "turnmodel-det" | "turn-model-det" => Ok(RoutingChoice::TurnModelDeterministic),
+            "updown-det" | "up-down-det" | "updown-deterministic" => {
+                Ok(RoutingChoice::UpDownDeterministic)
+            }
+            "updown" | "up-down" | "updown-adaptive" => Ok(RoutingChoice::UpDownAdaptive),
             other => Err(format!(
-                "unknown routing '{other}' (use det|adaptive|turnmodel|turnmodel-det)"
+                "unknown routing '{other}' (use det|adaptive|turnmodel|turnmodel-det|updown|updown-det)"
             )),
         }
     }
@@ -74,13 +92,16 @@ impl RoutingChoice {
     /// which wrapped dimensions reject).
     pub const BOTH: [RoutingChoice; 2] = [RoutingChoice::Deterministic, RoutingChoice::Adaptive];
 
-    /// Every routing choice, in comparison-table order. Only meaningful on
-    /// open topologies — the turn models are rejected elsewhere.
-    pub const ALL: [RoutingChoice; 4] = [
+    /// Every routing choice, in comparison-table order. No single topology
+    /// accepts all of them — the turn models are rejected on wrapped
+    /// dimensions, the up/down schemes everywhere but fat-trees.
+    pub const ALL: [RoutingChoice; 6] = [
         RoutingChoice::Deterministic,
         RoutingChoice::Adaptive,
         RoutingChoice::TurnModel,
         RoutingChoice::TurnModelDeterministic,
+        RoutingChoice::UpDownDeterministic,
+        RoutingChoice::UpDownAdaptive,
     ];
 }
 
@@ -473,8 +494,14 @@ mod tests {
 
     #[test]
     fn routing_choice_all_covers_every_variant() {
-        assert_eq!(RoutingChoice::ALL.len(), 4);
+        assert_eq!(RoutingChoice::ALL.len(), 6);
         assert_eq!(RoutingChoice::TurnModel.label(), "turn-model");
+        assert_eq!(RoutingChoice::UpDownDeterministic.label(), "updown-det");
+        assert_eq!(RoutingChoice::UpDownAdaptive.label(), "updown");
+        assert_eq!(
+            RoutingChoice::UpDownDeterministic.algorithm(),
+            torus_routing::AnyRouting::UpDown(torus_routing::UpDownRouting::deterministic())
+        );
         assert_eq!(
             RoutingChoice::TurnModelDeterministic.label(),
             "turn-model-det"
@@ -507,7 +534,58 @@ mod tests {
             RoutingChoice::parse("turnmodel-det"),
             Ok(RoutingChoice::TurnModelDeterministic)
         );
+        assert_eq!(
+            RoutingChoice::parse("up-down"),
+            Ok(RoutingChoice::UpDownAdaptive)
+        );
+        assert_eq!(
+            RoutingChoice::parse("up-down-det"),
+            Ok(RoutingChoice::UpDownDeterministic)
+        );
         assert!(RoutingChoice::parse("magic").is_err());
+    }
+
+    #[test]
+    fn updown_runs_on_fat_trees_and_is_rejected_on_grids() {
+        for (routing, v) in [
+            (RoutingChoice::UpDownDeterministic, 1),
+            (RoutingChoice::UpDownAdaptive, 2),
+        ] {
+            let cfg = ExperimentConfig::topology_point(TopologySpec::fat_tree(4, 2), v, 8, 0.01)
+                .with_routing(routing)
+                .quick(300, 100);
+            let out = cfg.run().unwrap();
+            assert!(!out.hit_max_cycles);
+            assert_eq!(out.dropped_messages, 0);
+            assert_eq!(out.forced_absorptions, 0);
+            assert!(out.report.mean_latency >= 8.0);
+        }
+
+        let torus = ExperimentConfig::paper_point(8, 2, 4, 16, 0.003)
+            .with_routing(RoutingChoice::UpDownDeterministic)
+            .quick(200, 50);
+        assert!(matches!(
+            torus.run(),
+            Err(ExperimentError::Sim(
+                torus_sim::SimConfigError::UnsupportedRouting { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn faulted_fat_tree_point_routes_around_the_failure() {
+        for routing in [
+            RoutingChoice::UpDownDeterministic,
+            RoutingChoice::UpDownAdaptive,
+        ] {
+            let cfg = ExperimentConfig::topology_point(TopologySpec::fat_tree(4, 2), 2, 8, 0.008)
+                .with_routing(routing)
+                .with_faults(FaultScenario::RandomNodes { count: 1 })
+                .quick(250, 50);
+            let out = cfg.run().unwrap();
+            assert_eq!(out.fault_count, 1);
+            assert_eq!(out.dropped_messages, 0);
+        }
     }
 
     #[test]

@@ -195,6 +195,12 @@ pub enum FigureError {
     },
     /// The routing comparison set was empty.
     NoRoutings,
+    /// The figure places clustered fault regions, which are coordinate-plane
+    /// concepts of direct grids; an indirect topology cannot host them.
+    RegionsNeedGrid {
+        /// The non-grid topology the figure was requested on.
+        topology: TopologySpec,
+    },
 }
 
 impl fmt::Display for FigureError {
@@ -212,6 +218,12 @@ impl fmt::Display for FigureError {
                 topology.label()
             ),
             FigureError::NoRoutings => write!(f, "the routing comparison set is empty"),
+            FigureError::RegionsNeedGrid { topology } => write!(
+                f,
+                "fault regions are coordinate-plane concepts of direct grids; \
+                 {} is an indirect topology",
+                topology.label()
+            ),
         }
     }
 }
@@ -374,7 +386,12 @@ impl Figure {
                 &routings,
                 &[0, 12],
             ),
-            Figure::Fig5 => fig5(opts.scale, &topology, &net, &routings),
+            Figure::Fig5 => {
+                let Some(grid) = net.grid() else {
+                    return Err(FigureError::RegionsNeedGrid { topology });
+                };
+                fig5(opts.scale, &topology, grid, &routings)
+            }
             Figure::Fig6 => fig6(opts.scale, &topology, &routings),
             Figure::Fig7 => fig7(opts.scale, &topology, &routings),
         })
@@ -498,13 +515,14 @@ fn budgeted_max_cycles(scale: Scale, cfg: &ExperimentConfig) -> u64 {
 /// only makes the top of the grid saturate visibly — exactly what the figure
 /// is meant to show).
 fn max_rate(routing: RoutingChoice, v: usize) -> f64 {
+    use RoutingChoice as R;
     match (routing, v) {
-        (RoutingChoice::Deterministic | RoutingChoice::TurnModelDeterministic, 4) => 0.013,
-        (RoutingChoice::Deterministic | RoutingChoice::TurnModelDeterministic, 6) => 0.016,
-        (RoutingChoice::Deterministic | RoutingChoice::TurnModelDeterministic, _) => 0.019,
-        (RoutingChoice::Adaptive | RoutingChoice::TurnModel, 4) => 0.016,
-        (RoutingChoice::Adaptive | RoutingChoice::TurnModel, 6) => 0.020,
-        (RoutingChoice::Adaptive | RoutingChoice::TurnModel, _) => 0.023,
+        (R::Deterministic | R::TurnModelDeterministic | R::UpDownDeterministic, 4) => 0.013,
+        (R::Deterministic | R::TurnModelDeterministic | R::UpDownDeterministic, 6) => 0.016,
+        (R::Deterministic | R::TurnModelDeterministic | R::UpDownDeterministic, _) => 0.019,
+        (R::Adaptive | R::TurnModel | R::UpDownAdaptive, 4) => 0.016,
+        (R::Adaptive | R::TurnModel | R::UpDownAdaptive, 6) => 0.020,
+        (R::Adaptive | R::TurnModel | R::UpDownAdaptive, _) => 0.023,
     }
 }
 
@@ -935,6 +953,14 @@ mod tests {
                 max_rate(RoutingChoice::TurnModelDeterministic, v),
                 max_rate(RoutingChoice::Deterministic, v)
             );
+            assert_eq!(
+                max_rate(RoutingChoice::UpDownDeterministic, v),
+                max_rate(RoutingChoice::Deterministic, v)
+            );
+            assert_eq!(
+                max_rate(RoutingChoice::UpDownAdaptive, v),
+                max_rate(RoutingChoice::Adaptive, v)
+            );
         }
         assert!(
             max_rate(RoutingChoice::Deterministic, 10) > max_rate(RoutingChoice::Deterministic, 4)
@@ -1033,6 +1059,34 @@ mod tests {
         assert!(!res.failures.is_empty());
         assert!(res.failures.iter().all(|f| f.error.contains("fault")));
         assert!(res.render_text().contains("failed to run"));
+    }
+
+    #[test]
+    fn fat_tree_figure_grid_builds_and_fig5_is_rejected() {
+        // Fig. 3 on a fat-tree with up/down routing plans a full grid.
+        let opts = FigureOptions::new(Scale::Smoke)
+            .with_topology(TopologySpec::fat_tree(4, 2))
+            .with_routing(RoutingChoice::UpDownDeterministic);
+        let cfgs = Figure::Fig3.point_configs(&opts).unwrap();
+        assert!(!cfgs.is_empty());
+        assert!(cfgs
+            .iter()
+            .all(|c| c.topology == TopologySpec::fat_tree(4, 2)));
+        // Grid-only routings are rejected on the fat-tree up front.
+        let opts = FigureOptions::new(Scale::Smoke)
+            .with_topology(TopologySpec::fat_tree(4, 2))
+            .with_routing(RoutingChoice::Deterministic);
+        assert!(matches!(
+            Figure::Fig3.plan(&opts),
+            Err(FigureError::UnsupportedRouting { .. })
+        ));
+        // Fig. 5's fault regions are grid concepts: typed rejection.
+        let opts = FigureOptions::new(Scale::Smoke)
+            .with_topology(TopologySpec::fat_tree(4, 2))
+            .with_routing(RoutingChoice::UpDownAdaptive);
+        let err = Figure::Fig5.plan(&opts).err().expect("must be rejected");
+        assert!(matches!(err, FigureError::RegionsNeedGrid { .. }));
+        assert!(format!("{err}").contains("indirect"));
     }
 
     #[test]

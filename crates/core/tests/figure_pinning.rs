@@ -114,6 +114,32 @@ fn fig3_smoke_runs_on_a_mesh_under_the_deterministic_turn_model() {
     }
 }
 
+#[test]
+fn fat_tree_smoke_grid_is_pinned_and_runs_under_up_down_routing() {
+    // The fat-tree figure grid is deterministic too: pin its digest so the
+    // indirect-network CSVs only change when a PR intends them to.
+    let opts = FigureOptions::new(Scale::Smoke)
+        .with_topology(TopologySpec::fat_tree(4, 2))
+        .with_routing(RoutingChoice::UpDownDeterministic);
+    assert_eq!(
+        grid_digest(Figure::Fig3, &opts),
+        0x09a31976042563bfu64,
+        "fig3: the fat-tree smoke-scale grid changed"
+    );
+    let res = Figure::Fig3.run_with(&opts).expect("fat-tree fig3 runs");
+    assert!(res.failures.is_empty(), "failures: {:?}", res.failures);
+    assert!(res.num_points() > 0);
+    assert!(res.panels[0].title.contains("4-ary 2-level fat-tree"));
+    assert!(res.to_csv().contains("4-ary 2-level fat-tree"));
+    for panel in &res.panels {
+        for curve in &panel.curves {
+            for p in &curve.points {
+                assert!(p.report.mean_latency > 0.0 || p.saturated);
+            }
+        }
+    }
+}
+
 /// The parallel-determinism guarantee of the experiment pool, on a real
 /// quick-scale figure grid: the assembled result — structure, CSV bytes and
 /// rendered text — is identical at `--jobs 1` and `--jobs 4`. The grid is

@@ -43,7 +43,9 @@ pub mod schedule;
 pub use classify::{classify_region, RegionClass};
 pub use model::{FaultKind, FaultSet};
 pub use plan::{FaultScenario, FaultScenarioError};
-pub use random::{clustered_node_faults, random_node_faults, RandomFaultError};
+pub use random::{
+    clustered_node_faults, random_node_faults, random_switch_faults, RandomFaultError,
+};
 pub use regions::{FaultRegion, RegionPlacementError, RegionShape};
 pub use schedule::{FaultEvent, FaultSchedule, FaultScheduleError, ScheduleEpoch, ScheduledFault};
 

@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
-use torus_topology::{DirectedChannel, Direction, Network, NodeFilter, NodeId};
+use torus_topology::{DirectedChannel, Direction, NodeFilter, NodeId, Topology};
 
 /// The two kinds of permanent static component failure considered by the
 /// paper (Section 3).
@@ -58,7 +58,13 @@ impl FaultSet {
     ///
     /// Failing a channel that does not exist (the outward edge of an open
     /// dimension) is a no-op: there is no link there to fail.
-    pub fn fail_link(&mut self, net: &Network, from: NodeId, dim: usize, dir: Direction) {
+    pub fn fail_link<T: Topology + ?Sized>(
+        &mut self,
+        net: &T,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) {
         let Some(to) = net.neighbor(from, dim, dir) else {
             return;
         };
@@ -76,7 +82,7 @@ impl FaultSet {
     /// True if the directed channel is unusable: it does not exist (mesh
     /// edge), it was failed explicitly (link fault), or one of its endpoints
     /// is a faulty node.
-    pub fn is_channel_faulty(&self, net: &Network, ch: DirectedChannel) -> bool {
+    pub fn is_channel_faulty<T: Topology + ?Sized>(&self, net: &T, ch: DirectedChannel) -> bool {
         let Some(dest) = net.channel_dest(ch) else {
             return true;
         };
@@ -90,7 +96,13 @@ impl FaultSet {
     /// Convenience query used by the routers: is the output channel of `node`
     /// along `dim`/`dir` usable?
     #[inline]
-    pub fn output_usable(&self, net: &Network, node: NodeId, dim: usize, dir: Direction) -> bool {
+    pub fn output_usable<T: Topology + ?Sized>(
+        &self,
+        net: &T,
+        node: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) -> bool {
         !self.is_channel_faulty(net, DirectedChannel::new(node, dim, dir))
     }
 
@@ -124,14 +136,19 @@ impl FaultSet {
 
     /// True if all healthy nodes remain mutually reachable over healthy
     /// channels (the paper's assumption (h)).
-    pub fn preserves_connectivity(&self, net: &Network) -> bool {
+    pub fn preserves_connectivity<T: Topology + ?Sized>(&self, net: &T) -> bool {
         let g = torus_topology::HealthyGraph::new(net, self);
         g.is_connected()
     }
 
     /// Healthy nodes of the network, in id order.
-    pub fn healthy_nodes<'a>(&'a self, net: &'a Network) -> impl Iterator<Item = NodeId> + 'a {
-        net.nodes().filter(move |n| !self.is_node_faulty(*n))
+    pub fn healthy_nodes<'a, T: Topology + ?Sized>(
+        &'a self,
+        net: &'a T,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        (0..net.num_nodes())
+            .map(NodeId::from_index)
+            .filter(move |n| !self.is_node_faulty(*n))
     }
 
     /// Merges another fault set into this one.
@@ -147,7 +164,7 @@ impl NodeFilter for FaultSet {
         self.is_node_faulty(node)
     }
 
-    fn channel_blocked(&self, net: &Network, ch: DirectedChannel) -> bool {
+    fn channel_blocked<T: Topology + ?Sized>(&self, net: &T, ch: DirectedChannel) -> bool {
         self.is_channel_faulty(net, ch)
     }
 }
@@ -155,7 +172,7 @@ impl NodeFilter for FaultSet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use torus_topology::HealthyGraph;
+    use torus_topology::{HealthyGraph, Network};
 
     fn torus8x8() -> Network {
         Network::torus(8, 2).unwrap()

@@ -9,12 +9,12 @@
 //! radices and wrap flags.
 
 use crate::model::FaultSet;
-use crate::random::{random_node_faults, RandomFaultError};
+use crate::random::{random_node_faults, random_switch_faults, RandomFaultError};
 use crate::regions::{FaultRegion, RegionPlacementError, RegionShape};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use torus_topology::{Coord, Network, NodeId};
+use torus_topology::{AnyTopology, Coord, Network, NodeId};
 
 /// Errors produced when resolving a [`FaultScenario`] on a concrete network.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -23,6 +23,14 @@ pub enum FaultScenarioError {
     Random(RandomFaultError),
     /// A shaped region does not fit the network.
     Region(RegionPlacementError),
+    /// The scenario is defined in grid coordinates (planes, slabs) but the
+    /// topology is indirect and has none.
+    UnsupportedTopology {
+        /// Label of the scenario kind that was rejected.
+        scenario: String,
+        /// Display form of the offending topology.
+        topology: String,
+    },
 }
 
 impl fmt::Display for FaultScenarioError {
@@ -30,6 +38,11 @@ impl fmt::Display for FaultScenarioError {
         match self {
             FaultScenarioError::Random(e) => write!(f, "{e}"),
             FaultScenarioError::Region(e) => write!(f, "{e}"),
+            FaultScenarioError::UnsupportedTopology { scenario, topology } => write!(
+                f,
+                "{scenario} fault scenarios are defined in grid coordinates and cannot \
+                 be realized on {topology}"
+            ),
         }
     }
 }
@@ -89,6 +102,15 @@ pub enum FaultScenario {
         /// The faulty nodes.
         nodes: Vec<u32>,
     },
+    /// `count` random *switch* faults on an indirect topology, sampled
+    /// uniformly from the switches at level 1 and above while preserving
+    /// connectivity (leaf switches are the single attachment point of their
+    /// endpoints, so they are never candidates). Rejected with a typed error
+    /// on grids, which have no switch fabric.
+    RandomSwitches {
+        /// Number of faulty switches.
+        count: usize,
+    },
 }
 
 impl FaultScenario {
@@ -118,6 +140,7 @@ impl FaultScenario {
             FaultScenario::ClusteredNodes { count, .. } => *count,
             FaultScenario::Region { shape, .. } => shape.node_count(),
             FaultScenario::ExplicitNodes { nodes } => nodes.len(),
+            FaultScenario::RandomSwitches { count } => *count,
         }
     }
 
@@ -134,6 +157,7 @@ impl FaultScenario {
                 format!("{} (nf={})", shape.name(), shape.node_count())
             }
             FaultScenario::ExplicitNodes { nodes } => format!("explicit nf={}", nodes.len()),
+            FaultScenario::RandomSwitches { count } => format!("nsf={count}"),
         }
     }
 
@@ -145,7 +169,7 @@ impl FaultScenario {
     /// validated against the network's per-dimension bounds.
     pub fn realize<R: Rng + ?Sized>(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         rng: &mut R,
     ) -> Result<FaultSet, FaultScenarioError> {
         match self {
@@ -156,27 +180,48 @@ impl FaultScenario {
                 dim,
                 plane,
                 width,
-            } => Ok(crate::random::clustered_node_faults(
-                net, *count, *dim, *plane, *width, rng,
-            )?),
+            } => {
+                let grid = self.require_grid(net)?;
+                Ok(crate::random::clustered_node_faults(
+                    grid, *count, *dim, *plane, *width, rng,
+                )?)
+            }
             FaultScenario::Region {
                 shape,
                 anchor,
                 plane,
             } => {
+                let grid = self.require_grid(net)?;
                 let region = FaultRegion {
                     shape: *shape,
                     anchor: Coord::new(anchor.clone()),
                     plane: *plane,
                 };
-                Ok(region.to_fault_set(net)?)
+                Ok(region.to_fault_set(grid)?)
             }
             FaultScenario::ExplicitNodes { nodes } => {
                 let mut f = FaultSet::new();
                 f.fail_nodes(nodes.iter().map(|&id| NodeId(id)));
                 Ok(f)
             }
+            FaultScenario::RandomSwitches { count } => Ok(random_switch_faults(net, *count, rng)?),
         }
+    }
+
+    /// Grid view required by the coordinate-based scenarios, or the typed
+    /// rejection on indirect topologies.
+    fn require_grid<'a>(&self, net: &'a AnyTopology) -> Result<&'a Network, FaultScenarioError> {
+        net.grid().ok_or_else(|| {
+            let scenario = match self {
+                FaultScenario::ClusteredNodes { .. } => "clustered-node",
+                FaultScenario::Region { .. } => "shaped-region",
+                _ => "grid-coordinate",
+            };
+            FaultScenarioError::UnsupportedTopology {
+                scenario: scenario.to_string(),
+                topology: net.to_string(),
+            }
+        })
     }
 }
 
@@ -188,7 +233,7 @@ mod tests {
 
     #[test]
     fn none_scenario() {
-        let t = Network::torus(8, 2).unwrap();
+        let t = AnyTopology::torus(8, 2).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let f = FaultScenario::None.realize(&t, &mut rng).unwrap();
         assert!(f.is_empty());
@@ -198,7 +243,7 @@ mod tests {
 
     #[test]
     fn random_scenario_matches_count() {
-        let t = Network::torus(8, 2).unwrap();
+        let t = AnyTopology::torus(8, 2).unwrap();
         let s = FaultScenario::RandomNodes { count: 5 };
         let mut rng = StdRng::seed_from_u64(9);
         let f = s.realize(&t, &mut rng).unwrap();
@@ -213,10 +258,11 @@ mod tests {
         let s = FaultScenario::centered_region(&t, RegionShape::paper_u_8());
         assert_eq!(s.fault_count(), 8);
         assert!(s.label().starts_with("U-shaped"));
+        let any = AnyTopology::from(t);
         let mut rng = StdRng::seed_from_u64(0);
-        let f = s.realize(&t, &mut rng).unwrap();
+        let f = s.realize(&any, &mut rng).unwrap();
         assert_eq!(f.num_faulty_nodes(), 8);
-        assert!(f.preserves_connectivity(&t));
+        assert!(f.preserves_connectivity(&any));
     }
 
     #[test]
@@ -225,8 +271,9 @@ mod tests {
         // realizes on a mesh without silent wrapping.
         let m = Network::mesh(8, 2).unwrap();
         let s = FaultScenario::centered_region(&m, RegionShape::paper_u_8());
+        let any = AnyTopology::from(m);
         let mut rng = StdRng::seed_from_u64(0);
-        let f = s.realize(&m, &mut rng).unwrap();
+        let f = s.realize(&any, &mut rng).unwrap();
         assert_eq!(f.num_faulty_nodes(), 8);
 
         // A region too wide for an open dimension is rejected with a region
@@ -240,14 +287,14 @@ mod tests {
             plane: (0, 1),
         };
         assert!(matches!(
-            s.realize(&m, &mut rng).unwrap_err(),
+            s.realize(&any, &mut rng).unwrap_err(),
             FaultScenarioError::Region(RegionPlacementError::ExceedsExtent { .. })
         ));
     }
 
     #[test]
     fn clustered_scenario_realizes_in_the_requested_plane() {
-        let m = Network::mesh(8, 2).unwrap();
+        let any = AnyTopology::mesh(8, 2).unwrap();
         let s = FaultScenario::ClusteredNodes {
             count: 4,
             dim: 0,
@@ -257,10 +304,10 @@ mod tests {
         assert_eq!(s.fault_count(), 4);
         assert_eq!(s.label(), "nf=4 (dim 0, 2-plane slab)");
         let mut rng = StdRng::seed_from_u64(5);
-        let f = s.realize(&m, &mut rng).unwrap();
+        let f = s.realize(&any, &mut rng).unwrap();
         assert_eq!(f.num_faulty_nodes(), 4);
         for n in f.faulty_nodes_sorted() {
-            let p = m.position(n, 0);
+            let p = any.grid().unwrap().position(n, 0);
             assert!((2..4).contains(&p));
         }
         // Overhanging slabs surface the typed random-fault error.
@@ -271,14 +318,14 @@ mod tests {
             width: 2,
         };
         assert!(matches!(
-            bad.realize(&m, &mut rng).unwrap_err(),
+            bad.realize(&any, &mut rng).unwrap_err(),
             FaultScenarioError::Random(crate::random::RandomFaultError::SlabOutOfRange { .. })
         ));
     }
 
     #[test]
     fn explicit_scenario() {
-        let t = Network::torus(4, 2).unwrap();
+        let t = AnyTopology::torus(4, 2).unwrap();
         let s = FaultScenario::ExplicitNodes {
             nodes: vec![3, 7, 11],
         };
@@ -289,8 +336,47 @@ mod tests {
     }
 
     #[test]
+    fn switch_scenario_and_grid_rejections_on_fat_trees() {
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = FaultScenario::RandomSwitches { count: 2 };
+        assert_eq!(s.fault_count(), 2);
+        assert_eq!(s.label(), "nsf=2");
+        let f = s.realize(&ft, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 2);
+        assert!(f.preserves_connectivity(&ft));
+        // Grid-coordinate scenarios are rejected with the typed error.
+        let clustered = FaultScenario::ClusteredNodes {
+            count: 2,
+            dim: 0,
+            plane: 0,
+            width: 1,
+        };
+        assert!(matches!(
+            clustered.realize(&ft, &mut rng).unwrap_err(),
+            FaultScenarioError::UnsupportedTopology { .. }
+        ));
+        let region = FaultScenario::Region {
+            shape: RegionShape::Rect {
+                width: 2,
+                height: 2,
+            },
+            anchor: vec![0, 0],
+            plane: (0, 1),
+        };
+        let err = region.realize(&ft, &mut rng).unwrap_err();
+        assert!(err.to_string().contains("cannot be realized on ft:4,2"));
+        // Switch faults on a grid are rejected through the random-fault error.
+        let grid = AnyTopology::torus(4, 2).unwrap();
+        assert!(matches!(
+            s.realize(&grid, &mut rng).unwrap_err(),
+            FaultScenarioError::Random(RandomFaultError::NoSwitchNodes { .. })
+        ));
+    }
+
+    #[test]
     fn region_scenario_in_3d_plane() {
-        let t = Network::torus(8, 3).unwrap();
+        let t = AnyTopology::torus(8, 3).unwrap();
         let s = FaultScenario::Region {
             shape: RegionShape::Rect {
                 width: 2,

@@ -11,7 +11,7 @@ use crate::model::FaultSet;
 use rand::seq::SliceRandom;
 use rand::Rng;
 use std::fmt;
-use torus_topology::{Network, NodeId};
+use torus_topology::{AnyTopology, FatTreeNode, Network, NodeId, Topology};
 
 /// Errors produced by random fault injection.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -48,6 +48,13 @@ pub enum RandomFaultError {
         /// Radix of the dimension the slab lies in.
         radix: u16,
     },
+    /// Switch faults were requested on a topology without switch nodes
+    /// (every grid node is an endpoint; only indirect topologies have a
+    /// switch fabric to fail).
+    NoSwitchNodes {
+        /// Display form of the offending topology.
+        topology: String,
+    },
 }
 
 impl fmt::Display for RandomFaultError {
@@ -77,6 +84,10 @@ impl fmt::Display for RandomFaultError {
                 "fault slab [{plane}, {}) exceeds the dimension's extent {radix}",
                 *plane as u32 + *width as u32
             ),
+            RandomFaultError::NoSwitchNodes { topology } => write!(
+                f,
+                "switch faults requested on {topology}, which has no switch nodes"
+            ),
         }
     }
 }
@@ -89,8 +100,8 @@ const MAX_ATTEMPTS: usize = 1000;
 /// Shared sampling loop: draws `nf` distinct nodes from the candidate set,
 /// resampling the whole placement until the healthy subgraph of the network
 /// stays connected (or the retry budget runs out).
-fn sample_connected<R: Rng + ?Sized>(
-    net: &Network,
+fn sample_connected<T: Topology + ?Sized, R: Rng + ?Sized>(
+    net: &T,
     mut ids: Vec<NodeId>,
     nf: usize,
     rng: &mut R,
@@ -112,30 +123,76 @@ fn sample_connected<R: Rng + ?Sized>(
 /// Samples `nf` distinct faulty nodes uniformly at random such that the
 /// healthy subgraph remains connected.
 ///
+/// "Node" here means a processing element: faults are drawn from the
+/// topology's endpoints. On grids every node is an endpoint, so this is the
+/// paper's uniform sampler; on a fat-tree only the compute endpoints below
+/// the leaf switches are candidates (use [`random_switch_faults`] to fail
+/// the switch fabric).
+///
 /// Passing `nf == 0` returns an empty fault set. The placement is a function
 /// of the supplied RNG only, so experiments are reproducible from their seed.
 ///
 /// # Errors
-/// Fails if `nf` is not smaller than the number of nodes, or if no
+/// Fails if `nf` is not smaller than the number of endpoints, or if no
 /// connectivity-preserving placement is found within an internal retry budget
 /// (practically impossible for the fault densities used in the paper — at
 /// most 20 faults in a 64..512-node net).
-pub fn random_node_faults<R: Rng + ?Sized>(
-    net: &Network,
+pub fn random_node_faults<T: Topology + ?Sized, R: Rng + ?Sized>(
+    net: &T,
     nf: usize,
     rng: &mut R,
 ) -> Result<FaultSet, RandomFaultError> {
     if nf == 0 {
         return Ok(FaultSet::new());
     }
-    let n = net.num_nodes();
+    let n = net.num_endpoints();
     if nf >= n {
         return Err(RandomFaultError::TooManyFaults {
             requested: nf,
             nodes: n,
         });
     }
-    sample_connected(net, net.nodes().collect(), nf, rng)
+    sample_connected(net, (0..n).map(NodeId::from_index).collect(), nf, rng)
+}
+
+/// Samples `nf` distinct faulty *switches* uniformly at random on an indirect
+/// topology, such that the healthy subgraph remains connected.
+///
+/// Candidates are restricted to switches at level 1 and above: a leaf switch
+/// is the single attachment point of its `k` endpoints, so failing one always
+/// disconnects them — the connectivity retry loop would reject every such
+/// placement. Upper-level switches are exactly the components the up*/down*
+/// fault handling must route around.
+///
+/// # Errors
+/// Fails with [`RandomFaultError::NoSwitchNodes`] on topologies without a
+/// switch fabric (grids), with `TooManyFaults` if `nf` is not smaller than
+/// the number of candidate switches, or with `NoConnectedPlacement` when the
+/// retry budget runs out.
+pub fn random_switch_faults<R: Rng + ?Sized>(
+    net: &AnyTopology,
+    nf: usize,
+    rng: &mut R,
+) -> Result<FaultSet, RandomFaultError> {
+    let Some(ft) = net.fat_tree() else {
+        return Err(RandomFaultError::NoSwitchNodes {
+            topology: net.to_string(),
+        });
+    };
+    if nf == 0 {
+        return Ok(FaultSet::new());
+    }
+    let ids: Vec<NodeId> = ft
+        .nodes()
+        .filter(|&n| matches!(ft.classify(n), FatTreeNode::Switch { level, .. } if level >= 1))
+        .collect();
+    if nf >= ids.len() {
+        return Err(RandomFaultError::TooManyFaults {
+            requested: nf,
+            nodes: ids.len(),
+        });
+    }
+    sample_connected(net, ids, nf, rng)
 }
 
 /// Samples `nf` distinct faulty nodes uniformly at random *within a slab of
@@ -202,8 +259,8 @@ pub fn clustered_node_faults<R: Rng + ?Sized>(
 /// Samples `count` independent fault placements of `nf` nodes each (used by
 /// the Fig. 6 experiment, which averages over several random placements per
 /// fault count to make results independent of relative fault positions).
-pub fn random_fault_ensembles<R: Rng + ?Sized>(
-    net: &Network,
+pub fn random_fault_ensembles<T: Topology + ?Sized, R: Rng + ?Sized>(
+    net: &T,
     nf: usize,
     count: usize,
     rng: &mut R,
@@ -349,6 +406,47 @@ mod tests {
         assert!(f.preserves_connectivity(&m));
         for n in f.faulty_nodes_sorted() {
             assert_eq!(m.position(n, 0), 7);
+        }
+    }
+
+    #[test]
+    fn switch_faults_target_upper_levels_only() {
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let tree = ft.fat_tree().unwrap();
+        let mut rng = StdRng::seed_from_u64(13);
+        let f = random_switch_faults(&ft, 2, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 2);
+        assert!(f.preserves_connectivity(&ft));
+        for n in f.faulty_nodes_sorted() {
+            assert!(
+                matches!(tree.classify(n), FatTreeNode::Switch { level, .. } if level >= 1),
+                "fault {n:?} is not an upper-level switch"
+            );
+        }
+        // Grids have no switch fabric to fail.
+        let grid = AnyTopology::torus(4, 2).unwrap();
+        assert!(matches!(
+            random_switch_faults(&grid, 1, &mut rng),
+            Err(RandomFaultError::NoSwitchNodes { .. })
+        ));
+        // Requesting every upper switch (or more) is rejected: 4 top switches
+        // on ft:4,2, and failing all of them would disconnect the tree.
+        assert!(matches!(
+            random_switch_faults(&ft, 4, &mut rng),
+            Err(RandomFaultError::TooManyFaults { .. })
+        ));
+        assert!(random_switch_faults(&ft, 0, &mut rng).unwrap().is_empty());
+    }
+
+    #[test]
+    fn node_faults_on_fat_trees_hit_endpoints_only() {
+        let ft = AnyTopology::fat_tree_new(2, 3).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let f = random_node_faults(&ft, 3, &mut rng).unwrap();
+        assert_eq!(f.num_faulty_nodes(), 3);
+        assert!(f.preserves_connectivity(&ft));
+        for n in f.faulty_nodes_sorted() {
+            assert!(ft.is_endpoint(n), "fault {n:?} is not an endpoint");
         }
     }
 

@@ -446,6 +446,26 @@ impl FaultRegion {
         Ok(region)
     }
 
+    /// Places `shape` in the plane spanned by the given pair of dimensions
+    /// (`plane.0` carries the shape's x offsets, `plane.1` the y offsets)
+    /// anchored at the given digits, validating the placement against the
+    /// network. On 3-D and higher shapes this anchors clustered faults in
+    /// planes other than the default `(0, 1)`.
+    pub fn in_plane(
+        net: &Network,
+        shape: RegionShape,
+        plane: (usize, usize),
+        anchor: &[u16],
+    ) -> Result<Self, RegionPlacementError> {
+        let region = FaultRegion {
+            shape,
+            anchor: Coord::new(anchor.to_vec()),
+            plane,
+        };
+        region.validate(net)?;
+        Ok(region)
+    }
+
     /// Validates the placement against the network's per-dimension radices.
     ///
     /// A region is valid when its plane dimensions exist and are distinct,

@@ -19,7 +19,7 @@
 use crate::model::FaultSet;
 use serde::{Deserialize, Serialize};
 use std::fmt;
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{Direction, NodeId, Topology};
 
 /// One scheduled component failure.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
@@ -52,7 +52,7 @@ impl FaultEvent {
     }
 
     /// Applies the event to a cumulative fault set.
-    fn apply(&self, net: &Network, faults: &mut FaultSet) {
+    fn apply<T: Topology + ?Sized>(&self, net: &T, faults: &mut FaultSet) {
         match *self {
             FaultEvent::Node { node } => faults.fail_node(NodeId(node)),
             FaultEvent::Link { node, dim, dir } => faults.fail_link(net, NodeId(node), dim, dir),
@@ -234,7 +234,7 @@ impl FaultSchedule {
     /// and dimensions, physically existing links, and no component failed
     /// twice (links are identified up to direction, so naming the same link
     /// from both endpoints counts as a duplicate).
-    pub fn validate(&self, net: &Network) -> Result<(), FaultScheduleError> {
+    pub fn validate<T: Topology + ?Sized>(&self, net: &T) -> Result<(), FaultScheduleError> {
         let nodes = net.num_nodes();
         let dims = net.dims();
         let mut seen_nodes: Vec<u32> = Vec::new();
@@ -276,7 +276,10 @@ impl FaultSchedule {
     /// [`ScheduleEpoch`] per distinct injection cycle, each carrying the
     /// cumulative fault set, preceded by an explicit fault-free epoch 0
     /// when the first event arrives after cycle 0.
-    pub fn epochs(&self, net: &Network) -> Result<Vec<ScheduleEpoch>, FaultScheduleError> {
+    pub fn epochs<T: Topology + ?Sized>(
+        &self,
+        net: &T,
+    ) -> Result<Vec<ScheduleEpoch>, FaultScheduleError> {
         self.validate(net)?;
         let mut epochs = Vec::new();
         if self.events.first().is_none_or(|e| e.cycle > 0) {
@@ -372,6 +375,7 @@ impl FaultSchedule {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use torus_topology::Network;
 
     fn torus4x2() -> Network {
         Network::torus(4, 2).unwrap()

@@ -229,7 +229,8 @@ pub fn build_ecube_cdg(net: &Network, model: VcModel) -> DependencyGraph {
                     graph.add_edge(prev, resource);
                 }
                 previous = Some(resource);
-                header.note_hop(net, current, dim, dir);
+                header.hops += 1;
+                header.note_grid_bookkeeping(net, current, dim, dir);
                 current = net
                     .neighbor(current, dim, dir)
                     .expect("e-cube hop always crosses an existing channel");

@@ -11,17 +11,20 @@ use crate::decision::RouteDecision;
 use crate::header::{RouteHeader, RoutingFlavor};
 use crate::swbased::{RoutingAlgorithm, SwBasedRouting};
 use crate::turnmodel::{RoutingTopologyError, TurnModelRouting};
+use crate::updown::UpDownRouting;
 use torus_faults::FaultSet;
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{AnyTopology, Direction, NodeId};
 
-/// Either routing subsystem behind one dispatchable value.
+/// Any routing subsystem behind one dispatchable value.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum AnyRouting {
-    /// The Software-Based scheme over e-cube / Duato's protocol (all
-    /// topologies).
+    /// The Software-Based scheme over e-cube / Duato's protocol (all direct
+    /// grid topologies).
     SwBased(SwBasedRouting),
-    /// The negative-first turn model (open topologies only).
+    /// The negative-first turn model (open grid topologies only).
     TurnModel(TurnModelRouting),
+    /// Up*/down* routing (fat-trees only).
+    UpDown(UpDownRouting),
 }
 
 impl From<SwBasedRouting> for AnyRouting {
@@ -36,11 +39,18 @@ impl From<TurnModelRouting> for AnyRouting {
     }
 }
 
+impl From<UpDownRouting> for AnyRouting {
+    fn from(algo: UpDownRouting) -> Self {
+        AnyRouting::UpDown(algo)
+    }
+}
+
 macro_rules! delegate {
     ($self:ident, $algo:ident => $body:expr) => {
         match $self {
             AnyRouting::SwBased($algo) => $body,
             AnyRouting::TurnModel($algo) => $body,
+            AnyRouting::UpDown($algo) => $body,
         }
     };
 }
@@ -50,30 +60,30 @@ impl RoutingAlgorithm for AnyRouting {
         delegate!(self, a => a.flavor())
     }
 
-    fn min_virtual_channels(&self, net: &Network) -> usize {
+    fn min_virtual_channels(&self, net: &AnyTopology) -> usize {
         delegate!(self, a => a.min_virtual_channels(net))
     }
 
-    fn supported_on(&self, net: &Network) -> Result<(), RoutingTopologyError> {
+    fn supported_on(&self, net: &AnyTopology) -> Result<(), RoutingTopologyError> {
         delegate!(self, a => a.supported_on(net))
     }
 
     fn deterministic_output(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &RouteHeader,
         current: NodeId,
     ) -> Option<(usize, Direction)> {
         delegate!(self, a => a.deterministic_output(net, header, current))
     }
 
-    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+    fn make_header(&self, net: &AnyTopology, src: NodeId, dest: NodeId) -> RouteHeader {
         delegate!(self, a => a.make_header(net, src, dest))
     }
 
     fn route(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
@@ -84,7 +94,7 @@ impl RoutingAlgorithm for AnyRouting {
 
     fn note_hop(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
@@ -95,7 +105,7 @@ impl RoutingAlgorithm for AnyRouting {
 
     fn reroute_on_fault(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
@@ -115,24 +125,32 @@ mod tests {
 
     #[test]
     fn delegates_to_the_wrapped_algorithm() {
-        let mesh = Network::mesh(8, 2).unwrap();
-        let torus = Network::torus(8, 2).unwrap();
+        let mesh = AnyTopology::mesh(8, 2).unwrap();
+        let torus = AnyTopology::torus(8, 2).unwrap();
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
         let sw: AnyRouting = SwBasedRouting::adaptive().into();
         let tm: AnyRouting = TurnModelRouting::adaptive().into();
+        let ud: AnyRouting = UpDownRouting::adaptive().into();
         assert_eq!(sw.flavor(), RoutingFlavor::Adaptive);
         assert_eq!(sw.min_virtual_channels(&torus), 3);
         assert_eq!(tm.min_virtual_channels(&mesh), 2);
+        assert_eq!(ud.min_virtual_channels(&ft), 2);
         assert_eq!(sw.supported_on(&torus), Ok(()));
         assert!(tm.supported_on(&torus).is_err());
+        assert_eq!(ud.supported_on(&ft), Ok(()));
+        assert!(ud.supported_on(&torus).is_err());
+        assert!(sw.supported_on(&ft).is_err());
         assert_eq!(sw.name(), "SW-Based-nD (adaptive)");
         assert_eq!(tm.name(), "Negative-First (adaptive)");
+        assert_eq!(ud.name(), "Up/Down (adaptive)");
     }
 
     #[test]
     fn deterministic_output_matches_the_subsystem() {
-        let mesh = Network::mesh(8, 2).unwrap();
-        let src = mesh.node_from_digits(&[3, 5]).unwrap();
-        let dest = mesh.node_from_digits(&[5, 2]).unwrap();
+        let mesh = AnyTopology::mesh(8, 2).unwrap();
+        let grid = mesh.grid().unwrap();
+        let src = grid.node_from_digits(&[3, 5]).unwrap();
+        let dest = grid.node_from_digits(&[5, 2]).unwrap();
         let sw: AnyRouting = SwBasedRouting::deterministic().into();
         let tm: AnyRouting = TurnModelRouting::deterministic().into();
         let h = sw.make_header(&mesh, src, dest);
@@ -146,28 +164,54 @@ mod tests {
             tm.deterministic_output(&mesh, &h, src),
             Some((1, Direction::Minus))
         );
+        // Up/down on a fat-tree: an endpoint ascends through its only up-port.
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let ud: AnyRouting = UpDownRouting::deterministic().into();
+        let h = ud.make_header(&ft, NodeId(1), NodeId(13));
+        assert_eq!(
+            ud.deterministic_output(&ft, &h, NodeId(1)),
+            Some((1, Direction::Plus))
+        );
     }
 
     #[test]
     fn routes_end_to_end_through_the_dispatcher() {
-        let mesh = Network::mesh(4, 2).unwrap();
         let faults = FaultSet::new();
-        for algo in [
-            AnyRouting::SwBased(SwBasedRouting::deterministic()),
-            AnyRouting::TurnModel(TurnModelRouting::deterministic()),
+        let mesh = AnyTopology::mesh(4, 2).unwrap();
+        let grid = mesh.grid().unwrap();
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let mesh_src = grid.node_from_digits(&[0, 3]).unwrap();
+        let mesh_dest = grid.node_from_digits(&[3, 0]).unwrap();
+        for (net, algo, src, dest) in [
+            (
+                &mesh,
+                AnyRouting::SwBased(SwBasedRouting::deterministic()),
+                mesh_src,
+                mesh_dest,
+            ),
+            (
+                &mesh,
+                AnyRouting::TurnModel(TurnModelRouting::deterministic()),
+                mesh_src,
+                mesh_dest,
+            ),
+            (
+                &ft,
+                AnyRouting::UpDown(UpDownRouting::deterministic()),
+                NodeId(0),
+                NodeId(13),
+            ),
         ] {
-            let src = mesh.node_from_digits(&[0, 3]).unwrap();
-            let dest = mesh.node_from_digits(&[3, 0]).unwrap();
-            let mut header = algo.make_header(&mesh, src, dest);
+            let mut header = algo.make_header(net, src, dest);
             let mut current = src;
             let mut hops = 0u32;
             loop {
-                match algo.route(&mesh, &faults, &mut header, current, 2) {
+                match algo.route(net, &faults, &mut header, current, 2) {
                     RouteDecision::Deliver => break,
                     RouteDecision::Forward(cands) => {
                         let c = &cands[0];
-                        algo.note_hop(&mesh, &mut header, current, c.dim, c.dir);
-                        current = mesh.neighbor(current, c.dim, c.dir).unwrap();
+                        algo.note_hop(net, &mut header, current, c.dim, c.dir);
+                        current = net.neighbor(current, c.dim, c.dir).unwrap();
                         hops += 1;
                         assert!(hops <= 6);
                     }
@@ -175,7 +219,7 @@ mod tests {
                 }
             }
             assert_eq!(current, dest);
-            assert_eq!(hops, mesh.distance(src, dest));
+            assert_eq!(hops, net.distance(src, dest));
         }
     }
 }

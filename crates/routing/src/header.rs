@@ -2,7 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{AnyTopology, Direction, NodeId, Topology};
 
 /// The two flavours of Software-Based routing evaluated in the paper.
 ///
@@ -72,7 +72,12 @@ pub struct RouteHeader {
 
 impl RouteHeader {
     /// Creates the header of a freshly generated message.
-    pub fn new(net: &Network, source: NodeId, dest: NodeId, flavor: RoutingFlavor) -> Self {
+    pub fn new<T: Topology + ?Sized>(
+        net: &T,
+        source: NodeId,
+        dest: NodeId,
+        flavor: RoutingFlavor,
+    ) -> Self {
         let n = net.dims();
         let mut via = VecDeque::with_capacity(2);
         via.push_back(dest);
@@ -156,19 +161,35 @@ impl RouteHeader {
 
     /// Records that the header moved one hop along `dim` in direction `dir`
     /// from ring position `from_pos`, updating dateline and forced-direction
-    /// bookkeeping.
-    pub fn note_hop(&mut self, net: &Network, from: NodeId, dim: usize, dir: Direction) {
+    /// bookkeeping. Datelines and forced-direction release are grid concepts;
+    /// on indirect topologies only the hop counter advances.
+    pub fn note_hop(&mut self, net: &AnyTopology, from: NodeId, dim: usize, dir: Direction) {
         self.hops += 1;
-        let from_pos = net.position(from, dim);
-        if net.crosses_dateline(dim, from_pos, dir) {
+        if let Some(grid) = net.grid() {
+            self.note_grid_bookkeeping(grid, from, dim, dir);
+        }
+    }
+
+    /// The grid-specific part of [`RouteHeader::note_hop`], usable directly by
+    /// analyses that walk a [`Network`](torus_topology::Network) (the CDG
+    /// builders). Does **not** advance the hop counter.
+    pub fn note_grid_bookkeeping(
+        &mut self,
+        grid: &torus_topology::Network,
+        from: NodeId,
+        dim: usize,
+        dir: Direction,
+    ) {
+        let from_pos = grid.position(from, dim);
+        if grid.crosses_dateline(dim, from_pos, dir) {
             self.crossed_dateline[dim] = true;
         }
         // A forced (non-minimal) dimension is released as soon as the offset
         // towards the current target is nullified.
-        let next = net
+        let next = grid
             .neighbor(from, dim, dir)
             .expect("a recorded hop always crosses an existing channel");
-        if self.forced_dir[dim].is_some() && net.offset(next, self.target(), dim) == 0 {
+        if self.forced_dir[dim].is_some() && grid.offset(next, self.target(), dim) == 0 {
             self.forced_dir[dim] = None;
         }
     }
@@ -178,8 +199,9 @@ impl RouteHeader {
 /// table rules a couple of times per dimension before the software layer
 /// computes an explicit fault-free path. `4 + 2n` absorptions is far more than
 /// the fault patterns of the paper ever require, yet small enough to bound
-/// worst-case livelock tightly.
-pub fn default_misroute_budget(net: &Network) -> u32 {
+/// worst-case livelock tightly. (On a fat-tree `n` is the switch arity, so
+/// the budget scales with the number of alternate parents.)
+pub fn default_misroute_budget<T: Topology + ?Sized>(net: &T) -> u32 {
     4 + 2 * net.dims() as u32
 }
 
@@ -187,8 +209,12 @@ pub fn default_misroute_budget(net: &Network) -> u32 {
 mod tests {
     use super::*;
 
-    fn torus() -> Network {
-        Network::torus(8, 2).unwrap()
+    fn torus() -> AnyTopology {
+        AnyTopology::torus(8, 2).unwrap()
+    }
+
+    fn node(t: &AnyTopology, digits: &[u16]) -> NodeId {
+        t.grid().unwrap().node_from_digits(digits).unwrap()
     }
 
     #[test]
@@ -248,13 +274,8 @@ mod tests {
     #[test]
     fn note_hop_tracks_datelines_and_hops() {
         let t = torus();
-        let src = t.node_from_digits(&[7, 0]).unwrap();
-        let mut h = RouteHeader::new(
-            &t,
-            src,
-            t.node_from_digits(&[1, 0]).unwrap(),
-            RoutingFlavor::Deterministic,
-        );
+        let src = node(&t, &[7, 0]);
+        let mut h = RouteHeader::new(&t, src, node(&t, &[1, 0]), RoutingFlavor::Deterministic);
         assert!(!h.crossed_dateline[0]);
         h.note_hop(&t, src, 0, Direction::Plus); // 7 -> 0 crosses the dateline
         assert!(h.crossed_dateline[0]);
@@ -265,8 +286,8 @@ mod tests {
     #[test]
     fn forced_direction_released_when_offset_nullified() {
         let t = torus();
-        let src = t.node_from_digits(&[3, 0]).unwrap();
-        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let src = node(&t, &[3, 0]);
+        let dest = node(&t, &[4, 0]);
         let mut h = RouteHeader::new(&t, src, dest, RoutingFlavor::Deterministic);
         // Force the "wrong way round" in dimension 0.
         h.forced_dir[0] = Some(Direction::Minus);
@@ -295,7 +316,18 @@ mod tests {
 
     #[test]
     fn misroute_budget_scales_with_dimensionality() {
-        assert_eq!(default_misroute_budget(&Network::torus(8, 2).unwrap()), 8);
-        assert_eq!(default_misroute_budget(&Network::torus(8, 3).unwrap()), 10);
+        assert_eq!(
+            default_misroute_budget(&AnyTopology::torus(8, 2).unwrap()),
+            8
+        );
+        assert_eq!(
+            default_misroute_budget(&AnyTopology::torus(8, 3).unwrap()),
+            10
+        );
+        // Fat-tree: dims == arity, so budget scales with parent fan-out.
+        assert_eq!(
+            default_misroute_budget(&AnyTopology::fat_tree_new(4, 2).unwrap()),
+            12
+        );
     }
 }

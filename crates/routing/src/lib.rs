@@ -28,6 +28,15 @@
 //!   (negative-first or west-first); one VC suffices deterministic, two
 //!   adaptive; the algorithm is rejected with a typed error on wrapped
 //!   dimensions.
+//! * **Up*/down* routing** ([`updown`]) — the standard deadlock-free scheme
+//!   for the indirect k-ary l-level fat-trees the topology crate also
+//!   models: climb to a common ancestor, then descend. Deterministic
+//!   (destination-aligned ascent, one VC) and adaptive (any live parent,
+//!   deterministic escape on VC 0) flavours, with the SW-Based software
+//!   layer adapted to the tree: a dead up-link re-ascends through an
+//!   alternate parent, a dead down-link falls back to an explicit
+//!   fault-free path. Grid-only algorithms reject fat-trees — and up/down
+//!   rejects grids — with a typed [`RoutingTopologyError`].
 //! * **Channel-dependency-graph analysis** ([`cdg`]) — builds the extended
 //!   CDG of the deterministic / escape layer and verifies acyclicity, the
 //!   deadlock-freedom argument of Section 4 of the paper (and, on meshes,
@@ -49,6 +58,7 @@ pub mod ecube;
 pub mod header;
 pub mod swbased;
 pub mod turnmodel;
+pub mod updown;
 
 pub use cdg::{DependencyGraph, TurnRule};
 pub use decision::{OutputCandidate, RouteDecision};
@@ -56,6 +66,7 @@ pub use dispatch::AnyRouting;
 pub use header::{RouteHeader, RoutingFlavor};
 pub use swbased::{RoutingAlgorithm, SwBasedRouting};
 pub use turnmodel::{RoutingTopologyError, TurnModelRouting};
+pub use updown::UpDownRouting;
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
@@ -65,4 +76,5 @@ pub mod prelude {
     pub use crate::header::{RouteHeader, RoutingFlavor};
     pub use crate::swbased::{RoutingAlgorithm, SwBasedRouting};
     pub use crate::turnmodel::{RoutingTopologyError, TurnModelRouting};
+    pub use crate::updown::UpDownRouting;
 }

@@ -24,6 +24,11 @@
 //! * **post-fault behaviour** — once a message has been absorbed it is routed
 //!   deterministically for the rest of its journey (Section 4: "from this
 //!   point, faulted messages are always routed using detRouting2D").
+//!
+//! The scheme's offsets, datelines and orthogonal detours are grid concepts,
+//! so [`RoutingAlgorithm::supported_on`] rejects indirect topologies with a
+//! typed error; fat-trees route with
+//! [`UpDownRouting`](crate::updown::UpDownRouting) instead.
 
 use crate::adaptive::adaptive_candidates;
 use crate::decision::{OutputCandidate, RouteDecision};
@@ -32,48 +37,60 @@ use crate::header::{RouteHeader, RoutingFlavor};
 use crate::turnmodel::RoutingTopologyError;
 use serde::{Deserialize, Serialize};
 use torus_faults::FaultSet;
-use torus_topology::{DatelinePolicy, Direction, HealthyGraph, Network, NodeId};
+use torus_topology::{
+    AnyTopology, DatelinePolicy, Direction, HealthyGraph, Network, NodeId, Topology,
+};
 
 /// Interface between the router pipeline / software layer and a routing
 /// algorithm.
+///
+/// Every method takes the topology as an [`AnyTopology`]; algorithms that
+/// only operate on one backend (the grid-offset based schemes, the fat-tree
+/// up/down scheme) reject the other at construction time through
+/// [`RoutingAlgorithm::supported_on`] and may downcast unconditionally
+/// afterwards.
 pub trait RoutingAlgorithm {
     /// The flavour this algorithm routes with in the absence of faults.
     fn flavor(&self) -> RoutingFlavor;
 
     /// Minimum number of virtual channels per physical channel this algorithm
     /// needs for deadlock freedom on the given network.
-    fn min_virtual_channels(&self, net: &Network) -> usize;
+    fn min_virtual_channels(&self, net: &AnyTopology) -> usize;
 
     /// Checks that the algorithm can operate on `net` at all. Both simulator
     /// engines call this at construction time and surface the error as a
     /// typed configuration failure. Defaults to "supported everywhere"; the
-    /// negative-first turn model overrides it to reject wrapped dimensions.
-    fn supported_on(&self, _net: &Network) -> Result<(), RoutingTopologyError> {
+    /// negative-first turn model overrides it to reject wrapped dimensions,
+    /// the grid-offset schemes reject indirect topologies and the fat-tree
+    /// up/down scheme rejects grids.
+    fn supported_on(&self, _net: &AnyTopology) -> Result<(), RoutingTopologyError> {
         Ok(())
     }
 
     /// The deterministic-layer output this algorithm steers `header` towards
     /// at `current` — the output the simulator reports as `blocked` to
     /// [`RoutingAlgorithm::reroute_on_fault`] when a message is absorbed.
-    /// Defaults to the e-cube output; the turn model overrides it with the
-    /// negative-first output.
+    /// Defaults to the e-cube output on grids; the turn model overrides it
+    /// with the negative-first output and the up/down scheme with the
+    /// deterministic up/down output.
     fn deterministic_output(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &RouteHeader,
         current: NodeId,
     ) -> Option<(usize, Direction)> {
-        ecube_output(net, header, current)
+        net.grid()
+            .and_then(|grid| ecube_output(grid, header, current))
     }
 
     /// Builds the header of a newly generated message.
-    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader;
+    fn make_header(&self, net: &AnyTopology, src: NodeId, dest: NodeId) -> RouteHeader;
 
     /// Routing decision for a header flit of `header` currently at `current`,
     /// with `v` virtual channels per physical channel.
     fn route(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
@@ -83,7 +100,7 @@ pub trait RoutingAlgorithm {
     /// Header bookkeeping when the message advances one hop.
     fn note_hop(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
@@ -96,7 +113,7 @@ pub trait RoutingAlgorithm {
     /// message must be dropped.
     fn reroute_on_fault(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
@@ -105,6 +122,13 @@ pub trait RoutingAlgorithm {
 
     /// Human-readable name used in reports.
     fn name(&self) -> String;
+}
+
+/// Downcast used by the grid-only algorithms after `supported_on` has
+/// validated the topology at construction time.
+pub(crate) fn expect_grid(net: &AnyTopology) -> &Network {
+    net.grid()
+        .expect("grid-only routing algorithm invoked on an indirect topology (supported_on rejects this at construction)")
 }
 
 /// The Software-Based fault-tolerant routing algorithm for n-dimensional
@@ -169,18 +193,6 @@ impl SwBasedRouting {
         }])
     }
 
-    /// Installs an explicit fault-free path from `at` to the final destination
-    /// (rule 3 / assumption (i)(ii) of the paper).
-    fn install_explicit_path(
-        &self,
-        net: &Network,
-        faults: &FaultSet,
-        header: &mut RouteHeader,
-        at: NodeId,
-    ) -> bool {
-        install_explicit_path(net, faults, header, at)
-    }
-
     /// Dimensions to try for the orthogonal detour (rule 2), preferring the
     /// partner dimension of the current dimension pair as in the SW-Based-nD
     /// formulation of Fig. 2.
@@ -191,11 +203,11 @@ impl SwBasedRouting {
 
 /// Installs an explicit fault-free path from `at` to the header's final
 /// destination (rule 3 / assumption (i)(ii) of the paper). Shared between the
-/// SW-Based scheme and the turn-model subsystem, whose software layers apply
-/// the same fallback. Returns `false` only when the destination is
-/// unreachable.
-pub(crate) fn install_explicit_path(
-    net: &Network,
+/// SW-Based scheme, the turn-model subsystem and the fat-tree up/down scheme,
+/// whose software layers apply the same fallback. Returns `false` only when
+/// the destination is unreachable.
+pub(crate) fn install_explicit_path<T: Topology + ?Sized>(
+    net: &T,
     faults: &FaultSet,
     header: &mut RouteHeader,
     at: NodeId,
@@ -236,26 +248,39 @@ impl RoutingAlgorithm for SwBasedRouting {
         self.flavor
     }
 
-    fn min_virtual_channels(&self, net: &Network) -> usize {
-        let policy = DatelinePolicy::new(net);
+    fn min_virtual_channels(&self, net: &AnyTopology) -> usize {
+        let policy = DatelinePolicy::new(expect_grid(net));
         match self.flavor {
             RoutingFlavor::Deterministic => policy.min_deterministic_vcs(),
             RoutingFlavor::Adaptive => policy.min_adaptive_vcs(),
         }
     }
 
-    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+    fn supported_on(&self, net: &AnyTopology) -> Result<(), RoutingTopologyError> {
+        if net.grid().is_none() {
+            return Err(RoutingTopologyError::UnsupportedTopology {
+                algorithm: "SW-Based-nD",
+                topology: net.to_string(),
+                requires: "a direct grid topology (torus/mesh/hypercube); \
+                           fat-trees route with the up/down scheme",
+            });
+        }
+        Ok(())
+    }
+
+    fn make_header(&self, net: &AnyTopology, src: NodeId, dest: NodeId) -> RouteHeader {
         RouteHeader::new(net, src, dest, self.flavor)
     }
 
     fn route(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
         v: usize,
     ) -> RouteDecision {
+        let net = expect_grid(net);
         // Advance through intermediate destinations that have been reached.
         while current == header.target() {
             if header.pending_via() > 0 {
@@ -289,7 +314,7 @@ impl RoutingAlgorithm for SwBasedRouting {
 
     fn note_hop(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
@@ -300,12 +325,13 @@ impl RoutingAlgorithm for SwBasedRouting {
 
     fn reroute_on_fault(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
         blocked: (usize, Direction),
     ) -> bool {
+        let net = expect_grid(net);
         // Software forwarding: the message was absorbed because it reached an
         // intermediate via host, not because of a new fault. Pop the reached
         // target(s) and re-inject unchanged.
@@ -324,7 +350,7 @@ impl RoutingAlgorithm for SwBasedRouting {
         // again (which can only happen if the fault set changed) — compute an
         // explicit fault-free path.
         if header.escorted || header.misroute_budget == 0 {
-            return self.install_explicit_path(net, faults, header, at);
+            return install_explicit_path(net, faults, header, at);
         }
         header.misroute_budget -= 1;
 
@@ -368,7 +394,7 @@ impl RoutingAlgorithm for SwBasedRouting {
         // Every neighbouring move is faulty (the node is walled in except for
         // the channel the message arrived on) — fall back to the explicit
         // path, which exists as long as the network is connected.
-        self.install_explicit_path(net, faults, header, at)
+        install_explicit_path(net, faults, header, at)
     }
 
     fn name(&self) -> String {
@@ -380,19 +406,24 @@ impl RoutingAlgorithm for SwBasedRouting {
 mod tests {
     use super::*;
 
-    fn torus() -> Network {
-        Network::torus(8, 2).unwrap()
+    fn torus() -> AnyTopology {
+        AnyTopology::torus(8, 2).unwrap()
     }
 
     fn no_faults() -> FaultSet {
         FaultSet::new()
     }
 
+    /// Node id from grid digits (tests only run on grid topologies).
+    fn node(t: &AnyTopology, digits: &[u16]) -> NodeId {
+        t.grid().unwrap().node_from_digits(digits).unwrap()
+    }
+
     /// Walks a message through the network with the given algorithm, always
     /// taking the first candidate, and returns the nodes visited. Panics on
     /// Absorb (tests that expect absorption handle it themselves).
     fn walk(
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         algo: &SwBasedRouting,
         src: NodeId,
@@ -422,22 +453,26 @@ mod tests {
     fn fault_free_deterministic_is_ecube() {
         let t = torus();
         let algo = SwBasedRouting::deterministic();
-        let src = t.node_from_digits(&[1, 1]).unwrap();
-        let dest = t.node_from_digits(&[5, 3]).unwrap();
+        let src = node(&t, &[1, 1]);
+        let dest = node(&t, &[5, 3]);
         let visited = walk(&t, &no_faults(), &algo, src, dest);
-        let expected: Vec<NodeId> = torus_topology::dimension_order_path(&t, src, dest).nodes(&t);
+        let expected: Vec<NodeId> =
+            torus_topology::dimension_order_path(t.grid().unwrap(), src, dest).nodes(&t);
         assert_eq!(visited, expected);
     }
 
     #[test]
     fn fault_free_deterministic_is_ecube_on_meshes_and_hypercubes() {
-        for net in [Network::mesh(8, 2).unwrap(), Network::hypercube(5).unwrap()] {
+        for net in [
+            AnyTopology::mesh(8, 2).unwrap(),
+            AnyTopology::hypercube(5).unwrap(),
+        ] {
             let algo = SwBasedRouting::deterministic();
             let src = NodeId(1);
             let dest = NodeId(net.num_nodes() as u32 - 2);
             let visited = walk(&net, &no_faults(), &algo, src, dest);
             let expected: Vec<NodeId> =
-                torus_topology::dimension_order_path(&net, src, dest).nodes(&net);
+                torus_topology::dimension_order_path(net.grid().unwrap(), src, dest).nodes(&net);
             assert_eq!(visited, expected);
         }
     }
@@ -446,8 +481,8 @@ mod tests {
     fn fault_free_adaptive_reaches_destination_minimally() {
         let t = torus();
         let algo = SwBasedRouting::adaptive();
-        let src = t.node_from_digits(&[0, 0]).unwrap();
-        let dest = t.node_from_digits(&[3, 6]).unwrap();
+        let src = node(&t, &[0, 0]);
+        let dest = node(&t, &[3, 6]);
         let visited = walk(&t, &no_faults(), &algo, src, dest);
         assert_eq!(visited.len() as u32 - 1, t.distance(src, dest));
         assert_eq!(*visited.last().unwrap(), dest);
@@ -458,13 +493,13 @@ mod tests {
         let t = torus();
         let mut faults = FaultSet::new();
         // Fault directly on the e-cube path.
-        faults.fail_node(t.node_from_digits(&[2, 0]).unwrap());
+        faults.fail_node(node(&t, &[2, 0]));
         let algo = SwBasedRouting::deterministic();
-        let src = t.node_from_digits(&[0, 0]).unwrap();
-        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let src = node(&t, &[0, 0]);
+        let dest = node(&t, &[4, 0]);
         let mut header = algo.make_header(&t, src, dest);
         // Walk to the node adjacent to the fault.
-        let one = t.node_from_digits(&[1, 0]).unwrap();
+        let one = node(&t, &[1, 0]);
         let d = algo.route(&t, &faults, &mut header, one, 4);
         assert!(d.is_absorb());
     }
@@ -473,10 +508,10 @@ mod tests {
     fn adaptive_does_not_absorb_while_alternatives_exist() {
         let t = torus();
         let mut faults = FaultSet::new();
-        faults.fail_node(t.node_from_digits(&[2, 1]).unwrap());
+        faults.fail_node(node(&t, &[2, 1]));
         let algo = SwBasedRouting::adaptive();
-        let src = t.node_from_digits(&[1, 1]).unwrap();
-        let dest = t.node_from_digits(&[3, 3]).unwrap();
+        let src = node(&t, &[1, 1]);
+        let dest = node(&t, &[3, 3]);
         let mut header = algo.make_header(&t, src, dest);
         let d = algo.route(&t, &faults, &mut header, src, 6);
         // dim 0 plus is faulty but dim 1 plus is healthy: still forwarding.
@@ -496,11 +531,11 @@ mod tests {
         let t = torus();
         let mut faults = FaultSet::new();
         // Message needs +1 in dim 0 and +1 in dim 1; block both neighbours.
-        faults.fail_node(t.node_from_digits(&[2, 1]).unwrap());
-        faults.fail_node(t.node_from_digits(&[1, 2]).unwrap());
+        faults.fail_node(node(&t, &[2, 1]));
+        faults.fail_node(node(&t, &[1, 2]));
         let algo = SwBasedRouting::adaptive();
-        let src = t.node_from_digits(&[1, 1]).unwrap();
-        let dest = t.node_from_digits(&[2, 2]).unwrap();
+        let src = node(&t, &[1, 1]);
+        let dest = node(&t, &[2, 2]);
         let mut header = algo.make_header(&t, src, dest);
         let d = algo.route(&t, &faults, &mut header, src, 6);
         assert!(d.is_absorb());
@@ -510,10 +545,10 @@ mod tests {
     fn reroute_rule1_forces_opposite_direction() {
         let t = torus();
         let mut faults = FaultSet::new();
-        faults.fail_node(t.node_from_digits(&[2, 0]).unwrap());
+        faults.fail_node(node(&t, &[2, 0]));
         let algo = SwBasedRouting::deterministic();
-        let src = t.node_from_digits(&[1, 0]).unwrap();
-        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let src = node(&t, &[1, 0]);
+        let dest = node(&t, &[4, 0]);
         let mut header = algo.make_header(&t, src, dest);
         assert!(algo.reroute_on_fault(&t, &faults, &mut header, src, (0, Direction::Plus)));
         assert!(header.faulted);
@@ -525,19 +560,19 @@ mod tests {
     fn reroute_rule1_skipped_on_open_dimensions() {
         // On a mesh the opposite direction cannot wrap around to the target,
         // so the software layer must go straight to the orthogonal rule.
-        let m = Network::mesh(8, 2).unwrap();
+        let m = AnyTopology::mesh(8, 2).unwrap();
         let mut faults = FaultSet::new();
-        faults.fail_node(m.node_from_digits(&[2, 0]).unwrap());
+        faults.fail_node(node(&m, &[2, 0]));
         let algo = SwBasedRouting::deterministic();
-        let at = m.node_from_digits(&[1, 0]).unwrap();
-        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let at = node(&m, &[1, 0]);
+        let dest = node(&m, &[4, 0]);
         let mut header = algo.make_header(&m, at, dest);
         assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (0, Direction::Plus)));
         assert!(header.forced_dir.iter().all(Option::is_none));
         assert_eq!(header.pending_via(), 1);
         // The orthogonal via node sits one hop away in dimension 1 (the only
         // open direction from row 0 is Plus).
-        assert_eq!(header.target(), m.node_from_digits(&[1, 1]).unwrap());
+        assert_eq!(header.target(), node(&m, &[1, 1]));
     }
 
     #[test]
@@ -545,19 +580,20 @@ mod tests {
         let t = torus();
         let mut faults = FaultSet::new();
         // Block both dimension-0 neighbours of the absorbing node.
-        faults.fail_node(t.node_from_digits(&[2, 0]).unwrap());
-        faults.fail_node(t.node_from_digits(&[0, 0]).unwrap());
+        faults.fail_node(node(&t, &[2, 0]));
+        faults.fail_node(node(&t, &[0, 0]));
         let algo = SwBasedRouting::deterministic();
-        let at = t.node_from_digits(&[1, 0]).unwrap();
-        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let at = node(&t, &[1, 0]);
+        let dest = node(&t, &[4, 0]);
         let mut header = algo.make_header(&t, at, dest);
         assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (0, Direction::Plus)));
         // An orthogonal intermediate destination (one hop in dimension 1) was
         // installed.
         assert_eq!(header.pending_via(), 1);
         let via = header.target();
-        assert_eq!(t.coord(via).get(0), 1);
-        assert_ne!(t.coord(via).get(1), 0);
+        let grid = t.grid().unwrap();
+        assert_eq!(grid.coord(via).get(0), 1);
+        assert_ne!(grid.coord(via).get(1), 0);
     }
 
     #[test]
@@ -567,26 +603,26 @@ mod tests {
         // to the orthogonal rule.
         let t = torus();
         let mut faults = FaultSet::new();
-        faults.fail_node(t.node_from_digits(&[1, 1]).unwrap());
+        faults.fail_node(node(&t, &[1, 1]));
         let algo = SwBasedRouting::deterministic();
-        let at = t.node_from_digits(&[1, 0]).unwrap();
-        let mut header = algo.make_header(&t, at, t.node_from_digits(&[1, 4]).unwrap());
+        let at = node(&t, &[1, 0]);
+        let mut header = algo.make_header(&t, at, node(&t, &[1, 4]));
         // Dimension 0 offset to the target is zero.
         assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (0, Direction::Plus)));
         assert!(header.forced_dir.iter().all(Option::is_none));
         assert_eq!(header.pending_via(), 1);
         // The orthogonal detour avoids the faulty node [1,1].
-        assert_ne!(header.target(), t.node_from_digits(&[1, 1]).unwrap());
+        assert_ne!(header.target(), node(&t, &[1, 1]));
     }
 
     #[test]
     fn reroute_falls_back_to_explicit_path_when_budget_exhausted() {
         let t = torus();
         let mut faults = FaultSet::new();
-        faults.fail_node(t.node_from_digits(&[3, 3]).unwrap());
+        faults.fail_node(node(&t, &[3, 3]));
         let algo = SwBasedRouting::deterministic();
-        let at = t.node_from_digits(&[3, 2]).unwrap();
-        let dest = t.node_from_digits(&[3, 5]).unwrap();
+        let at = node(&t, &[3, 2]);
+        let dest = node(&t, &[3, 5]);
         let mut header = algo.make_header(&t, at, dest);
         header.misroute_budget = 0;
         assert!(algo.reroute_on_fault(&t, &faults, &mut header, at, (1, Direction::Plus)));
@@ -607,8 +643,8 @@ mod tests {
                 RouteDecision::Absorb => {
                     // Escorted hops are software-forwarded through every via
                     // host: absorbed and re-injected towards the next one.
-                    let blocked =
-                        ecube_output(&t, &header, current).unwrap_or((0, Direction::Plus));
+                    let blocked = ecube_output(t.grid().unwrap(), &header, current)
+                        .unwrap_or((0, Direction::Plus));
                     assert!(
                         algo.reroute_on_fault(&t, &faults, &mut header, current, blocked),
                         "escorted message must always forward"
@@ -626,12 +662,15 @@ mod tests {
         // Full software loop: route, absorb, re-route, re-inject (conceptually)
         // until delivery, mirroring what the simulator does — on a torus and
         // on the matching mesh.
-        for net in [Network::torus(8, 2).unwrap(), Network::mesh(8, 2).unwrap()] {
+        for net in [
+            AnyTopology::torus(8, 2).unwrap(),
+            AnyTopology::mesh(8, 2).unwrap(),
+        ] {
             let mut faults = FaultSet::new();
-            faults.fail_node(net.node_from_digits(&[3, 0]).unwrap());
+            faults.fail_node(node(&net, &[3, 0]));
             let algo = SwBasedRouting::deterministic();
-            let src = net.node_from_digits(&[1, 0]).unwrap();
-            let dest = net.node_from_digits(&[4, 0]).unwrap();
+            let src = node(&net, &[1, 0]);
+            let dest = node(&net, &[4, 0]);
 
             let mut header = algo.make_header(&net, src, dest);
             let mut current = src;
@@ -652,8 +691,9 @@ mod tests {
                         absorptions += 1;
                         // Determine the blocked output exactly as the router
                         // does; a via host at its reached target has none.
-                        let blocked =
-                            ecube_output(&net, &header, current).unwrap_or((0, Direction::Plus));
+                        let blocked = algo
+                            .deterministic_output(&net, &header, current)
+                            .unwrap_or((0, Direction::Plus));
                         assert!(algo.reroute_on_fault(
                             &net,
                             &faults,
@@ -675,8 +715,8 @@ mod tests {
     fn adaptive_flavor_faulted_message_uses_escape_vcs() {
         let t = torus();
         let algo = SwBasedRouting::adaptive();
-        let src = t.node_from_digits(&[0, 0]).unwrap();
-        let dest = t.node_from_digits(&[4, 0]).unwrap();
+        let src = node(&t, &[0, 0]);
+        let dest = node(&t, &[4, 0]);
         let mut header = algo.make_header(&t, src, dest);
         header.faulted = true;
         let d = algo.route(&t, &no_faults(), &mut header, src, 6);
@@ -693,8 +733,8 @@ mod tests {
     #[test]
     fn min_virtual_channels_and_names() {
         let t = torus();
-        let m = Network::mesh(8, 2).unwrap();
-        let mixed = Network::new(vec![8, 4], vec![true, false]).unwrap();
+        let m = AnyTopology::mesh(8, 2).unwrap();
+        let mixed = AnyTopology::Grid(Network::new(vec![8, 4], vec![true, false]).unwrap());
         assert_eq!(SwBasedRouting::deterministic().min_virtual_channels(&t), 2);
         assert_eq!(SwBasedRouting::adaptive().min_virtual_channels(&t), 3);
         // Meshes need no dateline VC: one deterministic VC, two for Duato.
@@ -713,6 +753,29 @@ mod tests {
             SwBasedRouting::with_flavor(RoutingFlavor::Adaptive).flavor(),
             RoutingFlavor::Adaptive
         );
+    }
+
+    #[test]
+    fn supported_on_grids_but_not_fat_trees() {
+        let algo = SwBasedRouting::deterministic();
+        assert_eq!(algo.supported_on(&torus()), Ok(()));
+        assert_eq!(algo.supported_on(&AnyTopology::mesh(4, 3).unwrap()), Ok(()));
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
+        match algo.supported_on(&ft) {
+            Err(RoutingTopologyError::UnsupportedTopology {
+                algorithm,
+                topology,
+                ..
+            }) => {
+                assert_eq!(algorithm, "SW-Based-nD");
+                assert_eq!(topology, "ft:4,2");
+            }
+            other => panic!("expected UnsupportedTopology, got {other:?}"),
+        }
+        let msg = format!("{}", algo.supported_on(&ft).unwrap_err());
+        assert!(msg.contains("SW-Based-nD"));
+        assert!(msg.contains("'ft:4,2'"));
+        assert!(msg.contains("up/down"));
     }
 
     #[test]

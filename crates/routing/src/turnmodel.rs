@@ -38,7 +38,9 @@
 //! only sound where no dimension wraps: a ring's same-direction dependency
 //! chain closes a cycle no turn prohibition can break. Both simulator engines
 //! therefore reject the algorithm on wrapped dimensions at construction time
-//! with a typed [`RoutingTopologyError`].
+//! with a typed [`RoutingTopologyError`]. The same check rejects indirect
+//! topologies outright — turn directions are grid offsets, which a fat-tree
+//! does not have.
 //!
 //! **Fault handling** mirrors the SW-Based software layer (Fig. 2 of the
 //! paper) minus rule 1: re-routing in the same dimension, opposite direction
@@ -55,11 +57,11 @@ use crate::adaptive::productive_outputs;
 use crate::cdg::TurnRule;
 use crate::decision::{OutputCandidate, RouteDecision};
 use crate::header::{RouteHeader, RoutingFlavor};
-use crate::swbased::{install_explicit_path, orthogonal_order, RoutingAlgorithm};
+use crate::swbased::{expect_grid, install_explicit_path, orthogonal_order, RoutingAlgorithm};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use torus_faults::FaultSet;
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{AnyTopology, Direction, Network, NodeId};
 
 /// Typed error for routing algorithms that cannot operate on a topology.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -77,6 +79,18 @@ pub enum RoutingTopologyError {
         /// Radix of that dimension.
         radix: u16,
     },
+    /// The algorithm does not operate on this topology class at all (a
+    /// grid-offset scheme handed an indirect fat-tree, or the up/down scheme
+    /// handed a direct grid).
+    UnsupportedTopology {
+        /// Human-readable algorithm name.
+        algorithm: &'static str,
+        /// Display form of the offending topology, parseable as a topology
+        /// spec (e.g. `8x8` or `ft:4,2`).
+        topology: String,
+        /// What the algorithm needs instead (human-readable).
+        requires: &'static str,
+    },
 }
 
 impl fmt::Display for RoutingTopologyError {
@@ -92,6 +106,15 @@ impl fmt::Display for RoutingTopologyError {
                 "{algorithm} routing requires open dimensions, but topology \
                  '{shape}' wraps around in dimension {dim} (radix {radix}); \
                  use a mesh/hypercube topology or Duato-over-e-cube routing"
+            ),
+            RoutingTopologyError::UnsupportedTopology {
+                algorithm,
+                topology,
+                requires,
+            } => write!(
+                f,
+                "{algorithm} routing cannot operate on topology '{topology}': \
+                 it requires {requires}"
             ),
         }
     }
@@ -277,7 +300,7 @@ impl RoutingAlgorithm for TurnModelRouting {
         self.flavor
     }
 
-    fn min_virtual_channels(&self, _net: &Network) -> usize {
+    fn min_virtual_channels(&self, _net: &AnyTopology) -> usize {
         match self.flavor {
             // The turn restriction alone is deadlock free: one VC suffices.
             RoutingFlavor::Deterministic => 1,
@@ -287,14 +310,22 @@ impl RoutingAlgorithm for TurnModelRouting {
         }
     }
 
-    fn supported_on(&self, net: &Network) -> Result<(), RoutingTopologyError> {
-        for dim in 0..net.dims() {
-            if net.wraps(dim) {
+    fn supported_on(&self, net: &AnyTopology) -> Result<(), RoutingTopologyError> {
+        let Some(grid) = net.grid() else {
+            return Err(RoutingTopologyError::UnsupportedTopology {
+                algorithm: self.algorithm_label(),
+                topology: net.to_string(),
+                requires: "a direct open grid topology (mesh/hypercube); \
+                           fat-trees route with the up/down scheme",
+            });
+        };
+        for dim in 0..grid.dims() {
+            if grid.wraps(dim) {
                 return Err(RoutingTopologyError::WrappedDimension {
                     algorithm: self.algorithm_label(),
-                    shape: net.to_string(),
+                    shape: grid.to_string(),
                     dim,
-                    radix: net.radix(dim),
+                    radix: grid.radix(dim),
                 });
             }
         }
@@ -303,25 +334,26 @@ impl RoutingAlgorithm for TurnModelRouting {
 
     fn deterministic_output(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &RouteHeader,
         current: NodeId,
     ) -> Option<(usize, Direction)> {
-        turn_rule_output(net, self.rule, header, current)
+        turn_rule_output(expect_grid(net), self.rule, header, current)
     }
 
-    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+    fn make_header(&self, net: &AnyTopology, src: NodeId, dest: NodeId) -> RouteHeader {
         RouteHeader::new(net, src, dest, self.flavor)
     }
 
     fn route(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
         v: usize,
     ) -> RouteDecision {
+        let net = expect_grid(net);
         // Advance through intermediate destinations that have been reached.
         while current == header.target() {
             if header.pending_via() > 0 {
@@ -373,7 +405,7 @@ impl RoutingAlgorithm for TurnModelRouting {
 
     fn note_hop(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
@@ -384,12 +416,13 @@ impl RoutingAlgorithm for TurnModelRouting {
 
     fn reroute_on_fault(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
         blocked: (usize, Direction),
     ) -> bool {
+        let net = expect_grid(net);
         // Software forwarding: absorbed at a reached intermediate via host,
         // not at a new fault — pop the reached target(s) and re-inject.
         if at == header.target() && header.pending_via() > 0 {
@@ -448,18 +481,23 @@ impl RoutingAlgorithm for TurnModelRouting {
 mod tests {
     use super::*;
 
-    fn mesh() -> Network {
-        Network::mesh(8, 2).unwrap()
+    fn mesh() -> AnyTopology {
+        AnyTopology::mesh(8, 2).unwrap()
     }
 
     fn no_faults() -> FaultSet {
         FaultSet::new()
     }
 
+    /// Node id from grid digits (tests only run the model on grids).
+    fn node(t: &AnyTopology, digits: &[u16]) -> NodeId {
+        t.grid().unwrap().node_from_digits(digits).unwrap()
+    }
+
     /// Walks a message with the given algorithm, always taking the first
     /// candidate, and returns the nodes visited. Panics on Absorb.
     fn walk(
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         algo: &TurnModelRouting,
         src: NodeId,
@@ -504,20 +542,21 @@ mod tests {
     #[test]
     fn canonical_output_routes_negative_phase_first() {
         let m = mesh();
-        let src = m.node_from_digits(&[3, 5]).unwrap();
-        let dest = m.node_from_digits(&[5, 2]).unwrap();
+        let g = m.grid().unwrap();
+        let src = node(&m, &[3, 5]);
+        let dest = node(&m, &[5, 2]);
         let h = RouteHeader::new(&m, src, dest, RoutingFlavor::Deterministic);
         // Offset is (+2, -3): the negative dimension-1 offset goes first.
         assert_eq!(
-            negative_first_output(&m, &h, src),
+            negative_first_output(g, &h, src),
             Some((1, Direction::Minus))
         );
-        let mid = m.node_from_digits(&[3, 2]).unwrap();
+        let mid = node(&m, &[3, 2]);
         assert_eq!(
-            negative_first_output(&m, &h, mid),
+            negative_first_output(g, &h, mid),
             Some((0, Direction::Plus))
         );
-        assert_eq!(negative_first_output(&m, &h, dest), None);
+        assert_eq!(negative_first_output(g, &h, dest), None);
     }
 
     #[test]
@@ -525,12 +564,12 @@ mod tests {
         let m = mesh();
         let algo = TurnModelRouting::deterministic();
         for (s, d) in [([1u16, 6], [6u16, 1]), ([7, 0], [0, 7]), ([2, 2], [5, 5])] {
-            let src = m.node_from_digits(&s).unwrap();
-            let dest = m.node_from_digits(&d).unwrap();
+            let src = node(&m, &s);
+            let dest = node(&m, &d);
             let visited = walk(&m, &no_faults(), &algo, src, dest, 1);
             assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
             assert_eq!(*visited.last().unwrap(), dest);
-            assert_negative_first(&m, &visited);
+            assert_negative_first(m.grid().unwrap(), &visited);
         }
     }
 
@@ -538,19 +577,19 @@ mod tests {
     fn adaptive_walk_is_minimal_and_obeys_the_turn_restriction() {
         let m = mesh();
         let algo = TurnModelRouting::adaptive();
-        let src = m.node_from_digits(&[6, 5]).unwrap();
-        let dest = m.node_from_digits(&[1, 0]).unwrap();
+        let src = node(&m, &[6, 5]);
+        let dest = node(&m, &[1, 0]);
         let visited = walk(&m, &no_faults(), &algo, src, dest, 2);
         assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
-        assert_negative_first(&m, &visited);
+        assert_negative_first(m.grid().unwrap(), &visited);
     }
 
     #[test]
     fn adaptive_candidates_restricted_to_the_negative_phase() {
         let m = mesh();
         let algo = TurnModelRouting::adaptive();
-        let src = m.node_from_digits(&[3, 5]).unwrap();
-        let dest = m.node_from_digits(&[5, 2]).unwrap();
+        let src = node(&m, &[3, 5]);
+        let dest = node(&m, &[5, 2]);
         let mut h = algo.make_header(&m, src, dest);
         let d = algo.route(&m, &no_faults(), &mut h, src, 3);
         let cands = d.candidates();
@@ -565,7 +604,7 @@ mod tests {
             assert_eq!(c.vcs, vec![1, 2]);
         }
         // Once the negative phase is done, Plus hops open up.
-        let mid = m.node_from_digits(&[3, 2]).unwrap();
+        let mid = node(&m, &[3, 2]);
         let d = algo.route(&m, &no_faults(), &mut h, mid, 3);
         assert!(d
             .candidates()
@@ -577,8 +616,8 @@ mod tests {
     fn deterministic_flavor_uses_the_whole_pool() {
         let m = mesh();
         let algo = TurnModelRouting::deterministic();
-        let src = m.node_from_digits(&[0, 0]).unwrap();
-        let dest = m.node_from_digits(&[3, 0]).unwrap();
+        let src = node(&m, &[0, 0]);
+        let dest = node(&m, &[3, 0]);
         let mut h = algo.make_header(&m, src, dest);
         let d = algo.route(&m, &no_faults(), &mut h, src, 4);
         let cands = d.candidates();
@@ -591,8 +630,8 @@ mod tests {
     fn faulted_adaptive_messages_ride_the_escape_channel() {
         let m = mesh();
         let algo = TurnModelRouting::adaptive();
-        let src = m.node_from_digits(&[0, 0]).unwrap();
-        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let src = node(&m, &[0, 0]);
+        let dest = node(&m, &[4, 0]);
         let mut h = algo.make_header(&m, src, dest);
         h.faulted = true;
         let d = algo.route(&m, &no_faults(), &mut h, src, 3);
@@ -610,17 +649,17 @@ mod tests {
     fn absorbs_at_fault_and_absorbs_only_when_all_phase_outputs_faulty() {
         let m = mesh();
         let mut faults = FaultSet::new();
-        faults.fail_node(m.node_from_digits(&[2, 0]).unwrap());
+        faults.fail_node(node(&m, &[2, 0]));
         let det = TurnModelRouting::deterministic();
-        let src = m.node_from_digits(&[1, 0]).unwrap();
-        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let src = node(&m, &[1, 0]);
+        let dest = node(&m, &[4, 0]);
         let mut h = det.make_header(&m, src, dest);
         assert!(det.route(&m, &faults, &mut h, src, 2).is_absorb());
 
         // The adaptive flavour still forwards while another phase-legal
         // productive output is healthy.
         let ada = TurnModelRouting::adaptive();
-        let dest2 = m.node_from_digits(&[4, 2]).unwrap();
+        let dest2 = node(&m, &[4, 2]);
         let mut h = ada.make_header(&m, src, dest2);
         let d = ada.route(&m, &faults, &mut h, src, 2);
         assert!(!d.candidates().is_empty());
@@ -634,10 +673,10 @@ mod tests {
     fn reroute_goes_straight_to_the_orthogonal_detour() {
         let m = mesh();
         let mut faults = FaultSet::new();
-        faults.fail_node(m.node_from_digits(&[2, 0]).unwrap());
+        faults.fail_node(node(&m, &[2, 0]));
         let algo = TurnModelRouting::deterministic();
-        let at = m.node_from_digits(&[1, 0]).unwrap();
-        let dest = m.node_from_digits(&[4, 0]).unwrap();
+        let at = node(&m, &[1, 0]);
+        let dest = node(&m, &[4, 0]);
         let mut header = algo.make_header(&m, at, dest);
         assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (0, Direction::Plus)));
         assert!(header.faulted);
@@ -646,17 +685,17 @@ mod tests {
         assert!(header.forced_dir.iter().all(Option::is_none));
         assert_eq!(header.pending_via(), 1);
         // From row 0 the only open orthogonal direction is Plus in dim 1.
-        assert_eq!(header.target(), m.node_from_digits(&[1, 1]).unwrap());
+        assert_eq!(header.target(), node(&m, &[1, 1]));
     }
 
     #[test]
     fn reroute_falls_back_to_explicit_path_when_budget_exhausted() {
         let m = mesh();
         let mut faults = FaultSet::new();
-        faults.fail_node(m.node_from_digits(&[3, 3]).unwrap());
+        faults.fail_node(node(&m, &[3, 3]));
         let algo = TurnModelRouting::deterministic();
-        let at = m.node_from_digits(&[3, 2]).unwrap();
-        let dest = m.node_from_digits(&[3, 5]).unwrap();
+        let at = node(&m, &[3, 2]);
+        let dest = node(&m, &[3, 5]);
         let mut header = algo.make_header(&m, at, dest);
         header.misroute_budget = 0;
         assert!(algo.reroute_on_fault(&m, &faults, &mut header, at, (1, Direction::Plus)));
@@ -670,13 +709,13 @@ mod tests {
         // canonical negative-first path in each case.
         let cases = [
             (
-                Network::mesh(8, 2).unwrap(),
+                AnyTopology::mesh(8, 2).unwrap(),
                 &[1u16, 0][..],
                 &[4, 0][..],
                 &[3, 0][..],
             ),
             (
-                Network::hypercube(4).unwrap(),
+                AnyTopology::hypercube(4).unwrap(),
                 &[0, 0, 0, 0][..],
                 &[1, 1, 0, 0][..],
                 &[1, 0, 0, 0][..],
@@ -684,13 +723,13 @@ mod tests {
         ];
         for (net, src, dest, blocker) in cases {
             let mut faults = FaultSet::new();
-            faults.fail_node(net.node_from_digits(blocker).unwrap());
+            faults.fail_node(node(&net, blocker));
             for algo in [
                 TurnModelRouting::deterministic(),
                 TurnModelRouting::adaptive(),
             ] {
-                let src = net.node_from_digits(src).unwrap();
-                let dest = net.node_from_digits(dest).unwrap();
+                let src = node(&net, src);
+                let dest = node(&net, dest);
                 let mut header = algo.make_header(&net, src, dest);
                 let mut current = src;
                 let mut steps = 0;
@@ -728,9 +767,12 @@ mod tests {
     #[test]
     fn supported_on_rejects_wrapped_dimensions() {
         let algo = TurnModelRouting::adaptive();
-        assert_eq!(algo.supported_on(&Network::mesh(8, 2).unwrap()), Ok(()));
-        assert_eq!(algo.supported_on(&Network::hypercube(6).unwrap()), Ok(()));
-        let torus = Network::torus(8, 2).unwrap();
+        assert_eq!(algo.supported_on(&AnyTopology::mesh(8, 2).unwrap()), Ok(()));
+        assert_eq!(
+            algo.supported_on(&AnyTopology::hypercube(6).unwrap()),
+            Ok(())
+        );
+        let torus = AnyTopology::torus(8, 2).unwrap();
         assert_eq!(
             algo.supported_on(&torus),
             Err(RoutingTopologyError::WrappedDimension {
@@ -742,7 +784,8 @@ mod tests {
         );
         // A single wrapped dimension anywhere is enough, and the error names
         // it precisely.
-        let mixed = Network::new(vec![4, 6, 3], vec![false, true, false]).unwrap();
+        let mixed =
+            AnyTopology::Grid(Network::new(vec![4, 6, 3], vec![false, true, false]).unwrap());
         match algo.supported_on(&mixed) {
             Err(RoutingTopologyError::WrappedDimension {
                 shape, dim, radix, ..
@@ -763,6 +806,25 @@ mod tests {
             .supported_on(&torus)
             .unwrap_err();
         assert!(format!("{wf_err}").contains("west-first turn-model"));
+    }
+
+    #[test]
+    fn supported_on_rejects_fat_trees() {
+        let ft = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let err = TurnModelRouting::adaptive().supported_on(&ft).unwrap_err();
+        match &err {
+            RoutingTopologyError::UnsupportedTopology {
+                algorithm,
+                topology,
+                ..
+            } => {
+                assert_eq!(*algorithm, "negative-first turn-model");
+                assert_eq!(topology, "ft:4,2");
+            }
+            other => panic!("expected UnsupportedTopology, got {other:?}"),
+        }
+        let msg = format!("{err}");
+        assert!(msg.contains("cannot operate on topology 'ft:4,2'"));
     }
 
     /// Asserts a hop sequence never takes a first-phase hop (under `rule`)
@@ -798,12 +860,12 @@ mod tests {
             (TurnModelRouting::west_first_adaptive(), 2),
         ] {
             for (s, d) in [([1u16, 6], [6u16, 1]), ([7, 0], [0, 7]), ([5, 5], [2, 2])] {
-                let src = m.node_from_digits(&s).unwrap();
-                let dest = m.node_from_digits(&d).unwrap();
+                let src = node(&m, &s);
+                let dest = node(&m, &d);
                 let visited = walk(&m, &no_faults(), &algo, src, dest, v);
                 assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
                 assert_eq!(*visited.last().unwrap(), dest);
-                assert_obeys_rule(&m, TurnRule::WestFirst, &visited);
+                assert_obeys_rule(m.grid().unwrap(), TurnRule::WestFirst, &visited);
             }
         }
     }
@@ -814,8 +876,8 @@ mod tests {
         let algo = TurnModelRouting::west_first_deterministic();
         // Offset (-2, -3): west (dim 0 Minus) is first phase, south (dim 1
         // Minus) is second phase — dim 0 must be exhausted first.
-        let src = m.node_from_digits(&[4, 5]).unwrap();
-        let dest = m.node_from_digits(&[2, 2]).unwrap();
+        let src = node(&m, &[4, 5]);
+        let dest = node(&m, &[2, 2]);
         let h = algo.make_header(&m, src, dest);
         assert_eq!(
             algo.deterministic_output(&m, &h, src),
@@ -823,8 +885,8 @@ mod tests {
         );
         // Offset (+2, +3): both hops are eastward/northward; north (dim 1
         // Plus) is first phase under west-first, east (dim 0 Plus) second.
-        let src2 = m.node_from_digits(&[2, 2]).unwrap();
-        let dest2 = m.node_from_digits(&[4, 5]).unwrap();
+        let src2 = node(&m, &[2, 2]);
+        let dest2 = node(&m, &[4, 5]);
         let h2 = algo.make_header(&m, src2, dest2);
         assert_eq!(
             algo.deterministic_output(&m, &h2, src2),
@@ -836,13 +898,13 @@ mod tests {
     fn west_first_routes_around_a_fault() {
         let m = mesh();
         let mut faults = FaultSet::new();
-        faults.fail_node(m.node_from_digits(&[3, 0]).unwrap());
+        faults.fail_node(node(&m, &[3, 0]));
         for algo in [
             TurnModelRouting::west_first_deterministic(),
             TurnModelRouting::west_first_adaptive(),
         ] {
-            let src = m.node_from_digits(&[4, 0]).unwrap();
-            let dest = m.node_from_digits(&[1, 0]).unwrap();
+            let src = node(&m, &[4, 0]);
+            let dest = node(&m, &[1, 0]);
             let mut header = algo.make_header(&m, src, dest);
             let mut current = src;
             let mut steps = 0;
@@ -878,12 +940,12 @@ mod tests {
             (TurnModelRouting::north_last_adaptive(), 2),
         ] {
             for (s, d) in [([1u16, 6], [6u16, 1]), ([7, 0], [0, 7]), ([5, 5], [2, 2])] {
-                let src = m.node_from_digits(&s).unwrap();
-                let dest = m.node_from_digits(&d).unwrap();
+                let src = node(&m, &s);
+                let dest = node(&m, &d);
                 let visited = walk(&m, &no_faults(), &algo, src, dest, v);
                 assert_eq!(visited.len() as u32 - 1, m.distance(src, dest));
                 assert_eq!(*visited.last().unwrap(), dest);
-                assert_obeys_rule(&m, TurnRule::NorthLast, &visited);
+                assert_obeys_rule(m.grid().unwrap(), TurnRule::NorthLast, &visited);
             }
         }
     }
@@ -894,8 +956,8 @@ mod tests {
         let algo = TurnModelRouting::north_last_deterministic();
         // Offset (+2, +3): east (dim 0 Plus) is first phase under north-last,
         // north (dim 1 Plus) is second phase — dim 0 must be exhausted first.
-        let src = m.node_from_digits(&[2, 2]).unwrap();
-        let dest = m.node_from_digits(&[4, 5]).unwrap();
+        let src = node(&m, &[2, 2]);
+        let dest = node(&m, &[4, 5]);
         let h = algo.make_header(&m, src, dest);
         assert_eq!(
             algo.deterministic_output(&m, &h, src),
@@ -904,8 +966,8 @@ mod tests {
         // Offset (-2, +3): west and north are both second phase; with no
         // first-phase hop available the lowest second-phase dimension (west)
         // goes first.
-        let src2 = m.node_from_digits(&[4, 2]).unwrap();
-        let dest2 = m.node_from_digits(&[2, 5]).unwrap();
+        let src2 = node(&m, &[4, 2]);
+        let dest2 = node(&m, &[2, 5]);
         let h2 = algo.make_header(&m, src2, dest2);
         assert_eq!(
             algo.deterministic_output(&m, &h2, src2),
@@ -913,8 +975,8 @@ mod tests {
         );
         // Offset (+2, -3): both east and south are first phase; lowest
         // dimension wins.
-        let src3 = m.node_from_digits(&[2, 5]).unwrap();
-        let dest3 = m.node_from_digits(&[4, 2]).unwrap();
+        let src3 = node(&m, &[2, 5]);
+        let dest3 = node(&m, &[4, 2]);
         let h3 = algo.make_header(&m, src3, dest3);
         assert_eq!(
             algo.deterministic_output(&m, &h3, src3),
@@ -926,13 +988,13 @@ mod tests {
     fn north_last_routes_around_a_fault() {
         let m = mesh();
         let mut faults = FaultSet::new();
-        faults.fail_node(m.node_from_digits(&[3, 0]).unwrap());
+        faults.fail_node(node(&m, &[3, 0]));
         for algo in [
             TurnModelRouting::north_last_deterministic(),
             TurnModelRouting::north_last_adaptive(),
         ] {
-            let src = m.node_from_digits(&[1, 0]).unwrap();
-            let dest = m.node_from_digits(&[4, 0]).unwrap();
+            let src = node(&m, &[1, 0]);
+            let dest = node(&m, &[4, 0]);
             let mut header = algo.make_header(&m, src, dest);
             let mut current = src;
             let mut steps = 0;
@@ -1022,8 +1084,8 @@ mod tests {
     fn deterministic_output_hook_is_negative_first() {
         let m = mesh();
         let algo = TurnModelRouting::deterministic();
-        let src = m.node_from_digits(&[3, 5]).unwrap();
-        let dest = m.node_from_digits(&[5, 2]).unwrap();
+        let src = node(&m, &[3, 5]);
+        let dest = node(&m, &[5, 2]);
         let h = algo.make_header(&m, src, dest);
         assert_eq!(
             algo.deterministic_output(&m, &h, src),
@@ -1032,7 +1094,7 @@ mod tests {
         // The e-cube output for the same header would be (0, Plus): the hook
         // matters for the blocked-output reported at absorption time.
         assert_eq!(
-            crate::ecube::ecube_output(&m, &h, src),
+            crate::ecube::ecube_output(m.grid().unwrap(), &h, src),
             Some((0, Direction::Plus))
         );
     }

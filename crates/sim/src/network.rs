@@ -62,7 +62,7 @@ use std::collections::BinaryHeap;
 use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
 use torus_routing::{RouteDecision, RoutingAlgorithm};
-use torus_topology::{Direction, Network};
+use torus_topology::{AnyTopology, Direction};
 use torus_workloads::TrafficSource;
 
 /// Legacy scan stride of the stall watchdog, kept as an upper bound on the
@@ -93,7 +93,7 @@ pub struct RunOutcome {
 
 /// A flit-level wormhole simulation of one network configuration.
 pub struct Simulation<A: RoutingAlgorithm> {
-    net: Network,
+    net: AnyTopology,
     faults: FaultSet,
     algo: A,
     config: SimConfig,
@@ -160,8 +160,12 @@ impl<A: RoutingAlgorithm> Simulation<A> {
                 )
             })
             .collect();
+        // Traffic originates at endpoints only: on grids that is every node,
+        // on fat-trees the processing nodes below the switch fabric. The
+        // sources vector is indexed by node id, which works because endpoint
+        // ids form the dense prefix `0..num_endpoints` of the id space.
         let sources = net
-            .nodes()
+            .endpoints()
             .map(|node| config.traffic.source_for(node))
             .collect();
         let collector = MetricsCollector::new(
@@ -172,8 +176,8 @@ impl<A: RoutingAlgorithm> Simulation<A> {
         let num_nodes = net.num_nodes();
         // Every healthy source is due for its very first poll at cycle 0 (the
         // poll that draws its initial inter-arrival gap).
-        let mut arrival_calendar = BinaryHeap::with_capacity(num_nodes);
-        for (idx, router) in routers.iter().enumerate() {
+        let mut arrival_calendar = BinaryHeap::with_capacity(net.num_endpoints());
+        for (idx, router) in routers.iter().enumerate().take(net.num_endpoints()) {
             if !router.is_faulty {
                 arrival_calendar.push(Reverse((0u64, idx)));
             }
@@ -226,7 +230,7 @@ impl<A: RoutingAlgorithm> Simulation<A> {
     }
 
     /// The topology being simulated.
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &AnyTopology {
         &self.net
     }
 
@@ -850,6 +854,7 @@ mod tests {
     use super::*;
     use torus_faults::{random_node_faults, FaultScenario};
     use torus_routing::SwBasedRouting;
+    use torus_topology::Network;
     use torus_workloads::TrafficSpec;
 
     fn quick_config(radix: u16, dims: u32, v: usize, m: u32, rate: f64) -> SimConfig {
@@ -993,9 +998,11 @@ mod tests {
 
     #[test]
     fn region_fault_scenario_runs() {
-        let torus = Network::torus(8, 2).unwrap();
-        let scenario =
-            FaultScenario::centered_region(&torus, torus_faults::RegionShape::paper_u_8());
+        let torus = AnyTopology::torus(8, 2).unwrap();
+        let scenario = FaultScenario::centered_region(
+            torus.grid().unwrap(),
+            torus_faults::RegionShape::paper_u_8(),
+        );
         let mut rng = StdRng::seed_from_u64(0);
         let faults = scenario.realize(&torus, &mut rng).unwrap();
         let mut config = quick_config(8, 2, 4, 16, 0.003);

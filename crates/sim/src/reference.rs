@@ -26,12 +26,12 @@ use rand::SeedableRng;
 use torus_faults::FaultSet;
 use torus_metrics::{MetricsCollector, SimulationReport, WarmupPolicy};
 use torus_routing::{RouteDecision, RoutingAlgorithm};
-use torus_topology::{Direction, Network};
+use torus_topology::{AnyTopology, Direction};
 use torus_workloads::TrafficSource;
 
 /// Full-scan, append-only-table reference implementation of the simulator.
 pub struct ReferenceSimulation<A: RoutingAlgorithm> {
-    net: Network,
+    net: AnyTopology,
     faults: FaultSet,
     algo: A,
     config: SimConfig,
@@ -84,8 +84,11 @@ impl<A: RoutingAlgorithm> ReferenceSimulation<A> {
                 )
             })
             .collect();
+        // Traffic originates at endpoints only (the same criterion as the
+        // production engine — endpoint ids are the dense prefix of the id
+        // space, so `sources[idx]` aligns with `routers[idx]`).
         let sources = net
-            .nodes()
+            .endpoints()
             .map(|node| config.traffic.source_for(node))
             .collect();
         let collector = MetricsCollector::new(

@@ -43,7 +43,7 @@ use crate::router::{RouteTarget, RouterState};
 use std::collections::HashMap;
 use torus_faults::FaultSet;
 use torus_routing::cdg::DependencyGraph;
-use torus_topology::{DirectedChannel, Direction, Network, NodeId};
+use torus_topology::{AnyTopology, DirectedChannel, Direction, NodeId};
 
 /// Upper bound on stored violation reports (the total count keeps growing).
 const MAX_RECORDED: usize = 64;
@@ -196,7 +196,7 @@ impl Sanitizer {
     /// `Granularity::PerVc` id space of `swbft_verify::exact`.
     fn resource_id(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         node: NodeId,
         dim: usize,
         dir: Direction,
@@ -225,7 +225,7 @@ impl Sanitizer {
     pub fn on_allocate(
         &mut self,
         cycle: u64,
-        net: &Network,
+        net: &AnyTopology,
         msg: MessageId,
         node: NodeId,
         dim: usize,
@@ -269,7 +269,7 @@ impl Sanitizer {
     pub fn check_cycle(
         &mut self,
         cycle: u64,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         routers: &[RouterState],
         messages: &dyn MessageLookup,
@@ -362,7 +362,7 @@ impl Sanitizer {
     fn check_credits_and_faulty_channels(
         &mut self,
         cycle: u64,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         routers: &[RouterState],
     ) {
@@ -548,11 +548,11 @@ mod tests {
     use crate::router::VcRoute;
     use torus_routing::{RoutingAlgorithm, SwBasedRouting};
 
-    fn mesh() -> Network {
-        Network::mesh(4, 2).unwrap()
+    fn mesh() -> AnyTopology {
+        AnyTopology::mesh(4, 2).unwrap()
     }
 
-    fn routers_for(net: &Network, v: usize, depth: usize) -> Vec<RouterState> {
+    fn routers_for(net: &AnyTopology, v: usize, depth: usize) -> Vec<RouterState> {
         net.nodes()
             .map(|node| {
                 let port_present = (0..2 * net.dims())
@@ -566,7 +566,7 @@ mod tests {
             .collect()
     }
 
-    fn message(net: &Network, id: MessageId, length: u32) -> MessageState {
+    fn message(net: &AnyTopology, id: MessageId, length: u32) -> MessageState {
         let algo = SwBasedRouting::deterministic();
         let header = algo.make_header(net, NodeId(0), NodeId(5));
         MessageState::new(id, header, length, 0, false)

@@ -14,9 +14,9 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use torus_faults::{FaultScenario, FaultSet};
-use torus_routing::{RoutingAlgorithm, SwBasedRouting, TurnModelRouting};
+use torus_routing::{RoutingAlgorithm, SwBasedRouting, TurnModelRouting, UpDownRouting};
 use torus_sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
-use torus_topology::{Network, TopologySpec};
+use torus_topology::{AnyTopology, Direction, TopologySpec};
 
 /// Runs both engines with `algo` on the same configuration and asserts
 /// identical results. Returns the two engines' message-table peaks for
@@ -80,7 +80,7 @@ fn quick_topology(spec: TopologySpec, v: usize, m: u32, rate: f64, seed: u64) ->
     c
 }
 
-fn faults_for(scenario: &FaultScenario, torus: &Network, seed: u64) -> FaultSet {
+fn faults_for(scenario: &FaultScenario, torus: &AnyTopology, seed: u64) -> FaultSet {
     let mut rng = StdRng::seed_from_u64(seed);
     scenario
         .realize(torus, &mut rng)
@@ -101,7 +101,7 @@ fn fault_free_across_seeds_and_loads() {
 
 #[test]
 fn random_node_faults_across_seeds() {
-    let torus = Network::torus(8, 2).unwrap();
+    let torus = AnyTopology::torus(8, 2).unwrap();
     let scenario = FaultScenario::RandomNodes { count: 5 };
     for seed in [7, 8] {
         for adaptive in [false, true] {
@@ -114,8 +114,11 @@ fn random_node_faults_across_seeds() {
 
 #[test]
 fn region_faults_match() {
-    let torus = Network::torus(8, 2).unwrap();
-    let scenario = FaultScenario::centered_region(&torus, torus_faults::RegionShape::paper_u_8());
+    let torus = AnyTopology::torus(8, 2).unwrap();
+    let scenario = FaultScenario::centered_region(
+        torus.grid().unwrap(),
+        torus_faults::RegionShape::paper_u_8(),
+    );
     let faults = faults_for(&scenario, &torus, 0);
     let config = quick(8, 2, 4, 16, 0.003, 9);
     assert_equivalent(config, faults, true);
@@ -123,7 +126,7 @@ fn region_faults_match() {
 
 #[test]
 fn three_dimensional_faulted_match() {
-    let torus = Network::torus(4, 3).unwrap();
+    let torus = AnyTopology::torus(4, 3).unwrap();
     let scenario = FaultScenario::RandomNodes { count: 3 };
     let faults = faults_for(&scenario, &torus, 5);
     let config = quick(4, 3, 4, 8, 0.004, 4);
@@ -144,7 +147,7 @@ fn near_saturation_cycle_capped_match() {
 fn nonzero_delays_match() {
     // Router decision time and re-injection overhead shift `ready_at`
     // schedules; both engines must agree cycle for cycle.
-    let torus = Network::torus(8, 2).unwrap();
+    let torus = AnyTopology::torus(8, 2).unwrap();
     let faults = faults_for(&FaultScenario::RandomNodes { count: 4 }, &torus, 3);
     let mut config = quick(8, 2, 4, 16, 0.003, 21);
     config.router_delay = 2;
@@ -197,7 +200,7 @@ fn mesh_fault_free_across_seeds_and_loads() {
 
 #[test]
 fn mesh_random_node_faults_match() {
-    let mesh = Network::mesh(8, 2).unwrap();
+    let mesh = AnyTopology::mesh(8, 2).unwrap();
     let scenario = FaultScenario::RandomNodes { count: 4 };
     for adaptive in [false, true] {
         let config = quick_topology(TopologySpec::mesh(8, 2), 4, 16, 0.003, 15);
@@ -208,8 +211,11 @@ fn mesh_random_node_faults_match() {
 
 #[test]
 fn mesh_region_faults_match() {
-    let mesh = Network::mesh(8, 2).unwrap();
-    let scenario = FaultScenario::centered_region(&mesh, torus_faults::RegionShape::paper_u_8());
+    let mesh = AnyTopology::mesh(8, 2).unwrap();
+    let scenario = FaultScenario::centered_region(
+        mesh.grid().unwrap(),
+        torus_faults::RegionShape::paper_u_8(),
+    );
     let faults = faults_for(&scenario, &mesh, 0);
     let config = quick_topology(TopologySpec::mesh(8, 2), 4, 16, 0.003, 9);
     assert_equivalent(config, faults, true);
@@ -217,7 +223,7 @@ fn mesh_region_faults_match() {
 
 #[test]
 fn hypercube_fault_free_and_faulted_match() {
-    let cube = Network::hypercube(5).unwrap();
+    let cube = AnyTopology::hypercube(5).unwrap();
     for adaptive in [false, true] {
         let config = quick_topology(TopologySpec::hypercube(5), 3, 8, 0.005, 31);
         assert_equivalent(config, FaultSet::new(), adaptive);
@@ -267,7 +273,7 @@ fn turn_model_mesh_fault_free_across_seeds_and_loads() {
 
 #[test]
 fn turn_model_mesh_random_node_faults_match() {
-    let mesh = Network::mesh(8, 2).unwrap();
+    let mesh = AnyTopology::mesh(8, 2).unwrap();
     let scenario = FaultScenario::RandomNodes { count: 4 };
     let faults = faults_for(&scenario, &mesh, 0x3E5);
     let config = quick_topology(TopologySpec::mesh(8, 2), 4, 16, 0.003, 15);
@@ -277,7 +283,7 @@ fn turn_model_mesh_random_node_faults_match() {
 
 #[test]
 fn turn_model_hypercube_matches() {
-    let cube = Network::hypercube(5).unwrap();
+    let cube = AnyTopology::hypercube(5).unwrap();
     let config = quick_topology(TopologySpec::hypercube(5), 2, 8, 0.005, 31);
     assert_equivalent_with(
         config.clone(),
@@ -307,6 +313,70 @@ fn turn_model_minimum_vc_configurations_match() {
     assert_equivalent_with(config, FaultSet::new(), TurnModelRouting::deterministic());
     let config = quick_topology(TopologySpec::mesh(4, 2), 2, 8, 0.01, 6);
     assert_equivalent_with(config, FaultSet::new(), TurnModelRouting::adaptive());
+}
+
+#[test]
+fn fat_tree_fault_free_across_seeds_and_loads() {
+    // Indirect-network traffic: messages are injected and absorbed only at
+    // the endpoint leaves; switches never source traffic. Both engines must
+    // stay bit-identical under either up/down flavour.
+    for seed in [1, 2] {
+        for rate in [0.003, 0.02] {
+            let config = quick_topology(TopologySpec::fat_tree(4, 2), 2, 8, rate, seed);
+            assert_equivalent_with(config.clone(), FaultSet::new(), UpDownRouting::adaptive());
+            assert_equivalent_with(config, FaultSet::new(), UpDownRouting::deterministic());
+        }
+    }
+}
+
+#[test]
+fn fat_tree_switch_and_uplink_faults_match() {
+    // A dead level-1 switch plus a dead leaf up-link force the re-ascent
+    // path through alternate parents; the case runs sanitizer-audited on
+    // both engines (conservation, quiescent faulty components) and must
+    // stay bit-identical.
+    let net = AnyTopology::fat_tree_new(4, 2).unwrap();
+    let ft = net.fat_tree().unwrap();
+    let mut faults = FaultSet::new();
+    faults.fail_node(ft.switch_id(1, 0));
+    let leaf = ft.switch_id(0, 1);
+    let (port, _) = ft.parents(leaf)[1];
+    faults.fail_link(&net, leaf, port, Direction::Plus);
+    assert!(faults.num_faulty_links() > 0);
+    assert!(faults.preserves_connectivity(&net));
+    let config = quick_topology(TopologySpec::fat_tree(4, 2), 2, 8, 0.01, 33);
+    assert_equivalent_with(config, faults.clone(), UpDownRouting::adaptive());
+    let config = quick_topology(TopologySpec::fat_tree(4, 2), 1, 8, 0.01, 34);
+    assert_equivalent_with(config, faults, UpDownRouting::deterministic());
+}
+
+#[test]
+fn fat_tree_minimum_vc_configurations_match() {
+    // The up*/down* channel order alone is deadlock free: one VC suffices
+    // for the deterministic flavour, two (1 escape + 1 adaptive) for the
+    // adaptive one — on a deeper 2-ary 3-level tree.
+    let config = quick_topology(TopologySpec::fat_tree(2, 3), 1, 8, 0.01, 5);
+    assert_equivalent_with(config, FaultSet::new(), UpDownRouting::deterministic());
+    let config = quick_topology(TopologySpec::fat_tree(2, 3), 2, 8, 0.01, 6);
+    assert_equivalent_with(config, FaultSet::new(), UpDownRouting::adaptive());
+}
+
+#[test]
+fn up_down_rejected_identically_by_both_engines_on_grids() {
+    use torus_sim::SimConfigError;
+    let config = quick_topology(TopologySpec::torus(4, 2), 2, 8, 0.003, 1);
+    let active = Simulation::new(config.clone(), FaultSet::new(), UpDownRouting::adaptive())
+        .err()
+        .expect("active engine must reject up/down routing on a torus");
+    let reference =
+        ReferenceSimulation::new(config, FaultSet::new(), UpDownRouting::deterministic())
+            .err()
+            .expect("reference engine must reject up/down routing on a torus");
+    assert!(matches!(active, SimConfigError::UnsupportedRouting { .. }));
+    assert!(matches!(
+        reference,
+        SimConfigError::UnsupportedRouting { .. }
+    ));
 }
 
 #[test]

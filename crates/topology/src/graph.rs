@@ -3,13 +3,13 @@
 //! The fault model (assumption (h) of the paper) requires that faults never
 //! disconnect the network; the software re-routing layer additionally needs to
 //! compute fault-free detour paths when the simple table-driven rules run out
-//! of options. Both needs are served by [`HealthyGraph`], a thin view over a
-//! [`Network`] plus a predicate marking nodes/channels unusable.
+//! of options. Both needs are served by [`HealthyGraph`], a thin view over any
+//! [`Topology`] plus a predicate marking nodes/channels unusable.
 
 use crate::channel::{DirectedChannel, Direction};
 use crate::coords::NodeId;
-use crate::network::Network;
 use crate::path::Path;
+use crate::topo::Topology;
 use std::collections::VecDeque;
 
 /// Predicate describing which nodes and channels are unusable (faulty).
@@ -19,8 +19,9 @@ pub trait NodeFilter {
 
     /// True if the channel is faulty / unusable. The default implementation
     /// blocks a channel iff either endpoint is blocked; channels that do not
-    /// physically exist (mesh edges) are always blocked.
-    fn channel_blocked(&self, net: &Network, ch: DirectedChannel) -> bool {
+    /// physically exist (mesh edges, absent fat-tree ports) are always
+    /// blocked.
+    fn channel_blocked<T: Topology + ?Sized>(&self, net: &T, ch: DirectedChannel) -> bool {
         match net.channel_dest(ch) {
             Some(to) => self.node_blocked(ch.from) || self.node_blocked(to),
             None => true,
@@ -45,19 +46,19 @@ impl<F: Fn(NodeId) -> bool> NodeFilter for F {
 }
 
 /// A view of the network restricted to healthy nodes and channels.
-pub struct HealthyGraph<'a, F: NodeFilter> {
-    net: &'a Network,
+pub struct HealthyGraph<'a, T: Topology + ?Sized, F: NodeFilter> {
+    net: &'a T,
     filter: &'a F,
 }
 
-impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
+impl<'a, T: Topology + ?Sized, F: NodeFilter> HealthyGraph<'a, T, F> {
     /// Creates the healthy-subgraph view.
-    pub fn new(net: &'a Network, filter: &'a F) -> Self {
+    pub fn new(net: &'a T, filter: &'a F) -> Self {
         HealthyGraph { net, filter }
     }
 
     /// The underlying topology.
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &T {
         self.net
     }
 
@@ -72,10 +73,14 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
             .collect()
     }
 
+    /// Iterator over every node id of the underlying topology.
+    fn all_nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.net.num_nodes()).map(NodeId::from_index)
+    }
+
     /// Number of healthy nodes.
     pub fn healthy_node_count(&self) -> usize {
-        self.net
-            .nodes()
+        self.all_nodes()
             .filter(|n| !self.filter.node_blocked(*n))
             .count()
     }
@@ -107,13 +112,12 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
     /// healthy channels (the paper's assumption (h): "faults do not disconnect
     /// the network").
     pub fn is_connected(&self) -> bool {
-        let Some(start) = self.net.nodes().find(|n| !self.filter.node_blocked(*n)) else {
+        let Some(start) = self.all_nodes().find(|n| !self.filter.node_blocked(*n)) else {
             // no healthy nodes at all: vacuously connected
             return true;
         };
         let dist = self.bfs_distances(start);
-        self.net
-            .nodes()
+        self.all_nodes()
             .filter(|n| !self.filter.node_blocked(*n))
             .all(|n| dist[n.index()].is_some())
     }
@@ -219,6 +223,7 @@ impl<'a, F: NodeFilter> HealthyGraph<'a, F> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::network::Network;
     use std::collections::HashSet;
 
     struct Blocked(HashSet<NodeId>);
@@ -349,6 +354,46 @@ mod tests {
             let dest2 = net.node_from_digits(&[0, 0, 1]).unwrap();
             assert!(g.shortest_path_in_dims(src, dest2, &[0, 1]).is_none());
         }
+    }
+
+    #[test]
+    fn fat_tree_connectivity_and_detours() {
+        use crate::fattree::{FatTree, FatTreeNode};
+        let ft = FatTree::new(4, 2).unwrap();
+        let f = NoFaults;
+        let g = HealthyGraph::new(&ft, &f);
+        assert!(g.is_connected());
+        assert_eq!(g.healthy_node_count(), ft.num_nodes());
+        // Endpoint-to-endpoint BFS distance matches the closed-form distance.
+        for a in ft.endpoints().take(4) {
+            let dist = g.bfs_distances(a);
+            for b in ft.endpoints() {
+                assert_eq!(dist[b.index()], Some(ft.distance(a, b)));
+            }
+        }
+        // Killing one level-1 (top) switch leaves the tree connected; the
+        // shortest path between endpoints in different subtrees detours
+        // through a sibling top switch.
+        let top = ft.switch_id(1, 0);
+        let blocked = move |n: NodeId| n == top;
+        let g = HealthyGraph::new(&ft, &blocked);
+        assert!(g.is_connected());
+        let a = NodeId::from(0u32);
+        let b = NodeId::from(5u32);
+        let p = g.shortest_path(a, b).expect("detour must exist");
+        assert!(p.is_well_formed(&ft));
+        assert_eq!(p.len() as u32, ft.distance(a, b));
+        assert!(p.nodes(&ft).iter().all(|n| *n != top));
+        // Killing a leaf switch disconnects its endpoints: single point of
+        // failure at level 0.
+        let leaf = ft.switch_id(0, 0);
+        assert!(matches!(
+            ft.classify(leaf),
+            FatTreeNode::Switch { level: 0, .. }
+        ));
+        let blocked = move |n: NodeId| n == leaf;
+        let g = HealthyGraph::new(&ft, &blocked);
+        assert!(!g.is_connected());
     }
 
     #[test]

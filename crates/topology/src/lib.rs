@@ -3,19 +3,31 @@
 //! Mixed-radix multidimensional network topology support for the
 //! software-based fault-tolerant routing study (Safaei et al., IPDPS 2006).
 //!
-//! The central type is [`Network`]: an n-dimensional grid with a per-dimension
-//! radix vector and a per-dimension wrap flag. A k-ary n-cube (torus), a
-//! k-ary n-mesh, a binary hypercube and arbitrary mixed-radix shapes like
-//! `8x8x4` are all instances of the same type, constructible from one code
-//! path ([`Network::torus`] / [`Network::mesh`] / [`Network::hypercube`] /
-//! [`Network::new`]). Every node is connected by a pair of unidirectional
-//! channels (one per direction) to its neighbour in each dimension; on open
-//! (non-wrapping) dimensions the edge nodes simply lack the outward channel.
+//! The topology contract is the [`Topology`] trait: node ids, endpoint vs
+//! switch roles, a dense channel-id space, neighbour arithmetic and distances.
+//! Two concrete implementations exist, unified behind the [`AnyTopology`]
+//! enum:
+//!
+//! * [`Network`]: an n-dimensional grid with a per-dimension radix vector and
+//!   a per-dimension wrap flag. A k-ary n-cube (torus), a k-ary n-mesh, a
+//!   binary hypercube and arbitrary mixed-radix shapes like `8x8x4` are all
+//!   instances of the same type, constructible from one code path
+//!   ([`Network::torus`] / [`Network::mesh`] / [`Network::hypercube`] /
+//!   [`Network::new`]). Every node is connected by a pair of unidirectional
+//!   channels (one per direction) to its neighbour in each dimension; on open
+//!   (non-wrapping) dimensions the edge nodes simply lack the outward channel.
+//!   Every grid node is an endpoint.
+//! * [`FatTree`]: a k-ary l-level fat-tree in which compute endpoints sit
+//!   below leaf switches and only endpoints inject or absorb traffic; the
+//!   switch levels above provide path diversity for up*/down* routing.
 //!
 //! This crate provides:
 //!
-//! * [`Network`] — the topology itself: node addressing, neighbour arithmetic,
+//! * [`Topology`] / [`AnyTopology`] — the topology contract and the concrete
+//!   dispatch enum used across routing, faults, simulation and verification.
+//! * [`Network`] — the grid topology: node addressing, neighbour arithmetic,
 //!   minimal offsets, distances and channel enumeration.
+//! * [`FatTree`] — the indirect k-ary l-level fat-tree topology.
 //! * [`TopologySpec`] — a declarative, serialisable topology description with
 //!   a compact string form, used by configurations and CLIs.
 //! * [`Coord`] / [`NodeId`] — mixed-radix node addresses and their conversions.
@@ -49,27 +61,33 @@
 
 pub mod channel;
 pub mod coords;
+pub mod fattree;
 pub mod graph;
 pub mod network;
 pub mod path;
 pub mod rings;
 pub mod spec;
+pub mod topo;
 
 pub use channel::{ChannelId, DirectedChannel, Direction};
 pub use coords::{Coord, NodeId};
+pub use fattree::{FatTree, FatTreeNode};
 pub use graph::{HealthyGraph, NodeFilter};
 pub use network::{Network, NetworkError};
 pub use path::{dimension_order_path, hop_count, Path};
 pub use rings::{DatelinePolicy, VcClass};
 pub use spec::TopologySpec;
+pub use topo::{AnyTopology, Topology};
 
 /// Convenience prelude re-exporting the most frequently used items.
 pub mod prelude {
     pub use crate::channel::{ChannelId, DirectedChannel, Direction};
     pub use crate::coords::{Coord, NodeId};
+    pub use crate::fattree::{FatTree, FatTreeNode};
     pub use crate::graph::HealthyGraph;
     pub use crate::network::{Network, NetworkError};
     pub use crate::path::{dimension_order_path, hop_count};
     pub use crate::rings::{DatelinePolicy, VcClass};
     pub use crate::spec::TopologySpec;
+    pub use crate::topo::{AnyTopology, Topology};
 }

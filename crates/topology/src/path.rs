@@ -9,6 +9,7 @@
 use crate::channel::{DirectedChannel, Direction};
 use crate::coords::NodeId;
 use crate::network::Network;
+use crate::topo::Topology;
 
 /// A hop-by-hop path through the network.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -37,7 +38,7 @@ impl Path {
     /// # Panics
     /// Panics if the path contains a channel that does not exist in `net`
     /// (use [`Path::is_well_formed`] to check first).
-    pub fn nodes(&self, net: &Network) -> Vec<NodeId> {
+    pub fn nodes<T: Topology + ?Sized>(&self, net: &T) -> Vec<NodeId> {
         let mut nodes = Vec::with_capacity(self.hops.len() + 1);
         nodes.push(self.src);
         for hop in &self.hops {
@@ -51,7 +52,7 @@ impl Path {
 
     /// Verifies that every hop exists, consecutive hops are adjacent and the
     /// path ends at `dest`.
-    pub fn is_well_formed(&self, net: &Network) -> bool {
+    pub fn is_well_formed<T: Topology + ?Sized>(&self, net: &T) -> bool {
         let mut cur = self.src;
         for hop in &self.hops {
             if hop.from != cur {

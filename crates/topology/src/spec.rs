@@ -15,8 +15,11 @@
 //! | `TopologySpec::mesh(4, 3)`        | `mesh:4x3`   |
 //! | `TopologySpec::hypercube(6)`      | `hypercube:6`|
 //! | mixed `8x8 wrapped, 4 open`       | `mixed:8,8,4o` |
+//! | `TopologySpec::fat_tree(4, 3)`    | `ft:4,3`     |
 
+use crate::fattree::FatTree;
 use crate::network::{Network, NetworkError};
+use crate::topo::AnyTopology;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -49,6 +52,13 @@ pub enum TopologySpec {
         /// Per-dimension wrap flags (same length as `radices`).
         wraps: Vec<bool>,
     },
+    /// k-ary l-level fat-tree (indirect network).
+    FatTree {
+        /// Arity `k` (children per switch).
+        arity: u16,
+        /// Number of switch levels `l`.
+        levels: u32,
+    },
 }
 
 impl TopologySpec {
@@ -72,22 +82,38 @@ impl TopologySpec {
         TopologySpec::Mixed { radices, wraps }
     }
 
-    /// Constructs the concrete network this spec describes.
-    pub fn build(&self) -> Result<Network, NetworkError> {
+    /// Spec of a k-ary l-level fat-tree.
+    pub fn fat_tree(arity: u16, levels: u32) -> Self {
+        TopologySpec::FatTree { arity, levels }
+    }
+
+    /// Constructs the concrete topology this spec describes.
+    pub fn build(&self) -> Result<AnyTopology, NetworkError> {
         match self {
-            TopologySpec::Torus { radix, dims } => Network::torus(*radix, *dims),
-            TopologySpec::Mesh { radix, dims } => Network::mesh(*radix, *dims),
-            TopologySpec::Hypercube { dims } => Network::hypercube(*dims),
-            TopologySpec::Mixed { radices, wraps } => Network::new(radices.clone(), wraps.clone()),
+            TopologySpec::Torus { radix, dims } => {
+                Network::torus(*radix, *dims).map(AnyTopology::Grid)
+            }
+            TopologySpec::Mesh { radix, dims } => {
+                Network::mesh(*radix, *dims).map(AnyTopology::Grid)
+            }
+            TopologySpec::Hypercube { dims } => Network::hypercube(*dims).map(AnyTopology::Grid),
+            TopologySpec::Mixed { radices, wraps } => {
+                Network::new(radices.clone(), wraps.clone()).map(AnyTopology::Grid)
+            }
+            TopologySpec::FatTree { arity, levels } => {
+                FatTree::new(*arity, *levels).map(AnyTopology::FatTree)
+            }
         }
     }
 
-    /// Dimensionality of the described network.
+    /// Dimensionality of the described network (for a fat-tree: the arity,
+    /// i.e. the per-node port-pair count, matching [`AnyTopology::dims`]).
     pub fn dims(&self) -> usize {
         match self {
             TopologySpec::Torus { dims, .. } | TopologySpec::Mesh { dims, .. } => *dims as usize,
             TopologySpec::Hypercube { dims } => *dims as usize,
             TopologySpec::Mixed { radices, .. } => radices.len(),
+            TopologySpec::FatTree { arity, .. } => *arity as usize,
         }
     }
 
@@ -102,6 +128,20 @@ impl TopologySpec {
             TopologySpec::Mixed { radices, .. } => radices
                 .iter()
                 .fold(1usize, |acc, &k| acc.saturating_mul(k as usize)),
+            TopologySpec::FatTree { arity, levels } => {
+                let endpoints = (*arity as usize).saturating_pow(*levels);
+                let per_level = endpoints / (*arity).max(1) as usize;
+                endpoints.saturating_add((*levels as usize).saturating_mul(per_level))
+            }
+        }
+    }
+
+    /// Number of compute endpoints of the described network (equals
+    /// [`TopologySpec::num_nodes`] on direct topologies).
+    pub fn num_endpoints(&self) -> usize {
+        match self {
+            TopologySpec::FatTree { arity, levels } => (*arity as usize).saturating_pow(*levels),
+            _ => self.num_nodes(),
         }
     }
 
@@ -120,16 +160,21 @@ impl TopologySpec {
                     .collect();
                 format!("mixed {}", shape.join("x"))
             }
+            TopologySpec::FatTree { arity, levels } => {
+                format!("{arity}-ary {levels}-level fat-tree")
+            }
         }
     }
 
-    /// Family name of the topology ("torus" / "mesh" / "hypercube" / "mixed").
+    /// Family name of the topology ("torus" / "mesh" / "hypercube" / "mixed"
+    /// / "fat-tree").
     pub fn kind(&self) -> &'static str {
         match self {
             TopologySpec::Torus { .. } => "torus",
             TopologySpec::Mesh { .. } => "mesh",
             TopologySpec::Hypercube { .. } => "hypercube",
             TopologySpec::Mixed { .. } => "mixed",
+            TopologySpec::FatTree { .. } => "fat-tree",
         }
     }
 
@@ -148,14 +193,16 @@ impl TopologySpec {
                     .collect();
                 format!("mixed:{}", parts.join(","))
             }
+            TopologySpec::FatTree { arity, levels } => format!("ft:{arity},{levels}"),
         }
     }
 
     /// Parses the compact string form produced by
-    /// [`TopologySpec::to_spec_string`], plus two CLI-friendly shorthands:
-    /// `hc:<dims>` for `hypercube:<dims>`, and a prefix-less mixed form
-    /// `8x8x4o` (x-separated per-dimension radices, `o` marking an open
-    /// dimension) equivalent to `mixed:8,8,4o`.
+    /// [`TopologySpec::to_spec_string`], plus the CLI-friendly shorthands:
+    /// `hc:<dims>` for `hypercube:<dims>`, `ft:<k>,<l>` for a k-ary l-level
+    /// fat-tree, and a prefix-less mixed form `8x8x4o` (x-separated
+    /// per-dimension radices, `o` marking an open dimension) equivalent to
+    /// `mixed:8,8,4o`.
     ///
     /// # Errors
     /// Returns a human-readable message on malformed input.
@@ -166,6 +213,14 @@ impl TopologySpec {
                 .map_err(|e| format!("topology spec '{s}': {e}"));
         };
         match kind {
+            "ft" | "fattree" => {
+                let (k, l) = rest
+                    .split_once(',')
+                    .ok_or_else(|| format!("'{rest}' should look like '<arity>,<levels>'"))?;
+                let arity: u16 = k.parse().map_err(|_| format!("bad arity '{k}'"))?;
+                let levels: u32 = l.parse().map_err(|_| format!("bad levels '{l}'"))?;
+                Ok(TopologySpec::fat_tree(arity, levels))
+            }
             "torus" | "mesh" => {
                 let (k, n) = rest
                     .split_once('x')
@@ -184,7 +239,7 @@ impl TopologySpec {
             }
             "mixed" => Self::parse_mixed_parts(rest.split(',')),
             other => Err(format!(
-                "unknown topology kind '{other}' (use torus|mesh|hypercube|hc|mixed)"
+                "unknown topology kind '{other}' (use torus|mesh|hypercube|hc|mixed|ft)"
             )),
         }
     }
@@ -222,20 +277,24 @@ mod tests {
     fn build_matches_constructors() {
         assert_eq!(
             TopologySpec::torus(8, 2).build().unwrap(),
-            Network::torus(8, 2).unwrap()
+            AnyTopology::Grid(Network::torus(8, 2).unwrap())
         );
         assert_eq!(
             TopologySpec::mesh(4, 3).build().unwrap(),
-            Network::mesh(4, 3).unwrap()
+            AnyTopology::Grid(Network::mesh(4, 3).unwrap())
         );
         assert_eq!(
             TopologySpec::hypercube(5).build().unwrap(),
-            Network::hypercube(5).unwrap()
+            AnyTopology::Grid(Network::hypercube(5).unwrap())
         );
         let mixed = TopologySpec::mixed(vec![8, 8, 4], vec![true, true, false]);
         assert_eq!(
             mixed.build().unwrap(),
-            Network::new(vec![8, 8, 4], vec![true, true, false]).unwrap()
+            AnyTopology::Grid(Network::new(vec![8, 8, 4], vec![true, true, false]).unwrap())
+        );
+        assert_eq!(
+            TopologySpec::fat_tree(4, 2).build().unwrap(),
+            AnyTopology::FatTree(FatTree::new(4, 2).unwrap())
         );
     }
 
@@ -250,6 +309,11 @@ mod tests {
         );
         assert_eq!(TopologySpec::hypercube(6).dims(), 6);
         assert_eq!(TopologySpec::mixed(vec![8, 4], vec![true, false]).dims(), 2);
+        // Fat-tree: k^l endpoints plus l * k^(l-1) switches.
+        assert_eq!(TopologySpec::fat_tree(4, 3).num_nodes(), 64 + 3 * 16);
+        assert_eq!(TopologySpec::fat_tree(4, 3).num_endpoints(), 64);
+        assert_eq!(TopologySpec::fat_tree(4, 3).dims(), 4);
+        assert_eq!(TopologySpec::hypercube(6).num_endpoints(), 64);
     }
 
     #[test]
@@ -263,6 +327,11 @@ mod tests {
         );
         assert_eq!(TopologySpec::torus(8, 2).kind(), "torus");
         assert_eq!(TopologySpec::hypercube(3).kind(), "hypercube");
+        assert_eq!(
+            TopologySpec::fat_tree(4, 3).label(),
+            "4-ary 3-level fat-tree"
+        );
+        assert_eq!(TopologySpec::fat_tree(4, 3).kind(), "fat-tree");
     }
 
     #[test]
@@ -273,6 +342,8 @@ mod tests {
             TopologySpec::hypercube(6),
             TopologySpec::mixed(vec![8, 8, 4], vec![true, true, false]),
             TopologySpec::mixed(vec![3, 5], vec![false, true]),
+            TopologySpec::fat_tree(4, 3),
+            TopologySpec::fat_tree(2, 1),
         ] {
             let s = spec.to_spec_string();
             assert_eq!(TopologySpec::parse(&s).unwrap(), spec, "{s}");
@@ -288,6 +359,14 @@ mod tests {
         assert_eq!(
             TopologySpec::parse("hc:6").unwrap(),
             TopologySpec::hypercube(6)
+        );
+        assert_eq!(
+            TopologySpec::parse("ft:4,3").unwrap(),
+            TopologySpec::fat_tree(4, 3)
+        );
+        assert_eq!(
+            TopologySpec::parse("fattree:4,2").unwrap(),
+            TopologySpec::fat_tree(4, 2)
         );
         assert_eq!(
             TopologySpec::parse("8x8x4o").unwrap(),
@@ -308,5 +387,8 @@ mod tests {
         assert!(TopologySpec::parse("torus:ax2").is_err());
         assert!(TopologySpec::parse("hypercube:x").is_err());
         assert!(TopologySpec::parse("mixed:8,q").is_err());
+        assert!(TopologySpec::parse("ft:4").is_err());
+        assert!(TopologySpec::parse("ft:ax2").is_err());
+        assert!(TopologySpec::parse("ft:4,q").is_err());
     }
 }

@@ -46,7 +46,7 @@ use std::time::Instant;
 use torus_faults::{FaultSchedule, FaultScheduleError, FaultSet, ScheduleEpoch};
 use torus_routing::cdg::DependencyGraph;
 use torus_routing::RoutingAlgorithm;
-use torus_topology::{HealthyGraph, Network, NodeId};
+use torus_topology::{AnyTopology, HealthyGraph, NodeId};
 
 /// Per-epoch fate of one (source, destination) pair.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -262,7 +262,7 @@ impl From<StateBudgetExceeded> for ScheduleVerifyError {
 /// pass needs: verdict, global flag, CDG fragment, visited-node footprint.
 #[allow(clippy::too_many_arguments)]
 fn walk_record<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     faults: &FaultSet,
     v: usize,
@@ -294,7 +294,7 @@ fn walk_record<A: RoutingAlgorithm>(
 /// queries are local to the visited nodes and their incident channels, so
 /// only a fault on a visited node, a neighbour of one, or a link with a
 /// visited endpoint can change any decision along the walk.
-fn event_touches(net: &Network, record: &PairRecord, event: &torus_faults::FaultEvent) -> bool {
+fn event_touches(net: &AnyTopology, record: &PairRecord, event: &torus_faults::FaultEvent) -> bool {
     let visited = |n: NodeId| record.visited.binary_search(&n).is_ok();
     match *event {
         torus_faults::FaultEvent::Node { node } => {
@@ -310,7 +310,7 @@ fn event_touches(net: &Network, record: &PairRecord, event: &torus_faults::Fault
 
 /// Labels each healthy node with its connected component of the epoch's
 /// healthy graph (faulty nodes get `usize::MAX`).
-fn component_labels(net: &Network, faults: &FaultSet) -> Vec<usize> {
+fn component_labels(net: &AnyTopology, faults: &FaultSet) -> Vec<usize> {
     let graph = HealthyGraph::new(net, faults);
     let mut labels = vec![usize::MAX; net.num_nodes()];
     let mut next = 0;
@@ -330,7 +330,7 @@ fn component_labels(net: &Network, faults: &FaultSet) -> Vec<usize> {
 
 /// Walks every healthy pair of `faults` from scratch into a record map.
 fn walk_all_pairs<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     faults: &FaultSet,
     v: usize,
@@ -339,11 +339,11 @@ fn walk_all_pairs<A: RoutingAlgorithm>(
     resources: usize,
 ) -> Result<BTreeMap<(NodeId, NodeId), PairRecord>, StateBudgetExceeded> {
     let mut records = BTreeMap::new();
-    for src in net.nodes() {
+    for src in net.endpoints() {
         if faults.is_node_faulty(src) {
             continue;
         }
-        for dest in net.nodes() {
+        for dest in net.endpoints() {
             if dest == src || faults.is_node_faulty(dest) {
                 continue;
             }
@@ -368,7 +368,7 @@ fn walk_all_pairs<A: RoutingAlgorithm>(
 /// failure analysis (cyclic CDG, spurious dead end, livelock) and witnesses.
 #[allow(clippy::too_many_arguments)]
 fn epoch_report(
-    net: &Network,
+    net: &AnyTopology,
     v: usize,
     granularity: Granularity,
     resources: usize,
@@ -402,8 +402,8 @@ fn epoch_report(
                 if spurious && failure.is_none() {
                     failure = Some(format!(
                         "pair {} -> {} {} although the healthy graph {} them",
-                        net.coord(src),
-                        net.coord(dest),
+                        net.node_label(src),
+                        net.node_label(dest),
                         match rec.verdict {
                             PairVerdict::Livelock { .. } => "livelocks",
                             _ => "dead-ends",
@@ -436,7 +436,7 @@ fn epoch_report(
             }
         }
     }
-    let n = net.num_nodes();
+    let n = net.num_endpoints();
     EpochReport {
         cycle: epoch.cycle,
         new_faults: epoch
@@ -485,7 +485,7 @@ fn sorted_edges(rec: &PairRecord) -> Vec<(usize, usize)> {
 /// With `paranoid` every epoch is additionally recomputed from scratch and
 /// diffed against the differential result.
 pub fn verify_schedule<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     schedule: &FaultSchedule,
     v: usize,
@@ -596,13 +596,14 @@ pub fn verify_schedule<A: RoutingAlgorithm>(
 /// Diffs the differential record map against a from-scratch recomputation
 /// of the same epoch: same pair universe, same fates, same CDG fragments.
 fn diff_against_scratch(
-    net: &Network,
+    net: &AnyTopology,
     epoch: &ScheduleEpoch,
     differential: &BTreeMap<(NodeId, NodeId), PairRecord>,
     scratch: &BTreeMap<(NodeId, NodeId), PairRecord>,
     divergences: &mut Vec<String>,
 ) {
-    let at = |key: &(NodeId, NodeId)| format!("{} -> {}", net.coord(key.0), net.coord(key.1));
+    let at =
+        |key: &(NodeId, NodeId)| format!("{} -> {}", net.node_label(key.0), net.node_label(key.1));
     for key in differential.keys() {
         if !scratch.contains_key(key) {
             divergences.push(format!(

@@ -35,7 +35,7 @@ use std::collections::{HashSet, VecDeque};
 use torus_faults::FaultSet;
 use torus_routing::cdg::DependencyGraph;
 use torus_routing::RoutingAlgorithm;
-use torus_topology::{DirectedChannel, Direction, Network, NodeId};
+use torus_topology::{AnyTopology, DirectedChannel, Direction, NodeId};
 
 /// Resource granularity of the extracted graph.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -68,7 +68,7 @@ pub struct ExactCdg {
 /// Resources are allocated per channel *slot* of the dense id space, so
 /// missing mesh-edge channels leave isolated vertices, mirroring
 /// `torus_routing::cdg`.
-pub fn resource_count(net: &Network, v: usize, granularity: Granularity) -> usize {
+pub fn resource_count(net: &AnyTopology, v: usize, granularity: Granularity) -> usize {
     match granularity {
         Granularity::PerVc => net.channel_slots() * v,
         Granularity::PerChannel => net.channel_slots(),
@@ -78,7 +78,7 @@ pub fn resource_count(net: &Network, v: usize, granularity: Granularity) -> usiz
 /// The resource id of virtual channel `vc` on the channel leaving `node`
 /// along `(dim, dir)`.
 pub fn resource_id(
-    net: &Network,
+    net: &AnyTopology,
     node: NodeId,
     dim: usize,
     dir: Direction,
@@ -99,7 +99,7 @@ pub fn resource_id(
 /// emission is re-run whenever a state's set grows, and the graph
 /// deduplicates.
 pub fn accumulate_cdg(
-    net: &Network,
+    net: &AnyTopology,
     walk: &RelationWalk,
     v: usize,
     granularity: Granularity,
@@ -170,10 +170,11 @@ pub fn accumulate_cdg(
 }
 
 /// Extracts the exact dependency graph of `algo` on `net` under `faults`,
-/// walking every ordered pair of healthy nodes. `state_budget` bounds the
-/// states of any single pair's walk.
+/// walking every ordered pair of healthy endpoints (the only nodes that
+/// inject traffic — switches of an indirect topology are transit-only).
+/// `state_budget` bounds the states of any single pair's walk.
 pub fn extract_exact_cdg<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     faults: &FaultSet,
     v: usize,
@@ -183,11 +184,11 @@ pub fn extract_exact_cdg<A: RoutingAlgorithm>(
     let mut graph = DependencyGraph::new(resource_count(net, v, granularity));
     let mut states_explored = 0;
     let mut pairs = 0;
-    for src in net.nodes() {
+    for src in net.endpoints() {
         if faults.is_node_faulty(src) {
             continue;
         }
-        for dest in net.nodes() {
+        for dest in net.endpoints() {
             if dest == src || faults.is_node_faulty(dest) {
                 continue;
             }

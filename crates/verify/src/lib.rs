@@ -56,11 +56,11 @@ mod tests {
     use torus_faults::FaultSet;
     use torus_routing::{
         RouteDecision, RouteHeader, RoutingAlgorithm, RoutingFlavor, SwBasedRouting,
-        TurnModelRouting,
+        TurnModelRouting, UpDownRouting,
     };
-    use torus_topology::{Direction, Network, NodeId, TopologySpec};
+    use torus_topology::{AnyTopology, Direction, NodeId, TopologySpec};
 
-    fn net(spec: &str) -> Network {
+    fn net(spec: &str) -> AnyTopology {
         TopologySpec::parse(spec)
             .expect("valid spec")
             .build()
@@ -214,17 +214,17 @@ mod tests {
             RoutingFlavor::Deterministic
         }
 
-        fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+        fn make_header(&self, net: &AnyTopology, src: NodeId, dest: NodeId) -> RouteHeader {
             SwBasedRouting::deterministic().make_header(net, src, dest)
         }
 
-        fn min_virtual_channels(&self, _net: &Network) -> usize {
+        fn min_virtual_channels(&self, _net: &AnyTopology) -> usize {
             1
         }
 
         fn deterministic_output(
             &self,
-            _net: &Network,
+            _net: &AnyTopology,
             _header: &RouteHeader,
             _current: NodeId,
         ) -> Option<(usize, Direction)> {
@@ -233,7 +233,7 @@ mod tests {
 
         fn route(
             &self,
-            _net: &Network,
+            _net: &AnyTopology,
             _faults: &FaultSet,
             _header: &mut RouteHeader,
             _current: NodeId,
@@ -249,7 +249,7 @@ mod tests {
 
         fn note_hop(
             &self,
-            _net: &Network,
+            _net: &AnyTopology,
             _header: &mut RouteHeader,
             _current: NodeId,
             _dim: usize,
@@ -259,7 +259,7 @@ mod tests {
 
         fn reroute_on_fault(
             &self,
-            _net: &Network,
+            _net: &AnyTopology,
             _faults: &FaultSet,
             _header: &mut RouteHeader,
             _current: NodeId,
@@ -324,6 +324,85 @@ mod tests {
     }
 
     #[test]
+    fn updown_exact_cdgs_are_acyclic_and_every_endpoint_pair_delivers() {
+        for spec in ["ft:4,2", "ft:2,3"] {
+            let n = net(spec);
+            for (label, algo) in [
+                ("det", UpDownRouting::deterministic()),
+                ("adaptive", UpDownRouting::adaptive()),
+            ] {
+                let v = algo.min_virtual_channels(&n);
+                let cdg = extract_exact_cdg(
+                    &n,
+                    &algo,
+                    &FaultSet::new(),
+                    v,
+                    Granularity::PerVc,
+                    matrix::STATE_BUDGET,
+                )
+                .expect("walk fits budget");
+                assert!(
+                    cdg.graph.find_cycle().is_none(),
+                    "{spec}/{label}: up/down escape-layer CDG must be acyclic"
+                );
+                assert!(cdg.graph.num_edges() > 0);
+                let e = n.num_endpoints();
+                assert_eq!(
+                    cdg.pairs,
+                    e * (e - 1),
+                    "{spec}/{label}: only endpoint pairs are walked"
+                );
+                let report =
+                    check_reachability(&n, &algo, &FaultSet::new(), v, matrix::STATE_BUDGET)
+                        .expect("walk fits budget");
+                assert_eq!(report.delivered, report.pairs);
+                assert!(report.first_failure.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn updown_survives_switch_and_uplink_faults_with_acyclic_cdgs() {
+        let n = net("ft:4,2");
+        let ft = n.fat_tree().expect("fat-tree backend").clone();
+        // A dead top switch and a dead leaf up-link, together: every route
+        // over them must re-ascend via an alternate parent.
+        let mut faults = FaultSet::new();
+        faults.fail_node(ft.switch_id(1, 0));
+        let (port, _) = ft.parents(ft.switch_id(0, 1))[1];
+        faults.fail_link(&n, ft.switch_id(0, 1), port, Direction::Plus);
+        assert!(faults.preserves_connectivity(&n));
+        for algo in [UpDownRouting::deterministic(), UpDownRouting::adaptive()] {
+            let v = algo.min_virtual_channels(&n);
+            let (cdg, reach) =
+                matrix::verify_case(&n, &algo, &faults, v).expect("walk fits budget");
+            assert!(cdg.graph.find_cycle().is_none(), "{}", algo.name());
+            assert_eq!(reach.delivered, reach.pairs, "{}", algo.name());
+        }
+    }
+
+    #[test]
+    fn fat_tree_witnesses_render_role_labels() {
+        let n = net("ft:4,2");
+        let algo = UpDownRouting::deterministic();
+        let cdg = extract_exact_cdg(
+            &n,
+            &algo,
+            &FaultSet::new(),
+            1,
+            Granularity::PerVc,
+            matrix::STATE_BUDGET,
+        )
+        .expect("walk fits budget");
+        let (from, to) = cdg.graph.iter_edges().next().expect("non-trivial CDG");
+        let lines = witness::describe_cycle(&n, &[from, to], 1, Granularity::PerVc);
+        assert!(
+            lines.iter().any(|l| l.contains('e') || l.contains('s')),
+            "fat-tree witnesses use role labels: {lines:?}"
+        );
+    }
+
+    #[test]
     fn smoke_matrix_proves_every_supported_case() {
         let report = run_matrix(MatrixKind::Smoke);
         assert_eq!(
@@ -340,7 +419,9 @@ mod tests {
         for c in &report.cases {
             if c.verdict == Verdict::Rejected {
                 assert!(
-                    c.detail.contains(&c.topology) || c.detail.contains("wraps around"),
+                    c.detail.contains(&c.topology)
+                        || c.detail.contains("wraps around")
+                        || c.detail.contains("cannot operate on topology"),
                     "rejection message names the topology: {}",
                     c.detail
                 );
@@ -359,6 +440,35 @@ mod tests {
                 .iter()
                 .any(|c| c.faults.starts_with("region@") && c.verdict == Verdict::Proved),
             "smoke matrix covers at least one clustered-region case"
+        );
+        // Fat-tree coverage: the up/down flavours prove their cases on
+        // ft:4,2 (including switch- and up-link-fault sets), the grid
+        // schemes reject the fat-tree, and up/down rejects the grids.
+        assert!(
+            report.cases.iter().any(|c| c.topology == "ft:4,2"
+                && c.routing.starts_with("updown")
+                && c.faults.starts_with("node@s")
+                && c.verdict == Verdict::Proved),
+            "smoke matrix proves an up/down switch-fault case"
+        );
+        assert!(
+            report.cases.iter().any(|c| c.topology == "ft:4,2"
+                && c.routing.starts_with("updown")
+                && c.faults.starts_with("links@")
+                && c.verdict == Verdict::Proved),
+            "smoke matrix proves an up/down up-link-fault case"
+        );
+        assert!(
+            report.cases.iter().any(|c| c.topology == "ft:4,2"
+                && c.routing == "deterministic"
+                && c.verdict == Verdict::Rejected),
+            "grid schemes are rejected on the fat-tree"
+        );
+        assert!(
+            report.cases.iter().any(|c| c.topology == "torus:4x2"
+                && c.routing.starts_with("updown")
+                && c.verdict == Verdict::Rejected),
+            "up/down is rejected on the torus"
         );
         let sched = report
             .cases

@@ -30,7 +30,7 @@ use swbft_core::{run_pool, Jobs, RoutingChoice};
 use torus_faults::{FaultEvent, FaultRegion, FaultSchedule, FaultSet, RegionShape};
 use torus_routing::cdg::DependencyGraph;
 use torus_routing::{AnyRouting, RoutingAlgorithm, TurnModelRouting};
-use torus_topology::{Direction, Network, NodeId, TopologySpec};
+use torus_topology::{AnyTopology, Direction, FatTree, Network, NodeId, TopologySpec};
 
 /// Default per-pair state budget. Far above anything the supported shapes
 /// produce (the largest full-matrix walks stay in the low thousands), so
@@ -161,7 +161,13 @@ impl MatrixReport {
 
 /// The topology slice of a matrix.
 pub fn matrix_topologies(kind: MatrixKind) -> Vec<TopologySpec> {
-    let mut specs = vec!["torus:4x2", "mesh:4x2", "hypercube:3", "mixed:4,3o"];
+    let mut specs = vec![
+        "torus:4x2",
+        "mesh:4x2",
+        "hypercube:3",
+        "mixed:4,3o",
+        "ft:4,2",
+    ];
     if kind == MatrixKind::Full {
         specs.extend([
             "torus:5x2",
@@ -173,6 +179,7 @@ pub fn matrix_topologies(kind: MatrixKind) -> Vec<TopologySpec> {
             "hypercube:5",
             "mixed:4,4,3o",
             "mixed:8,4o",
+            "ft:2,3",
         ]);
     }
     specs
@@ -209,13 +216,20 @@ pub fn matrix_routings() -> Vec<(String, AnyRouting)> {
 }
 
 /// Enumerated fault cases for a topology: always the fault-free network,
-/// plus deterministically chosen node-fault sets, link-fault sets and
-/// clustered fault regions that preserve connectivity (sets that would
-/// disconnect the network are skipped — the delivery proof is only
-/// meaningful on a connected healthy subnetwork).
-pub fn matrix_fault_cases(net: &Network, kind: MatrixKind) -> Vec<(String, FaultSet)> {
+/// plus deterministically chosen node-fault sets, link-fault sets and (on
+/// grids) clustered fault regions that preserve connectivity (sets that
+/// would disconnect the network are skipped — the delivery proof is only
+/// meaningful on a connected healthy subnetwork). Fat-trees get their own
+/// role-aware enumeration: failed endpoints, failed switches and failed
+/// up-links.
+pub fn matrix_fault_cases(net: &AnyTopology, kind: MatrixKind) -> Vec<(String, FaultSet)> {
     let mut cases = vec![("nf=0".to_string(), FaultSet::new())];
-    let n = net.num_nodes() as u32;
+    if let Some(ft) = net.fat_tree() {
+        push_fat_tree_cases(net, ft, kind, &mut cases);
+        return cases;
+    }
+    let grid = net.grid().expect("direct matrix topologies are grids");
+    let n = grid.num_nodes() as u32;
     let picks: Vec<Vec<u32>> = match kind {
         MatrixKind::Smoke => vec![vec![n / 2]],
         MatrixKind::Full => vec![vec![n / 2], vec![n / 3], vec![n / 4, (3 * n) / 4]],
@@ -228,7 +242,7 @@ pub fn matrix_fault_cases(net: &Network, kind: MatrixKind) -> Vec<(String, Fault
         for &id in &uniq {
             faults.fail_node(NodeId(id));
         }
-        if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(net) {
+        if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(grid) {
             continue;
         }
         let label = format!(
@@ -242,9 +256,101 @@ pub fn matrix_fault_cases(net: &Network, kind: MatrixKind) -> Vec<(String, Fault
             cases.push((label, faults));
         }
     }
-    push_link_cases(net, kind, &mut cases);
-    push_region_cases(net, kind, &mut cases);
+    push_link_cases(grid, kind, &mut cases);
+    push_region_cases(grid, kind, &mut cases);
     cases
+}
+
+/// Pushes a fault case after the shared guards: non-empty, connectivity
+/// preserving, label not already taken.
+fn push_case<T: torus_topology::Topology + ?Sized>(
+    net: &T,
+    label: String,
+    faults: FaultSet,
+    cases: &mut Vec<(String, FaultSet)>,
+) {
+    if faults.num_faulty_nodes() == 0 && faults.num_faulty_links() == 0 {
+        return;
+    }
+    if !faults.preserves_connectivity(net) {
+        return;
+    }
+    if !cases.iter().any(|(l, _)| *l == label) {
+        cases.push((label, faults));
+    }
+}
+
+/// Adds fat-tree fault cases: a failed compute endpoint, a failed top
+/// switch (the tree re-ascends via the remaining roots) and a failed leaf
+/// up-link always; the full matrix adds a middle-level switch (on trees
+/// deep enough to have one), an endpoint+switch pair and a two-up-link set
+/// across distinct leaves. Placements that would disconnect endpoints —
+/// a dead leaf switch, an endpoint's only up-link — are filtered by the
+/// same connectivity guard as the grid cases.
+fn push_fat_tree_cases(
+    net: &AnyTopology,
+    ft: &FatTree,
+    kind: MatrixKind,
+    cases: &mut Vec<(String, FaultSet)>,
+) {
+    let top_level = ft.levels() - 1;
+    let last_switch = ft.switches_per_level() as u32 - 1;
+
+    let e = ft.endpoint_id(ft.num_endpoints() as u32 / 2);
+    let mut f = FaultSet::new();
+    f.fail_node(e);
+    push_case(net, format!("node@{}", ft.node_label(e)), f, cases);
+
+    let top = ft.switch_id(top_level, 0);
+    let mut f = FaultSet::new();
+    f.fail_node(top);
+    push_case(net, format!("node@{}", ft.node_label(top)), f, cases);
+
+    let leaf = ft.switch_id(0, 0);
+    if let Some(&(port, _)) = ft.parents(leaf).first() {
+        let mut f = FaultSet::new();
+        f.fail_link(net, leaf, port, Direction::Plus);
+        push_case(
+            net,
+            format!("links@{}:d{port}+", ft.node_label(leaf)),
+            f,
+            cases,
+        );
+    }
+
+    if kind == MatrixKind::Full {
+        if ft.levels() >= 3 {
+            let mid = ft.switch_id(1, last_switch.min(1));
+            let mut f = FaultSet::new();
+            f.fail_node(mid);
+            push_case(net, format!("node@{}", ft.node_label(mid)), f, cases);
+        }
+
+        let mut f = FaultSet::new();
+        f.fail_node(ft.endpoint_id(1));
+        f.fail_node(ft.switch_id(top_level, last_switch));
+        push_case(
+            net,
+            format!(
+                "nodes@{}+{}",
+                ft.node_label(ft.endpoint_id(1)),
+                ft.node_label(ft.switch_id(top_level, last_switch))
+            ),
+            f,
+            cases,
+        );
+
+        let mut f = FaultSet::new();
+        let mut parts = Vec::new();
+        for (i, &lf) in [leaf, ft.switch_id(0, last_switch)].iter().enumerate() {
+            let parents = ft.parents(lf);
+            if let Some(&(port, _)) = parents.get(i.min(parents.len().saturating_sub(1))) {
+                f.fail_link(net, lf, port, Direction::Plus);
+                parts.push(format!("{}:d{port}+", ft.node_label(lf)));
+            }
+        }
+        push_case(net, format!("links@{}", parts.join("+")), f, cases);
+    }
 }
 
 /// Adds link-fault cases: one mid-network failed link always, plus a
@@ -293,27 +399,22 @@ fn push_link_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, Fau
 /// so the shape stays inside open dimensions) — and every valid,
 /// connectivity-preserving placement with a *distinct fault set* becomes
 /// its own case, labelled with its anchor. On small shapes several anchors
-/// collapse onto the same node set and are deduplicated.
+/// collapse onto the same node set and are deduplicated. The full matrix
+/// additionally re-anchors the L-shape in planes beyond the default
+/// `(0, 1)` on 3-D and higher shapes (labelled `region@L2x2@p1.2@...`), so
+/// the region machinery is proved plane-general, not `(0, 1)`-specific.
 fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, FaultSet)>) {
     if net.dims() < 2 {
         return;
     }
+    let l_shape = RegionShape::LShape {
+        vertical: 2,
+        horizontal: 2,
+    };
     let shapes: Vec<(&str, RegionShape)> = match kind {
-        MatrixKind::Smoke => vec![(
-            "L2x2",
-            RegionShape::LShape {
-                vertical: 2,
-                horizontal: 2,
-            },
-        )],
+        MatrixKind::Smoke => vec![("L2x2", l_shape)],
         MatrixKind::Full => vec![
-            (
-                "L2x2",
-                RegionShape::LShape {
-                    vertical: 2,
-                    horizontal: 2,
-                },
-            ),
+            ("L2x2", l_shape),
             (
                 "rect2x2",
                 RegionShape::Rect {
@@ -323,55 +424,86 @@ fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, F
             ),
         ],
     };
+    let mut seen_fault_sets: Vec<Vec<NodeId>> = Vec::new();
     for (tag, shape) in shapes {
-        let (bw, bh) = shape.bounding_box();
-        let centered: Vec<u16> = (0..net.dims())
-            .map(|d| {
-                let k = net.radix(d);
-                let span = match d {
-                    0 => bw,
-                    1 => bh,
-                    _ => 1,
-                };
-                if net.wraps(d) {
-                    (k / 2) % k
-                } else {
-                    (k / 2).min(k.saturating_sub(span))
-                }
-            })
-            .collect();
-        let mut anchors: Vec<Vec<u16>> = vec![centered];
-        // The four plane corners, clamped so the bounding box fits open
-        // dimensions (on wrapped dimensions clamping is harmless: the shape
-        // may overhang and wrap).
-        for ax in [0, net.radix(0).saturating_sub(bw)] {
-            for ay in [0, net.radix(1).saturating_sub(bh)] {
-                let mut a = vec![0u16; net.dims()];
-                a[0] = ax;
-                a[1] = ay;
-                anchors.push(a);
-            }
+        push_region_anchors(net, tag, shape, (0, 1), &mut seen_fault_sets, cases);
+    }
+    if kind == MatrixKind::Full && net.dims() >= 3 {
+        let mut planes = vec![(1, 2)];
+        if net.dims() >= 4 {
+            planes.push((2, 3));
         }
-        let mut seen_fault_sets: Vec<Vec<NodeId>> = Vec::new();
-        for anchor in anchors {
-            let Ok(region) = FaultRegion::in_default_plane(net, shape, &anchor) else {
-                continue;
+        for plane in planes {
+            push_region_anchors(net, "L2x2", l_shape, plane, &mut seen_fault_sets, cases);
+        }
+    }
+}
+
+/// Tries one region shape in one plane at the candidate anchors (plane
+/// centre plus the four plane corners, clamped so the bounding box fits
+/// open dimensions; on wrapped dimensions clamping is harmless — the shape
+/// may overhang and wrap). Every valid, connectivity-preserving placement
+/// with a distinct fault set becomes a case.
+fn push_region_anchors(
+    net: &Network,
+    tag: &str,
+    shape: RegionShape,
+    plane: (usize, usize),
+    seen_fault_sets: &mut Vec<Vec<NodeId>>,
+    cases: &mut Vec<(String, FaultSet)>,
+) {
+    let (bw, bh) = shape.bounding_box();
+    let centered: Vec<u16> = (0..net.dims())
+        .map(|d| {
+            let k = net.radix(d);
+            let span = if d == plane.0 {
+                bw
+            } else if d == plane.1 {
+                bh
+            } else {
+                1
             };
-            let Ok(faults) = region.to_fault_set(net) else {
-                continue;
-            };
-            if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(net) {
-                continue;
+            if net.wraps(d) {
+                (k / 2) % k
+            } else {
+                (k / 2).min(k.saturating_sub(span))
             }
-            let signature = faults.faulty_nodes_sorted();
-            if seen_fault_sets.contains(&signature) {
-                continue;
-            }
-            seen_fault_sets.push(signature);
-            let label = format!("region@{tag}@{},{}", anchor[0], anchor[1]);
-            if !cases.iter().any(|(l, _)| *l == label) {
-                cases.push((label, faults));
-            }
+        })
+        .collect();
+    let mut anchors: Vec<Vec<u16>> = vec![centered];
+    for ax in [0, net.radix(plane.0).saturating_sub(bw)] {
+        for ay in [0, net.radix(plane.1).saturating_sub(bh)] {
+            let mut a = vec![0u16; net.dims()];
+            a[plane.0] = ax;
+            a[plane.1] = ay;
+            anchors.push(a);
+        }
+    }
+    for anchor in anchors {
+        let Ok(region) = FaultRegion::in_plane(net, shape, plane, &anchor) else {
+            continue;
+        };
+        let Ok(faults) = region.to_fault_set(net) else {
+            continue;
+        };
+        if faults.num_faulty_nodes() == 0 || !faults.preserves_connectivity(net) {
+            continue;
+        }
+        let signature = faults.faulty_nodes_sorted();
+        if seen_fault_sets.contains(&signature) {
+            continue;
+        }
+        seen_fault_sets.push(signature);
+        let label = if plane == (0, 1) {
+            format!("region@{tag}@{},{}", anchor[plane.0], anchor[plane.1])
+        } else {
+            format!(
+                "region@{tag}@p{}.{}@{},{}",
+                plane.0, plane.1, anchor[plane.0], anchor[plane.1]
+            )
+        };
+        if !cases.iter().any(|(l, _)| *l == label) {
+            cases.push((label, faults));
         }
     }
 }
@@ -381,7 +513,7 @@ fn push_region_cases(net: &Network, kind: MatrixKind, cases: &mut Vec<(String, F
 /// new epoch); the full matrix adds `sched@fence0`, which fails the
 /// neighbours of node 0 one epoch at a time — on low-degree shapes the last
 /// epoch isolates node 0, flipping its pairs to the `disconnected` fate.
-pub fn matrix_schedule_cases(net: &Network, kind: MatrixKind) -> Vec<(String, FaultSchedule)> {
+pub fn matrix_schedule_cases(net: &AnyTopology, kind: MatrixKind) -> Vec<(String, FaultSchedule)> {
     let n = net.num_nodes() as u32;
     let mut out = Vec::new();
 
@@ -441,7 +573,7 @@ pub fn matrix_schedule_cases(net: &Network, kind: MatrixKind) -> Vec<(String, Fa
 /// relation walk per pair between the CDG accumulation and the reachability
 /// verdicts.
 pub fn verify_case<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     faults: &FaultSet,
     v: usize,
@@ -451,11 +583,11 @@ pub fn verify_case<A: RoutingAlgorithm>(
     let mut reach = ReachReport::default();
     let mut states_explored = 0;
     let mut pairs = 0;
-    for src in net.nodes() {
+    for src in net.endpoints() {
         if faults.is_node_faulty(src) {
             continue;
         }
-        for dest in net.nodes() {
+        for dest in net.endpoints() {
             if dest == src || faults.is_node_faulty(dest) {
                 continue;
             }
@@ -477,7 +609,7 @@ pub fn verify_case<A: RoutingAlgorithm>(
 }
 
 fn case_from_checks(
-    net: &Network,
+    net: &AnyTopology,
     topology: &str,
     routing: &str,
     v: usize,
@@ -503,8 +635,8 @@ fn case_from_checks(
             reach.pairs,
             reach.dead_ends,
             reach.livelocks,
-            net.coord(failure.src),
-            net.coord(failure.dest),
+            net.node_label(failure.src),
+            net.node_label(failure.dest),
         );
         witness = describe_pair_verdict(net, &failure.verdict);
     } else {
@@ -558,7 +690,7 @@ enum WorkItem {
 
 /// Enumerates every work item of the matrix in deterministic sweep order,
 /// together with the built networks the pending items index into.
-fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
+fn enumerate_work(kind: MatrixKind) -> (Vec<AnyTopology>, Vec<WorkItem>) {
     let mut nets = Vec::new();
     let mut items = Vec::new();
     for spec in matrix_topologies(kind) {
@@ -604,19 +736,26 @@ fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
                     });
                 }
             }
-            // Schedule cases run at the minimal VC config only: the epoch
-            // machinery is what is under test, and the +1 sweep already
-            // covers the static checks.
-            for (label, schedule) in &schedule_cases {
-                items.push(WorkItem::PendingSchedule {
-                    net_idx,
-                    topology: topology.clone(),
-                    routing: routing.clone(),
-                    algo,
-                    v: min_v,
-                    label: label.clone(),
-                    schedule: schedule.clone(),
-                });
+            // Schedule cases sweep the same VC configs as the static cases:
+            // the full matrix re-proves every epoch at min_v + 1 as well, so
+            // the differential machinery is exercised off the minimal
+            // dateline layout too.
+            let sched_vcs = match kind {
+                MatrixKind::Smoke => vec![min_v],
+                MatrixKind::Full => vec![min_v, min_v + 1],
+            };
+            for v in sched_vcs {
+                for (label, schedule) in &schedule_cases {
+                    items.push(WorkItem::PendingSchedule {
+                        net_idx,
+                        topology: topology.clone(),
+                        routing: routing.clone(),
+                        algo,
+                        v,
+                        label: label.clone(),
+                        schedule: schedule.clone(),
+                    });
+                }
             }
         }
         nets.push(net);
@@ -625,7 +764,7 @@ fn enumerate_work(kind: MatrixKind) -> (Vec<Network>, Vec<WorkItem>) {
 }
 
 /// Resolves one work item to its case result.
-fn run_item(nets: &[Network], item: &WorkItem) -> CaseResult {
+fn run_item(nets: &[AnyTopology], item: &WorkItem) -> CaseResult {
     match item {
         WorkItem::Resolved(case) => case.clone(),
         WorkItem::Pending {

@@ -23,7 +23,7 @@
 use crate::relation::{walk_pair, RelationWalk, StateBudgetExceeded, Step, Terminal};
 use torus_faults::FaultSet;
 use torus_routing::RoutingAlgorithm;
-use torus_topology::{Network, NodeId};
+use torus_topology::{AnyTopology, NodeId};
 
 /// Typed verdict for one (source, destination) pair.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -153,21 +153,22 @@ pub fn check_pair(walk: &RelationWalk) -> PairVerdict {
     PairVerdict::Delivers
 }
 
-/// Sweeps every ordered pair of healthy nodes, proving delivery or
-/// collecting the first witnessed failure.
+/// Sweeps every ordered pair of healthy endpoints (on a grid every node is
+/// an endpoint; on a fat-tree switches neither inject nor consume), proving
+/// delivery or collecting the first witnessed failure.
 pub fn check_reachability<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     faults: &FaultSet,
     v: usize,
     state_budget: usize,
 ) -> Result<ReachReport, StateBudgetExceeded> {
     let mut report = ReachReport::default();
-    for src in net.nodes() {
+    for src in net.endpoints() {
         if faults.is_node_faulty(src) {
             continue;
         }
-        for dest in net.nodes() {
+        for dest in net.endpoints() {
             if dest == src || faults.is_node_faulty(dest) {
                 continue;
             }

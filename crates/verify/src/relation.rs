@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 use torus_faults::FaultSet;
 use torus_routing::{RouteDecision, RouteHeader, RoutingAlgorithm};
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{AnyTopology, Direction, NodeId};
 
 /// Index of a state inside a [`RelationWalk`].
 pub type StateId = usize;
@@ -172,7 +172,7 @@ fn intern(
 /// target), and a successful reroute re-injects the rewritten header at the
 /// same node with its per-traversal dateline flags reset.
 pub fn walk_pair<A: RoutingAlgorithm>(
-    net: &Network,
+    net: &AnyTopology,
     algo: &A,
     faults: &FaultSet,
     v: usize,

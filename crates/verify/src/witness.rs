@@ -2,29 +2,36 @@
 //!
 //! Cycle witnesses are sequences of resource ids in the vertex space of an
 //! extracted graph ([`crate::exact`]); this module decodes them back into
-//! directed channels — source coordinate, dimension, direction, destination
-//! coordinate and (at per-VC granularity) the virtual channel — so a CI
-//! failure prints the actual channels of the dependency cycle.
+//! directed channels — source node, dimension, direction, destination node
+//! and (at per-VC granularity) the virtual channel — so a CI failure prints
+//! the actual channels of the dependency cycle. Node labels come from the
+//! topology backend: grid coordinates like `(3,0)`, fat-tree roles like
+//! `e7` / `s1.2`.
 
 use crate::exact::Granularity;
 use crate::reach::PairVerdict;
-use torus_topology::{ChannelId, Direction, Network, NodeId};
+use torus_topology::{AnyTopology, ChannelId, Direction, NodeId};
 
 /// Renders one resource id of an extracted graph, e.g.
 /// `(3,0) -d0+-> (0,0) vc1`.
-pub fn describe_resource(net: &Network, id: usize, v: usize, granularity: Granularity) -> String {
+pub fn describe_resource(
+    net: &AnyTopology,
+    id: usize,
+    v: usize,
+    granularity: Granularity,
+) -> String {
     let (slot, vc) = match granularity {
         Granularity::PerVc => (id / v, Some(id % v)),
         Granularity::PerChannel => (id, None),
     };
     let ch = net.channel_from_id(ChannelId::from_index(slot));
-    let from = net.coord(ch.from);
+    let from = net.node_label(ch.from);
     let sign = match ch.dir {
         Direction::Plus => '+',
         Direction::Minus => '-',
     };
     let to = match net.neighbor(ch.from, ch.dim, ch.dir) {
-        Some(n) => format!("{}", net.coord(n)),
+        Some(n) => net.node_label(n),
         None => "(missing)".to_string(),
     };
     let dim = ch.dim;
@@ -38,7 +45,7 @@ pub fn describe_resource(net: &Network, id: usize, v: usize, granularity: Granul
 /// `DependencyGraph::find_cycle`) one channel per line, closing the loop
 /// back to the first resource.
 pub fn describe_cycle(
-    net: &Network,
+    net: &AnyTopology,
     cycle: &[usize],
     v: usize,
     granularity: Granularity,
@@ -54,16 +61,16 @@ pub fn describe_cycle(
     lines
 }
 
-/// Renders a node path (dead-end or livelock witness) as coordinates.
-pub fn describe_node_path(net: &Network, path: &[NodeId]) -> String {
+/// Renders a node path (dead-end or livelock witness) as node labels.
+pub fn describe_node_path(net: &AnyTopology, path: &[NodeId]) -> String {
     path.iter()
-        .map(|&n| format!("{}", net.coord(n)))
+        .map(|&n| net.node_label(n))
         .collect::<Vec<_>>()
         .join(" -> ")
 }
 
 /// Renders a pair verdict's witness, if any, as display lines.
-pub fn describe_pair_verdict(net: &Network, verdict: &PairVerdict) -> Vec<String> {
+pub fn describe_pair_verdict(net: &AnyTopology, verdict: &PairVerdict) -> Vec<String> {
     match verdict {
         PairVerdict::Delivers => Vec::new(),
         PairVerdict::DeadEnd { path } => vec![format!(

@@ -10,11 +10,13 @@ use swbft_verify::matrix::{matrix_routings, STATE_BUDGET};
 use swbft_verify::{verify_schedule, PairFate};
 use torus_faults::{FaultEvent, FaultSchedule, FaultSet};
 use torus_routing::RoutingAlgorithm;
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{AnyTopology, Direction, FatTree, Network, NodeId};
 
-/// Small mixed shapes: 1..=2 dimensions, wrapped or open per dimension.
-fn arb_net() -> impl Strategy<Value = Network> {
-    (
+/// Small mixed shapes — 1..=2-dimensional grids, wrapped or open per
+/// dimension — plus small fat-trees, so the differential soundness property
+/// is checked on both topology classes.
+fn arb_net() -> impl Strategy<Value = AnyTopology> {
+    let grids = (
         1usize..=2,
         (3u16..=4, 2u16..=3),
         (any::<bool>(), any::<bool>()),
@@ -27,14 +29,16 @@ fn arb_net() -> impl Strategy<Value = Network> {
                 .zip([w0, w1])
                 .map(|(&k, w)| w && k >= 3)
                 .collect();
-            Network::new(radices, wraps).unwrap()
-        })
+            AnyTopology::from(Network::new(radices, wraps).unwrap())
+        });
+    let fat_trees = (2u16..=3).prop_map(|k| AnyTopology::from(FatTree::new(k, 2).unwrap()));
+    prop_oneof![grids, fat_trees]
 }
 
 /// Builds a valid schedule from raw picks: events are injected at strictly
 /// increasing cycles, and picks that would duplicate a fault or name a
 /// missing link are skipped rather than rejected.
-fn schedule_from_picks(net: &Network, picks: &[u32]) -> FaultSchedule {
+fn schedule_from_picks(net: &AnyTopology, picks: &[u32]) -> FaultSchedule {
     let mut mirror = FaultSet::new();
     let mut events = Vec::new();
     for (i, &pick) in picks.iter().enumerate() {
@@ -119,7 +123,7 @@ proptest! {
 /// witness path, and must still *prove* the epoch (the cut is legitimate).
 #[test]
 fn disconnecting_schedule_flips_pairs_at_the_cut_epoch() {
-    let net = Network::new(vec![3, 3], vec![false, false]).unwrap();
+    let net = AnyTopology::from(Network::new(vec![3, 3], vec![false, false]).unwrap());
     let corner = NodeId(0);
     let wall_a = net.neighbor(corner, 0, Direction::Plus).unwrap();
     let wall_b = net.neighbor(corner, 1, Direction::Plus).unwrap();

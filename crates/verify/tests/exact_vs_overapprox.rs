@@ -9,7 +9,7 @@ use swbft_verify::{extract_exact_cdg, Granularity};
 use torus_faults::FaultSet;
 use torus_routing::cdg::{build_turn_cdg, TurnRule};
 use torus_routing::TurnModelRouting;
-use torus_topology::{Direction, Network, NodeId};
+use torus_topology::{AnyTopology, Direction, Network, NodeId};
 
 /// Random open shapes: 1..=3 dimensions with mixed radices, no wraps.
 fn arb_mesh() -> impl Strategy<Value = Network> {
@@ -41,9 +41,10 @@ proptest! {
     /// acyclic wherever the over-approximation is.
     #[test]
     fn exact_turn_cdg_is_a_subgraph_of_the_over_approximation(net in arb_mesh()) {
+        let topo = AnyTopology::from(net.clone());
         for (rule, algo) in rules() {
             let exact = extract_exact_cdg(
-                &net,
+                &topo,
                 &algo,
                 &FaultSet::new(),
                 1,
@@ -87,9 +88,10 @@ proptest! {
         faults.fail_link(&net, node, dim, dir);
         prop_assume!(faults.num_faulty_links() > 0);
         prop_assume!(faults.preserves_connectivity(&net));
+        let topo = AnyTopology::from(net.clone());
         for (rule, algo) in rules() {
             let exact = extract_exact_cdg(
-                &net,
+                &topo,
                 &algo,
                 &faults,
                 1,

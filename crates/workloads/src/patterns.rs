@@ -1,32 +1,43 @@
 //! Destination (spatial traffic) patterns.
 //!
-//! The paper's evaluation uses the uniform random pattern: every healthy node
-//! other than the source is an equally likely destination. The other classical
-//! patterns are provided for the example programs and extension studies; they
-//! all avoid faulty destinations by falling back to uniform random selection
-//! among healthy nodes when their nominal target is faulty (the paper's
-//! assumption that messages are only generated between healthy nodes).
+//! The paper's evaluation uses the uniform random pattern: every healthy
+//! endpoint other than the source is an equally likely destination. The other
+//! classical patterns are provided for the example programs and extension
+//! studies; they all avoid faulty destinations by falling back to uniform
+//! random selection among healthy endpoints when their nominal target is
+//! faulty (the paper's assumption that messages are only generated between
+//! healthy nodes).
+//!
+//! Messages originate and terminate at *endpoints* only. On direct grids
+//! every node is an endpoint, so nothing changes; on fat-trees the switch
+//! fabric never sources or sinks traffic, and the coordinate-based patterns
+//! (transpose, complement, reversal) — which are grid concepts — fall back to
+//! uniform random endpoint selection.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use torus_faults::FaultSet;
-use torus_topology::{Coord, Network, NodeId};
+use torus_topology::{AnyTopology, Coord, NodeId};
 
-/// A spatial traffic pattern mapping a source node to a destination node.
+/// A spatial traffic pattern mapping a source endpoint to a destination
+/// endpoint.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum DestinationPattern {
-    /// Uniformly random destination among all healthy nodes other than the
-    /// source (the pattern used in the paper's evaluation).
+    /// Uniformly random destination among all healthy endpoints other than
+    /// the source (the pattern used in the paper's evaluation).
     UniformRandom,
     /// Matrix transpose: the destination's coordinate is the source's
     /// coordinate rotated by one dimension (digit i of the destination is
-    /// digit (i+1) mod n of the source).
+    /// digit (i+1) mod n of the source). Grids only; falls back to uniform
+    /// random on indirect topologies.
     Transpose,
     /// Bit/dimension complement: digit i of the destination is
-    /// `k - 1 - digit i` of the source.
+    /// `k - 1 - digit i` of the source. Grids only; falls back to uniform
+    /// random on indirect topologies.
     Complement,
     /// Dimension reversal: the destination's digits are the source's digits in
-    /// reverse order.
+    /// reverse order. Grids only; falls back to uniform random on indirect
+    /// topologies.
     Reversal,
     /// Hotspot: with probability `fraction` the destination is the given node,
     /// otherwise uniform random.
@@ -36,7 +47,9 @@ pub enum DestinationPattern {
         /// Fraction of traffic addressed to the hotspot.
         fraction: f64,
     },
-    /// Nearest neighbour: a uniformly random neighbour one hop away.
+    /// Nearest neighbour: a uniformly random healthy endpoint one hop away.
+    /// On fat-trees no endpoint is adjacent to another endpoint, so this
+    /// falls back to uniform random.
     NearestNeighbor,
 }
 
@@ -44,44 +57,42 @@ impl DestinationPattern {
     /// Picks a destination for a message generated at `src`.
     ///
     /// Returns `None` when no valid destination exists (for instance when the
-    /// source is the only healthy node).
+    /// source is the only healthy endpoint).
     pub fn pick<R: Rng + ?Sized>(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         src: NodeId,
         rng: &mut R,
     ) -> Option<NodeId> {
         let nominal = match self {
             DestinationPattern::UniformRandom => None,
-            DestinationPattern::Transpose => {
+            DestinationPattern::Transpose => net.grid().and_then(|g| {
                 // On mixed-radix shapes the rotated digits may not be a valid
                 // address; fall back to uniform random in that case.
-                let c = net.coord(src);
+                let c = g.coord(src);
                 let n = c.dims();
                 let digits: Vec<u16> = (0..n).map(|i| c.get((i + 1) % n)).collect();
-                net.node(&Coord::new(digits)).ok()
-            }
-            DestinationPattern::Complement => {
-                let c = net.coord(src);
+                g.node(&Coord::new(digits)).ok()
+            }),
+            DestinationPattern::Complement => net.grid().map(|g| {
+                let c = g.coord(src);
                 let digits: Vec<u16> = c
                     .digits()
                     .iter()
                     .enumerate()
-                    .map(|(dim, &d)| net.radix(dim) - 1 - d)
+                    .map(|(dim, &d)| g.radix(dim) - 1 - d)
                     .collect();
-                Some(
-                    net.node(&Coord::new(digits))
-                        .expect("complement digit stays in range"),
-                )
-            }
-            DestinationPattern::Reversal => {
+                g.node(&Coord::new(digits))
+                    .expect("complement digit stays in range")
+            }),
+            DestinationPattern::Reversal => net.grid().and_then(|g| {
                 // Like Transpose, reversal is only address-preserving on
                 // uniform radices; otherwise fall back to uniform random.
-                let c = net.coord(src);
+                let c = g.coord(src);
                 let digits: Vec<u16> = c.digits().iter().rev().copied().collect();
-                net.node(&Coord::new(digits)).ok()
-            }
+                g.node(&Coord::new(digits)).ok()
+            }),
             DestinationPattern::Hotspot { node, fraction } => {
                 if rng.gen_bool((*fraction).clamp(0.0, 1.0)) {
                     Some(NodeId(*node))
@@ -94,7 +105,7 @@ impl DestinationPattern {
                 let healthy: Vec<NodeId> = neighbors
                     .iter()
                     .map(|(_, n)| *n)
-                    .filter(|n| !faults.is_node_faulty(*n) && *n != src)
+                    .filter(|n| net.is_endpoint(*n) && !faults.is_node_faulty(*n) && *n != src)
                     .collect();
                 if healthy.is_empty() {
                     None
@@ -105,21 +116,30 @@ impl DestinationPattern {
         };
 
         match nominal {
-            Some(dest) if dest != src && !faults.is_node_faulty(dest) => Some(dest),
+            Some(dest) if dest != src && net.is_endpoint(dest) && !faults.is_node_faulty(dest) => {
+                Some(dest)
+            }
             Some(_) | None => uniform_healthy_destination(net, faults, src, rng),
         }
     }
 }
 
-/// Uniformly random healthy destination different from `src`.
+/// Uniformly random healthy endpoint different from `src`.
 fn uniform_healthy_destination<R: Rng + ?Sized>(
-    net: &Network,
+    net: &AnyTopology,
     faults: &FaultSet,
     src: NodeId,
     rng: &mut R,
 ) -> Option<NodeId> {
-    let n = net.num_nodes() as u32;
-    let healthy = n as usize - faults.num_faulty_nodes();
+    // Endpoints occupy the dense id range `0..num_endpoints` on every
+    // topology (grids: all nodes; fat-trees: processing nodes before the
+    // switch fabric), so endpoint sampling is direct.
+    let n = net.num_endpoints() as u32;
+    let faulty_endpoints = faults
+        .faulty_nodes()
+        .filter(|&f| net.is_endpoint(f))
+        .count();
+    let healthy = n as usize - faulty_endpoints;
     if healthy <= 1 {
         return None;
     }
@@ -132,7 +152,7 @@ fn uniform_healthy_destination<R: Rng + ?Sized>(
         }
     }
     // Extremely unlikely fallback: scan deterministically.
-    net.nodes()
+    net.endpoints()
         .find(|c| *c != src && !faults.is_node_faulty(*c))
 }
 
@@ -142,20 +162,28 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn setup() -> (Network, FaultSet, StdRng) {
+    fn setup() -> (AnyTopology, FaultSet, StdRng) {
         (
-            Network::torus(8, 2).unwrap(),
+            AnyTopology::torus(8, 2).unwrap(),
             FaultSet::new(),
             StdRng::seed_from_u64(2024),
         )
     }
 
+    fn node(t: &AnyTopology, digits: &[u16]) -> NodeId {
+        t.grid().unwrap().node_from_digits(digits).unwrap()
+    }
+
+    fn digits(t: &AnyTopology, n: NodeId) -> Vec<u16> {
+        t.grid().unwrap().coord(n).digits().to_vec()
+    }
+
     #[test]
     fn uniform_random_avoids_source_and_faults() {
         let (t, mut f, mut rng) = setup();
-        let bad = t.node_from_digits(&[5, 5]).unwrap();
+        let bad = node(&t, &[5, 5]);
         f.fail_node(bad);
-        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let src = node(&t, &[0, 0]);
         for _ in 0..2000 {
             let d = DestinationPattern::UniformRandom
                 .pick(&t, &f, src, &mut rng)
@@ -168,7 +196,7 @@ mod tests {
     #[test]
     fn uniform_random_is_roughly_uniform() {
         let (t, f, mut rng) = setup();
-        let src = t.node_from_digits(&[3, 3]).unwrap();
+        let src = node(&t, &[3, 3]);
         let mut counts = vec![0u32; t.num_nodes()];
         let draws = 63_000;
         for _ in 0..draws {
@@ -193,33 +221,33 @@ mod tests {
     #[test]
     fn transpose_rotates_digits() {
         let (t, f, mut rng) = setup();
-        let src = t.node_from_digits(&[2, 6]).unwrap();
+        let src = node(&t, &[2, 6]);
         let d = DestinationPattern::Transpose
             .pick(&t, &f, src, &mut rng)
             .unwrap();
-        assert_eq!(t.coord(d).digits(), &[6, 2]);
+        assert_eq!(digits(&t, d), &[6, 2]);
     }
 
     #[test]
     fn complement_mirrors_digits() {
         let (t, f, mut rng) = setup();
-        let src = t.node_from_digits(&[1, 3]).unwrap();
+        let src = node(&t, &[1, 3]);
         let d = DestinationPattern::Complement
             .pick(&t, &f, src, &mut rng)
             .unwrap();
-        assert_eq!(t.coord(d).digits(), &[6, 4]);
+        assert_eq!(digits(&t, d), &[6, 4]);
     }
 
     #[test]
     fn reversal_in_three_dims() {
-        let t = Network::torus(4, 3).unwrap();
+        let t = AnyTopology::torus(4, 3).unwrap();
         let f = FaultSet::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let src = t.node_from_digits(&[1, 2, 3]).unwrap();
+        let src = node(&t, &[1, 2, 3]);
         let d = DestinationPattern::Reversal
             .pick(&t, &f, src, &mut rng)
             .unwrap();
-        assert_eq!(t.coord(d).digits(), &[3, 2, 1]);
+        assert_eq!(digits(&t, d), &[3, 2, 1]);
     }
 
     #[test]
@@ -227,7 +255,7 @@ mod tests {
         let (t, f, mut rng) = setup();
         // A node on the transpose diagonal would address itself; the pattern
         // must fall back to a different healthy destination.
-        let src = t.node_from_digits(&[4, 4]).unwrap();
+        let src = node(&t, &[4, 4]);
         for _ in 0..100 {
             let d = DestinationPattern::Transpose
                 .pick(&t, &f, src, &mut rng)
@@ -239,9 +267,9 @@ mod tests {
     #[test]
     fn faulty_nominal_destination_falls_back() {
         let (t, mut f, mut rng) = setup();
-        let victim = t.node_from_digits(&[6, 2]).unwrap();
+        let victim = node(&t, &[6, 2]);
         f.fail_node(victim);
-        let src = t.node_from_digits(&[2, 6]).unwrap();
+        let src = node(&t, &[2, 6]);
         for _ in 0..100 {
             let d = DestinationPattern::Transpose
                 .pick(&t, &f, src, &mut rng)
@@ -253,12 +281,12 @@ mod tests {
     #[test]
     fn hotspot_concentrates_traffic() {
         let (t, f, mut rng) = setup();
-        let hot = t.node_from_digits(&[7, 7]).unwrap();
+        let hot = node(&t, &[7, 7]);
         let pat = DestinationPattern::Hotspot {
             node: hot.0,
             fraction: 0.3,
         };
-        let src = t.node_from_digits(&[0, 0]).unwrap();
+        let src = node(&t, &[0, 0]);
         let draws = 20_000;
         let hits = (0..draws)
             .filter(|_| pat.pick(&t, &f, src, &mut rng).unwrap() == hot)
@@ -271,7 +299,7 @@ mod tests {
     #[test]
     fn nearest_neighbor_is_one_hop_away() {
         let (t, f, mut rng) = setup();
-        let src = t.node_from_digits(&[3, 4]).unwrap();
+        let src = node(&t, &[3, 4]);
         for _ in 0..200 {
             let d = DestinationPattern::NearestNeighbor
                 .pick(&t, &f, src, &mut rng)
@@ -285,10 +313,11 @@ mod tests {
         // On an 8x4 mixed-radix shape, transposing/reversing a coordinate can
         // produce an out-of-range digit; the pattern must fall back to a
         // uniform healthy destination instead of panicking.
-        let net = Network::new(vec![8, 4], vec![true, false]).unwrap();
+        let net =
+            AnyTopology::Grid(torus_topology::Network::new(vec![8, 4], vec![true, false]).unwrap());
         let f = FaultSet::new();
         let mut rng = StdRng::seed_from_u64(5);
-        let src = net.node_from_digits(&[6, 1]).unwrap();
+        let src = node(&net, &[6, 1]);
         for pattern in [
             DestinationPattern::Transpose,
             DestinationPattern::Reversal,
@@ -302,14 +331,14 @@ mod tests {
         }
         // Complement uses the per-dimension radix.
         let d = DestinationPattern::Complement
-            .pick(&net, &f, net.node_from_digits(&[1, 3]).unwrap(), &mut rng)
+            .pick(&net, &f, node(&net, &[1, 3]), &mut rng)
             .unwrap();
-        assert_eq!(net.coord(d).digits(), &[6, 0]);
+        assert_eq!(digits(&net, d), &[6, 0]);
     }
 
     #[test]
     fn no_destination_when_alone() {
-        let t = Network::torus(2, 1).unwrap();
+        let t = AnyTopology::torus(2, 1).unwrap();
         let mut f = FaultSet::new();
         f.fail_node(NodeId(1));
         let mut rng = StdRng::seed_from_u64(4);
@@ -317,5 +346,50 @@ mod tests {
             DestinationPattern::UniformRandom.pick(&t, &f, NodeId(0), &mut rng),
             None
         );
+    }
+
+    #[test]
+    fn fat_tree_destinations_are_always_endpoints() {
+        // Every pattern must resolve to a healthy endpoint on a fat-tree —
+        // the coordinate patterns fall back to uniform, nearest-neighbour has
+        // no endpoint neighbours, and switches are never destinations.
+        let t = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let mut f = FaultSet::new();
+        f.fail_node(NodeId(7));
+        let mut rng = StdRng::seed_from_u64(9);
+        let src = NodeId(0);
+        for pattern in [
+            DestinationPattern::UniformRandom,
+            DestinationPattern::Transpose,
+            DestinationPattern::Complement,
+            DestinationPattern::Reversal,
+            DestinationPattern::NearestNeighbor,
+            DestinationPattern::Hotspot {
+                node: 3,
+                fraction: 0.5,
+            },
+        ] {
+            for _ in 0..200 {
+                let d = pattern.pick(&t, &f, src, &mut rng).unwrap();
+                assert!(t.is_endpoint(d), "{pattern:?} picked switch {d:?}");
+                assert_ne!(d, src, "{pattern:?}");
+                assert_ne!(d, NodeId(7), "{pattern:?} picked the faulty node");
+            }
+        }
+    }
+
+    #[test]
+    fn fat_tree_uniform_covers_all_healthy_endpoints() {
+        let t = AnyTopology::fat_tree_new(4, 2).unwrap();
+        let f = FaultSet::new();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..2000 {
+            let d = DestinationPattern::UniformRandom
+                .pick(&t, &f, NodeId(5), &mut rng)
+                .unwrap();
+            seen.insert(d);
+        }
+        assert_eq!(seen.len(), t.num_endpoints() - 1);
     }
 }

@@ -149,11 +149,15 @@ fn main() {
             );
             continue;
         }
+        let Some(grid) = net.grid() else {
+            println!("{:>16} fault regions are grid-only; skipped", spec.label());
+            continue;
+        };
         let region = RegionShape::Rect {
             width: 2,
             height: 2,
         };
-        let faults = FaultScenario::centered_region(&net, region);
+        let faults = FaultScenario::centered_region(grid, region);
         let cfg = ExperimentConfig::topology_point(spec.clone(), 4, 16, 0.004)
             .with_routing(routing)
             .with_faults(faults)

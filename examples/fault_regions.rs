@@ -87,6 +87,14 @@ fn main() {
         );
         std::process::exit(2);
     }
+    let Some(grid) = net.grid() else {
+        println!(
+            "fault regions are defined by grid coordinates; {} has none, \
+             so the region comparison is skipped",
+            topology.label()
+        );
+        return;
+    };
 
     // Latency comparison: convex vs concave region of similar size, identical
     // traffic. A region that does not fit the requested topology reports its
@@ -108,7 +116,7 @@ fn main() {
     ] {
         let cfg = ExperimentConfig::topology_point(topology.clone(), 10, 32, 0.006)
             .with_routing(routing)
-            .with_faults(FaultScenario::centered_region(&net, shape))
+            .with_faults(FaultScenario::centered_region(grid, shape))
             .quick(3_000, 500);
         match cfg.run() {
             Ok(out) => println!(

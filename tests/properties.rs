@@ -7,14 +7,14 @@ use proptest::prelude::*;
 use swbft::faults::FaultSet;
 use swbft::routing::{RouteDecision, RoutingAlgorithm, SwBasedRouting};
 use swbft::sim::{SimConfig, Simulation, StopCondition};
-use swbft::topology::{Network, NodeId, TopologySpec};
+use swbft::topology::{AnyTopology, NodeId, TopologySpec};
 
 /// Walks a single message from `src` to `dest` through a faulty network using
 /// the full software loop (route → absorb → re-route → re-inject), mirroring
 /// what the simulator does, and returns the number of absorptions.
 /// Panics if the message fails to arrive within a generous hop budget.
 fn deliver_one_message(
-    net: &Network,
+    net: &AnyTopology,
     faults: &FaultSet,
     algo: &SwBasedRouting,
     src: NodeId,
@@ -47,7 +47,8 @@ fn deliver_one_message(
                 );
             }
             RouteDecision::Absorb => {
-                let blocked = swbft::routing::ecube::ecube_output(net, &header, current)
+                let grid = net.grid().expect("this property only draws grids");
+                let blocked = swbft::routing::ecube::ecube_output(grid, &header, current)
                     .unwrap_or((0, swbft::topology::Direction::Plus));
                 assert!(
                     algo.reroute_on_fault(net, faults, &mut header, current, blocked),

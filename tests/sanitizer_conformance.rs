@@ -19,7 +19,7 @@ use swbft::routing::{
     SwBasedRouting, TurnModelRouting,
 };
 use swbft::sim::{ReferenceSimulation, SimConfig, Simulation, StopCondition};
-use swbft::topology::{Direction, Network, NodeId, TopologySpec};
+use swbft::topology::{AnyTopology, Direction, NodeId, TopologySpec};
 use swbft::verify::{extract_exact_cdg, Granularity};
 
 /// A short, deterministic run: enough traffic to exercise absorption and
@@ -138,9 +138,10 @@ fn region_faulted_deterministic_conforms() {
         vertical: 2,
         horizontal: 2,
     };
-    let faults = FaultRegion::in_default_plane(&net, shape, &[1, 1])
+    let grid = net.grid().expect("mesh specs build grids");
+    let faults = FaultRegion::in_default_plane(grid, shape, &[1, 1])
         .expect("region placement is valid")
-        .to_fault_set(&net)
+        .to_fault_set(grid)
         .expect("region realises");
     assert!(faults.num_faulty_nodes() == 3);
     assert_conformant(config, faults, SwBasedRouting::deterministic());
@@ -194,30 +195,30 @@ impl RoutingAlgorithm for SkipViaHostAbsorb {
         self.0.flavor()
     }
 
-    fn min_virtual_channels(&self, net: &Network) -> usize {
+    fn min_virtual_channels(&self, net: &AnyTopology) -> usize {
         self.0.min_virtual_channels(net)
     }
 
-    fn supported_on(&self, net: &Network) -> Result<(), RoutingTopologyError> {
+    fn supported_on(&self, net: &AnyTopology) -> Result<(), RoutingTopologyError> {
         self.0.supported_on(net)
     }
 
     fn deterministic_output(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &RouteHeader,
         current: NodeId,
     ) -> Option<(usize, Direction)> {
         self.0.deterministic_output(net, header, current)
     }
 
-    fn make_header(&self, net: &Network, src: NodeId, dest: NodeId) -> RouteHeader {
+    fn make_header(&self, net: &AnyTopology, src: NodeId, dest: NodeId) -> RouteHeader {
         self.0.make_header(net, src, dest)
     }
 
     fn route(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         current: NodeId,
@@ -234,7 +235,7 @@ impl RoutingAlgorithm for SkipViaHostAbsorb {
 
     fn note_hop(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         header: &mut RouteHeader,
         from: NodeId,
         dim: usize,
@@ -245,7 +246,7 @@ impl RoutingAlgorithm for SkipViaHostAbsorb {
 
     fn reroute_on_fault(
         &self,
-        net: &Network,
+        net: &AnyTopology,
         faults: &FaultSet,
         header: &mut RouteHeader,
         at: NodeId,
